@@ -1,0 +1,41 @@
+//! Microbenchmarks of the hybrid-monitoring protocol: encoding 48-bit
+//! events into seven-segment pattern sequences and decoding them back.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use suprenum_monitor::hybridmon::{decode::Decoder, encode::encode, MonEvent};
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encoding");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode_event", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(encode(MonEvent::new(i as u16, i)))
+        });
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decoding");
+    // A stream of 1000 events (32 patterns each).
+    let patterns: Vec<_> = (0..1000u32).flat_map(|i| encode(MonEvent::new(i as u16, i))).collect();
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("decode_1000_events", |b| {
+        b.iter(|| {
+            let mut d = Decoder::new();
+            let mut n = 0usize;
+            for &p in &patterns {
+                if d.feed(p).is_some() {
+                    n += 1;
+                }
+            }
+            assert_eq!(black_box(n), 1000);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

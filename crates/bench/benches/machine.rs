@@ -1,0 +1,139 @@
+//! Machine-kernel benchmarks: simulated-event throughput of the
+//! scheduler and messaging paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use suprenum_monitor::des::time::{SimDuration, SimTime};
+use suprenum_monitor::suprenum::{
+    Action, Machine, MachineConfig, Message, NodeId, ProcCtx, Process, ProcessId, Resume, RunEnd,
+};
+
+/// Ping-pongs `rounds` messages between two nodes with the given
+/// mechanism, then exits.
+struct Ping {
+    rounds: u32,
+    done: u32,
+    mailbox: bool,
+    peer: Option<ProcessId>,
+    awaiting_reply: bool,
+}
+
+impl Process for Ping {
+    fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action {
+        if let Resume::Spawned(pid) = &why {
+            self.peer = Some(*pid);
+        }
+        let Some(peer) = self.peer else {
+            return Action::Spawn { node: NodeId::new(1), body: Box::new(Pong { mailbox: self.mailbox }) };
+        };
+        if self.awaiting_reply {
+            self.awaiting_reply = false;
+            self.done += 1;
+            if self.done >= self.rounds {
+                return Action::Exit;
+            }
+        }
+        match why {
+            Resume::Sent => {
+                self.awaiting_reply = true;
+                if self.mailbox {
+                    Action::MailboxRecv
+                } else {
+                    Action::Recv
+                }
+            }
+            _ => {
+                let msg = Message::new(ctx.pid, 64, self.done);
+                if self.mailbox {
+                    Action::MailboxSend { to: peer, msg }
+                } else {
+                    Action::SendSync { to: peer, msg }
+                }
+            }
+        }
+    }
+}
+
+struct Pong {
+    mailbox: bool,
+}
+
+impl Process for Pong {
+    fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action {
+        match why {
+            Resume::Msg(m) | Resume::MailboxMsg(m) => {
+                let reply = Message::new(ctx.pid, 64, ());
+                if self.mailbox {
+                    Action::MailboxSend { to: m.src(), msg: reply }
+                } else {
+                    Action::SendSync { to: m.src(), msg: reply }
+                }
+            }
+            _ => {
+                if self.mailbox {
+                    Action::MailboxRecv
+                } else {
+                    Action::Recv
+                }
+            }
+        }
+    }
+}
+
+fn run_pingpong(mailbox: bool, rounds: u32) {
+    let mut m = Machine::new(MachineConfig::single_cluster(2), 1).unwrap();
+    m.add_process(
+        NodeId::new(0),
+        Box::new(Ping { rounds, done: 0, mailbox, peer: None, awaiting_reply: false }),
+    );
+    let out = m.run(SimTime::from_secs(3_600));
+    assert_eq!(out.reason, RunEnd::Completed);
+}
+
+/// A chain of compute/yield cycles stressing the scheduler.
+struct Spinner {
+    iters: u32,
+}
+
+impl Process for Spinner {
+    fn resume(&mut self, _ctx: &ProcCtx, _why: Resume) -> Action {
+        if self.iters == 0 {
+            return Action::Exit;
+        }
+        self.iters -= 1;
+        if self.iters.is_multiple_of(2) {
+            Action::Compute(SimDuration::from_micros(50))
+        } else {
+            Action::Yield
+        }
+    }
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_kernel");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("mailbox_pingpong_1000", |b| {
+        b.iter(|| {
+            run_pingpong(true, 1_000);
+            black_box(())
+        });
+    });
+    g.bench_function("sync_pingpong_1000", |b| {
+        b.iter(|| {
+            run_pingpong(false, 1_000);
+            black_box(())
+        });
+    });
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_compute_yield_10000", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::single_cluster(1), 1).unwrap();
+            m.add_process(NodeId::new(0), Box::new(Spinner { iters: 10_000 }));
+            assert_eq!(m.run(SimTime::from_secs(3_600)).reason, RunEnd::Completed);
+            black_box(m.stats())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ray-tracer benchmarks: scene complexity and the paper's future-work
+//! accelerations (BVH over parallelepipeds, vectorized intersection).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use suprenum_monitor::raytracer::{
+    scenes, Accel, Camera, Scene, TraceConfig, Tracer, VectorMode, WorkCounters,
+};
+
+fn render_block(scene: &Scene, camera: &Camera, cfg: TraceConfig) -> WorkCounters {
+    let tracer = Tracer::new(scene, cfg);
+    let mut work = WorkCounters::new();
+    for py in 0..24 {
+        for px in 0..24 {
+            let (_, w) = tracer.render_pixel(camera, px, py, 24, 24, 1);
+            work += w;
+        }
+    }
+    work
+}
+
+fn bench_scenes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("render_24x24");
+    g.throughput(Throughput::Elements(24 * 24));
+    let (moderate, m_cam) = scenes::moderate_scene();
+    let (fractal, f_cam) = scenes::fractal_pyramid(3);
+    g.bench_function("moderate_25_primitives", |b| {
+        b.iter(|| black_box(render_block(&moderate, &m_cam, TraceConfig::default())));
+    });
+    g.bench_function("fractal_257_primitives", |b| {
+        b.iter(|| black_box(render_block(&fractal, &f_cam, TraceConfig::default())));
+    });
+    g.finish();
+}
+
+fn bench_accelerations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("acceleration_fractal");
+    let (fractal, f_cam) = scenes::fractal_pyramid(3);
+    for (label, accel, vector) in [
+        ("brute_scalar", Accel::BruteForce, VectorMode::Scalar),
+        ("brute_vectorized", Accel::BruteForce, VectorMode::Vectorized),
+        ("bvh_scalar", Accel::Bvh, VectorMode::Scalar),
+    ] {
+        let cfg = TraceConfig { accel, vector_mode: vector, ..TraceConfig::default() };
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(render_block(&fractal, &f_cam, cfg)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenes, bench_accelerations);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation: ray-bundle size sweep on the version-4 program — why the
+//! paper moved from single-ray jobs to bundles of 50 and then 100.
+
+use suprenum_monitor::des::time::SimTime;
+use suprenum_monitor::raysim::analysis::servant_utilization;
+use suprenum_monitor::raysim::config::{AppConfig, Version};
+use suprenum_monitor::raysim::run::{run, RunConfig};
+
+fn main() {
+    println!("{:>8} {:>8} {:>12} {:>14}", "bundle", "jobs", "utilization", "simulated end");
+    for bundle in [1u32, 5, 10, 25, 50, 100, 200] {
+        let mut app = AppConfig::version(Version::V4);
+        app.width = 96;
+        app.height = 96;
+        app.bundle_size = bundle;
+        app.pixel_queue_capacity = 16_384;
+        app.write_chunk = bundle.max(4);
+        let servants = app.servants as u32;
+        let mut cfg = RunConfig::new(app);
+        cfg.horizon = SimTime::from_secs(36_000);
+        let r = run(cfg);
+        assert!(r.completed());
+        let u = servant_utilization(&r.trace, servants);
+        println!(
+            "{:>8} {:>8} {:>11.1}% {:>14}",
+            bundle,
+            r.app_stats.jobs_sent,
+            u.mean_percent(),
+            r.outcome.end.to_string()
+        );
+    }
+    println!("\nlarger bundles amortize per-message master overhead until tail imbalance bites.");
+}

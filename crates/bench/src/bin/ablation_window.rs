@@ -1,0 +1,25 @@
+//! Ablation: window-flow-control credit sweep — the paper's scheme
+//! "prevents flooding of the servants ... but also ensures that the
+//! servants always have enough work".
+
+use suprenum_monitor::des::time::SimTime;
+use suprenum_monitor::raysim::analysis::servant_utilization;
+use suprenum_monitor::raysim::config::{AppConfig, Version};
+use suprenum_monitor::raysim::run::{run, RunConfig};
+
+fn main() {
+    println!("{:>8} {:>12} {:>14}", "window", "utilization", "simulated end");
+    for window in [1u32, 2, 3, 5, 8] {
+        let mut app = AppConfig::version(Version::V3);
+        app.width = 96;
+        app.height = 96;
+        app.window = window;
+        let servants = app.servants as u32;
+        let mut cfg = RunConfig::new(app);
+        cfg.horizon = SimTime::from_secs(36_000);
+        let r = run(cfg);
+        assert!(r.completed());
+        let u = servant_utilization(&r.trace, servants);
+        println!("{:>8} {:>11.1}% {:>14}", window, u.mean_percent(), r.outcome.end.to_string());
+    }
+}

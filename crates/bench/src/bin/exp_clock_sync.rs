@@ -1,0 +1,20 @@
+//! E4 — the global-clock ablation: the same measurement evaluated with
+//! MTG-synchronized and free-running recorder clocks.
+
+use suprenum_monitor::experiments::clock_sync_ablation;
+
+fn main() {
+    let (sync, free) = clock_sync_ablation(1992);
+    println!(
+        "{:<26} {:>8} {:>18} {:>18} {:>14}",
+        "recorder clocks", "events", "merge inversions", "causality errors", "max ts error"
+    );
+    for r in [&sync, &free] {
+        println!(
+            "{:<26} {:>8} {:>18} {:>18} {:>11} us",
+            if r.mtg_synchronized { "MTG (100ns, global)" } else { "free-running" },
+            r.events, r.merge_violations, r.causality_violations,
+            r.max_timestamp_error_ns as f64 / 1e3
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! E3 — §3.1 event-recorder behaviour: sustained drain at ~10k events/s,
+//! burst absorption up to the 32K FIFO, loss beyond.
+
+use suprenum_monitor::experiments::fifo_stress;
+
+fn main() {
+    println!(
+        "{:<26} {:>12} {:>9} {:>9} {:>7} {:>10}",
+        "scenario", "rate (ev/s)", "offered", "recorded", "lost", "max FIFO"
+    );
+    for r in fifo_stress() {
+        println!(
+            "{:<26} {:>12} {:>9} {:>9} {:>7} {:>10}",
+            r.label, r.rate_per_sec, r.offered, r.recorded, r.lost, r.max_fifo
+        );
+    }
+}

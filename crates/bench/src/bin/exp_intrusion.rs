@@ -1,0 +1,23 @@
+//! E2 — §3.2 intrusion comparison: hybrid vs terminal vs software
+//! monitoring vs no monitoring.
+
+use suprenum_monitor::experiments::intrusion_comparison;
+
+fn main() {
+    let rows = intrusion_comparison(1992);
+    println!(
+        "{:<10} {:>8} {:>16} {:>12} {:>14}",
+        "mode", "events", "mean per event", "intrusion", "simulated end"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>8} {:>16} {:>11.2}% {:>14}",
+            r.mode.to_string(),
+            r.events,
+            r.mean_per_event.to_string(),
+            r.intrusion_ratio * 100.0,
+            r.end.to_string(),
+        );
+    }
+    println!("\npaper anchors: hybrid_mon < 120 us per event; terminal > 2.4 ms (20x+ more).");
+}

@@ -1,0 +1,15 @@
+//! E5 — the mailbox microbenchmark: SUPRENUM's asynchronous mailbox
+//! send behaves synchronously when the receiver is busy.
+
+use suprenum_monitor::experiments::mailbox_anatomy;
+
+fn main() {
+    let r = mailbox_anatomy(1992);
+    println!("mailbox send blocking (receiver work phase {}):", r.receiver_work);
+    println!("  receiver busy: {}", r.busy_receiver_block);
+    println!("  receiver idle: {}", r.idle_receiver_block);
+    println!(
+        "  ratio: {}x — the sender waits until the receiver relinquishes the CPU",
+        r.busy_receiver_block.as_nanos() / r.idle_receiver_block.as_nanos().max(1)
+    );
+}

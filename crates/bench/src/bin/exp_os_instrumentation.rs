@@ -1,0 +1,18 @@
+//! E6 — the paper's future work, implemented: kernel-level
+//! instrumentation of the node scheduler and mailbox service.
+
+use suprenum_monitor::experiments::os_instrumentation;
+
+fn main() {
+    let r = os_instrumentation(1992);
+    println!("kernel scheduler events recorded: {}", r.kernel_events);
+    println!("\nper-node CPU busy fraction (ray-tracing phase):");
+    for (name, busy) in &r.node_cpu_busy {
+        println!("  {name:<12} {:5.1}%", busy * 100.0);
+    }
+    println!(
+        "\nmaster-node mailbox-service share: {:.2}% — internode communication made visible",
+        r.master_node_mailbox_fraction * 100.0
+    );
+    println!("\n{}", r.gantt_text);
+}

@@ -1,0 +1,16 @@
+//! F7 — regenerate Figure 7: mailbox communication, ray tracer on two
+//! processors. Prints the Gantt chart and writes `fig7.svg`.
+
+use suprenum_monitor::experiments::{fig7_mailbox_gantt, Scale};
+
+fn main() {
+    let fig7 = fig7_mailbox_gantt(1992, Scale::Paper);
+    println!("{}", fig7.gantt_text);
+    println!("servant utilization: {:.1}%", fig7.servant_utilization_percent);
+    println!(
+        "median coupling gap (master Send->Wait vs servant Work->Wait): {:.0} us (work {:.1} ms)",
+        fig7.median_coupling_gap_us, fig7.mean_work_ms
+    );
+    std::fs::write("fig7.svg", fig7.gantt_svg).expect("write fig7.svg");
+    println!("wrote fig7.svg");
+}

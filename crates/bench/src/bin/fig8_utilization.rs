@@ -1,0 +1,14 @@
+//! F8 — regenerate Figure 8: servant utilization under mailbox
+//! communication on 16 processors (paper: about 15%).
+
+use suprenum_monitor::experiments::{fig8_mailbox_utilization, Scale};
+
+fn main() {
+    let r = fig8_mailbox_utilization(1992, Scale::Paper);
+    println!("Figure 8 — mailbox communication, 16 processors:");
+    println!(
+        "  servant utilization: measured {:.1}% (steady {:.1}%), paper ~{:.0}%",
+        r.measured_percent, r.steady_percent, r.paper_percent
+    );
+    println!("  jobs: {}  simulated end: {}", r.jobs, r.end);
+}

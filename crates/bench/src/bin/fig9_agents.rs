@@ -1,0 +1,20 @@
+//! F9 — regenerate Figure 9: communication agents (version 2). Prints
+//! the Gantt chart with the agent band and writes `fig9.svg`.
+
+use suprenum_monitor::experiments::{fig9_agents, Scale};
+
+fn main() {
+    let r = fig9_agents(1992, Scale::Paper);
+    println!("{}", r.gantt_text);
+    println!(
+        "servant utilization: measured {:.1}% (paper ~{:.0}%)",
+        r.utilization.measured_percent, r.utilization.paper_percent
+    );
+    println!("agent pool size: {} (paper: 5)", r.agent_pool_size);
+    println!(
+        "agent state durations: Freed {:.0} us (\"extremely short\"), Forward {:.1} ms",
+        r.mean_freed_us, r.mean_forward_ms
+    );
+    std::fs::write("fig9.svg", r.gantt_svg).expect("write fig9.svg");
+    println!("wrote fig9.svg");
+}

@@ -1,0 +1,4 @@
+//! Additional instrumented applications demonstrating that the
+//! monitoring toolkit is application-agnostic.
+
+pub mod jacobi;

@@ -1,0 +1,191 @@
+//! A minimal event-loop driver over [`EventQueue`].
+//!
+//! [`EventLoop`] owns the queue and the simulated clock. A handler closure
+//! is invoked for each popped event and may schedule further events. The
+//! loop terminates when the queue drains, when a step budget is exhausted,
+//! or when a time horizon is reached — whichever comes first.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Why an [`EventLoop`] run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely.
+    Drained,
+    /// The configured time horizon was reached before the queue drained.
+    Horizon,
+    /// The step budget was exhausted (usually indicates a livelock bug).
+    StepBudget,
+}
+
+/// An event loop with a simulated clock.
+///
+/// # Examples
+///
+/// ```
+/// use des::engine::EventLoop;
+/// use des::time::{SimDuration, SimTime};
+///
+/// let mut sim: EventLoop<u32> = EventLoop::new();
+/// sim.schedule(SimTime::ZERO, 0);
+/// let mut count = 0;
+/// sim.run(|sim, _now, n| {
+///     count += 1;
+///     if n < 9 {
+///         sim.schedule_in(SimDuration::from_nanos(1), n + 1);
+///     }
+/// });
+/// assert_eq!(count, 10);
+/// assert_eq!(sim.now(), SimTime::from_nanos(9));
+/// ```
+#[derive(Debug)]
+pub struct EventLoop<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> EventLoop<E> {
+    /// Creates an empty event loop with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventLoop { queue: EventQueue::new(), now: SimTime::ZERO }
+    }
+
+    /// Returns the current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the simulated past — such an event would
+    /// silently corrupt causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule event in the past ({at} < {})", self.now);
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Discards all pending events. The clock keeps its current value.
+    ///
+    /// Used to halt a simulation immediately, e.g. when the application's
+    /// initial process exits and the whole run terminates.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Runs until the queue drains, invoking `handler` for every event.
+    pub fn run<F>(&mut self, handler: F) -> StopReason
+    where
+        F: FnMut(&mut Self, SimTime, E),
+    {
+        self.run_bounded(SimTime::MAX, u64::MAX, handler)
+    }
+
+    /// Runs until the queue drains, `horizon` is passed, or `max_steps`
+    /// events have been handled.
+    ///
+    /// Events scheduled *after* `horizon` are left in the queue; the clock
+    /// never advances beyond the last handled event.
+    pub fn run_bounded<F>(&mut self, horizon: SimTime, max_steps: u64, mut handler: F) -> StopReason
+    where
+        F: FnMut(&mut Self, SimTime, E),
+    {
+        let mut steps = 0u64;
+        loop {
+            match self.queue.peek_time() {
+                None => return StopReason::Drained,
+                Some(t) if t > horizon => return StopReason::Horizon,
+                Some(_) => {}
+            }
+            if steps >= max_steps {
+                return StopReason::StepBudget;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked nonempty queue");
+            debug_assert!(t >= self.now, "event queue went backwards in time");
+            self.now = t;
+            handler(self, t, ev);
+            steps += 1;
+        }
+    }
+}
+
+impl<E> Default for EventLoop<E> {
+    fn default() -> Self {
+        EventLoop::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_time_order() {
+        let mut sim = EventLoop::new();
+        sim.schedule(SimTime::from_nanos(10), "b");
+        sim.schedule(SimTime::from_nanos(5), "a");
+        let mut seen = Vec::new();
+        let reason = sim.run(|_, now, ev| seen.push((now.as_nanos(), ev)));
+        assert_eq!(reason, StopReason::Drained);
+        assert_eq!(seen, vec![(5, "a"), (10, "b")]);
+    }
+
+    #[test]
+    fn horizon_stops_early_and_preserves_future_events() {
+        let mut sim = EventLoop::new();
+        sim.schedule(SimTime::from_nanos(1), 1);
+        sim.schedule(SimTime::from_nanos(100), 2);
+        let reason = sim.run_bounded(SimTime::from_nanos(50), u64::MAX, |_, _, _| {});
+        assert_eq!(reason, StopReason::Horizon);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.now(), SimTime::from_nanos(1));
+    }
+
+    #[test]
+    fn step_budget_detects_livelock() {
+        let mut sim = EventLoop::new();
+        sim.schedule(SimTime::ZERO, ());
+        // A handler that perpetually reschedules at the same instant.
+        let reason = sim.run_bounded(SimTime::MAX, 1000, |sim, now, ()| {
+            sim.schedule(now, ());
+        });
+        assert_eq!(reason, StopReason::StepBudget);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_past_panics() {
+        let mut sim = EventLoop::new();
+        sim.schedule(SimTime::from_nanos(10), ());
+        sim.run(|sim, _, ()| {
+            sim.schedule(SimTime::from_nanos(1), ());
+        });
+    }
+
+    #[test]
+    fn handler_can_cascade() {
+        let mut sim = EventLoop::new();
+        sim.schedule(SimTime::ZERO, 0u32);
+        let mut total = 0u32;
+        sim.run(|sim, _, n| {
+            total += n;
+            if n < 5 {
+                sim.schedule_in(SimDuration::from_micros(1), n + 1);
+            }
+        });
+        assert_eq!(total, 15);
+        assert_eq!(sim.now(), SimTime::from_micros(5));
+    }
+}

@@ -1,0 +1,176 @@
+//! Deterministic priority event queue.
+//!
+//! Events are ordered by timestamp; events with equal timestamps pop in the
+//! order they were pushed (FIFO tie-break by a monotonically increasing
+//! sequence number). This is what makes the whole simulation deterministic:
+//! `BinaryHeap` alone gives no guarantee for equal keys.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A timestamp-ordered queue of pending events with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use des::queue::EventQueue;
+/// use des::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(5), "late");
+/// q.push(SimTime::from_nanos(1), "early");
+/// q.push(SimTime::from_nanos(5), "late-second");
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "late")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "late-second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Creates an empty queue with space for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+    }
+
+    /// Enqueues `event` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Returns the timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for &t in &[30u64, 10, 20, 5, 25] {
+            q.push(SimTime::from_nanos(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![5, 10, 20, 25, 30]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    proptest! {
+        /// Popping always yields a non-decreasing time sequence, and for
+        /// equal times the original insertion order.
+        #[test]
+        fn pop_sequence_is_sorted_and_stable(times in proptest::collection::vec(0u64..50, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(t), i);
+            }
+            let mut prev: Option<(SimTime, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((pt, pi)) = prev {
+                    prop_assert!(t >= pt);
+                    if t == pt {
+                        prop_assert!(i > pi, "FIFO violated for equal timestamps");
+                    }
+                }
+                prev = Some((t, i));
+            }
+        }
+    }
+}

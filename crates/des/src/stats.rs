@@ -1,0 +1,373 @@
+//! Statistics accumulators used across the workspace.
+//!
+//! [`Accumulator`] tracks scalar samples (count/mean/min/max); [`Histogram`]
+//! buckets durations; [`TimeWeighted`] integrates a piecewise-constant value
+//! over simulated time, which is exactly what resource-utilization metrics
+//! (CPU busy fraction, bus occupancy, FIFO fill level) need.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Online accumulator for scalar samples.
+///
+/// # Examples
+///
+/// ```
+/// use des::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for v in [1.0, 2.0, 3.0] {
+///     acc.record(v);
+/// }
+/// assert_eq!(acc.count(), 3);
+/// assert_eq!(acc.mean(), 2.0);
+/// assert_eq!(acc.min(), Some(1.0));
+/// assert_eq!(acc.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Records a duration sample in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population variance, or 0.0 when empty.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        (self.sum_sq / n - (self.sum / n).powi(2)).max(0.0)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min.unwrap_or(f64::NAN),
+            self.max.unwrap_or(f64::NAN)
+        )
+    }
+}
+
+/// A fixed-bucket histogram over duration samples.
+///
+/// Bucket boundaries are supplied at construction; samples at or above the
+/// last boundary land in an overflow bucket.
+///
+/// # Examples
+///
+/// ```
+/// use des::stats::Histogram;
+/// use des::time::SimDuration;
+///
+/// let mut h = Histogram::new(&[
+///     SimDuration::from_micros(10),
+///     SimDuration::from_micros(100),
+/// ]);
+/// h.record(SimDuration::from_micros(5));
+/// h.record(SimDuration::from_micros(50));
+/// h.record(SimDuration::from_millis(2));
+/// assert_eq!(h.counts(), &[1, 1, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<SimDuration>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[SimDuration]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1] }
+    }
+
+    /// Creates a histogram with `n` exponentially growing buckets starting
+    /// at `first` (each bound doubles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `first` is zero.
+    pub fn exponential(first: SimDuration, n: usize) -> Self {
+        assert!(n > 0, "need at least one bucket");
+        assert!(!first.is_zero(), "first bound must be nonzero");
+        let bounds: Vec<SimDuration> =
+            (0..n).map(|i| SimDuration::from_nanos(first.as_nanos() << i)).collect();
+        Histogram::new(&bounds)
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let idx = self.bounds.partition_point(|&b| b <= d);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[SimDuration] {
+        &self.bounds
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Integrates a piecewise-constant value over simulated time.
+///
+/// Typical use: set the value to 1.0 while a CPU is busy and 0.0 while
+/// idle; [`TimeWeighted::mean`] then yields the utilization over the
+/// observed window.
+///
+/// # Examples
+///
+/// ```
+/// use des::stats::TimeWeighted;
+/// use des::time::SimTime;
+///
+/// let mut u = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// u.set(SimTime::from_micros(2), 1.0); // busy from 2us
+/// u.set(SimTime::from_micros(6), 0.0); // idle from 6us
+/// assert_eq!(u.mean(SimTime::from_micros(8)), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_change: SimTime,
+    current: f64,
+    integral: f64, // value * seconds
+}
+
+impl TimeWeighted {
+    /// Starts integrating at `start` with initial `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted { start, last_change: start, current: value, integral: 0.0 }
+    }
+
+    /// Changes the value at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous change (debug builds only).
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_change, "time-weighted value set in the past");
+        self.integral += self.current * now.saturating_since(self.last_change).as_secs_f64();
+        self.last_change = now;
+        self.current = value;
+    }
+
+    /// Adds `delta` to the current value at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.current + delta;
+        self.set(now, v);
+    }
+
+    /// Returns the current value.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Returns the time-weighted mean over `[start, end]`.
+    ///
+    /// Returns 0.0 for an empty window.
+    pub fn mean(&self, end: SimTime) -> f64 {
+        let window = end.saturating_since(self.start).as_secs_f64();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        let tail = self.current * end.saturating_since(self.last_change).as_secs_f64();
+        (self.integral + tail) / window
+    }
+
+    /// Returns the accumulated integral (value × seconds) up to `end`.
+    pub fn integral(&self, end: SimTime) -> f64 {
+        self.integral + self.current * end.saturating_since(self.last_change).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_moments() {
+        let mut a = Accumulator::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.record(v);
+        }
+        assert_eq!(a.count(), 8);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        assert!((a.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(a.min(), Some(2.0));
+        assert_eq!(a.max(), Some(9.0));
+    }
+
+    #[test]
+    fn accumulator_merge_matches_combined() {
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        let mut all = Accumulator::new();
+        for i in 0..10 {
+            let v = i as f64;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn empty_accumulator_is_safe() {
+        let a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.min(), None);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = Histogram::new(&[SimDuration::from_nanos(10), SimDuration::from_nanos(20)]);
+        h.record(SimDuration::from_nanos(9)); // below first bound
+        h.record(SimDuration::from_nanos(10)); // exactly on bound -> next bucket
+        h.record(SimDuration::from_nanos(19));
+        h.record(SimDuration::from_nanos(20)); // overflow
+        assert_eq!(h.counts(), &[1, 2, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn exponential_histogram_doubles() {
+        let h = Histogram::exponential(SimDuration::from_nanos(100), 4);
+        let b: Vec<u64> = h.bounds().iter().map(|d| d.as_nanos()).collect();
+        assert_eq!(b, vec![100, 200, 400, 800]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[SimDuration::from_nanos(20), SimDuration::from_nanos(10)]);
+    }
+
+    #[test]
+    fn time_weighted_utilization() {
+        let mut u = TimeWeighted::new(SimTime::from_secs(1), 1.0);
+        u.set(SimTime::from_secs(2), 0.0);
+        u.set(SimTime::from_secs(3), 1.0);
+        // Busy for 1s (1..2) + 1s (3..4) of a 3s window.
+        assert!((u.mean(SimTime::from_secs(4)) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_add_tracks_level() {
+        let mut q = TimeWeighted::new(SimTime::ZERO, 0.0);
+        q.add(SimTime::from_secs(1), 2.0);
+        q.add(SimTime::from_secs(2), -1.0);
+        assert_eq!(q.current(), 1.0);
+        // Integral: 0*1 + 2*1 + 1*1 = 3 value-seconds over 3 seconds.
+        assert!((q.mean(SimTime::from_secs(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_empty_window() {
+        let u = TimeWeighted::new(SimTime::from_secs(5), 1.0);
+        assert_eq!(u.mean(SimTime::from_secs(5)), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Serializing a 48-bit event onto the seven-segment display.
+//!
+//! The 48 payload bits are split MSB-first into 16 groups of 3 bits; each
+//! group `mᵢ` is preceded by the triggerword, giving the 32-pattern
+//! sequence `T m0 T m1 … T m15`. The token therefore occupies `m0..m5`
+//! (16 bits + 2 bits of `m5`) and the parameter the remainder — but
+//! callers never need to know that: [`encode`] and
+//! [`crate::decode::Decoder`] are exact inverses.
+
+use crate::event::MonEvent;
+use crate::pattern::Pattern;
+
+/// Number of `(T, mᵢ)` pairs per event.
+pub const PAIRS_PER_EVENT: usize = 16;
+
+/// Number of display writes per event (`2 ×` [`PAIRS_PER_EVENT`]).
+pub const WRITES_PER_EVENT: usize = 2 * PAIRS_PER_EVENT;
+
+/// Encodes an event into the exact 32-pattern display sequence.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmon::{encode::encode, MonEvent, Pattern};
+///
+/// let seq = encode(MonEvent::new(0, 0));
+/// assert_eq!(seq.len(), 32);
+/// // Alternating trigger / data patterns.
+/// assert!(seq.iter().step_by(2).all(|p| p.is_trigger()));
+/// assert!(seq.iter().skip(1).step_by(2).all(|p| p.payload() == Some(0)));
+/// ```
+pub fn encode(event: MonEvent) -> [Pattern; WRITES_PER_EVENT] {
+    encode_raw(event.raw48())
+}
+
+/// Encodes a raw 48-bit value (bits above 47 are ignored).
+pub fn encode_raw(raw: u64) -> [Pattern; WRITES_PER_EVENT] {
+    let raw = raw & 0xFFFF_FFFF_FFFF;
+    let mut out = [Pattern::TRIGGER; WRITES_PER_EVENT];
+    for i in 0..PAIRS_PER_EVENT {
+        // m0 carries the most significant 3 bits.
+        let shift = 3 * (PAIRS_PER_EVENT - 1 - i);
+        let bits = ((raw >> shift) & 0b111) as u8;
+        out[2 * i] = Pattern::TRIGGER;
+        out[2 * i + 1] = Pattern::data(bits);
+    }
+    out
+}
+
+/// Reassembles 16 data groups (3 bits each, MSB-first) into the 48-bit
+/// payload. Inverse of the grouping done by [`encode_raw`]; used by the
+/// decoder.
+///
+/// # Panics
+///
+/// Panics if `groups` does not contain exactly [`PAIRS_PER_EVENT`] entries
+/// or any group exceeds 3 bits.
+pub fn assemble_groups(groups: &[u8]) -> u64 {
+    assert_eq!(groups.len(), PAIRS_PER_EVENT, "need exactly 16 data groups");
+    let mut raw = 0u64;
+    for &g in groups {
+        assert!(g < 8, "data group exceeds 3 bits");
+        raw = (raw << 3) | g as u64;
+    }
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sequence_shape() {
+        let seq = encode(MonEvent::new(0xABCD, 0x1234_5678));
+        assert_eq!(seq.len(), 32);
+        for (i, p) in seq.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(p.is_trigger(), "position {i} must be the triggerword");
+            } else {
+                assert!(p.payload().is_some(), "position {i} must be a data pattern");
+            }
+        }
+    }
+
+    #[test]
+    fn msb_first_grouping() {
+        // Token 0xE000 => top three bits are 0b111 => m0 = 7.
+        let seq = encode(MonEvent::new(0xE000, 0));
+        assert_eq!(seq[1].payload(), Some(7));
+        // Everything else zero.
+        assert!(seq.iter().skip(3).step_by(2).all(|p| p.payload() == Some(0)));
+    }
+
+    #[test]
+    fn lsb_lands_in_m15() {
+        let seq = encode(MonEvent::new(0, 1));
+        assert_eq!(seq[31].payload(), Some(1));
+    }
+
+    #[test]
+    fn assemble_inverts_grouping() {
+        let raw = 0x8765_4321_FEDCu64;
+        let seq = encode_raw(raw);
+        let groups: Vec<u8> = seq.iter().filter_map(|p| p.payload()).collect();
+        assert_eq!(assemble_groups(&groups), raw);
+    }
+
+    #[test]
+    #[should_panic(expected = "16 data groups")]
+    fn assemble_rejects_short_input() {
+        assemble_groups(&[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 3 bits")]
+    fn assemble_rejects_wide_group() {
+        assemble_groups(&[8; PAIRS_PER_EVENT]);
+    }
+
+    proptest! {
+        #[test]
+        fn encode_assemble_roundtrip(raw in 0u64..(1 << 48)) {
+            let seq = encode_raw(raw);
+            let groups: Vec<u8> = seq.iter().filter_map(|p| p.payload()).collect();
+            prop_assert_eq!(assemble_groups(&groups), raw);
+        }
+
+        #[test]
+        fn high_bits_ignored(raw in any::<u64>()) {
+            prop_assert_eq!(encode_raw(raw), encode_raw(raw & 0xFFFF_FFFF_FFFF));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Seven-segment display patterns.
+//!
+//! The SUPRENUM node's front-cover display is driven by a gate array that
+//! can show only **16 distinct patterns**. The monitoring protocol reserves
+//! one of them as the triggerword `T`; eight of the remaining patterns
+//! carry 3 bits of payload each. The other seven patterns stay available
+//! for the communication firmware's own status display — the decoder
+//! ignores them outside a `(T, mᵢ)` pair.
+
+use std::fmt;
+
+/// One of the 16 patterns the seven-segment display can show.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmon::Pattern;
+///
+/// let p = Pattern::new(5).unwrap();
+/// assert_eq!(p.index(), 5);
+/// assert!(Pattern::new(16).is_none());
+/// assert_eq!(Pattern::TRIGGER.index(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pattern(u8);
+
+impl Pattern {
+    /// The reserved triggerword `T` announcing that measurement data
+    /// follows. By convention the highest pattern index is reserved.
+    pub const TRIGGER: Pattern = Pattern(15);
+
+    /// Number of distinct patterns the display hardware can show.
+    pub const COUNT: u8 = 16;
+
+    /// Creates a pattern from a display index, returning `None` if the
+    /// index exceeds what the gate array can display.
+    pub const fn new(index: u8) -> Option<Pattern> {
+        if index < Self::COUNT {
+            Some(Pattern(index))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a data pattern carrying the low 3 bits of `bits`.
+    ///
+    /// Data patterns occupy indices 0–7, so they can never collide with
+    /// the triggerword.
+    pub const fn data(bits: u8) -> Pattern {
+        Pattern(bits & 0b111)
+    }
+
+    /// The display index (0–15).
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if this is the reserved triggerword.
+    pub const fn is_trigger(self) -> bool {
+        self.0 == Self::TRIGGER.0
+    }
+
+    /// Returns the 3 payload bits if this is a data pattern (index 0–7).
+    pub const fn payload(self) -> Option<u8> {
+        if self.0 < 8 {
+            Some(self.0)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_trigger() {
+            write!(f, "T")
+        } else {
+            write!(f, "m{:X}", self.0)
+        }
+    }
+}
+
+impl TryFrom<u8> for Pattern {
+    type Error = InvalidPatternError;
+
+    fn try_from(index: u8) -> Result<Self, Self::Error> {
+        Pattern::new(index).ok_or(InvalidPatternError { index })
+    }
+}
+
+/// Error returned when a display index exceeds the 16 representable
+/// patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidPatternError {
+    index: u8,
+}
+
+impl fmt::Display for InvalidPatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "display index {} exceeds the 16 representable patterns", self.index)
+    }
+}
+
+impl std::error::Error for InvalidPatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_is_reserved_top_pattern() {
+        assert!(Pattern::TRIGGER.is_trigger());
+        assert_eq!(Pattern::TRIGGER.index(), 15);
+        assert_eq!(Pattern::TRIGGER.payload(), None);
+    }
+
+    #[test]
+    fn data_patterns_never_collide_with_trigger() {
+        for bits in 0..=u8::MAX {
+            let p = Pattern::data(bits);
+            assert!(!p.is_trigger());
+            assert_eq!(p.payload(), Some(bits & 0b111));
+        }
+    }
+
+    #[test]
+    fn new_validates_range() {
+        assert!(Pattern::new(15).is_some());
+        assert!(Pattern::new(16).is_none());
+        assert!(Pattern::try_from(20).is_err());
+        let err = Pattern::try_from(20).unwrap_err();
+        assert!(err.to_string().contains("20"));
+    }
+
+    #[test]
+    fn firmware_status_patterns_carry_no_payload() {
+        // Indices 8..15 are neither trigger (except 15) nor data.
+        for i in 8..15 {
+            let p = Pattern::new(i).unwrap();
+            assert!(!p.is_trigger());
+            assert_eq!(p.payload(), None);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", Pattern::TRIGGER), "T");
+        assert_eq!(format!("{}", Pattern::data(5)), "m5");
+    }
+}

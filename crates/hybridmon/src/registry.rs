@@ -1,0 +1,150 @@
+//! Naming instrumentation points.
+//!
+//! Relating recorded tokens back to the source code is the whole point of
+//! hybrid monitoring ("it is relatively easy to relate the event traces …
+//! to the measured program"). A [`TokenRegistry`] is the measurement-side
+//! companion of the program's instrumentation: it maps each
+//! [`EventToken`] to the name of the activity the instrumentation point
+//! marks, and optionally to the *track* (process role) it belongs to.
+
+use std::collections::BTreeMap;
+
+use crate::event::EventToken;
+
+/// A single registered instrumentation point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenInfo {
+    /// Name of the activity this token begins (e.g. `"Work"`).
+    pub name: String,
+    /// Logical grouping, usually the process role (e.g. `"Servant"`).
+    pub group: String,
+}
+
+/// Maps event tokens to human-readable activity names.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmon::{EventToken, TokenRegistry};
+///
+/// let mut reg = TokenRegistry::new();
+/// reg.register(EventToken::new(0x10), "Work", "Servant");
+/// assert_eq!(reg.name(EventToken::new(0x10)), Some("Work"));
+/// assert_eq!(reg.name(EventToken::new(0x99)), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TokenRegistry {
+    entries: BTreeMap<EventToken, TokenInfo>,
+}
+
+impl TokenRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        TokenRegistry::default()
+    }
+
+    /// Registers (or overwrites) a token's name and group.
+    pub fn register(
+        &mut self,
+        token: EventToken,
+        name: impl Into<String>,
+        group: impl Into<String>,
+    ) -> &mut Self {
+        self.entries.insert(token, TokenInfo { name: name.into(), group: group.into() });
+        self
+    }
+
+    /// Looks up a token's activity name.
+    pub fn name(&self, token: EventToken) -> Option<&str> {
+        self.entries.get(&token).map(|e| e.name.as_str())
+    }
+
+    /// Looks up a token's group.
+    pub fn group(&self, token: EventToken) -> Option<&str> {
+        self.entries.get(&token).map(|e| e.group.as_str())
+    }
+
+    /// Full info for a token.
+    pub fn info(&self, token: EventToken) -> Option<&TokenInfo> {
+        self.entries.get(&token)
+    }
+
+    /// The name, or a hex fallback for unregistered tokens.
+    pub fn name_or_hex(&self, token: EventToken) -> String {
+        self.name(token).map(str::to_owned).unwrap_or_else(|| format!("{token}"))
+    }
+
+    /// Iterates over all registered tokens in token order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventToken, &TokenInfo)> {
+        self.entries.iter().map(|(&t, i)| (t, i))
+    }
+
+    /// Number of registered tokens.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no tokens are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<(EventToken, TokenInfo)> for TokenRegistry {
+    fn from_iter<I: IntoIterator<Item = (EventToken, TokenInfo)>>(iter: I) -> Self {
+        TokenRegistry { entries: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = TokenRegistry::new();
+        reg.register(EventToken::new(1), "Distribute Jobs", "Master")
+            .register(EventToken::new(2), "Send Jobs", "Master");
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.name(EventToken::new(1)), Some("Distribute Jobs"));
+        assert_eq!(reg.group(EventToken::new(2)), Some("Master"));
+        assert_eq!(reg.info(EventToken::new(3)), None);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut reg = TokenRegistry::new();
+        reg.register(EventToken::new(1), "Old", "G");
+        reg.register(EventToken::new(1), "New", "G");
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.name(EventToken::new(1)), Some("New"));
+    }
+
+    #[test]
+    fn hex_fallback() {
+        let reg = TokenRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.name_or_hex(EventToken::new(0xAB)), "0x00AB");
+    }
+
+    #[test]
+    fn iteration_is_token_ordered() {
+        let mut reg = TokenRegistry::new();
+        reg.register(EventToken::new(5), "c", "g");
+        reg.register(EventToken::new(1), "a", "g");
+        reg.register(EventToken::new(3), "b", "g");
+        let tokens: Vec<u16> = reg.iter().map(|(t, _)| t.value()).collect();
+        assert_eq!(tokens, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let reg: TokenRegistry = [(
+            EventToken::new(7),
+            TokenInfo { name: "Work".into(), group: "Servant".into() },
+        )]
+        .into_iter()
+        .collect();
+        assert_eq!(reg.name(EventToken::new(7)), Some("Work"));
+    }
+}

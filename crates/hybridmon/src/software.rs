@@ -1,0 +1,193 @@
+//! The pure-software monitoring baseline.
+//!
+//! Before hybrid monitoring, programmers "resort to rudimentary methods,
+//! such as writing log-files during program execution". This module models
+//! that approach faithfully enough to compare against: each instrumented
+//! event is stored in a node-local buffer and stamped with the node's
+//! *local* clock — which on a multiprocessor without a global clock is
+//! offset and drifting relative to every other node's. Merging such
+//! per-node logs by timestamp produces the causality violations the paper
+//! uses to motivate the ZM4's globally valid time stamps.
+
+use des::clock::ClockModel;
+use des::time::SimTime;
+
+use crate::event::MonEvent;
+
+/// One record in a software-monitoring log: the event plus the *local*
+/// clock reading at which it was recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftRecord {
+    /// The instrumented event.
+    pub event: MonEvent,
+    /// Local clock reading, in local nanoseconds. Comparable only with
+    /// records from the same node.
+    pub local_ts: u64,
+    /// True global time (ground truth, unavailable to a real software
+    /// monitor; kept for validation).
+    pub true_time: SimTime,
+}
+
+/// A node-local software monitor: an in-memory event buffer with a local
+/// clock.
+///
+/// # Examples
+///
+/// ```
+/// use des::clock::ClockModel;
+/// use des::time::{SimDuration, SimTime};
+/// use hybridmon::{software::SoftwareMonitor, MonEvent};
+///
+/// let clock = ClockModel::free_running(1_000, 0.0, SimDuration::from_micros(10));
+/// let mut mon = SoftwareMonitor::new(clock, 1024);
+/// mon.record(SimTime::from_micros(50), MonEvent::new(1, 0));
+/// let log = mon.records();
+/// assert_eq!(log.len(), 1);
+/// // The local stamp includes the 1us offset, quantized to 10us.
+/// assert_eq!(log[0].local_ts, 50_000); // 51_000 quantized down to 50_000
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoftwareMonitor {
+    clock: ClockModel,
+    capacity: usize,
+    records: Vec<SoftRecord>,
+    dropped: u64,
+}
+
+impl SoftwareMonitor {
+    /// Creates a monitor with the given local clock and buffer capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(clock: ClockModel, capacity: usize) -> Self {
+        assert!(capacity > 0, "software monitor buffer must hold at least one record");
+        SoftwareMonitor { clock, capacity, records: Vec::new(), dropped: 0 }
+    }
+
+    /// Records an event at true time `now`, stamping it with the local
+    /// clock. Records beyond the buffer capacity are dropped and counted —
+    /// a real log buffer fills up.
+    pub fn record(&mut self, now: SimTime, event: MonEvent) {
+        if self.records.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(SoftRecord {
+            event,
+            local_ts: self.clock.stamp(now),
+            true_time: now,
+        });
+    }
+
+    /// The recorded log, in recording order.
+    pub fn records(&self) -> &[SoftRecord] {
+        &self.records
+    }
+
+    /// Number of events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The local clock model in use.
+    pub fn clock(&self) -> &ClockModel {
+        &self.clock
+    }
+
+    /// Consumes the monitor and returns its log.
+    pub fn into_records(self) -> Vec<SoftRecord> {
+        self.records
+    }
+}
+
+/// Merges per-node software logs by their **local** timestamps — the only
+/// ordering a real software monitor has. Returns `(node_index, record)`
+/// pairs in (misleading) merged order.
+///
+/// This is deliberately the *wrong* thing to do across unsynchronized
+/// clocks; [`count_order_inversions`] quantifies how wrong.
+pub fn merge_by_local_ts(logs: &[Vec<SoftRecord>]) -> Vec<(usize, SoftRecord)> {
+    let mut all: Vec<(usize, SoftRecord)> = logs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, log)| log.iter().map(move |&r| (i, r)))
+        .collect();
+    all.sort_by_key(|(i, r)| (r.local_ts, *i));
+    all
+}
+
+/// Counts adjacent pairs in a merged log whose *true* times are in the
+/// opposite order of their merged (local-timestamp) order — i.e. how many
+/// neighbouring events the merge visibly mis-ordered.
+pub fn count_order_inversions(merged: &[(usize, SoftRecord)]) -> u64 {
+    merged.windows(2).filter(|w| w[1].1.true_time < w[0].1.true_time).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::time::SimDuration;
+
+    fn quick_clock(offset_ns: i64) -> ClockModel {
+        ClockModel::free_running(offset_ns, 0.0, SimDuration::from_nanos(1))
+    }
+
+    #[test]
+    fn records_and_caps() {
+        let mut m = SoftwareMonitor::new(quick_clock(0), 2);
+        for i in 0..5 {
+            m.record(SimTime::from_micros(i), MonEvent::new(i as u16, 0));
+        }
+        assert_eq!(m.records().len(), 2);
+        assert_eq!(m.dropped(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_capacity_rejected() {
+        SoftwareMonitor::new(quick_clock(0), 0);
+    }
+
+    #[test]
+    fn skewed_clocks_produce_inversions() {
+        // Node 0 is 1ms fast; node 1 is exact. Event A happens on node 0
+        // at t=1ms, event B on node 1 at t=1.5ms — A truly precedes B,
+        // but local stamps say A=2.0ms, B=1.5ms.
+        let mut n0 = SoftwareMonitor::new(quick_clock(1_000_000), 16);
+        let mut n1 = SoftwareMonitor::new(quick_clock(0), 16);
+        n0.record(SimTime::from_micros(1_000), MonEvent::new(0xA, 0));
+        n1.record(SimTime::from_micros(1_500), MonEvent::new(0xB, 0));
+        let merged = merge_by_local_ts(&[n0.into_records(), n1.into_records()]);
+        assert_eq!(merged[0].1.event.token.value(), 0xB, "merge puts B first");
+        assert_eq!(count_order_inversions(&merged), 1);
+    }
+
+    #[test]
+    fn synchronized_clocks_produce_no_inversions() {
+        let mut n0 = SoftwareMonitor::new(quick_clock(0), 16);
+        let mut n1 = SoftwareMonitor::new(quick_clock(0), 16);
+        for i in 0..10u64 {
+            let t = SimTime::from_micros(i * 100);
+            if i % 2 == 0 {
+                n0.record(t, MonEvent::new(i as u16, 0));
+            } else {
+                n1.record(t, MonEvent::new(i as u16, 0));
+            }
+        }
+        let merged = merge_by_local_ts(&[n0.into_records(), n1.into_records()]);
+        assert_eq!(count_order_inversions(&merged), 0);
+        // And order matches true order.
+        for w in merged.windows(2) {
+            assert!(w[0].1.true_time <= w[1].1.true_time);
+        }
+    }
+
+    #[test]
+    fn coarse_resolution_quantizes_stamps() {
+        let clock = ClockModel::free_running(0, 0.0, SimDuration::from_micros(10));
+        let mut m = SoftwareMonitor::new(clock, 4);
+        m.record(SimTime::from_nanos(19_999), MonEvent::new(1, 1));
+        assert_eq!(m.records()[0].local_ts, 10_000);
+    }
+}

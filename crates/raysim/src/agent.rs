@@ -1,0 +1,204 @@
+//! Communication agents (paper §4.3, versions 2–4).
+//!
+//! An agent is a light-weight process running on the *sender's* node
+//! whose only task is to forward a message and absorb the blocking that
+//! SUPRENUM's mailbox mechanism imposes on senders. The owner indicates
+//! work "by setting a shared variable" and relinquishes the processor;
+//! the agent forwards the message and is freed when the receiver's
+//! mailbox accepts it.
+//!
+//! The agent's observable states are exactly Figure 9's: *Wake Up* →
+//! *Forward Message* → *Freed* → *Sleep*.
+
+use suprenum::{Action, ProcCtx, Process, Resume};
+
+use crate::context::{AgentPool, Shared};
+use crate::tokens;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AState {
+    Boot,
+    Waiting,
+    WokeEmit,
+    ForwardEmit,
+    Sending,
+    FreedEmit,
+    SleepEmit,
+}
+
+/// A communication agent belonging to one pool.
+pub struct Agent {
+    pool: Shared<AgentPool>,
+    index: u32,
+    state: AState,
+    current: Option<(suprenum::ProcessId, suprenum::Message)>,
+}
+
+impl Agent {
+    /// Creates agent number `index` of `pool`. The caller (owner
+    /// process) must already have counted it in `pool.total_agents`.
+    pub fn new(pool: Shared<AgentPool>, index: u32) -> Box<Agent> {
+        Box::new(Agent { pool, index, state: AState::Boot, current: None })
+    }
+
+    fn emit(&self, token: u16) -> Action {
+        Action::Emit { token, param: self.index }
+    }
+
+    /// After finishing (or skipping) work: re-check the queue before
+    /// sleeping, so work enqueued while we were busy (and therefore not
+    /// designatable) is not stranded.
+    fn after_sleep_emit(&mut self) -> Action {
+        let has_work = !self.pool.borrow().queue.is_empty();
+        if has_work {
+            self.state = AState::WokeEmit;
+            self.emit(tokens::AGENT_WAKE_UP)
+        } else {
+            self.state = AState::Waiting;
+            let mut pool = self.pool.borrow_mut();
+            pool.free.push(self.index);
+            let cond = pool.agent_cond(self.index);
+            Action::WaitCond(cond)
+        }
+    }
+}
+
+impl Process for Agent {
+    fn resume(&mut self, _ctx: &ProcCtx, why: Resume) -> Action {
+        match (self.state, why) {
+            (AState::Boot, Resume::Start) => {
+                // Work may already be queued: the owner enqueues and
+                // signals *before* a freshly spawned agent reaches its
+                // condition wait, and signals have no memory. Check the
+                // queue first.
+                let has_work = !self.pool.borrow().queue.is_empty();
+                if has_work {
+                    self.state = AState::WokeEmit;
+                    self.emit(tokens::AGENT_WAKE_UP)
+                } else {
+                    self.state = AState::Waiting;
+                    let mut pool = self.pool.borrow_mut();
+                    pool.free.push(self.index);
+                    let cond = pool.agent_cond(self.index);
+                    Action::WaitCond(cond)
+                }
+            }
+            (AState::Waiting, Resume::Signalled) => {
+                // The owner already removed us from the free list when it
+                // designated us.
+                self.state = AState::WokeEmit;
+                self.emit(tokens::AGENT_WAKE_UP)
+            }
+            (AState::WokeEmit, Resume::EmitDone) => {
+                let work = self.pool.borrow_mut().queue.pop_front();
+                match work {
+                    Some(item) => {
+                        self.pool.borrow_mut().busy_agents += 1;
+                        self.current = Some(item);
+                        self.state = AState::ForwardEmit;
+                        self.emit(tokens::AGENT_FORWARD)
+                    }
+                    None => {
+                        // "If an agent is scheduled and finds that there
+                        // is no message to be forwarded, he goes back to
+                        // sleep immediately."
+                        self.state = AState::SleepEmit;
+                        self.emit(tokens::AGENT_SLEEP)
+                    }
+                }
+            }
+            (AState::ForwardEmit, Resume::EmitDone) => {
+                let (to, msg) = self.current.take().expect("forward without message");
+                self.state = AState::Sending;
+                Action::MailboxSend { to, msg }
+            }
+            (AState::Sending, Resume::Sent) => {
+                // The receiver's mailbox accepted the message: freed.
+                self.pool.borrow_mut().busy_agents -= 1;
+                self.state = AState::FreedEmit;
+                self.emit(tokens::AGENT_FREED)
+            }
+            (AState::FreedEmit, Resume::EmitDone) => {
+                self.state = AState::SleepEmit;
+                self.emit(tokens::AGENT_SLEEP)
+            }
+            (AState::SleepEmit, Resume::EmitDone) => self.after_sleep_emit(),
+            (state, why) => {
+                panic!("agent {} in state {state:?} cannot handle {why:?}", self.index)
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("agent-{}", self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suprenum::CondId;
+
+    #[test]
+    fn boot_waits_and_registers_idle() {
+        let pool = AgentPool::new(100);
+        let mut agent = Agent::new(pool.clone(), 0);
+        let ctx = ProcCtx {
+            pid: suprenum::ProcessId::new(1),
+            node: suprenum::NodeId::new(0),
+            now: des::time::SimTime::ZERO,
+        };
+        let action = agent.resume(&ctx, Resume::Start);
+        assert!(matches!(action, Action::WaitCond(c) if c == CondId::new(100)));
+        assert_eq!(pool.borrow().free, vec![0]);
+        assert_eq!(agent.label(), "agent-0");
+    }
+
+    #[test]
+    fn spurious_wakeup_goes_back_to_sleep() {
+        let pool = AgentPool::new(100);
+        let mut agent = Agent::new(pool.clone(), 2);
+        let ctx = ProcCtx {
+            pid: suprenum::ProcessId::new(1),
+            node: suprenum::NodeId::new(0),
+            now: des::time::SimTime::ZERO,
+        };
+        agent.resume(&ctx, Resume::Start);
+        // Designated (popped from the free list) with an empty queue —
+        // e.g. another agent drained it first.
+        pool.borrow_mut().free.clear();
+        let a = agent.resume(&ctx, Resume::Signalled);
+        assert!(matches!(a, Action::Emit { token, .. } if token == tokens::AGENT_WAKE_UP));
+        let a = agent.resume(&ctx, Resume::EmitDone);
+        assert!(matches!(a, Action::Emit { token, .. } if token == tokens::AGENT_SLEEP));
+        let a = agent.resume(&ctx, Resume::EmitDone);
+        assert!(matches!(a, Action::WaitCond(_)));
+        assert_eq!(pool.borrow().free, vec![2]);
+    }
+
+    #[test]
+    fn forwards_queued_message() {
+        let pool = AgentPool::new(100);
+        let dst = suprenum::ProcessId::new(9);
+        pool.borrow_mut()
+            .queue
+            .push_back((dst, suprenum::Message::new(suprenum::ProcessId::new(1), 10, ())));
+        let mut agent = Agent::new(pool.clone(), 0);
+        let ctx = ProcCtx {
+            pid: suprenum::ProcessId::new(1),
+            node: suprenum::NodeId::new(0),
+            now: des::time::SimTime::ZERO,
+        };
+        // Work is already queued, so Boot goes straight to Wake Up
+        // (the lost-signal guard).
+        let a = agent.resume(&ctx, Resume::Start);
+        assert!(matches!(a, Action::Emit { token, .. } if token == tokens::AGENT_WAKE_UP));
+        let a = agent.resume(&ctx, Resume::EmitDone); // pops queue
+        assert!(matches!(a, Action::Emit { token, .. } if token == tokens::AGENT_FORWARD));
+        let a = agent.resume(&ctx, Resume::EmitDone);
+        assert!(matches!(a, Action::MailboxSend { to, .. } if to == dst));
+        let a = agent.resume(&ctx, Resume::Sent);
+        assert!(matches!(a, Action::Emit { token, .. } if token == tokens::AGENT_FREED));
+        assert!(pool.borrow().queue.is_empty());
+    }
+}

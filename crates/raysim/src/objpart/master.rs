@@ -1,0 +1,263 @@
+//! The object-partition master: broadcasts wavefront rounds, reduces
+//! the partitions' answers, shades, and assembles the image.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use raytracer::Framebuffer;
+use suprenum::{Action, Message, NodeId, ProcCtx, Process, ProcessId, Resume};
+
+use crate::context::{AppStats, RenderContext, Shared};
+use crate::protocol::ReadyMsg;
+use crate::tokens;
+
+use super::servant::{ObjJob, ObjResult, ObjServant};
+use super::wavefront::{RoundAnswers, WavefrontEngine};
+use super::ObjPartConfig;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Boot,
+    Init,
+    Spawning,
+    AwaitReady,
+    BroadcastEmit,
+    BroadcastCompute,
+    BroadcastSend,
+    BroadcastEnd,
+    WaitEmit,
+    WaitRecv,
+    ReduceEmit,
+    ReduceCompute,
+    ShadeCompute,
+    WriteEmit,
+    WriteDisk,
+    WriteEnd,
+}
+
+/// The object-partitioning master process.
+pub struct ObjMaster {
+    cfg: Rc<ObjPartConfig>,
+    ctx: Rc<RenderContext>,
+    stats: Shared<AppStats>,
+    fb: Shared<Framebuffer>,
+    rounds_out: Rc<RefCell<u32>>,
+    state: State,
+    servants: Vec<ProcessId>,
+    ready: u32,
+    engine: Option<WavefrontEngine>,
+    tasks: Rc<Vec<super::wavefront::RayTask>>,
+    answers: RoundAnswers,
+    round: u32,
+    results_pending: u32,
+    next_broadcast: usize,
+    last_result_len: usize,
+}
+
+impl ObjMaster {
+    /// Creates the master. `rounds_out` receives the executed round
+    /// count.
+    pub fn new(
+        cfg: Rc<ObjPartConfig>,
+        ctx: Rc<RenderContext>,
+        stats: Shared<AppStats>,
+        fb: Shared<Framebuffer>,
+        rounds_out: Rc<RefCell<u32>>,
+    ) -> Box<ObjMaster> {
+        Box::new(ObjMaster {
+            cfg,
+            ctx,
+            stats,
+            fb,
+            rounds_out,
+            state: State::Boot,
+            servants: Vec::new(),
+            ready: 0,
+            engine: None,
+            tasks: Rc::new(Vec::new()),
+            answers: RoundAnswers::default(),
+            round: 0,
+            results_pending: 0,
+            next_broadcast: 0,
+            last_result_len: 0,
+        })
+    }
+
+    /// Seeds the primary wavefront.
+    fn seed(&mut self) {
+        let (w, h) = self.ctx.dimensions();
+        let camera = *self.ctx.camera();
+        let mut engine =
+            WavefrontEngine::new(self.ctx.scene(), w * h, self.cfg.app.trace.max_depth);
+        let primaries = (0..w * h).map(|idx| {
+            let (px, py) = (idx % w, idx / w);
+            (idx, camera.ray_for(px, py, w, h, (0.5, 0.5)))
+        });
+        self.tasks = Rc::new(engine.primary_tasks(primaries));
+        self.engine = Some(engine);
+    }
+
+    /// Starts broadcasting the current wavefront.
+    fn begin_round(&mut self) -> Action {
+        self.round += 1;
+        *self.rounds_out.borrow_mut() += 1;
+        self.answers = RoundAnswers::sized_for(&self.tasks);
+        self.next_broadcast = 0;
+        self.results_pending = self.servants.len() as u32;
+        self.state = State::BroadcastEmit;
+        Action::Emit { token: tokens::SEND_JOBS_BEGIN, param: self.round }
+    }
+
+    fn broadcast_next(&mut self, own_pid: ProcessId) -> Action {
+        let idx = self.next_broadcast;
+        self.next_broadcast += 1;
+        let job = ObjJob { round: self.round, tasks: self.tasks.clone() };
+        let bytes = 24 + self.cfg.bytes_per_task * self.tasks.len() as u32;
+        self.stats.borrow_mut().jobs_sent += 1;
+        self.state = State::BroadcastSend;
+        Action::MailboxSend { to: self.servants[idx], msg: Message::new(own_pid, bytes, job) }
+    }
+
+    /// All answers in: shade and either start the next round or finish.
+    fn after_shade(&mut self) -> Action {
+        let engine = self.engine.as_mut().expect("engine");
+        let next = engine.shade_round(&self.tasks, &self.answers);
+        self.tasks = Rc::new(next);
+        if self.tasks.is_empty() {
+            // Assemble the picture and write it once.
+            let (w, _) = self.ctx.dimensions();
+            let _ = w;
+            let pixels = engine.pixels().to_vec();
+            {
+                let mut fb = self.fb.borrow_mut();
+                for (idx, color) in pixels.iter().enumerate() {
+                    fb.set_linear(idx as u32, *color);
+                }
+            }
+            self.stats.borrow_mut().disk_writes += 1;
+            self.state = State::WriteEmit;
+            return Action::Emit {
+                token: tokens::WRITE_PIXELS_BEGIN,
+                param: pixels.len() as u32,
+            };
+        }
+        self.begin_round()
+    }
+}
+
+impl Process for ObjMaster {
+    fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action {
+        match (self.state, why) {
+            (State::Boot, Resume::Start) => {
+                self.state = State::Init;
+                Action::Compute(self.cfg.app.master_init)
+            }
+            (State::Init, Resume::ComputeDone) => {
+                self.state = State::Spawning;
+                let body = ObjServant::new(1, self.cfg.clone(), self.ctx.clone(), ctx.pid);
+                Action::Spawn { node: NodeId::new(1), body }
+            }
+            (State::Spawning, Resume::Spawned(pid)) => {
+                self.servants.push(pid);
+                let next = self.servants.len() as u32 + 1;
+                if next <= self.cfg.app.servants as u32 {
+                    let body =
+                        ObjServant::new(next, self.cfg.clone(), self.ctx.clone(), ctx.pid);
+                    Action::Spawn { node: NodeId::new(next as u16), body }
+                } else {
+                    self.state = State::AwaitReady;
+                    Action::MailboxRecv
+                }
+            }
+            (State::AwaitReady, Resume::MailboxMsg(msg)) => {
+                assert!(msg.payload::<ReadyMsg>().is_some(), "expected ready notification");
+                self.ready += 1;
+                if self.ready < self.cfg.app.servants as u32 {
+                    self.state = State::AwaitReady;
+                    Action::MailboxRecv
+                } else {
+                    self.seed();
+                    self.begin_round()
+                }
+            }
+            (State::BroadcastEmit, Resume::EmitDone) => {
+                self.state = State::BroadcastCompute;
+                Action::Compute(
+                    self.cfg.app.send_base
+                        + self.cfg.app.send_per_pixel * self.tasks.len() as u64,
+                )
+            }
+            (State::BroadcastCompute, Resume::ComputeDone) => self.broadcast_next(ctx.pid),
+            (State::BroadcastSend, Resume::Sent) => {
+                if self.next_broadcast < self.servants.len() {
+                    self.broadcast_next(ctx.pid)
+                } else {
+                    self.state = State::BroadcastEnd;
+                    Action::Emit { token: tokens::SEND_JOBS_END, param: self.round }
+                }
+            }
+            (State::BroadcastEnd, Resume::EmitDone) => {
+                self.state = State::WaitEmit;
+                Action::Emit { token: tokens::WAIT_RESULTS_BEGIN, param: self.round }
+            }
+            (State::WaitEmit, Resume::EmitDone) => {
+                self.state = State::WaitRecv;
+                Action::MailboxRecv
+            }
+            (State::WaitRecv, Resume::MailboxMsg(msg)) => {
+                let result =
+                    msg.payload::<ObjResult>().expect("master expects round answers").clone();
+                assert_eq!(result.round, self.round, "answer for a stale round");
+                self.last_result_len = result.answers.len();
+                for a in &result.answers {
+                    if let Some(r) = a.radiance {
+                        self.answers.merge_radiance(a.id, r);
+                    }
+                    if a.blocked {
+                        self.answers.merge_shadow(a.id, true);
+                    }
+                }
+                self.stats.borrow_mut().results_received += 1;
+                self.results_pending -= 1;
+                self.state = State::ReduceEmit;
+                Action::Emit { token: tokens::RECEIVE_RESULTS_BEGIN, param: result.servant }
+            }
+            (State::ReduceEmit, Resume::EmitDone) => {
+                self.state = State::ReduceCompute;
+                Action::Compute(
+                    self.cfg.app.receive_base
+                        + self.cfg.reduce_per_answer * self.last_result_len as u64,
+                )
+            }
+            (State::ReduceCompute, Resume::ComputeDone) => {
+                if self.results_pending > 0 {
+                    self.state = State::WaitEmit;
+                    Action::Emit { token: tokens::WAIT_RESULTS_BEGIN, param: self.round }
+                } else {
+                    // All partitions answered: pay the shading cost, then
+                    // build the next wavefront.
+                    let radiance_hits =
+                        self.answers.radiance.iter().filter(|r| r.is_some()).count();
+                    self.state = State::ShadeCompute;
+                    Action::Compute(self.cfg.shade_per_hit * radiance_hits.max(1) as u64)
+                }
+            }
+            (State::ShadeCompute, Resume::ComputeDone) => self.after_shade(),
+            (State::WriteEmit, Resume::EmitDone) => {
+                let (w, h) = self.ctx.dimensions();
+                self.state = State::WriteDisk;
+                Action::DiskWrite { bytes: w * h * self.cfg.app.write_bytes_per_pixel }
+            }
+            (State::WriteDisk, Resume::DiskDone) => {
+                self.state = State::WriteEnd;
+                Action::Emit { token: tokens::WRITE_PIXELS_END, param: 0 }
+            }
+            (State::WriteEnd, Resume::EmitDone) => Action::Exit,
+            (state, why) => panic!("object master in state {state:?} cannot handle {why:?}"),
+        }
+    }
+
+    fn label(&self) -> String {
+        "obj-master".to_owned()
+    }
+}

@@ -1,0 +1,158 @@
+//! The object-partition servant: answers broadcast ray rounds against
+//! its fraction of the scene.
+
+use std::rc::Rc;
+
+use raytracer::WorkCounters;
+use suprenum::{Action, Message, ProcCtx, Process, ProcessId, Resume};
+
+use crate::context::RenderContext;
+use crate::protocol::ReadyMsg;
+use crate::tokens;
+
+use super::partition::{PartitionAnswer, PartitionIndex};
+use super::wavefront::RayTask;
+use super::ObjPartConfig;
+
+/// A broadcast round's job message.
+#[derive(Debug, Clone)]
+pub struct ObjJob {
+    /// Round number.
+    pub round: u32,
+    /// The wavefront tasks.
+    pub tasks: Rc<Vec<RayTask>>,
+}
+
+/// A partition's answers for one round.
+#[derive(Debug, Clone)]
+pub struct ObjResult {
+    /// Round number.
+    pub round: u32,
+    /// Answering partition (1-based).
+    pub servant: u32,
+    /// Per-task answers.
+    pub answers: Vec<PartitionAnswer>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Boot,
+    Init,
+    SendReady,
+    WaitEmit,
+    WaitRecv,
+    WorkEmit,
+    WorkCompute,
+    SendEmit,
+    SendBlocked,
+}
+
+/// One object-partition servant.
+pub struct ObjServant {
+    index: u32,
+    cfg: Rc<ObjPartConfig>,
+    ctx: Rc<RenderContext>,
+    master: ProcessId,
+    partition: Option<PartitionIndex>,
+    state: State,
+    current: Option<ObjJob>,
+    pending: Option<ObjResult>,
+}
+
+impl ObjServant {
+    /// Creates partition servant `index` (1-based; owns partition
+    /// `index - 1` of `servants`).
+    pub fn new(
+        index: u32,
+        cfg: Rc<ObjPartConfig>,
+        ctx: Rc<RenderContext>,
+        master: ProcessId,
+    ) -> Box<ObjServant> {
+        Box::new(ObjServant {
+            index,
+            cfg,
+            ctx,
+            master,
+            partition: None,
+            state: State::Boot,
+            current: None,
+            pending: None,
+        })
+    }
+}
+
+impl Process for ObjServant {
+    fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action {
+        match (self.state, why) {
+            (State::Boot, Resume::Start) => {
+                // Initialization: load only this partition's fraction of
+                // the scene description.
+                self.partition = Some(PartitionIndex::build(
+                    self.ctx.scene(),
+                    self.index - 1,
+                    self.cfg.app.servants as u32,
+                ));
+                self.state = State::Init;
+                // Loading 1/N of the scene costs ~1/N of the full init.
+                Action::Compute(self.cfg.app.servant_init / self.cfg.app.servants as u64)
+            }
+            (State::Init, Resume::ComputeDone) => {
+                let ready = ReadyMsg { servant: self.index };
+                self.state = State::SendReady;
+                Action::MailboxSend {
+                    to: self.master,
+                    msg: Message::new(ctx.pid, ready.wire_bytes(), ready),
+                }
+            }
+            (State::SendReady, Resume::Sent) => {
+                self.state = State::WaitEmit;
+                Action::Emit { token: tokens::WAIT_JOB_BEGIN, param: 0 }
+            }
+            (State::WaitEmit, Resume::EmitDone) => {
+                self.state = State::WaitRecv;
+                Action::MailboxRecv
+            }
+            (State::WaitRecv, Resume::MailboxMsg(msg)) => {
+                let job = msg.payload::<ObjJob>().expect("object servant expects rounds").clone();
+                self.state = State::WorkEmit;
+                let round = job.round;
+                self.current = Some(job);
+                Action::Emit { token: tokens::WORK_BEGIN, param: round }
+            }
+            (State::WorkEmit, Resume::EmitDone) => {
+                let job = self.current.take().expect("round in progress");
+                let partition = self.partition.as_ref().expect("partition built");
+                let mut work = WorkCounters::new();
+                let answers = partition.answer_round(&job.tasks, &mut work);
+                self.pending =
+                    Some(ObjResult { round: job.round, servant: self.index, answers });
+                self.state = State::WorkCompute;
+                Action::Compute(
+                    self.cfg.app.work_base + self.cfg.app.cost.simulated_time(&work),
+                )
+            }
+            (State::WorkCompute, Resume::ComputeDone) => {
+                let round = self.pending.as_ref().expect("answers pending").round;
+                self.state = State::SendEmit;
+                Action::Emit { token: tokens::SEND_RESULTS_BEGIN, param: round }
+            }
+            (State::SendEmit, Resume::EmitDone) => {
+                let result = self.pending.take().expect("answers pending");
+                let bytes = 24 + self.cfg.bytes_per_answer * result.answers.len() as u32;
+                self.state = State::SendBlocked;
+                Action::MailboxSend { to: self.master, msg: Message::new(ctx.pid, bytes, result) }
+            }
+            (State::SendBlocked, Resume::Sent) => {
+                self.state = State::WaitEmit;
+                Action::Emit { token: tokens::WAIT_JOB_BEGIN, param: 0 }
+            }
+            (state, why) => {
+                panic!("object servant {} in state {state:?} cannot handle {why:?}", self.index)
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("obj-servant-{}", self.index)
+    }
+}

@@ -1,0 +1,247 @@
+//! The master's pixel bookkeeping: the pixel queue and the in-order
+//! write-back buffer.
+//!
+//! The master "always keeps a certain number of unfinished pixels in a
+//! queue" and "pixels have to be written in correct ordering. So,
+//! whenever a continuous stretch of pixels has been processed, the
+//! results are written onto disk"; after writing, "new pixels must be
+//! inserted into the pixel-queue" (paper §4.3).
+//!
+//! [`PixelLedger`] models the consequence that bit the paper's authors:
+//! the queue constant bounds the number of pixels that are *anywhere* in
+//! flight — assigned, computed-but-unwritten, or waiting for an earlier
+//! pixel so the stretch becomes contiguous. Version 3's "inadequate
+//! constant" starves the servants exactly through this mechanism; the
+//! version-4 fix is a larger capacity.
+
+use raytracer::color::Color;
+
+/// Tracks assignment, completion and in-order write-back of an image's
+/// pixels.
+///
+/// # Examples
+///
+/// ```
+/// use raysim::pixels::PixelLedger;
+/// use raytracer::color::Color;
+///
+/// let mut ledger = PixelLedger::new(4, 2); // 4 pixels, capacity 2
+/// assert_eq!(ledger.assign(8), vec![0, 1]); // capacity caps the grab
+/// ledger.complete(1, Color::WHITE);
+/// assert_eq!(ledger.contiguous_ready(), 0); // pixel 0 still pending
+/// ledger.complete(0, Color::BLACK);
+/// assert_eq!(ledger.contiguous_ready(), 2);
+/// let written = ledger.take_writable();
+/// assert_eq!(written.len(), 2);
+/// assert_eq!(ledger.assign(8), vec![2, 3]); // slots recycled
+/// ```
+#[derive(Debug, Clone)]
+pub struct PixelLedger {
+    total: u32,
+    capacity: u32,
+    /// Next pixel index never yet assigned.
+    next_unassigned: u32,
+    /// Next pixel index to write to the picture file.
+    next_to_write: u32,
+    /// Completed colours keyed by `index - next_to_write` position, as a
+    /// reorder window.
+    completed: Vec<Option<Color>>,
+    outstanding: u32,
+}
+
+impl PixelLedger {
+    /// Creates a ledger for `total` pixels with an in-flight capacity of
+    /// `capacity` pixels — the paper's pixel-queue length constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` or `capacity` is zero.
+    pub fn new(total: u32, capacity: u32) -> Self {
+        assert!(total > 0, "image must have pixels");
+        assert!(capacity > 0, "pixel queue capacity must be nonzero");
+        PixelLedger {
+            total,
+            capacity,
+            next_unassigned: 0,
+            next_to_write: 0,
+            completed: Vec::new(),
+            outstanding: 0,
+        }
+    }
+
+    /// Total pixels in the image.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Pixels currently in flight (assigned or completed-but-unwritten).
+    pub fn in_flight(&self) -> u32 {
+        self.outstanding + self.completed.iter().filter(|c| c.is_some()).count() as u32
+    }
+
+    /// Pixels that can still be assigned right now (free queue slots and
+    /// image remainder permitting).
+    pub fn assignable(&self) -> u32 {
+        let free_slots = self.capacity.saturating_sub(self.in_flight());
+        free_slots.min(self.total - self.next_unassigned)
+    }
+
+    /// Assigns up to `want` pixels, bounded by the queue capacity.
+    /// Returns the assigned linear indices (possibly empty).
+    pub fn assign(&mut self, want: u32) -> Vec<u32> {
+        let n = want.min(self.assignable());
+        let start = self.next_unassigned;
+        self.next_unassigned += n;
+        self.outstanding += n;
+        (start..start + n).collect()
+    }
+
+    /// Records a computed pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pixel was not outstanding (double completion or
+    /// never assigned).
+    pub fn complete(&mut self, index: u32, color: Color) {
+        assert!(index < self.next_unassigned, "pixel {index} was never assigned");
+        assert!(index >= self.next_to_write, "pixel {index} already written");
+        let pos = (index - self.next_to_write) as usize;
+        if self.completed.len() <= pos {
+            self.completed.resize(pos + 1, None);
+        }
+        assert!(self.completed[pos].is_none(), "pixel {index} completed twice");
+        self.completed[pos] = Some(color);
+        self.outstanding -= 1;
+    }
+
+    /// Length of the contiguous completed stretch at the write head.
+    pub fn contiguous_ready(&self) -> u32 {
+        self.completed.iter().take_while(|c| c.is_some()).count() as u32
+    }
+
+    /// Removes and returns the contiguous completed stretch as
+    /// `(index, colour)` pairs, advancing the write head and freeing
+    /// queue slots.
+    pub fn take_writable(&mut self) -> Vec<(u32, Color)> {
+        let n = self.contiguous_ready() as usize;
+        let mut out = Vec::with_capacity(n);
+        for (k, c) in self.completed.drain(..n).enumerate() {
+            out.push((self.next_to_write + k as u32, c.expect("contiguous prefix")));
+        }
+        self.next_to_write += n as u32;
+        out
+    }
+
+    /// Returns `true` once every pixel has been written.
+    pub fn is_complete(&self) -> bool {
+        self.next_to_write == self.total
+    }
+
+    /// Pixels already written to the picture file.
+    pub fn written(&self) -> u32 {
+        self.next_to_write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn capacity_bounds_in_flight() {
+        let mut l = PixelLedger::new(100, 10);
+        assert_eq!(l.assign(50).len(), 10);
+        assert_eq!(l.assignable(), 0);
+        // Completing without writing does NOT free slots: the pixel
+        // still occupies the reorder window.
+        l.complete(5, Color::BLACK);
+        assert_eq!(l.assignable(), 0);
+        assert_eq!(l.in_flight(), 10);
+        // Only writing frees slots — and pixel 5 is not contiguous.
+        assert_eq!(l.take_writable().len(), 0);
+        l.complete(0, Color::BLACK);
+        assert_eq!(l.take_writable().len(), 1);
+        assert_eq!(l.assignable(), 1);
+    }
+
+    #[test]
+    fn out_of_order_completion_reorders() {
+        let mut l = PixelLedger::new(6, 6);
+        let assigned = l.assign(6);
+        assert_eq!(assigned, vec![0, 1, 2, 3, 4, 5]);
+        for &i in &[3, 1, 2] {
+            l.complete(i, Color::grey(i as f64));
+        }
+        assert_eq!(l.contiguous_ready(), 0);
+        l.complete(0, Color::grey(0.0));
+        assert_eq!(l.contiguous_ready(), 4);
+        let w = l.take_writable();
+        assert_eq!(w.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(!l.is_complete());
+        l.complete(4, Color::BLACK);
+        l.complete(5, Color::BLACK);
+        l.take_writable();
+        assert!(l.is_complete());
+        assert_eq!(l.written(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "never assigned")]
+    fn completing_unassigned_panics() {
+        PixelLedger::new(4, 4).complete(0, Color::BLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn double_completion_panics() {
+        let mut l = PixelLedger::new(4, 4);
+        l.assign(2);
+        l.complete(1, Color::BLACK);
+        l.complete(1, Color::WHITE);
+    }
+
+    proptest! {
+        /// Whatever the completion order, every pixel is written exactly
+        /// once and in index order.
+        #[test]
+        fn conservation_under_random_order(
+            perm in proptest::sample::subsequence((0u32..40).collect::<Vec<_>>(), 40),
+            cap in 1u32..50,
+        ) {
+            // `perm` is 0..40 in order; shuffle deterministically by
+            // reversing chunks to get an out-of-order completion stream.
+            let mut order: Vec<u32> = perm;
+            order.chunks_mut(7).for_each(|c| c.reverse());
+
+            let mut l = PixelLedger::new(40, cap);
+            let mut written: Vec<u32> = Vec::new();
+            let mut pending: Vec<u32> = Vec::new();
+            let mut oi = 0usize;
+            while !l.is_complete() {
+                pending.extend(l.assign(cap));
+                // Complete pending pixels in the shuffled order.
+                let mut progressed = false;
+                while oi < order.len() {
+                    let target = order[oi];
+                    if let Some(pos) = pending.iter().position(|&p| p == target) {
+                        pending.swap_remove(pos);
+                        l.complete(target, Color::BLACK);
+                        oi += 1;
+                        progressed = true;
+                    } else {
+                        break;
+                    }
+                }
+                if !progressed && !pending.is_empty() {
+                    // Complete any pending pixel to guarantee progress.
+                    let p = pending.pop().unwrap();
+                    l.complete(p, Color::BLACK);
+                }
+                written.extend(l.take_writable().into_iter().map(|(i, _)| i));
+            }
+            prop_assert_eq!(written.len(), 40);
+            prop_assert!(written.windows(2).all(|w| w[1] == w[0] + 1));
+        }
+    }
+}

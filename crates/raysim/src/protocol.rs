@@ -1,0 +1,78 @@
+//! Message formats between master, servants and agents.
+
+use raytracer::color::Color;
+
+/// A job: a bundle of one or more rays (pixels) to trace (paper §4.2:
+/// "jobs assigned to the servants consist of bundles of one or more
+/// rays").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobMsg {
+    /// Job sequence number (carried in event parameters for causality
+    /// checks).
+    pub job_id: u32,
+    /// Linear pixel indices to trace.
+    pub pixels: Vec<u32>,
+}
+
+impl JobMsg {
+    /// Wire size: header plus 4 bytes per pixel index.
+    pub fn wire_bytes(&self) -> u32 {
+        24 + 4 * self.pixels.len() as u32
+    }
+}
+
+/// A servant's startup notification: sent once after initialization so
+/// the master does not flood mailboxes of servants that are still
+/// reading the scene description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyMsg {
+    /// Index of the now-ready servant.
+    pub servant: u32,
+}
+
+impl ReadyMsg {
+    /// Wire size of the notification.
+    pub fn wire_bytes(&self) -> u32 {
+        16
+    }
+}
+
+/// A result: the computed colours for one job's pixels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultMsg {
+    /// The job this answers.
+    pub job_id: u32,
+    /// Index of the servant that computed it (1-based, matching node
+    /// numbers).
+    pub servant: u32,
+    /// `(linear pixel index, colour)` pairs.
+    pub pixels: Vec<(u32, Color)>,
+}
+
+impl ResultMsg {
+    /// Wire size: header plus index + RGB per pixel.
+    pub fn wire_bytes(&self) -> u32 {
+        24 + 16 * self.pixels.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_scale_with_bundle() {
+        let job = JobMsg { job_id: 1, pixels: (0..50).collect() };
+        assert_eq!(job.wire_bytes(), 24 + 200);
+        let result = ResultMsg {
+            job_id: 1,
+            servant: 3,
+            pixels: (0..50).map(|i| (i, Color::BLACK)).collect(),
+        };
+        assert_eq!(result.wire_bytes(), 24 + 800);
+        // Bundling 50 rays into one message is far cheaper on the wire
+        // than 50 single-ray messages.
+        let single = JobMsg { job_id: 1, pixels: vec![0] };
+        assert!(job.wire_bytes() < 50 * single.wire_bytes());
+    }
+}

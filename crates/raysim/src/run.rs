@@ -1,0 +1,174 @@
+//! End-to-end experiment runner: machine + application + monitor.
+//!
+//! [`run`] wires everything together the way the real measurement was
+//! set up: the instrumented parallel ray tracer executes on the
+//! simulated SUPRENUM; every seven-segment display write is probed by a
+//! simulated ZM4 whose event recorders produce the merged global trace;
+//! the trace is handed back for SIMPLE-style evaluation.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use des::time::SimTime;
+use hybridmon::IntrusionReport;
+use raytracer::Framebuffer;
+use simple::Trace;
+use suprenum::{Machine, MachineConfig, NodeId, RunEnd, RunOutcome};
+use zm4::{Measurement, ProbeSample, Zm4, Zm4Config};
+
+use crate::config::AppConfig;
+use crate::context::{AppStats, RenderContext};
+use crate::master::Master;
+
+/// Full configuration of one measurement run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The application (program version, scene, image, …).
+    pub app: AppConfig,
+    /// The machine (nodes, buses, scheduler, monitoring mode).
+    pub machine: MachineConfig,
+    /// The monitor (FIFO, clocks, MTG).
+    pub zm4: Zm4Config,
+    /// Determinism seed for machine and monitor.
+    pub seed: u64,
+    /// Simulated-time budget.
+    pub horizon: SimTime,
+}
+
+impl RunConfig {
+    /// A run configuration with a machine sized for the application:
+    /// one cluster of `servants + 1` nodes (the paper's setup) when they
+    /// fit, or the minimum number of 16-node clusters otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application configuration is invalid.
+    pub fn new(app: AppConfig) -> Self {
+        app.validate().expect("invalid application configuration");
+        let nodes = app.servants as u32 + 1;
+        let machine = if nodes <= 16 {
+            MachineConfig::single_cluster(nodes as u8)
+        } else {
+            let clusters = nodes.div_ceil(16) as u8;
+            MachineConfig { clusters, torus_cols: 1, ..MachineConfig::single_cluster(16) }
+        };
+        RunConfig {
+            app,
+            machine,
+            zm4: Zm4Config::default(),
+            seed: 1992,
+            horizon: SimTime::from_secs(3_600),
+        }
+    }
+}
+
+/// Everything a measurement run produced.
+#[derive(Debug)]
+pub struct RunResult {
+    /// How the application run ended.
+    pub outcome: RunOutcome,
+    /// The ZM4 measurement (merged trace + recorder/detector stats).
+    pub measurement: Measurement,
+    /// The merged trace as SIMPLE events (channel = node index).
+    pub trace: Trace,
+    /// The rendered image, as assembled by the master's pixel writes.
+    pub image: Framebuffer,
+    /// Application counters.
+    pub app_stats: AppStats,
+    /// The machine after the run (ground truth, signals, kernel stats).
+    pub machine: Machine,
+    /// Monitoring intrusion accounting (copied out of the machine for
+    /// convenience).
+    pub intrusion: IntrusionReport,
+}
+
+impl RunResult {
+    /// Returns `true` if the application ran to completion.
+    pub fn completed(&self) -> bool {
+        self.outcome.reason == RunEnd::Completed
+    }
+}
+
+/// Converts a machine's display signal log into ZM4 probe samples
+/// (channel = node index).
+pub fn probe_samples(machine: &Machine) -> Vec<ProbeSample> {
+    machine
+        .signals()
+        .display_writes()
+        .iter()
+        .map(|w| ProbeSample { time: w.time, channel: w.node.index() as usize, pattern: w.pattern })
+        .collect()
+}
+
+/// Converts a ZM4 measurement's merged trace into SIMPLE events.
+pub fn to_simple_trace(measurement: &Measurement) -> Trace {
+    measurement
+        .trace
+        .iter()
+        .map(|r| {
+            simple::Event::new(r.ts_ns, r.channel, r.event.token.value(), r.event.param.value())
+        })
+        .collect()
+}
+
+/// Runs one full measurement.
+///
+/// # Panics
+///
+/// Panics if the machine configuration cannot host the application
+/// (fewer nodes than `servants + 1`) or is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use des::time::SimTime;
+/// use raysim::config::{AppConfig, SceneKind, Version};
+/// use raysim::run::{run, RunConfig};
+///
+/// let mut app = AppConfig::version(Version::V4);
+/// app.servants = 3;
+/// app.scene = SceneKind::Quickstart;
+/// app.width = 8;
+/// app.height = 8;
+/// let mut cfg = RunConfig::new(app);
+/// cfg.horizon = SimTime::from_secs(600);
+/// let result = run(cfg);
+/// assert!(result.completed());
+/// assert!(result.image.mean_luminance() > 0.0);
+/// ```
+pub fn run(cfg: RunConfig) -> RunResult {
+    cfg.app.validate().expect("invalid application configuration");
+    assert!(
+        cfg.machine.total_nodes() as u32 > cfg.app.servants as u32,
+        "machine has {} nodes but the application needs {}",
+        cfg.machine.total_nodes(),
+        cfg.app.servants + 1
+    );
+
+    let mut machine =
+        Machine::new(cfg.machine.clone(), cfg.seed).expect("invalid machine configuration");
+
+    let app = Rc::new(cfg.app.clone());
+    let ctx = RenderContext::new(&app);
+    let stats = Rc::new(RefCell::new(AppStats::default()));
+    let fb = Rc::new(RefCell::new(Framebuffer::new(app.width, app.height)));
+
+    let master = Master::new(app.clone(), ctx, stats.clone(), fb.clone());
+    machine.add_process(NodeId::new(0), master);
+    let outcome = machine.run(cfg.horizon);
+
+    // Probe the displays and run the monitor.
+    let samples = probe_samples(&machine);
+    let channels = machine.topology().total_nodes() as usize;
+    let monitor = Zm4::new(cfg.zm4.clone(), channels, cfg.seed);
+    let measurement = monitor.observe(&samples);
+    let trace = to_simple_trace(&measurement);
+
+    let image = Rc::try_unwrap(fb)
+        .map(RefCell::into_inner)
+        .unwrap_or_else(|rc| rc.borrow().clone());
+    let app_stats = *stats.borrow();
+    let intrusion = *machine.intrusion();
+
+    RunResult { outcome, measurement, trace, image, app_stats, machine, intrusion }
+}

@@ -1,0 +1,273 @@
+//! The servant process (paper Figure 6, right).
+//!
+//! A servant loops: *Wait for Job* → *Work* (trace the bundle's rays) →
+//! *Send Results*. In versions 1–2 the result is sent straight into the
+//! master's mailbox, blocking the servant until the master's mailbox LWP
+//! is scheduled; in versions 3–4 the servant hands the result to a
+//! communication agent on its own node and immediately waits for the
+//! next job.
+
+use std::rc::Rc;
+
+use suprenum::{Action, Message, ProcCtx, Process, ProcessId, Resume};
+
+use crate::agent::Agent;
+use crate::config::AppConfig;
+use crate::context::{AgentPool, AppStats, RenderContext, Shared};
+use crate::protocol::{JobMsg, ReadyMsg, ResultMsg};
+use crate::tokens;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SState {
+    Boot,
+    InitCompute,
+    SendReady,
+    WaitJobEmit,
+    WaitJobRecv,
+    WorkEmit,
+    WorkCompute,
+    SendResultsEmit,
+    SendDirect,
+    SendSpawnAgent,
+    SendSignal,
+    SendYield,
+}
+
+/// One servant process.
+pub struct Servant {
+    index: u32,
+    cfg: Rc<AppConfig>,
+    ctx: Rc<RenderContext>,
+    render_stats: Shared<AppStats>,
+    master: ProcessId,
+    pool: Shared<AgentPool>,
+    state: SState,
+    current_job: Option<JobMsg>,
+    pending_result: Option<ResultMsg>,
+}
+
+impl Servant {
+    /// Creates servant number `index` (1-based, matching its node).
+    pub fn new(
+        index: u32,
+        cfg: Rc<AppConfig>,
+        ctx: Rc<RenderContext>,
+        render_stats: Shared<AppStats>,
+        master: ProcessId,
+    ) -> Box<Servant> {
+        // Each servant owns a private agent pool; condition ids are
+        // spaced so pools never collide.
+        let pool = AgentPool::new(1_000 * (1 + index as u64));
+        Box::new(Servant {
+            index,
+            cfg,
+            ctx,
+            render_stats,
+            master,
+            pool,
+            state: SState::Boot,
+            current_job: None,
+            pending_result: None,
+        })
+    }
+
+    fn emit(&self, token: u16, param: u32) -> Action {
+        Action::Emit { token, param }
+    }
+
+    fn wait_for_job(&mut self) -> Action {
+        self.state = SState::WaitJobEmit;
+        self.emit(tokens::WAIT_JOB_BEGIN, 0)
+    }
+
+    /// Version-specific result delivery, entered after the (optional)
+    /// "Send Results Begin" instrumentation point.
+    fn deliver_result(&mut self, own_pid: ProcessId) -> Action {
+        let result = self.pending_result.take().expect("no result to deliver");
+        let bytes = result.wire_bytes();
+        let msg = Message::new(own_pid, bytes, result);
+        if self.cfg.version.servant_agents() {
+            let designated = {
+                let mut pool = self.pool.borrow_mut();
+                pool.queue.push_back((self.master, msg));
+                pool.free.pop()
+            };
+            match designated {
+                Some(idx) => {
+                    let cond = self.pool.borrow().agent_cond(idx);
+                    self.state = SState::SendSignal;
+                    Action::SignalCond(cond)
+                }
+                None => {
+                    let (index, body) = {
+                        let mut pool = self.pool.borrow_mut();
+                        let index = pool.total_agents;
+                        pool.total_agents += 1;
+                        (index, Agent::new(self.pool.clone(), index))
+                    };
+                    let mut stats = self.render_stats.borrow_mut();
+                    stats.servant_pool_peak = stats.servant_pool_peak.max(index + 1);
+                    self.state = SState::SendSpawnAgent;
+                    // Agents live on the servant's own node.
+                    Action::Spawn { node: suprenum::NodeId::new(self.index as u16), body }
+                }
+            }
+        } else {
+            self.state = SState::SendDirect;
+            Action::MailboxSend { to: self.master, msg }
+        }
+    }
+}
+
+impl Process for Servant {
+    fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action {
+        match (self.state, why) {
+            (SState::Boot, Resume::Start) => {
+                // Initialization: reading the replicated scene
+                // description.
+                self.state = SState::InitCompute;
+                Action::Compute(self.cfg.servant_init)
+            }
+            (SState::InitCompute, Resume::ComputeDone) => {
+                // Report readiness so the master only distributes work
+                // to servants that can accept it.
+                let ready = ReadyMsg { servant: self.index };
+                self.state = SState::SendReady;
+                Action::MailboxSend {
+                    to: self.master,
+                    msg: Message::new(ctx.pid, ready.wire_bytes(), ready),
+                }
+            }
+            (SState::SendReady, Resume::Sent) => self.wait_for_job(),
+            (SState::WaitJobEmit, Resume::EmitDone) => {
+                self.state = SState::WaitJobRecv;
+                Action::MailboxRecv
+            }
+            (SState::WaitJobRecv, Resume::MailboxMsg(msg)) => {
+                let job = msg.payload::<JobMsg>().expect("servant expects job messages").clone();
+                self.state = SState::WorkEmit;
+                let job_id = job.job_id;
+                self.current_job = Some(job);
+                self.emit(tokens::WORK_BEGIN, job_id)
+            }
+            (SState::WorkEmit, Resume::EmitDone) => {
+                let job = self.current_job.as_ref().expect("work without job");
+                let (pixels, duration) = self.ctx.trace_pixels(&job.pixels);
+                self.pending_result =
+                    Some(ResultMsg { job_id: job.job_id, servant: self.index, pixels });
+                self.current_job = None;
+                self.state = SState::WorkCompute;
+                Action::Compute(duration)
+            }
+            (SState::WorkCompute, Resume::ComputeDone) => {
+                let job_id = self.pending_result.as_ref().expect("result pending").job_id;
+                if self.cfg.instrument_send_results {
+                    self.state = SState::SendResultsEmit;
+                    self.emit(tokens::SEND_RESULTS_BEGIN, job_id)
+                } else {
+                    self.deliver_result(ctx.pid)
+                }
+            }
+            (SState::SendResultsEmit, Resume::EmitDone) => self.deliver_result(ctx.pid),
+            (SState::SendDirect, Resume::Sent) => self.wait_for_job(),
+            (SState::SendSpawnAgent, Resume::Spawned(_)) => {
+                // The fresh agent finds its work at boot.
+                self.state = SState::SendYield;
+                Action::Yield
+            }
+            (SState::SendSignal, Resume::SignalSent) => {
+                // Relinquish so the agent (same node) can pick up the
+                // result before we start the next job.
+                self.state = SState::SendYield;
+                Action::Yield
+            }
+            (SState::SendYield, Resume::Yielded) => self.wait_for_job(),
+            (state, why) => {
+                panic!("servant {} in state {state:?} cannot handle {why:?}", self.index)
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("servant-{}", self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SceneKind, Version};
+    use des::time::SimTime;
+    use suprenum::NodeId;
+
+    fn setup(version: Version) -> (Box<Servant>, ProcCtx) {
+        let mut cfg = AppConfig::version(version);
+        cfg.scene = SceneKind::Quickstart;
+        cfg.width = 8;
+        cfg.height = 8;
+        let cfg = Rc::new(cfg);
+        let ctx = RenderContext::new(&cfg);
+        let stats = Rc::new(std::cell::RefCell::new(AppStats::default()));
+        let servant = Servant::new(1, cfg, ctx, stats, ProcessId::new(0));
+        let pctx = ProcCtx { pid: ProcessId::new(5), node: NodeId::new(1), now: SimTime::ZERO };
+        (servant, pctx)
+    }
+
+    #[test]
+    fn lifecycle_v1_blocks_on_direct_send() {
+        let (mut s, ctx) = setup(Version::V1);
+        assert!(matches!(s.resume(&ctx, Resume::Start), Action::Compute(_)));
+        // Init done -> ready notification to the master.
+        assert!(matches!(
+            s.resume(&ctx, Resume::ComputeDone),
+            Action::MailboxSend { to, .. } if to == ProcessId::new(0)
+        ));
+        // Accepted -> Wait for Job instrumentation then mailbox read.
+        assert!(matches!(
+            s.resume(&ctx, Resume::Sent),
+            Action::Emit { token: tokens::WAIT_JOB_BEGIN, .. }
+        ));
+        assert!(matches!(s.resume(&ctx, Resume::EmitDone), Action::MailboxRecv));
+        // Deliver a job.
+        let job = JobMsg { job_id: 7, pixels: vec![0, 1] };
+        let msg = Message::new(ProcessId::new(0), job.wire_bytes(), job);
+        let a = s.resume(&ctx, Resume::MailboxMsg(msg));
+        assert!(matches!(a, Action::Emit { token: tokens::WORK_BEGIN, param: 7 }));
+        // Work compute.
+        assert!(matches!(s.resume(&ctx, Resume::EmitDone), Action::Compute(_)));
+        // V1 does not instrument Send Results: straight to the blocking
+        // mailbox send.
+        let a = s.resume(&ctx, Resume::ComputeDone);
+        assert!(matches!(a, Action::MailboxSend { to, .. } if to == ProcessId::new(0)));
+        // Released -> next Wait for Job.
+        assert!(matches!(
+            s.resume(&ctx, Resume::Sent),
+            Action::Emit { token: tokens::WAIT_JOB_BEGIN, .. }
+        ));
+    }
+
+    #[test]
+    fn lifecycle_v3_hands_to_agent() {
+        let (mut s, ctx) = setup(Version::V3);
+        s.resume(&ctx, Resume::Start);
+        s.resume(&ctx, Resume::ComputeDone); // ready send
+        s.resume(&ctx, Resume::Sent); // Wait for Job emit
+        s.resume(&ctx, Resume::EmitDone);
+        let job = JobMsg { job_id: 1, pixels: vec![0] };
+        let msg = Message::new(ProcessId::new(0), job.wire_bytes(), job);
+        s.resume(&ctx, Resume::MailboxMsg(msg));
+        s.resume(&ctx, Resume::EmitDone); // Work compute issued
+        // V3 instruments Send Results.
+        let a = s.resume(&ctx, Resume::ComputeDone);
+        assert!(matches!(a, Action::Emit { token: tokens::SEND_RESULTS_BEGIN, param: 1 }));
+        // No free agent -> spawns one on its own node.
+        let a = s.resume(&ctx, Resume::EmitDone);
+        assert!(matches!(a, Action::Spawn { node, .. } if node == NodeId::new(1)));
+        // The fresh agent takes the work at boot; the servant yields.
+        assert!(matches!(s.resume(&ctx, Resume::Spawned(ProcessId::new(9))), Action::Yield));
+        assert!(matches!(
+            s.resume(&ctx, Resume::Yielded),
+            Action::Emit { token: tokens::WAIT_JOB_BEGIN, .. }
+        ));
+    }
+}

@@ -1,0 +1,110 @@
+//! RGB colour values.
+
+use std::ops::{Add, AddAssign, Mul};
+
+/// A linear RGB colour with `f64` components (not clamped until
+/// quantization).
+///
+/// # Examples
+///
+/// ```
+/// use raytracer::color::Color;
+///
+/// let c = Color::new(0.5, 0.25, 2.0);
+/// assert_eq!(c.to_rgb8(), (127, 63, 255));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Color {
+    /// Red component.
+    pub r: f64,
+    /// Green component.
+    pub g: f64,
+    /// Blue component.
+    pub b: f64,
+}
+
+impl Color {
+    /// Black.
+    pub const BLACK: Color = Color { r: 0.0, g: 0.0, b: 0.0 };
+    /// White.
+    pub const WHITE: Color = Color { r: 1.0, g: 1.0, b: 1.0 };
+
+    /// Creates a colour from components.
+    pub const fn new(r: f64, g: f64, b: f64) -> Self {
+        Color { r, g, b }
+    }
+
+    /// A grey level.
+    pub const fn grey(v: f64) -> Self {
+        Color { r: v, g: v, b: v }
+    }
+
+    /// Component-wise product (filtering light through a surface).
+    pub fn modulate(self, o: Color) -> Color {
+        Color::new(self.r * o.r, self.g * o.g, self.b * o.b)
+    }
+
+    /// Perceptual luminance approximation.
+    pub fn luminance(self) -> f64 {
+        0.2126 * self.r + 0.7152 * self.g + 0.0722 * self.b
+    }
+
+    /// Quantizes to 8-bit RGB, clamping to `[0, 1]`.
+    pub fn to_rgb8(self) -> (u8, u8, u8) {
+        let q = |v: f64| (v.clamp(0.0, 1.0) * 255.0) as u8;
+        (q(self.r), q(self.g), q(self.b))
+    }
+}
+
+impl Add for Color {
+    type Output = Color;
+    fn add(self, o: Color) -> Color {
+        Color::new(self.r + o.r, self.g + o.g, self.b + o.b)
+    }
+}
+
+impl AddAssign for Color {
+    fn add_assign(&mut self, o: Color) {
+        *self = *self + o;
+    }
+}
+
+impl Mul<f64> for Color {
+    type Output = Color;
+    fn mul(self, s: f64) -> Color {
+        Color::new(self.r * s, self.g * s, self.b * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_clamps() {
+        assert_eq!(Color::new(-1.0, 0.5, 3.0).to_rgb8(), (0, 127, 255));
+        assert_eq!(Color::BLACK.to_rgb8(), (0, 0, 0));
+        assert_eq!(Color::WHITE.to_rgb8(), (255, 255, 255));
+    }
+
+    #[test]
+    fn modulate_filters() {
+        let light = Color::new(1.0, 0.5, 0.0);
+        let surface = Color::new(0.5, 0.5, 0.5);
+        assert_eq!(light.modulate(surface), Color::new(0.5, 0.25, 0.0));
+    }
+
+    #[test]
+    fn luminance_ordering() {
+        assert!(Color::new(0.0, 1.0, 0.0).luminance() > Color::new(0.0, 0.0, 1.0).luminance());
+        assert_eq!(Color::grey(0.5).luminance(), 0.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut c = Color::new(0.1, 0.2, 0.3);
+        c += Color::new(0.1, 0.1, 0.1) * 2.0;
+        assert!((c.r - 0.3).abs() < 1e-12);
+        assert!((c.g - 0.4).abs() < 1e-12);
+    }
+}

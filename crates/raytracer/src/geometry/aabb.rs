@@ -1,0 +1,181 @@
+//! Axis-aligned bounding boxes ("parallelepipeds").
+//!
+//! The paper's future work proposes "a hierarchical bounding volume
+//! scheme based on parallelopipeds"; these boxes are the volumes, and
+//! [`crate::bvh`] is the hierarchy.
+
+use crate::math::{Ray, Vec3};
+
+/// An axis-aligned box.
+///
+/// # Examples
+///
+/// ```
+/// use raytracer::geometry::Aabb;
+/// use raytracer::math::{Ray, Vec3};
+///
+/// let b = Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0));
+/// let ray = Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::new(0.0, 0.0, -1.0));
+/// assert!(b.hit_by(&ray, f64::INFINITY));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    min: Vec3,
+    max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from its corners (swapped per-axis if necessary).
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Aabb { min: a.min(b), max: a.max(b) }
+    }
+
+    /// The empty box (identity of [`union`](Self::union)).
+    pub fn empty() -> Self {
+        Aabb { min: Vec3::splat(f64::INFINITY), max: Vec3::splat(f64::NEG_INFINITY) }
+    }
+
+    /// Lower corner.
+    pub fn min(&self) -> Vec3 {
+        self.min
+    }
+
+    /// Upper corner.
+    pub fn max(&self) -> Vec3 {
+        self.max
+    }
+
+    /// Box center.
+    pub fn centroid(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Per-axis extent.
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// The smallest box containing both.
+    pub fn union(&self, o: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(o.min), max: self.max.max(o.max) }
+    }
+
+    /// Grows the box to contain a point.
+    pub fn expand(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Returns `true` if the box contains no volume (never expanded).
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x
+    }
+
+    /// Surface area (for SAH-style heuristics and tests).
+    pub fn surface_area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// Slab test: does `ray` enter the box within `(0, t_max)`?
+    pub fn hit_by(&self, ray: &Ray, t_max: f64) -> bool {
+        let mut t0 = 0.0f64;
+        let mut t1 = t_max;
+        for axis in 0..3 {
+            let inv = 1.0 / ray.dir.axis(axis);
+            let mut near = (self.min.axis(axis) - ray.origin.axis(axis)) * inv;
+            let mut far = (self.max.axis(axis) - ray.origin.axis(axis)) * inv;
+            if inv < 0.0 {
+                std::mem::swap(&mut near, &mut far);
+            }
+            t0 = t0.max(near);
+            t1 = t1.min(far);
+            if t0 > t1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit() -> Aabb {
+        Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn corners_normalize() {
+        let b = Aabb::new(Vec3::new(1.0, -1.0, 5.0), Vec3::new(-1.0, 1.0, 3.0));
+        assert_eq!(b.min(), Vec3::new(-1.0, -1.0, 3.0));
+        assert_eq!(b.max(), Vec3::new(1.0, 1.0, 5.0));
+    }
+
+    #[test]
+    fn miss_and_hit() {
+        let b = unit();
+        let hit = Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::new(0.0, 0.0, -1.0));
+        let miss = Ray::new(Vec3::new(5.0, 5.0, 5.0), Vec3::new(0.0, 0.0, -1.0));
+        assert!(b.hit_by(&hit, f64::INFINITY));
+        assert!(!b.hit_by(&miss, f64::INFINITY));
+    }
+
+    #[test]
+    fn t_max_culls() {
+        let b = Aabb::new(Vec3::new(-1.0, -1.0, -12.0), Vec3::new(1.0, 1.0, -10.0));
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0));
+        assert!(!b.hit_by(&ray, 5.0));
+        assert!(b.hit_by(&ray, 50.0));
+    }
+
+    #[test]
+    fn ray_from_inside_hits() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0));
+        assert!(unit().hit_by(&ray, f64::INFINITY));
+    }
+
+    #[test]
+    fn union_and_empty() {
+        let mut e = Aabb::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.surface_area(), 0.0);
+        e.expand(Vec3::new(1.0, 2.0, 3.0));
+        assert!(!e.is_empty());
+        let u = e.union(&unit());
+        assert_eq!(u.min(), Vec3::new(-1.0, -1.0, -1.0));
+        assert_eq!(u.max(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn surface_area_of_unit_cube() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(b.surface_area(), 6.0);
+    }
+
+    proptest! {
+        /// A ray aimed at a point inside the box always passes the slab
+        /// test.
+        #[test]
+        fn aimed_rays_hit(
+            px in -0.9f64..0.9, py in -0.9f64..0.9, pz in -0.9f64..0.9,
+            ox in -10.0f64..10.0, oy in -10.0f64..10.0,
+        ) {
+            let target = Vec3::new(px, py, pz);
+            let origin = Vec3::new(ox, oy, 5.0);
+            let ray = Ray::new(origin, target - origin);
+            prop_assert!(unit().hit_by(&ray, f64::INFINITY));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Geometric primitives and intersection routines.
+
+mod aabb;
+mod plane;
+mod sphere;
+mod triangle;
+
+pub use aabb::Aabb;
+pub use plane::Plane;
+pub use sphere::Sphere;
+pub use triangle::Triangle;
+
+use crate::math::{Ray, Vec3};
+
+/// Minimum ray parameter accepted by intersection tests; avoids
+/// self-intersection of secondary rays ("shadow acne").
+pub const T_MIN: f64 = 1e-6;
+
+/// A ray-surface intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Ray parameter of the intersection point.
+    pub t: f64,
+    /// The intersection point.
+    pub point: Vec3,
+    /// Outward unit surface normal (flipped toward the ray origin).
+    pub normal: Vec3,
+}
+
+/// Any shape a ray can hit.
+pub trait Intersect {
+    /// The closest intersection with `t` in `(T_MIN, t_max)`, if any.
+    fn intersect(&self, ray: &Ray, t_max: f64) -> Option<Hit>;
+
+    /// The shape's bounding box.
+    fn bounds(&self) -> Aabb;
+}
+
+/// A concrete scene primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Primitive {
+    /// A sphere.
+    Sphere(Sphere),
+    /// An infinite plane.
+    Plane(Plane),
+    /// A triangle.
+    Triangle(Triangle),
+}
+
+impl Primitive {
+    /// Short kind name for statistics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Primitive::Sphere(_) => "sphere",
+            Primitive::Plane(_) => "plane",
+            Primitive::Triangle(_) => "triangle",
+        }
+    }
+
+    /// Returns `true` for unbounded primitives (planes), which cannot go
+    /// into a BVH.
+    pub fn is_unbounded(&self) -> bool {
+        matches!(self, Primitive::Plane(_))
+    }
+}
+
+impl Intersect for Primitive {
+    fn intersect(&self, ray: &Ray, t_max: f64) -> Option<Hit> {
+        match self {
+            Primitive::Sphere(s) => s.intersect(ray, t_max),
+            Primitive::Plane(p) => p.intersect(ray, t_max),
+            Primitive::Triangle(t) => t.intersect(ray, t_max),
+        }
+    }
+
+    fn bounds(&self) -> Aabb {
+        match self {
+            Primitive::Sphere(s) => s.bounds(),
+            Primitive::Plane(p) => p.bounds(),
+            Primitive::Triangle(t) => t.bounds(),
+        }
+    }
+}
+
+impl From<Sphere> for Primitive {
+    fn from(s: Sphere) -> Self {
+        Primitive::Sphere(s)
+    }
+}
+
+impl From<Plane> for Primitive {
+    fn from(p: Plane) -> Self {
+        Primitive::Plane(p)
+    }
+}
+
+impl From<Triangle> for Primitive {
+    fn from(t: Triangle) -> Self {
+        Primitive::Triangle(t)
+    }
+}

@@ -1,0 +1,94 @@
+//! Infinite plane primitive.
+
+use crate::math::{Ray, Vec3};
+
+use super::{Aabb, Hit, Intersect, T_MIN};
+
+/// An infinite plane through `point` with unit `normal`.
+///
+/// # Examples
+///
+/// ```
+/// use raytracer::geometry::{Intersect, Plane};
+/// use raytracer::math::{Ray, Vec3};
+///
+/// let floor = Plane::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+/// let ray = Ray::new(Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, -1.0, 0.0));
+/// assert!((floor.intersect(&ray, f64::INFINITY).unwrap().t - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plane {
+    point: Vec3,
+    normal: Vec3,
+}
+
+impl Plane {
+    /// Creates a plane; the normal is normalized.
+    pub fn new(point: Vec3, normal: Vec3) -> Self {
+        Plane { point, normal: normal.normalized() }
+    }
+
+    /// A point on the plane.
+    pub fn point(&self) -> Vec3 {
+        self.point
+    }
+
+    /// The unit normal.
+    pub fn normal(&self) -> Vec3 {
+        self.normal
+    }
+}
+
+impl Intersect for Plane {
+    fn intersect(&self, ray: &Ray, t_max: f64) -> Option<Hit> {
+        let denom = self.normal.dot(ray.dir);
+        if denom.abs() < 1e-12 {
+            return None; // parallel
+        }
+        let t = (self.point - ray.origin).dot(self.normal) / denom;
+        if t <= T_MIN || t >= t_max {
+            return None;
+        }
+        let normal = if denom < 0.0 { self.normal } else { -self.normal };
+        Some(Hit { t, point: ray.at(t), normal })
+    }
+
+    fn bounds(&self) -> Aabb {
+        // Unbounded; callers must keep planes out of the BVH.
+        Aabb::new(Vec3::splat(f64::NEG_INFINITY), Vec3::splat(f64::INFINITY))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_ray_misses() {
+        let p = Plane::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        let ray = Ray::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(p.intersect(&ray, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn behind_origin_misses() {
+        let p = Plane::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        let ray = Ray::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        assert!(p.intersect(&ray, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn normal_faces_ray() {
+        let p = Plane::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        // Hit from below: the reported normal must point down.
+        let ray = Ray::new(Vec3::new(0.0, -2.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        let hit = p.intersect(&ray, f64::INFINITY).unwrap();
+        assert!(hit.normal.y < 0.0);
+    }
+
+    #[test]
+    fn bounds_are_unbounded() {
+        let p = Plane::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        assert!(p.bounds().min().x.is_infinite());
+    }
+}

@@ -1,0 +1,123 @@
+//! Sphere primitive.
+
+use crate::math::{Ray, Vec3};
+
+use super::{Aabb, Hit, Intersect, T_MIN};
+
+/// A sphere.
+///
+/// # Examples
+///
+/// ```
+/// use raytracer::geometry::{Intersect, Sphere};
+/// use raytracer::math::{Ray, Vec3};
+///
+/// let s = Sphere::new(Vec3::new(0.0, 0.0, -5.0), 1.0);
+/// let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0));
+/// let hit = s.intersect(&ray, f64::INFINITY).unwrap();
+/// assert!((hit.t - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    center: Vec3,
+    radius: f64,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not positive.
+    pub fn new(center: Vec3, radius: f64) -> Self {
+        assert!(radius > 0.0, "sphere radius must be positive");
+        Sphere { center, radius }
+    }
+
+    /// The center point.
+    pub fn center(&self) -> Vec3 {
+        self.center
+    }
+
+    /// The radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+}
+
+impl Intersect for Sphere {
+    fn intersect(&self, ray: &Ray, t_max: f64) -> Option<Hit> {
+        let oc = ray.origin - self.center;
+        let b = oc.dot(ray.dir);
+        let c = oc.length_squared() - self.radius * self.radius;
+        let disc = b * b - c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sqrt_d = disc.sqrt();
+        let mut t = -b - sqrt_d;
+        if t <= T_MIN {
+            t = -b + sqrt_d;
+        }
+        if t <= T_MIN || t >= t_max {
+            return None;
+        }
+        let point = ray.at(t);
+        let mut normal = (point - self.center) / self.radius;
+        if normal.dot(ray.dir) > 0.0 {
+            normal = -normal; // hit from inside
+        }
+        Some(Hit { t, point, normal })
+    }
+
+    fn bounds(&self) -> Aabb {
+        let r = Vec3::splat(self.radius);
+        Aabb::new(self.center - r, self.center + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_at_origin() -> Sphere {
+        Sphere::new(Vec3::ZERO, 1.0)
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let ray = Ray::new(Vec3::new(0.0, 5.0, 5.0), Vec3::new(0.0, 0.0, -1.0));
+        assert!(unit_at_origin().intersect(&ray, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn hit_from_inside_flips_normal() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        let hit = unit_at_origin().intersect(&ray, f64::INFINITY).unwrap();
+        assert!((hit.t - 1.0).abs() < 1e-9);
+        // Normal points back toward the origin.
+        assert!(hit.normal.dot(ray.dir) < 0.0);
+    }
+
+    #[test]
+    fn t_max_culls() {
+        let s = Sphere::new(Vec3::new(0.0, 0.0, -10.0), 1.0);
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0));
+        assert!(s.intersect(&ray, 5.0).is_none());
+        assert!(s.intersect(&ray, 20.0).is_some());
+    }
+
+    #[test]
+    fn bounds_enclose() {
+        let s = Sphere::new(Vec3::new(1.0, 2.0, 3.0), 2.0);
+        let b = s.bounds();
+        assert_eq!(b.min(), Vec3::new(-1.0, 0.0, 1.0));
+        assert_eq!(b.max(), Vec3::new(3.0, 4.0, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_radius_panics() {
+        Sphere::new(Vec3::ZERO, 0.0);
+    }
+}

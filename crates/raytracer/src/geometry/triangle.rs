@@ -1,0 +1,147 @@
+//! Triangle primitive (Möller–Trumbore intersection).
+
+use crate::math::{Ray, Vec3};
+
+use super::{Aabb, Hit, Intersect, T_MIN};
+
+/// A triangle defined by three vertices.
+///
+/// # Examples
+///
+/// ```
+/// use raytracer::geometry::{Intersect, Triangle};
+/// use raytracer::math::{Ray, Vec3};
+///
+/// let tri = Triangle::new(
+///     Vec3::new(-1.0, -1.0, -3.0),
+///     Vec3::new(1.0, -1.0, -3.0),
+///     Vec3::new(0.0, 1.0, -3.0),
+/// );
+/// let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0));
+/// assert!((tri.intersect(&ray, f64::INFINITY).unwrap().t - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    a: Vec3,
+    b: Vec3,
+    c: Vec3,
+}
+
+impl Triangle {
+    /// Creates a triangle from its vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertices are (numerically) collinear.
+    pub fn new(a: Vec3, b: Vec3, c: Vec3) -> Self {
+        let area2 = (b - a).cross(c - a).length();
+        assert!(area2 > 1e-12, "degenerate triangle");
+        Triangle { a, b, c }
+    }
+
+    /// The vertices.
+    pub fn vertices(&self) -> (Vec3, Vec3, Vec3) {
+        (self.a, self.b, self.c)
+    }
+
+    /// Geometric (unnormalized-winding) unit normal.
+    pub fn normal(&self) -> Vec3 {
+        (self.b - self.a).cross(self.c - self.a).normalized()
+    }
+}
+
+impl Intersect for Triangle {
+    fn intersect(&self, ray: &Ray, t_max: f64) -> Option<Hit> {
+        let e1 = self.b - self.a;
+        let e2 = self.c - self.a;
+        let p = ray.dir.cross(e2);
+        let det = e1.dot(p);
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let s = ray.origin - self.a;
+        let u = s.dot(p) * inv_det;
+        if !(0.0..=1.0).contains(&u) {
+            return None;
+        }
+        let q = s.cross(e1);
+        let v = ray.dir.dot(q) * inv_det;
+        if v < 0.0 || u + v > 1.0 {
+            return None;
+        }
+        let t = e2.dot(q) * inv_det;
+        if t <= T_MIN || t >= t_max {
+            return None;
+        }
+        let mut normal = self.normal();
+        if normal.dot(ray.dir) > 0.0 {
+            normal = -normal;
+        }
+        Some(Hit { t, point: ray.at(t), normal })
+    }
+
+    fn bounds(&self) -> Aabb {
+        Aabb::new(self.a.min(self.b).min(self.c), self.a.max(self.b).max(self.c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tri() -> Triangle {
+        Triangle::new(
+            Vec3::new(-1.0, -1.0, -3.0),
+            Vec3::new(1.0, -1.0, -3.0),
+            Vec3::new(0.0, 1.0, -3.0),
+        )
+    }
+
+    #[test]
+    fn edge_cases_miss() {
+        // Outside the triangle.
+        let ray = Ray::new(Vec3::new(5.0, 5.0, 0.0), Vec3::new(0.0, 0.0, -1.0));
+        assert!(tri().intersect(&ray, f64::INFINITY).is_none());
+        // Parallel to the triangle plane.
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -1.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(tri().intersect(&ray, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn normal_faces_ray() {
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let hit = tri().intersect(&ray, f64::INFINITY).unwrap();
+        assert!(hit.normal.dot(ray.dir) < 0.0);
+    }
+
+    #[test]
+    fn bounds_enclose_vertices() {
+        let b = tri().bounds();
+        assert_eq!(b.min(), Vec3::new(-1.0, -1.0, -3.0));
+        assert_eq!(b.max(), Vec3::new(1.0, 1.0, -3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_panics() {
+        Triangle::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 0.0, 0.0));
+    }
+
+    proptest! {
+        /// Rays through random interior barycentric points always hit.
+        #[test]
+        fn interior_points_hit(u in 0.05f64..0.9, w in 0.05f64..0.9) {
+            prop_assume!(u + w < 0.95);
+            let t = tri();
+            let (a, b, c) = t.vertices();
+            let target = a * (1.0 - u - w) + b * u + c * w;
+            let origin = Vec3::new(0.0, 0.0, 2.0);
+            let ray = Ray::new(origin, target - origin);
+            let hit = t.intersect(&ray, f64::INFINITY);
+            prop_assert!(hit.is_some());
+            prop_assert!((hit.unwrap().point - target).length() < 1e-6);
+        }
+    }
+}

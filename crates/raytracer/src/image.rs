@@ -1,0 +1,135 @@
+//! Framebuffer and PPM output — the "output picture file" the master
+//! writes pixel stretches into.
+
+use crate::color::Color;
+
+/// A width × height image of linear colours.
+///
+/// # Examples
+///
+/// ```
+/// use raytracer::color::Color;
+/// use raytracer::image::Framebuffer;
+///
+/// let mut fb = Framebuffer::new(4, 2);
+/// fb.set(0, 0, Color::WHITE);
+/// assert_eq!(fb.get(0, 0), Color::WHITE);
+/// let ppm = fb.to_ppm();
+/// assert!(ppm.starts_with(b"P6\n4 2\n255\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Framebuffer {
+    width: u32,
+    height: u32,
+    pixels: Vec<Color>,
+}
+
+impl Framebuffer {
+    /// Creates a black framebuffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "framebuffer dimensions must be nonzero");
+        Framebuffer { width, height, pixels: vec![Color::BLACK; (width * height) as usize] }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total pixel count.
+    pub fn pixel_count(&self) -> u32 {
+        self.width * self.height
+    }
+
+    fn index(&self, x: u32, y: u32) -> usize {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        (y * self.width + x) as usize
+    }
+
+    /// Sets a pixel.
+    pub fn set(&mut self, x: u32, y: u32, color: Color) {
+        let i = self.index(x, y);
+        self.pixels[i] = color;
+    }
+
+    /// Sets a pixel by row-major linear index (how jobs address pixels).
+    pub fn set_linear(&mut self, index: u32, color: Color) {
+        assert!(index < self.pixel_count(), "linear index {index} out of bounds");
+        self.pixels[index as usize] = color;
+    }
+
+    /// Reads a pixel.
+    pub fn get(&self, x: u32, y: u32) -> Color {
+        self.pixels[self.index(x, y)]
+    }
+
+    /// Mean luminance over the image — a cheap scene-independent checksum
+    /// for comparing renders.
+    pub fn mean_luminance(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().map(|c| c.luminance()).sum::<f64>() / self.pixels.len() as f64
+    }
+
+    /// Serializes to binary PPM (P6).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        for c in &self.pixels {
+            let (r, g, b) = c.to_rgb8();
+            out.extend_from_slice(&[r, g, b]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_and_xy_agree() {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.set_linear(4, Color::WHITE); // row 1, col 1
+        assert_eq!(fb.get(1, 1), Color::WHITE);
+        assert_eq!(fb.get(0, 0), Color::BLACK);
+    }
+
+    #[test]
+    fn ppm_size() {
+        let fb = Framebuffer::new(10, 5);
+        let ppm = fb.to_ppm();
+        let header_len = b"P6\n10 5\n255\n".len();
+        assert_eq!(ppm.len(), header_len + 10 * 5 * 3);
+    }
+
+    #[test]
+    fn mean_luminance_tracks_content() {
+        let mut fb = Framebuffer::new(2, 1);
+        assert_eq!(fb.mean_luminance(), 0.0);
+        fb.set(0, 0, Color::WHITE);
+        fb.set(1, 0, Color::WHITE);
+        assert!((fb.mean_luminance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        Framebuffer::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_size_panics() {
+        Framebuffer::new(0, 4);
+    }
+}

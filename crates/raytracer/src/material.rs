@@ -1,0 +1,189 @@
+//! Surface materials for Whitted-style shading.
+
+use crate::color::Color;
+use crate::math::Vec3;
+
+/// A procedural checkerboard — the signature floor of Whitted's 1980
+/// images. Evaluated in the xz plane of the hit point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckerTexture {
+    /// Colour of the even squares.
+    pub a: Color,
+    /// Colour of the odd squares.
+    pub b: Color,
+    /// Side length of one square.
+    pub scale: f64,
+}
+
+impl CheckerTexture {
+    /// The colour at a surface point.
+    pub fn color_at(&self, point: Vec3) -> Color {
+        let u = (point.x / self.scale).floor() as i64;
+        let v = (point.z / self.scale).floor() as i64;
+        if (u + v).rem_euclid(2) == 0 {
+            self.a
+        } else {
+            self.b
+        }
+    }
+}
+
+/// Phong-style material with reflection and transmission coefficients.
+///
+/// The colour of a hit combines an ambient term, diffuse and specular
+/// lighting, a recursively traced reflection (if `reflectivity > 0`) and
+/// a recursively traced transmission (if `transparency > 0`) — the three
+/// contributions described in the paper's §4.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Base surface colour (overridden per point by `texture`, if set).
+    pub color: Color,
+    /// Optional procedural texture.
+    pub texture: Option<CheckerTexture>,
+    /// Ambient coefficient.
+    pub ambient: f64,
+    /// Diffuse coefficient.
+    pub diffuse: f64,
+    /// Specular coefficient.
+    pub specular: f64,
+    /// Phong exponent.
+    pub shininess: f64,
+    /// Fraction of light contributed by the reflected ray.
+    pub reflectivity: f64,
+    /// Fraction of light contributed by the transmitted ray.
+    pub transparency: f64,
+    /// Index of refraction (used when `transparency > 0`).
+    pub ior: f64,
+}
+
+impl Material {
+    /// A plain diffuse surface.
+    pub fn matte(color: Color) -> Self {
+        Material {
+            color,
+            texture: None,
+            ambient: 0.1,
+            diffuse: 0.9,
+            specular: 0.0,
+            shininess: 1.0,
+            reflectivity: 0.0,
+            transparency: 0.0,
+            ior: 1.0,
+        }
+    }
+
+    /// A "shiny" surface: diffuse plus a mirror component.
+    pub fn shiny(color: Color, reflectivity: f64) -> Self {
+        Material {
+            color,
+            texture: None,
+            ambient: 0.1,
+            diffuse: 0.7,
+            specular: 0.6,
+            shininess: 40.0,
+            reflectivity: reflectivity.clamp(0.0, 1.0),
+            transparency: 0.0,
+            ior: 1.0,
+        }
+    }
+
+    /// A near-perfect mirror.
+    pub fn mirror() -> Self {
+        Material {
+            color: Color::grey(0.95),
+            texture: None,
+            ambient: 0.02,
+            diffuse: 0.05,
+            specular: 0.8,
+            shininess: 200.0,
+            reflectivity: 0.9,
+            transparency: 0.0,
+            ior: 1.0,
+        }
+    }
+
+    /// A transparent, refracting surface.
+    pub fn glass(ior: f64) -> Self {
+        Material {
+            color: Color::grey(0.98),
+            texture: None,
+            ambient: 0.02,
+            diffuse: 0.05,
+            specular: 0.9,
+            shininess: 120.0,
+            reflectivity: 0.1,
+            transparency: 0.85,
+            ior,
+        }
+    }
+
+    /// A checkerboard floor material (Whitted's classic).
+    pub fn checker(a: Color, b: Color, scale: f64) -> Self {
+        Material {
+            texture: Some(CheckerTexture { a, b, scale }),
+            ..Material::shiny(a, 0.25)
+        }
+    }
+
+    /// The surface colour at `point` (texture-aware).
+    pub fn color_at(&self, point: Vec3) -> Color {
+        match &self.texture {
+            Some(t) => t.color_at(point),
+            None => self.color,
+        }
+    }
+
+    /// Returns `true` if hitting this material spawns secondary rays.
+    pub fn spawns_secondary_rays(&self) -> bool {
+        self.reflectivity > 0.0 || self.transparency > 0.0
+    }
+}
+
+impl Default for Material {
+    fn default() -> Self {
+        Material::matte(Color::grey(0.8))
+    }
+}
+
+/// A point light source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Light {
+    /// Light position.
+    pub position: crate::math::Vec3,
+    /// Light colour/intensity.
+    pub color: Color,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        assert!(!Material::matte(Color::WHITE).spawns_secondary_rays());
+        assert!(Material::mirror().spawns_secondary_rays());
+        assert!(Material::glass(1.5).spawns_secondary_rays());
+        assert!(Material::glass(1.5).transparency > 0.5);
+        assert_eq!(Material::shiny(Color::WHITE, 2.0).reflectivity, 1.0);
+    }
+
+    #[test]
+    fn checker_alternates_squares() {
+        let m = Material::checker(Color::WHITE, Color::BLACK, 2.0);
+        assert_eq!(m.color_at(Vec3::new(0.5, 0.0, 0.5)), Color::WHITE);
+        assert_eq!(m.color_at(Vec3::new(2.5, 0.0, 0.5)), Color::BLACK);
+        assert_eq!(m.color_at(Vec3::new(2.5, 0.0, 2.5)), Color::WHITE);
+        // Negative coordinates keep alternating without a seam.
+        assert_eq!(m.color_at(Vec3::new(-0.5, 0.0, 0.5)), Color::BLACK);
+        // Untextured materials return their base colour anywhere.
+        let plain = Material::matte(Color::WHITE);
+        assert_eq!(plain.color_at(Vec3::new(17.0, 3.0, -9.0)), Color::WHITE);
+    }
+
+    #[test]
+    fn default_is_matte() {
+        let m = Material::default();
+        assert_eq!(m.reflectivity, 0.0);
+        assert_eq!(m.transparency, 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Minimal 3-vector math for the ray tracer.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A 3-component vector / point.
+///
+/// # Examples
+///
+/// ```
+/// use raytracer::math::Vec3;
+///
+/// let v = Vec3::new(3.0, 0.0, 4.0);
+/// assert_eq!(v.length(), 5.0);
+/// assert!((v.normalized().length() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// A vector with all components equal.
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared length (cheaper when comparing distances).
+    pub fn length_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// The unit vector in this direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) on the zero vector.
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        debug_assert!(len > 0.0, "cannot normalize the zero vector");
+        self / len
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3 { x: self.x.min(o.x), y: self.y.min(o.y), z: self.z.min(o.z) }
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3 { x: self.x.max(o.x), y: self.y.max(o.y), z: self.z.max(o.z) }
+    }
+
+    /// Reflects this (incident) direction about `normal`.
+    pub fn reflect(self, normal: Vec3) -> Vec3 {
+        self - normal * (2.0 * self.dot(normal))
+    }
+
+    /// Refracts this (unit, incident) direction through a surface with
+    /// unit `normal` and relative index of refraction `eta` (n1/n2).
+    /// Returns `None` on total internal reflection.
+    pub fn refract(self, normal: Vec3, eta: f64) -> Option<Vec3> {
+        let cos_i = (-self.dot(normal)).clamp(-1.0, 1.0);
+        let sin2_t = eta * eta * (1.0 - cos_i * cos_i);
+        if sin2_t > 1.0 {
+            return None;
+        }
+        let cos_t = (1.0 - sin2_t).sqrt();
+        Some(self * eta + normal * (eta * cos_i - cos_t))
+    }
+
+    /// Largest component index (0, 1, 2) — used by BVH splitting.
+    pub fn max_axis(self) -> usize {
+        if self.x >= self.y && self.x >= self.z {
+            0
+        } else if self.y >= self.z {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Component by axis index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis > 2`.
+    pub fn axis(self, axis: usize) -> f64 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("axis {axis} out of range"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A ray: origin plus unit direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Ray direction (unit length by convention).
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray, normalizing the direction.
+    pub fn new(origin: Vec3, dir: Vec3) -> Self {
+        Ray { origin, dir: dir.normalized() }
+    }
+
+    /// The point at parameter `t`.
+    pub fn at(self, t: f64) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_and_cross() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(y.cross(x), Vec3::new(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn reflect_mirrors() {
+        let incident = Vec3::new(1.0, -1.0, 0.0).normalized();
+        let n = Vec3::new(0.0, 1.0, 0.0);
+        let r = incident.reflect(n);
+        assert!((r.x - incident.x).abs() < 1e-12);
+        assert!((r.y + incident.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refract_straight_through() {
+        let incident = Vec3::new(0.0, -1.0, 0.0);
+        let n = Vec3::new(0.0, 1.0, 0.0);
+        let t = incident.refract(n, 1.0).unwrap();
+        assert!((t - incident).length() < 1e-12);
+    }
+
+    #[test]
+    fn total_internal_reflection() {
+        // Grazing incidence from dense to thin medium.
+        let incident = Vec3::new(0.99, -0.141, 0.0).normalized();
+        let n = Vec3::new(0.0, 1.0, 0.0);
+        assert!(incident.refract(n, 1.5).is_none());
+    }
+
+    #[test]
+    fn axis_helpers() {
+        let v = Vec3::new(1.0, 3.0, 2.0);
+        assert_eq!(v.max_axis(), 1);
+        assert_eq!(v.axis(0), 1.0);
+        assert_eq!(v.axis(2), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_axis_panics() {
+        Vec3::ZERO.axis(3);
+    }
+
+    #[test]
+    fn ray_at() {
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(r.at(3.0), Vec3::new(1.0, 3.0, 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn normalize_gives_unit_length(
+            x in -100.0f64..100.0, y in -100.0f64..100.0, z in -100.0f64..100.0
+        ) {
+            let v = Vec3::new(x, y, z);
+            prop_assume!(v.length() > 1e-6);
+            prop_assert!((v.normalized().length() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cross_is_orthogonal(
+            ax in -10.0f64..10.0, ay in -10.0f64..10.0, az in -10.0f64..10.0,
+            bx in -10.0f64..10.0, by in -10.0f64..10.0, bz in -10.0f64..10.0,
+        ) {
+            let a = Vec3::new(ax, ay, az);
+            let b = Vec3::new(bx, by, bz);
+            let c = a.cross(b);
+            prop_assert!(c.dot(a).abs() < 1e-6);
+            prop_assert!(c.dot(b).abs() < 1e-6);
+        }
+
+        #[test]
+        fn reflect_preserves_length(
+            x in -10.0f64..10.0, y in -10.0f64..-0.1, z in -10.0f64..10.0
+        ) {
+            let v = Vec3::new(x, y, z).normalized();
+            let r = v.reflect(Vec3::new(0.0, 1.0, 0.0));
+            prop_assert!((r.length() - 1.0).abs() < 1e-9);
+        }
+    }
+}

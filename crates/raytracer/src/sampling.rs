@@ -1,0 +1,80 @@
+//! Sub-pixel sampling for the oversampling scheme.
+//!
+//! "An oversampling scheme, in which more than one ray is computed per
+//! pixel in order to reduce aliasing problems, is also organized by the
+//! master" (paper §4.2). The offsets are the deterministic centers of an
+//! `n × n` stratified grid, so renders stay bit-reproducible.
+
+/// Sub-pixel sample offsets for `n × n` oversampling, each in `[0, 1)²`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use raytracer::sampling::oversample_offsets;
+///
+/// assert_eq!(oversample_offsets(1), vec![(0.5, 0.5)]);
+/// assert_eq!(oversample_offsets(2).len(), 4);
+/// ```
+pub fn oversample_offsets(n: u32) -> Vec<(f64, f64)> {
+    assert!(n > 0, "oversampling factor must be at least 1");
+    let step = 1.0 / n as f64;
+    let mut out = Vec::with_capacity((n * n) as usize);
+    for j in 0..n {
+        for i in 0..n {
+            out.push((step * (i as f64 + 0.5), step * (j as f64 + 0.5)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_sample_is_center() {
+        assert_eq!(oversample_offsets(1), vec![(0.5, 0.5)]);
+    }
+
+    #[test]
+    fn grid_is_stratified() {
+        let offsets = oversample_offsets(3);
+        assert_eq!(offsets.len(), 9);
+        // One sample in each of the 9 strata.
+        for j in 0..3 {
+            for i in 0..3 {
+                let lo_x = i as f64 / 3.0;
+                let lo_y = j as f64 / 3.0;
+                assert!(
+                    offsets
+                        .iter()
+                        .any(|&(x, y)| (lo_x..lo_x + 1.0 / 3.0).contains(&x)
+                            && (lo_y..lo_y + 1.0 / 3.0).contains(&y)),
+                    "stratum ({i},{j}) empty"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_panics() {
+        oversample_offsets(0);
+    }
+
+    proptest! {
+        #[test]
+        fn offsets_in_unit_square(n in 1u32..8) {
+            for (x, y) in oversample_offsets(n) {
+                prop_assert!((0.0..1.0).contains(&x));
+                prop_assert!((0.0..1.0).contains(&y));
+            }
+            prop_assert_eq!(oversample_offsets(n).len(), (n * n) as usize);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Scene description: primitives with materials, plus lights.
+
+use crate::color::Color;
+use crate::geometry::Primitive;
+use crate::material::{Light, Material};
+
+/// One renderable object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Object {
+    /// The shape.
+    pub primitive: Primitive,
+    /// Its surface material.
+    pub material: Material,
+}
+
+/// A complete scene.
+///
+/// # Examples
+///
+/// ```
+/// use raytracer::color::Color;
+/// use raytracer::geometry::Sphere;
+/// use raytracer::material::{Light, Material};
+/// use raytracer::math::Vec3;
+/// use raytracer::scene::Scene;
+///
+/// let mut scene = Scene::new(Color::grey(0.1));
+/// scene.add(Sphere::new(Vec3::new(0.0, 0.0, -5.0), 1.0), Material::matte(Color::WHITE));
+/// scene.add_light(Light { position: Vec3::new(5.0, 5.0, 0.0), color: Color::WHITE });
+/// assert_eq!(scene.primitive_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scene {
+    objects: Vec<Object>,
+    lights: Vec<Light>,
+    background: Color,
+    ambient: Color,
+}
+
+impl Scene {
+    /// Creates an empty scene with the given background colour.
+    pub fn new(background: Color) -> Self {
+        Scene { objects: Vec::new(), lights: Vec::new(), background, ambient: Color::grey(1.0) }
+    }
+
+    /// Adds a primitive with a material; returns its object index.
+    pub fn add(&mut self, primitive: impl Into<Primitive>, material: Material) -> usize {
+        self.objects.push(Object { primitive: primitive.into(), material });
+        self.objects.len() - 1
+    }
+
+    /// Adds a light source.
+    pub fn add_light(&mut self, light: Light) -> &mut Self {
+        self.lights.push(light);
+        self
+    }
+
+    /// The scene's objects.
+    pub fn objects(&self) -> &[Object] {
+        &self.objects
+    }
+
+    /// The scene's lights.
+    pub fn lights(&self) -> &[Light] {
+        &self.lights
+    }
+
+    /// Background colour for rays that escape the scene — "a ray which
+    /// does not intersect any object of the scene gets assigned the
+    /// background colour of the picture without any further processing"
+    /// (paper §4.2).
+    pub fn background(&self) -> Color {
+        self.background
+    }
+
+    /// Global ambient light colour.
+    pub fn ambient(&self) -> Color {
+        self.ambient
+    }
+
+    /// Sets the ambient light colour.
+    pub fn set_ambient(&mut self, ambient: Color) -> &mut Self {
+        self.ambient = ambient;
+        self
+    }
+
+    /// Number of primitives — the paper's measure of scene complexity
+    /// (25 for the moderate scene, >250 for the fractal pyramid).
+    pub fn primitive_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Indices of objects with finite bounds (BVH candidates).
+    pub fn bounded_indices(&self) -> Vec<usize> {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.primitive.is_unbounded())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of unbounded objects (planes), always tested linearly.
+    pub fn unbounded_indices(&self) -> Vec<usize> {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.primitive.is_unbounded())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Plane, Sphere};
+    use crate::math::Vec3;
+
+    #[test]
+    fn partitions_bounded_and_unbounded() {
+        let mut s = Scene::new(Color::BLACK);
+        s.add(Sphere::new(Vec3::ZERO, 1.0), Material::default());
+        s.add(Plane::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0)), Material::default());
+        s.add(Sphere::new(Vec3::new(3.0, 0.0, 0.0), 1.0), Material::default());
+        assert_eq!(s.bounded_indices(), vec![0, 2]);
+        assert_eq!(s.unbounded_indices(), vec![1]);
+        assert_eq!(s.primitive_count(), 3);
+    }
+
+    #[test]
+    fn lights_and_ambient() {
+        let mut s = Scene::new(Color::grey(0.2));
+        s.add_light(Light { position: Vec3::ZERO, color: Color::WHITE });
+        s.set_ambient(Color::grey(0.3));
+        assert_eq!(s.lights().len(), 1);
+        assert_eq!(s.ambient(), Color::grey(0.3));
+        assert_eq!(s.background(), Color::grey(0.2));
+    }
+}

@@ -1,0 +1,110 @@
+//! Work counters: how much computation tracing a ray actually required.
+//!
+//! "The time to compute a ray varies considerably" (paper §4.2) — this
+//! variance is what makes static ray partitioning perform poorly and
+//! motivates the paper's dynamic scheme. The counters feed
+//! [`crate::cost::CostModel`], which converts real geometric work into
+//! simulated MC68020 time, so the variance in the simulation comes from
+//! actual scene geometry rather than a synthetic distribution.
+
+use std::ops::{Add, AddAssign};
+
+/// Counts of the elementary operations performed while tracing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Rays cast (primary + secondary + shadow).
+    pub rays: u64,
+    /// Ray–primitive intersection tests executed one at a time.
+    pub scalar_tests: u64,
+    /// Batched (vectorized) intersection test *chunks* executed on the
+    /// VFPU path; each chunk tests up to [`crate::intersect::VECTOR_WIDTH`]
+    /// primitives.
+    pub vector_chunks: u64,
+    /// BVH nodes visited.
+    pub bvh_visits: u64,
+    /// Shadow (occlusion) queries.
+    pub shadow_queries: u64,
+    /// Surface shading evaluations.
+    pub shadings: u64,
+    /// Reflection rays spawned.
+    pub reflections: u64,
+    /// Refraction rays spawned.
+    pub refractions: u64,
+}
+
+impl WorkCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        WorkCounters::default()
+    }
+
+    /// Total intersection-test units (each vector chunk counts once —
+    /// that is its point).
+    pub fn test_units(&self) -> u64 {
+        self.scalar_tests + self.vector_chunks
+    }
+
+    /// Returns `true` if nothing was counted.
+    pub fn is_zero(&self) -> bool {
+        *self == WorkCounters::default()
+    }
+}
+
+impl Add for WorkCounters {
+    type Output = WorkCounters;
+    fn add(self, o: WorkCounters) -> WorkCounters {
+        WorkCounters {
+            rays: self.rays + o.rays,
+            scalar_tests: self.scalar_tests + o.scalar_tests,
+            vector_chunks: self.vector_chunks + o.vector_chunks,
+            bvh_visits: self.bvh_visits + o.bvh_visits,
+            shadow_queries: self.shadow_queries + o.shadow_queries,
+            shadings: self.shadings + o.shadings,
+            reflections: self.reflections + o.reflections,
+            refractions: self.refractions + o.refractions,
+        }
+    }
+}
+
+impl AddAssign for WorkCounters {
+    fn add_assign(&mut self, o: WorkCounters) {
+        *self = *self + o;
+    }
+}
+
+impl std::iter::Sum for WorkCounters {
+    fn sum<I: Iterator<Item = WorkCounters>>(iter: I) -> Self {
+        iter.fold(WorkCounters::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_fieldwise() {
+        let a = WorkCounters { rays: 1, scalar_tests: 10, ..WorkCounters::default() };
+        let b = WorkCounters { rays: 2, shadings: 5, ..WorkCounters::default() };
+        let c = a + b;
+        assert_eq!(c.rays, 3);
+        assert_eq!(c.scalar_tests, 10);
+        assert_eq!(c.shadings, 5);
+        assert!(!c.is_zero());
+        assert!(WorkCounters::new().is_zero());
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: WorkCounters = (0..4)
+            .map(|i| WorkCounters { rays: i, ..WorkCounters::default() })
+            .sum();
+        assert_eq!(total.rays, 6);
+    }
+
+    #[test]
+    fn test_units_count_chunks_once() {
+        let c = WorkCounters { scalar_tests: 7, vector_chunks: 3, ..WorkCounters::default() };
+        assert_eq!(c.test_units(), 10);
+    }
+}

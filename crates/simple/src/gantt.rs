@@ -1,0 +1,292 @@
+//! Gantt-chart (time-state diagram) rendering.
+//!
+//! The paper's Figures 7–9 plot one horizontal band per process, with one
+//! row per program state; a bar in a row means the process was in that
+//! state. [`Gantt`] reproduces that layout, rendering to plain text for
+//! terminals and to SVG for documents.
+
+use std::fmt::Write as _;
+
+use crate::activity::ActivityTrack;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct GanttStyle {
+    /// Character columns of the plot area (text renderer).
+    pub width: usize,
+    /// Bar glyph.
+    pub bar: char,
+    /// Empty glyph.
+    pub space: char,
+    /// Pixel height of one state row (SVG renderer).
+    pub row_height: u32,
+    /// Pixel width of the plot area (SVG renderer).
+    pub svg_width: u32,
+}
+
+impl Default for GanttStyle {
+    fn default() -> Self {
+        GanttStyle { width: 100, bar: '#', space: ' ', row_height: 14, svg_width: 900 }
+    }
+}
+
+/// A Gantt chart over a set of activity tracks and a time window.
+///
+/// # Examples
+///
+/// ```
+/// use simple::{ActivityTrack, Gantt, Interval};
+///
+/// let track = ActivityTrack::from_intervals(
+///     "Servant",
+///     vec![
+///         Interval { start_ns: 0, end_ns: 400, state: "Work".into() },
+///         Interval { start_ns: 400, end_ns: 1_000, state: "Wait".into() },
+///     ],
+/// );
+/// let chart = Gantt::new(vec![track], 0, 1_000);
+/// let text = chart.render_text();
+/// assert!(text.contains("Work"));
+/// assert!(text.contains("Wait"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gantt {
+    tracks: Vec<ActivityTrack>,
+    from_ns: u64,
+    to_ns: u64,
+    style: GanttStyle,
+}
+
+impl Gantt {
+    /// Creates a chart over `[from_ns, to_ns)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn new(tracks: Vec<ActivityTrack>, from_ns: u64, to_ns: u64) -> Self {
+        assert!(from_ns < to_ns, "Gantt window must be nonempty");
+        Gantt { tracks, from_ns, to_ns, style: GanttStyle::default() }
+    }
+
+    /// Replaces the rendering style.
+    pub fn with_style(mut self, style: GanttStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// The chart's tracks.
+    pub fn tracks(&self) -> &[ActivityTrack] {
+        &self.tracks
+    }
+
+    /// The time window.
+    pub fn window(&self) -> (u64, u64) {
+        (self.from_ns, self.to_ns)
+    }
+
+    fn column_of(&self, t: u64) -> usize {
+        let span = (self.to_ns - self.from_ns) as u128;
+        let rel = t.saturating_sub(self.from_ns).min(self.to_ns - self.from_ns) as u128;
+        ((rel * self.style.width as u128) / span) as usize
+    }
+
+    /// Renders the chart as plain text: per track, one row per state, a
+    /// bar where the state is active, and a time axis at the bottom.
+    pub fn render_text(&self) -> String {
+        let label_width = self
+            .tracks
+            .iter()
+            .flat_map(|t| t.states().into_iter().map(str::len))
+            .max()
+            .unwrap_or(4)
+            .max(4)
+            + 2;
+        let mut out = String::new();
+        for track in &self.tracks {
+            let _ = writeln!(out, "== {} ==", track.name());
+            for state in track.states() {
+                let mut row = vec![self.style.space; self.style.width];
+                for iv in track.intervals().iter().filter(|iv| iv.state == state) {
+                    if iv.end_ns <= self.from_ns || iv.start_ns >= self.to_ns {
+                        continue;
+                    }
+                    let c0 = self.column_of(iv.start_ns);
+                    let c1 = self.column_of(iv.end_ns).max(c0 + 1).min(self.style.width);
+                    for cell in row.iter_mut().take(c1).skip(c0) {
+                        *cell = self.style.bar;
+                    }
+                }
+                let bar: String = row.into_iter().collect();
+                let _ = writeln!(out, "{state:>label_width$} |{bar}|");
+            }
+        }
+        // Time axis in seconds.
+        let _ = writeln!(
+            out,
+            "{:>label_width$} +{}+",
+            "",
+            "-".repeat(self.style.width),
+        );
+        let _ = writeln!(
+            out,
+            "{:>label_width$}  {:<w$}{:>w2$}",
+            "t(s)",
+            format!("{:.4}", self.from_ns as f64 / 1e9),
+            format!("{:.4}", self.to_ns as f64 / 1e9),
+            w = self.style.width / 2,
+            w2 = self.style.width - self.style.width / 2,
+        );
+        out
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    pub fn render_svg(&self) -> String {
+        const LABEL_PX: u32 = 160;
+        const PALETTE: [&str; 8] = [
+            "#4878a8", "#e06c4f", "#5ba163", "#a58a2d", "#8b6cc0", "#c55d88", "#4da5a5",
+            "#8a8a8a",
+        ];
+        let rows: usize = self.tracks.iter().map(|t| t.states().len()).sum();
+        let height = (rows as u32 + self.tracks.len() as u32) * self.style.row_height + 40;
+        let width = LABEL_PX + self.style.svg_width + 20;
+        let span = (self.to_ns - self.from_ns) as f64;
+        let x_of = |t: u64| -> f64 {
+            LABEL_PX as f64
+                + (t.saturating_sub(self.from_ns) as f64 / span) * self.style.svg_width as f64
+        };
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="monospace" font-size="10">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        let mut y = 10u32;
+        let mut color_idx = 0usize;
+        for track in &self.tracks {
+            let _ = writeln!(
+                svg,
+                r#"<text x="4" y="{}" font-weight="bold">{}</text>"#,
+                y + self.style.row_height - 4,
+                xml_escape(track.name())
+            );
+            y += self.style.row_height;
+            for state in track.states() {
+                let color = PALETTE[color_idx % PALETTE.len()];
+                color_idx += 1;
+                let _ = writeln!(
+                    svg,
+                    r#"<text x="12" y="{}">{}</text>"#,
+                    y + self.style.row_height - 4,
+                    xml_escape(state)
+                );
+                for iv in track.intervals().iter().filter(|iv| iv.state == state) {
+                    if iv.end_ns <= self.from_ns || iv.start_ns >= self.to_ns {
+                        continue;
+                    }
+                    let x0 = x_of(iv.start_ns);
+                    let x1 = x_of(iv.end_ns.min(self.to_ns)).max(x0 + 0.5);
+                    let _ = writeln!(
+                        svg,
+                        r#"<rect x="{x0:.1}" y="{}" width="{:.1}" height="{}" fill="{color}"/>"#,
+                        y + 2,
+                        x1 - x0,
+                        self.style.row_height - 4,
+                    );
+                }
+                y += self.style.row_height;
+            }
+        }
+        let _ = writeln!(
+            svg,
+            r#"<text x="{LABEL_PX}" y="{}">{:.4}s</text>"#,
+            y + 14,
+            self.from_ns as f64 / 1e9
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="end">{:.4}s</text>"#,
+            LABEL_PX + self.style.svg_width,
+            y + 14,
+            self.to_ns as f64 / 1e9
+        );
+        let _ = writeln!(svg, "</svg>");
+        svg
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::Interval;
+
+    fn track() -> ActivityTrack {
+        ActivityTrack::from_intervals(
+            "Master",
+            vec![
+                Interval { start_ns: 0, end_ns: 250, state: "Send Jobs".into() },
+                Interval { start_ns: 250, end_ns: 700, state: "Wait".into() },
+                Interval { start_ns: 700, end_ns: 1_000, state: "Send Jobs".into() },
+            ],
+        )
+    }
+
+    #[test]
+    fn text_render_shape() {
+        let g = Gantt::new(vec![track()], 0, 1_000)
+            .with_style(GanttStyle { width: 40, ..GanttStyle::default() });
+        let text = g.render_text();
+        assert!(text.contains("== Master =="));
+        let send_row = text.lines().find(|l| l.contains("Send Jobs |")).unwrap();
+        let bars = send_row.matches('#').count();
+        // 250/1000 + 300/1000 of 40 columns ≈ 10 + 12 cells.
+        assert!((20..=24).contains(&bars), "unexpected bar count {bars}\n{text}");
+    }
+
+    #[test]
+    fn clipping_to_window() {
+        let g = Gantt::new(vec![track()], 900, 2_000)
+            .with_style(GanttStyle { width: 10, ..GanttStyle::default() });
+        let text = g.render_text();
+        // Only the tail of the second "Send Jobs" interval shows.
+        let send_row = text.lines().find(|l| l.contains("Send Jobs |")).unwrap();
+        assert!(send_row.matches('#').count() <= 2, "{text}");
+        let wait_row = text.lines().find(|l| l.contains("Wait |")).unwrap();
+        assert_eq!(wait_row.matches('#').count(), 0);
+    }
+
+    #[test]
+    fn svg_contains_rects_and_labels() {
+        let g = Gantt::new(vec![track()], 0, 1_000);
+        let svg = g.render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("Master"));
+        assert!(svg.contains("Send Jobs"));
+        assert!(svg.matches("<rect").count() >= 4, "expect background + 3 bars");
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn minimum_one_column_bar() {
+        // A 1 ns interval in a 1 s window must still paint one cell.
+        let t = ActivityTrack::from_intervals(
+            "x",
+            vec![Interval { start_ns: 500, end_ns: 501, state: "Blip".into() }],
+        );
+        let g = Gantt::new(vec![t], 0, 1_000_000_000)
+            .with_style(GanttStyle { width: 50, ..GanttStyle::default() });
+        let text = g.render_text();
+        let row = text.lines().find(|l| l.contains("Blip |")).unwrap();
+        assert_eq!(row.matches('#').count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_window_panics() {
+        Gantt::new(vec![], 5, 5);
+    }
+}

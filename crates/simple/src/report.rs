@@ -1,0 +1,126 @@
+//! Textual reports over activity tracks: the statistics tables the real
+//! SIMPLE package printed for its users.
+
+use std::fmt::Write as _;
+
+use crate::activity::ActivityTrack;
+use crate::stats::state_durations;
+
+/// A per-state duration/occupancy summary for a set of tracks.
+///
+/// # Examples
+///
+/// ```
+/// use simple::{ActivityTrack, Interval};
+/// use simple::report::activity_report;
+///
+/// let track = ActivityTrack::from_intervals(
+///     "Servant 1",
+///     vec![
+///         Interval { start_ns: 0, end_ns: 600, state: "Work".into() },
+///         Interval { start_ns: 600, end_ns: 1_000, state: "Wait".into() },
+///     ],
+/// );
+/// let text = activity_report(&[track], 0, 1_000);
+/// assert!(text.contains("Work"));
+/// assert!(text.contains("60.0%"));
+/// ```
+pub fn activity_report(tracks: &[ActivityTrack], from_ns: u64, to_ns: u64) -> String {
+    assert!(from_ns < to_ns, "report window must be nonempty");
+    let window = (to_ns - from_ns) as f64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:<20} {:>7} {:>9} {:>12} {:>12} {:>12}",
+        "track", "state", "visits", "share", "mean", "min", "max"
+    );
+    for track in tracks {
+        for state in track.states() {
+            let acc = state_durations(track, state);
+            let share = track.time_in_state_within(state, from_ns, to_ns) as f64 / window;
+            let _ = writeln!(
+                out,
+                "{:<16} {:<20} {:>7} {:>8.1}% {:>12} {:>12} {:>12}",
+                truncate(track.name(), 16),
+                truncate(state, 20),
+                acc.count(),
+                share * 100.0,
+                fmt_secs(acc.mean()),
+                fmt_secs(acc.min().unwrap_or(0.0)),
+                fmt_secs(acc.max().unwrap_or(0.0)),
+            );
+        }
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.1}us", secs * 1e6)
+    } else {
+        format!("{:.0}ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::Interval;
+
+    fn demo_track() -> ActivityTrack {
+        ActivityTrack::from_intervals(
+            "Master",
+            vec![
+                Interval { start_ns: 0, end_ns: 2_000_000, state: "Send Jobs".into() },
+                Interval { start_ns: 2_000_000, end_ns: 5_000_000, state: "Wait".into() },
+                Interval { start_ns: 5_000_000, end_ns: 6_000_000, state: "Send Jobs".into() },
+            ],
+        )
+    }
+
+    #[test]
+    fn report_contains_all_states_and_shares() {
+        let text = activity_report(&[demo_track()], 0, 6_000_000);
+        assert!(text.contains("Send Jobs"));
+        assert!(text.contains("Wait"));
+        // Send Jobs: 3ms of 6ms = 50%.
+        assert!(text.contains("50.0%"), "{text}");
+        // Two visits to Send Jobs.
+        let line = text.lines().find(|l| l.contains("Send Jobs")).unwrap();
+        assert!(line.contains(" 2 "), "{line}");
+    }
+
+    #[test]
+    fn durations_format_human_readably() {
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(0.0025), "2.500ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.5us");
+        assert_eq!(fmt_secs(25e-9), "25ns");
+    }
+
+    #[test]
+    fn long_names_are_truncated() {
+        assert_eq!(truncate("short", 16), "short");
+        let t = truncate("a-very-long-track-name-indeed", 16);
+        assert!(t.len() <= 18); // UTF-8 ellipsis
+        assert!(t.ends_with('…'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_window_panics() {
+        activity_report(&[], 10, 10);
+    }
+}

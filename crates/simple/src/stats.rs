@@ -1,0 +1,158 @@
+//! Utilization and duration statistics over activity tracks.
+//!
+//! These are the numbers behind the paper's headline results: "the
+//! servants are only working about 15 % of the total time" (Fig. 8) and
+//! the 15 % → 29 % → 46 % → 60 % ladder of Fig. 10.
+
+use des::stats::Accumulator;
+use des::time::SimDuration;
+
+use crate::activity::ActivityTrack;
+
+/// The fraction of `[from_ns, to_ns)` a track spends in `state`.
+///
+/// # Panics
+///
+/// Panics if the window is empty.
+///
+/// # Examples
+///
+/// ```
+/// use simple::{utilization, ActivityTrack, Interval};
+///
+/// let t = ActivityTrack::from_intervals(
+///     "servant",
+///     vec![Interval { start_ns: 0, end_ns: 300, state: "Work".into() }],
+/// );
+/// assert_eq!(utilization(&t, "Work", 0, 1_000), 0.3);
+/// ```
+pub fn utilization(track: &ActivityTrack, state: &str, from_ns: u64, to_ns: u64) -> f64 {
+    assert!(from_ns < to_ns, "utilization window must be nonempty");
+    track.time_in_state_within(state, from_ns, to_ns) as f64 / (to_ns - from_ns) as f64
+}
+
+/// Distribution of the durations of every visit to `state`.
+pub fn state_durations(track: &ActivityTrack, state: &str) -> Accumulator {
+    let mut acc = Accumulator::new();
+    for iv in track.intervals().iter().filter(|iv| iv.state == state) {
+        acc.record_duration(SimDuration::from_nanos(iv.duration_ns()));
+    }
+    acc
+}
+
+/// Utilization of one state across a group of tracks — e.g. "Work"
+/// across all servants, the paper's servant-utilization metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationReport {
+    /// The state measured.
+    pub state: String,
+    /// Per-track utilization in `[0, 1]`, in track order.
+    pub per_track: Vec<(String, f64)>,
+    /// Mean utilization across tracks.
+    pub mean: f64,
+    /// The measurement window.
+    pub window: (u64, u64),
+}
+
+impl UtilizationReport {
+    /// Measures `state` across `tracks` over `[from_ns, to_ns)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tracks` is empty or the window is empty.
+    pub fn measure(
+        tracks: &[ActivityTrack],
+        state: &str,
+        from_ns: u64,
+        to_ns: u64,
+    ) -> UtilizationReport {
+        assert!(!tracks.is_empty(), "utilization needs at least one track");
+        let per_track: Vec<(String, f64)> = tracks
+            .iter()
+            .map(|t| (t.name().to_owned(), utilization(t, state, from_ns, to_ns)))
+            .collect();
+        let mean = per_track.iter().map(|(_, u)| u).sum::<f64>() / per_track.len() as f64;
+        UtilizationReport { state: state.to_owned(), per_track, mean, window: (from_ns, to_ns) }
+    }
+
+    /// Mean utilization as a percentage.
+    pub fn mean_percent(&self) -> f64 {
+        self.mean * 100.0
+    }
+}
+
+impl std::fmt::Display for UtilizationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "utilization of '{}' over [{:.4}s, {:.4}s): mean {:.1}%",
+            self.state,
+            self.window.0 as f64 / 1e9,
+            self.window.1 as f64 / 1e9,
+            self.mean_percent()
+        )?;
+        for (name, u) in &self.per_track {
+            writeln!(f, "  {name:<20} {:5.1}%", u * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::Interval;
+
+    fn work_track(name: &str, busy: &[(u64, u64)]) -> ActivityTrack {
+        let mut intervals = Vec::new();
+        for &(a, b) in busy {
+            intervals.push(Interval { start_ns: a, end_ns: b, state: "Work".into() });
+        }
+        ActivityTrack::from_intervals(name, intervals)
+    }
+
+    #[test]
+    fn utilization_clips_to_window() {
+        let t = work_track("s", &[(0, 500), (900, 1_200)]);
+        // Window [100, 1000): Work covers 100..500 and 900..1000 = 500.
+        assert!((utilization(&t, "Work", 100, 1_000) - 500.0 / 900.0).abs() < 1e-12);
+        assert_eq!(utilization(&t, "Idle", 0, 1_000), 0.0);
+    }
+
+    #[test]
+    fn report_means_across_tracks() {
+        let tracks = vec![
+            work_track("s1", &[(0, 300)]),
+            work_track("s2", &[(0, 600)]),
+            work_track("s3", &[(0, 900)]),
+        ];
+        let r = UtilizationReport::measure(&tracks, "Work", 0, 1_000);
+        assert!((r.mean - 0.6).abs() < 1e-12);
+        assert_eq!(r.per_track.len(), 3);
+        assert!((r.mean_percent() - 60.0).abs() < 1e-9);
+        let text = r.to_string();
+        assert!(text.contains("60.0%"));
+        assert!(text.contains("s2"));
+    }
+
+    #[test]
+    fn durations_distribution() {
+        let t = work_track("s", &[(0, 100), (200, 500), (600, 800)]);
+        let acc = state_durations(&t, "Work");
+        assert_eq!(acc.count(), 3);
+        assert!((acc.mean() - 200e-9).abs() < 1e-15);
+        assert_eq!(acc.max(), Some(300e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_window_panics() {
+        utilization(&work_track("s", &[]), "Work", 10, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one track")]
+    fn empty_tracks_panics() {
+        UtilizationReport::measure(&[], "Work", 0, 10);
+    }
+}

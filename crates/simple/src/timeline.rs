@@ -1,0 +1,148 @@
+//! Time-series views of activity data — the sampled counterpart of the
+//! real SIMPLE package's trace *animation*.
+//!
+//! A [`StateTimeline`] samples, at a fixed period, how many tracks are in
+//! a given state — e.g. "how many servants are Working at time t". That
+//! series is what an animation of Figure 8 would render frame by frame,
+//! and it is also the basis for the parallelism profile of a run.
+
+use crate::activity::ActivityTrack;
+
+/// A sampled count-over-time series for one state across many tracks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateTimeline {
+    state: String,
+    from_ns: u64,
+    period_ns: u64,
+    counts: Vec<u32>,
+}
+
+impl StateTimeline {
+    /// Samples how many of `tracks` are in `state` at each multiple of
+    /// `period_ns` within `[from_ns, to_ns)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or the period is zero.
+    pub fn sample(
+        tracks: &[ActivityTrack],
+        state: &str,
+        from_ns: u64,
+        to_ns: u64,
+        period_ns: u64,
+    ) -> StateTimeline {
+        assert!(from_ns < to_ns, "timeline window must be nonempty");
+        assert!(period_ns > 0, "sampling period must be nonzero");
+        let samples = ((to_ns - from_ns) / period_ns).max(1);
+        let counts = (0..samples)
+            .map(|k| {
+                let t = from_ns + k * period_ns;
+                tracks.iter().filter(|tr| tr.state_at(t) == Some(state)).count() as u32
+            })
+            .collect();
+        StateTimeline { state: state.to_owned(), from_ns, period_ns, counts }
+    }
+
+    /// The sampled state.
+    pub fn state(&self) -> &str {
+        &self.state
+    }
+
+    /// The sample values.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Time of sample `k`.
+    pub fn time_of(&self, k: usize) -> u64 {
+        self.from_ns + k as u64 * self.period_ns
+    }
+
+    /// Mean concurrent count — the average parallelism in this state.
+    pub fn mean(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts.iter().map(|&c| c as f64).sum::<f64>() / self.counts.len() as f64
+    }
+
+    /// Peak concurrent count.
+    pub fn peak(&self) -> u32 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Renders the series as a small ASCII strip chart, scaled to
+    /// `max_count` rows collapsed into intensity glyphs.
+    pub fn render_strip(&self, max_count: u32) -> String {
+        const GLYPHS: [char; 9] = [' ', '1', '2', '3', '4', '5', '6', '7', '8'];
+        let mut out = String::with_capacity(self.counts.len() + 16);
+        out.push_str(&format!("{:>12} |", self.state));
+        for &c in &self.counts {
+            let level = if max_count == 0 {
+                0
+            } else {
+                ((c.min(max_count) as usize) * (GLYPHS.len() - 1)).div_ceil(max_count as usize)
+            };
+            out.push(GLYPHS[level]);
+        }
+        out.push('|');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{ActivityTrack, Interval};
+
+    fn track(name: &str, work: (u64, u64)) -> ActivityTrack {
+        ActivityTrack::from_intervals(
+            name,
+            vec![Interval { start_ns: work.0, end_ns: work.1, state: "Work".into() }],
+        )
+    }
+
+    #[test]
+    fn counts_concurrent_tracks() {
+        let tracks = vec![
+            track("a", (0, 500)),
+            track("b", (200, 800)),
+            track("c", (600, 1_000)),
+        ];
+        let tl = StateTimeline::sample(&tracks, "Work", 0, 1_000, 100);
+        assert_eq!(tl.counts().len(), 10);
+        // t=0: a; t=300: a+b; t=700: b+c.
+        assert_eq!(tl.counts()[0], 1);
+        assert_eq!(tl.counts()[3], 2);
+        assert_eq!(tl.counts()[7], 2);
+        assert_eq!(tl.peak(), 2);
+        assert!(tl.mean() > 1.0 && tl.mean() < 2.0);
+        assert_eq!(tl.time_of(3), 300);
+    }
+
+    #[test]
+    fn strip_chart_renders() {
+        let tracks = vec![track("a", (0, 400)), track("b", (0, 400))];
+        let tl = StateTimeline::sample(&tracks, "Work", 0, 800, 100);
+        let strip = tl.render_strip(2);
+        assert!(strip.contains("Work"));
+        // First half full intensity, second half blank.
+        assert!(strip.contains('8'));
+        assert!(strip.ends_with('|'));
+    }
+
+    #[test]
+    fn empty_state_is_flat_zero() {
+        let tracks = vec![track("a", (0, 100))];
+        let tl = StateTimeline::sample(&tracks, "Nonexistent", 0, 200, 50);
+        assert!(tl.counts().iter().all(|&c| c == 0));
+        assert_eq!(tl.peak(), 0);
+        assert_eq!(tl.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_period_panics() {
+        StateTimeline::sample(&[], "x", 0, 100, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! The event-trace data model.
+//!
+//! A [`Trace`] is a time-sorted sequence of instrumentation [`Event`]s.
+//! Timestamps are plain `u64` nanoseconds *as claimed by the monitor* —
+//! deliberately not [`des::time::SimTime`], because a trace may carry
+//! skewed or merged timestamps that no longer correspond to true
+//! simulation time.
+
+use std::fmt;
+
+use hybridmon::{EventParam, EventToken};
+
+/// One recorded instrumentation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp in nanoseconds on the monitor's (claimed-global) clock.
+    pub ts_ns: u64,
+    /// The monitored channel (object node) the event came from.
+    pub channel: usize,
+    /// The event token.
+    pub token: EventToken,
+    /// The 32-bit parameter.
+    pub param: EventParam,
+}
+
+impl Event {
+    /// Creates an event from raw values.
+    pub fn new(ts_ns: u64, channel: usize, token: u16, param: u32) -> Self {
+        Event { ts_ns, channel, token: EventToken::new(token), param: EventParam::new(param) }
+    }
+}
+
+/// Error constructing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Events were not sorted by timestamp and sorting was not requested.
+    Unsorted {
+        /// Index of the first out-of-order event.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Unsorted { index } => {
+                write!(f, "trace events out of order at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A time-sorted event trace.
+///
+/// # Examples
+///
+/// ```
+/// use simple::{Event, Trace};
+///
+/// let t = Trace::from_events(vec![
+///     Event::new(10, 0, 1, 0),
+///     Event::new(20, 1, 2, 0),
+/// ])
+/// .unwrap();
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.span(), (10, 20));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// Builds a trace from already-sorted events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Unsorted`] if timestamps decrease anywhere.
+    pub fn from_events(events: Vec<Event>) -> Result<Self, TraceError> {
+        if let Some(i) = events.windows(2).position(|w| w[1].ts_ns < w[0].ts_ns) {
+            return Err(TraceError::Unsorted { index: i + 1 });
+        }
+        Ok(Trace { events })
+    }
+
+    /// Builds a trace, sorting the events by `(ts, channel, token)` —
+    /// what the CEC does when merging local traces.
+    pub fn from_unsorted(mut events: Vec<Event>) -> Self {
+        events.sort_by_key(|e| (e.ts_ns, e.channel, e.token.value()));
+        Trace { events }
+    }
+
+    /// Merges several traces into one global trace.
+    pub fn merge<I>(traces: I) -> Self
+    where
+        I: IntoIterator<Item = Trace>,
+    {
+        let events: Vec<Event> = traces.into_iter().flat_map(|t| t.events).collect();
+        Trace::from_unsorted(events)
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` for the empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// First and last timestamps; `(0, 0)` for an empty trace.
+    pub fn span(&self) -> (u64, u64) {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => (a.ts_ns, b.ts_ns),
+            _ => (0, 0),
+        }
+    }
+
+    /// A sub-trace containing only events matching `pred`.
+    pub fn filter<F>(&self, pred: F) -> Trace
+    where
+        F: Fn(&Event) -> bool,
+    {
+        Trace { events: self.events.iter().copied().filter(|e| pred(e)).collect() }
+    }
+
+    /// A sub-trace restricted to one channel.
+    pub fn channel(&self, channel: usize) -> Trace {
+        self.filter(|e| e.channel == channel)
+    }
+
+    /// A sub-trace restricted to the time window `[from_ns, to_ns)`.
+    pub fn window(&self, from_ns: u64, to_ns: u64) -> Trace {
+        self.filter(|e| (from_ns..to_ns).contains(&e.ts_ns))
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        Trace::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Event> for Trace {
+    fn extend<I: IntoIterator<Item = Event>>(&mut self, iter: I) {
+        self.events.extend(iter);
+        self.events.sort_by_key(|e| (e.ts_ns, e.channel, e.token.value()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_unsorted() {
+        let err = Trace::from_events(vec![Event::new(20, 0, 1, 0), Event::new(10, 0, 2, 0)])
+            .unwrap_err();
+        assert_eq!(err, TraceError::Unsorted { index: 1 });
+        assert!(err.to_string().contains("index 1"));
+    }
+
+    #[test]
+    fn from_unsorted_sorts() {
+        let t = Trace::from_unsorted(vec![Event::new(20, 0, 1, 0), Event::new(10, 0, 2, 0)]);
+        assert_eq!(t.events()[0].ts_ns, 10);
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let a = Trace::from_events(vec![Event::new(10, 0, 1, 0), Event::new(30, 0, 1, 0)]).unwrap();
+        let b = Trace::from_events(vec![Event::new(20, 1, 2, 0)]).unwrap();
+        let m = Trace::merge([a, b]);
+        let ts: Vec<u64> = m.events().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn filters_and_windows() {
+        let t = Trace::from_unsorted(
+            (0..10).map(|i| Event::new(i * 10, (i % 2) as usize, i as u16, 0)).collect(),
+        );
+        assert_eq!(t.channel(0).len(), 5);
+        assert_eq!(t.window(20, 50).len(), 3);
+        let (a, b) = t.span();
+        assert_eq!((a, b), (0, 90));
+        assert!(Trace::default().is_empty());
+        assert_eq!(Trace::default().span(), (0, 0));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Trace = (0..5).map(|i| Event::new(100 - i, 0, 0, 0)).collect();
+        assert!(t.events().windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    proptest! {
+        #[test]
+        fn merge_preserves_all_events(
+            xs in proptest::collection::vec(0u64..1000, 0..50),
+            ys in proptest::collection::vec(0u64..1000, 0..50),
+        ) {
+            let a: Trace = xs.iter().map(|&t| Event::new(t, 0, 1, 0)).collect();
+            let b: Trace = ys.iter().map(|&t| Event::new(t, 1, 2, 0)).collect();
+            let m = Trace::merge([a, b]);
+            prop_assert_eq!(m.len(), xs.len() + ys.len());
+            prop_assert!(m.events().windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Interconnect timing model.
+//!
+//! Buses are modelled as *resources with earliest-availability times*: a
+//! transfer occupies its resource from a start time (the later of "now +
+//! setup" and "resource free") for `size / bandwidth`, and the resource's
+//! next-free time advances accordingly. This captures queueing and
+//! contention — in particular the communication hot-spot at the ray
+//! tracer's master node — without simulating individual bus phases.
+//!
+//! Resources:
+//!
+//! * each node's **communication unit** (one outgoing DMA at a time);
+//! * each cluster's **dual cluster-bus rails** (a transfer picks whichever
+//!   rail frees first — the paper's fault-tolerant parallel buses double
+//!   usable bandwidth);
+//! * the **SUPRENUM-bus token ring** (shared, dual counter-rotating rings
+//!   modelled as two rails; token acquisition and per-hop latencies added).
+
+use des::time::{SimDuration, SimTime};
+
+use crate::config::MachineConfig;
+use crate::ids::NodeId;
+use crate::topology::{Route, Topology};
+
+/// A resource that can carry one transfer at a time.
+#[derive(Debug, Clone, Default)]
+struct Channel {
+    next_free: SimTime,
+}
+
+impl Channel {
+    /// Reserves the channel for `duration` starting no earlier than
+    /// `earliest`; returns the actual `(start, end)`.
+    fn reserve(&mut self, earliest: SimTime, duration: SimDuration) -> (SimTime, SimTime) {
+        let start = earliest.max(self.next_free);
+        let end = start + duration;
+        self.next_free = end;
+        (start, end)
+    }
+}
+
+/// A bundle of parallel rails; a transfer takes whichever frees first.
+#[derive(Debug, Clone)]
+struct RailSet {
+    rails: Vec<Channel>,
+}
+
+impl RailSet {
+    fn new(rails: usize) -> Self {
+        assert!(rails > 0, "need at least one rail");
+        RailSet { rails: vec![Channel::default(); rails] }
+    }
+
+    fn reserve(&mut self, earliest: SimTime, duration: SimDuration) -> (SimTime, SimTime) {
+        let best = self
+            .rails
+            .iter_mut()
+            .min_by_key(|r| r.next_free)
+            .expect("rail set is never empty");
+        best.reserve(earliest, duration)
+    }
+}
+
+/// The complete interconnect state of a machine.
+#[derive(Debug)]
+pub struct Interconnect {
+    cfg: InterconnectParams,
+    cu: Vec<Channel>,        // one per node
+    cluster_bus: Vec<RailSet>, // one per cluster
+    ring: RailSet,
+    stats: InterconnectStats,
+}
+
+#[derive(Debug, Clone)]
+struct InterconnectParams {
+    cluster_bus_bandwidth: u64,
+    cluster_bus_overhead: SimDuration,
+    ring_bandwidth: u64,
+    ring_token_latency: SimDuration,
+    ring_hop_latency: SimDuration,
+    cu_setup: SimDuration,
+    local_message_latency: SimDuration,
+}
+
+/// Aggregate transfer counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterconnectStats {
+    /// Node-local deliveries.
+    pub local_transfers: u64,
+    /// Cluster-bus transfers.
+    pub intra_cluster_transfers: u64,
+    /// Token-ring (inter-cluster) transfers.
+    pub inter_cluster_transfers: u64,
+    /// Total payload bytes moved.
+    pub bytes_moved: u64,
+}
+
+impl Interconnect {
+    /// Builds the interconnect for a configuration.
+    pub fn new(cfg: &MachineConfig, topo: &Topology) -> Self {
+        Interconnect {
+            cfg: InterconnectParams {
+                cluster_bus_bandwidth: cfg.cluster_bus_bandwidth,
+                cluster_bus_overhead: cfg.cluster_bus_overhead,
+                ring_bandwidth: cfg.ring_bandwidth,
+                ring_token_latency: cfg.ring_token_latency,
+                ring_hop_latency: cfg.ring_hop_latency,
+                cu_setup: cfg.cu_setup,
+                local_message_latency: cfg.local_message_latency,
+            },
+            cu: (0..topo.total_nodes()).map(|_| Channel::default()).collect(),
+            cluster_bus: (0..topo.clusters()).map(|_| RailSet::new(cfg.cluster_bus_rails as usize)).collect(),
+            ring: RailSet::new(2), // dual counter-rotating rings
+            stats: InterconnectStats::default(),
+        }
+    }
+
+    /// Computes (and reserves capacity for) the delivery time of a
+    /// message of `bytes` from `src` leaving at `now` along `route`.
+    ///
+    /// Returns the arrival time at the destination node.
+    pub fn transfer(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        route: Route,
+        bytes: u32,
+    ) -> SimTime {
+        self.stats.bytes_moved += bytes as u64;
+        match route {
+            Route::Local => {
+                self.stats.local_transfers += 1;
+                now + self.cfg.local_message_latency
+            }
+            Route::IntraCluster { cluster } => {
+                self.stats.intra_cluster_transfers += 1;
+                // CU DMA setup, then one cluster-bus occupation.
+                let (_, cu_done) =
+                    self.cu[src.index() as usize].reserve(now, self.cfg.cu_setup);
+                let dur = SimDuration::for_transfer(bytes as u64, self.cfg.cluster_bus_bandwidth)
+                    + self.cfg.cluster_bus_overhead;
+                let (_, end) = self.cluster_bus[cluster.index() as usize].reserve(cu_done, dur);
+                end
+            }
+            Route::InterCluster { src_cluster, dst_cluster, ring_hops } => {
+                self.stats.inter_cluster_transfers += 1;
+                // Leg 1: node -> communication node over the source
+                // cluster bus.
+                let (_, cu_done) =
+                    self.cu[src.index() as usize].reserve(now, self.cfg.cu_setup);
+                let leg = SimDuration::for_transfer(bytes as u64, self.cfg.cluster_bus_bandwidth)
+                    + self.cfg.cluster_bus_overhead;
+                let (_, l1_end) =
+                    self.cluster_bus[src_cluster.index() as usize].reserve(cu_done, leg);
+                // Leg 2: token ring, store-and-forward across hops.
+                let ring_dur = self.cfg.ring_token_latency
+                    + SimDuration::for_transfer(bytes as u64, self.cfg.ring_bandwidth)
+                    + self.cfg.ring_hop_latency * ring_hops as u64;
+                let (_, l2_end) = self.ring.reserve(l1_end, ring_dur);
+                // Leg 3: communication node -> destination node.
+                let (_, l3_end) =
+                    self.cluster_bus[dst_cluster.index() as usize].reserve(l2_end, leg);
+                l3_end
+            }
+        }
+    }
+
+    /// Transfer counters so far.
+    pub fn stats(&self) -> InterconnectStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClusterId;
+
+    fn setup(cfg: &MachineConfig) -> (Interconnect, Topology) {
+        let topo = Topology::new(cfg);
+        (Interconnect::new(cfg, &topo), topo)
+    }
+
+    #[test]
+    fn local_is_cheapest() {
+        let cfg = MachineConfig::default();
+        let (mut ic, topo) = setup(&cfg);
+        let t0 = SimTime::from_millis(1);
+        let local = ic.transfer(t0, NodeId::new(0), topo.route(NodeId::new(0), NodeId::new(0)), 1000);
+        let intra = ic.transfer(t0, NodeId::new(1), topo.route(NodeId::new(1), NodeId::new(2)), 1000);
+        assert!(local < intra, "local {local} should beat intra-cluster {intra}");
+    }
+
+    #[test]
+    fn inter_cluster_is_slowest() {
+        let cfg = MachineConfig::full_machine();
+        let (mut ic, topo) = setup(&cfg);
+        let t0 = SimTime::from_millis(1);
+        let intra = ic.transfer(t0, NodeId::new(0), topo.route(NodeId::new(0), NodeId::new(1)), 4096);
+        let inter = ic.transfer(t0, NodeId::new(2), topo.route(NodeId::new(2), NodeId::new(200)), 4096);
+        assert!(inter > intra);
+        assert_eq!(ic.stats().intra_cluster_transfers, 1);
+        assert_eq!(ic.stats().inter_cluster_transfers, 1);
+        assert_eq!(ic.stats().bytes_moved, 8192);
+    }
+
+    #[test]
+    fn contention_queues_transfers() {
+        let cfg = MachineConfig::default();
+        let (mut ic, _) = setup(&cfg);
+        let t0 = SimTime::from_millis(1);
+        let route = Route::IntraCluster { cluster: ClusterId::new(0) };
+        // Saturate both rails from different source nodes (distinct CUs),
+        // then a third transfer must wait for a rail.
+        let big = 1_000_000; // ~6.25ms per rail at 160MB/s
+        let a = ic.transfer(t0, NodeId::new(0), route, big);
+        let b = ic.transfer(t0, NodeId::new(1), route, big);
+        let c = ic.transfer(t0, NodeId::new(2), route, big);
+        // First two go in parallel on the two rails.
+        assert_eq!(a, b);
+        // Third queues behind one of them.
+        assert!(c > a);
+        assert!(c >= a + SimDuration::for_transfer(big as u64, cfg.cluster_bus_bandwidth));
+    }
+
+    #[test]
+    fn cu_serializes_one_nodes_sends() {
+        let cfg = MachineConfig::default();
+        let (mut ic, _) = setup(&cfg);
+        let t0 = SimTime::from_millis(1);
+        let route = Route::IntraCluster { cluster: ClusterId::new(0) };
+        // Two tiny sends from the same node: CU setup serializes them even
+        // though the bus is free.
+        let a = ic.transfer(t0, NodeId::new(0), route, 16);
+        let b = ic.transfer(t0, NodeId::new(0), route, 16);
+        assert!(b >= a, "second send from same node cannot finish earlier");
+        assert!(b >= t0 + cfg.cu_setup * 2);
+    }
+
+    #[test]
+    fn bandwidth_scales_transfer_time() {
+        let cfg = MachineConfig::default();
+        let (mut ic, topo) = setup(&cfg);
+        let t0 = SimTime::from_secs(1);
+        let route = topo.route(NodeId::new(0), NodeId::new(1));
+        let small = ic.transfer(t0, NodeId::new(0), route, 1_000);
+        // Fresh interconnect to avoid queueing effects.
+        let (mut ic2, _) = setup(&cfg);
+        let large = ic2.transfer(t0, NodeId::new(0), route, 10_000_000);
+        assert!(large - t0 > small - t0);
+        // 10 MB at 320 MB/s total is at least 31 ms even on a free rail.
+        assert!(large - t0 >= SimDuration::from_millis(31));
+    }
+}

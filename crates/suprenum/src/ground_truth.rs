@@ -1,0 +1,250 @@
+//! Ground-truth process state recording.
+//!
+//! The kernel records every true process state transition with exact
+//! global time. A real SUPRENUM offers no such oracle — that is the whole
+//! point of the paper — but the simulator can use it to *validate* the
+//! monitoring pipeline: activities derived from the hybrid-monitoring
+//! trace must agree with the ground truth up to instrumentation
+//! granularity. This also implements the paper's stated future work of
+//! instrumenting the operating system itself (scheduler states are
+//! exactly what they wanted to see).
+
+use std::collections::BTreeMap;
+
+use des::time::{SimDuration, SimTime};
+
+use crate::ids::{NodeId, ProcessId};
+
+/// Why a process is blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockReason {
+    /// Waiting for a synchronous send to be accepted.
+    SendSync,
+    /// Waiting for a mailbox send to be accepted by the remote mailbox
+    /// LWP.
+    MailboxSend,
+    /// Waiting in a synchronous receive.
+    Recv,
+    /// Waiting on an empty mailbox.
+    MailboxRecv,
+    /// Sleeping for a fixed time.
+    Sleep,
+    /// Waiting for a disk write.
+    Disk,
+    /// Waiting on a condition variable.
+    Cond,
+}
+
+/// True scheduler state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcState {
+    /// Runnable, waiting in the ready queue.
+    Ready,
+    /// Executing on the CPU.
+    Running,
+    /// Blocked for the given reason.
+    Blocked(BlockReason),
+    /// Terminated.
+    Exited,
+}
+
+impl ProcState {
+    /// Short state name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcState::Ready => "ready",
+            ProcState::Running => "running",
+            ProcState::Blocked(BlockReason::SendSync) => "blocked:send",
+            ProcState::Blocked(BlockReason::MailboxSend) => "blocked:mbox-send",
+            ProcState::Blocked(BlockReason::Recv) => "blocked:recv",
+            ProcState::Blocked(BlockReason::MailboxRecv) => "blocked:mbox-recv",
+            ProcState::Blocked(BlockReason::Sleep) => "blocked:sleep",
+            ProcState::Blocked(BlockReason::Disk) => "blocked:disk",
+            ProcState::Blocked(BlockReason::Cond) => "blocked:cond",
+            ProcState::Exited => "exited",
+        }
+    }
+}
+
+/// One recorded state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// When the process entered `state`.
+    pub time: SimTime,
+    /// The state entered.
+    pub state: ProcState,
+}
+
+/// Per-process metadata and state history.
+#[derive(Debug, Clone)]
+pub struct ProcHistory {
+    /// The node the process ran on.
+    pub node: NodeId,
+    /// The process label (from [`crate::Process::label`]).
+    pub label: String,
+    /// Chronological state transitions.
+    pub transitions: Vec<Transition>,
+}
+
+impl ProcHistory {
+    /// Total time spent in states matching `pred`, up to `end`.
+    pub fn time_in<F>(&self, end: SimTime, pred: F) -> SimDuration
+    where
+        F: Fn(ProcState) -> bool,
+    {
+        let mut total = SimDuration::ZERO;
+        for pair in self.transitions.windows(2) {
+            if pred(pair[0].state) {
+                total += pair[1].time.min(end).saturating_since(pair[0].time);
+            }
+        }
+        if let Some(last) = self.transitions.last() {
+            if pred(last.state) {
+                total += end.saturating_since(last.time);
+            }
+        }
+        total
+    }
+
+    /// The state at time `t`, if the process existed then.
+    pub fn state_at(&self, t: SimTime) -> Option<ProcState> {
+        let idx = self.transitions.partition_point(|tr| tr.time <= t);
+        idx.checked_sub(1).map(|i| self.transitions[i].state)
+    }
+}
+
+/// Ground-truth recorder for all processes of a run.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    procs: BTreeMap<ProcessId, ProcHistory>,
+}
+
+impl GroundTruth {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        GroundTruth::default()
+    }
+
+    /// Registers a process at creation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process was already registered.
+    pub fn register(&mut self, pid: ProcessId, node: NodeId, label: String, now: SimTime) {
+        let prev = self.procs.insert(
+            pid,
+            ProcHistory {
+                node,
+                label,
+                transitions: vec![Transition { time: now, state: ProcState::Ready }],
+            },
+        );
+        assert!(prev.is_none(), "process {pid} registered twice");
+    }
+
+    /// Records that `pid` entered `state` at `now`. Consecutive duplicate
+    /// states are coalesced.
+    pub fn record(&mut self, pid: ProcessId, now: SimTime, state: ProcState) {
+        let hist = self.procs.get_mut(&pid).expect("state recorded for unregistered process");
+        if hist.transitions.last().map(|t| t.state) == Some(state) {
+            return;
+        }
+        debug_assert!(
+            hist.transitions.last().is_none_or(|t| t.time <= now),
+            "ground-truth time went backwards"
+        );
+        hist.transitions.push(Transition { time: now, state });
+    }
+
+    /// History of one process.
+    pub fn history(&self, pid: ProcessId) -> Option<&ProcHistory> {
+        self.procs.get(&pid)
+    }
+
+    /// Iterates over all `(pid, history)` pairs in pid order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &ProcHistory)> {
+        self.procs.iter().map(|(&p, h)| (p, h))
+    }
+
+    /// Number of processes seen.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Returns `true` if no process was registered.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u32) -> ProcessId {
+        ProcessId::new(n)
+    }
+
+    #[test]
+    fn records_and_coalesces() {
+        let mut gt = GroundTruth::new();
+        gt.register(pid(1), NodeId::new(0), "m".into(), SimTime::ZERO);
+        gt.record(pid(1), SimTime::from_micros(10), ProcState::Running);
+        gt.record(pid(1), SimTime::from_micros(10), ProcState::Running); // duplicate
+        gt.record(pid(1), SimTime::from_micros(30), ProcState::Blocked(BlockReason::Recv));
+        let h = gt.history(pid(1)).unwrap();
+        assert_eq!(h.transitions.len(), 3);
+        assert_eq!(h.label, "m");
+    }
+
+    #[test]
+    fn time_in_running() {
+        let mut gt = GroundTruth::new();
+        gt.register(pid(1), NodeId::new(0), "m".into(), SimTime::ZERO);
+        gt.record(pid(1), SimTime::from_micros(10), ProcState::Running);
+        gt.record(pid(1), SimTime::from_micros(30), ProcState::Ready);
+        gt.record(pid(1), SimTime::from_micros(40), ProcState::Running);
+        let h = gt.history(pid(1)).unwrap();
+        // Running 10..30 plus 40..50 against end=50.
+        let t = h.time_in(SimTime::from_micros(50), |s| s == ProcState::Running);
+        assert_eq!(t, SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn state_at_lookup() {
+        let mut gt = GroundTruth::new();
+        gt.register(pid(2), NodeId::new(1), "s".into(), SimTime::from_micros(5));
+        gt.record(pid(2), SimTime::from_micros(10), ProcState::Running);
+        let h = gt.history(pid(2)).unwrap();
+        assert_eq!(h.state_at(SimTime::from_micros(3)), None);
+        assert_eq!(h.state_at(SimTime::from_micros(7)), Some(ProcState::Ready));
+        assert_eq!(h.state_at(SimTime::from_micros(10)), Some(ProcState::Running));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_register_panics() {
+        let mut gt = GroundTruth::new();
+        gt.register(pid(1), NodeId::new(0), "a".into(), SimTime::ZERO);
+        gt.register(pid(1), NodeId::new(0), "b".into(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn state_names_are_distinct() {
+        use std::collections::HashSet;
+        let states = [
+            ProcState::Ready,
+            ProcState::Running,
+            ProcState::Blocked(BlockReason::SendSync),
+            ProcState::Blocked(BlockReason::MailboxSend),
+            ProcState::Blocked(BlockReason::Recv),
+            ProcState::Blocked(BlockReason::MailboxRecv),
+            ProcState::Blocked(BlockReason::Sleep),
+            ProcState::Blocked(BlockReason::Disk),
+            ProcState::Blocked(BlockReason::Cond),
+            ProcState::Exited,
+        ];
+        let names: HashSet<&str> = states.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), states.len());
+    }
+}

@@ -1,0 +1,199 @@
+//! Identifier newtypes for machine entities.
+//!
+//! Distinct id types ([C-NEWTYPE]) prevent the classic simulator bug of
+//! indexing a node table with a process id.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+/// Index of a processing node, global across all clusters.
+///
+/// # Examples
+///
+/// ```
+/// use suprenum::NodeId;
+///
+/// let n = NodeId::new(17);
+/// assert_eq!(n.index(), 17);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from a global node index.
+    pub const fn new(index: u16) -> Self {
+        NodeId(index)
+    }
+
+    /// The global node index.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Index of a cluster within the machine's torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClusterId(u8);
+
+impl ClusterId {
+    /// Creates a cluster id.
+    pub const fn new(index: u8) -> Self {
+        ClusterId(index)
+    }
+
+    /// The cluster index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Identifier of a process (heavy- or light-weight), unique for the
+/// lifetime of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process id from its raw value. Normally only the kernel
+    /// allocates these; tests may forge them.
+    pub const fn new(raw: u32) -> Self {
+        ProcessId(raw)
+    }
+
+    /// The raw id value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a team of light-weight processes sharing an address
+/// space on one node (paper §2.2). Context switches within a team are
+/// cheap; switches across teams are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TeamId(u32);
+
+impl TeamId {
+    /// Creates a team id from its raw value.
+    pub const fn new(raw: u32) -> Self {
+        TeamId(raw)
+    }
+
+    /// The raw id value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TeamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a condition variable used for intra-node signalling
+/// between light-weight processes of a team (the "shared variable +
+/// relinquish" idiom the paper's communication agents use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CondId(u64);
+
+impl CondId {
+    /// Creates a condition id. Applications choose their own values;
+    /// processes sharing a value share the condition.
+    pub const fn new(raw: u64) -> Self {
+        CondId(raw)
+    }
+
+    /// The raw id value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for CondId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cond{}", self.0)
+    }
+}
+
+/// A schedulable entity on a node: either a user process or the kernel
+/// mailbox light-weight process owned by a user process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LwpId {
+    /// A user light-weight process.
+    User(ProcessId),
+    /// The mailbox LWP owned by the given user process. Per the paper, a
+    /// mailbox "is a light-weight process owned by the receiving process"
+    /// and must actually be scheduled to accept a message.
+    Mailbox(ProcessId),
+}
+
+impl LwpId {
+    /// The owning user process.
+    pub fn owner(self) -> ProcessId {
+        match self {
+            LwpId::User(p) | LwpId::Mailbox(p) => p,
+        }
+    }
+
+    /// Returns `true` for mailbox LWPs.
+    pub fn is_mailbox(self) -> bool {
+        matches!(self, LwpId::Mailbox(_))
+    }
+}
+
+impl fmt::Display for LwpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LwpId::User(p) => write!(f, "{p}"),
+            LwpId::Mailbox(p) => write!(f, "{p}.mbox"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::new(3).to_string(), "N3");
+        assert_eq!(ClusterId::new(1).to_string(), "C1");
+        assert_eq!(ProcessId::new(9).to_string(), "P9");
+        assert_eq!(LwpId::User(ProcessId::new(9)).to_string(), "P9");
+        assert_eq!(LwpId::Mailbox(ProcessId::new(9)).to_string(), "P9.mbox");
+        assert_eq!(CondId::new(2).to_string(), "cond2");
+    }
+
+    #[test]
+    fn lwp_owner() {
+        let p = ProcessId::new(4);
+        assert_eq!(LwpId::User(p).owner(), p);
+        assert_eq!(LwpId::Mailbox(p).owner(), p);
+        assert!(LwpId::Mailbox(p).is_mailbox());
+        assert!(!LwpId::User(p).is_mailbox());
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert!(NodeId::new(0) < NodeId::new(1));
+    }
+}

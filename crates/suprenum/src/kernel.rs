@@ -1,0 +1,879 @@
+//! The machine kernel: node schedulers, messaging, mailboxes and
+//! monitoring hooks.
+//!
+//! [`Machine`] owns every simulated node, process and bus. Its scheduling
+//! policy is the one the paper reverse-engineered from SUPRENUM's node
+//! operating system:
+//!
+//! * light-weight processes are scheduled **round-robin without time
+//!   slicing** — a running process keeps the CPU until it blocks or
+//!   deliberately relinquishes it;
+//! * each process's **mailbox is itself a light-weight process** that must
+//!   be scheduled to accept an incoming message; the *sender stays
+//!   blocked* until that happens. This is the mechanism that makes
+//!   SUPRENUM's "asynchronous" mailbox communication behave synchronously
+//!   (paper §4.3, version 1) and the simulator reproduces it structurally.
+//!
+//! Instrumentation ([`Action::Emit`]) is dispatched to the configured
+//! monitoring technique: hybrid monitoring writes the encoded pattern
+//! sequence to the node's seven-segment display (externally observable in
+//! the [`SignalLog`]), terminal monitoring serializes the event over the
+//! V.24 interface, software monitoring appends to a node-local buffer
+//! stamped with the node's skewed local clock.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use des::clock::ClockModel;
+use des::engine::{EventLoop, StopReason};
+use des::rng::DetRng;
+use des::time::{SimDuration, SimTime};
+use hybridmon::software::SoftwareMonitor;
+use hybridmon::{encode::encode, IntrusionReport, MonEvent, MonitoringMode};
+
+use crate::bus::{Interconnect, InterconnectStats};
+use crate::config::MachineConfig;
+use crate::ground_truth::{BlockReason, GroundTruth, ProcState};
+use crate::ids::{CondId, LwpId, NodeId, ProcessId, TeamId};
+use crate::message::Message;
+use crate::process::{Action, ProcCtx, Process, Resume};
+use crate::signals::{DisplayWrite, SignalLog, TerminalWrite};
+use crate::topology::{Route, Topology};
+
+/// Safety valve against processes that loop through zero-cost actions
+/// without ever blocking or computing.
+const MAX_ZERO_COST_ACTIONS: u32 = 1_000_000;
+
+/// Kernel events.
+enum Ev {
+    /// Try to start the next ready LWP on a node.
+    Dispatch(NodeId),
+    /// Context switch finished; `lwp` starts running.
+    Started { node: NodeId, lwp: LwpId },
+    /// A running process's timed action (compute, emit, spawn bookkeeping)
+    /// completed; it continues without a scheduling decision.
+    ResumeRunning { pid: ProcessId, resume: Resume },
+    /// A blocked process becomes ready again with this resume value.
+    Unblock { pid: ProcessId, resume: Resume },
+    /// A synchronous message arrives at the destination node.
+    SyncArrive { dst: ProcessId, src: ProcessId, msg: Message },
+    /// A mailbox message arrives at the destination node, awaiting the
+    /// mailbox LWP.
+    MailboxArrive { dst: ProcessId, src: ProcessId, msg: Message },
+    /// A remotely spawned process becomes runnable.
+    SpawnReady { pid: ProcessId },
+    /// The mailbox LWP of `owner` finished accepting `count` messages.
+    MailboxServiced { owner: ProcessId, count: usize },
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEnd {
+    /// The initial process exited; the application terminated normally.
+    Completed,
+    /// No events remain but the application has not terminated: every
+    /// live process is blocked forever. A bug in the measured program —
+    /// exactly what the monitoring is for.
+    Deadlock,
+    /// The time horizon was reached first.
+    Horizon,
+    /// The operator's job time limit expired and the partition was
+    /// released with the application unfinished (paper §2.2).
+    ResourcesReleased,
+    /// The event budget was exhausted (indicates a livelock).
+    EventBudget,
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Final simulated time.
+    pub end: SimTime,
+    /// Why the run ended.
+    pub reason: RunEnd,
+}
+
+/// Aggregate kernel counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Context switches performed across all nodes.
+    pub ctx_switches: u64,
+    /// Context switches that crossed a team boundary (expensive).
+    pub inter_team_switches: u64,
+    /// Mailbox-LWP scheduling rounds.
+    pub mailbox_services: u64,
+    /// Messages accepted by mailbox LWPs.
+    pub mailbox_messages: u64,
+    /// Synchronous rendezvous completed.
+    pub sync_messages: u64,
+    /// Instrumentation events emitted.
+    pub events_emitted: u64,
+    /// Processes created.
+    pub processes_spawned: u64,
+    /// Kernel (OS) instrumentation events emitted.
+    pub kernel_events: u64,
+}
+
+struct Proc {
+    node: NodeId,
+    team: TeamId,
+    body: Option<Box<dyn Process>>,
+    state: ProcState,
+    mbox: VecDeque<Message>,
+    pending_resume: Option<Resume>,
+}
+
+struct Node {
+    ready: VecDeque<LwpId>,
+    running: Option<LwpId>,
+    dispatching: bool,
+    /// Team of the last LWP that held the CPU (for switch pricing).
+    last_team: Option<TeamId>,
+    /// Synchronous messages that arrived before the receiver called
+    /// `Recv`, per destination process.
+    pending_sync: HashMap<ProcessId, VecDeque<(ProcessId, Message)>>,
+    /// Mailbox messages that arrived but have not yet been *accepted* by
+    /// the destination's mailbox LWP (their senders are still blocked).
+    mailbox_arrivals: HashMap<ProcessId, VecDeque<(ProcessId, Message)>>,
+    /// Mailbox LWPs currently enqueued or running.
+    mailbox_active: HashSet<ProcessId>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            ready: VecDeque::new(),
+            running: None,
+            dispatching: false,
+            last_team: None,
+            pending_sync: HashMap::new(),
+            mailbox_arrivals: HashMap::new(),
+            mailbox_active: HashSet::new(),
+        }
+    }
+}
+
+/// A simulated SUPRENUM machine.
+///
+/// # Examples
+///
+/// ```
+/// use des::time::{SimDuration, SimTime};
+/// use suprenum::{Action, Machine, MachineConfig, NodeId, ProcCtx, Process, Resume, RunEnd};
+///
+/// struct Busy(u8);
+/// impl Process for Busy {
+///     fn resume(&mut self, _ctx: &ProcCtx, _why: Resume) -> Action {
+///         self.0 += 1;
+///         if self.0 == 1 {
+///             Action::Compute(SimDuration::from_millis(3))
+///         } else {
+///             Action::Exit
+///         }
+///     }
+/// }
+///
+/// let mut machine = Machine::new(MachineConfig::single_cluster(2), 42).unwrap();
+/// machine.add_process(NodeId::new(0), Box::new(Busy(0)));
+/// let outcome = machine.run(SimTime::from_secs(1));
+/// assert_eq!(outcome.reason, RunEnd::Completed);
+/// assert!(outcome.end >= SimTime::from_millis(3));
+/// ```
+pub struct Machine {
+    cfg: MachineConfig,
+    topo: Topology,
+    interconnect: Interconnect,
+    sim: EventLoop<Ev>,
+    procs: Vec<Proc>,
+    nodes: Vec<Node>,
+    conds: HashMap<CondId, Vec<ProcessId>>,
+    signals: SignalLog,
+    ground_truth: GroundTruth,
+    intrusion: IntrusionReport,
+    software: Vec<SoftwareMonitor>,
+    stats: KernelStats,
+    /// Per-node earliest time the display is free for a kernel event
+    /// (serializes kernel emissions so pattern pairs never interleave).
+    kernel_display_free: Vec<SimTime>,
+    next_team: u32,
+    initial: Option<ProcessId>,
+    halted: bool,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("nodes", &self.nodes.len())
+            .field("processes", &self.procs.len())
+            .field("now", &self.sim.now())
+            .field("halted", &self.halted)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine from a configuration and a determinism seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error if it is inconsistent.
+    pub fn new(cfg: MachineConfig, seed: u64) -> Result<Self, crate::config::ConfigError> {
+        cfg.validate()?;
+        let topo = Topology::new(&cfg);
+        let interconnect = Interconnect::new(&cfg, &topo);
+        let rng = DetRng::new(seed);
+        let software = topo
+            .nodes()
+            .map(|n| {
+                let mut node_rng = rng.derive_indexed("node-clock", n.index() as u64);
+                let clock = ClockModel::random_skew(
+                    &mut node_rng,
+                    cfg.node_clock_max_offset,
+                    cfg.node_clock_max_drift_ppm,
+                    cfg.node_clock_resolution,
+                );
+                SoftwareMonitor::new(clock, cfg.software_buffer_capacity)
+            })
+            .collect();
+        let nodes: Vec<Node> = (0..topo.total_nodes()).map(|_| Node::new()).collect();
+        let nodes_len = nodes.len();
+        Ok(Machine {
+            cfg,
+            topo,
+            interconnect,
+            sim: EventLoop::new(),
+            procs: Vec::new(),
+            nodes,
+            conds: HashMap::new(),
+            signals: SignalLog::new(),
+            ground_truth: GroundTruth::new(),
+            intrusion: IntrusionReport::default(),
+            software,
+            stats: KernelStats::default(),
+            kernel_display_free: vec![SimTime::ZERO; nodes_len],
+            next_team: 0,
+            initial: None,
+            halted: false,
+        })
+    }
+
+    /// Adds a root process on `node` before the run starts. The first
+    /// process added is the application's *initial process*: its exit
+    /// terminates the whole application (paper §2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`run`](Self::run) or if `node` is out of
+    /// range.
+    pub fn add_process(&mut self, node: NodeId, body: Box<dyn Process>) -> ProcessId {
+        assert!(self.sim.now() == SimTime::ZERO && !self.halted, "add_process before run");
+        let team = TeamId::new(self.next_team);
+        self.next_team += 1;
+        let pid = self.create_proc(node, team, body, SimTime::ZERO);
+        if self.initial.is_none() {
+            self.initial = Some(pid);
+        }
+        self.nodes[node.index() as usize].ready.push_back(LwpId::User(pid));
+        pid
+    }
+
+    /// Runs the application until it terminates, deadlocks, or reaches
+    /// `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process was added.
+    pub fn run(&mut self, horizon: SimTime) -> RunOutcome {
+        self.run_budgeted(horizon, u64::MAX)
+    }
+
+    /// Like [`run`](Self::run) but also bounded by an event budget.
+    pub fn run_budgeted(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
+        assert!(self.initial.is_some(), "machine has no processes");
+        // The operator's job time limit releases the partition even if
+        // the application has not finished.
+        let release_at = self.cfg.job_time_limit.map(|l| SimTime::ZERO + l);
+        let (horizon, limited) = match release_at {
+            Some(r) if r < horizon => (r, true),
+            _ => (horizon, false),
+        };
+        // Kick every node that has ready work.
+        for n in self.topo.nodes() {
+            if !self.nodes[n.index() as usize].ready.is_empty() {
+                self.sim.schedule(SimTime::ZERO, Ev::Dispatch(n));
+            }
+        }
+        // The borrow checker will not let the handler borrow `self` while
+        // `self.sim` runs, so the event loop is temporarily moved out.
+        let mut sim = std::mem::take(&mut self.sim);
+        let stop = sim.run_bounded(horizon, max_events, |sim, _now, ev| {
+            // Reinstall the loop so kernel methods can schedule.
+            std::mem::swap(&mut self.sim, sim);
+            self.handle(ev);
+            std::mem::swap(&mut self.sim, sim);
+        });
+        self.sim = sim;
+        self.signals.sort();
+        let reason = if self.halted {
+            RunEnd::Completed
+        } else {
+            match stop {
+                StopReason::Drained => RunEnd::Deadlock,
+                StopReason::Horizon if limited => RunEnd::ResourcesReleased,
+                StopReason::Horizon => RunEnd::Horizon,
+                StopReason::StepBudget => RunEnd::EventBudget,
+            }
+        };
+        RunOutcome { end: self.sim.now(), reason }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The configuration the machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Externally observable hardware signals (display, terminal).
+    pub fn signals(&self) -> &SignalLog {
+        &self.signals
+    }
+
+    /// True process-state history (the validation oracle).
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.ground_truth
+    }
+
+    /// Monitoring intrusion accounting.
+    pub fn intrusion(&self) -> &IntrusionReport {
+        &self.intrusion
+    }
+
+    /// Per-node software-monitoring logs (populated when
+    /// [`MonitoringMode::Software`] is configured).
+    pub fn software_monitors(&self) -> &[SoftwareMonitor] {
+        &self.software
+    }
+
+    /// Kernel counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Interconnect counters.
+    pub fn interconnect_stats(&self) -> InterconnectStats {
+        self.interconnect.stats()
+    }
+
+    /// The label a process registered with.
+    pub fn process_label(&self, pid: ProcessId) -> Option<&str> {
+        self.ground_truth.history(pid).map(|h| h.label.as_str())
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Ev) {
+        if self.halted {
+            return;
+        }
+        match ev {
+            Ev::Dispatch(node) => self.try_dispatch(node),
+            Ev::Started { node, lwp } => self.start_lwp(node, lwp),
+            Ev::ResumeRunning { pid, resume } => {
+                debug_assert_eq!(self.procs[pid.raw() as usize].state, ProcState::Running);
+                self.step_process(pid, resume);
+            }
+            Ev::Unblock { pid, resume } => self.unblock(pid, resume),
+            Ev::SyncArrive { dst, src, msg } => self.sync_arrive(dst, src, msg),
+            Ev::MailboxArrive { dst, src, msg } => self.mailbox_arrive(dst, src, msg),
+            Ev::SpawnReady { pid } => {
+                let node = self.procs[pid.raw() as usize].node;
+                self.nodes[node.index() as usize].ready.push_back(LwpId::User(pid));
+                self.try_dispatch(node);
+            }
+            Ev::MailboxServiced { owner, count } => self.mailbox_serviced(owner, count),
+        }
+    }
+
+    fn create_proc(
+        &mut self,
+        node: NodeId,
+        team: TeamId,
+        body: Box<dyn Process>,
+        now: SimTime,
+    ) -> ProcessId {
+        assert!(
+            node.index() < self.topo.total_nodes(),
+            "process placed on nonexistent node {node}"
+        );
+        let pid = ProcessId::new(self.procs.len() as u32);
+        let label = body.label();
+        self.procs.push(Proc {
+            node,
+            team,
+            body: Some(body),
+            state: ProcState::Ready,
+            mbox: VecDeque::new(),
+            pending_resume: Some(Resume::Start),
+        });
+        self.ground_truth.register(pid, node, label, now);
+        self.stats.processes_spawned += 1;
+        pid
+    }
+
+    fn try_dispatch(&mut self, node: NodeId) {
+        let n = &mut self.nodes[node.index() as usize];
+        if n.running.is_some() || n.dispatching {
+            return;
+        }
+        let Some(lwp) = n.ready.pop_front() else { return };
+        n.dispatching = true;
+        self.stats.ctx_switches += 1;
+        // Switch pricing (paper §2.2): cheap within a team, a full
+        // address-space switch across teams.
+        let next_team = self.procs[lwp.owner().raw() as usize].team;
+        let n = &mut self.nodes[node.index() as usize];
+        let same_team = n.last_team.is_none_or(|t| t == next_team);
+        n.last_team = Some(next_team);
+        let mut delay = if same_team {
+            self.cfg.ctx_switch
+        } else {
+            self.stats.inter_team_switches += 1;
+            self.cfg.ctx_switch_inter_team
+        };
+        if self.kernel_instrumented() {
+            delay += self.cfg.kernel_event_cost;
+            let code = u8::from(lwp.is_mailbox());
+            self.kernel_emit(
+                node,
+                crate::os_tokens::KERNEL_DISPATCH,
+                crate::os_tokens::param(lwp.owner().raw(), code),
+            );
+        }
+        self.sim.schedule_in(delay, Ev::Started { node, lwp });
+    }
+
+    fn start_lwp(&mut self, node: NodeId, lwp: LwpId) {
+        let n = &mut self.nodes[node.index() as usize];
+        n.dispatching = false;
+        n.running = Some(lwp);
+        match lwp {
+            LwpId::User(pid) => {
+                let now = self.sim.now();
+                self.set_state(pid, ProcState::Running, now);
+                let resume = self.procs[pid.raw() as usize]
+                    .pending_resume
+                    .take()
+                    .expect("dispatched process has no pending resume");
+                self.step_process(pid, resume);
+            }
+            LwpId::Mailbox(owner) => {
+                // The mailbox process accepts every message waiting right
+                // now; later arrivals wait for its next scheduling.
+                let count = self.nodes[node.index() as usize]
+                    .mailbox_arrivals
+                    .get(&owner)
+                    .map_or(0, VecDeque::len);
+                if self.kernel_instrumented() {
+                    self.kernel_emit(
+                        node,
+                        crate::os_tokens::KERNEL_MAILBOX_SERVICE,
+                        crate::os_tokens::param(owner.raw(), count.min(255) as u8),
+                    );
+                }
+                self.stats.mailbox_services += 1;
+                let busy = self.cfg.mailbox_accept_cost * count.max(1) as u64;
+                self.sim.schedule_in(busy, Ev::MailboxServiced { owner, count });
+            }
+        }
+    }
+
+    fn mailbox_serviced(&mut self, owner: ProcessId, count: usize) {
+        let node = self.procs[owner.raw() as usize].node;
+        let now = self.sim.now();
+        for _ in 0..count {
+            let (src, msg) = self.nodes[node.index() as usize]
+                .mailbox_arrivals
+                .get_mut(&owner)
+                .and_then(VecDeque::pop_front)
+                .expect("mailbox service count exceeds arrivals");
+            self.stats.mailbox_messages += 1;
+            // Accepting the message releases the (still blocked) sender.
+            self.sim
+                .schedule(now + self.cfg.ack_latency, Ev::Unblock { pid: src, resume: Resume::Sent });
+            // Hand to the owner: directly if it is waiting, else queue.
+            let owner_proc = &mut self.procs[owner.raw() as usize];
+            let waiting = owner_proc.state == ProcState::Blocked(BlockReason::MailboxRecv)
+                && owner_proc.pending_resume.is_none();
+            if waiting {
+                self.unblock(owner, Resume::MailboxMsg(msg));
+            } else {
+                owner_proc.mbox.push_back(msg);
+            }
+        }
+        // Mailbox LWP blocks again (it is "always in a receive state").
+        let n = &mut self.nodes[node.index() as usize];
+        n.running = None;
+        n.mailbox_active.remove(&owner);
+        // Messages that arrived during servicing require another round.
+        if n.mailbox_arrivals.get(&owner).is_some_and(|q| !q.is_empty()) {
+            n.ready.push_back(LwpId::Mailbox(owner));
+            n.mailbox_active.insert(owner);
+        }
+        self.try_dispatch(node);
+    }
+
+    fn sync_arrive(&mut self, dst: ProcessId, src: ProcessId, msg: Message) {
+        let dst_proc = &self.procs[dst.raw() as usize];
+        assert!(
+            dst_proc.state != ProcState::Exited,
+            "synchronous message to exited process {dst}"
+        );
+        let node = dst_proc.node;
+        let waiting = dst_proc.state == ProcState::Blocked(BlockReason::Recv)
+            && dst_proc.pending_resume.is_none();
+        if waiting {
+            self.complete_rendezvous(dst, src, msg);
+        } else {
+            self.nodes[node.index() as usize]
+                .pending_sync
+                .entry(dst)
+                .or_default()
+                .push_back((src, msg));
+        }
+    }
+
+    fn complete_rendezvous(&mut self, dst: ProcessId, src: ProcessId, msg: Message) {
+        self.stats.sync_messages += 1;
+        let now = self.sim.now();
+        self.sim
+            .schedule(now + self.cfg.ack_latency, Ev::Unblock { pid: src, resume: Resume::Sent });
+        self.unblock(dst, Resume::Msg(msg));
+    }
+
+    fn mailbox_arrive(&mut self, dst: ProcessId, src: ProcessId, msg: Message) {
+        let dst_proc = &self.procs[dst.raw() as usize];
+        assert!(dst_proc.state != ProcState::Exited, "mailbox message to exited process {dst}");
+        let node = dst_proc.node;
+        let n = &mut self.nodes[node.index() as usize];
+        n.mailbox_arrivals.entry(dst).or_default().push_back((src, msg));
+        // Wake the mailbox LWP; it still has to *win the CPU* before the
+        // sender is released — the crux of the paper's observation.
+        if n.mailbox_active.insert(dst) {
+            n.ready.push_back(LwpId::Mailbox(dst));
+        }
+        self.try_dispatch(node);
+    }
+
+    fn unblock(&mut self, pid: ProcessId, resume: Resume) {
+        let now = self.sim.now();
+        let proc = &mut self.procs[pid.raw() as usize];
+        debug_assert!(
+            matches!(proc.state, ProcState::Blocked(_)),
+            "unblock of non-blocked process {pid} in state {:?}",
+            proc.state
+        );
+        debug_assert!(proc.pending_resume.is_none(), "double unblock of {pid}");
+        proc.pending_resume = Some(resume);
+        let node = proc.node;
+        self.set_state(pid, ProcState::Ready, now);
+        self.nodes[node.index() as usize].ready.push_back(LwpId::User(pid));
+        self.try_dispatch(node);
+    }
+
+    fn set_state(&mut self, pid: ProcessId, state: ProcState, now: SimTime) {
+        self.procs[pid.raw() as usize].state = state;
+        self.ground_truth.record(pid, now, state);
+    }
+
+    /// Runs one process forward until it issues an action that takes
+    /// simulated time or blocks.
+    fn step_process(&mut self, pid: ProcessId, mut resume: Resume) {
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(
+                guard < MAX_ZERO_COST_ACTIONS,
+                "process {pid} loops through zero-cost actions without blocking"
+            );
+            let now = self.sim.now();
+            let node = self.procs[pid.raw() as usize].node;
+            let ctx = ProcCtx { pid, node, now };
+            let action = {
+                let body = self.procs[pid.raw() as usize]
+                    .body
+                    .as_mut()
+                    .expect("resuming an exited process");
+                body.resume(&ctx, resume)
+            };
+            match action {
+                Action::Compute(d) => {
+                    self.intrusion.record_application(d);
+                    self.sim.schedule_in(d, Ev::ResumeRunning { pid, resume: Resume::ComputeDone });
+                    return;
+                }
+                Action::Emit { token, param } => {
+                    if let Some(cost) = self.emit(pid, node, token, param) {
+                        self.sim
+                            .schedule_in(cost, Ev::ResumeRunning { pid, resume: Resume::EmitDone });
+                        return;
+                    }
+                    resume = Resume::EmitDone;
+                }
+                Action::SendSync { to, msg } => {
+                    self.block(pid, BlockReason::SendSync);
+                    let route = self.topo.route(node, self.procs[to.raw() as usize].node);
+                    let arrival = self.interconnect.transfer(now, node, route, msg.bytes());
+                    self.sim.schedule(arrival, Ev::SyncArrive { dst: to, src: pid, msg });
+                    return;
+                }
+                Action::Recv => {
+                    let pending = self.nodes[node.index() as usize]
+                        .pending_sync
+                        .get_mut(&pid)
+                        .and_then(VecDeque::pop_front);
+                    match pending {
+                        Some((src, msg)) => {
+                            self.stats.sync_messages += 1;
+                            self.sim.schedule(
+                                now + self.cfg.ack_latency,
+                                Ev::Unblock { pid: src, resume: Resume::Sent },
+                            );
+                            resume = Resume::Msg(msg);
+                        }
+                        None => {
+                            self.block(pid, BlockReason::Recv);
+                            return;
+                        }
+                    }
+                }
+                Action::MailboxSend { to, msg } => {
+                    self.block(pid, BlockReason::MailboxSend);
+                    let route = self.topo.route(node, self.procs[to.raw() as usize].node);
+                    let arrival = self.interconnect.transfer(now, node, route, msg.bytes());
+                    self.sim.schedule(arrival, Ev::MailboxArrive { dst: to, src: pid, msg });
+                    return;
+                }
+                Action::MailboxRecv => {
+                    match self.procs[pid.raw() as usize].mbox.pop_front() {
+                        Some(msg) => resume = Resume::MailboxMsg(msg),
+                        None => {
+                            self.block(pid, BlockReason::MailboxRecv);
+                            return;
+                        }
+                    }
+                }
+                Action::Yield => {
+                    let now = self.sim.now();
+                    self.set_state(pid, ProcState::Ready, now);
+                    self.procs[pid.raw() as usize].pending_resume = Some(Resume::Yielded);
+                    let n = &mut self.nodes[node.index() as usize];
+                    n.running = None;
+                    n.ready.push_back(LwpId::User(pid));
+                    self.try_dispatch(node);
+                    return;
+                }
+                Action::Sleep(d) => {
+                    self.block(pid, BlockReason::Sleep);
+                    self.sim.schedule_in(d, Ev::Unblock { pid, resume: Resume::Slept });
+                    return;
+                }
+                Action::Spawn { node: target, body } => {
+                    // Processes spawned on the spawner's node join its
+                    // team (light-weight); remote spawns start new teams.
+                    let team = if target == node {
+                        self.procs[pid.raw() as usize].team
+                    } else {
+                        let t = TeamId::new(self.next_team);
+                        self.next_team += 1;
+                        t
+                    };
+                    let child = self.create_proc(target, team, body, now);
+                    if target == node {
+                        self.nodes[target.index() as usize].ready.push_back(LwpId::User(child));
+                    } else {
+                        self.sim
+                            .schedule_in(self.cfg.remote_spawn_latency, Ev::SpawnReady { pid: child });
+                    }
+                    self.intrusion.record_application(self.cfg.spawn_cost);
+                    self.sim.schedule_in(
+                        self.cfg.spawn_cost,
+                        Ev::ResumeRunning { pid, resume: Resume::Spawned(child) },
+                    );
+                    return;
+                }
+                Action::DiskWrite { bytes } => {
+                    self.block(pid, BlockReason::Disk);
+                    // The write travels over the cluster bus to the disk
+                    // node, then streams to disk.
+                    let cluster = self.topo.cluster_of(node);
+                    let arrival = self.interconnect.transfer(
+                        now,
+                        node,
+                        Route::IntraCluster { cluster },
+                        bytes,
+                    );
+                    let write = self.cfg.disk_latency
+                        + SimDuration::for_transfer(bytes as u64, self.cfg.disk_bandwidth);
+                    self.sim
+                        .schedule(arrival + write, Ev::Unblock { pid, resume: Resume::DiskDone });
+                    return;
+                }
+                Action::WaitCond(cond) => {
+                    self.conds.entry(cond).or_default().push(pid);
+                    self.block(pid, BlockReason::Cond);
+                    return;
+                }
+                Action::SignalCond(cond) => {
+                    if let Some(waiters) = self.conds.remove(&cond) {
+                        for w in waiters {
+                            self.unblock(w, Resume::Signalled);
+                        }
+                    }
+                    resume = Resume::SignalSent;
+                }
+                Action::Exit => {
+                    let now = self.sim.now();
+                    if self.kernel_instrumented() {
+                        self.kernel_emit(
+                            node,
+                            crate::os_tokens::KERNEL_EXIT,
+                            crate::os_tokens::param(pid.raw(), 0),
+                        );
+                    }
+                    self.set_state(pid, ProcState::Exited, now);
+                    self.procs[pid.raw() as usize].body = None;
+                    self.nodes[node.index() as usize].running = None;
+                    if Some(pid) == self.initial {
+                        // Termination of the initial process terminates
+                        // the whole application (paper §2.2).
+                        self.halted = true;
+                        self.sim.clear();
+                        return;
+                    }
+                    self.try_dispatch(node);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, pid: ProcessId, reason: BlockReason) {
+        let now = self.sim.now();
+        self.set_state(pid, ProcState::Blocked(reason), now);
+        let node = self.procs[pid.raw() as usize].node;
+        if self.kernel_instrumented() {
+            self.kernel_emit(
+                node,
+                crate::os_tokens::KERNEL_BLOCK,
+                crate::os_tokens::param(pid.raw(), crate::os_tokens::reason_code(reason)),
+            );
+        }
+        self.nodes[node.index() as usize].running = None;
+        self.try_dispatch(node);
+    }
+
+    fn kernel_instrumented(&self) -> bool {
+        self.cfg.kernel_instrumentation && self.cfg.monitoring == MonitoringMode::Hybrid
+    }
+
+    /// Emits a kernel-instrumentation event on `node`'s display. Called
+    /// only from contexts where the kernel owns the CPU (dispatch,
+    /// mailbox service, the tail of a running process), so the pattern
+    /// sequence never interleaves with an application event.
+    fn kernel_emit(&mut self, node: NodeId, token: u16, param: u32) {
+        self.stats.kernel_events += 1;
+        // Serialize per node: two kernel events fired at the same instant
+        // (e.g. a block immediately followed by the next dispatch) must
+        // not interleave their pattern pairs on the display.
+        let start = self.sim.now().max(self.kernel_display_free[node.index() as usize]);
+        let seq = encode(MonEvent::new(token, param));
+        let spacing =
+            (self.cfg.kernel_event_cost / seq.len() as u64).max(SimDuration::from_nanos(100));
+        for (i, pattern) in seq.into_iter().enumerate() {
+            self.signals.push_display(DisplayWrite {
+                time: start + spacing * (i as u64 + 1),
+                node,
+                pattern,
+            });
+        }
+        self.kernel_display_free[node.index() as usize] = start + spacing * 33;
+    }
+
+    /// Performs the configured monitoring technique's output for one
+    /// instrumentation call. Returns the CPU cost, or `None` when the
+    /// call is free (monitoring off).
+    fn emit(&mut self, _pid: ProcessId, node: NodeId, token: u16, param: u32) -> Option<SimDuration> {
+        self.stats.events_emitted += 1;
+        let now = self.sim.now();
+        let event = MonEvent::new(token, param);
+        match self.cfg.monitoring {
+            MonitoringMode::Off => None,
+            MonitoringMode::Hybrid => {
+                let cost = self.cfg.monitor_costs.hybrid_call;
+                let spacing = self.cfg.monitor_costs.hybrid_write_spacing();
+                // Respect the per-node display serializer so application
+                // pattern pairs never interleave with kernel-event pairs
+                // emitted during the preceding context switch.
+                let start = now.max(self.kernel_display_free[node.index() as usize]);
+                for (i, pattern) in encode(event).into_iter().enumerate() {
+                    self.signals.push_display(DisplayWrite {
+                        time: start + spacing * (i as u64 + 1),
+                        node,
+                        pattern,
+                    });
+                }
+                self.kernel_display_free[node.index() as usize] = start + spacing * 33;
+                self.intrusion.record_event(cost);
+                Some(cost)
+            }
+            MonitoringMode::Terminal => {
+                let cost = self.cfg.monitor_costs.terminal_transfer
+                    + self.cfg.monitor_costs.terminal_ctx_switch;
+                let raw = event.raw48();
+                let bytes: [u8; 6] = [
+                    (raw >> 40) as u8,
+                    (raw >> 32) as u8,
+                    (raw >> 24) as u8,
+                    (raw >> 16) as u8,
+                    (raw >> 8) as u8,
+                    raw as u8,
+                ];
+                let spacing = self.cfg.monitor_costs.terminal_transfer / 6;
+                let start = now + self.cfg.monitor_costs.terminal_ctx_switch;
+                for (i, b) in bytes.into_iter().enumerate() {
+                    self.signals.push_terminal(TerminalWrite {
+                        time: start + spacing * (i as u64 + 1),
+                        node,
+                        byte: b,
+                    });
+                }
+                self.intrusion.record_event(cost);
+                Some(cost)
+            }
+            MonitoringMode::Software => {
+                let cost = self.cfg.monitor_costs.software_call;
+                self.software[node.index() as usize].record(now, event);
+                self.intrusion.record_event(cost);
+                if cost.is_zero() {
+                    None
+                } else {
+                    Some(cost)
+                }
+            }
+        }
+    }
+}

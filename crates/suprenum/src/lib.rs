@@ -1,0 +1,93 @@
+//! Deterministic simulator of the SUPRENUM distributed-memory
+//! multiprocessor.
+//!
+//! SUPRENUM (paper §2) is a MIMD machine of up to 256 nodes: 16-node
+//! clusters joined by a dual 160 MB/s cluster bus, clusters joined in a
+//! torus by the 25 MB/s SUPRENUM token-ring bus. Each node runs light-
+//! weight processes under a **non-preemptive round-robin** scheduler and
+//! communicates by synchronous sends or by *mailboxes* — light-weight
+//! processes owned by the receiver that must themselves be scheduled to
+//! accept a message.
+//!
+//! This crate reproduces that machine as a discrete-event simulation
+//! faithful to the *mechanisms* the paper's measurements exposed — most
+//! importantly the de-facto synchrony of mailbox communication. It also
+//! exposes the hardware surfaces an external monitor can probe: every
+//! seven-segment display write and terminal byte appears with exact
+//! global time in the run's [`SignalLog`].
+//!
+//! # Architecture
+//!
+//! | module | role |
+//! |---|---|
+//! | [`config`] | all timing constants, paper-anchored |
+//! | [`topology`] | node/cluster mapping, torus routing |
+//! | [`bus`] | cluster bus, token ring and CU contention model |
+//! | [`process`] | the resumable-process programming model |
+//! | [`kernel`] | schedulers, mailboxes, messaging, monitoring hooks |
+//! | [`signals`] | externally probed display/terminal streams |
+//! | [`ground_truth`] | true process states (validation oracle) |
+//!
+//! # Examples
+//!
+//! A two-process ping-pong over mailboxes:
+//!
+//! ```
+//! use des::time::{SimDuration, SimTime};
+//! use suprenum::{
+//!     Action, Machine, MachineConfig, Message, NodeId, ProcCtx, Process, ProcessId, Resume,
+//!     RunEnd,
+//! };
+//!
+//! struct Ping { peer: Option<ProcessId>, step: u8 }
+//! impl Process for Ping {
+//!     fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action {
+//!         if let Resume::Spawned(pid) = why {
+//!             self.peer = Some(pid);
+//!         }
+//!         self.step += 1;
+//!         match self.step {
+//!             1 => Action::Spawn { node: NodeId::new(1), body: Box::new(Pong) },
+//!             2 => Action::MailboxSend {
+//!                 to: self.peer.unwrap(),
+//!                 msg: Message::new(ctx.pid, 64, "ping"),
+//!             },
+//!             _ => Action::Exit,
+//!         }
+//!     }
+//! }
+//!
+//! struct Pong;
+//! impl Process for Pong {
+//!     fn resume(&mut self, _ctx: &ProcCtx, why: Resume) -> Action {
+//!         match why {
+//!             Resume::Start => Action::MailboxRecv,
+//!             _ => Action::Exit,
+//!         }
+//!     }
+//! }
+//!
+//! let mut m = Machine::new(MachineConfig::single_cluster(2), 1).unwrap();
+//! m.add_process(NodeId::new(0), Box::new(Ping { peer: None, step: 0 }));
+//! assert_eq!(m.run(SimTime::from_secs(1)).reason, RunEnd::Completed);
+//! ```
+
+pub mod bus;
+pub mod config;
+pub mod ground_truth;
+pub mod ids;
+pub mod kernel;
+pub mod message;
+pub mod os_tokens;
+pub mod process;
+pub mod signals;
+pub mod topology;
+
+pub use config::{ConfigError, MachineConfig};
+pub use ground_truth::{BlockReason, GroundTruth, ProcState};
+pub use ids::{ClusterId, CondId, LwpId, NodeId, ProcessId};
+pub use kernel::{KernelStats, Machine, RunEnd, RunOutcome};
+pub use message::Message;
+pub use process::{Action, ProcCtx, Process, Resume};
+pub use signals::{DisplayWrite, SignalLog, TerminalWrite};
+pub use topology::{Route, Topology};

@@ -1,0 +1,98 @@
+//! Inter-process messages.
+//!
+//! A [`Message`] carries an application-defined payload (any `'static`
+//! type, downcast by the receiver) plus the byte size the interconnect
+//! model should charge for it. The kernel never looks inside the payload.
+
+use std::any::Any;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ids::ProcessId;
+
+/// A message in flight between two processes.
+///
+/// The payload is reference-counted so the simulator can hold it in
+/// transit queues without cloning application data.
+///
+/// # Examples
+///
+/// ```
+/// use suprenum::{Message, ProcessId};
+///
+/// let msg = Message::new(ProcessId::new(1), 256, vec![1u8, 2, 3]);
+/// assert_eq!(msg.bytes(), 256);
+/// assert_eq!(msg.payload::<Vec<u8>>().unwrap(), &vec![1u8, 2, 3]);
+/// assert!(msg.payload::<String>().is_none());
+/// ```
+#[derive(Clone)]
+pub struct Message {
+    src: ProcessId,
+    bytes: u32,
+    payload: Rc<dyn Any>,
+}
+
+impl Message {
+    /// Creates a message from `src` of `bytes` wire size carrying
+    /// `payload`.
+    pub fn new<T: Any>(src: ProcessId, bytes: u32, payload: T) -> Self {
+        Message { src, bytes, payload: Rc::new(payload) }
+    }
+
+    /// The sending process.
+    pub fn src(&self) -> ProcessId {
+        self.src
+    }
+
+    /// The size charged to the interconnect, in bytes.
+    pub fn bytes(&self) -> u32 {
+        self.bytes
+    }
+
+    /// Downcasts the payload to `T`, or `None` on type mismatch.
+    pub fn payload<T: Any>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Message")
+            .field("src", &self.src)
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_downcast() {
+        #[derive(Debug, PartialEq)]
+        struct Job {
+            rays: Vec<u32>,
+        }
+        let msg = Message::new(ProcessId::new(7), 100, Job { rays: vec![1, 2] });
+        assert_eq!(msg.src(), ProcessId::new(7));
+        assert_eq!(msg.payload::<Job>().unwrap().rays, vec![1, 2]);
+        assert!(msg.payload::<u64>().is_none());
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let msg = Message::new(ProcessId::new(1), 8, 42u64);
+        let copy = msg.clone();
+        assert_eq!(copy.payload::<u64>(), Some(&42));
+        assert_eq!(copy.bytes(), 8);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let msg = Message::new(ProcessId::new(1), 8, ());
+        let s = format!("{msg:?}");
+        assert!(s.contains("Message"));
+        assert!(s.contains("bytes"));
+    }
+}

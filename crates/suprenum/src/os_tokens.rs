@@ -1,0 +1,75 @@
+//! Event tokens reserved for kernel (operating-system) instrumentation.
+//!
+//! The paper's future work: "Instrumenting SUPRENUM's operating system
+//! to find more detailed information about the behaviour of the node
+//! scheduling algorithm and internode communication is one of our
+//! goals." When [`crate::MachineConfig::kernel_instrumentation`] is on,
+//! the kernel emits these events through the same seven-segment path as
+//! the application, during windows where the kernel already owns the
+//! CPU (context switches, mailbox service) so the display protocol's
+//! atomicity is never violated.
+//!
+//! The 32-bit parameter carries the affected process id in the low 24
+//! bits and an event-specific code in the high 8 bits.
+
+/// A light-weight process was dispatched onto the CPU. Parameter code:
+/// 0 = user process, 1 = mailbox LWP.
+pub const KERNEL_DISPATCH: u16 = 0xF001;
+
+/// The running process blocked. Parameter code: the block reason
+/// (see [`reason_code`]).
+pub const KERNEL_BLOCK: u16 = 0xF002;
+
+/// The mailbox LWP finished a service round. Parameter code: number of
+/// messages accepted.
+pub const KERNEL_MAILBOX_SERVICE: u16 = 0xF003;
+
+/// A process exited.
+pub const KERNEL_EXIT: u16 = 0xF004;
+
+/// Encodes a kernel-event parameter from a process id and a code.
+pub fn param(pid_raw: u32, code: u8) -> u32 {
+    (pid_raw & 0x00FF_FFFF) | ((code as u32) << 24)
+}
+
+/// Splits a kernel-event parameter into `(pid_raw, code)`.
+pub fn split_param(param: u32) -> (u32, u8) {
+    (param & 0x00FF_FFFF, (param >> 24) as u8)
+}
+
+/// Numeric code for a block reason, for the [`KERNEL_BLOCK`] parameter.
+pub fn reason_code(reason: crate::ground_truth::BlockReason) -> u8 {
+    use crate::ground_truth::BlockReason as R;
+    match reason {
+        R::SendSync => 1,
+        R::MailboxSend => 2,
+        R::Recv => 3,
+        R::MailboxRecv => 4,
+        R::Sleep => 5,
+        R::Disk => 6,
+        R::Cond => 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_roundtrip() {
+        let p = param(0x0012_3456, 5);
+        assert_eq!(split_param(p), (0x0012_3456, 5));
+    }
+
+    #[test]
+    fn reason_codes_are_distinct() {
+        use crate::ground_truth::BlockReason as R;
+        let codes: std::collections::HashSet<u8> = [
+            R::SendSync, R::MailboxSend, R::Recv, R::MailboxRecv, R::Sleep, R::Disk, R::Cond,
+        ]
+        .into_iter()
+        .map(reason_code)
+        .collect();
+        assert_eq!(codes.len(), 7);
+    }
+}

@@ -1,0 +1,100 @@
+//! ZM4 configuration, anchored to the published hardware parameters.
+
+use des::time::SimDuration;
+
+/// Configuration of a ZM4 monitor system.
+///
+/// Defaults are the paper's hardware figures:
+///
+/// * event-recorder clock resolution **100 ns**;
+/// * FIFO buffer of **32 K** records (32K × 96 bit);
+/// * sustained drain to the monitor-agent disk of about
+///   **10 000 events/s**;
+/// * up to **4 event streams per recorder** and **4 DPUs per agent**.
+///
+/// # Examples
+///
+/// ```
+/// use zm4::Zm4Config;
+///
+/// let cfg = Zm4Config { mtg_synchronized: false, ..Zm4Config::default() };
+/// assert!(!cfg.mtg_synchronized);
+/// assert_eq!(cfg.fifo_capacity, 32 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zm4Config {
+    /// Independent event streams multiplexed onto one event recorder.
+    pub streams_per_recorder: usize,
+    /// DPUs hosted by one monitor agent.
+    pub dpus_per_agent: usize,
+    /// FIFO capacity in records.
+    pub fifo_capacity: usize,
+    /// Local clock resolution.
+    pub clock_resolution: SimDuration,
+    /// Sustained FIFO→disk drain rate, events per second.
+    pub disk_drain_rate: u64,
+    /// Latency of the event-detector state machine from the last pattern
+    /// of an event to the recorder's request signal.
+    pub detector_latency: SimDuration,
+    /// Whether the measure tick generator drives all recorder clocks
+    /// (globally valid timestamps). When `false`, each recorder clock
+    /// free-runs with a random offset/drift — the ablation that shows why
+    /// the MTG exists.
+    pub mtg_synchronized: bool,
+    /// Maximum clock offset drawn for free-running recorders.
+    pub skew_max_offset: SimDuration,
+    /// Maximum clock drift (ppm) drawn for free-running recorders.
+    pub skew_max_drift_ppm: f64,
+    /// Seed for skew draws (overwritten by [`crate::Zm4::new`]).
+    pub seed: u64,
+}
+
+impl Default for Zm4Config {
+    fn default() -> Self {
+        Zm4Config {
+            streams_per_recorder: 4,
+            dpus_per_agent: 4,
+            fifo_capacity: 32 * 1024,
+            clock_resolution: SimDuration::from_nanos(100),
+            disk_drain_rate: 10_000,
+            detector_latency: SimDuration::from_nanos(500),
+            mtg_synchronized: true,
+            skew_max_offset: SimDuration::from_millis(5),
+            skew_max_drift_ppm: 50.0,
+            seed: 0,
+        }
+    }
+}
+
+impl Zm4Config {
+    /// Service time of one FIFO→disk record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drain rate is zero.
+    pub fn drain_service_time(&self) -> SimDuration {
+        assert!(self.disk_drain_rate > 0, "drain rate must be nonzero");
+        SimDuration::from_nanos(1_000_000_000 / self.disk_drain_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchors() {
+        let cfg = Zm4Config::default();
+        assert_eq!(cfg.clock_resolution, SimDuration::from_nanos(100));
+        assert_eq!(cfg.fifo_capacity, 32_768);
+        assert_eq!(cfg.disk_drain_rate, 10_000);
+        assert_eq!(cfg.drain_service_time(), SimDuration::from_micros(100));
+        assert!(cfg.mtg_synchronized);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_drain_rate_panics() {
+        Zm4Config { disk_drain_rate: 0, ..Zm4Config::default() }.drain_service_time();
+    }
+}

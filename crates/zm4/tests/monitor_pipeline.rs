@@ -1,0 +1,135 @@
+//! End-to-end tests of the ZM4 pipeline: pattern streams in, merged
+//! global trace out.
+
+use des::time::{SimDuration, SimTime};
+use hybridmon::{encode::encode, MonEvent};
+use zm4::{ProbeSample, Zm4, Zm4Config};
+
+/// Generates the display-pattern stream of `events` on `channel`, one
+/// event starting every `period_ns`, patterns spaced `spacing_ns`.
+fn pattern_stream(
+    channel: usize,
+    events: &[MonEvent],
+    start_ns: u64,
+    period_ns: u64,
+    spacing_ns: u64,
+) -> Vec<ProbeSample> {
+    let mut out = Vec::new();
+    for (k, &ev) in events.iter().enumerate() {
+        let base = start_ns + k as u64 * period_ns;
+        for (i, p) in encode(ev).into_iter().enumerate() {
+            out.push(ProbeSample {
+                time: SimTime::from_nanos(base + i as u64 * spacing_ns),
+                channel,
+                pattern: p,
+            });
+        }
+    }
+    out
+}
+
+#[test]
+fn multi_node_trace_is_globally_ordered() {
+    // Three nodes emitting interleaved events.
+    let mut samples = Vec::new();
+    for ch in 0..3usize {
+        let events: Vec<MonEvent> =
+            (0..10).map(|i| MonEvent::new((ch as u16) << 8 | i, i as u32)).collect();
+        samples.extend(pattern_stream(ch, &events, 5_000 + ch as u64 * 37_000, 500_000, 3_400));
+    }
+    let zm4 = Zm4::new(Zm4Config::default(), 3, 42);
+    let m = zm4.observe(&samples);
+    assert_eq!(m.trace.len(), 30);
+    assert_eq!(m.total_lost(), 0);
+    assert_eq!(m.causality_violations(), 0);
+    // Claimed timestamps are monotone.
+    assert!(m.trace.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    // With the MTG, claimed time tracks true time to within the 100 ns
+    // resolution.
+    assert!(m.max_timestamp_error_ns() <= 100);
+}
+
+#[test]
+fn channels_map_onto_recorders_and_agents() {
+    let zm4 = Zm4::new(Zm4Config::default(), 16, 1);
+    // 16 channels / 4 streams per recorder = 4 recorders = 1 agent.
+    assert_eq!(zm4.recorders(), 4);
+    assert_eq!(zm4.agents(), 1);
+    assert_eq!(zm4.recorder_of(0), 0);
+    assert_eq!(zm4.recorder_of(3), 0);
+    assert_eq!(zm4.recorder_of(4), 1);
+    assert_eq!(zm4.recorder_of(15), 3);
+
+    // 17 channels need a 5th recorder and a 2nd agent.
+    let big = Zm4::new(Zm4Config::default(), 17, 1);
+    assert_eq!(big.recorders(), 5);
+    assert_eq!(big.agents(), 2);
+}
+
+#[test]
+fn unsynchronized_clocks_break_causality() {
+    // Two nodes alternate events 200 us apart — well within the +-5 ms
+    // clock offsets drawn for free-running recorders. To land the
+    // channels on *different* recorders, use 1 stream per recorder.
+    let mut samples = Vec::new();
+    for ch in 0..2usize {
+        let events: Vec<MonEvent> = (0..50).map(|i| MonEvent::new(i, ch as u32)).collect();
+        samples.extend(pattern_stream(ch, &events, 10_000 + ch as u64 * 200_000, 400_000, 3_400));
+    }
+    let cfg = Zm4Config { streams_per_recorder: 1, mtg_synchronized: false, ..Zm4Config::default() };
+    let zm4 = Zm4::new(cfg.clone(), 2, 99);
+    let m = zm4.observe(&samples);
+    assert_eq!(m.total_recorded(), 100);
+    assert!(
+        m.causality_violations() > 0,
+        "free-running clocks should visibly mis-order the merge"
+    );
+    assert!(m.max_timestamp_error_ns() > 100_000, "skew should exceed 100 us");
+
+    // Control: the same measurement with the MTG has no violations.
+    let sync = Zm4::new(Zm4Config { streams_per_recorder: 1, ..Zm4Config::default() }, 2, 99);
+    let ms = sync.observe(&samples);
+    assert_eq!(ms.causality_violations(), 0);
+}
+
+#[test]
+fn event_burst_loss_matches_fifo_model() {
+    // One node blasting events back-to-back: 32 patterns x 100 ns =
+    // 3.2 us per event ≈ 312k events/s, far above the 10k/s drain. The
+    // FIFO (shrunk to 1000 for the test) must overflow.
+    let n_events = 5_000u16;
+    let events: Vec<MonEvent> = (0..n_events).map(|i| MonEvent::new(i, 0)).collect();
+    let samples = pattern_stream(0, &events, 1_000, 3_200, 100);
+    let cfg = Zm4Config { fifo_capacity: 1_000, ..Zm4Config::default() };
+    let zm4 = Zm4::new(cfg, 1, 5);
+    let m = zm4.observe(&samples);
+    assert_eq!(m.total_recorded() + m.total_lost(), n_events as u64);
+    assert!(m.total_lost() > 0, "overload must lose events");
+    assert!(m.recorder_stats[0].max_fifo_occupancy == 1_000);
+    // Detector still decoded everything cleanly.
+    assert_eq!(m.detector_stats[0].events, n_events as u64);
+    assert_eq!(m.detector_stats[0].atomicity_violations, 0);
+}
+
+#[test]
+fn observation_is_deterministic() {
+    let events: Vec<MonEvent> = (0..20).map(|i| MonEvent::new(i, i as u32 * 3)).collect();
+    let samples = pattern_stream(0, &events, 0, 100_000, 3_400);
+    let cfg = Zm4Config { mtg_synchronized: false, ..Zm4Config::default() };
+    let a = Zm4::new(cfg.clone(), 1, 77).observe(&samples);
+    let b = Zm4::new(cfg, 1, 77).observe(&samples);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.recorder_stats, b.recorder_stats);
+}
+
+#[test]
+fn detector_latency_shifts_request_time() {
+    let ev = MonEvent::new(1, 1);
+    let samples = pattern_stream(0, &[ev], 0, 0, 1_000);
+    let last_pattern_ns = 31_000;
+    let cfg = Zm4Config { detector_latency: SimDuration::from_nanos(700), ..Zm4Config::default() };
+    let m = Zm4::new(cfg, 1, 1).observe(&samples);
+    assert_eq!(m.trace.len(), 1);
+    // 31_000 + 700 = 31_700 quantized down to 31_700 - (31_700 % 100).
+    assert_eq!(m.trace[0].ts_ns, last_pattern_ns + 700);
+}

@@ -1,0 +1,35 @@
+//! Why the ZM4 has a global clock: observe the same program with the
+//! measure tick generator on and off.
+//!
+//! Run with: `cargo run --release --example clock_sync`
+
+use suprenum_monitor::experiments::clock_sync_ablation;
+
+fn main() {
+    println!("running one measurement, observing it through two monitor setups...\n");
+    let (sync, free) = clock_sync_ablation(7);
+
+    println!(
+        "{:<28} {:>8} {:>16} {:>18} {:>14}",
+        "recorder clocks", "events", "merge inversions", "causality errors", "max ts error"
+    );
+    for row in [&sync, &free] {
+        println!(
+            "{:<28} {:>8} {:>16} {:>18} {:>11} us",
+            if row.mtg_synchronized { "MTG-synchronized (100ns)" } else { "free-running (skewed)" },
+            row.events,
+            row.merge_violations,
+            row.causality_violations,
+            row.max_timestamp_error_ns as f64 / 1e3,
+        );
+    }
+
+    println!(
+        "\nWith the MTG, the merged trace is causally ordered and timestamps are \
+         globally valid to the 100 ns resolution."
+    );
+    println!(
+        "Without it, the CEC's timestamp merge visibly reorders events across nodes — \
+         jobs appear to start before they were sent."
+    );
+}
