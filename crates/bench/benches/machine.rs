@@ -114,13 +114,13 @@ fn bench_machine(c: &mut Criterion) {
     g.bench_function("mailbox_pingpong_1000", |b| {
         b.iter(|| {
             run_pingpong(true, 1_000);
-            black_box(())
+            black_box(());
         });
     });
     g.bench_function("sync_pingpong_1000", |b| {
         b.iter(|| {
             run_pingpong(false, 1_000);
-            black_box(())
+            black_box(());
         });
     });
     g.throughput(Throughput::Elements(10_000));

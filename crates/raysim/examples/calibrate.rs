@@ -1,3 +1,6 @@
+//! Calibration sweep: measured servant utilization for each program
+//! version at paper scale (used to sanity-check cost-model constants).
+
 use des::time::SimTime;
 use raysim::analysis::servant_utilization;
 use raysim::config::{AppConfig, Version};

@@ -1,0 +1,185 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API subset its benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`Throughput`],
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`].
+//!
+//! Instead of criterion's statistical analysis, each benchmark runs a
+//! short warm-up followed by `sample_size` timed batches and reports
+//! min/median wall-clock time per iteration (plus throughput when
+//! configured). That keeps `cargo bench` useful for coarse comparisons
+//! and keeps all bench targets compiling and runnable offline.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units for reporting throughput alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings { sample_size: 20, throughput: None }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, mut routine: F) {
+    // Calibrate the per-sample iteration count so one sample takes
+    // roughly 25 ms (bounded to keep total runtime sane).
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    routine(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(25).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut per_iter_nanos: Vec<u128> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        routine(&mut b);
+        per_iter_nanos.push(b.elapsed.as_nanos() / iters as u128);
+    }
+    per_iter_nanos.sort_unstable();
+    let median = per_iter_nanos[per_iter_nanos.len() / 2];
+    let min = per_iter_nanos[0];
+
+    let throughput = match settings.throughput {
+        Some(Throughput::Elements(n)) if median > 0 => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / median as f64)
+        }
+        Some(Throughput::Bytes(n)) if median > 0 => {
+            format!("  {:>12.0} B/s", n as f64 * 1e9 / median as f64)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<48} median {:>12} ns/iter  (min {min} ns, {} samples x {iters} iters){throughput}",
+        median,
+        per_iter_nanos.len()
+    );
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput reported alongside timings.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), &self.settings, routine);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        run_one(id, &Settings::default(), routine);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), settings: Settings::default(), _criterion: self }
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($name), "` benchmark targets.")]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+        Criterion::default().bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}
