@@ -1,0 +1,55 @@
+//! Pre-flight static analysis of the paper's measurement setups.
+//!
+//! ```text
+//! analyze [v1|v2|v3|v4 ...] [--strict]
+//! ```
+//!
+//! With no version arguments, analyzes all four. `--strict` exits
+//! nonzero when any analyzed configuration has errors (for CI gates).
+
+use std::process::ExitCode;
+
+use analyzer::analyze_version;
+use raysim::config::Version;
+
+fn parse_version(arg: &str) -> Option<Version> {
+    match arg.to_ascii_lowercase().as_str() {
+        "v1" | "1" => Some(Version::V1),
+        "v2" | "2" => Some(Version::V2),
+        "v3" | "3" => Some(Version::V3),
+        "v4" | "4" => Some(Version::V4),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut versions: Vec<Version> = Vec::new();
+    let mut strict = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--strict" {
+            strict = true;
+        } else if let Some(v) = parse_version(&arg) {
+            versions.push(v);
+        } else {
+            eprintln!("unknown argument `{arg}`; expected v1..v4 or --strict");
+            return ExitCode::from(2);
+        }
+    }
+    if versions.is_empty() {
+        versions = Version::ALL.to_vec();
+    }
+
+    let mut errors = 0usize;
+    for version in versions {
+        let report = analyze_version(version);
+        println!("== {version} ==");
+        print!("{}", report.render());
+        println!();
+        errors += report.errors();
+    }
+    if strict && errors > 0 {
+        eprintln!("analysis failed: {errors} error(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

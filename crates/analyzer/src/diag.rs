@@ -1,0 +1,289 @@
+//! The diagnostic model: findings, severities and `rustc`-style reports.
+//!
+//! Every analysis pass produces [`Finding`]s collected into a
+//! [`Report`]. A finding carries a stable machine-readable code
+//! (`AN-TOKEN-001`, `AN-PROTO-002`, …) so tests, CI gates and the
+//! pre-flight hook can match on *what* was found rather than on message
+//! text, plus a span naming the offending configuration field or token.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Worth knowing; does not indicate a defect.
+    Info,
+    /// Likely to distort a measurement (lost events, skewed Gantt
+    /// tracks) but the run completes.
+    Warning,
+    /// The run will deadlock, corrupt its trace, or silently lose data.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => f.write_str("info"),
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One diagnostic produced by an analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable machine-readable code, e.g. `AN-PROTO-002`.
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// One-line headline.
+    pub message: String,
+    /// What the finding points at (a config field, a token, a node),
+    /// e.g. `app.pixel_queue_capacity = 768`.
+    pub span: String,
+    /// Additional `note:` lines explaining the arithmetic.
+    pub notes: Vec<String>,
+    /// Additional `help:` lines suggesting a fix.
+    pub helps: Vec<String>,
+}
+
+impl Finding {
+    /// Creates a finding with the given severity.
+    pub fn new(severity: Severity, code: &'static str, message: impl Into<String>) -> Self {
+        Finding {
+            code,
+            severity,
+            message: message.into(),
+            span: String::new(),
+            notes: Vec::new(),
+            helps: Vec::new(),
+        }
+    }
+
+    /// Creates an error finding.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Finding::new(Severity::Error, code, message)
+    }
+
+    /// Creates a warning finding.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Finding::new(Severity::Warning, code, message)
+    }
+
+    /// Creates an info finding.
+    pub fn info(code: &'static str, message: impl Into<String>) -> Self {
+        Finding::new(Severity::Info, code, message)
+    }
+
+    /// Sets the span the finding points at.
+    pub fn at(mut self, span: impl Into<String>) -> Self {
+        self.span = span.into();
+        self
+    }
+
+    /// Appends a `note:` line.
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Appends a `help:` line.
+    pub fn help(mut self, help: impl Into<String>) -> Self {
+        self.helps.push(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if !self.span.is_empty() {
+            writeln!(f, "  --> {}", self.span)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "   = note: {note}")?;
+        }
+        for help in &self.helps {
+            writeln!(f, "   = help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A collection of findings about one analysis subject.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// What was analyzed, e.g. `Version 3 (agents both, bundle 50)`.
+    pub subject: String,
+    /// The findings, in the order the passes produced them.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// An empty report about `subject`.
+    pub fn new(subject: impl Into<String>) -> Self {
+        Report { subject: subject.into(), findings: Vec::new() }
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    /// Moves all findings of `other` into this report.
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == severity).count()
+    }
+
+    /// Number of errors.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warnings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Returns `true` if the report contains an error.
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// Returns `true` if there are no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Returns `true` if any finding carries `code`.
+    pub fn contains(&self, code: &str) -> bool {
+        self.findings.iter().any(|f| f.code == code)
+    }
+
+    /// All findings carrying `code`.
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Finding> {
+        self.findings.iter().filter(move |f| f.code == code)
+    }
+
+    /// The most severe findings first, preserving pass order within a
+    /// severity class.
+    pub fn sorted_by_severity(&self) -> Vec<&Finding> {
+        let mut out: Vec<&Finding> = self.findings.iter().collect();
+        out.sort_by_key(|f| std::cmp::Reverse(f.severity));
+        out
+    }
+
+    /// Renders the whole report in `rustc` style, findings most severe
+    /// first, closing with a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for finding in self.sorted_by_severity() {
+            out.push_str(&finding.to_string());
+            out.push('\n');
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+
+    /// The one-line summary, e.g.
+    /// `analysis of Version 3: 1 error, 2 warnings, 1 info`.
+    pub fn summary(&self) -> String {
+        let counts = [
+            (self.errors(), "error", "errors"),
+            (self.warnings(), "warning", "warnings"),
+            (self.count(Severity::Info), "info", "info"),
+        ];
+        let parts: Vec<String> = counts
+            .iter()
+            .filter(|(n, _, _)| *n > 0)
+            .map(|(n, one, many)| format!("{n} {}", if *n == 1 { one } else { many }))
+            .collect();
+        if parts.is_empty() {
+            format!("analysis of {}: clean", self.subject)
+        } else {
+            format!("analysis of {}: {}", self.subject, parts.join(", "))
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_renders_rustc_style() {
+        let f = Finding::error("AN-TEST-001", "queue too small")
+            .at("app.pixel_queue_capacity = 768")
+            .note("demand is 2250")
+            .help("raise the constant");
+        let text = f.to_string();
+        assert!(text.starts_with("error[AN-TEST-001]: queue too small"));
+        assert!(text.contains("--> app.pixel_queue_capacity = 768"));
+        assert!(text.contains("= note: demand is 2250"));
+        assert!(text.contains("= help: raise the constant"));
+    }
+
+    #[test]
+    fn report_counts_and_lookup() {
+        let mut r = Report::new("unit");
+        r.push(Finding::warning("AN-A-001", "w"));
+        r.push(Finding::error("AN-B-001", "e"));
+        r.push(Finding::info("AN-C-001", "i"));
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+        assert!(r.contains("AN-B-001"));
+        assert!(!r.contains("AN-Z-999"));
+        assert_eq!(r.with_code("AN-A-001").count(), 1);
+        assert_eq!(r.summary(), "analysis of unit: 1 error, 1 warning, 1 info");
+    }
+
+    #[test]
+    fn render_orders_errors_first() {
+        let mut r = Report::new("unit");
+        r.push(Finding::info("AN-C-001", "third"));
+        r.push(Finding::error("AN-B-001", "first"));
+        let rendered = r.render();
+        let err_pos = rendered.find("error[").unwrap();
+        let info_pos = rendered.find("info[").unwrap();
+        assert!(err_pos < info_pos);
+    }
+
+    #[test]
+    fn clean_report_summary() {
+        let r = Report::new("Version 4");
+        assert!(r.is_clean());
+        assert_eq!(r.summary(), "analysis of Version 4: clean");
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Report::new("a");
+        a.push(Finding::error("AN-A-001", "x"));
+        let mut b = Report::new("b");
+        b.push(Finding::warning("AN-B-001", "y"));
+        a.merge(b);
+        assert_eq!(a.findings.len(), 2);
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+}

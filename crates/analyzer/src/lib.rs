@@ -1,0 +1,54 @@
+//! Static analysis of instrumentation and protocol configurations.
+//!
+//! The paper's evaluation chapter finds its bugs *dynamically*: E2
+//! discovers version 3's undersized pixel queue in a Gantt chart, E3
+//! discovers event loss by watching a FIFO overflow. This crate front-
+//! loads that work — everything that is decidable from the declared
+//! configuration is checked **before** a simulation runs:
+//!
+//! * [`token_lints`] — lints over the declared instrumentation point
+//!   maps ([`raysim::tokens::point_map`], [`suprenum::os_tokens`]):
+//!   unmatched begin/end pairs, duplicate and colliding token ids,
+//!   kernel-reservation violations, shared-display interleaving
+//!   hazards (`AN-TOKEN-*`).
+//! * [`protocol`] — the version's wait-for/message-flow graph: deadlock
+//!   cycles, pseudo-synchronous mailbox coupling, window-credit
+//!   conservation, and the pixel-queue capacity check that catches the
+//!   version-3 bug statically (`AN-PROTO-*`).
+//! * [`rate`] — worst-case per-channel event rates aggregated per ZM4
+//!   event recorder against the 10 000 events/s drain and the 32 K
+//!   FIFO: predicted event loss before any event exists (`AN-RATE-*`).
+//!
+//! Findings are [`diag::Finding`]s with stable machine-readable codes,
+//! collected into [`diag::Report`]s that render in `rustc` style.
+//!
+//! # One-call API
+//!
+//! ```
+//! use analyzer::analyze_version;
+//! use raysim::config::Version;
+//!
+//! let report = analyze_version(Version::V3);
+//! assert!(report.contains("AN-PROTO-002"), "{}", report.render());
+//! ```
+//!
+//! # Pre-flight wiring
+//!
+//! [`raysim::run::run`] consults a [`raysim::run::PreflightPolicy`];
+//! [`preflight::warn_policy`] and [`preflight::deny_policy`] supply the
+//! analysis hook without a dependency cycle.
+
+pub mod diag;
+pub mod preflight;
+pub mod protocol;
+pub mod rate;
+pub mod token_lints;
+
+pub use diag::{Finding, Report, Severity};
+pub use preflight::{
+    analyze_all_versions, analyze_app, analyze_run, analyze_version, deny_policy,
+    preflight_hook, warn_policy,
+};
+pub use protocol::{analyze_protocol, CreditLedger, ProtocolGraph};
+pub use rate::{analyze_rate, predict, RatePrediction};
+pub use token_lints::{lint_pair, lint_stock_maps, TokenDecl, TokenMap};

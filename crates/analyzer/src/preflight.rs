@@ -1,0 +1,121 @@
+//! One-call entry points and the [`raysim::run`] pre-flight hook.
+//!
+//! The analyzer plugs into the simulator through the fn-pointer seam
+//! [`raysim::run::PreflightPolicy`]: [`warn_policy`] prints findings and
+//! lets the run proceed (how the paper's experiments must run — version
+//! 3's queue bug has to execute to be measured), [`deny_policy`] refuses
+//! to start a run whose analysis reports errors.
+
+use raysim::config::{AppConfig, Version};
+use raysim::run::{PreflightPolicy, PreflightSummary, RunConfig};
+
+use crate::diag::Report;
+use crate::protocol::analyze_protocol;
+use crate::rate::analyze_rate;
+use crate::token_lints::lint_stock_maps;
+
+/// Analyzes everything knowable from the application configuration
+/// alone: the stock point maps and the version's protocol.
+pub fn analyze_app(app: &AppConfig) -> Report {
+    let mut report = Report::new(format!("{}", app.version));
+    report.merge(lint_stock_maps());
+    report.merge(analyze_protocol(app));
+    report
+}
+
+/// Analyzes a full run configuration: application checks plus the
+/// event-rate prediction against the configured machine and monitor.
+pub fn analyze_run(cfg: &RunConfig) -> Report {
+    let mut report = analyze_app(&cfg.app);
+    report.merge(analyze_rate(&cfg.app, &cfg.machine, &cfg.zm4));
+    report
+}
+
+/// Analyzes a stock program version under its stock run configuration.
+pub fn analyze_version(version: Version) -> Report {
+    analyze_run(&RunConfig::new(AppConfig::version(version)))
+}
+
+/// Analyzes all four stock versions, in evolution order.
+pub fn analyze_all_versions() -> Vec<Report> {
+    Version::ALL.iter().map(|&v| analyze_version(v)).collect()
+}
+
+/// The hook [`raysim::run::preflight`] calls: full analysis, flattened
+/// into counts plus rendered text.
+pub fn preflight_hook(cfg: &RunConfig) -> PreflightSummary {
+    let report = analyze_run(cfg);
+    PreflightSummary {
+        errors: report.errors(),
+        warnings: report.warnings(),
+        rendered: report.render(),
+    }
+}
+
+/// A policy that analyzes, reports, and runs anyway.
+pub fn warn_policy() -> PreflightPolicy {
+    PreflightPolicy::Warn(preflight_hook)
+}
+
+/// A policy that refuses to run configurations with errors.
+pub fn deny_policy() -> PreflightPolicy {
+    PreflightPolicy::Deny(preflight_hook)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_version_reports_match_the_paper_story() {
+        let reports = analyze_all_versions();
+        assert_eq!(reports.len(), 4);
+        // V1: pseudo-synchronous in both directions, no errors.
+        assert!(!reports[0].has_errors());
+        assert!(reports[0].warnings() >= 2);
+        // V2: the result path still warns.
+        assert!(!reports[1].has_errors());
+        assert_eq!(reports[1].warnings(), 1);
+        // V3: the queue bug, found statically.
+        assert!(reports[2].has_errors());
+        assert!(reports[2].contains("AN-PROTO-002"));
+        // V4: no errors, no warnings.
+        assert!(!reports[3].has_errors());
+        assert_eq!(reports[3].warnings(), 0);
+    }
+
+    #[test]
+    fn hook_flattens_counts() {
+        let cfg = RunConfig::new(AppConfig::version(Version::V3));
+        let summary = preflight_hook(&cfg);
+        assert!(summary.errors >= 1);
+        assert!(summary.rendered.contains("AN-PROTO-002"));
+        assert!(summary.rendered.contains("error["));
+    }
+
+    #[test]
+    fn warn_policy_lets_v3_run_to_the_preflight_stage() {
+        let mut cfg = RunConfig::new(AppConfig::version(Version::V3));
+        cfg.preflight = warn_policy();
+        // The analysis itself must not panic; raysim::run::preflight
+        // returns the summary under Warn even with errors present.
+        let summary = raysim::run::preflight(&cfg).expect("policy is on");
+        assert!(summary.errors >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to run")]
+    fn deny_policy_stops_v3() {
+        let mut cfg = RunConfig::new(AppConfig::version(Version::V3));
+        cfg.preflight = deny_policy();
+        raysim::run::preflight(&cfg);
+    }
+
+    #[test]
+    fn deny_policy_passes_v4() {
+        let mut cfg = RunConfig::new(AppConfig::version(Version::V4));
+        cfg.preflight = deny_policy();
+        let summary = raysim::run::preflight(&cfg).expect("policy is on");
+        assert_eq!(summary.errors, 0);
+    }
+}

@@ -1,0 +1,456 @@
+//! Protocol analysis: wait-for graphs and credit conservation.
+//!
+//! From an [`AppConfig`] alone — without running the simulation — this
+//! module builds the version's wait-for/message-flow graph between the
+//! master, the servants and their communication agents, enumerates its
+//! cycles, and checks that the window-flow-control credits are conserved
+//! by the pixel-queue bookkeeping:
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | `AN-PROTO-001` | error | all-blocking wait-for cycle: deadlock |
+//! | `AN-PROTO-002` | error | pixel-queue capacity below peak window demand (the V3 bug) |
+//! | `AN-PROTO-003` | warning/info | cycle through a pseudo-synchronous mailbox send / buffered cycle |
+//! | `AN-PROTO-004` | error | window credits are not conserved (never returned) |
+
+use raysim::config::AppConfig;
+
+use crate::diag::{Finding, Report};
+
+/// What kind of dependency a wait-for edge expresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Unbounded wait for the target's application-level progress.
+    Blocking,
+    /// Wait for the target node's kernel to schedule its mailbox LWP —
+    /// the paper's pseudo-synchrony: a mailbox send does not return
+    /// until the receiver's kernel has accepted the message.
+    Scheduling,
+    /// Wait bounded by buffer space or window credits; cannot stall
+    /// indefinitely while credits are conserved.
+    Bounded,
+}
+
+impl std::fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeKind::Blocking => f.write_str("blocking"),
+            EdgeKind::Scheduling => f.write_str("scheduling"),
+            EdgeKind::Bounded => f.write_str("bounded"),
+        }
+    }
+}
+
+/// One wait-for edge: `from` can wait on `to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Index of the waiting role in [`ProtocolGraph::roles`].
+    pub from: usize,
+    /// Index of the role being waited on.
+    pub to: usize,
+    /// The dependency kind.
+    pub kind: EdgeKind,
+    /// What the wait is, e.g. `mailbox job send`.
+    pub label: String,
+}
+
+/// The wait-for/message-flow graph of one program version.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolGraph {
+    /// Role names (Master, Servant, Master Agent, Servant Agent).
+    pub roles: Vec<String>,
+    /// The wait-for edges.
+    pub edges: Vec<Edge>,
+}
+
+impl ProtocolGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        ProtocolGraph::default()
+    }
+
+    /// Adds a role, returning its index.
+    pub fn add_role(&mut self, name: impl Into<String>) -> usize {
+        self.roles.push(name.into());
+        self.roles.len() - 1
+    }
+
+    /// Adds a wait-for edge.
+    pub fn add_edge(&mut self, from: usize, to: usize, kind: EdgeKind, label: impl Into<String>) {
+        self.edges.push(Edge { from, to, kind, label: label.into() });
+    }
+
+    /// Builds the wait-for graph the paper's §4.3 version ladder implies.
+    ///
+    /// Servant roles are collapsed to one node: all servants have
+    /// identical wait-for structure, so any cycle through one servant
+    /// exists through every servant.
+    pub fn from_app(app: &AppConfig) -> Self {
+        let mut g = ProtocolGraph::new();
+        let master = g.add_role("Master");
+        let servant = g.add_role("Servant");
+
+        // Job path, master -> servant.
+        if app.version.master_agents() {
+            let agent = g.add_role("Master Agent");
+            g.add_edge(
+                master,
+                agent,
+                EdgeKind::Bounded,
+                "job handoff to communication agent (bounded by window credits)",
+            );
+            g.add_edge(agent, servant, EdgeKind::Scheduling, "agent's mailbox job send");
+        } else {
+            g.add_edge(master, servant, EdgeKind::Scheduling, "mailbox job send");
+        }
+
+        // Result path, servant -> master.
+        if app.version.servant_agents() {
+            let agent = g.add_role("Servant Agent");
+            g.add_edge(
+                servant,
+                agent,
+                EdgeKind::Bounded,
+                "result handoff to communication agent (bounded buffer)",
+            );
+            g.add_edge(agent, master, EdgeKind::Scheduling, "agent's mailbox result send");
+        } else {
+            g.add_edge(servant, master, EdgeKind::Scheduling, "mailbox result send");
+        }
+
+        // Receive waits. The master's wait for results is unbounded: no
+        // credit guarantees a servant finishes a bundle. The servant's
+        // wait for jobs is bounded by the window — the master pushes up
+        // to `window` jobs per servant without being asked — unless the
+        // window is zero, in which case nothing is ever in flight.
+        g.add_edge(master, servant, EdgeKind::Blocking, "Wait for Results");
+        let wait_job_kind =
+            if app.window == 0 { EdgeKind::Blocking } else { EdgeKind::Bounded };
+        g.add_edge(
+            servant,
+            master,
+            wait_job_kind,
+            if app.window == 0 {
+                "Wait for Job (zero window credits: nothing is ever in flight)"
+            } else {
+                "Wait for Job (window keeps jobs in flight)"
+            },
+        );
+        g
+    }
+
+    /// Enumerates the simple cycles of the multigraph as edge sequences.
+    ///
+    /// Each cycle is reported once, starting from its smallest role
+    /// index. The role count is tiny (≤ 4), so a plain DFS suffices.
+    pub fn cycles(&self) -> Vec<Vec<&Edge>> {
+        let mut found: Vec<Vec<&Edge>> = Vec::new();
+        for start in 0..self.roles.len() {
+            let mut path: Vec<&Edge> = Vec::new();
+            let mut on_path = vec![false; self.roles.len()];
+            self.dfs(start, start, &mut path, &mut on_path, &mut found);
+        }
+        found
+    }
+
+    fn dfs<'a>(
+        &'a self,
+        start: usize,
+        here: usize,
+        path: &mut Vec<&'a Edge>,
+        on_path: &mut Vec<bool>,
+        found: &mut Vec<Vec<&'a Edge>>,
+    ) {
+        on_path[here] = true;
+        for edge in self.edges.iter().filter(|e| e.from == here) {
+            if edge.to == start {
+                let mut cycle = path.clone();
+                cycle.push(edge);
+                found.push(cycle);
+            } else if edge.to > start && !on_path[edge.to] {
+                path.push(edge);
+                self.dfs(start, edge.to, path, on_path, found);
+                path.pop();
+            }
+        }
+        on_path[here] = false;
+    }
+
+    /// Classifies every cycle (`AN-PROTO-001` / `AN-PROTO-003`).
+    pub fn lint(&self) -> Report {
+        let mut report = Report::new("wait-for graph");
+        let mut bounded_cycles = 0usize;
+        for cycle in self.cycles() {
+            let all_blocking = cycle.iter().all(|e| e.kind == EdgeKind::Blocking);
+            let has_bounded = cycle.iter().any(|e| e.kind == EdgeKind::Bounded);
+            let has_scheduling = cycle.iter().any(|e| e.kind == EdgeKind::Scheduling);
+            let describe = |cycle: &[&Edge]| {
+                cycle
+                    .iter()
+                    .map(|e| {
+                        format!(
+                            "{} -[{}: {}]-> {}",
+                            self.roles[e.from], e.kind, e.label, self.roles[e.to]
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            };
+            if all_blocking {
+                report.push(
+                    Finding::error(
+                        "AN-PROTO-001",
+                        "wait-for cycle with only unbounded blocking edges: deadlock",
+                    )
+                    .at(describe(&cycle))
+                    .note(
+                        "every role in the cycle waits for another's progress with no \
+                         bound; once all enter their waits, none can leave",
+                    ),
+                );
+            } else if has_bounded {
+                // A bounded edge in the cycle means a buffer or the
+                // credit window decouples the coupling; summarized below.
+                bounded_cycles += 1;
+            } else if has_scheduling {
+                report.push(
+                    Finding::warning(
+                        "AN-PROTO-003",
+                        "wait-for cycle through a pseudo-synchronous mailbox send",
+                    )
+                    .at(describe(&cycle))
+                    .note(
+                        "a mailbox send does not return until the receiver's kernel \
+                         schedules its mailbox process; coupled with the receive wait \
+                         this serializes the two roles (the paper's Figure 7/8 finding)",
+                    )
+                    .help(
+                        "decouple the send with a communication agent so the sender \
+                         continues immediately",
+                    ),
+                );
+            }
+        }
+        if bounded_cycles > 0 {
+            report.push(
+                Finding::info(
+                    "AN-PROTO-003",
+                    format!(
+                        "{bounded_cycles} feedback cycle(s) are decoupled by bounded \
+                         buffers or window credits"
+                    ),
+                )
+                .at("wait-for graph")
+                .note("benign while credits are conserved (see AN-PROTO-004)"),
+            );
+        }
+        report
+    }
+}
+
+/// The window-flow-control credit bookkeeping, statically checkable.
+///
+/// Every servant holds `window` credits; a credit carries one
+/// `bundle_size`-pixel job out and is returned when the job's pixels
+/// retire from the pixel queue, which happens only when `write_chunk`
+/// contiguous completed pixels are written to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditLedger {
+    /// Number of servants.
+    pub servants: u32,
+    /// Credits per servant.
+    pub window: u32,
+    /// Pixels per credit (bundle size).
+    pub bundle_size: u32,
+    /// Pixel-queue capacity (pixels in flight or completed-unwritten).
+    pub capacity: u32,
+    /// Contiguous completed pixels needed before a disk write retires
+    /// them from the queue.
+    pub write_chunk: u32,
+}
+
+impl CreditLedger {
+    /// The ledger implied by an application configuration.
+    pub fn from_app(app: &AppConfig) -> Self {
+        CreditLedger {
+            servants: app.servants as u32,
+            window: app.window,
+            bundle_size: app.bundle_size,
+            capacity: app.pixel_queue_capacity,
+            write_chunk: app.write_chunk,
+        }
+    }
+
+    /// Peak pixels the window scheme can put in flight.
+    pub fn peak_demand(&self) -> u32 {
+        self.servants * self.window * self.bundle_size
+    }
+
+    /// In-flight jobs the queue constant actually admits.
+    pub fn effective_jobs(&self) -> u32 {
+        self.capacity.checked_div(self.bundle_size).unwrap_or(0)
+    }
+
+    /// Checks capacity against demand and credit conservation.
+    pub fn lint(&self) -> Report {
+        let mut report = Report::new("credit ledger");
+        if self.write_chunk > self.capacity {
+            report.push(
+                Finding::error(
+                    "AN-PROTO-004",
+                    format!(
+                        "window credits are never returned: write_chunk = {} exceeds \
+                         pixel_queue_capacity = {}",
+                        self.write_chunk, self.capacity
+                    ),
+                )
+                .at(format!("app.write_chunk = {}", self.write_chunk))
+                .note(
+                    "completed pixels leave the queue only when a full write chunk is \
+                     contiguous; a chunk larger than the queue can never assemble, so \
+                     completed pixels accumulate until every credit is stuck",
+                )
+                .help("keep write_chunk <= pixel_queue_capacity"),
+            );
+        }
+        let demand = self.peak_demand();
+        if self.capacity < demand && self.window > 0 {
+            let intended = self.servants * self.window;
+            report.push(
+                Finding::error(
+                    "AN-PROTO-002",
+                    format!(
+                        "pixel-queue capacity {} is below the window scheme's peak \
+                         demand of {demand} pixels",
+                        self.capacity
+                    ),
+                )
+                .at(format!("app.pixel_queue_capacity = {}", self.capacity)),
+            );
+            // Attach the arithmetic the paper's E2 evaluation had to
+            // discover dynamically.
+            let f = report.findings.last_mut().expect("just pushed");
+            f.notes.push(format!(
+                "{} servants x {} credits x {}-pixel bundles = {demand} pixels could \
+                 be in flight, but the queue admits only {} jobs of the intended \
+                 {intended}",
+                self.servants,
+                self.window,
+                self.bundle_size,
+                self.effective_jobs(),
+            ));
+            f.helps.push(format!(
+                "raise pixel_queue_capacity to at least {demand} (version 4 uses 16384)"
+            ));
+        }
+        report
+    }
+}
+
+/// Runs the full protocol analysis for one application configuration.
+pub fn analyze_protocol(app: &AppConfig) -> Report {
+    let mut report = Report::new(format!("{} protocol", app.version));
+    report.merge(ProtocolGraph::from_app(app).lint());
+    report.merge(CreditLedger::from_app(app).lint());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raysim::config::Version;
+
+    #[test]
+    fn v1_is_pseudo_synchronous_in_both_directions() {
+        let report = analyze_protocol(&AppConfig::version(Version::V1));
+        assert!(!report.has_errors());
+        // Job send + result send each close a scheduling cycle with the
+        // opposite receive wait.
+        assert_eq!(report.warnings(), 2, "{}", report.render());
+        assert!(report.contains("AN-PROTO-003"));
+    }
+
+    #[test]
+    fn v2_warns_only_on_the_result_path() {
+        let report = analyze_protocol(&AppConfig::version(Version::V2));
+        assert!(!report.has_errors());
+        assert_eq!(report.warnings(), 1, "{}", report.render());
+        let warning = report
+            .findings
+            .iter()
+            .find(|f| f.severity == crate::diag::Severity::Warning)
+            .unwrap();
+        assert!(warning.span.contains("result send"), "span: {}", warning.span);
+    }
+
+    #[test]
+    fn v3_capacity_bug_is_detected_statically() {
+        let report = analyze_protocol(&AppConfig::version(Version::V3));
+        assert!(report.has_errors());
+        assert!(report.contains("AN-PROTO-002"));
+        let f = report.with_code("AN-PROTO-002").next().unwrap();
+        assert!(f.span.contains("768"), "span: {}", f.span);
+        assert!(f.notes.iter().any(|n| n.contains("2250")), "notes: {:?}", f.notes);
+        // With agents in both directions there is no pseudo-synchrony
+        // warning left.
+        assert_eq!(report.warnings(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn v4_is_clean_of_errors_and_warnings() {
+        let report = analyze_protocol(&AppConfig::version(Version::V4));
+        assert!(!report.has_errors(), "{}", report.render());
+        assert_eq!(report.warnings(), 0);
+    }
+
+    #[test]
+    fn zero_window_deadlocks() {
+        let mut app = AppConfig::version(Version::V4);
+        app.window = 0;
+        let report = analyze_protocol(&app);
+        assert!(report.contains("AN-PROTO-001"), "{}", report.render());
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn unreturnable_credits_are_an_error() {
+        let mut app = AppConfig::version(Version::V4);
+        app.write_chunk = app.pixel_queue_capacity + 1;
+        let report = analyze_protocol(&app);
+        assert!(report.contains("AN-PROTO-004"));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn ledger_arithmetic() {
+        let ledger = CreditLedger::from_app(&AppConfig::version(Version::V3));
+        assert_eq!(ledger.peak_demand(), 2250);
+        assert_eq!(ledger.effective_jobs(), 15);
+        let v4 = CreditLedger::from_app(&AppConfig::version(Version::V4));
+        assert_eq!(v4.peak_demand(), 4500);
+        assert!(v4.capacity >= v4.peak_demand());
+    }
+
+    #[test]
+    fn cycle_enumeration_finds_two_node_multigraph_cycles() {
+        let mut g = ProtocolGraph::new();
+        let a = g.add_role("A");
+        let b = g.add_role("B");
+        g.add_edge(a, b, EdgeKind::Blocking, "x");
+        g.add_edge(a, b, EdgeKind::Scheduling, "y");
+        g.add_edge(b, a, EdgeKind::Blocking, "z");
+        // Two distinct cycles: (x, z) and (y, z).
+        assert_eq!(g.cycles().len(), 2);
+        // (x, z) is all-blocking -> deadlock.
+        assert!(g.lint().contains("AN-PROTO-001"));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = ProtocolGraph::new();
+        let a = g.add_role("A");
+        g.add_edge(a, a, EdgeKind::Blocking, "waits on itself");
+        assert_eq!(g.cycles().len(), 1);
+        assert!(g.lint().contains("AN-PROTO-001"));
+    }
+}

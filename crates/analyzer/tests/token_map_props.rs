@@ -1,0 +1,119 @@
+//! Property tests for the token-map lints.
+//!
+//! Well-formed maps lint clean; targeted mutations — dropping the begin
+//! of an explicitly-ended activity, duplicating a token id — always
+//! produce the matching `AN-TOKEN-*` finding.
+
+use analyzer::token_lints::{MapKind, TokenDecl, TokenMap};
+use proptest::prelude::*;
+
+/// A pool of distinct activity base names spread over three groups.
+const ACTIVITIES: [(&str, &str); 9] = [
+    ("Distribute Jobs", "Master"),
+    ("Send Jobs", "Master"),
+    ("Write Pixels", "Master"),
+    ("Work", "Servant"),
+    ("Send Results", "Servant"),
+    ("Wait for Job", "Servant"),
+    ("Wake Up", "Agent"),
+    ("Forward Message", "Agent"),
+    ("Sleep", "Agent"),
+];
+
+/// Builds a well-formed map: `picked` selects activities from the pool,
+/// `ended` marks which of them also declare an explicit `… End` token.
+/// Token ids are assigned sequentially, so they are unique and inside
+/// the application range by construction.
+fn well_formed(picked: &[usize], ended: &[bool]) -> TokenMap {
+    let mut map = TokenMap::new("generated", MapKind::Application);
+    let mut next_id = 0x0100u16;
+    for (slot, &idx) in picked.iter().enumerate() {
+        let (name, group) = ACTIVITIES[idx];
+        map.decls.push(TokenDecl::new(next_id, name, group));
+        next_id += 1;
+        if ended.get(slot).copied().unwrap_or(false) {
+            map.decls.push(TokenDecl::new(next_id, format!("{name} End"), group));
+            next_id += 1;
+        }
+    }
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Well-formed maps produce zero findings.
+    #[test]
+    fn well_formed_maps_lint_clean(
+        picked in proptest::sample::subsequence((0..ACTIVITIES.len()).collect::<Vec<_>>(), 5),
+        ended in proptest::collection::vec(proptest::arbitrary::any::<bool>(), 5),
+    ) {
+        let map = well_formed(&picked, &ended);
+        let report = map.lint();
+        prop_assert!(report.is_clean(), "unexpected findings:\n{}", report.render());
+    }
+
+    /// Dropping the begin declaration of an explicitly-ended activity
+    /// always yields AN-TOKEN-001, and nothing harsher.
+    #[test]
+    fn dropped_begin_yields_unmatched_end(
+        picked in proptest::sample::subsequence((0..ACTIVITIES.len()).collect::<Vec<_>>(), 4),
+        victim in 0usize..4,
+    ) {
+        // Every picked activity gets an end pair; then one begin is
+        // deleted, orphaning its end token.
+        let mut map = well_formed(&picked, &[true, true, true, true]);
+        let (victim_name, _) = ACTIVITIES[picked[victim]];
+        map.decls.retain(|d| d.name != victim_name);
+        let report = map.lint();
+        prop_assert!(
+            report.contains("AN-TOKEN-001"),
+            "expected AN-TOKEN-001 after dropping \"{victim_name}\":\n{}",
+            report.render()
+        );
+        prop_assert_eq!(report.errors(), 1);
+    }
+
+    /// Re-declaring any existing id under a fresh name always yields
+    /// AN-TOKEN-002.
+    #[test]
+    fn duplicated_id_yields_collision(
+        picked in proptest::sample::subsequence((0..ACTIVITIES.len()).collect::<Vec<_>>(), 5),
+        ended in proptest::collection::vec(proptest::arbitrary::any::<bool>(), 5),
+        victim in 0usize..5,
+    ) {
+        let mut map = well_formed(&picked, &ended);
+        let stolen = map.decls[victim % map.decls.len()].token;
+        map.decls.push(TokenDecl::new(stolen, "Imposter", "Master"));
+        let report = map.lint();
+        prop_assert!(
+            report.contains("AN-TOKEN-002"),
+            "expected AN-TOKEN-002 for id 0x{stolen:04X}:\n{}",
+            report.render()
+        );
+        prop_assert!(report.has_errors());
+    }
+
+    /// Lints never panic on arbitrary declarations, and an error-free
+    /// report stays error-free under permutation of declarations.
+    #[test]
+    fn lint_is_total_and_order_insensitive(
+        tokens in proptest::collection::vec(proptest::arbitrary::any::<u16>(), 1..8),
+    ) {
+        let decls: Vec<TokenDecl> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let (name, group) = ACTIVITIES[i % ACTIVITIES.len()];
+                TokenDecl::new(t, name, group)
+            })
+            .collect();
+        let mut map = TokenMap::new("fuzzed", MapKind::Application);
+        map.decls = decls;
+        let forward = map.lint();
+        map.decls.reverse();
+        let backward = map.lint();
+        prop_assert_eq!(forward.errors(), backward.errors());
+        prop_assert_eq!(forward.warnings(), backward.warnings());
+    }
+}

@@ -47,6 +47,10 @@ fn run_app(app: AppConfig, seed: u64) -> RunResult {
     let mut cfg = RunConfig::new(app);
     cfg.seed = seed;
     cfg.horizon = SimTime::from_secs(36_000);
+    // Warn, never deny: the paper's measurements include configurations
+    // the analyzer rightly flags (version 3's queue constant) — the bug
+    // must execute to be measured.
+    cfg.preflight = analyzer::warn_policy();
     let result = run(cfg);
     assert!(result.completed(), "experiment run did not complete: {:?}", result.outcome);
     result
@@ -349,6 +353,7 @@ pub fn intrusion_comparison(seed: u64) -> Vec<IntrusionRow> {
             app.write_chunk = 16;
             let mut cfg = RunConfig::new(app);
             cfg.seed = seed;
+            cfg.preflight = analyzer::warn_policy();
             cfg.machine.monitoring = mode;
             cfg.horizon = SimTime::from_secs(36_000);
             let result = run(cfg);
@@ -457,6 +462,7 @@ pub fn clock_sync_ablation(seed: u64) -> (ClockSyncRow, ClockSyncRow) {
     app.write_chunk = 12;
     let mut cfg = RunConfig::new(app.clone());
     cfg.seed = seed;
+    cfg.preflight = analyzer::warn_policy();
     cfg.zm4.streams_per_recorder = 1;
     cfg.horizon = SimTime::from_secs(36_000);
     let result = run(cfg);
@@ -536,6 +542,7 @@ pub fn os_instrumentation(seed: u64) -> OsInstrumentationResult {
     app.pixel_queue_capacity = 64;
     let mut cfg = RunConfig::new(app.clone());
     cfg.seed = seed;
+    cfg.preflight = analyzer::warn_policy();
     cfg.machine.kernel_instrumentation = true;
     cfg.horizon = SimTime::from_secs(36_000);
     let result = run(cfg);

@@ -28,6 +28,7 @@
 //! assert!(result.busy_receiver_block > result.idle_receiver_block * 10);
 //! ```
 
+pub use analyzer;
 pub use des;
 pub use hybridmon;
 pub use raysim;

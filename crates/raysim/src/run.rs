@@ -20,6 +20,41 @@ use crate::config::AppConfig;
 use crate::context::{AppStats, RenderContext};
 use crate::master::Master;
 
+/// What a pre-flight analysis of a run configuration concluded.
+///
+/// Produced by an externally supplied hook (see [`PreflightPolicy`]);
+/// kept deliberately flat — counts plus pre-rendered text — so this
+/// crate needs no knowledge of the analyzer's diagnostic model.
+#[derive(Debug, Clone, Default)]
+pub struct PreflightSummary {
+    /// Findings that predict a broken measurement (deadlock, event loss,
+    /// corrupted attribution).
+    pub errors: usize,
+    /// Findings that predict a distorted measurement.
+    pub warnings: usize,
+    /// The findings, rendered for a terminal.
+    pub rendered: String,
+}
+
+/// Whether (and how strictly) [`run`] analyzes its configuration before
+/// executing it.
+///
+/// The hook is a plain `fn` pointer so the analyzer crate can supply it
+/// without a dependency cycle: `raysim` defines the seam, the analyzer
+/// fills it, and callers pick the policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum PreflightPolicy {
+    /// Run without any pre-flight analysis.
+    #[default]
+    Off,
+    /// Analyze, print any findings to stderr, and run regardless — the
+    /// mode for reproducing the paper's measurements, where version 3's
+    /// queue bug must execute to be measured.
+    Warn(fn(&RunConfig) -> PreflightSummary),
+    /// Analyze and refuse to run a configuration with errors.
+    Deny(fn(&RunConfig) -> PreflightSummary),
+}
+
 /// Full configuration of one measurement run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -33,6 +68,8 @@ pub struct RunConfig {
     pub seed: u64,
     /// Simulated-time budget.
     pub horizon: SimTime,
+    /// Pre-flight static analysis policy.
+    pub preflight: PreflightPolicy,
 }
 
 impl RunConfig {
@@ -58,6 +95,7 @@ impl RunConfig {
             zm4: Zm4Config::default(),
             seed: 1992,
             horizon: SimTime::from_secs(3_600),
+            preflight: PreflightPolicy::default(),
         }
     }
 }
@@ -111,12 +149,38 @@ pub fn to_simple_trace(measurement: &Measurement) -> Trace {
         .collect()
 }
 
+/// Runs the configured pre-flight analysis, printing findings to
+/// stderr.
+///
+/// # Panics
+///
+/// Panics under [`PreflightPolicy::Deny`] when the analysis reports
+/// errors.
+pub fn preflight(cfg: &RunConfig) -> Option<PreflightSummary> {
+    let (summary, deny) = match cfg.preflight {
+        PreflightPolicy::Off => return None,
+        PreflightPolicy::Warn(hook) => (hook(cfg), false),
+        PreflightPolicy::Deny(hook) => (hook(cfg), true),
+    };
+    if summary.errors + summary.warnings > 0 {
+        eprintln!("{}", summary.rendered.trim_end());
+    }
+    assert!(
+        !(deny && summary.errors > 0),
+        "pre-flight analysis found {} error(s); refusing to run:\n{}",
+        summary.errors,
+        summary.rendered
+    );
+    Some(summary)
+}
+
 /// Runs one full measurement.
 ///
 /// # Panics
 ///
 /// Panics if the machine configuration cannot host the application
-/// (fewer nodes than `servants + 1`) or is invalid.
+/// (fewer nodes than `servants + 1`), is invalid, or a
+/// [`PreflightPolicy::Deny`] analysis reports errors.
 ///
 /// # Examples
 ///
@@ -137,6 +201,7 @@ pub fn to_simple_trace(measurement: &Measurement) -> Trace {
 /// assert!(result.image.mean_luminance() > 0.0);
 /// ```
 pub fn run(cfg: RunConfig) -> RunResult {
+    preflight(&cfg);
     cfg.app.validate().expect("invalid application configuration");
     assert!(
         cfg.machine.total_nodes() as u32 > cfg.app.servants as u32,

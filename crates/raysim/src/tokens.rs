@@ -58,23 +58,39 @@ pub const AGENT_FREED: u16 = 0x0303;
 /// Agent: "Sleep".
 pub const AGENT_SLEEP: u16 = 0x0304;
 
+/// The declared point map: `(token id, activity name, group)` for every
+/// instrumentation point above, in declaration order.
+///
+/// This is the raw, uncollapsed list a static analyzer wants to lint —
+/// unlike [`registry`], which silently collapses colliding ids into a
+/// map. Names follow the paper's convention: a `… End` name closes the
+/// activity of the same base name; any other name begins an activity
+/// that the role's next point implicitly ends.
+pub fn point_map() -> Vec<(u16, &'static str, &'static str)> {
+    vec![
+        (DISTRIBUTE_JOBS_BEGIN, "Distribute Jobs", "Master"),
+        (SEND_JOBS_BEGIN, "Send Jobs", "Master"),
+        (SEND_JOBS_END, "Send Jobs End", "Master"),
+        (WAIT_RESULTS_BEGIN, "Wait for Results", "Master"),
+        (RECEIVE_RESULTS_BEGIN, "Receive Results", "Master"),
+        (WRITE_PIXELS_BEGIN, "Write Pixels", "Master"),
+        (WRITE_PIXELS_END, "Write Pixels End", "Master"),
+        (WORK_BEGIN, "Work", "Servant"),
+        (SEND_RESULTS_BEGIN, "Send Results", "Servant"),
+        (WAIT_JOB_BEGIN, "Wait for Job", "Servant"),
+        (AGENT_WAKE_UP, "Wake Up", "Agent"),
+        (AGENT_FORWARD, "Forward Message", "Agent"),
+        (AGENT_FREED, "Freed", "Agent"),
+        (AGENT_SLEEP, "Sleep", "Agent"),
+    ]
+}
+
 /// Registry naming every instrumentation point (for reports).
 pub fn registry() -> TokenRegistry {
     let mut reg = TokenRegistry::new();
-    reg.register(DISTRIBUTE_JOBS_BEGIN.into(), "Distribute Jobs", "Master")
-        .register(SEND_JOBS_BEGIN.into(), "Send Jobs", "Master")
-        .register(SEND_JOBS_END.into(), "Send Jobs End", "Master")
-        .register(WAIT_RESULTS_BEGIN.into(), "Wait for Results", "Master")
-        .register(RECEIVE_RESULTS_BEGIN.into(), "Receive Results", "Master")
-        .register(WRITE_PIXELS_BEGIN.into(), "Write Pixels", "Master")
-        .register(WRITE_PIXELS_END.into(), "Write Pixels End", "Master")
-        .register(WORK_BEGIN.into(), "Work", "Servant")
-        .register(SEND_RESULTS_BEGIN.into(), "Send Results", "Servant")
-        .register(WAIT_JOB_BEGIN.into(), "Wait for Job", "Servant")
-        .register(AGENT_WAKE_UP.into(), "Wake Up", "Agent")
-        .register(AGENT_FORWARD.into(), "Forward Message", "Agent")
-        .register(AGENT_FREED.into(), "Freed", "Agent")
-        .register(AGENT_SLEEP.into(), "Sleep", "Agent");
+    for (token, name, group) in point_map() {
+        reg.register(token.into(), name, group);
+    }
     reg
 }
 
@@ -118,6 +134,17 @@ pub fn agent_activity_model() -> ActivityModel {
 mod tests {
     use super::*;
     use hybridmon::EventToken;
+
+    #[test]
+    fn point_map_matches_registry() {
+        let map = point_map();
+        assert_eq!(map.len(), 14);
+        let reg = registry();
+        for (token, name, group) in map {
+            assert_eq!(reg.name(EventToken::new(token)), Some(name));
+            assert_eq!(reg.group(EventToken::new(token)), Some(group));
+        }
+    }
 
     #[test]
     fn registry_covers_all_tokens() {

@@ -27,6 +27,25 @@ pub const KERNEL_MAILBOX_SERVICE: u16 = 0xF003;
 /// A process exited.
 pub const KERNEL_EXIT: u16 = 0xF004;
 
+/// First token id of the range reserved for kernel instrumentation.
+///
+/// Application point maps must stay below this; the event decoder has no
+/// other way to attribute a token to the kernel's or the application's
+/// activity state machine when both share a node's display channel.
+pub const KERNEL_TOKEN_BASE: u16 = 0xF000;
+
+/// The declared kernel point map: `(token id, activity name, group)`,
+/// the OS-side companion of `raysim::tokens::point_map` for static
+/// analysis and reports.
+pub fn point_map() -> Vec<(u16, &'static str, &'static str)> {
+    vec![
+        (KERNEL_DISPATCH, "Dispatch", "Kernel"),
+        (KERNEL_BLOCK, "Block", "Kernel"),
+        (KERNEL_MAILBOX_SERVICE, "Mailbox Service", "Kernel"),
+        (KERNEL_EXIT, "Exit", "Kernel"),
+    ]
+}
+
 /// Encodes a kernel-event parameter from a process id and a code.
 pub fn param(pid_raw: u32, code: u8) -> u32 {
     (pid_raw & 0x00FF_FFFF) | ((code as u32) << 24)
@@ -54,6 +73,15 @@ pub fn reason_code(reason: crate::ground_truth::BlockReason) -> u8 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn point_map_lives_in_reserved_range() {
+        for (token, _, group) in point_map() {
+            assert!(token >= KERNEL_TOKEN_BASE);
+            assert_eq!(group, "Kernel");
+        }
+        assert_eq!(point_map().len(), 4);
+    }
 
     #[test]
     fn param_roundtrip() {

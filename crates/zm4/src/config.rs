@@ -67,6 +67,10 @@ impl Default for Zm4Config {
 }
 
 impl Zm4Config {
+    /// Peak burst rate one event recorder can absorb, events/s
+    /// (paper §3.1: "bursts of up to 10 million events/s").
+    pub const BURST_RATE_HZ: u64 = 10_000_000;
+
     /// Service time of one FIFO→disk record.
     ///
     /// # Panics
@@ -75,6 +79,22 @@ impl Zm4Config {
     pub fn drain_service_time(&self) -> SimDuration {
         assert!(self.disk_drain_rate > 0, "drain rate must be nonzero");
         SimDuration::from_nanos(1_000_000_000 / self.disk_drain_rate)
+    }
+
+    /// How long a recorder sustains an arrival rate of `arrival_hz`
+    /// events/s before its FIFO overflows and events are lost, assuming
+    /// the FIFO starts empty. `None` when the disk drain keeps up
+    /// (`arrival_hz <= disk_drain_rate`) — the FIFO never fills.
+    ///
+    /// This is the closed-form counterpart of the recorder's dynamic
+    /// FIFO model, used for static overload prediction.
+    pub fn overflow_horizon(&self, arrival_hz: f64) -> Option<SimDuration> {
+        let excess = arrival_hz - self.disk_drain_rate as f64;
+        if excess <= 0.0 {
+            return None;
+        }
+        let seconds = self.fifo_capacity as f64 / excess;
+        Some(SimDuration::from_nanos((seconds * 1e9) as u64))
     }
 }
 
@@ -96,5 +116,20 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_drain_rate_panics() {
         Zm4Config { disk_drain_rate: 0, ..Zm4Config::default() }.drain_service_time();
+    }
+
+    #[test]
+    fn overflow_horizon_matches_fifo_arithmetic() {
+        let cfg = Zm4Config::default();
+        // Drain keeps up: never overflows.
+        assert_eq!(cfg.overflow_horizon(9_999.0), None);
+        assert_eq!(cfg.overflow_horizon(10_000.0), None);
+        // 42 768 ev/s arrival: 32 768 excess events/s fill the 32K FIFO
+        // in exactly one second.
+        let horizon = cfg.overflow_horizon(42_768.0).unwrap();
+        assert_eq!(horizon, SimDuration::from_secs(1));
+        // The paper's burst figure drowns the FIFO in ~3.3 ms.
+        let burst = cfg.overflow_horizon(Zm4Config::BURST_RATE_HZ as f64).unwrap();
+        assert!(burst < SimDuration::from_millis(4));
     }
 }
