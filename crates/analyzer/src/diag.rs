@@ -123,7 +123,10 @@ pub struct Report {
 impl Report {
     /// An empty report about `subject`.
     pub fn new(subject: impl Into<String>) -> Self {
-        Report { subject: subject.into(), findings: Vec::new() }
+        Report {
+            subject: subject.into(),
+            findings: Vec::new(),
+        }
     }
 
     /// Adds a finding.
@@ -138,7 +141,10 @@ impl Report {
 
     /// Number of findings at exactly `severity`.
     pub fn count(&self, severity: Severity) -> usize {
-        self.findings.iter().filter(|f| f.severity == severity).count()
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
     }
 
     /// Number of errors.

@@ -46,8 +46,8 @@ pub mod token_lints;
 
 pub use diag::{Finding, Report, Severity};
 pub use preflight::{
-    analyze_all_versions, analyze_app, analyze_run, analyze_version, deny_policy,
-    preflight_hook, warn_policy,
+    analyze_all_versions, analyze_app, analyze_run, analyze_version, deny_policy, preflight_hook,
+    warn_policy,
 };
 pub use protocol::{analyze_protocol, CreditLedger, ProtocolGraph};
 pub use rate::{analyze_rate, predict, RatePrediction};

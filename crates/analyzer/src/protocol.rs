@@ -77,7 +77,12 @@ impl ProtocolGraph {
 
     /// Adds a wait-for edge.
     pub fn add_edge(&mut self, from: usize, to: usize, kind: EdgeKind, label: impl Into<String>) {
-        self.edges.push(Edge { from, to, kind, label: label.into() });
+        self.edges.push(Edge {
+            from,
+            to,
+            kind,
+            label: label.into(),
+        });
     }
 
     /// Builds the wait-for graph the paper's §4.3 version ladder implies.
@@ -99,7 +104,12 @@ impl ProtocolGraph {
                 EdgeKind::Bounded,
                 "job handoff to communication agent (bounded by window credits)",
             );
-            g.add_edge(agent, servant, EdgeKind::Scheduling, "agent's mailbox job send");
+            g.add_edge(
+                agent,
+                servant,
+                EdgeKind::Scheduling,
+                "agent's mailbox job send",
+            );
         } else {
             g.add_edge(master, servant, EdgeKind::Scheduling, "mailbox job send");
         }
@@ -113,7 +123,12 @@ impl ProtocolGraph {
                 EdgeKind::Bounded,
                 "result handoff to communication agent (bounded buffer)",
             );
-            g.add_edge(agent, master, EdgeKind::Scheduling, "agent's mailbox result send");
+            g.add_edge(
+                agent,
+                master,
+                EdgeKind::Scheduling,
+                "agent's mailbox result send",
+            );
         } else {
             g.add_edge(servant, master, EdgeKind::Scheduling, "mailbox result send");
         }
@@ -124,8 +139,11 @@ impl ProtocolGraph {
         // to `window` jobs per servant without being asked — unless the
         // window is zero, in which case nothing is ever in flight.
         g.add_edge(master, servant, EdgeKind::Blocking, "Wait for Results");
-        let wait_job_kind =
-            if app.window == 0 { EdgeKind::Blocking } else { EdgeKind::Bounded };
+        let wait_job_kind = if app.window == 0 {
+            EdgeKind::Blocking
+        } else {
+            EdgeKind::Bounded
+        };
         g.add_edge(
             servant,
             master,
@@ -380,7 +398,11 @@ mod tests {
             .iter()
             .find(|f| f.severity == crate::diag::Severity::Warning)
             .unwrap();
-        assert!(warning.span.contains("result send"), "span: {}", warning.span);
+        assert!(
+            warning.span.contains("result send"),
+            "span: {}",
+            warning.span
+        );
     }
 
     #[test]
@@ -390,7 +412,11 @@ mod tests {
         assert!(report.contains("AN-PROTO-002"));
         let f = report.with_code("AN-PROTO-002").next().unwrap();
         assert!(f.span.contains("768"), "span: {}", f.span);
-        assert!(f.notes.iter().any(|n| n.contains("2250")), "notes: {:?}", f.notes);
+        assert!(
+            f.notes.iter().any(|n| n.contains("2250")),
+            "notes: {:?}",
+            f.notes
+        );
         // With agents in both directions there is no pseudo-synchrony
         // warning left.
         assert_eq!(report.warnings(), 0, "{}", report.render());

@@ -155,8 +155,10 @@ fn peak_backlog(channels: &[&ChannelLoad], drain_hz: f64) -> f64 {
     let mut max = 0.0f64;
     for probe in channels {
         let t = probe.busy_seconds;
-        let arrived: f64 =
-            channels.iter().map(|c| c.peak_hz * c.busy_seconds.min(t)).sum();
+        let arrived: f64 = channels
+            .iter()
+            .map(|c| c.peak_hz * c.busy_seconds.min(t))
+            .sum();
         max = max.max(arrived - drain_hz * t);
     }
     max
@@ -164,14 +166,16 @@ fn peak_backlog(channels: &[&ChannelLoad], drain_hz: f64) -> f64 {
 
 /// Computes the worst-case rate prediction for a run setup.
 pub fn predict(app: &AppConfig, machine: &MachineConfig, zm4: &Zm4Config) -> RatePrediction {
-    let per_event = machine.monitor_costs.per_event(machine.monitoring).as_secs_f64();
-    let kernel_events = if machine.kernel_instrumentation
-        && machine.monitoring == MonitoringMode::Hybrid
-    {
-        KERNEL_EVENTS_PER_JOB
-    } else {
-        0.0
-    };
+    let per_event = machine
+        .monitor_costs
+        .per_event(machine.monitoring)
+        .as_secs_f64();
+    let kernel_events =
+        if machine.kernel_instrumentation && machine.monitoring == MonitoringMode::Hybrid {
+            KERNEL_EVENTS_PER_JOB
+        } else {
+            0.0
+        };
 
     let mut channels = vec![master_load(app, per_event, kernel_events)];
     for s in 1..=app.servants as usize {
@@ -192,11 +196,18 @@ pub fn predict(app: &AppConfig, machine: &MachineConfig, zm4: &Zm4Config) -> Rat
                 arrival_hz: members.iter().map(|c| c.peak_hz).sum(),
                 drain_hz: zm4.disk_drain_rate as f64,
                 peak_backlog: peak_backlog(&members, zm4.disk_drain_rate as f64),
-                burst_hz: if per_event > 0.0 { members.len() as f64 / per_event } else { 0.0 },
+                burst_hz: if per_event > 0.0 {
+                    members.len() as f64 / per_event
+                } else {
+                    0.0
+                },
             }
         })
         .collect();
-    RatePrediction { channels, recorders }
+    RatePrediction {
+        channels,
+        recorders,
+    }
 }
 
 /// Runs the overload prediction and renders findings.
@@ -234,7 +245,9 @@ pub fn analyze_rate(app: &AppConfig, machine: &MachineConfig, zm4: &Zm4Config) -
             continue;
         }
         let fifo = zm4.fifo_capacity as f64;
-        let horizon = zm4.overflow_horizon(rec.arrival_hz).map(|d| d.as_secs_f64());
+        let horizon = zm4
+            .overflow_horizon(rec.arrival_hz)
+            .map(|d| d.as_secs_f64());
         if rec.peak_backlog > fifo {
             let mut f = Finding::error(
                 "AN-RATE-001",
@@ -328,7 +341,11 @@ mod tests {
         assert!(report.contains("AN-RATE-003"), "{}", report.render());
         let (app, machine, zm4) = setup(Version::V4);
         let report = analyze_rate(&app, &machine, &zm4);
-        assert!(report.is_clean(), "bundled jobs leave headroom:\n{}", report.render());
+        assert!(
+            report.is_clean(),
+            "bundled jobs leave headroom:\n{}",
+            report.render()
+        );
     }
 
     #[test]
@@ -368,7 +385,11 @@ mod tests {
         assert_eq!(assigned, p.channels.len());
         // Bundled V3 jobs are far below the drain on every recorder.
         for r in &p.recorders {
-            assert!(r.arrival_hz < r.drain_hz, "recorder {} overloaded", r.recorder);
+            assert!(
+                r.arrival_hz < r.drain_hz,
+                "recorder {} overloaded",
+                r.recorder
+            );
         }
     }
 
@@ -394,7 +415,12 @@ mod tests {
             peak_hz: 9_000.0,
             busy_seconds: 1.0,
         };
-        let slow = ChannelLoad { channel: 1, peak_hz: 6_000.0, busy_seconds: 3.0, ..fast.clone() };
+        let slow = ChannelLoad {
+            channel: 1,
+            peak_hz: 6_000.0,
+            busy_seconds: 3.0,
+            ..fast.clone()
+        };
         // Combined 15k vs 10k drain for 1 s (backlog 5k), then 6k vs 10k
         // drains it back down: the peak is at t = 1 s.
         let peak = peak_backlog(&[&fast, &slow], 10_000.0);

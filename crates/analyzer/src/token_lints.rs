@@ -36,7 +36,11 @@ pub struct TokenDecl {
 impl TokenDecl {
     /// Creates a declaration.
     pub fn new(token: u16, name: impl Into<String>, group: impl Into<String>) -> Self {
-        TokenDecl { token, name: name.into(), group: group.into() }
+        TokenDecl {
+            token,
+            name: name.into(),
+            group: group.into(),
+        }
     }
 
     /// If the name is a closer (`"X End"`), the base name `"X"` it closes.
@@ -69,7 +73,11 @@ pub struct TokenMap {
 impl TokenMap {
     /// An empty map.
     pub fn new(label: impl Into<String>, kind: MapKind) -> Self {
-        TokenMap { label: label.into(), kind, decls: Vec::new() }
+        TokenMap {
+            label: label.into(),
+            kind,
+            decls: Vec::new(),
+        }
     }
 
     /// Builds a map from `(token, name, group)` tuples as produced by
@@ -82,7 +90,10 @@ impl TokenMap {
         TokenMap {
             label: label.into(),
             kind,
-            decls: points.iter().map(|&(t, n, g)| TokenDecl::new(t, n, g)).collect(),
+            decls: points
+                .iter()
+                .map(|&(t, n, g)| TokenDecl::new(t, n, g))
+                .collect(),
         }
     }
 
@@ -105,7 +116,10 @@ impl TokenMap {
     }
 
     fn span(&self, decl: &TokenDecl) -> String {
-        format!("{}: 0x{:04X} \"{}\" ({})", self.label, decl.token, decl.name, decl.group)
+        format!(
+            "{}: 0x{:04X} \"{}\" ({})",
+            self.label, decl.token, decl.name, decl.group
+        )
     }
 
     /// Runs every single-map lint and returns the findings.
@@ -123,9 +137,13 @@ impl TokenMap {
     /// end with nothing to close and the Gantt track goes negative.
     fn lint_end_pairs(&self, report: &mut Report) {
         for decl in &self.decls {
-            let Some(base) = decl.end_base() else { continue };
-            let has_begin =
-                self.decls.iter().any(|d| d.group == decl.group && d.name == base);
+            let Some(base) = decl.end_base() else {
+                continue;
+            };
+            let has_begin = self
+                .decls
+                .iter()
+                .any(|d| d.group == decl.group && d.name == base);
             if !has_begin {
                 report.push(
                     Finding::error(
@@ -163,8 +181,10 @@ impl TokenMap {
             if decls.len() < 2 {
                 continue;
             }
-            let names: Vec<String> =
-                decls.iter().map(|d| format!("\"{}\" ({})", d.name, d.group)).collect();
+            let names: Vec<String> = decls
+                .iter()
+                .map(|d| format!("\"{}\" ({})", d.name, d.group))
+                .collect();
             report.push(
                 Finding::error(
                     "AN-TOKEN-002",
@@ -253,7 +273,10 @@ impl TokenMap {
     fn lint_duplicate_names(&self, report: &mut Report) {
         let mut by_name: BTreeMap<(&str, &str), Vec<&TokenDecl>> = BTreeMap::new();
         for decl in &self.decls {
-            by_name.entry((decl.group.as_str(), decl.name.as_str())).or_default().push(decl);
+            by_name
+                .entry((decl.group.as_str(), decl.name.as_str()))
+                .or_default()
+                .push(decl);
         }
         for ((group, name), decls) in by_name {
             let distinct_ids: std::collections::BTreeSet<u16> =
@@ -281,8 +304,7 @@ impl TokenMap {
 /// node's display channel (`AN-TOKEN-004`).
 pub fn lint_pair(app: &TokenMap, kernel: &TokenMap) -> Report {
     let mut report = Report::new(format!("{} + {}", app.label, kernel.label));
-    let kernel_ids: BTreeMap<u16, &TokenDecl> =
-        kernel.decls.iter().map(|d| (d.token, d)).collect();
+    let kernel_ids: BTreeMap<u16, &TokenDecl> = kernel.decls.iter().map(|d| (d.token, d)).collect();
     for decl in &app.decls {
         if let Some(kdecl) = kernel_ids.get(&decl.token) {
             report.push(
@@ -344,7 +366,11 @@ mod tests {
     #[test]
     fn stock_maps_have_no_errors() {
         let report = lint_stock_maps();
-        assert!(!report.has_errors(), "stock maps must lint clean:\n{}", report.render());
+        assert!(
+            !report.has_errors(),
+            "stock maps must lint clean:\n{}",
+            report.render()
+        );
         assert_eq!(report.warnings(), 0);
         // The interleaving reminder is the only finding.
         assert!(report.contains("AN-TOKEN-004"));
@@ -382,10 +408,7 @@ mod tests {
 
     #[test]
     fn duplicate_id_is_an_error() {
-        let map = app_map(&[
-            (0x0101, "Send Jobs", "Master"),
-            (0x0101, "Work", "Servant"),
-        ]);
+        let map = app_map(&[(0x0101, "Send Jobs", "Master"), (0x0101, "Work", "Servant")]);
         let report = map.lint();
         assert!(report.contains("AN-TOKEN-002"));
         assert!(report.has_errors());
@@ -401,11 +424,7 @@ mod tests {
 
     #[test]
     fn kernel_token_below_base_is_a_warning() {
-        let map = TokenMap::from_points(
-            "test",
-            MapKind::Kernel,
-            &[(0x0101, "Dispatch", "Kernel")],
-        );
+        let map = TokenMap::from_points("test", MapKind::Kernel, &[(0x0101, "Dispatch", "Kernel")]);
         let report = map.lint();
         let f = report.with_code("AN-TOKEN-003").next().unwrap();
         assert_eq!(f.severity, crate::diag::Severity::Warning);
@@ -420,10 +439,7 @@ mod tests {
 
     #[test]
     fn duplicate_name_is_a_warning() {
-        let map = app_map(&[
-            (0x0101, "Work", "Servant"),
-            (0x0102, "Work", "Servant"),
-        ]);
+        let map = app_map(&[(0x0101, "Work", "Servant"), (0x0102, "Work", "Servant")]);
         let report = map.lint();
         assert!(report.contains("AN-TOKEN-005"));
         assert!(!report.has_errors());
@@ -432,11 +448,7 @@ mod tests {
     #[test]
     fn cross_map_collision_is_an_error() {
         let app = app_map(&[(0x0101, "Work", "Servant")]);
-        let kernel = TokenMap::from_points(
-            "k",
-            MapKind::Kernel,
-            &[(0x0101, "Dispatch", "Kernel")],
-        );
+        let kernel = TokenMap::from_points("k", MapKind::Kernel, &[(0x0101, "Dispatch", "Kernel")]);
         let report = lint_pair(&app, &kernel);
         assert!(report.has_errors());
         assert!(report.contains("AN-TOKEN-004"));

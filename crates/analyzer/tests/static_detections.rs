@@ -38,7 +38,9 @@ fn unbalanced_token_map_is_found() {
     assert_eq!(finding.severity, Severity::Error);
     assert!(finding.message.contains("Send Jobs End"));
     // The intact map is balanced.
-    assert!(!TokenMap::raysim_application().lint().contains("AN-TOKEN-001"));
+    assert!(!TokenMap::raysim_application()
+        .lint()
+        .contains("AN-TOKEN-001"));
 }
 
 /// (c) Predicted FIFO overload for an over-instrumented configuration.
@@ -82,14 +84,9 @@ fn stock_version_reports_render() {
 /// application map that strays above it.
 #[test]
 fn reserved_range_violations_in_both_directions() {
-    let app = TokenMap::from_points(
-        "app",
-        MapKind::Application,
-        &[(0xF123, "Work", "Servant")],
-    );
+    let app = TokenMap::from_points("app", MapKind::Application, &[(0xF123, "Work", "Servant")]);
     assert!(app.lint().has_errors());
-    let kernel =
-        TokenMap::from_points("k", MapKind::Kernel, &[(0x0042, "Dispatch", "Kernel")]);
+    let kernel = TokenMap::from_points("k", MapKind::Kernel, &[(0x0042, "Dispatch", "Kernel")]);
     let report = kernel.lint();
     assert!(report.contains("AN-TOKEN-003"));
     assert!(!report.has_errors());

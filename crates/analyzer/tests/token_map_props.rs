@@ -32,7 +32,8 @@ fn well_formed(picked: &[usize], ended: &[bool]) -> TokenMap {
         map.decls.push(TokenDecl::new(next_id, name, group));
         next_id += 1;
         if ended.get(slot).copied().unwrap_or(false) {
-            map.decls.push(TokenDecl::new(next_id, format!("{name} End"), group));
+            map.decls
+                .push(TokenDecl::new(next_id, format!("{name} End"), group));
             next_id += 1;
         }
     }

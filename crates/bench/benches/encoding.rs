@@ -20,7 +20,9 @@ fn bench_encode(c: &mut Criterion) {
 fn bench_decode(c: &mut Criterion) {
     let mut g = c.benchmark_group("decoding");
     // A stream of 1000 events (32 patterns each).
-    let patterns: Vec<_> = (0..1000u32).flat_map(|i| encode(MonEvent::new(i as u16, i))).collect();
+    let patterns: Vec<_> = (0..1000u32)
+        .flat_map(|i| encode(MonEvent::new(i as u16, i)))
+        .collect();
     g.throughput(Throughput::Elements(1000));
     g.bench_function("decode_1000_events", |b| {
         b.iter(|| {

@@ -24,7 +24,11 @@ fn bench_pipelines(c: &mut Criterion) {
     });
     g.bench_function("jacobi_6_workers", |b| {
         b.iter(|| {
-            let cfg = JacobiConfig { workers: 6, iterations: 12, ..JacobiConfig::default() };
+            let cfg = JacobiConfig {
+                workers: 6,
+                iterations: 12,
+                ..JacobiConfig::default()
+            };
             black_box(run_jacobi(cfg, 7).max_error)
         });
     });

@@ -23,7 +23,12 @@ impl Process for Ping {
             self.peer = Some(*pid);
         }
         let Some(peer) = self.peer else {
-            return Action::Spawn { node: NodeId::new(1), body: Box::new(Pong { mailbox: self.mailbox }) };
+            return Action::Spawn {
+                node: NodeId::new(1),
+                body: Box::new(Pong {
+                    mailbox: self.mailbox,
+                }),
+            };
         };
         if self.awaiting_reply {
             self.awaiting_reply = false;
@@ -63,9 +68,15 @@ impl Process for Pong {
             Resume::Msg(m) | Resume::MailboxMsg(m) => {
                 let reply = Message::new(ctx.pid, 64, ());
                 if self.mailbox {
-                    Action::MailboxSend { to: m.src(), msg: reply }
+                    Action::MailboxSend {
+                        to: m.src(),
+                        msg: reply,
+                    }
                 } else {
-                    Action::SendSync { to: m.src(), msg: reply }
+                    Action::SendSync {
+                        to: m.src(),
+                        msg: reply,
+                    }
                 }
             }
             _ => {
@@ -83,7 +94,13 @@ fn run_pingpong(mailbox: bool, rounds: u32) {
     let mut m = Machine::new(MachineConfig::single_cluster(2), 1).unwrap();
     m.add_process(
         NodeId::new(0),
-        Box::new(Ping { rounds, done: 0, mailbox, peer: None, awaiting_reply: false }),
+        Box::new(Ping {
+            rounds,
+            done: 0,
+            mailbox,
+            peer: None,
+            awaiting_reply: false,
+        }),
     );
     let out = m.run(SimTime::from_secs(3_600));
     assert_eq!(out.reason, RunEnd::Completed);

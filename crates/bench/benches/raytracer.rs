@@ -37,10 +37,18 @@ fn bench_accelerations(c: &mut Criterion) {
     let (fractal, f_cam) = scenes::fractal_pyramid(3);
     for (label, accel, vector) in [
         ("brute_scalar", Accel::BruteForce, VectorMode::Scalar),
-        ("brute_vectorized", Accel::BruteForce, VectorMode::Vectorized),
+        (
+            "brute_vectorized",
+            Accel::BruteForce,
+            VectorMode::Vectorized,
+        ),
         ("bvh_scalar", Accel::Bvh, VectorMode::Scalar),
     ] {
-        let cfg = TraceConfig { accel, vector_mode: vector, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            accel,
+            vector_mode: vector,
+            ..TraceConfig::default()
+        };
         g.bench_function(label, |b| {
             b.iter(|| black_box(render_block(&fractal, &f_cam, cfg)));
         });

@@ -18,16 +18,17 @@ fn events(count: u64, period_ns: u64) -> Vec<DetectedEvent> {
 
 fn bench_recorder(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_recorder");
-    for &(label, period) in
-        &[("sustained_9k_per_s", 111_111u64), ("burst_1M_per_s", 1_000), ("burst_10M_per_s", 100)]
-    {
+    for &(label, period) in &[
+        ("sustained_9k_per_s", 111_111u64),
+        ("burst_1M_per_s", 1_000),
+        ("burst_10M_per_s", 100),
+    ] {
         let evs = events(10_000, period);
         g.throughput(Throughput::Elements(evs.len() as u64));
         g.bench_function(label, |b| {
             b.iter(|| {
                 let clock = ClockModel::synchronized(SimDuration::from_nanos(100));
-                let mut rec =
-                    EventRecorder::new(clock, 32 * 1024, SimDuration::from_micros(100));
+                let mut rec = EventRecorder::new(clock, 32 * 1024, SimDuration::from_micros(100));
                 for &ev in &evs {
                     rec.record(ev);
                 }

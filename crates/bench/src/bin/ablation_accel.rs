@@ -6,16 +6,36 @@ use suprenum_monitor::raytracer::{
     scenes, Accel, CostModel, TraceConfig, Tracer, VectorMode, WorkCounters,
 };
 
-fn measure(scene_name: &str, scene: &suprenum_monitor::raytracer::Scene, camera: &suprenum_monitor::raytracer::Camera) {
+fn measure(
+    scene_name: &str,
+    scene: &suprenum_monitor::raytracer::Scene,
+    camera: &suprenum_monitor::raytracer::Camera,
+) {
     let cost = CostModel::mc68020();
     println!("{scene_name}:");
     for (label, accel, vector) in [
-        ("brute force, scalar FPU   ", Accel::BruteForce, VectorMode::Scalar),
-        ("brute force, VFPU batches ", Accel::BruteForce, VectorMode::Vectorized),
+        (
+            "brute force, scalar FPU   ",
+            Accel::BruteForce,
+            VectorMode::Scalar,
+        ),
+        (
+            "brute force, VFPU batches ",
+            Accel::BruteForce,
+            VectorMode::Vectorized,
+        ),
         ("BVH, scalar FPU           ", Accel::Bvh, VectorMode::Scalar),
-        ("BVH, VFPU batches         ", Accel::Bvh, VectorMode::Vectorized),
+        (
+            "BVH, VFPU batches         ",
+            Accel::Bvh,
+            VectorMode::Vectorized,
+        ),
     ] {
-        let cfg = TraceConfig { accel, vector_mode: vector, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            accel,
+            vector_mode: vector,
+            ..TraceConfig::default()
+        };
         let tracer = Tracer::new(scene, cfg);
         let mut work = WorkCounters::new();
         let n = 32u32;

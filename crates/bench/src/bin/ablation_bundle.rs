@@ -7,7 +7,10 @@ use suprenum_monitor::raysim::config::{AppConfig, Version};
 use suprenum_monitor::raysim::run::{run, RunConfig};
 
 fn main() {
-    println!("{:>8} {:>8} {:>12} {:>14}", "bundle", "jobs", "utilization", "simulated end");
+    println!(
+        "{:>8} {:>8} {:>12} {:>14}",
+        "bundle", "jobs", "utilization", "simulated end"
+    );
     for bundle in [1u32, 5, 10, 25, 50, 100, 200] {
         let mut app = AppConfig::version(Version::V4);
         app.width = 96;

@@ -7,10 +7,10 @@
 
 use suprenum_monitor::des::time::SimTime;
 use suprenum_monitor::raysim::analysis::{servant_tracks, servant_utilization, work_phase};
-use suprenum_monitor::simple::Trace;
 use suprenum_monitor::raysim::config::{AppConfig, Version};
 use suprenum_monitor::raysim::run::{run, RunConfig};
 use suprenum_monitor::raysim::static_partition::{run_static, StaticScheme};
+use suprenum_monitor::simple::Trace;
 
 fn main() {
     let horizon = SimTime::from_secs(36_000);
@@ -30,8 +30,10 @@ fn main() {
     let report = |label: String, trace: &Trace, servants: u32, end: SimTime| {
         let (_, to) = work_phase(trace).unwrap();
         let tracks = servant_tracks(trace, servants, to);
-        let works: Vec<f64> =
-            tracks.iter().map(|t| t.time_in_state("Work") as f64 / 1e9).collect();
+        let works: Vec<f64> = tracks
+            .iter()
+            .map(|t| t.time_in_state("Work") as f64 / 1e9)
+            .collect();
         let max = works.iter().cloned().fold(0.0, f64::max);
         let min = works.iter().cloned().fold(f64::INFINITY, f64::min);
         let mean = works.iter().sum::<f64>() / works.len() as f64;
@@ -61,7 +63,12 @@ fn main() {
     cfg.horizon = horizon;
     let r = run(cfg);
     assert!(r.completed());
-    report("dynamic (version 4)".into(), &r.trace, servants, r.outcome.end);
+    report(
+        "dynamic (version 4)".into(),
+        &r.trace,
+        servants,
+        r.outcome.end,
+    );
     println!("\ncontiguous bands idle on cheap sky rows while the center band grinds;");
     println!("interleaving spreads the variance; dynamic partitioning adapts to it.");
 }

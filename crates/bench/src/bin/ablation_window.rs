@@ -8,7 +8,10 @@ use suprenum_monitor::raysim::config::{AppConfig, Version};
 use suprenum_monitor::raysim::run::{run, RunConfig};
 
 fn main() {
-    println!("{:>8} {:>12} {:>14}", "window", "utilization", "simulated end");
+    println!(
+        "{:>8} {:>12} {:>14}",
+        "window", "utilization", "simulated end"
+    );
     for window in [1u32, 2, 3, 5, 8] {
         let mut app = AppConfig::version(Version::V3);
         app.width = 96;
@@ -20,6 +23,11 @@ fn main() {
         let r = run(cfg);
         assert!(r.completed());
         let u = servant_utilization(&r.trace, servants);
-        println!("{:>8} {:>11.1}% {:>14}", window, u.mean_percent(), r.outcome.end.to_string());
+        println!(
+            "{:>8} {:>11.1}% {:>14}",
+            window,
+            u.mean_percent(),
+            r.outcome.end.to_string()
+        );
     }
 }

@@ -12,8 +12,14 @@ fn main() {
     for r in [&sync, &free] {
         println!(
             "{:<26} {:>8} {:>18} {:>18} {:>11} us",
-            if r.mtg_synchronized { "MTG (100ns, global)" } else { "free-running" },
-            r.events, r.merge_violations, r.causality_violations,
+            if r.mtg_synchronized {
+                "MTG (100ns, global)"
+            } else {
+                "free-running"
+            },
+            r.events,
+            r.merge_violations,
+            r.causality_violations,
             r.max_timestamp_error_ns as f64 / 1e3
         );
     }

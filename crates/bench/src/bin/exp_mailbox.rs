@@ -5,7 +5,10 @@ use suprenum_monitor::experiments::mailbox_anatomy;
 
 fn main() {
     let r = mailbox_anatomy(1992);
-    println!("mailbox send blocking (receiver work phase {}):", r.receiver_work);
+    println!(
+        "mailbox send blocking (receiver work phase {}):",
+        r.receiver_work
+    );
     println!("  receiver busy: {}", r.busy_receiver_block);
     println!("  receiver idle: {}", r.idle_receiver_block);
     println!(

@@ -6,15 +6,26 @@ use suprenum_monitor::experiments::{fig10_versions, Scale};
 fn main() {
     let rows = fig10_versions(1992, Scale::Paper);
     println!("Figure 10 — improvement of servant utilization:");
-    println!("{:<40} {:>9} {:>9} {:>7}", "version", "measured", "steady", "paper");
+    println!(
+        "{:<40} {:>9} {:>9} {:>7}",
+        "version", "measured", "steady", "paper"
+    );
     for r in &rows {
         println!(
             "{:<40} {:>8.1}% {:>8.1}% {:>6.0}%",
-            r.version.to_string(), r.measured_percent, r.steady_percent, r.paper_percent
+            r.version.to_string(),
+            r.measured_percent,
+            r.steady_percent,
+            r.paper_percent
         );
     }
     for r in &rows {
         let bars = (r.measured_percent / 2.0).round() as usize;
-        println!("V{} |{:<50}| {:.0}%", r.version as u8 + 1, "#".repeat(bars), r.measured_percent);
+        println!(
+            "V{} |{:<50}| {:.0}%",
+            r.version as u8 + 1,
+            "#".repeat(bars),
+            r.measured_percent
+        );
     }
 }

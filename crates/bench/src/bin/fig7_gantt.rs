@@ -6,7 +6,10 @@ use suprenum_monitor::experiments::{fig7_mailbox_gantt, Scale};
 fn main() {
     let fig7 = fig7_mailbox_gantt(1992, Scale::Paper);
     println!("{}", fig7.gantt_text);
-    println!("servant utilization: {:.1}%", fig7.servant_utilization_percent);
+    println!(
+        "servant utilization: {:.1}%",
+        fig7.servant_utilization_percent
+    );
     println!(
         "median coupling gap (master Send->Wait vs servant Work->Wait): {:.0} us (work {:.1} ms)",
         fig7.median_coupling_gap_us, fig7.mean_work_ms

@@ -164,10 +164,14 @@ impl Worker {
             self.sends_left.push((true, self.cells[0]));
         }
         if self.has_right() {
-            self.sends_left.push((false, *self.cells.last().expect("nonempty strip")));
+            self.sends_left
+                .push((false, *self.cells.last().expect("nonempty strip")));
         }
         self.awaiting = self.sends_left.len() as u8;
-        Action::Emit { token: EXCHANGE_BEGIN, param: self.iter }
+        Action::Emit {
+            token: EXCHANGE_BEGIN,
+            param: self.iter,
+        }
     }
 
     fn next_send_or_receive(&mut self, ctx: &ProcCtx) -> Action {
@@ -181,25 +185,47 @@ impl Worker {
             self.state = WState::Sending;
             // The *receiver* sees this as coming from its right if we
             // sent it to our left.
-            let boundary = Boundary { iter: self.iter, from_left: !to_left, value };
-            return Action::MailboxSend { to: dst, msg: Message::new(ctx.pid, 32, boundary) };
+            let boundary = Boundary {
+                iter: self.iter,
+                from_left: !to_left,
+                value,
+            };
+            return Action::MailboxSend {
+                to: dst,
+                msg: Message::new(ctx.pid, 32, boundary),
+            };
         }
         if self.awaiting > 0 {
             self.state = WState::Receiving;
             return Action::MailboxRecv;
         }
         self.state = WState::ComputeEmit;
-        Action::Emit { token: COMPUTE_BEGIN, param: self.iter }
+        Action::Emit {
+            token: COMPUTE_BEGIN,
+            param: self.iter,
+        }
     }
 
     fn relax(&mut self) {
         let n = self.cells.len();
-        let left_edge = if self.has_left() { self.left_ghost } else { self.cfg.boundary.0 };
-        let right_edge = if self.has_right() { self.right_ghost } else { self.cfg.boundary.1 };
+        let left_edge = if self.has_left() {
+            self.left_ghost
+        } else {
+            self.cfg.boundary.0
+        };
+        let right_edge = if self.has_right() {
+            self.right_ghost
+        } else {
+            self.cfg.boundary.1
+        };
         let mut next = self.cells.clone();
         for (i, slot) in next.iter_mut().enumerate() {
             let left = if i == 0 { left_edge } else { self.cells[i - 1] };
-            let right = if i == n - 1 { right_edge } else { self.cells[i + 1] };
+            let right = if i == n - 1 {
+                right_edge
+            } else {
+                self.cells[i + 1]
+            };
             *slot = 0.5 * (left + right);
         }
         self.cells = next;
@@ -216,7 +242,9 @@ impl Process for Worker {
                 self.next_send_or_receive(ctx)
             }
             WState::Receiving => {
-                let Resume::MailboxMsg(msg) = why else { panic!("worker expected boundary") };
+                let Resume::MailboxMsg(msg) = why else {
+                    panic!("worker expected boundary")
+                };
                 let b = *msg.payload::<Boundary>().expect("boundary message");
                 debug_assert_eq!(b.iter, self.iter, "boundary from a different iteration");
                 if b.from_left {
@@ -238,12 +266,18 @@ impl Process for Worker {
                     self.begin_iteration()
                 } else {
                     self.state = WState::ReportEmit;
-                    Action::Emit { token: REPORT_BEGIN, param: self.iter }
+                    Action::Emit {
+                        token: REPORT_BEGIN,
+                        param: self.iter,
+                    }
                 }
             }
             WState::ReportEmit => {
                 self.state = WState::Reporting;
-                let report = StripReport { index: self.index, cells: self.cells.clone() };
+                let report = StripReport {
+                    index: self.index,
+                    cells: self.cells.clone(),
+                };
                 let bytes = 16 + 8 * report.cells.len() as u32;
                 Action::MailboxSend {
                     to: self.coordinator,
@@ -277,7 +311,10 @@ impl Process for Coordinator {
             let index = self.spawned;
             self.spawned += 1;
             let body = Worker::new(index, self.cfg.clone(), ctx.pid, self.peers.clone());
-            return Action::Spawn { node: NodeId::new(index + 1), body };
+            return Action::Spawn {
+                node: NodeId::new(index + 1),
+                body,
+            };
         }
         if !self.started {
             // Workers resolve their neighbours lazily from the shared
@@ -317,7 +354,10 @@ impl Process for Coordinator {
 /// Panics if the machine cannot be built or the run does not complete.
 pub fn run_jacobi(cfg: JacobiConfig, seed: u64) -> JacobiResult {
     let workers = cfg.workers;
-    assert!((1..=15).contains(&workers), "1..=15 workers fit one cluster");
+    assert!(
+        (1..=15).contains(&workers),
+        "1..=15 workers fit one cluster"
+    );
     let n = workers as usize * cfg.cells_per_worker as usize;
     let machine_cfg = MachineConfig::single_cluster(workers as u8 + 1);
     let mut machine = Machine::new(machine_cfg, seed).expect("valid machine");
@@ -337,12 +377,15 @@ pub fn run_jacobi(cfg: JacobiConfig, seed: u64) -> JacobiResult {
         }),
     );
     let outcome = machine.run(SimTime::from_secs(3_600));
-    assert_eq!(outcome.reason, RunEnd::Completed, "jacobi run must complete");
+    assert_eq!(
+        outcome.reason,
+        RunEnd::Completed,
+        "jacobi run must complete"
+    );
 
     let samples = raysim::run::probe_samples(&machine);
     let channels = machine.topology().total_nodes() as usize;
-    let measurement =
-        zm4::Zm4::new(zm4::Zm4Config::default(), channels, seed).observe(&samples);
+    let measurement = zm4::Zm4::new(zm4::Zm4Config::default(), channels, seed).observe(&samples);
     let trace = raysim::run::to_simple_trace(&measurement);
 
     let solution = solution.borrow().clone();
@@ -352,16 +395,20 @@ pub fn run_jacobi(cfg: JacobiConfig, seed: u64) -> JacobiResult {
         .zip(&reference)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    JacobiResult { solution, trace, machine, max_error }
+    JacobiResult {
+        solution,
+        trace,
+        machine,
+        max_error,
+    }
 }
 
 /// Activity model for the worker instrumentation.
 pub fn worker_activity_model() -> ActivityModel {
     let mut m = ActivityModel::new();
-    m.state(EXCHANGE_BEGIN, "Exchange").state(COMPUTE_BEGIN, "Compute").state(
-        REPORT_BEGIN,
-        "Report",
-    );
+    m.state(EXCHANGE_BEGIN, "Exchange")
+        .state(COMPUTE_BEGIN, "Compute")
+        .state(REPORT_BEGIN, "Report");
     m
 }
 
@@ -378,13 +425,20 @@ mod tests {
             r.max_error
         );
         // The solution actually relaxed toward the boundary profile.
-        assert!(r.solution[0] > 0.3, "left end should approach the hot boundary");
+        assert!(
+            r.solution[0] > 0.3,
+            "left end should approach the hot boundary"
+        );
         assert!(*r.solution.last().unwrap() < 0.2);
     }
 
     #[test]
     fn trace_shows_bsp_alternation() {
-        let cfg = JacobiConfig { workers: 3, iterations: 10, ..JacobiConfig::default() };
+        let cfg = JacobiConfig {
+            workers: 3,
+            iterations: 10,
+            ..JacobiConfig::default()
+        };
         let r = run_jacobi(cfg, 5);
         let model = worker_activity_model();
         for worker in 1..=3usize {
@@ -394,8 +448,11 @@ mod tests {
                 r.trace.span().1,
             );
             // 10 Exchange and 10 Compute visits, strictly alternating.
-            let states: Vec<&str> =
-                track.intervals().iter().map(|iv| iv.state.as_str()).collect();
+            let states: Vec<&str> = track
+                .intervals()
+                .iter()
+                .map(|iv| iv.state.as_str())
+                .collect();
             let exchanges = states.iter().filter(|s| **s == "Exchange").count();
             let computes = states.iter().filter(|s| **s == "Compute").count();
             assert_eq!(exchanges, 10);
@@ -408,7 +465,11 @@ mod tests {
 
     #[test]
     fn single_worker_degenerates_to_sequential() {
-        let cfg = JacobiConfig { workers: 1, iterations: 25, ..JacobiConfig::default() };
+        let cfg = JacobiConfig {
+            workers: 1,
+            iterations: 25,
+            ..JacobiConfig::default()
+        };
         let r = run_jacobi(cfg, 2);
         assert_eq!(r.max_error, 0.0);
     }

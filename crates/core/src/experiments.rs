@@ -13,15 +13,16 @@
 use des::time::{SimDuration, SimTime};
 use hybridmon::MonitoringMode;
 use raysim::analysis::{
-    agent_tracks, master_track, servant_track, servant_utilization,
-    servant_utilization_steady, work_phase,
+    agent_tracks, master_track, servant_track, servant_utilization, servant_utilization_steady,
+    work_phase,
 };
 use raysim::config::{AppConfig, SceneKind, Version};
 use raysim::run::{run, RunConfig, RunResult};
 use raysim::tokens;
 use simple::{check_causality, state_durations, Gantt, GanttStyle, Trace};
-use suprenum::{Action, Machine, MachineConfig, Message, NodeId, ProcCtx, Process, ProcessId,
-    Resume, RunEnd};
+use suprenum::{
+    Action, Machine, MachineConfig, Message, NodeId, ProcCtx, Process, ProcessId, Resume, RunEnd,
+};
 use zm4::{ProbeSample, Zm4, Zm4Config};
 
 /// Workload size selector.
@@ -52,7 +53,11 @@ fn run_app(app: AppConfig, seed: u64) -> RunResult {
     // must execute to be measured.
     cfg.preflight = analyzer::warn_policy();
     let result = run(cfg);
-    assert!(result.completed(), "experiment run did not complete: {:?}", result.outcome);
+    assert!(
+        result.completed(),
+        "experiment run did not complete: {:?}",
+        result.outcome
+    );
     result
 }
 
@@ -128,7 +133,10 @@ pub fn fig7_mailbox_gantt(seed: u64, scale: Scale) -> Fig7Result {
     let window = (mean_work_ns as u64 + 10_000_000) * 8;
     let (w0, w1) = (mid, (mid + window).min(to));
     let tracks = vec![master_track(trace, to), servant.clone()];
-    let gantt = Gantt::new(tracks, w0, w1).with_style(GanttStyle { width: 100, ..GanttStyle::default() });
+    let gantt = Gantt::new(tracks, w0, w1).with_style(GanttStyle {
+        width: 100,
+        ..GanttStyle::default()
+    });
 
     // Coupling: the master leaves its blocked send (Send Jobs End) the
     // moment the servant relinquishes the CPU at the end of Work; the
@@ -280,13 +288,13 @@ pub fn fig9_agents(seed: u64, scale: Scale) -> Fig9Result {
 
     let agents = agent_tracks(trace, to);
     assert!(!agents.is_empty(), "version 2 must create agents");
-    let freed = agents
-        .iter()
-        .map(|t| state_durations(t, "Freed"))
-        .fold(des::stats::Accumulator::new(), |mut acc, a| {
+    let freed = agents.iter().map(|t| state_durations(t, "Freed")).fold(
+        des::stats::Accumulator::new(),
+        |mut acc, a| {
             acc.merge(&a);
             acc
-        });
+        },
+    );
     let forward = agents
         .iter()
         .map(|t| state_durations(t, "Forward Message"))
@@ -407,7 +415,10 @@ pub fn fifo_stress() -> Vec<FifoRow> {
         let mut samples = Vec::new();
         for k in 0..count {
             let base = 1_000 + k * period_ns;
-            for (i, p) in encode(MonEvent::new(k as u16, k as u32)).into_iter().enumerate() {
+            for (i, p) in encode(MonEvent::new(k as u16, k as u32))
+                .into_iter()
+                .enumerate()
+            {
                 samples.push(ProbeSample {
                     time: SimTime::from_nanos(base + i as u64 * spacing),
                     channel: 0,
@@ -473,7 +484,11 @@ pub fn clock_sync_ablation(seed: u64) -> (ClockSyncRow, ClockSyncRow) {
         .signals()
         .display_writes()
         .iter()
-        .map(|w| ProbeSample { time: w.time, channel: w.node.index() as usize, pattern: w.pattern })
+        .map(|w| ProbeSample {
+            time: w.time,
+            channel: w.node.index() as usize,
+            pattern: w.pattern,
+        })
         .collect();
     let channels = result.machine.topology().total_nodes() as usize;
 
@@ -493,7 +508,12 @@ pub fn clock_sync_ablation(seed: u64) -> (ClockSyncRow, ClockSyncRow) {
             .trace
             .iter()
             .map(|r| {
-                simple::Event::new(r.ts_ns, r.channel, r.event.token.value(), r.event.param.value())
+                simple::Event::new(
+                    r.ts_ns,
+                    r.channel,
+                    r.event.token.value(),
+                    r.event.param.value(),
+                )
             })
             .collect();
         let causality = check_causality(&trace, &raysim::analysis::causality_rules());
@@ -548,7 +568,12 @@ pub fn os_instrumentation(seed: u64) -> OsInstrumentationResult {
     let result = run(cfg);
     assert!(result.completed());
     assert_eq!(
-        result.measurement.detector_stats.iter().map(|d| d.atomicity_violations).sum::<u64>(),
+        result
+            .measurement
+            .detector_stats
+            .iter()
+            .map(|d| d.atomicity_violations)
+            .sum::<u64>(),
         0,
         "kernel events must not corrupt the display protocol"
     );
@@ -565,8 +590,7 @@ pub fn os_instrumentation(seed: u64) -> OsInstrumentationResult {
         })
         .collect();
     let master_node_mailbox_fraction =
-        tracks[0].time_in_state_within("Mailbox Service", from, to) as f64
-            / (to - from) as f64;
+        tracks[0].time_in_state_within("Mailbox Service", from, to) as f64 / (to - from) as f64;
 
     let mid = from + (to - from) / 2;
     let window_end = (mid + 500_000_000).min(to);
@@ -635,7 +659,10 @@ pub fn mailbox_anatomy(seed: u64) -> MailboxAnatomy {
             match self.step {
                 1 => Action::Spawn {
                     node: NodeId::new(1),
-                    body: Box::new(Receiver { work: self.work, step: 0 }),
+                    body: Box::new(Receiver {
+                        work: self.work,
+                        step: 0,
+                    }),
                 },
                 // Send while the receiver is mid-compute.
                 2 => Action::Sleep(SimDuration::from_millis(5)),
@@ -678,10 +705,20 @@ pub fn mailbox_anatomy(seed: u64) -> MailboxAnatomy {
     let mut machine = Machine::new(MachineConfig::single_cluster(2), seed).unwrap();
     machine.add_process(
         NodeId::new(0),
-        Box::new(Sender { peer: None, work, step: 0, block_busy: cell.clone(), t0: 0 }),
+        Box::new(Sender {
+            peer: None,
+            work,
+            step: 0,
+            block_busy: cell.clone(),
+            t0: 0,
+        }),
     );
     let outcome = machine.run(SimTime::from_secs(60));
-    assert_eq!(outcome.reason, RunEnd::Completed, "microbenchmark must complete");
+    assert_eq!(
+        outcome.reason,
+        RunEnd::Completed,
+        "microbenchmark must complete"
+    );
     let (busy, idle) = cell.get();
     MailboxAnatomy {
         busy_receiver_block: SimDuration::from_nanos(busy),
@@ -697,7 +734,11 @@ mod tests {
     #[test]
     fn os_instrumentation_exposes_node_schedules() {
         let r = os_instrumentation(13);
-        assert!(r.kernel_events > 100, "only {} kernel events", r.kernel_events);
+        assert!(
+            r.kernel_events > 100,
+            "only {} kernel events",
+            r.kernel_events
+        );
         assert_eq!(r.node_cpu_busy.len(), 5);
         // Every servant node shows CPU activity; the master node shows
         // visible mailbox-service time (internode communication).
@@ -707,7 +748,9 @@ mod tests {
         // The master's node is the communication hot-spot: busiest CPU.
         let master_busy = r.node_cpu_busy[0].1;
         assert!(
-            r.node_cpu_busy[1..].iter().all(|(_, b)| *b <= master_busy + 0.05),
+            r.node_cpu_busy[1..]
+                .iter()
+                .all(|(_, b)| *b <= master_busy + 0.05),
             "master node should be the hot-spot: {:?}",
             r.node_cpu_busy
         );
@@ -767,7 +810,10 @@ mod tests {
         assert_eq!(sync.merge_violations, 0);
         assert_eq!(sync.causality_violations, 0);
         assert!(sync.max_timestamp_error_ns <= 100);
-        assert!(free.merge_violations > 0, "free-running clocks mis-order the merge");
+        assert!(
+            free.merge_violations > 0,
+            "free-running clocks mis-order the merge"
+        );
         assert!(free.max_timestamp_error_ns > 100_000);
     }
 }

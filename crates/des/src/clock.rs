@@ -45,7 +45,11 @@ impl ClockModel {
     /// Panics if `resolution` is zero.
     pub fn synchronized(resolution: SimDuration) -> Self {
         assert!(!resolution.is_zero(), "clock resolution must be nonzero");
-        ClockModel { offset_ns: 0, drift_ppm: 0.0, resolution }
+        ClockModel {
+            offset_ns: 0,
+            drift_ppm: 0.0,
+            resolution,
+        }
     }
 
     /// A free-running clock with a fixed `offset_ns` at t = 0 and a linear
@@ -56,7 +60,11 @@ impl ClockModel {
     /// Panics if `resolution` is zero.
     pub fn free_running(offset_ns: i64, drift_ppm: f64, resolution: SimDuration) -> Self {
         assert!(!resolution.is_zero(), "clock resolution must be nonzero");
-        ClockModel { offset_ns, drift_ppm, resolution }
+        ClockModel {
+            offset_ns,
+            drift_ppm,
+            resolution,
+        }
     }
 
     /// Draws a plausible unsynchronized clock: offset uniform in
@@ -68,9 +76,16 @@ impl ClockModel {
         resolution: SimDuration,
     ) -> Self {
         let bound = max_offset.as_nanos() as f64;
-        let offset = if bound > 0.0 { rng.symmetric(bound) } else { 0.0 };
-        let drift =
-            if max_drift_ppm > 0.0 { rng.symmetric(max_drift_ppm) } else { 0.0 };
+        let offset = if bound > 0.0 {
+            rng.symmetric(bound)
+        } else {
+            0.0
+        };
+        let drift = if max_drift_ppm > 0.0 {
+            rng.symmetric(max_drift_ppm)
+        } else {
+            0.0
+        };
         ClockModel::free_running(offset as i64, drift, resolution)
     }
 
@@ -128,7 +143,10 @@ mod tests {
         let c = ClockModel::free_running(0, 100.0, SimDuration::from_nanos(1));
         let reading = c.stamp(SimTime::from_secs(1));
         let expected = 1_000_000_000u64 + 100_000;
-        assert!((reading as i64 - expected as i64).abs() < 100, "reading {reading}");
+        assert!(
+            (reading as i64 - expected as i64).abs() < 100,
+            "reading {reading}"
+        );
     }
 
     #[test]

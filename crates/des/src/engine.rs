@@ -48,7 +48,10 @@ pub struct EventLoop<E> {
 impl<E> EventLoop<E> {
     /// Creates an empty event loop with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventLoop { queue: EventQueue::new(), now: SimTime::ZERO }
+        EventLoop {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
     }
 
     /// Returns the current simulated time.
@@ -68,7 +71,11 @@ impl<E> EventLoop<E> {
     /// Panics if `at` lies in the simulated past — such an event would
     /// silently corrupt causality.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule event in the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past ({at} < {})",
+            self.now
+        );
         self.queue.push(at, event);
     }
 

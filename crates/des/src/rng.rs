@@ -35,7 +35,10 @@ pub struct DetRng {
 impl DetRng {
     /// Creates a stream from a root seed.
     pub fn new(seed: u64) -> Self {
-        DetRng { seed, inner: StdRng::seed_from_u64(seed) }
+        DetRng {
+            seed,
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Returns the seed this stream was created from.

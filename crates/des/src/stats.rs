@@ -165,7 +165,10 @@ impl Histogram {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly ascending"
         );
-        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1] }
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+        }
     }
 
     /// Creates a histogram with `n` exponentially growing buckets starting
@@ -177,8 +180,9 @@ impl Histogram {
     pub fn exponential(first: SimDuration, n: usize) -> Self {
         assert!(n > 0, "need at least one bucket");
         assert!(!first.is_zero(), "first bound must be nonzero");
-        let bounds: Vec<SimDuration> =
-            (0..n).map(|i| SimDuration::from_nanos(first.as_nanos() << i)).collect();
+        let bounds: Vec<SimDuration> = (0..n)
+            .map(|i| SimDuration::from_nanos(first.as_nanos() << i))
+            .collect();
         Histogram::new(&bounds)
     }
 
@@ -232,7 +236,12 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Starts integrating at `start` with initial `value`.
     pub fn new(start: SimTime, value: f64) -> Self {
-        TimeWeighted { start, last_change: start, current: value, integral: 0.0 }
+        TimeWeighted {
+            start,
+            last_change: start,
+            current: value,
+            integral: 0.0,
+        }
     }
 
     /// Changes the value at time `now`.
@@ -241,7 +250,10 @@ impl TimeWeighted {
     ///
     /// Panics if `now` precedes the previous change (debug builds only).
     pub fn set(&mut self, now: SimTime, value: f64) {
-        debug_assert!(now >= self.last_change, "time-weighted value set in the past");
+        debug_assert!(
+            now >= self.last_change,
+            "time-weighted value set in the past"
+        );
         self.integral += self.current * now.saturating_since(self.last_change).as_secs_f64();
         self.last_change = now;
         self.current = value;

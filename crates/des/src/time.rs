@@ -319,7 +319,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_nanos(2_000_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_nanos(2_000_000_000)
+        );
     }
 
     #[test]
@@ -342,7 +345,10 @@ mod tests {
     #[test]
     fn quantize_rounds_down() {
         let t = SimTime::from_nanos(1234);
-        assert_eq!(t.quantize(SimDuration::from_nanos(100)), SimTime::from_nanos(1200));
+        assert_eq!(
+            t.quantize(SimDuration::from_nanos(100)),
+            SimTime::from_nanos(1200)
+        );
         assert_eq!(t.quantize(SimDuration::from_nanos(1)), t);
     }
 

@@ -159,8 +159,7 @@ impl IntrusionReport {
 
     /// Fraction of total CPU time stolen by instrumentation, in `[0, 1]`.
     pub fn intrusion_ratio(&self) -> f64 {
-        let total =
-            self.total_intrusion.as_secs_f64() + self.total_application.as_secs_f64();
+        let total = self.total_intrusion.as_secs_f64() + self.total_application.as_secs_f64();
         if total == 0.0 {
             0.0
         } else {

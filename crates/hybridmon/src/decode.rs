@@ -113,8 +113,11 @@ impl Decoder {
                     }
                     // A second triggerword may itself start a fresh pair;
                     // anything else drops us back between pairs.
-                    self.state =
-                        if pattern.is_trigger() { State::AwaitData } else { State::BetweenPairs };
+                    self.state = if pattern.is_trigger() {
+                        State::AwaitData
+                    } else {
+                        State::BetweenPairs
+                    };
                     None
                 }
             },
@@ -169,7 +172,11 @@ mod tests {
 
     #[test]
     fn decodes_back_to_back_events() {
-        let evs = [MonEvent::new(1, 10), MonEvent::new(2, 20), MonEvent::new(3, 30)];
+        let evs = [
+            MonEvent::new(1, 10),
+            MonEvent::new(2, 20),
+            MonEvent::new(3, 30),
+        ];
         let mut d = Decoder::new();
         let mut out = Vec::new();
         for ev in evs {

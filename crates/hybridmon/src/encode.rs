@@ -89,7 +89,11 @@ mod tests {
         let seq = encode(MonEvent::new(0xE000, 0));
         assert_eq!(seq[1].payload(), Some(7));
         // Everything else zero.
-        assert!(seq.iter().skip(3).step_by(2).all(|p| p.payload() == Some(0)));
+        assert!(seq
+            .iter()
+            .skip(3)
+            .step_by(2)
+            .all(|p| p.payload() == Some(0)));
     }
 
     #[test]

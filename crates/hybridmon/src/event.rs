@@ -107,7 +107,10 @@ pub struct MonEvent {
 impl MonEvent {
     /// Creates an event from raw token and parameter values.
     pub const fn new(token: u16, param: u32) -> Self {
-        MonEvent { token: EventToken::new(token), param: EventParam::new(param) }
+        MonEvent {
+            token: EventToken::new(token),
+            param: EventParam::new(param),
+        }
     }
 
     /// Packs the event into its 48-bit wire representation (token in the

@@ -97,7 +97,11 @@ pub struct InvalidPatternError {
 
 impl fmt::Display for InvalidPatternError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "display index {} exceeds the 16 representable patterns", self.index)
+        write!(
+            f,
+            "display index {} exceeds the 16 representable patterns",
+            self.index
+        )
     }
 }
 

@@ -50,7 +50,13 @@ impl TokenRegistry {
         name: impl Into<String>,
         group: impl Into<String>,
     ) -> &mut Self {
-        self.entries.insert(token, TokenInfo { name: name.into(), group: group.into() });
+        self.entries.insert(
+            token,
+            TokenInfo {
+                name: name.into(),
+                group: group.into(),
+            },
+        );
         self
     }
 
@@ -71,7 +77,9 @@ impl TokenRegistry {
 
     /// The name, or a hex fallback for unregistered tokens.
     pub fn name_or_hex(&self, token: EventToken) -> String {
-        self.name(token).map(str::to_owned).unwrap_or_else(|| format!("{token}"))
+        self.name(token)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("{token}"))
     }
 
     /// Iterates over all registered tokens in token order.
@@ -92,7 +100,9 @@ impl TokenRegistry {
 
 impl FromIterator<(EventToken, TokenInfo)> for TokenRegistry {
     fn from_iter<I: IntoIterator<Item = (EventToken, TokenInfo)>>(iter: I) -> Self {
-        TokenRegistry { entries: iter.into_iter().collect() }
+        TokenRegistry {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -141,7 +151,10 @@ mod tests {
     fn collect_from_iterator() {
         let reg: TokenRegistry = [(
             EventToken::new(7),
-            TokenInfo { name: "Work".into(), group: "Servant".into() },
+            TokenInfo {
+                name: "Work".into(),
+                group: "Servant".into(),
+            },
         )]
         .into_iter()
         .collect();

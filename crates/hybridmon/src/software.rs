@@ -61,8 +61,16 @@ impl SoftwareMonitor {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(clock: ClockModel, capacity: usize) -> Self {
-        assert!(capacity > 0, "software monitor buffer must hold at least one record");
-        SoftwareMonitor { clock, capacity, records: Vec::new(), dropped: 0 }
+        assert!(
+            capacity > 0,
+            "software monitor buffer must hold at least one record"
+        );
+        SoftwareMonitor {
+            clock,
+            capacity,
+            records: Vec::new(),
+            dropped: 0,
+        }
     }
 
     /// Records an event at true time `now`, stamping it with the local
@@ -121,7 +129,10 @@ pub fn merge_by_local_ts(logs: &[Vec<SoftRecord>]) -> Vec<(usize, SoftRecord)> {
 /// opposite order of their merged (local-timestamp) order — i.e. how many
 /// neighbouring events the merge visibly mis-ordered.
 pub fn count_order_inversions(merged: &[(usize, SoftRecord)]) -> u64 {
-    merged.windows(2).filter(|w| w[1].1.true_time < w[0].1.true_time).count() as u64
+    merged
+        .windows(2)
+        .filter(|w| w[1].1.true_time < w[0].1.true_time)
+        .count() as u64
 }
 
 #[cfg(test)]

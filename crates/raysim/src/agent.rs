@@ -38,11 +38,19 @@ impl Agent {
     /// Creates agent number `index` of `pool`. The caller (owner
     /// process) must already have counted it in `pool.total_agents`.
     pub fn new(pool: Shared<AgentPool>, index: u32) -> Box<Agent> {
-        Box::new(Agent { pool, index, state: AState::Boot, current: None })
+        Box::new(Agent {
+            pool,
+            index,
+            state: AState::Boot,
+            current: None,
+        })
     }
 
     fn emit(&self, token: u16) -> Action {
-        Action::Emit { token, param: self.index }
+        Action::Emit {
+            token,
+            param: self.index,
+        }
     }
 
     /// After finishing (or skipping) work: re-check the queue before
@@ -124,7 +132,10 @@ impl Process for Agent {
             }
             (AState::SleepEmit, Resume::EmitDone) => self.after_sleep_emit(),
             (state, why) => {
-                panic!("agent {} in state {state:?} cannot handle {why:?}", self.index)
+                panic!(
+                    "agent {} in state {state:?} cannot handle {why:?}",
+                    self.index
+                )
             }
         }
     }
@@ -180,9 +191,10 @@ mod tests {
     fn forwards_queued_message() {
         let pool = AgentPool::new(100);
         let dst = suprenum::ProcessId::new(9);
-        pool.borrow_mut()
-            .queue
-            .push_back((dst, suprenum::Message::new(suprenum::ProcessId::new(1), 10, ())));
+        pool.borrow_mut().queue.push_back((
+            dst,
+            suprenum::Message::new(suprenum::ProcessId::new(1), 10, ()),
+        ));
         let mut agent = Agent::new(pool.clone(), 0);
         let ctx = ProcCtx {
             pid: suprenum::ProcessId::new(1),

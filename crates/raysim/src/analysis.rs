@@ -11,7 +11,6 @@
 
 use simple::{ActivityTrack, CausalityRule, Trace, UtilizationReport};
 
-
 use crate::tokens;
 
 /// The ray-tracing phase of a run: from the first job reaching a servant
@@ -52,16 +51,16 @@ pub fn servant_track(trace: &Trace, servant: u32, end_ns: u64) -> ActivityTrack 
 
 /// Derives all servant tracks for `servants` servants.
 pub fn servant_tracks(trace: &Trace, servants: u32, end_ns: u64) -> Vec<ActivityTrack> {
-    (1..=servants).map(|i| servant_track(trace, i, end_ns)).collect()
+    (1..=servants)
+        .map(|i| servant_track(trace, i, end_ns))
+        .collect()
 }
 
 /// Derives agent tracks from channel-0 events. Agents are distinguished
 /// by the event parameter (the agent index).
 pub fn agent_tracks(trace: &Trace, end_ns: u64) -> Vec<ActivityTrack> {
     let model = tokens::agent_activity_model();
-    let agent_events = trace.filter(|e| {
-        e.channel == 0 && model.state_of(e.token).is_some()
-    });
+    let agent_events = trace.filter(|e| e.channel == 0 && model.state_of(e.token).is_some());
     let max_index = agent_events.events().iter().map(|e| e.param.value()).max();
     match max_index {
         None => Vec::new(),
@@ -205,7 +204,12 @@ mod tests {
         // perturb the master's state machine.
         assert_eq!(
             track.states(),
-            vec!["Distribute Jobs", "Send Jobs", "Wait for Results", "Receive Results"]
+            vec![
+                "Distribute Jobs",
+                "Send Jobs",
+                "Wait for Results",
+                "Receive Results"
+            ]
         );
         // "Send Jobs" runs 200..350 (ended by Send Jobs End).
         assert_eq!(track.time_in_state("Send Jobs"), 150);

@@ -183,7 +183,10 @@ impl AppConfig {
     /// The Figure 7 setup: version 1 on **two processors** (one master,
     /// one servant).
     pub fn two_processor() -> Self {
-        AppConfig { servants: 1, ..AppConfig::version(Version::V1) }
+        AppConfig {
+            servants: 1,
+            ..AppConfig::version(Version::V1)
+        }
     }
 
     /// Total pixels in the image.
@@ -241,8 +244,10 @@ mod tests {
         assert_eq!(AppConfig::version(Version::V3).bundle_size, 50);
         assert_eq!(AppConfig::version(Version::V4).bundle_size, 100);
         assert_eq!(AppConfig::version(Version::V1).bundle_size, 1);
-        let ladder: Vec<f64> =
-            Version::ALL.iter().map(|v| v.paper_utilization_percent()).collect();
+        let ladder: Vec<f64> = Version::ALL
+            .iter()
+            .map(|v| v.paper_utilization_percent())
+            .collect();
         assert_eq!(ladder, vec![15.0, 29.0, 46.0, 60.0]);
     }
 

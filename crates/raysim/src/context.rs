@@ -11,9 +11,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use des::time::SimDuration;
-use raytracer::{
-    scenes, Camera, Color, CostModel, Scene, TraceConfig, Tracer, WorkCounters,
-};
+use raytracer::{scenes, Camera, Color, CostModel, Scene, TraceConfig, Tracer, WorkCounters};
 use suprenum::{CondId, Message, ProcessId};
 
 use crate::config::{AppConfig, SceneKind};
@@ -79,8 +77,14 @@ impl RenderContext {
         let mut work = WorkCounters::new();
         for &idx in pixels {
             let (px, py) = (idx % self.width, idx / self.width);
-            let (color, w) =
-                tracer.render_pixel(&self.camera, px, py, self.width, self.height, self.oversample);
+            let (color, w) = tracer.render_pixel(
+                &self.camera,
+                px,
+                py,
+                self.width,
+                self.height,
+                self.oversample,
+            );
             work += w;
             out.push((idx, color));
         }
@@ -162,7 +166,10 @@ mod tests {
         let (colors, time) = ctx.trace_pixels(&[0, 100, 200]);
         assert_eq!(colors.len(), 3);
         assert_eq!(colors[1].0, 100);
-        assert!(time > cfg.work_base, "tracing must cost more than the base overhead");
+        assert!(
+            time > cfg.work_base,
+            "tracing must cost more than the base overhead"
+        );
     }
 
     #[test]

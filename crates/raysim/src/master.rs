@@ -213,7 +213,10 @@ impl Master {
                     let mut stats = self.stats.borrow_mut();
                     stats.master_pool_peak = stats.master_pool_peak.max(index + 1);
                     self.state = MState::SendSpawnAgent;
-                    Action::Spawn { node: NodeId::new(0), body }
+                    Action::Spawn {
+                        node: NodeId::new(0),
+                        body,
+                    }
                 }
             }
         } else {
@@ -253,7 +256,10 @@ impl Process for Master {
                     self.stats.clone(),
                     ctx.pid,
                 );
-                Action::Spawn { node: NodeId::new(1), body }
+                Action::Spawn {
+                    node: NodeId::new(1),
+                    body,
+                }
             }
             (MState::Spawning, Resume::Spawned(pid)) => {
                 self.servants.push(pid);
@@ -267,7 +273,10 @@ impl Process for Master {
                         self.stats.clone(),
                         ctx.pid,
                     );
-                    Action::Spawn { node: NodeId::new(next as u16), body }
+                    Action::Spawn {
+                        node: NodeId::new(next as u16),
+                        body,
+                    }
                 } else {
                     // Wait until every servant reports ready; otherwise
                     // the first window of jobs floods mailboxes of
@@ -301,11 +310,15 @@ impl Process for Master {
             }
             (MState::DistributeCompute, Resume::ComputeDone) => self.send_or_wait(),
             (MState::SendEmit, Resume::EmitDone) => {
-                let pixels = self.pending_job.as_ref().expect("job pending").1.pixels.len();
+                let pixels = self
+                    .pending_job
+                    .as_ref()
+                    .expect("job pending")
+                    .1
+                    .pixels
+                    .len();
                 self.state = MState::SendCompute;
-                Action::Compute(
-                    self.cfg.send_base + self.cfg.send_per_pixel * pixels as u64,
-                )
+                Action::Compute(self.cfg.send_base + self.cfg.send_per_pixel * pixels as u64)
             }
             (MState::SendCompute, Resume::ComputeDone) => self.deliver_job(ctx.pid),
             (MState::SendBlocked, Resume::Sent) => {
@@ -345,8 +358,8 @@ impl Process for Master {
             }
             (MState::ReceiveEmit, Resume::EmitDone) => {
                 let result = self.pending_result.take().expect("result pending");
-                let cost = self.cfg.receive_base
-                    + self.cfg.receive_per_pixel * result.pixels.len() as u64;
+                let cost =
+                    self.cfg.receive_base + self.cfg.receive_per_pixel * result.pixels.len() as u64;
                 self.apply_result(&result);
                 self.state = MState::ReceiveCompute;
                 Action::Compute(cost)
@@ -417,7 +430,11 @@ mod tests {
         let stats = Rc::new(RefCell::new(AppStats::default()));
         let fb = Rc::new(RefCell::new(Framebuffer::new(cfg.width, cfg.height)));
         let master = Master::new(cfg, ctx, stats, fb);
-        let pctx = ProcCtx { pid: ProcessId::new(0), node: NodeId::new(0), now: SimTime::ZERO };
+        let pctx = ProcCtx {
+            pid: ProcessId::new(0),
+            node: NodeId::new(0),
+            now: SimTime::ZERO,
+        };
         (master, pctx)
     }
 
@@ -432,13 +449,20 @@ mod tests {
         let a = m.resume(&ctx, Resume::Spawned(ProcessId::new(11)));
         // Ready barrier: the master waits for both servants first.
         assert!(matches!(a, Action::MailboxRecv));
-        let ready = |i: u32| {
-            Message::new(ProcessId::new(9 + i), 16, ReadyMsg { servant: i })
-        };
-        assert!(matches!(m.resume(&ctx, Resume::MailboxMsg(ready(1))), Action::MailboxRecv));
+        let ready = |i: u32| Message::new(ProcessId::new(9 + i), 16, ReadyMsg { servant: i });
+        assert!(matches!(
+            m.resume(&ctx, Resume::MailboxMsg(ready(1))),
+            Action::MailboxRecv
+        ));
         let a = m.resume(&ctx, Resume::MailboxMsg(ready(2)));
         assert!(
-            matches!(a, Action::Emit { token: tokens::DISTRIBUTE_JOBS_BEGIN, param: 1 }),
+            matches!(
+                a,
+                Action::Emit {
+                    token: tokens::DISTRIBUTE_JOBS_BEGIN,
+                    param: 1
+                }
+            ),
             "{a:?}"
         );
     }
@@ -459,19 +483,43 @@ mod tests {
         m.resume(&ctx, Resume::Spawned(ProcessId::new(11)));
         pass_ready_barrier(&mut m, &ctx);
         // Distribute admin compute.
-        assert!(matches!(m.resume(&ctx, Resume::EmitDone), Action::Compute(_)));
+        assert!(matches!(
+            m.resume(&ctx, Resume::EmitDone),
+            Action::Compute(_)
+        ));
         // First send: job 0 to servant 0.
         let a = m.resume(&ctx, Resume::ComputeDone);
-        assert!(matches!(a, Action::Emit { token: tokens::SEND_JOBS_BEGIN, param: 0 }));
-        assert!(matches!(m.resume(&ctx, Resume::EmitDone), Action::Compute(_)));
+        assert!(matches!(
+            a,
+            Action::Emit {
+                token: tokens::SEND_JOBS_BEGIN,
+                param: 0
+            }
+        ));
+        assert!(matches!(
+            m.resume(&ctx, Resume::EmitDone),
+            Action::Compute(_)
+        ));
         let a = m.resume(&ctx, Resume::ComputeDone);
         assert!(matches!(a, Action::MailboxSend { to, .. } if to == ProcessId::new(10)));
         // After the send completes: Send Jobs End, then next send goes
         // round-robin to servant 1.
         let a = m.resume(&ctx, Resume::Sent);
-        assert!(matches!(a, Action::Emit { token: tokens::SEND_JOBS_END, .. }));
+        assert!(matches!(
+            a,
+            Action::Emit {
+                token: tokens::SEND_JOBS_END,
+                ..
+            }
+        ));
         let a = m.resume(&ctx, Resume::EmitDone);
-        assert!(matches!(a, Action::Emit { token: tokens::SEND_JOBS_BEGIN, param: 1 }));
+        assert!(matches!(
+            a,
+            Action::Emit {
+                token: tokens::SEND_JOBS_BEGIN,
+                param: 1
+            }
+        ));
         m.resume(&ctx, Resume::EmitDone);
         let a = m.resume(&ctx, Resume::ComputeDone);
         assert!(matches!(a, Action::MailboxSend { to, .. } if to == ProcessId::new(11)));
@@ -488,15 +536,24 @@ mod tests {
         m.resume(&ctx, Resume::EmitDone); // distribute compute
         m.resume(&ctx, Resume::ComputeDone); // SJ emit
         m.resume(&ctx, Resume::EmitDone); // send admin compute
-        // Pool is empty -> spawn the first agent, on the master's node.
+                                          // Pool is empty -> spawn the first agent, on the master's node.
         let a = m.resume(&ctx, Resume::ComputeDone);
         assert!(matches!(a, Action::Spawn { node, .. } if node == NodeId::new(0)));
         assert_eq!(m.pool().borrow().total_agents, 1);
         assert_eq!(m.pool().borrow().queue.len(), 1);
         // The fresh agent will find the queued work at boot, so the
         // master just relinquishes and ends the send.
-        assert!(matches!(m.resume(&ctx, Resume::Spawned(ProcessId::new(20))), Action::Yield));
+        assert!(matches!(
+            m.resume(&ctx, Resume::Spawned(ProcessId::new(20))),
+            Action::Yield
+        ));
         let a = m.resume(&ctx, Resume::Yielded);
-        assert!(matches!(a, Action::Emit { token: tokens::SEND_JOBS_END, .. }));
+        assert!(matches!(
+            a,
+            Action::Emit {
+                token: tokens::SEND_JOBS_END,
+                ..
+            }
+        ));
     }
 }

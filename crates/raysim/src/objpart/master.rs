@@ -105,17 +105,26 @@ impl ObjMaster {
         self.next_broadcast = 0;
         self.results_pending = self.servants.len() as u32;
         self.state = State::BroadcastEmit;
-        Action::Emit { token: tokens::SEND_JOBS_BEGIN, param: self.round }
+        Action::Emit {
+            token: tokens::SEND_JOBS_BEGIN,
+            param: self.round,
+        }
     }
 
     fn broadcast_next(&mut self, own_pid: ProcessId) -> Action {
         let idx = self.next_broadcast;
         self.next_broadcast += 1;
-        let job = ObjJob { round: self.round, tasks: self.tasks.clone() };
+        let job = ObjJob {
+            round: self.round,
+            tasks: self.tasks.clone(),
+        };
         let bytes = 24 + self.cfg.bytes_per_task * self.tasks.len() as u32;
         self.stats.borrow_mut().jobs_sent += 1;
         self.state = State::BroadcastSend;
-        Action::MailboxSend { to: self.servants[idx], msg: Message::new(own_pid, bytes, job) }
+        Action::MailboxSend {
+            to: self.servants[idx],
+            msg: Message::new(own_pid, bytes, job),
+        }
     }
 
     /// All answers in: shade and either start the next round or finish.
@@ -155,22 +164,30 @@ impl Process for ObjMaster {
             (State::Init, Resume::ComputeDone) => {
                 self.state = State::Spawning;
                 let body = ObjServant::new(1, self.cfg.clone(), self.ctx.clone(), ctx.pid);
-                Action::Spawn { node: NodeId::new(1), body }
+                Action::Spawn {
+                    node: NodeId::new(1),
+                    body,
+                }
             }
             (State::Spawning, Resume::Spawned(pid)) => {
                 self.servants.push(pid);
                 let next = self.servants.len() as u32 + 1;
                 if next <= self.cfg.app.servants as u32 {
-                    let body =
-                        ObjServant::new(next, self.cfg.clone(), self.ctx.clone(), ctx.pid);
-                    Action::Spawn { node: NodeId::new(next as u16), body }
+                    let body = ObjServant::new(next, self.cfg.clone(), self.ctx.clone(), ctx.pid);
+                    Action::Spawn {
+                        node: NodeId::new(next as u16),
+                        body,
+                    }
                 } else {
                     self.state = State::AwaitReady;
                     Action::MailboxRecv
                 }
             }
             (State::AwaitReady, Resume::MailboxMsg(msg)) => {
-                assert!(msg.payload::<ReadyMsg>().is_some(), "expected ready notification");
+                assert!(
+                    msg.payload::<ReadyMsg>().is_some(),
+                    "expected ready notification"
+                );
                 self.ready += 1;
                 if self.ready < self.cfg.app.servants as u32 {
                     self.state = State::AwaitReady;
@@ -183,8 +200,7 @@ impl Process for ObjMaster {
             (State::BroadcastEmit, Resume::EmitDone) => {
                 self.state = State::BroadcastCompute;
                 Action::Compute(
-                    self.cfg.app.send_base
-                        + self.cfg.app.send_per_pixel * self.tasks.len() as u64,
+                    self.cfg.app.send_base + self.cfg.app.send_per_pixel * self.tasks.len() as u64,
                 )
             }
             (State::BroadcastCompute, Resume::ComputeDone) => self.broadcast_next(ctx.pid),
@@ -193,20 +209,28 @@ impl Process for ObjMaster {
                     self.broadcast_next(ctx.pid)
                 } else {
                     self.state = State::BroadcastEnd;
-                    Action::Emit { token: tokens::SEND_JOBS_END, param: self.round }
+                    Action::Emit {
+                        token: tokens::SEND_JOBS_END,
+                        param: self.round,
+                    }
                 }
             }
             (State::BroadcastEnd, Resume::EmitDone) => {
                 self.state = State::WaitEmit;
-                Action::Emit { token: tokens::WAIT_RESULTS_BEGIN, param: self.round }
+                Action::Emit {
+                    token: tokens::WAIT_RESULTS_BEGIN,
+                    param: self.round,
+                }
             }
             (State::WaitEmit, Resume::EmitDone) => {
                 self.state = State::WaitRecv;
                 Action::MailboxRecv
             }
             (State::WaitRecv, Resume::MailboxMsg(msg)) => {
-                let result =
-                    msg.payload::<ObjResult>().expect("master expects round answers").clone();
+                let result = msg
+                    .payload::<ObjResult>()
+                    .expect("master expects round answers")
+                    .clone();
                 assert_eq!(result.round, self.round, "answer for a stale round");
                 self.last_result_len = result.answers.len();
                 for a in &result.answers {
@@ -220,7 +244,10 @@ impl Process for ObjMaster {
                 self.stats.borrow_mut().results_received += 1;
                 self.results_pending -= 1;
                 self.state = State::ReduceEmit;
-                Action::Emit { token: tokens::RECEIVE_RESULTS_BEGIN, param: result.servant }
+                Action::Emit {
+                    token: tokens::RECEIVE_RESULTS_BEGIN,
+                    param: result.servant,
+                }
             }
             (State::ReduceEmit, Resume::EmitDone) => {
                 self.state = State::ReduceCompute;
@@ -232,7 +259,10 @@ impl Process for ObjMaster {
             (State::ReduceCompute, Resume::ComputeDone) => {
                 if self.results_pending > 0 {
                     self.state = State::WaitEmit;
-                    Action::Emit { token: tokens::WAIT_RESULTS_BEGIN, param: self.round }
+                    Action::Emit {
+                        token: tokens::WAIT_RESULTS_BEGIN,
+                        param: self.round,
+                    }
                 } else {
                     // All partitions answered: pay the shading cost, then
                     // build the next wavefront.
@@ -246,11 +276,16 @@ impl Process for ObjMaster {
             (State::WriteEmit, Resume::EmitDone) => {
                 let (w, h) = self.ctx.dimensions();
                 self.state = State::WriteDisk;
-                Action::DiskWrite { bytes: w * h * self.cfg.app.write_bytes_per_pixel }
+                Action::DiskWrite {
+                    bytes: w * h * self.cfg.app.write_bytes_per_pixel,
+                }
             }
             (State::WriteDisk, Resume::DiskDone) => {
                 self.state = State::WriteEnd;
-                Action::Emit { token: tokens::WRITE_PIXELS_END, param: 0 }
+                Action::Emit {
+                    token: tokens::WRITE_PIXELS_END,
+                    param: 0,
+                }
             }
             (State::WriteEnd, Resume::EmitDone) => Action::Exit,
             (state, why) => panic!("object master in state {state:?} cannot handle {why:?}"),

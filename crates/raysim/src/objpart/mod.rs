@@ -92,7 +92,9 @@ impl ObjRunResult {
 ///
 /// Panics if the application configuration is invalid.
 pub fn run_object_partitioned(cfg: ObjPartConfig, seed: u64, horizon: SimTime) -> ObjRunResult {
-    cfg.app.validate().expect("invalid application configuration");
+    cfg.app
+        .validate()
+        .expect("invalid application configuration");
     let nodes = cfg.app.servants as u32 + 1;
     let machine_cfg = if nodes <= 16 {
         suprenum::MachineConfig::single_cluster(nodes as u8)
@@ -109,13 +111,17 @@ pub fn run_object_partitioned(cfg: ObjPartConfig, seed: u64, horizon: SimTime) -
     let cfg = Rc::new(cfg);
     let ctx = RenderContext::new(&cfg.app);
     let stats = Rc::new(RefCell::new(AppStats::default()));
-    let fb = Rc::new(RefCell::new(Framebuffer::new(cfg.app.width, cfg.app.height)));
+    let fb = Rc::new(RefCell::new(Framebuffer::new(
+        cfg.app.width,
+        cfg.app.height,
+    )));
     let rounds = Rc::new(RefCell::new(0u32));
-    let max_objects =
-        ctx.scene().primitive_count().div_ceil(cfg.app.servants as usize);
+    let max_objects = ctx
+        .scene()
+        .primitive_count()
+        .div_ceil(cfg.app.servants as usize);
 
-    let master =
-        master::ObjMaster::new(cfg.clone(), ctx, stats, fb.clone(), rounds.clone());
+    let master = master::ObjMaster::new(cfg.clone(), ctx, stats, fb.clone(), rounds.clone());
     machine.add_process(NodeId::new(0), master);
     let outcome = machine.run(horizon);
 
@@ -124,8 +130,9 @@ pub fn run_object_partitioned(cfg: ObjPartConfig, seed: u64, horizon: SimTime) -
     let measurement = zm4::Zm4::new(zm4::Zm4Config::default(), channels, seed).observe(&samples);
     let trace = crate::run::to_simple_trace(&measurement);
 
-    let image =
-        Rc::try_unwrap(fb).map(RefCell::into_inner).unwrap_or_else(|rc| rc.borrow().clone());
+    let image = Rc::try_unwrap(fb)
+        .map(RefCell::into_inner)
+        .unwrap_or_else(|rc| rc.borrow().clone());
     let rounds = *rounds.borrow();
     ObjRunResult {
         outcome,

@@ -52,7 +52,10 @@ impl PartitionIndex {
         let index = SceneIndex::build(&self.subset, Accel::BruteForce, VectorMode::Scalar);
         index
             .closest_hit(ray, work)
-            .map(|(local, hit)| RadianceAnswer { object: self.global[local], hit })
+            .map(|(local, hit)| RadianceAnswer {
+                object: self.global[local],
+                hit,
+            })
     }
 
     /// Whether anything in this partition blocks `ray` before `t_max`.
@@ -110,16 +113,28 @@ mod tests {
     fn partitions_split_geometry_round_robin() {
         let (scene, _) = scenes::moderate_scene();
         let total = scene.primitive_count();
-        let parts: Vec<PartitionIndex> =
-            (0..4).map(|k| PartitionIndex::build(&scene, k, 4)).collect();
+        let parts: Vec<PartitionIndex> = (0..4)
+            .map(|k| PartitionIndex::build(&scene, k, 4))
+            .collect();
         let sum: usize = parts.iter().map(PartitionIndex::object_count).sum();
         assert_eq!(sum, total);
         // Round-robin keeps sizes within one of each other.
-        let max = parts.iter().map(PartitionIndex::object_count).max().unwrap();
-        let min = parts.iter().map(PartitionIndex::object_count).min().unwrap();
+        let max = parts
+            .iter()
+            .map(PartitionIndex::object_count)
+            .max()
+            .unwrap();
+        let min = parts
+            .iter()
+            .map(PartitionIndex::object_count)
+            .min()
+            .unwrap();
         assert!(max - min <= 1);
         // Global indices are disjoint and cover 0..total.
-        let mut all: Vec<u32> = parts.iter().flat_map(|p| p.global.iter().copied()).collect();
+        let mut all: Vec<u32> = parts
+            .iter()
+            .flat_map(|p| p.global.iter().copied())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..total as u32).collect::<Vec<_>>());
     }
@@ -133,13 +148,18 @@ mod tests {
         let mut w = WorkCounters::new();
         let reference = full.nearest(&ray, &mut w).expect("center ray hits");
         // The same winner must emerge from the partition that owns it.
-        let parts: Vec<PartitionIndex> =
-            (0..3).map(|k| PartitionIndex::build(&scene, k, 3)).collect();
+        let parts: Vec<PartitionIndex> = (0..3)
+            .map(|k| PartitionIndex::build(&scene, k, 3))
+            .collect();
         let best = parts
             .iter()
             .filter_map(|p| p.nearest(&ray, &mut WorkCounters::new()))
             .min_by(|a, b| {
-                a.hit.t.partial_cmp(&b.hit.t).unwrap().then(a.object.cmp(&b.object))
+                a.hit
+                    .t
+                    .partial_cmp(&b.hit.t)
+                    .unwrap()
+                    .then(a.object.cmp(&b.object))
             })
             .expect("some partition hits");
         assert_eq!(best.object, reference.object);

@@ -97,7 +97,9 @@ impl Process for ObjServant {
                 Action::Compute(self.cfg.app.servant_init / self.cfg.app.servants as u64)
             }
             (State::Init, Resume::ComputeDone) => {
-                let ready = ReadyMsg { servant: self.index };
+                let ready = ReadyMsg {
+                    servant: self.index,
+                };
                 self.state = State::SendReady;
                 Action::MailboxSend {
                     to: self.master,
@@ -106,48 +108,70 @@ impl Process for ObjServant {
             }
             (State::SendReady, Resume::Sent) => {
                 self.state = State::WaitEmit;
-                Action::Emit { token: tokens::WAIT_JOB_BEGIN, param: 0 }
+                Action::Emit {
+                    token: tokens::WAIT_JOB_BEGIN,
+                    param: 0,
+                }
             }
             (State::WaitEmit, Resume::EmitDone) => {
                 self.state = State::WaitRecv;
                 Action::MailboxRecv
             }
             (State::WaitRecv, Resume::MailboxMsg(msg)) => {
-                let job = msg.payload::<ObjJob>().expect("object servant expects rounds").clone();
+                let job = msg
+                    .payload::<ObjJob>()
+                    .expect("object servant expects rounds")
+                    .clone();
                 self.state = State::WorkEmit;
                 let round = job.round;
                 self.current = Some(job);
-                Action::Emit { token: tokens::WORK_BEGIN, param: round }
+                Action::Emit {
+                    token: tokens::WORK_BEGIN,
+                    param: round,
+                }
             }
             (State::WorkEmit, Resume::EmitDone) => {
                 let job = self.current.take().expect("round in progress");
                 let partition = self.partition.as_ref().expect("partition built");
                 let mut work = WorkCounters::new();
                 let answers = partition.answer_round(&job.tasks, &mut work);
-                self.pending =
-                    Some(ObjResult { round: job.round, servant: self.index, answers });
+                self.pending = Some(ObjResult {
+                    round: job.round,
+                    servant: self.index,
+                    answers,
+                });
                 self.state = State::WorkCompute;
-                Action::Compute(
-                    self.cfg.app.work_base + self.cfg.app.cost.simulated_time(&work),
-                )
+                Action::Compute(self.cfg.app.work_base + self.cfg.app.cost.simulated_time(&work))
             }
             (State::WorkCompute, Resume::ComputeDone) => {
                 let round = self.pending.as_ref().expect("answers pending").round;
                 self.state = State::SendEmit;
-                Action::Emit { token: tokens::SEND_RESULTS_BEGIN, param: round }
+                Action::Emit {
+                    token: tokens::SEND_RESULTS_BEGIN,
+                    param: round,
+                }
             }
             (State::SendEmit, Resume::EmitDone) => {
                 let result = self.pending.take().expect("answers pending");
                 let bytes = 24 + self.cfg.bytes_per_answer * result.answers.len() as u32;
                 self.state = State::SendBlocked;
-                Action::MailboxSend { to: self.master, msg: Message::new(ctx.pid, bytes, result) }
+                Action::MailboxSend {
+                    to: self.master,
+                    msg: Message::new(ctx.pid, bytes, result),
+                }
             }
             (State::SendBlocked, Resume::Sent) => {
                 self.state = State::WaitEmit;
-                Action::Emit { token: tokens::WAIT_JOB_BEGIN, param: 0 }
+                Action::Emit {
+                    token: tokens::WAIT_JOB_BEGIN,
+                    param: 0,
+                }
             }
             (state, why) => {
-                panic!("object servant {} in state {state:?} cannot handle {why:?}", self.index)
+                panic!(
+                    "object servant {} in state {state:?} cannot handle {why:?}",
+                    self.index
+                )
             }
         }
     }

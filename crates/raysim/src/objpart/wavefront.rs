@@ -149,7 +149,11 @@ impl WavefrontEngine {
             .map(|(i, (pixel, ray))| RayTask {
                 id: i as u32,
                 ray,
-                kind: TaskKind::Radiance { pixel, weight: Color::WHITE, depth: 0 },
+                kind: TaskKind::Radiance {
+                    pixel,
+                    weight: Color::WHITE,
+                    depth: 0,
+                },
             })
             .collect();
         self.rays_generated += tasks.len() as u64;
@@ -162,26 +166,25 @@ impl WavefrontEngine {
         let mut next = Vec::new();
         for task in tasks {
             match task.kind {
-                TaskKind::Shadow { pixel, contribution, .. } => {
+                TaskKind::Shadow {
+                    pixel,
+                    contribution,
+                    ..
+                } => {
                     if !answers.shadow[task.id as usize] {
                         self.pixels[pixel as usize] += contribution;
                     }
                 }
-                TaskKind::Radiance { pixel, weight, depth } => {
-                    match answers.radiance[task.id as usize] {
-                        None => {
-                            self.pixels[pixel as usize] += self.background.modulate(weight);
-                        }
-                        Some(ra) => self.shade_hit(
-                            &task.ray,
-                            &ra,
-                            pixel,
-                            weight,
-                            depth,
-                            &mut next,
-                        ),
+                TaskKind::Radiance {
+                    pixel,
+                    weight,
+                    depth,
+                } => match answers.radiance[task.id as usize] {
+                    None => {
+                        self.pixels[pixel as usize] += self.background.modulate(weight);
                     }
-                }
+                    Some(ra) => self.shade_hit(&task.ray, &ra, pixel, weight, depth, &mut next),
+                },
             }
         }
         for (i, t) in next.iter_mut().enumerate() {
@@ -229,7 +232,10 @@ impl WavefrontEngine {
             if contribution != Color::BLACK {
                 next.push(RayTask {
                     id: 0,
-                    ray: Ray { origin: hit.point, dir: l_dir },
+                    ray: Ray {
+                        origin: hit.point,
+                        dir: l_dir,
+                    },
                     kind: TaskKind::Shadow {
                         t_max: distance,
                         pixel,
@@ -387,16 +393,44 @@ mod tests {
         let task = RayTask {
             id: 0,
             ray: Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0)),
-            kind: TaskKind::Radiance { pixel: 0, weight: Color::WHITE, depth: 0 },
+            kind: TaskKind::Radiance {
+                pixel: 0,
+                weight: Color::WHITE,
+                depth: 0,
+            },
         };
         let mut answers = RoundAnswers::sized_for(&[task]);
-        answers.merge_radiance(0, RadianceAnswer { object: 5, hit: hit(2.0) });
-        answers.merge_radiance(0, RadianceAnswer { object: 9, hit: hit(1.0) });
+        answers.merge_radiance(
+            0,
+            RadianceAnswer {
+                object: 5,
+                hit: hit(2.0),
+            },
+        );
+        answers.merge_radiance(
+            0,
+            RadianceAnswer {
+                object: 9,
+                hit: hit(1.0),
+            },
+        );
         assert_eq!(answers.radiance[0].unwrap().object, 9);
         // Tie on t: lower object index wins.
-        answers.merge_radiance(0, RadianceAnswer { object: 3, hit: hit(1.0) });
+        answers.merge_radiance(
+            0,
+            RadianceAnswer {
+                object: 3,
+                hit: hit(1.0),
+            },
+        );
         assert_eq!(answers.radiance[0].unwrap().object, 3);
-        answers.merge_radiance(0, RadianceAnswer { object: 7, hit: hit(1.0) });
+        answers.merge_radiance(
+            0,
+            RadianceAnswer {
+                object: 7,
+                hit: hit(1.0),
+            },
+        );
         assert_eq!(answers.radiance[0].unwrap().object, 3);
     }
 }

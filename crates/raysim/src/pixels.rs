@@ -103,13 +103,19 @@ impl PixelLedger {
     /// Panics if the pixel was not outstanding (double completion or
     /// never assigned).
     pub fn complete(&mut self, index: u32, color: Color) {
-        assert!(index < self.next_unassigned, "pixel {index} was never assigned");
+        assert!(
+            index < self.next_unassigned,
+            "pixel {index} was never assigned"
+        );
         assert!(index >= self.next_to_write, "pixel {index} already written");
         let pos = (index - self.next_to_write) as usize;
         if self.completed.len() <= pos {
             self.completed.resize(pos + 1, None);
         }
-        assert!(self.completed[pos].is_none(), "pixel {index} completed twice");
+        assert!(
+            self.completed[pos].is_none(),
+            "pixel {index} completed twice"
+        );
         self.completed[pos] = Some(color);
         self.outstanding -= 1;
     }
@@ -177,7 +183,10 @@ mod tests {
         l.complete(0, Color::grey(0.0));
         assert_eq!(l.contiguous_ready(), 4);
         let w = l.take_writable();
-        assert_eq!(w.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            w.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
         assert!(!l.is_complete());
         l.complete(4, Color::BLACK);
         l.complete(5, Color::BLACK);

@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn wire_sizes_scale_with_bundle() {
-        let job = JobMsg { job_id: 1, pixels: (0..50).collect() };
+        let job = JobMsg {
+            job_id: 1,
+            pixels: (0..50).collect(),
+        };
         assert_eq!(job.wire_bytes(), 24 + 200);
         let result = ResultMsg {
             job_id: 1,
@@ -72,7 +75,10 @@ mod tests {
         assert_eq!(result.wire_bytes(), 24 + 800);
         // Bundling 50 rays into one message is far cheaper on the wire
         // than 50 single-ray messages.
-        let single = JobMsg { job_id: 1, pixels: vec![0] };
+        let single = JobMsg {
+            job_id: 1,
+            pixels: vec![0],
+        };
         assert!(job.wire_bytes() < 50 * single.wire_bytes());
     }
 }

@@ -87,7 +87,11 @@ impl RunConfig {
             MachineConfig::single_cluster(nodes as u8)
         } else {
             let clusters = nodes.div_ceil(16) as u8;
-            MachineConfig { clusters, torus_cols: 1, ..MachineConfig::single_cluster(16) }
+            MachineConfig {
+                clusters,
+                torus_cols: 1,
+                ..MachineConfig::single_cluster(16)
+            }
         };
         RunConfig {
             app,
@@ -134,7 +138,11 @@ pub fn probe_samples(machine: &Machine) -> Vec<ProbeSample> {
         .signals()
         .display_writes()
         .iter()
-        .map(|w| ProbeSample { time: w.time, channel: w.node.index() as usize, pattern: w.pattern })
+        .map(|w| ProbeSample {
+            time: w.time,
+            channel: w.node.index() as usize,
+            pattern: w.pattern,
+        })
         .collect()
 }
 
@@ -144,7 +152,12 @@ pub fn to_simple_trace(measurement: &Measurement) -> Trace {
         .trace
         .iter()
         .map(|r| {
-            simple::Event::new(r.ts_ns, r.channel, r.event.token.value(), r.event.param.value())
+            simple::Event::new(
+                r.ts_ns,
+                r.channel,
+                r.event.token.value(),
+                r.event.param.value(),
+            )
         })
         .collect()
 }
@@ -202,7 +215,9 @@ pub fn preflight(cfg: &RunConfig) -> Option<PreflightSummary> {
 /// ```
 pub fn run(cfg: RunConfig) -> RunResult {
     preflight(&cfg);
-    cfg.app.validate().expect("invalid application configuration");
+    cfg.app
+        .validate()
+        .expect("invalid application configuration");
     assert!(
         cfg.machine.total_nodes() as u32 > cfg.app.servants as u32,
         "machine has {} nodes but the application needs {}",
@@ -235,5 +250,13 @@ pub fn run(cfg: RunConfig) -> RunResult {
     let app_stats = *stats.borrow();
     let intrusion = *machine.intrusion();
 
-    RunResult { outcome, measurement, trace, image, app_stats, machine, intrusion }
+    RunResult {
+        outcome,
+        measurement,
+        trace,
+        image,
+        app_stats,
+        machine,
+        intrusion,
+    }
 }

@@ -109,12 +109,18 @@ impl Servant {
                     stats.servant_pool_peak = stats.servant_pool_peak.max(index + 1);
                     self.state = SState::SendSpawnAgent;
                     // Agents live on the servant's own node.
-                    Action::Spawn { node: suprenum::NodeId::new(self.index as u16), body }
+                    Action::Spawn {
+                        node: suprenum::NodeId::new(self.index as u16),
+                        body,
+                    }
                 }
             }
         } else {
             self.state = SState::SendDirect;
-            Action::MailboxSend { to: self.master, msg }
+            Action::MailboxSend {
+                to: self.master,
+                msg,
+            }
         }
     }
 }
@@ -131,7 +137,9 @@ impl Process for Servant {
             (SState::InitCompute, Resume::ComputeDone) => {
                 // Report readiness so the master only distributes work
                 // to servants that can accept it.
-                let ready = ReadyMsg { servant: self.index };
+                let ready = ReadyMsg {
+                    servant: self.index,
+                };
                 self.state = SState::SendReady;
                 Action::MailboxSend {
                     to: self.master,
@@ -144,7 +152,10 @@ impl Process for Servant {
                 Action::MailboxRecv
             }
             (SState::WaitJobRecv, Resume::MailboxMsg(msg)) => {
-                let job = msg.payload::<JobMsg>().expect("servant expects job messages").clone();
+                let job = msg
+                    .payload::<JobMsg>()
+                    .expect("servant expects job messages")
+                    .clone();
                 self.state = SState::WorkEmit;
                 let job_id = job.job_id;
                 self.current_job = Some(job);
@@ -153,8 +164,11 @@ impl Process for Servant {
             (SState::WorkEmit, Resume::EmitDone) => {
                 let job = self.current_job.as_ref().expect("work without job");
                 let (pixels, duration) = self.ctx.trace_pixels(&job.pixels);
-                self.pending_result =
-                    Some(ResultMsg { job_id: job.job_id, servant: self.index, pixels });
+                self.pending_result = Some(ResultMsg {
+                    job_id: job.job_id,
+                    servant: self.index,
+                    pixels,
+                });
                 self.current_job = None;
                 self.state = SState::WorkCompute;
                 Action::Compute(duration)
@@ -183,7 +197,10 @@ impl Process for Servant {
             }
             (SState::SendYield, Resume::Yielded) => self.wait_for_job(),
             (state, why) => {
-                panic!("servant {} in state {state:?} cannot handle {why:?}", self.index)
+                panic!(
+                    "servant {} in state {state:?} cannot handle {why:?}",
+                    self.index
+                )
             }
         }
     }
@@ -209,7 +226,11 @@ mod tests {
         let ctx = RenderContext::new(&cfg);
         let stats = Rc::new(std::cell::RefCell::new(AppStats::default()));
         let servant = Servant::new(1, cfg, ctx, stats, ProcessId::new(0));
-        let pctx = ProcCtx { pid: ProcessId::new(5), node: NodeId::new(1), now: SimTime::ZERO };
+        let pctx = ProcCtx {
+            pid: ProcessId::new(5),
+            node: NodeId::new(1),
+            now: SimTime::ZERO,
+        };
         (servant, pctx)
     }
 
@@ -225,16 +246,34 @@ mod tests {
         // Accepted -> Wait for Job instrumentation then mailbox read.
         assert!(matches!(
             s.resume(&ctx, Resume::Sent),
-            Action::Emit { token: tokens::WAIT_JOB_BEGIN, .. }
+            Action::Emit {
+                token: tokens::WAIT_JOB_BEGIN,
+                ..
+            }
         ));
-        assert!(matches!(s.resume(&ctx, Resume::EmitDone), Action::MailboxRecv));
+        assert!(matches!(
+            s.resume(&ctx, Resume::EmitDone),
+            Action::MailboxRecv
+        ));
         // Deliver a job.
-        let job = JobMsg { job_id: 7, pixels: vec![0, 1] };
+        let job = JobMsg {
+            job_id: 7,
+            pixels: vec![0, 1],
+        };
         let msg = Message::new(ProcessId::new(0), job.wire_bytes(), job);
         let a = s.resume(&ctx, Resume::MailboxMsg(msg));
-        assert!(matches!(a, Action::Emit { token: tokens::WORK_BEGIN, param: 7 }));
+        assert!(matches!(
+            a,
+            Action::Emit {
+                token: tokens::WORK_BEGIN,
+                param: 7
+            }
+        ));
         // Work compute.
-        assert!(matches!(s.resume(&ctx, Resume::EmitDone), Action::Compute(_)));
+        assert!(matches!(
+            s.resume(&ctx, Resume::EmitDone),
+            Action::Compute(_)
+        ));
         // V1 does not instrument Send Results: straight to the blocking
         // mailbox send.
         let a = s.resume(&ctx, Resume::ComputeDone);
@@ -242,7 +281,10 @@ mod tests {
         // Released -> next Wait for Job.
         assert!(matches!(
             s.resume(&ctx, Resume::Sent),
-            Action::Emit { token: tokens::WAIT_JOB_BEGIN, .. }
+            Action::Emit {
+                token: tokens::WAIT_JOB_BEGIN,
+                ..
+            }
         ));
     }
 
@@ -253,21 +295,36 @@ mod tests {
         s.resume(&ctx, Resume::ComputeDone); // ready send
         s.resume(&ctx, Resume::Sent); // Wait for Job emit
         s.resume(&ctx, Resume::EmitDone);
-        let job = JobMsg { job_id: 1, pixels: vec![0] };
+        let job = JobMsg {
+            job_id: 1,
+            pixels: vec![0],
+        };
         let msg = Message::new(ProcessId::new(0), job.wire_bytes(), job);
         s.resume(&ctx, Resume::MailboxMsg(msg));
         s.resume(&ctx, Resume::EmitDone); // Work compute issued
-        // V3 instruments Send Results.
+                                          // V3 instruments Send Results.
         let a = s.resume(&ctx, Resume::ComputeDone);
-        assert!(matches!(a, Action::Emit { token: tokens::SEND_RESULTS_BEGIN, param: 1 }));
+        assert!(matches!(
+            a,
+            Action::Emit {
+                token: tokens::SEND_RESULTS_BEGIN,
+                param: 1
+            }
+        ));
         // No free agent -> spawns one on its own node.
         let a = s.resume(&ctx, Resume::EmitDone);
         assert!(matches!(a, Action::Spawn { node, .. } if node == NodeId::new(1)));
         // The fresh agent takes the work at boot; the servant yields.
-        assert!(matches!(s.resume(&ctx, Resume::Spawned(ProcessId::new(9))), Action::Yield));
+        assert!(matches!(
+            s.resume(&ctx, Resume::Spawned(ProcessId::new(9))),
+            Action::Yield
+        ));
         assert!(matches!(
             s.resume(&ctx, Resume::Yielded),
-            Action::Emit { token: tokens::WAIT_JOB_BEGIN, .. }
+            Action::Emit {
+                token: tokens::WAIT_JOB_BEGIN,
+                ..
+            }
         ));
     }
 }

@@ -167,9 +167,17 @@ impl Process for StaticMaster {
             }
             (SmState::InitCompute, Resume::ComputeDone) => {
                 self.state = SmState::Spawning;
-                let body =
-                    Servant::new(1, self.cfg.clone(), self.ctx.clone(), self.stats.clone(), ctx.pid);
-                Action::Spawn { node: NodeId::new(1), body }
+                let body = Servant::new(
+                    1,
+                    self.cfg.clone(),
+                    self.ctx.clone(),
+                    self.stats.clone(),
+                    ctx.pid,
+                );
+                Action::Spawn {
+                    node: NodeId::new(1),
+                    body,
+                }
             }
             (SmState::Spawning, Resume::Spawned(pid)) => {
                 self.servants.push(pid);
@@ -182,14 +190,20 @@ impl Process for StaticMaster {
                         self.stats.clone(),
                         ctx.pid,
                     );
-                    Action::Spawn { node: NodeId::new(next as u16), body }
+                    Action::Spawn {
+                        node: NodeId::new(next as u16),
+                        body,
+                    }
                 } else {
                     self.state = SmState::AwaitReady;
                     Action::MailboxRecv
                 }
             }
             (SmState::AwaitReady, Resume::MailboxMsg(msg)) => {
-                assert!(msg.payload::<ReadyMsg>().is_some(), "expected ready notification");
+                assert!(
+                    msg.payload::<ReadyMsg>().is_some(),
+                    "expected ready notification"
+                );
                 self.ready += 1;
                 if self.ready < self.cfg.servants as u32 {
                     self.state = SmState::AwaitReady;
@@ -206,7 +220,10 @@ impl Process for StaticMaster {
             (SmState::SendCompute, Resume::ComputeDone) => {
                 let idx = self.next_to_send;
                 self.next_to_send += 1;
-                let job = JobMsg { job_id: idx as u32, pixels: self.partitions[idx].clone() };
+                let job = JobMsg {
+                    job_id: idx as u32,
+                    pixels: self.partitions[idx].clone(),
+                };
                 let bytes = job.wire_bytes();
                 self.stats.borrow_mut().jobs_sent += 1;
                 self.results_pending += 1;
@@ -226,8 +243,10 @@ impl Process for StaticMaster {
                 Action::MailboxRecv
             }
             (SmState::WaitRecv, Resume::MailboxMsg(msg)) => {
-                let result =
-                    msg.payload::<ResultMsg>().expect("static master expects results").clone();
+                let result = msg
+                    .payload::<ResultMsg>()
+                    .expect("static master expects results")
+                    .clone();
                 self.state = SmState::ReceiveEmit;
                 let job_id = result.job_id;
                 self.current_result_len = result.pixels.len();
@@ -304,10 +323,20 @@ pub fn run_static(
     let measurement = zm4::Zm4::new(zm4::Zm4Config::default(), channels, seed).observe(&samples);
     let trace = crate::run::to_simple_trace(&measurement);
 
-    let image = Rc::try_unwrap(fb).map(RefCell::into_inner).unwrap_or_else(|rc| rc.borrow().clone());
+    let image = Rc::try_unwrap(fb)
+        .map(RefCell::into_inner)
+        .unwrap_or_else(|rc| rc.borrow().clone());
     let app_stats = *stats.borrow();
     let intrusion = *machine.intrusion();
-    crate::run::RunResult { outcome, measurement, trace, image, app_stats, machine, intrusion }
+    crate::run::RunResult {
+        outcome,
+        measurement,
+        trace,
+        image,
+        app_stats,
+        machine,
+        intrusion,
+    }
 }
 
 #[cfg(test)]

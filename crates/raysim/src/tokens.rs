@@ -163,13 +163,21 @@ mod tests {
         // disjointness keeps derivations independent.
         assert!(master.state_of(EventToken::new(WORK_BEGIN)).is_none());
         assert!(servant.state_of(EventToken::new(SEND_JOBS_BEGIN)).is_none());
-        assert!(agent_activity_model().state_of(EventToken::new(WORK_BEGIN)).is_none());
+        assert!(agent_activity_model()
+            .state_of(EventToken::new(WORK_BEGIN))
+            .is_none());
     }
 
     #[test]
     fn end_tokens_return_to_enclosing_phase() {
         let m = master_activity_model();
-        assert_eq!(m.state_of(EventToken::new(SEND_JOBS_END)), Some("Distribute Jobs"));
-        assert_eq!(m.state_of(EventToken::new(WRITE_PIXELS_END)), Some("Distribute Jobs"));
+        assert_eq!(
+            m.state_of(EventToken::new(SEND_JOBS_END)),
+            Some("Distribute Jobs")
+        );
+        assert_eq!(
+            m.state_of(EventToken::new(WRITE_PIXELS_END)),
+            Some("Distribute Jobs")
+        );
     }
 }

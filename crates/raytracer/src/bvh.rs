@@ -78,7 +78,10 @@ impl Bvh {
             .into_iter()
             .map(|i| (i, scene.objects()[i].primitive.bounds()))
             .collect();
-        let mut bvh = Bvh { nodes: Vec::new(), root: None };
+        let mut bvh = Bvh {
+            nodes: Vec::new(),
+            root: None,
+        };
         if !items.is_empty() {
             let root = bvh.build_node(&mut items);
             bvh.root = Some(root);
@@ -89,16 +92,17 @@ impl Bvh {
     fn build_node(&mut self, items: &mut [(usize, Aabb)]) -> usize {
         let bounds = items.iter().fold(Aabb::empty(), |acc, (_, b)| acc.union(b));
         if items.len() <= LEAF_SIZE {
-            self.nodes.push(Node::Leaf { bounds, objects: items.iter().map(|&(i, _)| i).collect() });
+            self.nodes.push(Node::Leaf {
+                bounds,
+                objects: items.iter().map(|&(i, _)| i).collect(),
+            });
             return self.nodes.len() - 1;
         }
         // Median split on the widest centroid axis.
-        let centroid_bounds = items
-            .iter()
-            .fold(Aabb::empty(), |mut acc, (_, b)| {
-                acc.expand(b.centroid());
-                acc
-            });
+        let centroid_bounds = items.iter().fold(Aabb::empty(), |mut acc, (_, b)| {
+            acc.expand(b.centroid());
+            acc
+        });
         let axis = centroid_bounds.extent().max_axis();
         items.sort_by(|(_, a), (_, b)| {
             a.centroid()
@@ -110,7 +114,11 @@ impl Bvh {
         let (lo, hi) = items.split_at_mut(mid);
         let left = self.build_node(lo);
         let right = self.build_node(hi);
-        self.nodes.push(Node::Inner { bounds, left, right });
+        self.nodes.push(Node::Inner {
+            bounds,
+            left,
+            right,
+        });
         self.nodes.len() - 1
     }
 
@@ -146,9 +154,7 @@ impl Bvh {
                 Node::Leaf { objects, .. } => {
                     for &obj in objects {
                         work.scalar_tests += 1;
-                        if let Some(hit) =
-                            scene.objects()[obj].primitive.intersect(ray, t_max)
-                        {
+                        if let Some(hit) = scene.objects()[obj].primitive.intersect(ray, t_max) {
                             t_max = hit.t;
                             best = Some((obj, hit));
                         }
@@ -165,13 +171,7 @@ impl Bvh {
 
     /// Returns `true` if anything in the hierarchy blocks the ray before
     /// `t_max` (early-out occlusion query for shadows).
-    pub fn occluded(
-        &self,
-        scene: &Scene,
-        ray: &Ray,
-        t_max: f64,
-        work: &mut WorkCounters,
-    ) -> bool {
+    pub fn occluded(&self, scene: &Scene, ray: &Ray, t_max: f64, work: &mut WorkCounters) -> bool {
         let Some(root) = self.root else { return false };
         let mut stack = vec![root];
         while let Some(idx) = stack.pop() {
@@ -184,7 +184,11 @@ impl Bvh {
                 Node::Leaf { objects, .. } => {
                     for &obj in objects {
                         work.scalar_tests += 1;
-                        if scene.objects()[obj].primitive.intersect(ray, t_max).is_some() {
+                        if scene.objects()[obj]
+                            .primitive
+                            .intersect(ray, t_max)
+                            .is_some()
+                        {
                             return true;
                         }
                     }
@@ -213,7 +217,10 @@ mod tests {
         for i in 0..n {
             let x = (i % 10) as f64 * 3.0;
             let y = (i / 10) as f64 * 3.0;
-            scene.add(Sphere::new(Vec3::new(x, y, -20.0), 1.0), Material::default());
+            scene.add(
+                Sphere::new(Vec3::new(x, y, -20.0), 1.0),
+                Material::default(),
+            );
         }
         scene
     }
@@ -238,7 +245,9 @@ mod tests {
         assert!(bvh.is_empty());
         let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0));
         let mut w = WorkCounters::new();
-        assert!(bvh.closest_hit(&scene, &ray, f64::INFINITY, &mut w).is_none());
+        assert!(bvh
+            .closest_hit(&scene, &ray, f64::INFINITY, &mut w)
+            .is_none());
         assert!(!bvh.occluded(&scene, &ray, f64::INFINITY, &mut w));
     }
 
@@ -264,7 +273,10 @@ mod tests {
         let ray = Ray::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, -1.0));
         let mut w = WorkCounters::new();
         assert!(bvh.occluded(&scene, &ray, f64::INFINITY, &mut w));
-        assert!(w.scalar_tests <= LEAF_SIZE as u64 * 4, "occlusion should stop early");
+        assert!(
+            w.scalar_tests <= LEAF_SIZE as u64 * 4,
+            "occlusion should stop early"
+        );
     }
 
     proptest! {

@@ -37,7 +37,10 @@ impl Camera {
     /// Panics if `fov_deg` is not in `(0, 180)` or `aspect` is not
     /// positive, or if `up` is parallel to the view direction.
     pub fn look_at(eye: Vec3, target: Vec3, up: Vec3, fov_deg: f64, aspect: f64) -> Self {
-        assert!(fov_deg > 0.0 && fov_deg < 180.0, "field of view must be in (0, 180)");
+        assert!(
+            fov_deg > 0.0 && fov_deg < 180.0,
+            "field of view must be in (0, 180)"
+        );
         assert!(aspect > 0.0, "aspect ratio must be positive");
         let theta = fov_deg.to_radians();
         let half_h = (theta / 2.0).tan();
@@ -65,15 +68,11 @@ impl Camera {
     /// # Panics
     ///
     /// Panics if the pixel lies outside the image.
-    pub fn ray_for(
-        &self,
-        px: u32,
-        py: u32,
-        width: u32,
-        height: u32,
-        offset: (f64, f64),
-    ) -> Ray {
-        assert!(px < width && py < height, "pixel ({px},{py}) outside {width}x{height}");
+    pub fn ray_for(&self, px: u32, py: u32, width: u32, height: u32, offset: (f64, f64)) -> Ray {
+        assert!(
+            px < width && py < height,
+            "pixel ({px},{py}) outside {width}x{height}"
+        );
         let s = (px as f64 + offset.0) / width as f64;
         // Flip y so py=0 is the top row.
         let t = 1.0 - (py as f64 + offset.1) / height as f64;
@@ -130,6 +129,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "(0, 180)")]
     fn bad_fov_panics() {
-        Camera::look_at(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 1.0, 0.0), 0.0, 1.0);
+        Camera::look_at(
+            Vec3::ZERO,
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            0.0,
+            1.0,
+        );
     }
 }

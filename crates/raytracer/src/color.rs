@@ -25,9 +25,17 @@ pub struct Color {
 
 impl Color {
     /// Black.
-    pub const BLACK: Color = Color { r: 0.0, g: 0.0, b: 0.0 };
+    pub const BLACK: Color = Color {
+        r: 0.0,
+        g: 0.0,
+        b: 0.0,
+    };
     /// White.
-    pub const WHITE: Color = Color { r: 1.0, g: 1.0, b: 1.0 };
+    pub const WHITE: Color = Color {
+        r: 1.0,
+        g: 1.0,
+        b: 1.0,
+    };
 
     /// Creates a colour from components.
     pub const fn new(r: f64, g: f64, b: f64) -> Self {

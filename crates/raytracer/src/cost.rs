@@ -69,8 +69,7 @@ impl CostModel {
     /// The VFPU speedup this model implies for pure intersection work:
     /// `VECTOR_WIDTH` scalar tests vs. one vector chunk.
     pub fn vector_speedup(&self) -> f64 {
-        let scalar = self.per_scalar_test.as_nanos() as f64
-            * crate::intersect::VECTOR_WIDTH as f64;
+        let scalar = self.per_scalar_test.as_nanos() as f64 * crate::intersect::VECTOR_WIDTH as f64;
         scalar / self.per_vector_chunk.as_nanos() as f64
     }
 }
@@ -88,18 +87,35 @@ mod tests {
     #[test]
     fn pricing_is_linear() {
         let m = CostModel::mc68020();
-        let one = WorkCounters { rays: 1, scalar_tests: 10, ..WorkCounters::default() };
-        let two = WorkCounters { rays: 2, scalar_tests: 20, ..WorkCounters::default() };
+        let one = WorkCounters {
+            rays: 1,
+            scalar_tests: 10,
+            ..WorkCounters::default()
+        };
+        let two = WorkCounters {
+            rays: 2,
+            scalar_tests: 20,
+            ..WorkCounters::default()
+        };
         assert_eq!(m.simulated_time(&one) * 2, m.simulated_time(&two));
-        assert_eq!(m.simulated_time(&WorkCounters::default()), SimDuration::ZERO);
+        assert_eq!(
+            m.simulated_time(&WorkCounters::default()),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
     fn vectorized_work_is_cheaper() {
         let m = CostModel::mc68020();
         // 100 primitives: 100 scalar tests vs 25 vector chunks.
-        let scalar = WorkCounters { scalar_tests: 100, ..WorkCounters::default() };
-        let vector = WorkCounters { vector_chunks: 25, ..WorkCounters::default() };
+        let scalar = WorkCounters {
+            scalar_tests: 100,
+            ..WorkCounters::default()
+        };
+        let vector = WorkCounters {
+            vector_chunks: 25,
+            ..WorkCounters::default()
+        };
         assert!(m.simulated_time(&vector) < m.simulated_time(&scalar));
         assert!(m.vector_speedup() > 2.0, "VFPU should give a clear speedup");
     }
@@ -117,6 +133,9 @@ mod tests {
             ..WorkCounters::default()
         };
         let t = m.simulated_time(&work).as_millis_f64();
-        assert!((1.0..40.0).contains(&t), "per-ray cost {t} ms out of plausible range");
+        assert!(
+            (1.0..40.0).contains(&t),
+            "per-ray cost {t} ms out of plausible range"
+        );
     }
 }

@@ -27,12 +27,18 @@ pub struct Aabb {
 impl Aabb {
     /// Creates a box from its corners (swapped per-axis if necessary).
     pub fn new(a: Vec3, b: Vec3) -> Self {
-        Aabb { min: a.min(b), max: a.max(b) }
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// The empty box (identity of [`union`](Self::union)).
     pub fn empty() -> Self {
-        Aabb { min: Vec3::splat(f64::INFINITY), max: Vec3::splat(f64::NEG_INFINITY) }
+        Aabb {
+            min: Vec3::splat(f64::INFINITY),
+            max: Vec3::splat(f64::NEG_INFINITY),
+        }
     }
 
     /// Lower corner.
@@ -57,7 +63,10 @@ impl Aabb {
 
     /// The smallest box containing both.
     pub fn union(&self, o: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(o.min), max: self.max.max(o.max) }
+        Aabb {
+            min: self.min.min(o.min),
+            max: self.max.max(o.max),
+        }
     }
 
     /// Grows the box to contain a point.

@@ -25,7 +25,10 @@ pub struct Plane {
 impl Plane {
     /// Creates a plane; the normal is normalized.
     pub fn new(point: Vec3, normal: Vec3) -> Self {
-        Plane { point, normal: normal.normalized() }
+        Plane {
+            point,
+            normal: normal.normalized(),
+        }
     }
 
     /// A point on the plane.
@@ -49,8 +52,16 @@ impl Intersect for Plane {
         if t <= T_MIN || t >= t_max {
             return None;
         }
-        let normal = if denom < 0.0 { self.normal } else { -self.normal };
-        Some(Hit { t, point: ray.at(t), normal })
+        let normal = if denom < 0.0 {
+            self.normal
+        } else {
+            -self.normal
+        };
+        Some(Hit {
+            t,
+            point: ray.at(t),
+            normal,
+        })
     }
 
     fn bounds(&self) -> Aabb {

@@ -78,11 +78,18 @@ impl Intersect for Triangle {
         if normal.dot(ray.dir) > 0.0 {
             normal = -normal;
         }
-        Some(Hit { t, point: ray.at(t), normal })
+        Some(Hit {
+            t,
+            point: ray.at(t),
+            normal,
+        })
     }
 
     fn bounds(&self) -> Aabb {
-        Aabb::new(self.a.min(self.b).min(self.c), self.a.max(self.b).max(self.c))
+        Aabb::new(
+            self.a.min(self.b).min(self.c),
+            self.a.max(self.b).max(self.c),
+        )
     }
 }
 
@@ -126,7 +133,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "degenerate")]
     fn degenerate_panics() {
-        Triangle::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 0.0, 0.0));
+        Triangle::new(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+        );
     }
 
     proptest! {

@@ -31,8 +31,15 @@ impl Framebuffer {
     ///
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
-        assert!(width > 0 && height > 0, "framebuffer dimensions must be nonzero");
-        Framebuffer { width, height, pixels: vec![Color::BLACK; (width * height) as usize] }
+        assert!(
+            width > 0 && height > 0,
+            "framebuffer dimensions must be nonzero"
+        );
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![Color::BLACK; (width * height) as usize],
+        }
     }
 
     /// Image width in pixels.
@@ -51,7 +58,10 @@ impl Framebuffer {
     }
 
     fn index(&self, x: u32, y: u32) -> usize {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         (y * self.width + x) as usize
     }
 
@@ -63,7 +73,10 @@ impl Framebuffer {
 
     /// Sets a pixel by row-major linear index (how jobs address pixels).
     pub fn set_linear(&mut self, index: u32, color: Color) {
-        assert!(index < self.pixel_count(), "linear index {index} out of bounds");
+        assert!(
+            index < self.pixel_count(),
+            "linear index {index} out of bounds"
+        );
         self.pixels[index as usize] = color;
     }
 

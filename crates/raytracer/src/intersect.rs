@@ -121,8 +121,7 @@ impl<'a> SceneIndex<'a> {
                     let entry_t = *t_max;
                     let mut lane_hits: [Option<Hit>; VECTOR_WIDTH] = [None; VECTOR_WIDTH];
                     for (lane, &i) in chunk.iter().enumerate() {
-                        lane_hits[lane] =
-                            self.scene.objects()[i].primitive.intersect(ray, entry_t);
+                        lane_hits[lane] = self.scene.objects()[i].primitive.intersect(ray, entry_t);
                     }
                     for (lane, &i) in chunk.iter().enumerate() {
                         if let Some(h) = lane_hits[lane] {
@@ -196,7 +195,10 @@ mod tests {
                 Material::default(),
             );
         }
-        s.add(Plane::new(Vec3::new(0.0, -3.0, 0.0), Vec3::new(0.0, 1.0, 0.0)), Material::default());
+        s.add(
+            Plane::new(Vec3::new(0.0, -3.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
+            Material::default(),
+        );
         s
     }
 
@@ -215,7 +217,8 @@ mod tests {
             .map(|&(a, v)| {
                 let idx = SceneIndex::build(&s, a, v);
                 let mut w = WorkCounters::new();
-                idx.closest_hit(&ray, &mut w).map(|(i, h)| (i, (h.t * 1e9) as u64))
+                idx.closest_hit(&ray, &mut w)
+                    .map(|(i, h)| (i, (h.t * 1e9) as u64))
             })
             .collect();
         assert!(hits.windows(2).all(|w| w[0] == w[1]), "{hits:?}");

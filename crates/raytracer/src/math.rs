@@ -25,7 +25,11 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector from components.
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -74,12 +78,20 @@ impl Vec3 {
 
     /// Component-wise minimum.
     pub fn min(self, o: Vec3) -> Vec3 {
-        Vec3 { x: self.x.min(o.x), y: self.y.min(o.y), z: self.z.min(o.z) }
+        Vec3 {
+            x: self.x.min(o.x),
+            y: self.y.min(o.y),
+            z: self.z.min(o.z),
+        }
     }
 
     /// Component-wise maximum.
     pub fn max(self, o: Vec3) -> Vec3 {
-        Vec3 { x: self.x.max(o.x), y: self.y.max(o.y), z: self.z.max(o.z) }
+        Vec3 {
+            x: self.x.max(o.x),
+            y: self.y.max(o.y),
+            z: self.z.max(o.z),
+        }
     }
 
     /// Reflects this (incident) direction about `normal`.
@@ -179,7 +191,10 @@ pub struct Ray {
 impl Ray {
     /// Creates a ray, normalizing the direction.
     pub fn new(origin: Vec3, dir: Vec3) -> Self {
-        Ray { origin, dir: dir.normalized() }
+        Ray {
+            origin,
+            dir: dir.normalized(),
+        }
     }
 
     /// The point at parameter `t`.

@@ -40,12 +40,20 @@ pub struct Scene {
 impl Scene {
     /// Creates an empty scene with the given background colour.
     pub fn new(background: Color) -> Self {
-        Scene { objects: Vec::new(), lights: Vec::new(), background, ambient: Color::grey(1.0) }
+        Scene {
+            objects: Vec::new(),
+            lights: Vec::new(),
+            background,
+            ambient: Color::grey(1.0),
+        }
     }
 
     /// Adds a primitive with a material; returns its object index.
     pub fn add(&mut self, primitive: impl Into<Primitive>, material: Material) -> usize {
-        self.objects.push(Object { primitive: primitive.into(), material });
+        self.objects.push(Object {
+            primitive: primitive.into(),
+            material,
+        });
         self.objects.len() - 1
     }
 
@@ -121,8 +129,14 @@ mod tests {
     fn partitions_bounded_and_unbounded() {
         let mut s = Scene::new(Color::BLACK);
         s.add(Sphere::new(Vec3::ZERO, 1.0), Material::default());
-        s.add(Plane::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0)), Material::default());
-        s.add(Sphere::new(Vec3::new(3.0, 0.0, 0.0), 1.0), Material::default());
+        s.add(
+            Plane::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0)),
+            Material::default(),
+        );
+        s.add(
+            Sphere::new(Vec3::new(3.0, 0.0, 0.0), 1.0),
+            Material::default(),
+        );
         assert_eq!(s.bounded_indices(), vec![0, 2]);
         assert_eq!(s.unbounded_indices(), vec![1]);
         assert_eq!(s.primitive_count(), 3);
@@ -131,7 +145,10 @@ mod tests {
     #[test]
     fn lights_and_ambient() {
         let mut s = Scene::new(Color::grey(0.2));
-        s.add_light(Light { position: Vec3::ZERO, color: Color::WHITE });
+        s.add_light(Light {
+            position: Vec3::ZERO,
+            color: Color::WHITE,
+        });
         s.set_ambient(Color::grey(0.3));
         assert_eq!(s.lights().len(), 1);
         assert_eq!(s.ambient(), Color::grey(0.3));

@@ -21,10 +21,22 @@ pub fn quickstart_scene() -> (Scene, Camera) {
         Plane::new(Vec3::new(0.0, -1.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
         Material::shiny(Color::grey(0.6), 0.25),
     );
-    scene.add(Sphere::new(Vec3::new(-2.0, 0.0, -6.0), 1.0), Material::matte(Color::new(0.9, 0.2, 0.2)));
-    scene.add(Sphere::new(Vec3::new(0.0, 0.0, -7.5), 1.0), Material::mirror());
-    scene.add(Sphere::new(Vec3::new(2.0, 0.0, -6.0), 1.0), Material::glass(1.5));
-    scene.add_light(Light { position: Vec3::new(5.0, 8.0, 0.0), color: Color::WHITE });
+    scene.add(
+        Sphere::new(Vec3::new(-2.0, 0.0, -6.0), 1.0),
+        Material::matte(Color::new(0.9, 0.2, 0.2)),
+    );
+    scene.add(
+        Sphere::new(Vec3::new(0.0, 0.0, -7.5), 1.0),
+        Material::mirror(),
+    );
+    scene.add(
+        Sphere::new(Vec3::new(2.0, 0.0, -6.0), 1.0),
+        Material::glass(1.5),
+    );
+    scene.add_light(Light {
+        position: Vec3::new(5.0, 8.0, 0.0),
+        color: Color::WHITE,
+    });
     let camera = Camera::look_at(
         Vec3::new(0.0, 1.0, 2.0),
         Vec3::new(0.0, 0.0, -6.0),
@@ -66,11 +78,20 @@ pub fn moderate_scene() -> (Scene, Camera) {
         let a1 = (i + 1) as f64 / 12.0 * std::f64::consts::TAU;
         let b0 = Vec3::new(2.0 * a0.cos(), -1.0, -10.0 + 2.0 * a0.sin());
         let b1 = Vec3::new(2.0 * a1.cos(), -1.0, -10.0 + 2.0 * a1.sin());
-        scene.add(Triangle::new(apex, b0, b1), Material::shiny(Color::new(0.9, 0.75, 0.3), 0.2));
+        scene.add(
+            Triangle::new(apex, b0, b1),
+            Material::shiny(Color::new(0.9, 0.75, 0.3), 0.2),
+        );
     }
 
-    scene.add_light(Light { position: Vec3::new(8.0, 10.0, 2.0), color: Color::grey(0.9) });
-    scene.add_light(Light { position: Vec3::new(-7.0, 6.0, -2.0), color: Color::grey(0.5) });
+    scene.add_light(Light {
+        position: Vec3::new(8.0, 10.0, 2.0),
+        color: Color::grey(0.9),
+    });
+    scene.add_light(Light {
+        position: Vec3::new(-7.0, 6.0, -2.0),
+        color: Color::grey(0.5),
+    });
 
     let camera = Camera::look_at(
         Vec3::new(0.0, 2.0, 2.0),
@@ -91,14 +112,35 @@ pub fn whitted_scene() -> (Scene, Camera) {
         Plane::new(Vec3::new(0.0, -1.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
         Material::checker(Color::new(0.9, 0.8, 0.3), Color::new(0.8, 0.15, 0.1), 1.5),
     );
-    scene.add(Sphere::new(Vec3::new(-0.9, 0.6, -5.0), 1.0), Material::glass(1.5));
-    scene.add(Sphere::new(Vec3::new(1.1, 0.2, -6.5), 0.9), Material::mirror());
+    scene.add(
+        Sphere::new(Vec3::new(-0.9, 0.6, -5.0), 1.0),
+        Material::glass(1.5),
+    );
+    scene.add(
+        Sphere::new(Vec3::new(1.1, 0.2, -6.5), 0.9),
+        Material::mirror(),
+    );
     // A few background spheres to give the reflections something to see.
-    scene.add(Sphere::new(Vec3::new(-3.0, 0.0, -8.0), 0.8), Material::matte(Color::new(0.2, 0.6, 0.3)));
-    scene.add(Sphere::new(Vec3::new(3.2, -0.2, -8.5), 0.7), Material::shiny(Color::new(0.3, 0.3, 0.8), 0.3));
-    scene.add(Sphere::new(Vec3::new(0.3, -0.5, -3.4), 0.4), Material::matte(Color::new(0.9, 0.6, 0.2)));
-    scene.add_light(Light { position: Vec3::new(4.0, 6.0, 1.0), color: Color::grey(0.95) });
-    scene.add_light(Light { position: Vec3::new(-5.0, 4.0, 0.5), color: Color::grey(0.4) });
+    scene.add(
+        Sphere::new(Vec3::new(-3.0, 0.0, -8.0), 0.8),
+        Material::matte(Color::new(0.2, 0.6, 0.3)),
+    );
+    scene.add(
+        Sphere::new(Vec3::new(3.2, -0.2, -8.5), 0.7),
+        Material::shiny(Color::new(0.3, 0.3, 0.8), 0.3),
+    );
+    scene.add(
+        Sphere::new(Vec3::new(0.3, -0.5, -3.4), 0.4),
+        Material::matte(Color::new(0.9, 0.6, 0.2)),
+    );
+    scene.add_light(Light {
+        position: Vec3::new(4.0, 6.0, 1.0),
+        color: Color::grey(0.95),
+    });
+    scene.add_light(Light {
+        position: Vec3::new(-5.0, 4.0, 0.5),
+        color: Color::grey(0.4),
+    });
     let camera = Camera::look_at(
         Vec3::new(0.0, 0.8, 1.5),
         Vec3::new(0.0, 0.0, -5.5),
@@ -119,7 +161,10 @@ pub fn whitted_scene() -> (Scene, Camera) {
 ///
 /// Panics if `depth > 6` (primitive count would explode).
 pub fn fractal_pyramid(depth: u32) -> (Scene, Camera) {
-    assert!(depth <= 6, "fractal depth {depth} would generate too many primitives");
+    assert!(
+        depth <= 6,
+        "fractal depth {depth} would generate too many primitives"
+    );
     let mut scene = Scene::new(Color::new(0.15, 0.2, 0.35));
     scene.set_ambient(Color::grey(0.7));
 
@@ -140,8 +185,14 @@ pub fn fractal_pyramid(depth: u32) -> (Scene, Camera) {
     let material = Material::shiny(Color::new(0.8, 0.6, 0.25), 0.25);
     emit_sierpinski(&mut scene, verts, depth, material);
 
-    scene.add_light(Light { position: Vec3::new(8.0, 12.0, 0.0), color: Color::grey(0.95) });
-    scene.add_light(Light { position: Vec3::new(-6.0, 8.0, -4.0), color: Color::grey(0.45) });
+    scene.add_light(Light {
+        position: Vec3::new(8.0, 12.0, 0.0),
+        color: Color::grey(0.95),
+    });
+    scene.add_light(Light {
+        position: Vec3::new(-6.0, 8.0, -4.0),
+        color: Color::grey(0.45),
+    });
 
     let camera = Camera::look_at(
         Vec3::new(0.0, 2.5, 0.0),
@@ -165,7 +216,11 @@ fn emit_sierpinski(scene: &mut Scene, v: [Vec3; 4], depth: u32, material: Materi
     for corner in 0..4 {
         let mut sub = [Vec3::ZERO; 4];
         for (j, slot) in sub.iter_mut().enumerate() {
-            *slot = if j == corner { v[corner] } else { mid(v[corner], v[j]) };
+            *slot = if j == corner {
+                v[corner]
+            } else {
+                mid(v[corner], v[j])
+            };
         }
         emit_sierpinski(scene, sub, depth - 1, material);
     }
@@ -180,7 +235,11 @@ mod tests {
     #[test]
     fn moderate_scene_has_exactly_25_primitives() {
         let (scene, _) = moderate_scene();
-        assert_eq!(scene.primitive_count(), 25, "the paper's moderate scene has 25 primitives");
+        assert_eq!(
+            scene.primitive_count(),
+            25,
+            "the paper's moderate scene has 25 primitives"
+        );
         assert_eq!(scene.lights().len(), 2);
     }
 
@@ -189,7 +248,10 @@ mod tests {
         let (scene, _) = fractal_pyramid(3);
         // 4^3 tetrahedra x 4 faces + floor = 257.
         assert_eq!(scene.primitive_count(), 257);
-        assert!(scene.primitive_count() > 250, "the paper's complex scene has >250 primitives");
+        assert!(
+            scene.primitive_count() > 250,
+            "the paper's complex scene has >250 primitives"
+        );
     }
 
     #[test]
@@ -207,7 +269,11 @@ mod tests {
         // Two floor probes a square apart must differ (the checker).
         let (a, _) = tracer.render_pixel(&camera, 10, 30, 32, 32, 1);
         let (b, _) = tracer.render_pixel(&camera, 14, 30, 32, 32, 1);
-        assert_ne!(a.to_rgb8(), b.to_rgb8(), "floor probes {a:?} vs {b:?} look identical");
+        assert_ne!(
+            a.to_rgb8(),
+            b.to_rgb8(),
+            "floor probes {a:?} vs {b:?} look identical"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub struct ParseSceneError {
 
 impl ParseSceneError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseSceneError { line, message: message.into() }
+        ParseSceneError {
+            line,
+            message: message.into(),
+        }
     }
 
     /// The 1-based line the error occurred on.
@@ -83,7 +86,10 @@ impl<'a> LineParser<'a> {
         if w == expected {
             Ok(())
         } else {
-            Err(ParseSceneError::new(self.line, format!("expected '{expected}', found '{w}'")))
+            Err(ParseSceneError::new(
+                self.line,
+                format!("expected '{expected}', found '{w}'"),
+            ))
         }
     }
 
@@ -104,9 +110,10 @@ impl<'a> LineParser<'a> {
     fn finished(&mut self) -> Result<(), ParseSceneError> {
         match self.words.next() {
             None => Ok(()),
-            Some(extra) => {
-                Err(ParseSceneError::new(self.line, format!("unexpected trailing '{extra}'")))
-            }
+            Some(extra) => Err(ParseSceneError::new(
+                self.line,
+                format!("unexpected trailing '{extra}'"),
+            )),
         }
     }
 }
@@ -146,7 +153,10 @@ pub fn parse(text: &str) -> Result<SceneDescription, ParseSceneError> {
         if line.is_empty() {
             continue;
         }
-        let mut p = LineParser { words: line.split_whitespace(), line: line_no };
+        let mut p = LineParser {
+            words: line.split_whitespace(),
+            line: line_no,
+        };
         let directive = p.word()?;
         match directive {
             "background" => {
@@ -192,7 +202,10 @@ pub fn parse(text: &str) -> Result<SceneDescription, ParseSceneError> {
                 let pos = p.vec3()?;
                 p.keyword("color")?;
                 let c = p.color()?;
-                scene.add_light(Light { position: pos, color: c });
+                scene.add_light(Light {
+                    position: pos,
+                    color: c,
+                });
             }
             "material" => {
                 let name = p.word()?.to_owned();
@@ -282,7 +295,10 @@ pub fn parse(text: &str) -> Result<SceneDescription, ParseSceneError> {
                 scene.add(Triangle::new(a, b, c), material);
             }
             other => {
-                return Err(ParseSceneError::new(line_no, format!("unknown directive '{other}'")));
+                return Err(ParseSceneError::new(
+                    line_no,
+                    format!("unknown directive '{other}'"),
+                ));
             }
         }
         p.finished()?;
@@ -337,7 +353,11 @@ pub fn serialize(scene: &Scene, camera: &CameraSpec) -> String {
     let mut out = String::new();
     let bg = scene.background();
     let am = scene.ambient();
-    let _ = writeln!(out, "# scene description ({} primitives)", scene.primitive_count());
+    let _ = writeln!(
+        out,
+        "# scene description ({} primitives)",
+        scene.primitive_count()
+    );
     let _ = writeln!(out, "background {} {} {}", bg.r, bg.g, bg.b);
     let _ = writeln!(out, "ambient {} {} {}", am.r, am.g, am.b);
     let _ = writeln!(
@@ -359,8 +379,12 @@ pub fn serialize(scene: &Scene, camera: &CameraSpec) -> String {
         let _ = writeln!(
             out,
             "light pos {} {} {} color {} {} {}",
-            light.position.x, light.position.y, light.position.z,
-            light.color.r, light.color.g, light.color.b
+            light.position.x,
+            light.position.y,
+            light.position.z,
+            light.color.r,
+            light.color.g,
+            light.color.b
         );
     }
 
@@ -374,8 +398,16 @@ pub fn serialize(scene: &Scene, camera: &CameraSpec) -> String {
         let mut line = format!(
             "material {n} color {} {} {} ambient {} diffuse {} specular {} shininess {} \
              reflect {} transparency {} ior {}",
-            m.color.r, m.color.g, m.color.b, m.ambient, m.diffuse, m.specular, m.shininess,
-            m.reflectivity, m.transparency, m.ior
+            m.color.r,
+            m.color.g,
+            m.color.b,
+            m.ambient,
+            m.diffuse,
+            m.specular,
+            m.shininess,
+            m.reflectivity,
+            m.transparency,
+            m.ior
         );
         if let Some(t) = &m.texture {
             let _ = write!(
@@ -397,7 +429,10 @@ pub fn serialize(scene: &Scene, camera: &CameraSpec) -> String {
                 let _ = writeln!(
                     out,
                     "sphere center {} {} {} radius {} material {name}",
-                    c.x, c.y, c.z, s.radius()
+                    c.x,
+                    c.y,
+                    c.z,
+                    s.radius()
                 );
             }
             Primitive::Plane(pl) => {
@@ -466,7 +501,11 @@ mod tests {
         for (px, py) in [(0u32, 0u32), (5, 9), (8, 8), (15, 3)] {
             let (a, _) = t1.render_pixel(&cam1, px, py, 16, 16, 1);
             let (b, _) = t2.render_pixel(&cam2, px, py, 16, 16, 1);
-            assert_eq!(a.to_rgb8(), b.to_rgb8(), "pixel ({px},{py}) changed in round trip");
+            assert_eq!(
+                a.to_rgb8(),
+                b.to_rgb8(),
+                "pixel ({px},{py}) changed in round trip"
+            );
         }
     }
 
@@ -486,7 +525,10 @@ mod tests {
         // Material dedup: the description should define far fewer
         // materials than primitives.
         let material_lines = text.lines().filter(|l| l.starts_with("material")).count();
-        assert!(material_lines <= 6, "{material_lines} materials for 25 primitives");
+        assert!(
+            material_lines <= 6,
+            "{material_lines} materials for 25 primitives"
+        );
     }
 
     #[test]
@@ -519,18 +561,19 @@ mod tests {
         assert_eq!(err.line(), 2);
         assert!(err.to_string().contains("wobble"));
 
-        let err = parse("sphere center 0 0 0 radius 1 material nope\n\
-                         camera eye 0 0 0 target 0 0 -1 up 0 1 0 fov 60 aspect 1\n")
-            .unwrap_err();
+        let err = parse(
+            "sphere center 0 0 0 radius 1 material nope\n\
+                         camera eye 0 0 0 target 0 0 -1 up 0 1 0 fov 60 aspect 1\n",
+        )
+        .unwrap_err();
         assert_eq!(err.line(), 1);
         assert!(err.to_string().contains("undefined material"));
     }
 
     #[test]
     fn rejects_bad_values() {
-        let with_camera = |body: &str| {
-            format!("camera eye 0 0 0 target 0 0 -1 up 0 1 0 fov 60 aspect 1\n{body}")
-        };
+        let with_camera =
+            |body: &str| format!("camera eye 0 0 0 target 0 0 -1 up 0 1 0 fov 60 aspect 1\n{body}");
         assert!(parse(&with_camera("material m color 1 1 1 ambient 0.1 diffuse 1 specular 0 shininess 1 reflect 0 transparency 0 ior 1\nsphere center 0 0 0 radius -1 material m")).is_err());
         assert!(parse(&with_camera("background 0 0")).is_err());
         assert!(parse(&with_camera("ambient a b c")).is_err());
@@ -557,6 +600,11 @@ mod tests {
         let spec = quickstart_spec();
         let small = serialize(&crate::scenes::quickstart_scene().0, &spec);
         let big = serialize(&crate::scenes::fractal_pyramid(3).0, &spec);
-        assert!(big.len() > small.len() * 10, "{} vs {}", big.len(), small.len());
+        assert!(
+            big.len() > small.len() * 10,
+            "{} vs {}",
+            big.len(),
+            small.len()
+        );
     }
 }

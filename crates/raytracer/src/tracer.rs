@@ -61,7 +61,10 @@ pub struct Tracer<'a> {
 impl<'a> Tracer<'a> {
     /// Prepares a tracer (builds the acceleration structure if any).
     pub fn new(scene: &'a Scene, cfg: TraceConfig) -> Self {
-        Tracer { index: SceneIndex::build(scene, cfg.accel, cfg.vector_mode), cfg }
+        Tracer {
+            index: SceneIndex::build(scene, cfg.accel, cfg.vector_mode),
+            cfg,
+        }
     }
 
     /// The configuration in use.
@@ -103,15 +106,14 @@ impl<'a> Tracer<'a> {
                     Some(transmitted) => {
                         work.refractions += 1;
                         let t_ray = Ray::new(hit.point, transmitted);
-                        color +=
-                            self.trace_depth(&t_ray, depth + 1, work) * material.transparency;
+                        color += self.trace_depth(&t_ray, depth + 1, work) * material.transparency;
                     }
                     None => {
                         // Total internal reflection feeds the mirror term.
                         work.reflections += 1;
                         let reflected = Ray::new(hit.point, ray.dir.reflect(hit.normal));
-                        color += self.trace_depth(&reflected, depth + 1, work)
-                            * material.transparency;
+                        color +=
+                            self.trace_depth(&reflected, depth + 1, work) * material.transparency;
                     }
                 }
             }
@@ -135,7 +137,10 @@ impl<'a> Tracer<'a> {
             let distance = to_light.length();
             let l_dir = to_light / distance;
             if self.cfg.shadows {
-                let shadow_ray = Ray { origin: hit.point, dir: l_dir };
+                let shadow_ray = Ray {
+                    origin: hit.point,
+                    dir: l_dir,
+                };
                 work.rays += 1;
                 if self.index.occluded(&shadow_ray, distance, work) {
                     continue;
@@ -191,8 +196,14 @@ mod tests {
 
     fn lit_sphere_scene() -> Scene {
         let mut s = Scene::new(Color::grey(0.1));
-        s.add(Sphere::new(Vec3::new(0.0, 0.0, -5.0), 1.0), Material::matte(Color::WHITE));
-        s.add_light(Light { position: Vec3::new(0.0, 5.0, 0.0), color: Color::WHITE });
+        s.add(
+            Sphere::new(Vec3::new(0.0, 0.0, -5.0), 1.0),
+            Material::matte(Color::WHITE),
+        );
+        s.add_light(Light {
+            position: Vec3::new(0.0, 5.0, 0.0),
+            color: Color::WHITE,
+        });
         s
     }
 
@@ -222,17 +233,32 @@ mod tests {
     #[test]
     fn shadowed_point_gets_only_ambient() {
         let mut s = Scene::new(Color::BLACK);
-        s.add(Plane::new(Vec3::new(0.0, -1.0, 0.0), Vec3::new(0.0, 1.0, 0.0)), Material::matte(Color::WHITE));
+        s.add(
+            Plane::new(Vec3::new(0.0, -1.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
+            Material::matte(Color::WHITE),
+        );
         // Blocker between light and the shading point.
-        s.add(Sphere::new(Vec3::new(0.0, 2.0, -5.0), 1.0), Material::matte(Color::WHITE));
-        s.add_light(Light { position: Vec3::new(0.0, 6.0, -5.0), color: Color::WHITE });
+        s.add(
+            Sphere::new(Vec3::new(0.0, 2.0, -5.0), 1.0),
+            Material::matte(Color::WHITE),
+        );
+        s.add_light(Light {
+            position: Vec3::new(0.0, 6.0, -5.0),
+            color: Color::WHITE,
+        });
         let t = Tracer::new(&s, TraceConfig::default());
         let mut w = WorkCounters::new();
         // Straight down at the point right below the blocker.
         let ray = Ray::new(Vec3::new(0.0, 0.5, -5.0), Vec3::new(0.0, -1.0, 0.0));
         let shadowed = t.trace(&ray, &mut w);
         // Same geometry but shadows disabled: much brighter.
-        let t2 = Tracer::new(&s, TraceConfig { shadows: false, ..TraceConfig::default() });
+        let t2 = Tracer::new(
+            &s,
+            TraceConfig {
+                shadows: false,
+                ..TraceConfig::default()
+            },
+        );
         let unshadowed = t2.trace(&ray, &mut WorkCounters::new());
         assert!(shadowed.luminance() < unshadowed.luminance() * 0.5);
         assert!(w.shadow_queries >= 1);
@@ -241,7 +267,10 @@ mod tests {
     #[test]
     fn mirror_reflects_scene() {
         let mut s = Scene::new(Color::new(0.0, 0.0, 1.0)); // blue background
-        s.add(Plane::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0)), Material::mirror());
+        s.add(
+            Plane::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0)),
+            Material::mirror(),
+        );
         let t = Tracer::new(&s, TraceConfig::default());
         let mut w = WorkCounters::new();
         let ray = Ray::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.2, -1.0, 0.0));
@@ -254,9 +283,21 @@ mod tests {
     fn recursion_depth_is_bounded() {
         // Two facing mirrors: an infinite bounce corridor.
         let mut s = Scene::new(Color::BLACK);
-        s.add(Plane::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0)), Material::mirror());
-        s.add(Plane::new(Vec3::new(0.0, 0.0, 5.0), Vec3::new(0.0, 0.0, -1.0)), Material::mirror());
-        let t = Tracer::new(&s, TraceConfig { max_depth: 7, ..TraceConfig::default() });
+        s.add(
+            Plane::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0)),
+            Material::mirror(),
+        );
+        s.add(
+            Plane::new(Vec3::new(0.0, 0.0, 5.0), Vec3::new(0.0, 0.0, -1.0)),
+            Material::mirror(),
+        );
+        let t = Tracer::new(
+            &s,
+            TraceConfig {
+                max_depth: 7,
+                ..TraceConfig::default()
+            },
+        );
         let mut w = WorkCounters::new();
         t.trace(&Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0)), &mut w);
         assert_eq!(w.reflections, 7);
@@ -265,7 +306,10 @@ mod tests {
     #[test]
     fn glass_spawns_refraction() {
         let mut s = lit_sphere_scene();
-        s.add(Sphere::new(Vec3::new(0.0, 0.0, -2.0), 0.5), Material::glass(1.5));
+        s.add(
+            Sphere::new(Vec3::new(0.0, 0.0, -2.0), 0.5),
+            Material::glass(1.5),
+        );
         let t = Tracer::new(&s, TraceConfig::default());
         let mut w = WorkCounters::new();
         t.trace(&Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0)), &mut w);
@@ -278,6 +322,9 @@ mod tests {
         let t = Tracer::new(&scene, TraceConfig::default());
         let (_, w1) = t.render_pixel(&camera, 32, 32, 64, 64, 1);
         let (_, w3) = t.render_pixel(&camera, 32, 32, 64, 64, 3);
-        assert!(w3.rays >= w1.rays * 9, "3x3 oversampling should cast 9x the rays");
+        assert!(
+            w3.rays >= w1.rays * 9,
+            "3x3 oversampling should cast 9x the rays"
+        );
     }
 }

@@ -84,8 +84,16 @@ mod tests {
 
     #[test]
     fn add_accumulates_fieldwise() {
-        let a = WorkCounters { rays: 1, scalar_tests: 10, ..WorkCounters::default() };
-        let b = WorkCounters { rays: 2, shadings: 5, ..WorkCounters::default() };
+        let a = WorkCounters {
+            rays: 1,
+            scalar_tests: 10,
+            ..WorkCounters::default()
+        };
+        let b = WorkCounters {
+            rays: 2,
+            shadings: 5,
+            ..WorkCounters::default()
+        };
         let c = a + b;
         assert_eq!(c.rays, 3);
         assert_eq!(c.scalar_tests, 10);
@@ -97,14 +105,21 @@ mod tests {
     #[test]
     fn sum_over_iterator() {
         let total: WorkCounters = (0..4)
-            .map(|i| WorkCounters { rays: i, ..WorkCounters::default() })
+            .map(|i| WorkCounters {
+                rays: i,
+                ..WorkCounters::default()
+            })
             .sum();
         assert_eq!(total.rays, 6);
     }
 
     #[test]
     fn test_units_count_chunks_once() {
-        let c = WorkCounters { scalar_tests: 7, vector_chunks: 3, ..WorkCounters::default() };
+        let c = WorkCounters {
+            scalar_tests: 7,
+            vector_chunks: 3,
+            ..WorkCounters::default()
+        };
         assert_eq!(c.test_units(), 10);
     }
 }

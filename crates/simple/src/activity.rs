@@ -82,14 +82,21 @@ impl ActivityModel {
     /// (chronological). Events whose token is not declared are skipped —
     /// they belong to other tracks sharing the same channel. The final
     /// state is closed at `end_ns`.
-    pub fn derive_track<'a, I>(&self, name: impl Into<String>, events: I, end_ns: u64) -> ActivityTrack
+    pub fn derive_track<'a, I>(
+        &self,
+        name: impl Into<String>,
+        events: I,
+        end_ns: u64,
+    ) -> ActivityTrack
     where
         I: IntoIterator<Item = &'a Event>,
     {
         let mut intervals: Vec<Interval> = Vec::new();
         let mut current: Option<(u64, &str)> = None;
         for ev in events {
-            let Some(state) = self.state_of(ev.token) else { continue };
+            let Some(state) = self.state_of(ev.token) else {
+                continue;
+            };
             if let Some((start, prev)) = current.take() {
                 intervals.push(Interval {
                     start_ns: start,
@@ -106,7 +113,10 @@ impl ActivityModel {
                 state: prev.to_owned(),
             });
         }
-        ActivityTrack { name: name.into(), intervals }
+        ActivityTrack {
+            name: name.into(),
+            intervals,
+        }
     }
 }
 
@@ -129,7 +139,10 @@ impl ActivityTrack {
             intervals.windows(2).all(|w| w[0].end_ns <= w[1].start_ns),
             "intervals must be chronological and non-overlapping"
         );
-        ActivityTrack { name: name.into(), intervals }
+        ActivityTrack {
+            name: name.into(),
+            intervals,
+        }
     }
 
     /// The track's display name.
@@ -155,7 +168,11 @@ impl ActivityTrack {
 
     /// Total nanoseconds spent in `state`.
     pub fn time_in_state(&self, state: &str) -> u64 {
-        self.intervals.iter().filter(|iv| iv.state == state).map(Interval::duration_ns).sum()
+        self.intervals
+            .iter()
+            .filter(|iv| iv.state == state)
+            .map(Interval::duration_ns)
+            .sum()
     }
 
     /// Total nanoseconds spent in `state` clipped to `[from_ns, to_ns)`.
@@ -163,7 +180,11 @@ impl ActivityTrack {
         self.intervals
             .iter()
             .filter(|iv| iv.state == state)
-            .map(|iv| iv.end_ns.min(to_ns).saturating_sub(iv.start_ns.max(from_ns)))
+            .map(|iv| {
+                iv.end_ns
+                    .min(to_ns)
+                    .saturating_sub(iv.start_ns.max(from_ns))
+            })
             .sum()
     }
 
@@ -222,7 +243,11 @@ mod tests {
         ];
         let track = model().derive_track("t", evs.iter(), 50);
         assert_eq!(track.intervals().len(), 2);
-        assert_eq!(track.time_in_state("A"), 20, "foreign token must not cut A short");
+        assert_eq!(
+            track.time_in_state("A"),
+            20,
+            "foreign token must not cut A short"
+        );
     }
 
     #[test]
@@ -249,8 +274,16 @@ mod tests {
         ActivityTrack::from_intervals(
             "x",
             vec![
-                Interval { start_ns: 0, end_ns: 10, state: "A".into() },
-                Interval { start_ns: 5, end_ns: 15, state: "B".into() },
+                Interval {
+                    start_ns: 0,
+                    end_ns: 10,
+                    state: "A".into(),
+                },
+                Interval {
+                    start_ns: 5,
+                    end_ns: 15,
+                    state: "B".into(),
+                },
             ],
         );
     }

@@ -26,7 +26,13 @@ pub struct GanttStyle {
 
 impl Default for GanttStyle {
     fn default() -> Self {
-        GanttStyle { width: 100, bar: '#', space: ' ', row_height: 14, svg_width: 900 }
+        GanttStyle {
+            width: 100,
+            bar: '#',
+            space: ' ',
+            row_height: 14,
+            svg_width: 900,
+        }
     }
 }
 
@@ -65,7 +71,12 @@ impl Gantt {
     /// Panics if the window is empty.
     pub fn new(tracks: Vec<ActivityTrack>, from_ns: u64, to_ns: u64) -> Self {
         assert!(from_ns < to_ns, "Gantt window must be nonempty");
-        Gantt { tracks, from_ns, to_ns, style: GanttStyle::default() }
+        Gantt {
+            tracks,
+            from_ns,
+            to_ns,
+            style: GanttStyle::default(),
+        }
     }
 
     /// Replaces the rendering style.
@@ -86,7 +97,9 @@ impl Gantt {
 
     fn column_of(&self, t: u64) -> usize {
         let span = (self.to_ns - self.from_ns) as u128;
-        let rel = t.saturating_sub(self.from_ns).min(self.to_ns - self.from_ns) as u128;
+        let rel = t
+            .saturating_sub(self.from_ns)
+            .min(self.to_ns - self.from_ns) as u128;
         ((rel * self.style.width as u128) / span) as usize
     }
 
@@ -143,8 +156,7 @@ impl Gantt {
     pub fn render_svg(&self) -> String {
         const LABEL_PX: u32 = 160;
         const PALETTE: [&str; 8] = [
-            "#4878a8", "#e06c4f", "#5ba163", "#a58a2d", "#8b6cc0", "#c55d88", "#4da5a5",
-            "#8a8a8a",
+            "#4878a8", "#e06c4f", "#5ba163", "#a58a2d", "#8b6cc0", "#c55d88", "#4da5a5", "#8a8a8a",
         ];
         let rows: usize = self.tracks.iter().map(|t| t.states().len()).sum();
         let height = (rows as u32 + self.tracks.len() as u32) * self.style.row_height + 40;
@@ -216,7 +228,9 @@ impl Gantt {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -228,29 +242,48 @@ mod tests {
         ActivityTrack::from_intervals(
             "Master",
             vec![
-                Interval { start_ns: 0, end_ns: 250, state: "Send Jobs".into() },
-                Interval { start_ns: 250, end_ns: 700, state: "Wait".into() },
-                Interval { start_ns: 700, end_ns: 1_000, state: "Send Jobs".into() },
+                Interval {
+                    start_ns: 0,
+                    end_ns: 250,
+                    state: "Send Jobs".into(),
+                },
+                Interval {
+                    start_ns: 250,
+                    end_ns: 700,
+                    state: "Wait".into(),
+                },
+                Interval {
+                    start_ns: 700,
+                    end_ns: 1_000,
+                    state: "Send Jobs".into(),
+                },
             ],
         )
     }
 
     #[test]
     fn text_render_shape() {
-        let g = Gantt::new(vec![track()], 0, 1_000)
-            .with_style(GanttStyle { width: 40, ..GanttStyle::default() });
+        let g = Gantt::new(vec![track()], 0, 1_000).with_style(GanttStyle {
+            width: 40,
+            ..GanttStyle::default()
+        });
         let text = g.render_text();
         assert!(text.contains("== Master =="));
         let send_row = text.lines().find(|l| l.contains("Send Jobs |")).unwrap();
         let bars = send_row.matches('#').count();
         // 250/1000 + 300/1000 of 40 columns ≈ 10 + 12 cells.
-        assert!((20..=24).contains(&bars), "unexpected bar count {bars}\n{text}");
+        assert!(
+            (20..=24).contains(&bars),
+            "unexpected bar count {bars}\n{text}"
+        );
     }
 
     #[test]
     fn clipping_to_window() {
-        let g = Gantt::new(vec![track()], 900, 2_000)
-            .with_style(GanttStyle { width: 10, ..GanttStyle::default() });
+        let g = Gantt::new(vec![track()], 900, 2_000).with_style(GanttStyle {
+            width: 10,
+            ..GanttStyle::default()
+        });
         let text = g.render_text();
         // Only the tail of the second "Send Jobs" interval shows.
         let send_row = text.lines().find(|l| l.contains("Send Jobs |")).unwrap();
@@ -266,7 +299,10 @@ mod tests {
         assert!(svg.starts_with("<svg"));
         assert!(svg.contains("Master"));
         assert!(svg.contains("Send Jobs"));
-        assert!(svg.matches("<rect").count() >= 4, "expect background + 3 bars");
+        assert!(
+            svg.matches("<rect").count() >= 4,
+            "expect background + 3 bars"
+        );
         assert!(svg.trim_end().ends_with("</svg>"));
     }
 
@@ -275,10 +311,16 @@ mod tests {
         // A 1 ns interval in a 1 s window must still paint one cell.
         let t = ActivityTrack::from_intervals(
             "x",
-            vec![Interval { start_ns: 500, end_ns: 501, state: "Blip".into() }],
+            vec![Interval {
+                start_ns: 500,
+                end_ns: 501,
+                state: "Blip".into(),
+            }],
         );
-        let g = Gantt::new(vec![t], 0, 1_000_000_000)
-            .with_style(GanttStyle { width: 50, ..GanttStyle::default() });
+        let g = Gantt::new(vec![t], 0, 1_000_000_000).with_style(GanttStyle {
+            width: 50,
+            ..GanttStyle::default()
+        });
         let text = g.render_text();
         let row = text.lines().find(|l| l.contains("Blip |")).unwrap();
         assert_eq!(row.matches('#').count(), 1);

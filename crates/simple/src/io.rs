@@ -24,7 +24,10 @@ pub struct ParseTraceError {
 
 impl ParseTraceError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseTraceError { line, message: message.into() }
+        ParseTraceError {
+            line,
+            message: message.into(),
+        }
     }
 
     /// The 1-based line the error occurred on.
@@ -102,13 +105,18 @@ pub fn from_csv(text: &str) -> Result<Trace, ParseTraceError> {
             u16::from_str_radix(hex, 16)
                 .map_err(|_| ParseTraceError::new(line_no, "bad hex token"))?
         } else {
-            token_str.parse().map_err(|_| ParseTraceError::new(line_no, "bad token"))?
+            token_str
+                .parse()
+                .map_err(|_| ParseTraceError::new(line_no, "bad token"))?
         };
         let param: u32 = next("param")?
             .parse()
             .map_err(|_| ParseTraceError::new(line_no, "bad param"))?;
         if let Some(extra) = fields.next() {
-            return Err(ParseTraceError::new(line_no, format!("unexpected field '{extra}'")));
+            return Err(ParseTraceError::new(
+                line_no,
+                format!("unexpected field '{extra}'"),
+            ));
         }
         events.push(Event::new(ts, channel, token, param));
     }

@@ -83,9 +83,21 @@ mod tests {
         ActivityTrack::from_intervals(
             "Master",
             vec![
-                Interval { start_ns: 0, end_ns: 2_000_000, state: "Send Jobs".into() },
-                Interval { start_ns: 2_000_000, end_ns: 5_000_000, state: "Wait".into() },
-                Interval { start_ns: 5_000_000, end_ns: 6_000_000, state: "Send Jobs".into() },
+                Interval {
+                    start_ns: 0,
+                    end_ns: 2_000_000,
+                    state: "Send Jobs".into(),
+                },
+                Interval {
+                    start_ns: 2_000_000,
+                    end_ns: 5_000_000,
+                    state: "Wait".into(),
+                },
+                Interval {
+                    start_ns: 5_000_000,
+                    end_ns: 6_000_000,
+                    state: "Send Jobs".into(),
+                },
             ],
         )
     }

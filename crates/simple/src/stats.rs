@@ -72,7 +72,12 @@ impl UtilizationReport {
             .map(|t| (t.name().to_owned(), utilization(t, state, from_ns, to_ns)))
             .collect();
         let mean = per_track.iter().map(|(_, u)| u).sum::<f64>() / per_track.len() as f64;
-        UtilizationReport { state: state.to_owned(), per_track, mean, window: (from_ns, to_ns) }
+        UtilizationReport {
+            state: state.to_owned(),
+            per_track,
+            mean,
+            window: (from_ns, to_ns),
+        }
     }
 
     /// Mean utilization as a percentage.
@@ -106,7 +111,11 @@ mod tests {
     fn work_track(name: &str, busy: &[(u64, u64)]) -> ActivityTrack {
         let mut intervals = Vec::new();
         for &(a, b) in busy {
-            intervals.push(Interval { start_ns: a, end_ns: b, state: "Work".into() });
+            intervals.push(Interval {
+                start_ns: a,
+                end_ns: b,
+                state: "Work".into(),
+            });
         }
         ActivityTrack::from_intervals(name, intervals)
     }

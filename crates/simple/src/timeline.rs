@@ -37,10 +37,18 @@ impl StateTimeline {
         let counts = (0..samples)
             .map(|k| {
                 let t = from_ns + k * period_ns;
-                tracks.iter().filter(|tr| tr.state_at(t) == Some(state)).count() as u32
+                tracks
+                    .iter()
+                    .filter(|tr| tr.state_at(t) == Some(state))
+                    .count() as u32
             })
             .collect();
-        StateTimeline { state: state.to_owned(), from_ns, period_ns, counts }
+        StateTimeline {
+            state: state.to_owned(),
+            from_ns,
+            period_ns,
+            counts,
+        }
     }
 
     /// The sampled state.
@@ -98,7 +106,11 @@ mod tests {
     fn track(name: &str, work: (u64, u64)) -> ActivityTrack {
         ActivityTrack::from_intervals(
             name,
-            vec![Interval { start_ns: work.0, end_ns: work.1, state: "Work".into() }],
+            vec![Interval {
+                start_ns: work.0,
+                end_ns: work.1,
+                state: "Work".into(),
+            }],
         )
     }
 

@@ -26,7 +26,12 @@ pub struct Event {
 impl Event {
     /// Creates an event from raw values.
     pub fn new(ts_ns: u64, channel: usize, token: u16, param: u32) -> Self {
-        Event { ts_ns, channel, token: EventToken::new(token), param: EventParam::new(param) }
+        Event {
+            ts_ns,
+            channel,
+            token: EventToken::new(token),
+            param: EventParam::new(param),
+        }
     }
 }
 
@@ -129,7 +134,9 @@ impl Trace {
     where
         F: Fn(&Event) -> bool,
     {
-        Trace { events: self.events.iter().copied().filter(|e| pred(e)).collect() }
+        Trace {
+            events: self.events.iter().copied().filter(|e| pred(e)).collect(),
+        }
     }
 
     /// A sub-trace restricted to one channel.
@@ -152,7 +159,8 @@ impl FromIterator<Event> for Trace {
 impl Extend<Event> for Trace {
     fn extend<I: IntoIterator<Item = Event>>(&mut self, iter: I) {
         self.events.extend(iter);
-        self.events.sort_by_key(|e| (e.ts_ns, e.channel, e.token.value()));
+        self.events
+            .sort_by_key(|e| (e.ts_ns, e.channel, e.token.value()));
     }
 }
 
@@ -163,8 +171,8 @@ mod tests {
 
     #[test]
     fn rejects_unsorted() {
-        let err = Trace::from_events(vec![Event::new(20, 0, 1, 0), Event::new(10, 0, 2, 0)])
-            .unwrap_err();
+        let err =
+            Trace::from_events(vec![Event::new(20, 0, 1, 0), Event::new(10, 0, 2, 0)]).unwrap_err();
         assert_eq!(err, TraceError::Unsorted { index: 1 });
         assert!(err.to_string().contains("index 1"));
     }
@@ -187,7 +195,9 @@ mod tests {
     #[test]
     fn filters_and_windows() {
         let t = Trace::from_unsorted(
-            (0..10).map(|i| Event::new(i * 10, (i % 2) as usize, i as u16, 0)).collect(),
+            (0..10)
+                .map(|i| Event::new(i * 10, (i % 2) as usize, i as u16, 0))
+                .collect(),
         );
         assert_eq!(t.channel(0).len(), 5);
         assert_eq!(t.window(20, 50).len(), 3);

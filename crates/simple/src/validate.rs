@@ -28,7 +28,10 @@ pub struct CausalityRule {
 impl CausalityRule {
     /// Creates a rule from raw token values.
     pub fn new(cause: u16, effect: u16) -> Self {
-        CausalityRule { cause: EventToken::new(cause), effect: EventToken::new(effect) }
+        CausalityRule {
+            cause: EventToken::new(cause),
+            effect: EventToken::new(effect),
+        }
     }
 }
 
@@ -55,7 +58,10 @@ impl ValidationReport {
 /// Counts adjacent timestamp inversions (which [`Trace`] construction
 /// normally forbids; applies to traces assembled from foreign data).
 pub fn check_monotonic(events: &[crate::trace::Event]) -> u64 {
-    events.windows(2).filter(|w| w[1].ts_ns < w[0].ts_ns).count() as u64
+    events
+        .windows(2)
+        .filter(|w| w[1].ts_ns < w[0].ts_ns)
+        .count() as u64
 }
 
 /// Checks happens-before rules over a trace.
@@ -117,7 +123,10 @@ mod tests {
         let t = Trace::from_unsorted(
             (0..10)
                 .flat_map(|i| {
-                    [Event::new(i * 100, 0, 1, i as u32), Event::new(i * 100 + 50, 1, 2, i as u32)]
+                    [
+                        Event::new(i * 100, 0, 1, i as u32),
+                        Event::new(i * 100 + 50, 1, 2, i as u32),
+                    ]
                 })
                 .collect(),
         );
@@ -149,8 +158,11 @@ mod tests {
 
     #[test]
     fn monotonic_check_on_raw_events() {
-        let evs =
-            vec![Event::new(10, 0, 1, 0), Event::new(5, 0, 1, 0), Event::new(20, 0, 1, 0)];
+        let evs = vec![
+            Event::new(10, 0, 1, 0),
+            Event::new(5, 0, 1, 0),
+            Event::new(20, 0, 1, 0),
+        ];
         assert_eq!(check_monotonic(&evs), 1);
         assert_eq!(check_monotonic(&[]), 0);
     }

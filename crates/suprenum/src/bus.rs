@@ -48,7 +48,9 @@ struct RailSet {
 impl RailSet {
     fn new(rails: usize) -> Self {
         assert!(rails > 0, "need at least one rail");
-        RailSet { rails: vec![Channel::default(); rails] }
+        RailSet {
+            rails: vec![Channel::default(); rails],
+        }
     }
 
     fn reserve(&mut self, earliest: SimTime, duration: SimDuration) -> (SimTime, SimTime) {
@@ -65,7 +67,7 @@ impl RailSet {
 #[derive(Debug)]
 pub struct Interconnect {
     cfg: InterconnectParams,
-    cu: Vec<Channel>,        // one per node
+    cu: Vec<Channel>,          // one per node
     cluster_bus: Vec<RailSet>, // one per cluster
     ring: RailSet,
     stats: InterconnectStats,
@@ -108,8 +110,12 @@ impl Interconnect {
                 cu_setup: cfg.cu_setup,
                 local_message_latency: cfg.local_message_latency,
             },
-            cu: (0..topo.total_nodes()).map(|_| Channel::default()).collect(),
-            cluster_bus: (0..topo.clusters()).map(|_| RailSet::new(cfg.cluster_bus_rails as usize)).collect(),
+            cu: (0..topo.total_nodes())
+                .map(|_| Channel::default())
+                .collect(),
+            cluster_bus: (0..topo.clusters())
+                .map(|_| RailSet::new(cfg.cluster_bus_rails as usize))
+                .collect(),
             ring: RailSet::new(2), // dual counter-rotating rings
             stats: InterconnectStats::default(),
         }
@@ -119,13 +125,7 @@ impl Interconnect {
     /// message of `bytes` from `src` leaving at `now` along `route`.
     ///
     /// Returns the arrival time at the destination node.
-    pub fn transfer(
-        &mut self,
-        now: SimTime,
-        src: NodeId,
-        route: Route,
-        bytes: u32,
-    ) -> SimTime {
+    pub fn transfer(&mut self, now: SimTime, src: NodeId, route: Route, bytes: u32) -> SimTime {
         self.stats.bytes_moved += bytes as u64;
         match route {
             Route::Local => {
@@ -135,19 +135,21 @@ impl Interconnect {
             Route::IntraCluster { cluster } => {
                 self.stats.intra_cluster_transfers += 1;
                 // CU DMA setup, then one cluster-bus occupation.
-                let (_, cu_done) =
-                    self.cu[src.index() as usize].reserve(now, self.cfg.cu_setup);
+                let (_, cu_done) = self.cu[src.index() as usize].reserve(now, self.cfg.cu_setup);
                 let dur = SimDuration::for_transfer(bytes as u64, self.cfg.cluster_bus_bandwidth)
                     + self.cfg.cluster_bus_overhead;
                 let (_, end) = self.cluster_bus[cluster.index() as usize].reserve(cu_done, dur);
                 end
             }
-            Route::InterCluster { src_cluster, dst_cluster, ring_hops } => {
+            Route::InterCluster {
+                src_cluster,
+                dst_cluster,
+                ring_hops,
+            } => {
                 self.stats.inter_cluster_transfers += 1;
                 // Leg 1: node -> communication node over the source
                 // cluster bus.
-                let (_, cu_done) =
-                    self.cu[src.index() as usize].reserve(now, self.cfg.cu_setup);
+                let (_, cu_done) = self.cu[src.index() as usize].reserve(now, self.cfg.cu_setup);
                 let leg = SimDuration::for_transfer(bytes as u64, self.cfg.cluster_bus_bandwidth)
                     + self.cfg.cluster_bus_overhead;
                 let (_, l1_end) =
@@ -186,9 +188,22 @@ mod tests {
         let cfg = MachineConfig::default();
         let (mut ic, topo) = setup(&cfg);
         let t0 = SimTime::from_millis(1);
-        let local = ic.transfer(t0, NodeId::new(0), topo.route(NodeId::new(0), NodeId::new(0)), 1000);
-        let intra = ic.transfer(t0, NodeId::new(1), topo.route(NodeId::new(1), NodeId::new(2)), 1000);
-        assert!(local < intra, "local {local} should beat intra-cluster {intra}");
+        let local = ic.transfer(
+            t0,
+            NodeId::new(0),
+            topo.route(NodeId::new(0), NodeId::new(0)),
+            1000,
+        );
+        let intra = ic.transfer(
+            t0,
+            NodeId::new(1),
+            topo.route(NodeId::new(1), NodeId::new(2)),
+            1000,
+        );
+        assert!(
+            local < intra,
+            "local {local} should beat intra-cluster {intra}"
+        );
     }
 
     #[test]
@@ -196,8 +211,18 @@ mod tests {
         let cfg = MachineConfig::full_machine();
         let (mut ic, topo) = setup(&cfg);
         let t0 = SimTime::from_millis(1);
-        let intra = ic.transfer(t0, NodeId::new(0), topo.route(NodeId::new(0), NodeId::new(1)), 4096);
-        let inter = ic.transfer(t0, NodeId::new(2), topo.route(NodeId::new(2), NodeId::new(200)), 4096);
+        let intra = ic.transfer(
+            t0,
+            NodeId::new(0),
+            topo.route(NodeId::new(0), NodeId::new(1)),
+            4096,
+        );
+        let inter = ic.transfer(
+            t0,
+            NodeId::new(2),
+            topo.route(NodeId::new(2), NodeId::new(200)),
+            4096,
+        );
         assert!(inter > intra);
         assert_eq!(ic.stats().intra_cluster_transfers, 1);
         assert_eq!(ic.stats().inter_cluster_transfers, 1);
@@ -209,7 +234,9 @@ mod tests {
         let cfg = MachineConfig::default();
         let (mut ic, _) = setup(&cfg);
         let t0 = SimTime::from_millis(1);
-        let route = Route::IntraCluster { cluster: ClusterId::new(0) };
+        let route = Route::IntraCluster {
+            cluster: ClusterId::new(0),
+        };
         // Saturate both rails from different source nodes (distinct CUs),
         // then a third transfer must wait for a rail.
         let big = 1_000_000; // ~6.25ms per rail at 160MB/s
@@ -228,7 +255,9 @@ mod tests {
         let cfg = MachineConfig::default();
         let (mut ic, _) = setup(&cfg);
         let t0 = SimTime::from_millis(1);
-        let route = Route::IntraCluster { cluster: ClusterId::new(0) };
+        let route = Route::IntraCluster {
+            cluster: ClusterId::new(0),
+        };
         // Two tiny sends from the same node: CU setup serializes them even
         // though the bus is free.
         let a = ic.transfer(t0, NodeId::new(0), route, 16);

@@ -122,13 +122,26 @@ impl MachineConfig {
     /// Panics if `nodes` is 0 or exceeds 16 (a cluster holds at most 16
     /// processing nodes).
     pub fn single_cluster(nodes: u8) -> Self {
-        assert!((1..=16).contains(&nodes), "a cluster holds 1..=16 processing nodes");
-        MachineConfig { clusters: 1, torus_cols: 1, nodes_per_cluster: nodes, ..Self::base() }
+        assert!(
+            (1..=16).contains(&nodes),
+            "a cluster holds 1..=16 processing nodes"
+        );
+        MachineConfig {
+            clusters: 1,
+            torus_cols: 1,
+            nodes_per_cluster: nodes,
+            ..Self::base()
+        }
     }
 
     /// The full 16-cluster, 256-node machine in a 4×4 torus.
     pub fn full_machine() -> Self {
-        MachineConfig { clusters: 16, torus_cols: 4, nodes_per_cluster: 16, ..Self::base() }
+        MachineConfig {
+            clusters: 16,
+            torus_cols: 4,
+            nodes_per_cluster: 16,
+            ..Self::base()
+        }
     }
 
     fn base() -> Self {
@@ -182,13 +195,14 @@ impl MachineConfig {
             return Err(ConfigError::new("a cluster holds 1..=16 processing nodes"));
         }
         if self.torus_cols == 0 || !self.clusters.is_multiple_of(self.torus_cols) {
-            return Err(ConfigError::new("cluster count must be a multiple of torus columns"));
+            return Err(ConfigError::new(
+                "cluster count must be a multiple of torus columns",
+            ));
         }
         if self.cluster_bus_rails == 0 {
             return Err(ConfigError::new("cluster bus needs at least one rail"));
         }
-        if self.cluster_bus_bandwidth == 0 || self.ring_bandwidth == 0 || self.disk_bandwidth == 0
-        {
+        if self.cluster_bus_bandwidth == 0 || self.ring_bandwidth == 0 || self.disk_bandwidth == 0 {
             return Err(ConfigError::new("bandwidths must be nonzero"));
         }
         if self.node_clock_resolution.is_zero() {
@@ -256,14 +270,21 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_torus() {
-        let cfg = MachineConfig { clusters: 6, torus_cols: 4, ..MachineConfig::full_machine() };
+        let cfg = MachineConfig {
+            clusters: 6,
+            torus_cols: 4,
+            ..MachineConfig::full_machine()
+        };
         let err = cfg.validate().unwrap_err();
         assert!(err.to_string().contains("torus"));
     }
 
     #[test]
     fn validation_catches_zero_bandwidth() {
-        let cfg = MachineConfig { ring_bandwidth: 0, ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            ring_bandwidth: 0,
+            ..MachineConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

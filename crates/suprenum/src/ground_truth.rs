@@ -136,7 +136,10 @@ impl GroundTruth {
             ProcHistory {
                 node,
                 label,
-                transitions: vec![Transition { time: now, state: ProcState::Ready }],
+                transitions: vec![Transition {
+                    time: now,
+                    state: ProcState::Ready,
+                }],
             },
         );
         assert!(prev.is_none(), "process {pid} registered twice");
@@ -145,7 +148,10 @@ impl GroundTruth {
     /// Records that `pid` entered `state` at `now`. Consecutive duplicate
     /// states are coalesced.
     pub fn record(&mut self, pid: ProcessId, now: SimTime, state: ProcState) {
-        let hist = self.procs.get_mut(&pid).expect("state recorded for unregistered process");
+        let hist = self
+            .procs
+            .get_mut(&pid)
+            .expect("state recorded for unregistered process");
         if hist.transitions.last().map(|t| t.state) == Some(state) {
             return;
         }
@@ -191,7 +197,11 @@ mod tests {
         gt.register(pid(1), NodeId::new(0), "m".into(), SimTime::ZERO);
         gt.record(pid(1), SimTime::from_micros(10), ProcState::Running);
         gt.record(pid(1), SimTime::from_micros(10), ProcState::Running); // duplicate
-        gt.record(pid(1), SimTime::from_micros(30), ProcState::Blocked(BlockReason::Recv));
+        gt.record(
+            pid(1),
+            SimTime::from_micros(30),
+            ProcState::Blocked(BlockReason::Recv),
+        );
         let h = gt.history(pid(1)).unwrap();
         assert_eq!(h.transitions.len(), 3);
         assert_eq!(h.label, "m");
@@ -218,7 +228,10 @@ mod tests {
         let h = gt.history(pid(2)).unwrap();
         assert_eq!(h.state_at(SimTime::from_micros(3)), None);
         assert_eq!(h.state_at(SimTime::from_micros(7)), Some(ProcState::Ready));
-        assert_eq!(h.state_at(SimTime::from_micros(10)), Some(ProcState::Running));
+        assert_eq!(
+            h.state_at(SimTime::from_micros(10)),
+            Some(ProcState::Running)
+        );
     }
 
     #[test]

@@ -55,10 +55,18 @@ enum Ev {
     /// A blocked process becomes ready again with this resume value.
     Unblock { pid: ProcessId, resume: Resume },
     /// A synchronous message arrives at the destination node.
-    SyncArrive { dst: ProcessId, src: ProcessId, msg: Message },
+    SyncArrive {
+        dst: ProcessId,
+        src: ProcessId,
+        msg: Message,
+    },
     /// A mailbox message arrives at the destination node, awaiting the
     /// mailbox LWP.
-    MailboxArrive { dst: ProcessId, src: ProcessId, msg: Message },
+    MailboxArrive {
+        dst: ProcessId,
+        src: ProcessId,
+        msg: Message,
+    },
     /// A remotely spawned process becomes runnable.
     SpawnReady { pid: ProcessId },
     /// The mailbox LWP of `owner` finished accepting `count` messages.
@@ -265,14 +273,19 @@ impl Machine {
     /// Panics if called after [`run`](Self::run) or if `node` is out of
     /// range.
     pub fn add_process(&mut self, node: NodeId, body: Box<dyn Process>) -> ProcessId {
-        assert!(self.sim.now() == SimTime::ZERO && !self.halted, "add_process before run");
+        assert!(
+            self.sim.now() == SimTime::ZERO && !self.halted,
+            "add_process before run"
+        );
         let team = TeamId::new(self.next_team);
         self.next_team += 1;
         let pid = self.create_proc(node, team, body, SimTime::ZERO);
         if self.initial.is_none() {
             self.initial = Some(pid);
         }
-        self.nodes[node.index() as usize].ready.push_back(LwpId::User(pid));
+        self.nodes[node.index() as usize]
+            .ready
+            .push_back(LwpId::User(pid));
         pid
     }
 
@@ -323,7 +336,10 @@ impl Machine {
                 StopReason::StepBudget => RunEnd::EventBudget,
             }
         };
-        RunOutcome { end: self.sim.now(), reason }
+        RunOutcome {
+            end: self.sim.now(),
+            reason,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -401,7 +417,9 @@ impl Machine {
             Ev::MailboxArrive { dst, src, msg } => self.mailbox_arrive(dst, src, msg),
             Ev::SpawnReady { pid } => {
                 let node = self.procs[pid.raw() as usize].node;
-                self.nodes[node.index() as usize].ready.push_back(LwpId::User(pid));
+                self.nodes[node.index() as usize]
+                    .ready
+                    .push_back(LwpId::User(pid));
                 self.try_dispatch(node);
             }
             Ev::MailboxServiced { owner, count } => self.mailbox_serviced(owner, count),
@@ -439,7 +457,9 @@ impl Machine {
         if n.running.is_some() || n.dispatching {
             return;
         }
-        let Some(lwp) = n.ready.pop_front() else { return };
+        let Some(lwp) = n.ready.pop_front() else {
+            return;
+        };
         n.dispatching = true;
         self.stats.ctx_switches += 1;
         // Switch pricing (paper §2.2): cheap within a team, a full
@@ -496,7 +516,8 @@ impl Machine {
                 }
                 self.stats.mailbox_services += 1;
                 let busy = self.cfg.mailbox_accept_cost * count.max(1) as u64;
-                self.sim.schedule_in(busy, Ev::MailboxServiced { owner, count });
+                self.sim
+                    .schedule_in(busy, Ev::MailboxServiced { owner, count });
             }
         }
     }
@@ -512,8 +533,13 @@ impl Machine {
                 .expect("mailbox service count exceeds arrivals");
             self.stats.mailbox_messages += 1;
             // Accepting the message releases the (still blocked) sender.
-            self.sim
-                .schedule(now + self.cfg.ack_latency, Ev::Unblock { pid: src, resume: Resume::Sent });
+            self.sim.schedule(
+                now + self.cfg.ack_latency,
+                Ev::Unblock {
+                    pid: src,
+                    resume: Resume::Sent,
+                },
+            );
             // Hand to the owner: directly if it is waiting, else queue.
             let owner_proc = &mut self.procs[owner.raw() as usize];
             let waiting = owner_proc.state == ProcState::Blocked(BlockReason::MailboxRecv)
@@ -529,7 +555,10 @@ impl Machine {
         n.running = None;
         n.mailbox_active.remove(&owner);
         // Messages that arrived during servicing require another round.
-        if n.mailbox_arrivals.get(&owner).is_some_and(|q| !q.is_empty()) {
+        if n.mailbox_arrivals
+            .get(&owner)
+            .is_some_and(|q| !q.is_empty())
+        {
             n.ready.push_back(LwpId::Mailbox(owner));
             n.mailbox_active.insert(owner);
         }
@@ -559,17 +588,28 @@ impl Machine {
     fn complete_rendezvous(&mut self, dst: ProcessId, src: ProcessId, msg: Message) {
         self.stats.sync_messages += 1;
         let now = self.sim.now();
-        self.sim
-            .schedule(now + self.cfg.ack_latency, Ev::Unblock { pid: src, resume: Resume::Sent });
+        self.sim.schedule(
+            now + self.cfg.ack_latency,
+            Ev::Unblock {
+                pid: src,
+                resume: Resume::Sent,
+            },
+        );
         self.unblock(dst, Resume::Msg(msg));
     }
 
     fn mailbox_arrive(&mut self, dst: ProcessId, src: ProcessId, msg: Message) {
         let dst_proc = &self.procs[dst.raw() as usize];
-        assert!(dst_proc.state != ProcState::Exited, "mailbox message to exited process {dst}");
+        assert!(
+            dst_proc.state != ProcState::Exited,
+            "mailbox message to exited process {dst}"
+        );
         let node = dst_proc.node;
         let n = &mut self.nodes[node.index() as usize];
-        n.mailbox_arrivals.entry(dst).or_default().push_back((src, msg));
+        n.mailbox_arrivals
+            .entry(dst)
+            .or_default()
+            .push_back((src, msg));
         // Wake the mailbox LWP; it still has to *win the CPU* before the
         // sender is released — the crux of the paper's observation.
         if n.mailbox_active.insert(dst) {
@@ -590,7 +630,9 @@ impl Machine {
         proc.pending_resume = Some(resume);
         let node = proc.node;
         self.set_state(pid, ProcState::Ready, now);
-        self.nodes[node.index() as usize].ready.push_back(LwpId::User(pid));
+        self.nodes[node.index() as usize]
+            .ready
+            .push_back(LwpId::User(pid));
         self.try_dispatch(node);
     }
 
@@ -622,13 +664,24 @@ impl Machine {
             match action {
                 Action::Compute(d) => {
                     self.intrusion.record_application(d);
-                    self.sim.schedule_in(d, Ev::ResumeRunning { pid, resume: Resume::ComputeDone });
+                    self.sim.schedule_in(
+                        d,
+                        Ev::ResumeRunning {
+                            pid,
+                            resume: Resume::ComputeDone,
+                        },
+                    );
                     return;
                 }
                 Action::Emit { token, param } => {
                     if let Some(cost) = self.emit(pid, node, token, param) {
-                        self.sim
-                            .schedule_in(cost, Ev::ResumeRunning { pid, resume: Resume::EmitDone });
+                        self.sim.schedule_in(
+                            cost,
+                            Ev::ResumeRunning {
+                                pid,
+                                resume: Resume::EmitDone,
+                            },
+                        );
                         return;
                     }
                     resume = Resume::EmitDone;
@@ -637,7 +690,14 @@ impl Machine {
                     self.block(pid, BlockReason::SendSync);
                     let route = self.topo.route(node, self.procs[to.raw() as usize].node);
                     let arrival = self.interconnect.transfer(now, node, route, msg.bytes());
-                    self.sim.schedule(arrival, Ev::SyncArrive { dst: to, src: pid, msg });
+                    self.sim.schedule(
+                        arrival,
+                        Ev::SyncArrive {
+                            dst: to,
+                            src: pid,
+                            msg,
+                        },
+                    );
                     return;
                 }
                 Action::Recv => {
@@ -650,7 +710,10 @@ impl Machine {
                             self.stats.sync_messages += 1;
                             self.sim.schedule(
                                 now + self.cfg.ack_latency,
-                                Ev::Unblock { pid: src, resume: Resume::Sent },
+                                Ev::Unblock {
+                                    pid: src,
+                                    resume: Resume::Sent,
+                                },
                             );
                             resume = Resume::Msg(msg);
                         }
@@ -664,18 +727,23 @@ impl Machine {
                     self.block(pid, BlockReason::MailboxSend);
                     let route = self.topo.route(node, self.procs[to.raw() as usize].node);
                     let arrival = self.interconnect.transfer(now, node, route, msg.bytes());
-                    self.sim.schedule(arrival, Ev::MailboxArrive { dst: to, src: pid, msg });
+                    self.sim.schedule(
+                        arrival,
+                        Ev::MailboxArrive {
+                            dst: to,
+                            src: pid,
+                            msg,
+                        },
+                    );
                     return;
                 }
-                Action::MailboxRecv => {
-                    match self.procs[pid.raw() as usize].mbox.pop_front() {
-                        Some(msg) => resume = Resume::MailboxMsg(msg),
-                        None => {
-                            self.block(pid, BlockReason::MailboxRecv);
-                            return;
-                        }
+                Action::MailboxRecv => match self.procs[pid.raw() as usize].mbox.pop_front() {
+                    Some(msg) => resume = Resume::MailboxMsg(msg),
+                    None => {
+                        self.block(pid, BlockReason::MailboxRecv);
+                        return;
                     }
-                }
+                },
                 Action::Yield => {
                     let now = self.sim.now();
                     self.set_state(pid, ProcState::Ready, now);
@@ -688,7 +756,13 @@ impl Machine {
                 }
                 Action::Sleep(d) => {
                     self.block(pid, BlockReason::Sleep);
-                    self.sim.schedule_in(d, Ev::Unblock { pid, resume: Resume::Slept });
+                    self.sim.schedule_in(
+                        d,
+                        Ev::Unblock {
+                            pid,
+                            resume: Resume::Slept,
+                        },
+                    );
                     return;
                 }
                 Action::Spawn { node: target, body } => {
@@ -703,15 +777,22 @@ impl Machine {
                     };
                     let child = self.create_proc(target, team, body, now);
                     if target == node {
-                        self.nodes[target.index() as usize].ready.push_back(LwpId::User(child));
+                        self.nodes[target.index() as usize]
+                            .ready
+                            .push_back(LwpId::User(child));
                     } else {
-                        self.sim
-                            .schedule_in(self.cfg.remote_spawn_latency, Ev::SpawnReady { pid: child });
+                        self.sim.schedule_in(
+                            self.cfg.remote_spawn_latency,
+                            Ev::SpawnReady { pid: child },
+                        );
                     }
                     self.intrusion.record_application(self.cfg.spawn_cost);
                     self.sim.schedule_in(
                         self.cfg.spawn_cost,
-                        Ev::ResumeRunning { pid, resume: Resume::Spawned(child) },
+                        Ev::ResumeRunning {
+                            pid,
+                            resume: Resume::Spawned(child),
+                        },
                     );
                     return;
                 }
@@ -728,8 +809,13 @@ impl Machine {
                     );
                     let write = self.cfg.disk_latency
                         + SimDuration::for_transfer(bytes as u64, self.cfg.disk_bandwidth);
-                    self.sim
-                        .schedule(arrival + write, Ev::Unblock { pid, resume: Resume::DiskDone });
+                    self.sim.schedule(
+                        arrival + write,
+                        Ev::Unblock {
+                            pid,
+                            resume: Resume::DiskDone,
+                        },
+                    );
                     return;
                 }
                 Action::WaitCond(cond) => {
@@ -799,7 +885,10 @@ impl Machine {
         // Serialize per node: two kernel events fired at the same instant
         // (e.g. a block immediately followed by the next dispatch) must
         // not interleave their pattern pairs on the display.
-        let start = self.sim.now().max(self.kernel_display_free[node.index() as usize]);
+        let start = self
+            .sim
+            .now()
+            .max(self.kernel_display_free[node.index() as usize]);
         let seq = encode(MonEvent::new(token, param));
         let spacing =
             (self.cfg.kernel_event_cost / seq.len() as u64).max(SimDuration::from_nanos(100));
@@ -816,7 +905,13 @@ impl Machine {
     /// Performs the configured monitoring technique's output for one
     /// instrumentation call. Returns the CPU cost, or `None` when the
     /// call is free (monitoring off).
-    fn emit(&mut self, _pid: ProcessId, node: NodeId, token: u16, param: u32) -> Option<SimDuration> {
+    fn emit(
+        &mut self,
+        _pid: ProcessId,
+        node: NodeId,
+        token: u16,
+        param: u32,
+    ) -> Option<SimDuration> {
         self.stats.events_emitted += 1;
         let now = self.sim.now();
         let event = MonEvent::new(token, param);

@@ -36,7 +36,11 @@ impl Message {
     /// Creates a message from `src` of `bytes` wire size carrying
     /// `payload`.
     pub fn new<T: Any>(src: ProcessId, bytes: u32, payload: T) -> Self {
-        Message { src, bytes, payload: Rc::new(payload) }
+        Message {
+            src,
+            bytes,
+            payload: Rc::new(payload),
+        }
     }
 
     /// The sending process.

@@ -93,7 +93,13 @@ mod tests {
     fn reason_codes_are_distinct() {
         use crate::ground_truth::BlockReason as R;
         let codes: std::collections::HashSet<u8> = [
-            R::SendSync, R::MailboxSend, R::Recv, R::MailboxRecv, R::Sleep, R::Disk, R::Cond,
+            R::SendSync,
+            R::MailboxSend,
+            R::Recv,
+            R::MailboxRecv,
+            R::Sleep,
+            R::Disk,
+            R::Cond,
         ]
         .into_iter()
         .map(reason_code)

@@ -199,7 +199,11 @@ mod tests {
 
     #[test]
     fn ctx_is_copy() {
-        let ctx = ProcCtx { pid: ProcessId::new(1), node: NodeId::new(0), now: SimTime::ZERO };
+        let ctx = ProcCtx {
+            pid: ProcessId::new(1),
+            node: NodeId::new(0),
+            now: SimTime::ZERO,
+        };
         let copy = ctx;
         assert_eq!(copy.pid, ctx.pid);
     }

@@ -68,8 +68,12 @@ impl SignalLog {
 
     /// Display writes of one node, in time order.
     pub fn display_writes_for(&self, node: NodeId) -> Vec<DisplayWrite> {
-        let mut v: Vec<DisplayWrite> =
-            self.display.iter().copied().filter(|w| w.node == node).collect();
+        let mut v: Vec<DisplayWrite> = self
+            .display
+            .iter()
+            .copied()
+            .filter(|w| w.node == node)
+            .collect();
         v.sort_by_key(|w| w.time);
         v
     }

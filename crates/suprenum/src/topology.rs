@@ -61,7 +61,8 @@ impl Topology {
     ///
     /// Panics if the configuration does not validate.
     pub fn new(cfg: &MachineConfig) -> Self {
-        cfg.validate().expect("topology requires a valid configuration");
+        cfg.validate()
+            .expect("topology requires a valid configuration");
         Topology {
             clusters: cfg.clusters,
             torus_cols: cfg.torus_cols,
@@ -85,14 +86,23 @@ impl Topology {
     ///
     /// Panics if `node` is out of range.
     pub fn cluster_of(&self, node: NodeId) -> ClusterId {
-        assert!(node.index() < self.total_nodes(), "node {node} out of range");
+        assert!(
+            node.index() < self.total_nodes(),
+            "node {node} out of range"
+        );
         ClusterId::new((node.index() / self.nodes_per_cluster as u16) as u8)
     }
 
     /// Torus coordinates (row, col) of a cluster.
     pub fn torus_coords(&self, cluster: ClusterId) -> (u8, u8) {
-        assert!(cluster.index() < self.clusters, "cluster {cluster} out of range");
-        (cluster.index() / self.torus_cols, cluster.index() % self.torus_cols)
+        assert!(
+            cluster.index() < self.clusters,
+            "cluster {cluster} out of range"
+        );
+        (
+            cluster.index() / self.torus_cols,
+            cluster.index() % self.torus_cols,
+        )
     }
 
     /// Minimal number of ring hops between two clusters on the torus
@@ -161,10 +171,16 @@ mod tests {
         assert_eq!(t.route(NodeId::new(3), NodeId::new(3)), Route::Local);
         assert_eq!(
             t.route(NodeId::new(3), NodeId::new(4)),
-            Route::IntraCluster { cluster: ClusterId::new(0) }
+            Route::IntraCluster {
+                cluster: ClusterId::new(0)
+            }
         );
         match t.route(NodeId::new(0), NodeId::new(255)) {
-            Route::InterCluster { src_cluster, dst_cluster, ring_hops } => {
+            Route::InterCluster {
+                src_cluster,
+                dst_cluster,
+                ring_hops,
+            } => {
                 assert_eq!(src_cluster.index(), 0);
                 assert_eq!(dst_cluster.index(), 15);
                 // C0 is at (0,0), C15 at (3,3): wrap distance 1+1 = 2.

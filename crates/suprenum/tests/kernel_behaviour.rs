@@ -20,7 +20,11 @@ where
     F: FnMut(&ProcCtx, Resume, u32) -> Action,
 {
     fn new(label: &str, f: F) -> Box<Self> {
-        Box::new(ClosureProc { step: 0, label: label.to_owned(), f })
+        Box::new(ClosureProc {
+            step: 0,
+            label: label.to_owned(),
+            f,
+        })
     }
 }
 
@@ -67,7 +71,10 @@ fn mailbox_send_is_de_facto_synchronous() {
             peer = Some(*pid);
         }
         match step {
-            0 => Action::Spawn { node: NodeId::new(1), body: receiver_body.take().unwrap() },
+            0 => Action::Spawn {
+                node: NodeId::new(1),
+                body: receiver_body.take().unwrap(),
+            },
             // Wait until the receiver is definitely inside its 50 ms
             // compute, then send into its mailbox.
             1 => Action::Sleep(SimDuration::from_millis(5)),
@@ -127,7 +134,10 @@ fn mailbox_send_completes_quickly_when_receiver_waits() {
             peer = Some(*pid);
         }
         match step {
-            0 => Action::Spawn { node: NodeId::new(1), body: receiver_body.take().unwrap() },
+            0 => Action::Spawn {
+                node: NodeId::new(1),
+                body: receiver_body.take().unwrap(),
+            },
             // Give the receiver time to reach its MailboxRecv.
             1 => Action::Sleep(SimDuration::from_millis(20)),
             2 => Action::MailboxSend {
@@ -171,7 +181,9 @@ fn sync_send_rendezvous() {
         0 => Action::Recv,
         1 => {
             // Check the payload made it through.
-            let Resume::Msg(msg) = why else { panic!("expected message, got {why:?}") };
+            let Resume::Msg(msg) = why else {
+                panic!("expected message, got {why:?}")
+            };
             assert_eq!(msg.payload::<&str>(), Some(&"hello"));
             Action::Exit
         }
@@ -185,8 +197,14 @@ fn sync_send_rendezvous() {
             peer = Some(*pid);
         }
         match step {
-            0 => Action::Spawn { node: NodeId::new(1), body: receiver_body.take().unwrap() },
-            1 => Action::SendSync { to: peer.unwrap(), msg: Message::new(ctx.pid, 32, "hello") },
+            0 => Action::Spawn {
+                node: NodeId::new(1),
+                body: receiver_body.take().unwrap(),
+            },
+            1 => Action::SendSync {
+                to: peer.unwrap(),
+                msg: Message::new(ctx.pid, 32, "hello"),
+            },
             _ => Action::Exit,
         }
     });
@@ -213,7 +231,10 @@ fn non_preemption_and_yield() {
     let mut b_body = Some(b_body);
 
     let a_body = ClosureProc::new("a", move |_ctx, _why, step| match step {
-        0 => Action::Spawn { node: NodeId::new(0), body: b_body.take().unwrap() },
+        0 => Action::Spawn {
+            node: NodeId::new(0),
+            body: b_body.take().unwrap(),
+        },
         1 => Action::Compute(SimDuration::from_millis(30)),
         2 => Action::Yield,
         3 => Action::Compute(SimDuration::from_millis(10)),
@@ -258,8 +279,14 @@ fn runs_are_deterministic() {
         });
         let mut child = Some(child);
         let root = ClosureProc::new("root", move |_ctx, _why, step| match step {
-            0 => Action::Spawn { node: NodeId::new(1), body: child.take().unwrap() },
-            1 => Action::Emit { token: 1, param: 42 },
+            0 => Action::Spawn {
+                node: NodeId::new(1),
+                body: child.take().unwrap(),
+            },
+            1 => Action::Emit {
+                token: 1,
+                param: 42,
+            },
             2 => Action::Compute(SimDuration::from_millis(2)),
             _ => Action::Exit,
         });
@@ -288,7 +315,10 @@ fn deadlock_is_reported() {
     let b_body = ClosureProc::new("b", |_ctx, _why, _step| Action::Recv);
     let mut b_body = Some(b_body);
     let a_body = ClosureProc::new("a", move |_ctx, _why, step| match step {
-        0 => Action::Spawn { node: NodeId::new(1), body: b_body.take().unwrap() },
+        0 => Action::Spawn {
+            node: NodeId::new(1),
+            body: b_body.take().unwrap(),
+        },
         _ => Action::Recv,
     });
     m.add_process(NodeId::new(0), a_body);
@@ -303,9 +333,15 @@ fn deadlock_is_reported() {
 fn hybrid_emit_appears_on_display() {
     let mut m = machine(1);
     let body = ClosureProc::new("p", |_ctx, _why, step| match step {
-        0 => Action::Emit { token: 0xBEEF, param: 0x1234_5678 },
+        0 => Action::Emit {
+            token: 0xBEEF,
+            param: 0x1234_5678,
+        },
         1 => Action::Compute(SimDuration::from_millis(1)),
-        2 => Action::Emit { token: 0x0001, param: 9 },
+        2 => Action::Emit {
+            token: 0x0001,
+            param: 9,
+        },
         _ => Action::Exit,
     });
     m.add_process(NodeId::new(0), body);
@@ -317,7 +353,10 @@ fn hybrid_emit_appears_on_display() {
     assert!(writes.windows(2).all(|w| w[0].time < w[1].time));
 
     let mut decoder = Decoder::new();
-    let events: Vec<_> = writes.iter().filter_map(|w| decoder.feed(w.pattern)).collect();
+    let events: Vec<_> = writes
+        .iter()
+        .filter_map(|w| decoder.feed(w.pattern))
+        .collect();
     assert_eq!(events.len(), 2);
     assert_eq!(events[0].token.value(), 0xBEEF);
     assert_eq!(events[0].param.value(), 0x1234_5678);
@@ -332,12 +371,20 @@ fn terminal_monitoring_is_slow() {
     cfg.monitoring = MonitoringMode::Terminal;
     let mut m = Machine::new(cfg, 1).unwrap();
     let body = ClosureProc::new("p", |_ctx, _why, step| match step {
-        0 => Action::Emit { token: 0xAA55, param: 0xDEAD_BEEF },
+        0 => Action::Emit {
+            token: 0xAA55,
+            param: 0xDEAD_BEEF,
+        },
         _ => Action::Exit,
     });
     m.add_process(NodeId::new(0), body);
     assert_eq!(m.run(SimTime::from_secs(1)).reason, RunEnd::Completed);
-    let bytes: Vec<u8> = m.signals().terminal_writes().iter().map(|w| w.byte).collect();
+    let bytes: Vec<u8> = m
+        .signals()
+        .terminal_writes()
+        .iter()
+        .map(|w| w.byte)
+        .collect();
     assert_eq!(bytes, vec![0xAA, 0x55, 0xDE, 0xAD, 0xBE, 0xEF]);
     assert!(m.intrusion().mean_per_event() > SimDuration::from_micros(2_400));
 }
@@ -374,7 +421,10 @@ fn hybrid_intrusion_is_two_orders_below_activity() {
         // 20 activities of 15 ms, each bracketed by one event.
         if step < 40 {
             if step % 2 == 0 {
-                Action::Emit { token: step as u16, param: 0 }
+                Action::Emit {
+                    token: step as u16,
+                    param: 0,
+                }
             } else {
                 Action::Compute(SimDuration::from_millis(15))
             }
@@ -411,7 +461,10 @@ fn condition_signalling_wakes_waiters() {
     let mut waiter_body = Some(waiter_body);
 
     let signaller = ClosureProc::new("signaller", move |_ctx, _why, step| match step {
-        0 => Action::Spawn { node: NodeId::new(0), body: waiter_body.take().unwrap() },
+        0 => Action::Spawn {
+            node: NodeId::new(0),
+            body: waiter_body.take().unwrap(),
+        },
         // Relinquish so the waiter runs first and blocks on the
         // condition — signals have no memory (exactly like the shared
         // variable + relinquish idiom the paper's agents use).
@@ -463,7 +516,10 @@ fn disk_write_releases_cpu() {
     let mut bg = Some(bg);
 
     let writer = ClosureProc::new("writer", move |_ctx, _why, step| match step {
-        0 => Action::Spawn { node: NodeId::new(0), body: bg.take().unwrap() },
+        0 => Action::Spawn {
+            node: NodeId::new(0),
+            body: bg.take().unwrap(),
+        },
         1 => Action::DiskWrite { bytes: 100_000 },
         2 => Action::Sleep(SimDuration::from_millis(50)),
         _ => Action::Exit,
@@ -475,13 +531,7 @@ fn disk_write_releases_cpu() {
     // Background process ran to completion while the writer was blocked
     // on disk.
     let bg_pid = gt.iter().find(|(_, h)| h.label == "bg").unwrap().0;
-    let bg_done = gt
-        .history(bg_pid)
-        .unwrap()
-        .transitions
-        .last()
-        .unwrap()
-        .time;
+    let bg_done = gt.history(bg_pid).unwrap().transitions.last().unwrap().time;
     let writer_hist = gt.history(w).unwrap();
     let disk_block = writer_hist
         .transitions
@@ -495,7 +545,10 @@ fn disk_write_releases_cpu() {
         .find(|t| t.time > disk_block && t.state == ProcState::Ready)
         .unwrap()
         .time;
-    assert!(bg_done < disk_done, "bg should finish during the disk write");
+    assert!(
+        bg_done < disk_done,
+        "bg should finish during the disk write"
+    );
     // 100 kB at 1 MB/s is 100 ms plus latency.
     assert!(disk_done - disk_block >= SimDuration::from_millis(100));
 }
@@ -511,20 +564,29 @@ fn kernel_instrumentation_emits_scheduler_events() {
 
     let worker = ClosureProc::new("worker", |_ctx, _why, step| match step {
         0 => Action::Compute(SimDuration::from_millis(5)),
-        1 => Action::Emit { token: 0x42, param: 7 },
+        1 => Action::Emit {
+            token: 0x42,
+            param: 7,
+        },
         2 => Action::Yield,
         3 => Action::Compute(SimDuration::from_millis(2)),
         _ => Action::Exit,
     });
     let mut worker = Some(worker);
     let root = ClosureProc::new("root", move |_ctx, _why, step| match step {
-        0 => Action::Spawn { node: NodeId::new(1), body: worker.take().unwrap() },
+        0 => Action::Spawn {
+            node: NodeId::new(1),
+            body: worker.take().unwrap(),
+        },
         1 => Action::Sleep(SimDuration::from_millis(50)),
         _ => Action::Exit,
     });
     m.add_process(NodeId::new(0), root);
     assert_eq!(m.run(SimTime::from_secs(5)).reason, RunEnd::Completed);
-    assert!(m.stats().kernel_events > 0, "kernel must emit scheduler events");
+    assert!(
+        m.stats().kernel_events > 0,
+        "kernel must emit scheduler events"
+    );
 
     // Decode each node's display stream: no protocol violations, and
     // both kernel and application events appear.
@@ -614,7 +676,10 @@ fn inter_team_switches_cost_more() {
         if same_team {
             // Root spawns the partner locally: same team.
             let root = ClosureProc::new("root", move |_ctx, _why, step| match step {
-                0 => Action::Spawn { node: NodeId::new(0), body: partner.take().unwrap() },
+                0 => Action::Spawn {
+                    node: NodeId::new(0),
+                    body: partner.take().unwrap(),
+                },
                 s if s <= 20 => Action::Yield,
                 _ => Action::Exit,
             });
@@ -639,7 +704,10 @@ fn inter_team_switches_cost_more() {
     let (same_end, same_inter) = run_pair(true);
     let (cross_end, cross_inter) = run_pair(false);
     assert_eq!(same_inter, 0, "one team must never pay inter-team switches");
-    assert!(cross_inter > 10, "alternating teams must pay inter-team switches");
+    assert!(
+        cross_inter > 10,
+        "alternating teams must pay inter-team switches"
+    );
     assert!(
         cross_end > same_end,
         "inter-team switching should make the run slower ({cross_end} vs {same_end})"

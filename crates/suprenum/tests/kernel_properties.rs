@@ -64,7 +64,10 @@ impl Process for RingMember {
                     self.mailbox,
                     self.peers.clone(),
                 );
-                return Action::Spawn { node: NodeId::new(next % 4), body };
+                return Action::Spawn {
+                    node: NodeId::new(next % 4),
+                    body,
+                };
             }
         }
         if let Resume::Spawned(pid) = &why {
@@ -93,7 +96,11 @@ impl Process for RingMember {
                 }
                 2 => {
                     self.phase = 3;
-                    return if self.mailbox { Action::MailboxRecv } else { Action::Recv };
+                    return if self.mailbox {
+                        Action::MailboxRecv
+                    } else {
+                        Action::Recv
+                    };
                 }
                 _ => {
                     self.round += 1;
@@ -200,10 +207,8 @@ fn sync_ring_deadlocks_where_mailbox_ring_completes() {
 
     let m = run_ring(3, 2, 200, true, 3);
     assert!(
-        m.ground_truth()
-            .iter()
-            .any(|(_, h)| h.label == "ring-0"
-                && h.transitions.last().unwrap().state == suprenum::ProcState::Exited),
+        m.ground_truth().iter().any(|(_, h)| h.label == "ring-0"
+            && h.transitions.last().unwrap().state == suprenum::ProcState::Exited),
         "mailbox ring must complete"
     );
 }

@@ -115,7 +115,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "nonzero")]
     fn zero_drain_rate_panics() {
-        Zm4Config { disk_drain_rate: 0, ..Zm4Config::default() }.drain_service_time();
+        Zm4Config {
+            disk_drain_rate: 0,
+            ..Zm4Config::default()
+        }
+        .drain_service_time();
     }
 
     #[test]
@@ -129,7 +133,9 @@ mod tests {
         let horizon = cfg.overflow_horizon(42_768.0).unwrap();
         assert_eq!(horizon, SimDuration::from_secs(1));
         // The paper's burst figure drowns the FIFO in ~3.3 ms.
-        let burst = cfg.overflow_horizon(Zm4Config::BURST_RATE_HZ as f64).unwrap();
+        let burst = cfg
+            .overflow_horizon(Zm4Config::BURST_RATE_HZ as f64)
+            .unwrap();
         assert!(burst < SimDuration::from_millis(4));
     }
 }

@@ -69,7 +69,11 @@ pub struct EventDetector {
 impl EventDetector {
     /// Creates a detector for `channel` with the given request latency.
     pub fn new(channel: usize, latency: SimDuration) -> Self {
-        EventDetector { channel, latency, decoder: Decoder::new() }
+        EventDetector {
+            channel,
+            latency,
+            decoder: Decoder::new(),
+        }
     }
 
     /// Feeds one probed pattern; returns a detected event if this pattern
@@ -80,11 +84,13 @@ impl EventDetector {
     /// Panics (debug builds) if the sample belongs to another channel.
     pub fn feed(&mut self, sample: ProbeSample) -> Option<DetectedEvent> {
         debug_assert_eq!(sample.channel, self.channel, "sample fed to wrong detector");
-        self.decoder.feed(sample.pattern).map(|event| DetectedEvent {
-            time: sample.time + self.latency,
-            channel: self.channel,
-            event,
-        })
+        self.decoder
+            .feed(sample.pattern)
+            .map(|event| DetectedEvent {
+                time: sample.time + self.latency,
+                channel: self.channel,
+                event,
+            })
     }
 
     /// Processes a whole time-ordered sample stream.
@@ -108,12 +114,21 @@ mod tests {
     use super::*;
     use hybridmon::encode::encode;
 
-    fn stream(channel: usize, events: &[MonEvent], start_us: u64, spacing_ns: u64) -> Vec<ProbeSample> {
+    fn stream(
+        channel: usize,
+        events: &[MonEvent],
+        start_us: u64,
+        spacing_ns: u64,
+    ) -> Vec<ProbeSample> {
         let mut t = start_us * 1_000;
         let mut out = Vec::new();
         for &ev in events {
             for p in encode(ev) {
-                out.push(ProbeSample { time: SimTime::from_nanos(t), channel, pattern: p });
+                out.push(ProbeSample {
+                    time: SimTime::from_nanos(t),
+                    channel,
+                    pattern: p,
+                });
                 t += spacing_ns;
             }
         }
@@ -122,7 +137,11 @@ mod tests {
 
     #[test]
     fn detects_sequence_in_order() {
-        let events = [MonEvent::new(1, 10), MonEvent::new(2, 20), MonEvent::new(3, 30)];
+        let events = [
+            MonEvent::new(1, 10),
+            MonEvent::new(2, 20),
+            MonEvent::new(3, 30),
+        ];
         let mut det = EventDetector::new(0, SimDuration::from_nanos(500));
         let detected = det.detect(&stream(0, &events, 5, 3_400));
         assert_eq!(detected.len(), 3);

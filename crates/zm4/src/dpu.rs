@@ -116,7 +116,10 @@ mod tests {
 
     #[test]
     fn free_running_dpus_have_distinct_skews() {
-        let cfg = Zm4Config { mtg_synchronized: false, ..Zm4Config::default() };
+        let cfg = Zm4Config {
+            mtg_synchronized: false,
+            ..Zm4Config::default()
+        };
         let rng = DetRng::new(7);
         let a = Dpu::new(0, &cfg, &rng);
         let b = Dpu::new(1, &cfg, &rng);

@@ -126,13 +126,19 @@ impl Zm4 {
         let n_rec = self.recorders();
 
         // Build one DPU pipeline per recorder, serving its channels.
-        let mut dpus: Vec<Dpu> = (0..n_rec).map(|i| Dpu::new(i, &self.config, &rng)).collect();
+        let mut dpus: Vec<Dpu> = (0..n_rec)
+            .map(|i| Dpu::new(i, &self.config, &rng))
+            .collect();
 
         // Sort samples per channel, preserving global time order within
         // each channel.
         let mut per_channel: Vec<Vec<ProbeSample>> = vec![Vec::new(); self.channels];
         for s in samples {
-            assert!(s.channel < self.channels, "sample for unwired channel {}", s.channel);
+            assert!(
+                s.channel < self.channels,
+                "sample for unwired channel {}",
+                s.channel
+            );
             per_channel[s.channel].push(*s);
         }
         for ch in &mut per_channel {
@@ -164,6 +170,10 @@ impl Zm4 {
         }
 
         let trace = merge_traces(&local_traces);
-        Measurement { trace, recorder_stats, detector_stats }
+        Measurement {
+            trace,
+            recorder_stats,
+            detector_stats,
+        }
     }
 }

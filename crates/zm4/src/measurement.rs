@@ -48,7 +48,10 @@ impl Measurement {
     /// merged order — zero when the MTG provides globally valid
     /// timestamps, positive with free-running clocks.
     pub fn causality_violations(&self) -> u64 {
-        self.trace.windows(2).filter(|w| w[1].true_time < w[0].true_time).count() as u64
+        self.trace
+            .windows(2)
+            .filter(|w| w[1].true_time < w[0].true_time)
+            .count() as u64
     }
 
     /// Worst absolute timestamp error versus true time, in nanoseconds.
@@ -92,8 +95,16 @@ mod tests {
         let m = Measurement {
             trace: vec![],
             recorder_stats: vec![
-                RecorderStats { recorded: 10, lost: 2, max_fifo_occupancy: 5 },
-                RecorderStats { recorded: 7, lost: 0, max_fifo_occupancy: 1 },
+                RecorderStats {
+                    recorded: 10,
+                    lost: 2,
+                    max_fifo_occupancy: 5,
+                },
+                RecorderStats {
+                    recorded: 7,
+                    lost: 0,
+                    max_fifo_occupancy: 1,
+                },
             ],
             detector_stats: vec![],
         };

@@ -166,7 +166,11 @@ mod tests {
     }
 
     fn ev(ns: u64, token: u16) -> DetectedEvent {
-        DetectedEvent { time: SimTime::from_nanos(ns), channel: 0, event: MonEvent::new(token, 0) }
+        DetectedEvent {
+            time: SimTime::from_nanos(ns),
+            channel: 0,
+            event: MonEvent::new(token, 0),
+        }
     }
 
     #[test]
@@ -179,7 +183,10 @@ mod tests {
         let (stored, stats) = rec.finish();
         assert_eq!(stored.len(), 1000);
         assert_eq!(stats.lost, 0);
-        assert!(stats.max_fifo_occupancy <= 1, "steady stream should not queue");
+        assert!(
+            stats.max_fifo_occupancy <= 1,
+            "steady stream should not queue"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub struct SerialProbe {
 impl SerialProbe {
     /// Creates a probe for `channel`.
     pub fn new(channel: usize) -> Self {
-        SerialProbe { channel, buffer: [0; 6], filled: 0 }
+        SerialProbe {
+            channel,
+            buffer: [0; 6],
+            filled: 0,
+        }
     }
 
     /// Consumes one serial byte; returns a detected event when the sixth
@@ -68,14 +72,20 @@ impl SerialProbe {
     ///
     /// Panics (debug builds) if the sample belongs to another channel.
     pub fn feed(&mut self, sample: SerialSample) -> Option<DetectedEvent> {
-        debug_assert_eq!(sample.channel, self.channel, "sample fed to wrong serial probe");
+        debug_assert_eq!(
+            sample.channel, self.channel,
+            "sample fed to wrong serial probe"
+        );
         self.buffer[self.filled] = sample.byte;
         self.filled += 1;
         if self.filled < 6 {
             return None;
         }
         self.filled = 0;
-        let raw = self.buffer.iter().fold(0u64, |acc, &b| (acc << 8) | b as u64);
+        let raw = self
+            .buffer
+            .iter()
+            .fold(0u64, |acc, &b| (acc << 8) | b as u64);
         Some(DetectedEvent {
             time: sample.time,
             channel: self.channel,
@@ -93,7 +103,11 @@ impl SerialProbe {
 pub fn detect_serial(samples: &[SerialSample], channels: usize) -> Vec<DetectedEvent> {
     let mut per_channel: Vec<Vec<SerialSample>> = vec![Vec::new(); channels];
     for &s in samples {
-        assert!(s.channel < channels, "sample for unwired channel {}", s.channel);
+        assert!(
+            s.channel < channels,
+            "sample for unwired channel {}",
+            s.channel
+        );
         per_channel[s.channel].push(s);
     }
     let mut out = Vec::new();

@@ -33,9 +33,16 @@ fn multi_node_trace_is_globally_ordered() {
     // Three nodes emitting interleaved events.
     let mut samples = Vec::new();
     for ch in 0..3usize {
-        let events: Vec<MonEvent> =
-            (0..10).map(|i| MonEvent::new((ch as u16) << 8 | i, i as u32)).collect();
-        samples.extend(pattern_stream(ch, &events, 5_000 + ch as u64 * 37_000, 500_000, 3_400));
+        let events: Vec<MonEvent> = (0..10)
+            .map(|i| MonEvent::new((ch as u16) << 8 | i, i as u32))
+            .collect();
+        samples.extend(pattern_stream(
+            ch,
+            &events,
+            5_000 + ch as u64 * 37_000,
+            500_000,
+            3_400,
+        ));
     }
     let zm4 = Zm4::new(Zm4Config::default(), 3, 42);
     let m = zm4.observe(&samples);
@@ -74,9 +81,19 @@ fn unsynchronized_clocks_break_causality() {
     let mut samples = Vec::new();
     for ch in 0..2usize {
         let events: Vec<MonEvent> = (0..50).map(|i| MonEvent::new(i, ch as u32)).collect();
-        samples.extend(pattern_stream(ch, &events, 10_000 + ch as u64 * 200_000, 400_000, 3_400));
+        samples.extend(pattern_stream(
+            ch,
+            &events,
+            10_000 + ch as u64 * 200_000,
+            400_000,
+            3_400,
+        ));
     }
-    let cfg = Zm4Config { streams_per_recorder: 1, mtg_synchronized: false, ..Zm4Config::default() };
+    let cfg = Zm4Config {
+        streams_per_recorder: 1,
+        mtg_synchronized: false,
+        ..Zm4Config::default()
+    };
     let zm4 = Zm4::new(cfg.clone(), 2, 99);
     let m = zm4.observe(&samples);
     assert_eq!(m.total_recorded(), 100);
@@ -84,10 +101,20 @@ fn unsynchronized_clocks_break_causality() {
         m.causality_violations() > 0,
         "free-running clocks should visibly mis-order the merge"
     );
-    assert!(m.max_timestamp_error_ns() > 100_000, "skew should exceed 100 us");
+    assert!(
+        m.max_timestamp_error_ns() > 100_000,
+        "skew should exceed 100 us"
+    );
 
     // Control: the same measurement with the MTG has no violations.
-    let sync = Zm4::new(Zm4Config { streams_per_recorder: 1, ..Zm4Config::default() }, 2, 99);
+    let sync = Zm4::new(
+        Zm4Config {
+            streams_per_recorder: 1,
+            ..Zm4Config::default()
+        },
+        2,
+        99,
+    );
     let ms = sync.observe(&samples);
     assert_eq!(ms.causality_violations(), 0);
 }
@@ -100,7 +127,10 @@ fn event_burst_loss_matches_fifo_model() {
     let n_events = 5_000u16;
     let events: Vec<MonEvent> = (0..n_events).map(|i| MonEvent::new(i, 0)).collect();
     let samples = pattern_stream(0, &events, 1_000, 3_200, 100);
-    let cfg = Zm4Config { fifo_capacity: 1_000, ..Zm4Config::default() };
+    let cfg = Zm4Config {
+        fifo_capacity: 1_000,
+        ..Zm4Config::default()
+    };
     let zm4 = Zm4::new(cfg, 1, 5);
     let m = zm4.observe(&samples);
     assert_eq!(m.total_recorded() + m.total_lost(), n_events as u64);
@@ -115,7 +145,10 @@ fn event_burst_loss_matches_fifo_model() {
 fn observation_is_deterministic() {
     let events: Vec<MonEvent> = (0..20).map(|i| MonEvent::new(i, i as u32 * 3)).collect();
     let samples = pattern_stream(0, &events, 0, 100_000, 3_400);
-    let cfg = Zm4Config { mtg_synchronized: false, ..Zm4Config::default() };
+    let cfg = Zm4Config {
+        mtg_synchronized: false,
+        ..Zm4Config::default()
+    };
     let a = Zm4::new(cfg.clone(), 1, 77).observe(&samples);
     let b = Zm4::new(cfg, 1, 77).observe(&samples);
     assert_eq!(a.trace, b.trace);
@@ -127,7 +160,10 @@ fn detector_latency_shifts_request_time() {
     let ev = MonEvent::new(1, 1);
     let samples = pattern_stream(0, &[ev], 0, 0, 1_000);
     let last_pattern_ns = 31_000;
-    let cfg = Zm4Config { detector_latency: SimDuration::from_nanos(700), ..Zm4Config::default() };
+    let cfg = Zm4Config {
+        detector_latency: SimDuration::from_nanos(700),
+        ..Zm4Config::default()
+    };
     let m = Zm4::new(cfg, 1, 1).observe(&samples);
     assert_eq!(m.trace.len(), 1);
     // 31_000 + 700 = 31_700 quantized down to 31_700 - (31_700 % 100).

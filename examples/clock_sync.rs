@@ -16,7 +16,11 @@ fn main() {
     for row in [&sync, &free] {
         println!(
             "{:<28} {:>8} {:>16} {:>18} {:>11} us",
-            if row.mtg_synchronized { "MTG-synchronized (100ns)" } else { "free-running (skewed)" },
+            if row.mtg_synchronized {
+                "MTG-synchronized (100ns)"
+            } else {
+                "free-running (skewed)"
+            },
             row.events,
             row.merge_violations,
             row.causality_violations,

@@ -11,7 +11,12 @@ use suprenum_monitor::apps::jacobi::{run_jacobi, worker_activity_model, JacobiCo
 use suprenum_monitor::simple::Gantt;
 
 fn main() {
-    let cfg = JacobiConfig { workers: 6, cells_per_worker: 96, iterations: 24, ..JacobiConfig::default() };
+    let cfg = JacobiConfig {
+        workers: 6,
+        cells_per_worker: 96,
+        iterations: 24,
+        ..JacobiConfig::default()
+    };
     let workers = cfg.workers;
     println!("running {workers}-worker Jacobi relaxation on the simulated SUPRENUM...");
     let r = run_jacobi(cfg, 1992);
@@ -26,7 +31,11 @@ fn main() {
     let model = worker_activity_model();
     let tracks: Vec<_> = (1..=workers as usize)
         .map(|w| {
-            model.derive_track(format!("Worker {w}"), r.trace.channel(w).events().iter(), to)
+            model.derive_track(
+                format!("Worker {w}"),
+                r.trace.channel(w).events().iter(),
+                to,
+            )
         })
         .collect();
     let gantt = Gantt::new(tracks, from, to);

@@ -10,7 +10,10 @@ fn main() {
     // Microbenchmark: a single mailbox send against a busy vs. an idle
     // receiver.
     let anatomy = mailbox_anatomy(7);
-    println!("mailbox send blocking time (receiver computing for {}):", anatomy.receiver_work);
+    println!(
+        "mailbox send blocking time (receiver computing for {}):",
+        anatomy.receiver_work
+    );
     println!("  receiver busy: {}", anatomy.busy_receiver_block);
     println!("  receiver idle: {}", anatomy.idle_receiver_block);
     println!(

@@ -10,13 +10,20 @@ fn main() {
     println!("running the ray tracer with kernel instrumentation enabled...\n");
     let r = os_instrumentation(1992);
 
-    println!("the kernel emitted {} scheduler events through the same display", r.kernel_events);
+    println!(
+        "the kernel emitted {} scheduler events through the same display",
+        r.kernel_events
+    );
     println!("interface as the application — dispatches, blocks, mailbox service, exits.\n");
 
     println!("per-node CPU busy fraction over the ray-tracing phase:");
     for (name, busy) in &r.node_cpu_busy {
         let bars = (busy * 40.0).round() as usize;
-        println!("  {name:<12} |{:<40}| {:5.1}%", "#".repeat(bars), busy * 100.0);
+        println!(
+            "  {name:<12} |{:<40}| {:5.1}%",
+            "#".repeat(bars),
+            busy * 100.0
+        );
     }
     println!(
         "\nnode 0 (the master) spends {:.1}% of the phase in mailbox service alone —",

@@ -34,11 +34,20 @@ impl Process for Producer {
         // phase cycle: emit produce -> compute -> emit send -> send.
         let action = match self.phase {
             0 if self.consumer.is_none() => {
-                return Action::Spawn { node: NodeId::new(1), body: Box::new(Consumer::new()) };
+                return Action::Spawn {
+                    node: NodeId::new(1),
+                    body: Box::new(Consumer::new()),
+                };
             }
-            0 => Action::Emit { token: PRODUCE_BEGIN, param: self.item },
+            0 => Action::Emit {
+                token: PRODUCE_BEGIN,
+                param: self.item,
+            },
             1 => Action::Compute(SimDuration::from_millis(8)),
-            2 => Action::Emit { token: SEND_BEGIN, param: self.item },
+            2 => Action::Emit {
+                token: SEND_BEGIN,
+                param: self.item,
+            },
             _ => {
                 let item = self.item;
                 self.item += 1;
@@ -76,12 +85,20 @@ impl Consumer {
 impl Process for Consumer {
     fn resume(&mut self, _ctx: &ProcCtx, why: Resume) -> Action {
         let action = match self.phase {
-            0 => Action::Emit { token: WAIT_BEGIN, param: 0 },
+            0 => Action::Emit {
+                token: WAIT_BEGIN,
+                param: 0,
+            },
             1 => Action::MailboxRecv,
             2 => {
-                let Resume::MailboxMsg(msg) = why else { unreachable!("expected item") };
+                let Resume::MailboxMsg(msg) = why else {
+                    unreachable!("expected item")
+                };
                 self.item = *msg.payload::<u32>().expect("u32 item");
-                Action::Emit { token: CONSUME_BEGIN, param: self.item }
+                Action::Emit {
+                    token: CONSUME_BEGIN,
+                    param: self.item,
+                }
             }
             _ => {
                 self.phase = 0;
@@ -100,7 +117,14 @@ impl Process for Consumer {
 fn main() {
     // 1. Build the machine and run the instrumented program.
     let mut machine = Machine::new(MachineConfig::single_cluster(2), 42).unwrap();
-    machine.add_process(NodeId::new(0), Box::new(Producer { consumer: None, item: 1, phase: 0 }));
+    machine.add_process(
+        NodeId::new(0),
+        Box::new(Producer {
+            consumer: None,
+            item: 1,
+            phase: 0,
+        }),
+    );
     let outcome = machine.run(SimTime::from_secs(10));
     println!("machine run: {:?} at {}", outcome.reason, outcome.end);
 
@@ -109,7 +133,11 @@ fn main() {
         .signals()
         .display_writes()
         .iter()
-        .map(|w| ProbeSample { time: w.time, channel: w.node.index() as usize, pattern: w.pattern })
+        .map(|w| ProbeSample {
+            time: w.time,
+            channel: w.node.index() as usize,
+            pattern: w.pattern,
+        })
         .collect();
     let measurement = Zm4::new(Zm4Config::default(), 2, 42).observe(&samples);
     println!(
@@ -135,9 +163,13 @@ fn main() {
     let (first, last) = trace.span();
 
     let mut producer_model = ActivityModel::new();
-    producer_model.state(PRODUCE_BEGIN, "Produce").state(SEND_BEGIN, "Send Item");
+    producer_model
+        .state(PRODUCE_BEGIN, "Produce")
+        .state(SEND_BEGIN, "Send Item");
     let mut consumer_model = ActivityModel::new();
-    consumer_model.state(CONSUME_BEGIN, "Consume").state(WAIT_BEGIN, "Wait");
+    consumer_model
+        .state(CONSUME_BEGIN, "Consume")
+        .state(WAIT_BEGIN, "Wait");
 
     let tracks = vec![
         producer_model.derive_track("Producer", trace.channel(0).events().iter(), last),

@@ -13,10 +13,10 @@ use suprenum_monitor::des::time::SimTime;
 use suprenum_monitor::raysim::analysis::{
     master_track, servant_track, servant_tracks, servant_utilization, work_phase,
 };
-use suprenum_monitor::simple::StateTimeline;
 use suprenum_monitor::raysim::config::{AppConfig, SceneKind, Version};
 use suprenum_monitor::raysim::run::{run, RunConfig};
 use suprenum_monitor::simple::Gantt;
+use suprenum_monitor::simple::StateTimeline;
 
 fn main() {
     let mut app = AppConfig::version(Version::V4);
@@ -44,7 +44,10 @@ fn main() {
 
     let mut cfg = RunConfig::new(app);
     cfg.horizon = SimTime::from_secs(36_000);
-    println!("rendering {0}x{0} on 16 simulated processors (version 4)...", 96);
+    println!(
+        "rendering {0}x{0} on 16 simulated processors (version 4)...",
+        96
+    );
     let result = run(cfg);
     assert!(result.completed(), "run failed: {:?}", result.outcome);
 
@@ -60,7 +63,10 @@ fn main() {
     println!("{report}");
 
     fs::write("render_parallel.ppm", result.image.to_ppm()).expect("write image");
-    println!("wrote render_parallel.ppm (mean luminance {:.3})", result.image.mean_luminance());
+    println!(
+        "wrote render_parallel.ppm (mean luminance {:.3})",
+        result.image.mean_luminance()
+    );
 
     // A Gantt chart of a steady-state window: master plus 3 servants.
     let (from, to) = work_phase(&result.trace).expect("work phase");

@@ -7,12 +7,19 @@
 use suprenum_monitor::experiments::{fig10_versions, Scale};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "quick") { Scale::Quick } else { Scale::Paper };
+    let scale = if std::env::args().any(|a| a == "quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
     println!("measuring versions 1-4 (this runs four full simulations)...\n");
     let rows = fig10_versions(1992, scale);
 
     println!("Figure 10 — improvement of servant utilization:");
-    println!("{:<38} {:>9} {:>9} {:>7}", "version", "measured", "steady", "paper");
+    println!(
+        "{:<38} {:>9} {:>9} {:>7}",
+        "version", "measured", "steady", "paper"
+    );
     for row in &rows {
         println!(
             "{:<38} {:>8.1}% {:>8.1}% {:>6.0}%",
@@ -26,7 +33,12 @@ fn main() {
     println!("\nbar chart (measured):");
     for row in &rows {
         let bars = (row.measured_percent / 2.0).round() as usize;
-        println!("  V{} |{:<50}| {:.0}%", row.version as u8 + 1, "#".repeat(bars), row.measured_percent);
+        println!(
+            "  V{} |{:<50}| {:.0}%",
+            row.version as u8 + 1,
+            "#".repeat(bars),
+            row.measured_percent
+        );
     }
 
     let improvement = rows.last().unwrap().measured_percent / rows[0].measured_percent;

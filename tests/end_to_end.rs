@@ -33,9 +33,15 @@ fn run_completes_and_renders_the_image() {
     assert!(result.completed());
     // All 256 pixels written with actual scene content.
     assert_eq!(result.image.pixel_count(), 256);
-    assert!(result.image.mean_luminance() > 0.05, "image is black — pixels lost");
+    assert!(
+        result.image.mean_luminance() > 0.05,
+        "image is black — pixels lost"
+    );
     // Every job produced a result.
-    assert_eq!(result.app_stats.jobs_sent, result.app_stats.results_received);
+    assert_eq!(
+        result.app_stats.jobs_sent,
+        result.app_stats.results_received
+    );
     assert!(result.app_stats.disk_writes > 0);
 }
 
@@ -67,9 +73,16 @@ fn monitor_trace_is_causally_clean() {
     let result = small_run(Version::V3, 12);
     assert!(result.completed());
     let report = check_causality(&result.trace, &causality_rules());
-    assert!(report.is_clean(), "violations in MTG-synchronized trace: {report:?}");
+    assert!(
+        report.is_clean(),
+        "violations in MTG-synchronized trace: {report:?}"
+    );
     assert!(report.pairs_checked > 0);
-    assert_eq!(result.measurement.total_lost(), 0, "event rate must not overflow the FIFO");
+    assert_eq!(
+        result.measurement.total_lost(),
+        0,
+        "event rate must not overflow the FIFO"
+    );
     for d in &result.measurement.detector_stats {
         assert_eq!(d.atomicity_violations, 0, "display protocol violated");
     }
@@ -95,17 +108,21 @@ fn monitor_view_matches_ground_truth() {
     // monitored "Work" state contains the trace-compute and the emit
     // call itself; tolerance covers instrumentation edges.
     let gt = result.machine.ground_truth();
-    let (pid, hist) =
-        gt.iter().find(|(_, h)| h.label == "servant-1").expect("servant-1 in ground truth");
+    let (pid, hist) = gt
+        .iter()
+        .find(|(_, h)| h.label == "servant-1")
+        .expect("servant-1 in ground truth");
     let _ = pid;
-    let total_running =
-        hist.time_in(SimTime::from_nanos(to), |s| s == ProcState::Running).as_nanos();
-    let running_before_phase =
-        hist.time_in(SimTime::from_nanos(from), |s| s == ProcState::Running).as_nanos();
+    let total_running = hist
+        .time_in(SimTime::from_nanos(to), |s| s == ProcState::Running)
+        .as_nanos();
+    let running_before_phase = hist
+        .time_in(SimTime::from_nanos(from), |s| s == ProcState::Running)
+        .as_nanos();
     let true_running_ns = total_running - running_before_phase;
 
-    let rel_err = (monitored_work_ns as f64 - true_running_ns as f64).abs()
-        / true_running_ns.max(1) as f64;
+    let rel_err =
+        (monitored_work_ns as f64 - true_running_ns as f64).abs() / true_running_ns.max(1) as f64;
     assert!(
         rel_err < 0.15,
         "monitored Work {monitored_work_ns} ns vs true Running {true_running_ns} ns \
@@ -135,7 +152,11 @@ fn runs_are_bit_deterministic() {
 fn servant_utilization_is_sane_at_small_scale() {
     let result = small_run(Version::V2, 21);
     let report = servant_utilization(&result.trace, 4);
-    assert!(report.mean > 0.02 && report.mean < 1.0, "utilization {}", report.mean);
+    assert!(
+        report.mean > 0.02 && report.mean < 1.0,
+        "utilization {}",
+        report.mean
+    );
     // Every servant did some work.
     for (name, u) in &report.per_track {
         assert!(*u > 0.0, "{name} never worked");
@@ -198,7 +219,10 @@ fn ray_tracer_spans_clusters_over_the_torus() {
     assert!(result.image.mean_luminance() > 0.05);
     // Inter-cluster messages actually flowed.
     let ic = result.machine.interconnect_stats();
-    assert!(ic.inter_cluster_transfers > 0, "no traffic crossed the torus");
+    assert!(
+        ic.inter_cluster_transfers > 0,
+        "no traffic crossed the torus"
+    );
     assert!(ic.intra_cluster_transfers > 0);
     // Remote-cluster servants did real work.
     let (_, to) = work_phase(&result.trace).unwrap();
@@ -225,9 +249,15 @@ fn object_partitioning_renders_the_same_image() {
     let cfg = ObjPartConfig::new(app);
     let r = run_object_partitioned(cfg, 7, SimTime::from_secs(36_000));
     assert!(r.completed(), "{:?}", r.outcome);
-    assert!(r.rounds >= 2, "Whitted needs multiple wavefront generations");
+    assert!(
+        r.rounds >= 2,
+        "Whitted needs multiple wavefront generations"
+    );
     // Memory argument: each servant held about a third of the geometry.
-    assert!(r.max_objects_per_servant <= 2, "quickstart has 4 primitives over 3 partitions");
+    assert!(
+        r.max_objects_per_servant <= 2,
+        "quickstart has 4 primitives over 3 partitions"
+    );
 
     // Pixel-exact against the sequential tracer.
     let (scene, camera) = suprenum_monitor::raytracer::scenes::quickstart_scene();
@@ -287,7 +317,10 @@ fn oversampling_is_organized_by_the_master() {
             }
         }
     }
-    assert!(any_differs_from_1x, "oversampling had no visible effect anywhere");
+    assert!(
+        any_differs_from_1x,
+        "oversampling had no visible effect anywhere"
+    );
 }
 
 #[test]
@@ -346,7 +379,10 @@ fn partial_bundles_cover_ragged_images() {
     cfg.horizon = SimTime::from_secs(36_000);
     let result = run(cfg);
     assert!(result.completed());
-    assert_eq!(result.app_stats.jobs_sent, 225f64.div_euclid(16.0) as u64 + 1);
+    assert_eq!(
+        result.app_stats.jobs_sent,
+        225f64.div_euclid(16.0) as u64 + 1
+    );
     assert!(result.image.mean_luminance() > 0.05);
 }
 

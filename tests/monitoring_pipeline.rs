@@ -26,7 +26,10 @@ impl Process for Beeper {
             self.emitting = true;
             let param = self.sent;
             self.sent += 1;
-            Action::Emit { token: 0x0100 | self.node, param }
+            Action::Emit {
+                token: 0x0100 | self.node,
+                param,
+            }
         } else {
             Action::Exit
         }
@@ -83,7 +86,12 @@ fn run_beepers(nodes: u16, events_per_node: u32, seed: u64) -> (Machine, Vec<Pro
         Box::new(Root {
             nodes,
             spawned: 0,
-            inner: Beeper { node: 0, count: events_per_node, sent: 0, emitting: false },
+            inner: Beeper {
+                node: 0,
+                count: events_per_node,
+                sent: 0,
+                emitting: false,
+            },
         }),
     );
     let outcome = machine.run(SimTime::from_secs(60));
@@ -92,7 +100,11 @@ fn run_beepers(nodes: u16, events_per_node: u32, seed: u64) -> (Machine, Vec<Pro
         .signals()
         .display_writes()
         .iter()
-        .map(|w| ProbeSample { time: w.time, channel: w.node.index() as usize, pattern: w.pattern })
+        .map(|w| ProbeSample {
+            time: w.time,
+            channel: w.node.index() as usize,
+            pattern: w.pattern,
+        })
         .collect();
     (machine, samples)
 }
@@ -112,7 +124,11 @@ fn every_emitted_event_is_recorded_exactly_once() {
             .filter(|r| r.channel == ch)
             .map(|r| r.event.param.value())
             .collect();
-        assert_eq!(params, (0..25).collect::<Vec<_>>(), "channel {ch} events broken");
+        assert_eq!(
+            params,
+            (0..25).collect::<Vec<_>>(),
+            "channel {ch} events broken"
+        );
     }
 }
 
@@ -174,10 +190,18 @@ fn software_monitoring_vs_hybrid_timestamp_quality() {
         Box::new(Root {
             nodes: 6,
             spawned: 0,
-            inner: Beeper { node: 0, count: 20, sent: 0, emitting: false },
+            inner: Beeper {
+                node: 0,
+                count: 20,
+                sent: 0,
+                emitting: false,
+            },
         }),
     );
-    assert_eq!(sw_machine.run(SimTime::from_secs(60)).reason, RunEnd::Completed);
+    assert_eq!(
+        sw_machine.run(SimTime::from_secs(60)).reason,
+        RunEnd::Completed
+    );
     let logs: Vec<_> = sw_machine
         .software_monitors()
         .iter()
@@ -207,7 +231,12 @@ fn terminal_interface_monitoring_also_works_but_slower() {
             Box::new(Root {
                 nodes: 4,
                 spawned: 0,
-                inner: Beeper { node: 0, count: 15, sent: 0, emitting: false },
+                inner: Beeper {
+                    node: 0,
+                    count: 15,
+                    sent: 0,
+                    emitting: false,
+                },
             }),
         );
         let out = m.run(SimTime::from_secs(60));
@@ -230,14 +259,22 @@ fn terminal_interface_monitoring_also_works_but_slower() {
         })
         .collect();
     let serial_events = suprenum_monitor::zm4::detect_serial(&serial_samples, 4);
-    assert_eq!(serial_events.len(), 4 * 15, "every event decodes from the serial stream");
+    assert_eq!(
+        serial_events.len(),
+        4 * 15,
+        "every event decodes from the serial stream"
+    );
 
     // Same logical events as the hybrid path.
     let hybrid_samples: Vec<ProbeSample> = hybrid_machine
         .signals()
         .display_writes()
         .iter()
-        .map(|w| ProbeSample { time: w.time, channel: w.node.index() as usize, pattern: w.pattern })
+        .map(|w| ProbeSample {
+            time: w.time,
+            channel: w.node.index() as usize,
+            pattern: w.pattern,
+        })
         .collect();
     let hybrid_events = Zm4::new(Zm4Config::default(), 4, seed).observe(&hybrid_samples);
     let mut a: Vec<(usize, u16, u32)> = serial_events
@@ -287,14 +324,23 @@ fn analysis_survives_fifo_event_loss() {
     cfg.zm4.fifo_capacity = 8;
     cfg.zm4.disk_drain_rate = 200;
     let result = run(cfg);
-    assert!(result.completed(), "the *application* is unaffected by monitor loss");
-    assert!(result.measurement.total_lost() > 0, "the stress must actually lose events");
+    assert!(
+        result.completed(),
+        "the *application* is unaffected by monitor loss"
+    );
+    assert!(
+        result.measurement.total_lost() > 0,
+        "the stress must actually lose events"
+    );
 
     // The trace still analyzes.
     let report = servant_utilization(&result.trace, 4);
     assert!(report.mean > 0.0 && report.mean <= 1.0);
     let causality = check_causality(&result.trace, &causality_rules());
-    assert_eq!(causality.causality_violations, 0, "loss must not fake causality errors");
+    assert_eq!(
+        causality.causality_violations, 0,
+        "loss must not fake causality errors"
+    );
     assert!(
         causality.unmatched_effects > 0 || !result.trace.is_empty(),
         "lost causes surface as unmatched effects"

@@ -55,21 +55,31 @@ struct Settings {
 
 impl Default for Settings {
     fn default() -> Self {
-        Settings { sample_size: 20, throughput: None }
+        Settings {
+            sample_size: 20,
+            throughput: None,
+        }
     }
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, mut routine: F) {
     // Calibrate the per-sample iteration count so one sample takes
     // roughly 25 ms (bounded to keep total runtime sane).
-    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     routine(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
-    let iters = (Duration::from_millis(25).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+    let iters =
+        (Duration::from_millis(25).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
 
     let mut per_iter_nanos: Vec<u128> = Vec::with_capacity(settings.sample_size);
     for _ in 0..settings.sample_size {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         routine(&mut b);
         per_iter_nanos.push(b.elapsed.as_nanos() / iters as u128);
     }
@@ -137,7 +147,11 @@ impl Criterion {
 
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), settings: Settings::default(), _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            settings: Settings::default(),
+            _criterion: self,
+        }
     }
 }
 
