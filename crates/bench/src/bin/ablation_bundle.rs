@@ -1,36 +1,41 @@
 //! Ablation: ray-bundle size sweep on the version-4 program — why the
 //! paper moved from single-ray jobs to bundles of 50 and then 100.
+//!
+//! Runs through the sweep harness and exits nonzero if any run is
+//! truncated.
 
-use suprenum_monitor::des::time::SimTime;
-use suprenum_monitor::raysim::analysis::servant_utilization;
-use suprenum_monitor::raysim::config::{AppConfig, Version};
-use suprenum_monitor::raysim::run::{run, RunConfig};
+use std::process::ExitCode;
 
-fn main() {
+use suprenum_monitor::experiments::{default_workers, run_sweep, sweeps, Scale};
+
+fn main() -> ExitCode {
+    let sweep = sweeps::bundle(Scale::Paper, 1992);
+    let report = run_sweep(&sweep, default_workers());
+
     println!(
-        "{:>8} {:>8} {:>12} {:>14}",
+        "{:>12} {:>8} {:>12} {:>14}",
         "bundle", "jobs", "utilization", "simulated end"
     );
-    for bundle in [1u32, 5, 10, 25, 50, 100, 200] {
-        let mut app = AppConfig::version(Version::V4);
-        app.width = 96;
-        app.height = 96;
-        app.bundle_size = bundle;
-        app.pixel_queue_capacity = 16_384;
-        app.write_chunk = bundle.max(4);
-        let servants = app.servants as u32;
-        let mut cfg = RunConfig::new(app);
-        cfg.horizon = SimTime::from_secs(36_000);
-        let r = run(cfg);
-        assert!(r.completed());
-        let u = servant_utilization(&r.trace, servants);
+    for r in &report.records {
         println!(
-            "{:>8} {:>8} {:>11.1}% {:>14}",
-            bundle,
-            r.app_stats.jobs_sent,
-            u.mean_percent(),
-            r.outcome.end.to_string()
+            "{:>12} {:>8} {:>11}% {:>13.1}s",
+            r.label,
+            r.jobs_sent,
+            r.utilization_percent
+                .map_or_else(|| "-".to_owned(), |u| format!("{u:.1}")),
+            r.sim_end_ns as f64 / 1e9,
         );
     }
     println!("\nlarger bundles amortize per-message master overhead until tail imbalance bites.");
+
+    if let Err(e) = report.write_artifact(std::path::Path::new("artifacts/bundle.json")) {
+        eprintln!("ablation_bundle: cannot write artifact: {e}");
+    }
+    for r in report.truncated_runs() {
+        eprintln!(
+            "ablation_bundle: run '{}' truncated ({}) — ablation invalid",
+            r.label, r.run_end
+        );
+    }
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
 }

@@ -32,7 +32,8 @@ fn main() {
 
     // Object partitioning.
     let obj = run_object_partitioned(ObjPartConfig::new(base()), 1992, horizon);
-    assert!(obj.completed());
+    obj.ensure_completed()
+        .unwrap_or_else(|e| panic!("object partitioning: {e}"));
     let u = servant_utilization(&obj.trace, 15);
     let ic = obj.machine.interconnect_stats();
     println!(
@@ -49,7 +50,8 @@ fn main() {
     let mut cfg = RunConfig::new(base());
     cfg.horizon = horizon;
     let ray = run(cfg);
-    assert!(ray.completed());
+    ray.ensure_completed()
+        .unwrap_or_else(|e| panic!("ray partitioning: {e}"));
     let u = servant_utilization(&ray.trace, 15);
     let ic = ray.machine.interconnect_stats();
     println!(

@@ -53,7 +53,8 @@ fn main() {
         let app = base();
         let servants = app.servants as u32;
         let r = run_static(app, scheme, 1992, horizon);
-        assert!(r.completed());
+        r.ensure_completed()
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
         report(scheme.to_string(), &r.trace, servants, r.outcome.end);
     }
 
@@ -62,7 +63,8 @@ fn main() {
     let mut cfg = RunConfig::new(app);
     cfg.horizon = horizon;
     let r = run(cfg);
-    assert!(r.completed());
+    r.ensure_completed()
+        .unwrap_or_else(|e| panic!("dynamic: {e}"));
     report(
         "dynamic (version 4)".into(),
         &r.trace,

@@ -28,7 +28,8 @@ fn main() {
         cfg.horizon = SimTime::from_secs(360_000);
         let clusters = cfg.machine.clusters;
         let r = run(cfg);
-        assert!(r.completed(), "{servants} servants did not complete");
+        r.ensure_completed()
+            .unwrap_or_else(|e| panic!("{servants} servants: {e}"));
         let u = servant_utilization(&r.trace, servants as u32);
         let end = r.outcome.end.as_secs_f64();
         let t_one = *t1.get_or_insert(end);

@@ -1,33 +1,40 @@
 //! Ablation: window-flow-control credit sweep — the paper's scheme
 //! "prevents flooding of the servants ... but also ensures that the
 //! servants always have enough work".
+//!
+//! Runs through the sweep harness and exits nonzero if any run is
+//! truncated.
 
-use suprenum_monitor::des::time::SimTime;
-use suprenum_monitor::raysim::analysis::servant_utilization;
-use suprenum_monitor::raysim::config::{AppConfig, Version};
-use suprenum_monitor::raysim::run::{run, RunConfig};
+use std::process::ExitCode;
 
-fn main() {
+use suprenum_monitor::experiments::{default_workers, run_sweep, sweeps, Scale};
+
+fn main() -> ExitCode {
+    let sweep = sweeps::window(Scale::Paper, 1992);
+    let report = run_sweep(&sweep, default_workers());
+
     println!(
-        "{:>8} {:>12} {:>14}",
+        "{:>12} {:>12} {:>14}",
         "window", "utilization", "simulated end"
     );
-    for window in [1u32, 2, 3, 5, 8] {
-        let mut app = AppConfig::version(Version::V3);
-        app.width = 96;
-        app.height = 96;
-        app.window = window;
-        let servants = app.servants as u32;
-        let mut cfg = RunConfig::new(app);
-        cfg.horizon = SimTime::from_secs(36_000);
-        let r = run(cfg);
-        assert!(r.completed());
-        let u = servant_utilization(&r.trace, servants);
+    for r in &report.records {
         println!(
-            "{:>8} {:>11.1}% {:>14}",
-            window,
-            u.mean_percent(),
-            r.outcome.end.to_string()
+            "{:>12} {:>11}% {:>13.1}s",
+            r.label,
+            r.utilization_percent
+                .map_or_else(|| "-".to_owned(), |u| format!("{u:.1}")),
+            r.sim_end_ns as f64 / 1e9,
         );
     }
+
+    if let Err(e) = report.write_artifact(std::path::Path::new("artifacts/window.json")) {
+        eprintln!("ablation_window: cannot write artifact: {e}");
+    }
+    for r in report.truncated_runs() {
+        eprintln!(
+            "ablation_window: run '{}' truncated ({}) — ablation invalid",
+            r.label, r.run_end
+        );
+    }
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
 }

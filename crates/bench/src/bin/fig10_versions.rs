@@ -1,31 +1,48 @@
 //! F10 — regenerate Figure 10: the servant-utilization ladder across
 //! program versions 1-4 (paper: 15% / 29% / 46% / 60%).
+//!
+//! Runs through the sweep harness (the four versions execute in
+//! parallel) and exits nonzero if any run is truncated — statistics
+//! from an interrupted run must never be mistaken for the figure.
 
-use suprenum_monitor::experiments::{fig10_versions, Scale};
+use std::process::ExitCode;
 
-fn main() {
-    let rows = fig10_versions(1992, Scale::Paper);
+use suprenum_monitor::experiments::{default_workers, run_sweep, sweeps, Scale};
+
+fn main() -> ExitCode {
+    let sweep = sweeps::fig10(Scale::Paper, 1992);
+    let report = run_sweep(&sweep, default_workers());
+
     println!("Figure 10 — improvement of servant utilization:");
     println!(
-        "{:<40} {:>9} {:>9} {:>7}",
-        "version", "measured", "steady", "paper"
+        "{:<10} {:>9} {:>9} {:>7} {:>10}",
+        "version", "measured", "steady", "paper", "end"
     );
-    for r in &rows {
+    for r in &report.records {
+        let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |p| format!("{p:.1}%"));
         println!(
-            "{:<40} {:>8.1}% {:>8.1}% {:>6.0}%",
-            r.version.to_string(),
-            r.measured_percent,
-            r.steady_percent,
-            r.paper_percent
+            "{:<10} {:>9} {:>9} {:>6.0}% {:>9.1}s",
+            r.label,
+            fmt(r.utilization_percent),
+            fmt(r.steady_percent),
+            r.paper_percent.unwrap_or(0.0),
+            r.sim_end_ns as f64 / 1e9,
         );
     }
-    for r in &rows {
-        let bars = (r.measured_percent / 2.0).round() as usize;
-        println!(
-            "V{} |{:<50}| {:.0}%",
-            r.version as u8 + 1,
-            "#".repeat(bars),
-            r.measured_percent
+    for r in &report.records {
+        let measured = r.utilization_percent.unwrap_or(0.0);
+        let bars = (measured / 2.0).round() as usize;
+        println!("{} |{:<50}| {:.0}%", r.label, "#".repeat(bars), measured);
+    }
+
+    if let Err(e) = report.write_artifact(std::path::Path::new("artifacts/fig10.json")) {
+        eprintln!("fig10_versions: cannot write artifact: {e}");
+    }
+    for r in report.truncated_runs() {
+        eprintln!(
+            "fig10_versions: run '{}' truncated ({}) — figure invalid",
+            r.label, r.run_end
         );
     }
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
 }

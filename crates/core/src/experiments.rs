@@ -25,24 +25,8 @@ use suprenum::{
 };
 use zm4::{ProbeSample, Zm4, Zm4Config};
 
-/// Workload size selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Scale {
-    /// The calibrated sizes behind the recorded numbers.
-    #[default]
-    Paper,
-    /// Shrunk workloads for fast test runs.
-    Quick,
-}
-
-impl Scale {
-    fn image(self, full: u32, quick: u32) -> u32 {
-        match self {
-            Scale::Paper => full,
-            Scale::Quick => quick,
-        }
-    }
-}
+pub use harness::sweeps::{self, Scale};
+pub use harness::{default_workers, run_sweep, RunRecord, RunSpec, Sweep, SweepReport};
 
 fn run_app(app: AppConfig, seed: u64) -> RunResult {
     let mut cfg = RunConfig::new(app);
@@ -53,11 +37,9 @@ fn run_app(app: AppConfig, seed: u64) -> RunResult {
     // must execute to be measured.
     cfg.preflight = analyzer::warn_policy();
     let result = run(cfg);
-    assert!(
-        result.completed(),
-        "experiment run did not complete: {:?}",
-        result.outcome
-    );
+    if let Err(e) = result.ensure_completed() {
+        panic!("experiment run did not complete: {e}");
+    }
     result
 }
 
@@ -202,37 +184,39 @@ pub fn fig8_mailbox_utilization(seed: u64, scale: Scale) -> UtilizationResult {
 }
 
 /// F10 — the whole version ladder (paper: 15 % / 29 % / 46 % / 60 %).
+///
+/// Runs through the sweep harness: the four versions execute across the
+/// host's cores, and each record is checked for completion before its
+/// statistics are surfaced.
+///
+/// # Panics
+///
+/// Panics if any run of the ladder is truncated — a truncated run's
+/// utilization does not describe a complete execution.
 pub fn fig10_versions(seed: u64, scale: Scale) -> Vec<UtilizationResult> {
-    Version::ALL
+    let sweep = sweeps::fig10(scale, seed);
+    let report = run_sweep(&sweep, default_workers());
+    report
+        .records
         .iter()
-        .map(|&v| {
-            let mut app = AppConfig::version(v);
-            app.width = scale.image(128, 48);
-            app.height = app.width;
-            // Quick mode shrinks bundles (so even V4 has enough jobs to
-            // keep 15 servants busy on a small image) while preserving
-            // each version's distinguishing relations: V3's queue
-            // constant stays inadequate, V4's bundle stays the largest.
-            if scale == Scale::Quick {
-                match v {
-                    Version::V1 | Version::V2 => {
-                        app.pixel_queue_capacity = 256;
-                        app.write_chunk = 4;
-                    }
-                    Version::V3 => {
-                        app.bundle_size = 8;
-                        app.pixel_queue_capacity = 128;
-                        app.write_chunk = 8;
-                    }
-                    Version::V4 => {
-                        app.bundle_size = 16;
-                        app.pixel_queue_capacity = 2_048;
-                        app.write_chunk = 16;
-                    }
-                }
+        .map(|rec| {
+            assert!(
+                !rec.truncated,
+                "experiment run '{}' did not complete: ended by {}",
+                rec.label, rec.run_end
+            );
+            UtilizationResult {
+                version: rec.version.expect("fig10 rows carry a version"),
+                measured_percent: rec
+                    .utilization_percent
+                    .expect("a completed run has a work phase"),
+                steady_percent: rec
+                    .steady_percent
+                    .expect("a completed run has a steady phase"),
+                paper_percent: rec.paper_percent.expect("fig10 rows carry the paper value"),
+                jobs: rec.jobs_sent,
+                end: SimTime::from_nanos(rec.sim_end_ns),
             }
-            let result = run_app(app.clone(), seed);
-            utilization_of(&result, &app)
         })
         .collect()
 }

@@ -30,6 +30,7 @@
 
 pub use analyzer;
 pub use des;
+pub use harness;
 pub use hybridmon;
 pub use raysim;
 pub use raytracer;

@@ -43,6 +43,8 @@ pub enum StopReason {
 pub struct EventLoop<E> {
     queue: EventQueue<E>,
     now: SimTime,
+    steps: u64,
+    scheduled: u64,
 }
 
 impl<E> EventLoop<E> {
@@ -51,6 +53,8 @@ impl<E> EventLoop<E> {
         EventLoop {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
+            steps: 0,
+            scheduled: 0,
         }
     }
 
@@ -62,6 +66,16 @@ impl<E> EventLoop<E> {
     /// Returns the number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Total events handled across all `run*` calls on this loop.
+    pub fn steps_handled(&self) -> u64 {
+        self.steps
+    }
+
+    /// Total events ever scheduled on this loop.
+    pub fn events_scheduled(&self) -> u64 {
+        self.scheduled
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -76,12 +90,31 @@ impl<E> EventLoop<E> {
             "cannot schedule event in the past ({at} < {})",
             self.now
         );
+        self.scheduled += 1;
         self.queue.push(at, event);
     }
 
     /// Schedules `event` to fire `delay` after the current time.
-    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
-        self.queue.push(self.now + delay, event);
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming the offending event) if `now + delay` would
+    /// overflow the `u64` nanosecond ceiling — before this check the
+    /// wrapped sum landed in the simulated past and either corrupted
+    /// event ordering or tripped the past-scheduling assertion with no
+    /// hint of the real cause.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E)
+    where
+        E: std::fmt::Debug,
+    {
+        let at = self.now.checked_add(delay).unwrap_or_else(|| {
+            panic!(
+                "scheduling {event:?} at now={} + delay={delay} overflows simulated time",
+                self.now
+            )
+        });
+        self.scheduled += 1;
+        self.queue.push(at, event);
     }
 
     /// Discards all pending events. The clock keeps its current value.
@@ -122,6 +155,7 @@ impl<E> EventLoop<E> {
             let (t, ev) = self.queue.pop().expect("peeked nonempty queue");
             debug_assert!(t >= self.now, "event queue went backwards in time");
             self.now = t;
+            self.steps += 1;
             handler(self, t, ev);
             steps += 1;
         }
@@ -178,6 +212,34 @@ mod tests {
         sim.schedule(SimTime::from_nanos(10), ());
         sim.run(|sim, _, ()| {
             sim.schedule(SimTime::from_nanos(1), ());
+        });
+    }
+
+    #[test]
+    fn counters_track_schedules_and_steps() {
+        let mut sim = EventLoop::new();
+        sim.schedule(SimTime::from_nanos(1), 0u32);
+        sim.schedule(SimTime::from_nanos(100), 1u32);
+        let reason = sim.run_bounded(SimTime::from_nanos(50), u64::MAX, |sim, _, n| {
+            if n == 0 {
+                sim.schedule_in(SimDuration::from_nanos(1), 9);
+            }
+        });
+        assert_eq!(reason, StopReason::Horizon);
+        // Handled: the nanos-1 event and its nanos-2 child; the nanos-100
+        // event stays pending past the horizon.
+        assert_eq!(sim.steps_handled(), 2);
+        assert_eq!(sim.events_scheduled(), 3);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows simulated time")]
+    fn schedule_in_overflow_names_event() {
+        let mut sim = EventLoop::new();
+        sim.schedule(SimTime::from_nanos(u64::MAX - 1), "tail");
+        sim.run(|sim, _, _| {
+            sim.schedule_in(SimDuration::from_secs(1), "wrapping-event");
         });
     }
 

@@ -84,6 +84,21 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// Checked instant-plus-duration: `None` if the sum would exceed the
+    /// `u64` nanosecond ceiling (~584 simulated years).
+    pub const fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        match self.0.checked_add(d.0) {
+            Some(ns) => Some(SimTime(ns)),
+            None => None,
+        }
+    }
+
+    /// Saturating instant-plus-duration: clamps at [`SimTime::MAX`]
+    /// instead of wrapping.
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
     /// Returns the later of two instants.
     pub fn max(self, other: SimTime) -> SimTime {
         SimTime(self.0.max(other.0))
@@ -196,6 +211,20 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
+    /// Checked duration addition: `None` on overflow.
+    pub const fn checked_add(self, other: SimDuration) -> Option<SimDuration> {
+        match self.0.checked_add(other.0) {
+            Some(ns) => Some(SimDuration(ns)),
+            None => None,
+        }
+    }
+
+    /// Saturating duration addition: clamps at [`SimDuration::MAX`]
+    /// instead of wrapping.
+    pub const fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
     /// The time needed to move `bytes` bytes over a link of
     /// `bytes_per_sec` bandwidth, rounded up to the next nanosecond.
     ///
@@ -212,14 +241,21 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics instead of wrapping when the sum exceeds the `u64`
+    /// nanosecond ceiling — a wrapped instant would land in the
+    /// simulated past and silently corrupt causality.
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        self.checked_add(rhs).unwrap_or_else(|| {
+            panic!("simulated-time overflow: {self} + {rhs} exceeds the u64 nanosecond ceiling")
+        })
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -239,14 +275,19 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics instead of wrapping on overflow.
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        self.checked_add(rhs).unwrap_or_else(|| {
+            panic!("duration overflow: {self} + {rhs} exceeds the u64 nanosecond ceiling")
+        })
     }
 }
 
 impl AddAssign for SimDuration {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -265,8 +306,13 @@ impl SubAssign for SimDuration {
 
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics instead of wrapping on overflow.
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0 * rhs)
+        SimDuration(self.0.checked_mul(rhs).unwrap_or_else(|| {
+            panic!("duration overflow: {self} * {rhs} exceeds the u64 nanosecond ceiling")
+        }))
     }
 }
 
@@ -396,6 +442,40 @@ mod tests {
     fn sum_of_durations() {
         let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
         assert_eq!(total, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn checked_add_detects_ceiling() {
+        let near = SimTime::from_nanos(u64::MAX - 5);
+        assert_eq!(
+            near.checked_add(SimDuration::from_nanos(5)),
+            Some(SimTime::MAX)
+        );
+        assert_eq!(near.checked_add(SimDuration::from_nanos(6)), None);
+        assert_eq!(near.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimDuration::MAX.saturating_add(SimDuration::from_nanos(1)),
+            SimDuration::MAX
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated-time overflow")]
+    fn instant_add_panics_instead_of_wrapping() {
+        // Pre-fix this wrapped into the simulated past in release mode.
+        let _ = SimTime::from_nanos(u64::MAX - 1) + SimDuration::from_secs(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration overflow")]
+    fn duration_add_panics_instead_of_wrapping() {
+        let _ = SimDuration::MAX + SimDuration::from_nanos(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration overflow")]
+    fn duration_mul_panics_instead_of_wrapping() {
+        let _ = SimDuration::from_secs(u64::MAX / 1_000_000_000) * 1_000;
     }
 
     #[test]

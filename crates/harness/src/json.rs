@@ -1,0 +1,142 @@
+//! Minimal JSON emission.
+//!
+//! The build environment has no registry access, so the artifact format
+//! is produced by hand: a tiny escaping writer plus an object builder.
+//! Only the subset the sweep artifact needs is implemented — string,
+//! integer, float, bool, null, arrays of pre-rendered values.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion in a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON value: `null` for non-finite numbers
+/// (JSON has no NaN/Infinity).
+pub fn float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// An object under construction. Fields keep insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a raw, already-rendered JSON value.
+    pub fn raw(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
+        self.fields.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.raw(key, format!("\"{}\"", escape(value)))
+    }
+
+    /// Adds an integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds a float field (`null` if non-finite).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.raw(key, float(value))
+    }
+
+    /// Adds an optional float field (`null` when absent or non-finite).
+    pub fn opt_f64(&mut self, key: &str, value: Option<f64>) -> &mut Self {
+        match value {
+            Some(v) => self.f64(key, v),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Renders the object with the given indentation depth (two spaces
+    /// per level).
+    pub fn render(&self, indent: usize) -> String {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        let body = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{pad}\"{}\": {v}", escape(k)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("{{\n{body}\n{close}}}")
+    }
+}
+
+/// Renders an array of pre-rendered JSON values.
+pub fn array(items: &[String], indent: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_owned();
+    }
+    let pad = "  ".repeat(indent + 1);
+    let close = "  ".repeat(indent);
+    let body = items
+        .iter()
+        .map(|v| format!("{pad}{v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{body}\n{close}]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(float(f64::NAN), "null");
+        assert_eq!(float(f64::INFINITY), "null");
+        assert_eq!(float(1.5), "1.5");
+    }
+
+    #[test]
+    fn object_renders_nested() {
+        let mut o = JsonObject::new();
+        o.str("name", "x").u64("n", 3).bool("ok", true);
+        let s = o.render(0);
+        assert!(s.contains("\"name\": \"x\""));
+        assert!(s.contains("\"n\": 3"));
+        assert!(s.contains("\"ok\": true"));
+    }
+}

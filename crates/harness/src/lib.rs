@@ -1,0 +1,549 @@
+//! Parallel, deterministic experiment-sweep runner.
+//!
+//! The paper's evaluation is a *sweep* — four program versions, several
+//! scenes, plus bundle/window/agent-pool ablations — yet re-running every
+//! configuration serially wastes all but one core, and ad-hoc text output
+//! loses the one fact monitoring literature insists on: whether each
+//! measurement actually *completed*. This crate makes both first-class:
+//!
+//! * a [`Sweep`] is a named list of [`RunSpec`]s; [`run_sweep`] fans the
+//!   runs out over a fixed-size pool of OS threads. Each simulation stays
+//!   single-threaded and seed-deterministic, so results are **bit-identical
+//!   regardless of worker count** — guaranteed by the per-run
+//!   [`RunRecord::trace_digest`] and checked by this crate's tests;
+//! * every run yields a [`RunRecord`]: config fingerprint, seed,
+//!   [`RunEnd`], simulated and wall time, events processed,
+//!   utilization/intrusion statistics, and the trace digest. A truncated
+//!   run (horizon, event budget, operator release, deadlock) is recorded
+//!   as such and poisons the sweep's exit code — it can never masquerade
+//!   as a valid measurement;
+//! * [`SweepReport`] renders the whole sweep as one JSON artifact (written
+//!   under `artifacts/` by the CLI) plus a summary table.
+//!
+//! The `harness` binary exposes the named sweeps of [`sweeps`]:
+//!
+//! ```text
+//! cargo run --release -p harness -- sweep fig10 --workers 4
+//! ```
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use raysim::analysis::{servant_utilization, servant_utilization_steady, steady_phase, work_phase};
+use raysim::config::Version;
+use raysim::run::{run, RunConfig};
+use simple::Trace;
+use suprenum::RunEnd;
+
+pub mod json;
+pub mod sweeps;
+
+pub use sweeps::Scale;
+
+/// One configured run inside a sweep.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Short row label (e.g. `"V3"`, `"bundle-50"`, `"seed-7"`).
+    pub label: String,
+    /// The full run configuration (application, machine, monitor, seed,
+    /// horizon, pre-flight policy).
+    pub cfg: RunConfig,
+    /// Servant count, for utilization derivation.
+    pub servants: u32,
+    /// The program version, where the row corresponds to one.
+    pub version: Option<Version>,
+    /// The paper's utilization number for this row, where it has one.
+    pub paper_percent: Option<f64>,
+}
+
+// Run specifications cross worker-thread boundaries; keep that fact
+// checked at compile time rather than discovered at the spawn site.
+const _: fn() = || {
+    fn is_send<T: Send>() {}
+    is_send::<RunSpec>();
+};
+
+/// A named list of runs executed together.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Sweep name (also the default artifact stem).
+    pub name: String,
+    /// The runs, in presentation order.
+    pub runs: Vec<RunSpec>,
+}
+
+/// Everything recorded about one executed run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The spec's label.
+    pub label: String,
+    /// FNV-1a fingerprint of the configuration (application + machine +
+    /// monitor + seed + horizon), hex-encoded. Two records with equal
+    /// fingerprints measured the same configuration.
+    pub fingerprint: String,
+    /// Determinism seed.
+    pub seed: u64,
+    /// How the run ended.
+    pub run_end: RunEnd,
+    /// `true` when `run_end` is anything but completion — derived
+    /// statistics then describe an interrupted execution.
+    pub truncated: bool,
+    /// Final simulated time, nanoseconds.
+    pub sim_end_ns: u64,
+    /// Host wall-clock time of this run, milliseconds. Informational
+    /// only: never part of the digest.
+    pub wall_ms: f64,
+    /// Kernel events the simulation loop processed.
+    pub events_processed: u64,
+    /// Events in the merged monitoring trace.
+    pub trace_events: usize,
+    /// FNV-1a digest over the merged trace and the run outcome,
+    /// hex-encoded. Bit-identical across worker counts and across runs
+    /// of the same configuration.
+    pub trace_digest: String,
+    /// Jobs the master sent.
+    pub jobs_sent: u64,
+    /// Mean servant utilization over the ray-tracing phase, percent.
+    /// `None` when the run truncated or produced no work phase.
+    pub utilization_percent: Option<f64>,
+    /// Mean servant utilization over the steady (pipeline-full) phase.
+    pub steady_percent: Option<f64>,
+    /// The paper's number for this row, where it has one.
+    pub paper_percent: Option<f64>,
+    /// Fraction of CPU time stolen by instrumentation.
+    pub intrusion_ratio: f64,
+    /// The program version, where the row corresponds to one.
+    pub version: Option<Version>,
+}
+
+/// The result of executing a whole sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The sweep's name.
+    pub sweep: String,
+    /// Worker threads used.
+    pub workers: usize,
+    /// One record per spec, in spec order.
+    pub records: Vec<RunRecord>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a over byte chunks.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+    fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// The digest of a run: every merged trace event plus the outcome.
+/// Wall-clock time and host-side derived floats are deliberately
+/// excluded — the digest must depend only on simulated behaviour.
+fn trace_digest(trace: &Trace, end_ns: u64, reason: RunEnd, events: u64) -> String {
+    let mut h = Fnv::new();
+    for e in trace.events() {
+        h.u64(e.ts_ns);
+        h.u64(e.channel as u64);
+        h.u64(u64::from(e.token.value()));
+        h.u64(u64::from(e.param.value()));
+    }
+    h.u64(end_ns);
+    h.u64(reason as u64);
+    h.u64(events);
+    h.hex()
+}
+
+/// Fingerprint of a configuration, for artifact provenance. The
+/// pre-flight policy is excluded: it carries function pointers whose
+/// addresses vary between builds, and it does not change the measured
+/// behaviour under `Off`/`Warn`.
+fn config_fingerprint(cfg: &RunConfig) -> String {
+    let mut h = Fnv::new();
+    h.update(format!("{:?}", cfg.app).as_bytes());
+    h.update(format!("{:?}", cfg.machine).as_bytes());
+    h.update(format!("{:?}", cfg.zm4).as_bytes());
+    h.u64(cfg.seed);
+    h.u64(cfg.horizon.as_nanos());
+    h.hex()
+}
+
+/// Executes one spec on the calling thread and derives its record.
+pub fn execute(spec: &RunSpec) -> RunRecord {
+    let started = Instant::now();
+    let result = run(spec.cfg.clone());
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let truncated = result.truncated();
+    let has_phase = work_phase(&result.trace).is_some();
+    let utilization_percent = (!truncated && has_phase && spec.servants > 0)
+        .then(|| servant_utilization(&result.trace, spec.servants).mean_percent());
+    let steady_percent = (!truncated && spec.servants > 0 && steady_phase(&result.trace).is_some())
+        .then(|| servant_utilization_steady(&result.trace, spec.servants).mean_percent());
+
+    RunRecord {
+        label: spec.label.clone(),
+        fingerprint: config_fingerprint(&spec.cfg),
+        seed: spec.cfg.seed,
+        run_end: result.outcome.reason,
+        truncated,
+        sim_end_ns: result.outcome.end.as_nanos(),
+        wall_ms,
+        events_processed: result.outcome.events,
+        trace_events: result.trace.len(),
+        trace_digest: trace_digest(
+            &result.trace,
+            result.outcome.end.as_nanos(),
+            result.outcome.reason,
+            result.outcome.events,
+        ),
+        jobs_sent: result.app_stats.jobs_sent,
+        utilization_percent,
+        steady_percent,
+        paper_percent: spec.paper_percent,
+        intrusion_ratio: result.intrusion.intrusion_ratio(),
+        version: spec.version,
+    }
+}
+
+/// A sensible worker count for this host: the available parallelism,
+/// floor 1.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs every spec of `sweep` across `workers` OS threads and collects
+/// the records in spec order.
+///
+/// Each simulation is single-threaded and seed-deterministic; the pool
+/// only decides *which thread* hosts a run, never its event order, so
+/// the records (and in particular their trace digests) are bit-identical
+/// for any `workers >= 1`.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero, or if a worker thread panics (a
+/// simulation protocol violation — see `raysim::diag`).
+pub fn run_sweep(sweep: &Sweep, workers: usize) -> SweepReport {
+    assert!(workers > 0, "sweep needs at least one worker thread");
+    let workers = workers.min(sweep.runs.len()).max(1);
+
+    let jobs: Mutex<VecDeque<(usize, &RunSpec)>> =
+        Mutex::new(sweep.runs.iter().enumerate().collect());
+    let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; sweep.runs.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = jobs.lock().expect("job queue poisoned").pop_front();
+                let Some((idx, spec)) = job else { break };
+                let record = execute(spec);
+                results.lock().expect("result store poisoned")[idx] = Some(record);
+            });
+        }
+    });
+
+    let records = results
+        .into_inner()
+        .expect("result store poisoned")
+        .into_iter()
+        .map(|r| r.expect("every job executed"))
+        .collect();
+
+    SweepReport {
+        sweep: sweep.name.clone(),
+        workers,
+        records,
+    }
+}
+
+impl SweepReport {
+    /// The records of runs that did not complete.
+    pub fn truncated_runs(&self) -> Vec<&RunRecord> {
+        self.records.iter().filter(|r| r.truncated).collect()
+    }
+
+    /// Process exit code for a CLI wrapping this report: `0` when every
+    /// run completed, `2` when any run was truncated.
+    pub fn exit_code(&self) -> i32 {
+        if self.truncated_runs().is_empty() {
+            0
+        } else {
+            2
+        }
+    }
+
+    /// Renders the whole report as a JSON artifact.
+    pub fn to_json(&self) -> String {
+        let runs: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| {
+                let mut o = json::JsonObject::new();
+                o.str("label", &r.label)
+                    .str("fingerprint", &r.fingerprint)
+                    .u64("seed", r.seed)
+                    .str("run_end", &r.run_end.to_string())
+                    .bool("truncated", r.truncated)
+                    .u64("sim_end_ns", r.sim_end_ns)
+                    .f64("wall_ms", r.wall_ms)
+                    .u64("events_processed", r.events_processed)
+                    .u64("trace_events", r.trace_events as u64)
+                    .str("trace_digest", &r.trace_digest)
+                    .u64("jobs_sent", r.jobs_sent)
+                    .opt_f64("utilization_percent", r.utilization_percent)
+                    .opt_f64("steady_percent", r.steady_percent)
+                    .opt_f64("paper_percent", r.paper_percent)
+                    .f64("intrusion_ratio", r.intrusion_ratio);
+                match r.version {
+                    Some(v) => o.u64("version", v as u64 + 1),
+                    None => o.raw("version", "null"),
+                };
+                o.render(2)
+            })
+            .collect();
+
+        let mut root = json::JsonObject::new();
+        root.u64("schema_version", 1)
+            .str("sweep", &self.sweep)
+            .u64("workers", self.workers as u64)
+            .bool("all_completed", self.truncated_runs().is_empty())
+            .raw("runs", json::array(&runs, 1));
+        let mut out = root.render(0);
+        out.push('\n');
+        out
+    }
+
+    /// Renders the summary table shown after a sweep.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sweep '{}' — {} runs on {} worker(s)",
+            self.sweep,
+            self.records.len(),
+            self.workers
+        );
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9} {:>12} {:>10} {:>8} {:>7} {:>7}  {:<16}",
+            "run", "end", "sim end", "events", "jobs", "util%", "steady%", "digest"
+        );
+        for r in &self.records {
+            let fmt_pct = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |p| format!("{p:.1}"));
+            let _ = writeln!(
+                out,
+                "{:<14} {:>9} {:>11.3}s {:>10} {:>8} {:>7} {:>7}  {:<16}",
+                r.label,
+                r.run_end.to_string(),
+                r.sim_end_ns as f64 / 1e9,
+                r.events_processed,
+                r.jobs_sent,
+                fmt_pct(r.utilization_percent),
+                fmt_pct(r.steady_percent),
+                r.trace_digest,
+            );
+        }
+        for r in self.truncated_runs() {
+            let _ = writeln!(
+                out,
+                "TRUNCATED: '{}' ended by {} at {:.3}s — statistics above describe an \
+                 interrupted run",
+                r.label,
+                r.run_end,
+                r.sim_end_ns as f64 / 1e9
+            );
+        }
+        out
+    }
+
+    /// One `label<space>digest` line per run — the golden-file format
+    /// used by the CI determinism check.
+    pub fn digest_lines(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.label);
+            out.push(' ');
+            out.push_str(&r.trace_digest);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Compares this report's digests against golden `label digest`
+    /// lines (as produced by [`SweepReport::digest_lines`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns one message per mismatching, missing, or extra line.
+    pub fn check_digests(&self, golden: &str) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+        let golden_lines: Vec<(&str, &str)> = golden
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| l.split_once(' '))
+            .collect();
+        for r in &self.records {
+            match golden_lines.iter().find(|(label, _)| *label == r.label) {
+                None => errors.push(format!("run '{}' has no golden digest", r.label)),
+                Some((_, expected)) if *expected != r.trace_digest => errors.push(format!(
+                    "run '{}' digest {} != golden {expected} — nondeterminism or an \
+                     unacknowledged behaviour change",
+                    r.label, r.trace_digest
+                )),
+                Some(_) => {}
+            }
+        }
+        for (label, _) in &golden_lines {
+            if !self.records.iter().any(|r| r.label == *label) {
+                errors.push(format!("golden digest '{label}' has no matching run"));
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Writes the JSON artifact to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_artifact(&self, path: &Path) -> std::io::Result<PathBuf> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(path.to_path_buf())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::time::SimTime;
+    use raysim::config::{AppConfig, SceneKind};
+
+    fn tiny_spec(label: &str, seed: u64, horizon_ms: u64) -> RunSpec {
+        let mut app = AppConfig::version(Version::V4);
+        app.servants = 2;
+        app.scene = SceneKind::Quickstart;
+        app.width = 8;
+        app.height = 8;
+        app.bundle_size = 8;
+        app.pixel_queue_capacity = 64;
+        app.write_chunk = 8;
+        let servants = app.servants as u32;
+        let mut cfg = RunConfig::new(app);
+        cfg.seed = seed;
+        cfg.horizon = SimTime::from_millis(horizon_ms);
+        RunSpec {
+            label: label.to_owned(),
+            cfg,
+            servants,
+            version: Some(Version::V4),
+            paper_percent: None,
+        }
+    }
+
+    #[test]
+    fn completed_run_yields_full_record() {
+        let rec = execute(&tiny_spec("ok", 7, 600_000));
+        assert_eq!(rec.run_end, RunEnd::Completed);
+        assert!(!rec.truncated);
+        assert!(rec.events_processed > 0);
+        assert!(rec.trace_events > 0);
+        assert!(rec.utilization_percent.is_some());
+        assert_eq!(rec.trace_digest.len(), 16);
+    }
+
+    #[test]
+    fn truncated_run_is_marked_and_poisons_exit_code() {
+        // A 1 ms horizon cannot even finish initialization.
+        let sweep = Sweep {
+            name: "trunc".into(),
+            runs: vec![tiny_spec("cut", 7, 1)],
+        };
+        let report = run_sweep(&sweep, 1);
+        let rec = &report.records[0];
+        assert!(rec.truncated);
+        assert_eq!(rec.run_end, RunEnd::Horizon);
+        assert_eq!(rec.utilization_percent, None);
+        assert_eq!(report.exit_code(), 2);
+        assert!(report.to_json().contains("\"truncated\": true"));
+        assert!(report.render_table().contains("TRUNCATED"));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_digests() {
+        let sweep = Sweep {
+            name: "det".into(),
+            runs: (0..4)
+                .map(|i| tiny_spec(&format!("s{i}"), 100 + i, 600_000))
+                .collect(),
+        };
+        let serial = run_sweep(&sweep, 1);
+        let parallel = run_sweep(&sweep, 4);
+        let digests = |r: &SweepReport| {
+            r.records
+                .iter()
+                .map(|x| x.trace_digest.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(digests(&serial), digests(&parallel));
+        assert!(serial.check_digests(&parallel.digest_lines()).is_ok());
+    }
+
+    #[test]
+    fn digest_check_reports_mismatches() {
+        let report = run_sweep(
+            &Sweep {
+                name: "g".into(),
+                runs: vec![tiny_spec("a", 1, 600_000)],
+            },
+            1,
+        );
+        let errs = report
+            .check_digests("a 0000000000000000\nghost 1111111111111111\n")
+            .unwrap_err();
+        assert_eq!(errs.len(), 2);
+        assert!(errs[0].contains("digest"));
+        assert!(errs[1].contains("ghost"));
+    }
+
+    #[test]
+    fn same_seed_same_fingerprint_and_digest() {
+        let a = execute(&tiny_spec("x", 42, 600_000));
+        let b = execute(&tiny_spec("x", 42, 600_000));
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.trace_digest, b.trace_digest);
+        let c = execute(&tiny_spec("x", 43, 600_000));
+        assert_ne!(a.fingerprint, c.fingerprint);
+    }
+}

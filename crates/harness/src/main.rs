@@ -1,0 +1,183 @@
+//! `harness` — run named experiment sweeps in parallel.
+//!
+//! ```text
+//! harness list
+//! harness sweep <name> [--scale paper|quick] [--workers N] [--seed S]
+//!                      [--horizon-secs T] [--out PATH]
+//!                      [--check-digests FILE] [--write-digests FILE]
+//! ```
+//!
+//! Exit codes: `0` all runs completed and digests (if checked) match;
+//! `2` at least one run was truncated; `3` digest mismatch; `64` usage
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use harness::{default_workers, run_sweep, sweeps, Scale};
+
+const USAGE: &str = "usage:
+  harness list
+  harness sweep <name> [--scale paper|quick] [--workers N] [--seed S]
+                       [--horizon-secs T] [--out PATH]
+                       [--check-digests FILE] [--write-digests FILE]
+
+--horizon-secs caps every run's simulated-time budget (a too-small cap
+truncates the runs; the sweep then exits 2 and marks each record).
+
+sweeps: fig10, bundle, window, seeds, smoke";
+
+struct Args {
+    name: String,
+    scale: Scale,
+    workers: usize,
+    seed: u64,
+    horizon_secs: Option<u64>,
+    out: Option<PathBuf>,
+    check_digests: Option<PathBuf>,
+    write_digests: Option<PathBuf>,
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("harness: {msg}\n\n{USAGE}");
+    ExitCode::from(64)
+}
+
+fn parse_sweep_args(rest: &[String]) -> Result<Args, String> {
+    let mut it = rest.iter();
+    let name = it.next().ok_or("missing sweep name")?.clone();
+    let mut args = Args {
+        name,
+        scale: Scale::Paper,
+        workers: default_workers(),
+        seed: 1992,
+        horizon_secs: None,
+        out: None,
+        check_digests: None,
+        write_digests: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                let v = value()?;
+                args.scale = Scale::parse(v).ok_or_else(|| format!("unknown scale '{v}'"))?;
+            }
+            "--workers" => {
+                args.workers = value()?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&w| w > 0)
+                    .ok_or("--workers needs a positive integer")?;
+            }
+            "--seed" => {
+                args.seed = value()?.parse().map_err(|_| "--seed needs an integer")?;
+            }
+            "--horizon-secs" => {
+                args.horizon_secs = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "--horizon-secs needs an integer")?,
+                );
+            }
+            "--out" => args.out = Some(PathBuf::from(value()?)),
+            "--check-digests" => args.check_digests = Some(PathBuf::from(value()?)),
+            "--write-digests" => args.write_digests = Some(PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("list") => {
+            println!("available sweeps:");
+            println!("  fig10   the version ladder V1-V4 (paper: 15/29/46/60 %)");
+            println!("  bundle  ray-bundle size ablation on version 4");
+            println!("  window  window-credit ablation on version 3");
+            println!("  seeds   version 4 across five seeds (stability)");
+            println!("  smoke   tiny CI sweep; digests are the determinism golden");
+            ExitCode::SUCCESS
+        }
+        Some("sweep") => {
+            let args = match parse_sweep_args(&argv[1..]) {
+                Ok(a) => a,
+                Err(e) => return usage_error(&e),
+            };
+            let Some(mut sweep) = sweeps::by_name(&args.name, args.scale, args.seed) else {
+                return usage_error(&format!("unknown sweep '{}'", args.name));
+            };
+            if let Some(secs) = args.horizon_secs {
+                for spec in &mut sweep.runs {
+                    spec.cfg.horizon = des::time::SimTime::from_secs(secs);
+                }
+            }
+            eprintln!(
+                "running sweep '{}' ({} runs) on {} worker(s)…",
+                sweep.name,
+                sweep.runs.len(),
+                args.workers
+            );
+            let report = run_sweep(&sweep, args.workers);
+            print!("{}", report.render_table());
+
+            let out = args
+                .out
+                .unwrap_or_else(|| PathBuf::from(format!("artifacts/{}.json", report.sweep)));
+            match report.write_artifact(&out) {
+                Ok(path) => eprintln!("artifact written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("harness: cannot write artifact {}: {e}", out.display());
+                    return ExitCode::from(64);
+                }
+            }
+
+            if let Some(path) = &args.write_digests {
+                if let Err(e) = std::fs::write(path, report.digest_lines()) {
+                    eprintln!("harness: cannot write digests {}: {e}", path.display());
+                    return ExitCode::from(64);
+                }
+                eprintln!("digests written to {}", path.display());
+            }
+
+            let mut code = report.exit_code();
+            if let Some(path) = &args.check_digests {
+                let golden = match std::fs::read_to_string(path) {
+                    Ok(g) => g,
+                    Err(e) => {
+                        eprintln!("harness: cannot read goldens {}: {e}", path.display());
+                        return ExitCode::from(64);
+                    }
+                };
+                match report.check_digests(&golden) {
+                    Ok(()) => eprintln!(
+                        "digests match the goldens in {} — deterministic",
+                        path.display()
+                    ),
+                    Err(errors) => {
+                        for e in errors {
+                            eprintln!("digest check: {e}");
+                        }
+                        code = 3;
+                    }
+                }
+            }
+            if code == 2 {
+                eprintln!(
+                    "harness: {} run(s) truncated — exiting nonzero, the sweep is not a \
+                     valid measurement",
+                    report.truncated_runs().len()
+                );
+            }
+            ExitCode::from(u8::try_from(code).unwrap_or(1))
+        }
+        Some(other) => usage_error(&format!("unknown command '{other}'")),
+        None => usage_error("missing command"),
+    }
+}

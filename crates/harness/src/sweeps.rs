@@ -1,0 +1,297 @@
+//! The named sweeps the `harness` binary can run.
+//!
+//! Each builder returns a [`Sweep`] reproducing one of the paper's
+//! evaluation campaigns: the Figure 10 version ladder, the bundle-size
+//! and window-credit ablations, a multi-seed stability check, and a
+//! small smoke sweep for CI.
+
+use des::time::SimTime;
+use raysim::config::{AppConfig, SceneKind, Version};
+use raysim::run::RunConfig;
+
+use crate::{RunSpec, Sweep};
+
+/// Workload size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// The calibrated sizes behind the recorded numbers.
+    #[default]
+    Paper,
+    /// Shrunk workloads for fast test runs.
+    Quick,
+}
+
+impl Scale {
+    /// Picks the image edge for this scale.
+    pub fn image(self, full: u32, quick: u32) -> u32 {
+        match self {
+            Scale::Paper => full,
+            Scale::Quick => quick,
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "paper" => Some(Scale::Paper),
+            "quick" => Some(Scale::Quick),
+            _ => None,
+        }
+    }
+}
+
+/// The standard experiment run configuration: generous simulated-time
+/// budget, warn-but-run pre-flight analysis (version 3's bug must
+/// execute to be measured).
+fn experiment_config(app: AppConfig, seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::new(app);
+    cfg.seed = seed;
+    cfg.horizon = SimTime::from_secs(36_000);
+    cfg.preflight = analyzer::warn_policy();
+    cfg
+}
+
+/// The application of `version` at `scale`, exactly as
+/// `experiments::fig10_versions` configures it: quick mode shrinks
+/// bundles while preserving each version's distinguishing relations
+/// (V3's queue constant stays inadequate, V4's bundle stays largest).
+fn fig10_app(version: Version, scale: Scale) -> AppConfig {
+    let mut app = AppConfig::version(version);
+    app.width = scale.image(128, 48);
+    app.height = app.width;
+    if scale == Scale::Quick {
+        match version {
+            Version::V1 | Version::V2 => {
+                app.pixel_queue_capacity = 256;
+                app.write_chunk = 4;
+            }
+            Version::V3 => {
+                app.bundle_size = 8;
+                app.pixel_queue_capacity = 128;
+                app.write_chunk = 8;
+            }
+            Version::V4 => {
+                app.bundle_size = 16;
+                app.pixel_queue_capacity = 2_048;
+                app.write_chunk = 16;
+            }
+        }
+    }
+    app
+}
+
+/// F10 — the version ladder V1–V4 (paper: 15 % / 29 % / 46 % / 60 %).
+pub fn fig10(scale: Scale, seed: u64) -> Sweep {
+    let runs = Version::ALL
+        .iter()
+        .map(|&v| {
+            let app = fig10_app(v, scale);
+            let servants = app.servants as u32;
+            RunSpec {
+                label: format!("V{}", v as u8 + 1),
+                cfg: experiment_config(app, seed),
+                servants,
+                version: Some(v),
+                paper_percent: Some(v.paper_utilization_percent()),
+            }
+        })
+        .collect();
+    Sweep {
+        name: "fig10".into(),
+        runs,
+    }
+}
+
+/// Bundle-size ablation on version 4 — why the paper moved from
+/// single-ray jobs to bundles of 50 and then 100.
+pub fn bundle(scale: Scale, seed: u64) -> Sweep {
+    let bundles: &[u32] = match scale {
+        Scale::Paper => &[1, 5, 10, 25, 50, 100, 200],
+        Scale::Quick => &[1, 10, 50],
+    };
+    let runs = bundles
+        .iter()
+        .map(|&bundle| {
+            let mut app = AppConfig::version(Version::V4);
+            app.width = scale.image(96, 32);
+            app.height = app.width;
+            app.bundle_size = bundle;
+            app.pixel_queue_capacity = 16_384;
+            app.write_chunk = bundle.max(4);
+            let servants = app.servants as u32;
+            RunSpec {
+                label: format!("bundle-{bundle}"),
+                cfg: experiment_config(app, seed),
+                servants,
+                version: Some(Version::V4),
+                paper_percent: None,
+            }
+        })
+        .collect();
+    Sweep {
+        name: "bundle".into(),
+        runs,
+    }
+}
+
+/// Window-flow-control credit ablation on version 3 — the scheme
+/// "prevents flooding of the servants … but also ensures that the
+/// servants always have enough work".
+pub fn window(scale: Scale, seed: u64) -> Sweep {
+    let windows: &[u32] = match scale {
+        Scale::Paper => &[1, 2, 3, 5, 8],
+        Scale::Quick => &[1, 3, 8],
+    };
+    let runs = windows
+        .iter()
+        .map(|&w| {
+            let mut app = AppConfig::version(Version::V3);
+            app.width = scale.image(96, 32);
+            app.height = app.width;
+            app.window = w;
+            if scale == Scale::Quick {
+                app.bundle_size = 8;
+                app.pixel_queue_capacity = 128;
+                app.write_chunk = 8;
+            }
+            let servants = app.servants as u32;
+            RunSpec {
+                label: format!("window-{w}"),
+                cfg: experiment_config(app, seed),
+                servants,
+                version: Some(Version::V3),
+                paper_percent: None,
+            }
+        })
+        .collect();
+    Sweep {
+        name: "window".into(),
+        runs,
+    }
+}
+
+/// Multi-seed stability check: the version-4 measurement across several
+/// seeds. Utilization should move only within a narrow band — the
+/// result is a property of the program structure, not of scheduling
+/// accidents.
+pub fn seeds(scale: Scale, base_seed: u64) -> Sweep {
+    let runs = (0..5)
+        .map(|i| {
+            let seed = base_seed + i;
+            let app = fig10_app(Version::V4, scale);
+            let servants = app.servants as u32;
+            RunSpec {
+                label: format!("seed-{seed}"),
+                cfg: experiment_config(app, seed),
+                servants,
+                version: Some(Version::V4),
+                paper_percent: Some(Version::V4.paper_utilization_percent()),
+            }
+        })
+        .collect();
+    Sweep {
+        name: "seeds".into(),
+        runs,
+    }
+}
+
+/// A small, fast sweep for CI: the four versions on a tiny image plus a
+/// two-seed determinism pair. Completes in seconds; its digests are the
+/// golden determinism reference.
+pub fn smoke(seed: u64) -> Sweep {
+    let mut runs: Vec<RunSpec> = Version::ALL
+        .iter()
+        .map(|&v| {
+            let mut app = fig10_app(v, Scale::Quick);
+            app.servants = 4;
+            app.scene = SceneKind::Quickstart;
+            app.width = 16;
+            app.height = 16;
+            let servants = app.servants as u32;
+            RunSpec {
+                label: format!("smoke-V{}", v as u8 + 1),
+                cfg: experiment_config(app, seed),
+                servants,
+                version: Some(v),
+                paper_percent: None,
+            }
+        })
+        .collect();
+    for s in [seed + 100, seed + 101] {
+        let mut app = fig10_app(Version::V4, Scale::Quick);
+        app.servants = 4;
+        app.scene = SceneKind::Quickstart;
+        app.width = 16;
+        app.height = 16;
+        let servants = app.servants as u32;
+        runs.push(RunSpec {
+            label: format!("smoke-seed-{s}"),
+            cfg: experiment_config(app, s),
+            servants,
+            version: Some(Version::V4),
+            paper_percent: None,
+        });
+    }
+    Sweep {
+        name: "smoke".into(),
+        runs,
+    }
+}
+
+/// The names [`by_name`] understands, for `harness list` and usage
+/// messages.
+pub const NAMES: [&str; 5] = ["fig10", "bundle", "window", "seeds", "smoke"];
+
+/// Resolves a sweep by CLI name.
+pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<Sweep> {
+    match name {
+        "fig10" => Some(fig10(scale, seed)),
+        "bundle" => Some(bundle(scale, seed)),
+        "window" => Some(window(scale, seed)),
+        "seeds" => Some(seeds(scale, seed)),
+        "smoke" => Some(smoke(seed)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves() {
+        for name in NAMES {
+            let sweep = by_name(name, Scale::Quick, 1).expect(name);
+            assert_eq!(sweep.name, name);
+            assert!(!sweep.runs.is_empty());
+        }
+        assert!(by_name("nope", Scale::Quick, 1).is_none());
+    }
+
+    #[test]
+    fn fig10_covers_the_ladder() {
+        let sweep = fig10(Scale::Quick, 1992);
+        let labels: Vec<&str> = sweep.runs.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["V1", "V2", "V3", "V4"]);
+        assert!(sweep
+            .runs
+            .iter()
+            .all(|r| r.paper_percent.is_some() && r.servants == 15));
+    }
+
+    #[test]
+    fn quick_fig10_preserves_the_v3_bug() {
+        let v3 = fig10_app(Version::V3, Scale::Quick);
+        let demand = v3.servants as u32 * v3.window * v3.bundle_size;
+        assert!(v3.pixel_queue_capacity < demand);
+        let v4 = fig10_app(Version::V4, Scale::Quick);
+        assert!(v4.bundle_size > v3.bundle_size);
+    }
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("big"), None);
+    }
+}

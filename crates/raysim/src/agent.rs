@@ -72,7 +72,7 @@ impl Agent {
 }
 
 impl Process for Agent {
-    fn resume(&mut self, _ctx: &ProcCtx, why: Resume) -> Action {
+    fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action {
         match (self.state, why) {
             (AState::Boot, Resume::Start) => {
                 // Work may already be queued: the owner enqueues and
@@ -132,10 +132,7 @@ impl Process for Agent {
             }
             (AState::SleepEmit, Resume::EmitDone) => self.after_sleep_emit(),
             (state, why) => {
-                panic!(
-                    "agent {} in state {state:?} cannot handle {why:?}",
-                    self.index
-                )
+                crate::diag::protocol_violation(ctx, &format!("agent {}", self.index), &state, &why)
             }
         }
     }

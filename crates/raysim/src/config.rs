@@ -73,13 +73,16 @@ pub enum SceneKind {
     FractalPyramid(u32),
     /// A scene description file (see [`raytracer::sdl`]) — what the
     /// paper's servants actually read during initialization.
-    Described(std::rc::Rc<String>),
+    ///
+    /// `Arc` rather than `Rc`: run configurations are shipped across
+    /// worker threads by the sweep harness, so they must be `Send`.
+    Described(std::sync::Arc<String>),
 }
 
 impl SceneKind {
     /// Wraps a scene-description text.
     pub fn from_description(text: impl Into<String>) -> SceneKind {
-        SceneKind::Described(std::rc::Rc::new(text.into()))
+        SceneKind::Described(std::sync::Arc::new(text.into()))
     }
 }
 

@@ -1,0 +1,59 @@
+//! Diagnostics for protocol violations inside application processes.
+//!
+//! Every process in this crate is a `(state, resume)` state machine; an
+//! unexpected combination means the application protocol was broken —
+//! by a kernel bug, a truncated run resumed with stale state, or an
+//! event-ordering bug. The panic must therefore carry enough context to
+//! debug a simulation of thousands of processes: *when* (simulated
+//! time), *where* (node), and *who* (pid + process label), not just the
+//! bare state pair.
+
+use suprenum::{ProcCtx, Resume};
+
+/// Panics with a fully attributed protocol-violation report.
+///
+/// `who` is the process's own identity (e.g. `"servant 3"`); `state`
+/// is its current protocol state. Always panics — the process cannot
+/// continue from a state it has no transition for, and silently
+/// ignoring the resume would corrupt the measurement.
+///
+/// # Panics
+///
+/// Always.
+#[cold]
+pub fn protocol_violation(
+    ctx: &ProcCtx,
+    who: &str,
+    state: &dyn std::fmt::Debug,
+    why: &Resume,
+) -> ! {
+    panic!(
+        "protocol violation at t={} on {} ({}): {who} in state {state:?} cannot handle {why:?}",
+        ctx.now, ctx.node, ctx.pid
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::time::SimTime;
+    use suprenum::{NodeId, ProcessId};
+
+    #[test]
+    fn report_carries_time_node_and_pid() {
+        let ctx = ProcCtx {
+            pid: ProcessId::new(7),
+            node: NodeId::new(3),
+            now: SimTime::from_millis(250),
+        };
+        let err = std::panic::catch_unwind(|| {
+            protocol_violation(&ctx, "servant 2", &"WaitJobRecv", &Resume::Start)
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("0.250000s"), "no sim time in {msg:?}");
+        assert!(msg.contains("servant 2"), "no identity in {msg:?}");
+        assert!(msg.contains("WaitJobRecv"), "no state in {msg:?}");
+        assert!(msg.contains("Start"), "no resume in {msg:?}");
+    }
+}

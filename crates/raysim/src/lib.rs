@@ -40,6 +40,7 @@ pub mod agent;
 pub mod analysis;
 pub mod config;
 pub mod context;
+pub mod diag;
 pub mod master;
 pub mod objpart;
 pub mod pixels;
@@ -51,4 +52,4 @@ pub mod tokens;
 
 pub use config::{AppConfig, SceneKind, Version};
 pub use context::{AppStats, RenderContext};
-pub use run::{run, RunConfig, RunResult};
+pub use run::{run, RunConfig, RunResult, TruncatedRun};

@@ -390,7 +390,7 @@ impl Process for Master {
                     self.distribute()
                 }
             }
-            (state, why) => panic!("master in state {state:?} cannot handle {why:?}"),
+            (state, why) => crate::diag::protocol_violation(ctx, "master", &state, &why),
         }
     }
 

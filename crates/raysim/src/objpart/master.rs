@@ -288,7 +288,7 @@ impl Process for ObjMaster {
                 }
             }
             (State::WriteEnd, Resume::EmitDone) => Action::Exit,
-            (state, why) => panic!("object master in state {state:?} cannot handle {why:?}"),
+            (state, why) => crate::diag::protocol_violation(ctx, "object master", &state, &why),
         }
     }
 

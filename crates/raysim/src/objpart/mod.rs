@@ -84,6 +84,26 @@ impl ObjRunResult {
     pub fn completed(&self) -> bool {
         self.outcome.reason == suprenum::RunEnd::Completed
     }
+
+    /// Errors with a [`crate::run::TruncatedRun`] report if the run did
+    /// not complete — the same loud-failure contract as
+    /// [`crate::run::RunResult::ensure_completed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::run::TruncatedRun`] when the outcome is anything
+    /// but [`suprenum::RunEnd::Completed`].
+    pub fn ensure_completed(&self) -> Result<(), crate::run::TruncatedRun> {
+        if self.completed() {
+            Ok(())
+        } else {
+            Err(crate::run::TruncatedRun {
+                reason: self.outcome.reason,
+                end: self.outcome.end,
+                events: self.outcome.events,
+            })
+        }
+    }
 }
 
 /// Runs the object-partitioned renderer on the simulated machine.

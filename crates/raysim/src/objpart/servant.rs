@@ -167,12 +167,12 @@ impl Process for ObjServant {
                     param: 0,
                 }
             }
-            (state, why) => {
-                panic!(
-                    "object servant {} in state {state:?} cannot handle {why:?}",
-                    self.index
-                )
-            }
+            (state, why) => crate::diag::protocol_violation(
+                ctx,
+                &format!("object servant {}", self.index),
+                &state,
+                &why,
+            ),
         }
     }
 

@@ -129,7 +129,66 @@ impl RunResult {
     pub fn completed(&self) -> bool {
         self.outcome.reason == RunEnd::Completed
     }
+
+    /// Returns `true` if the run was cut short by the horizon, an event
+    /// budget, the operator's job time limit, or a deadlock. Statistics
+    /// derived from a truncated run describe an interrupted execution.
+    pub fn truncated(&self) -> bool {
+        self.outcome.truncated()
+    }
+
+    /// Kernel events the simulation processed.
+    pub fn events_processed(&self) -> u64 {
+        self.outcome.events
+    }
+
+    /// Errors if the run did not complete, with a report naming the
+    /// truncation kind, the simulated end time, and the events
+    /// processed. Figure and experiment binaries use this to fail
+    /// loudly (non-zero exit) instead of printing statistics from an
+    /// interrupted measurement as if they were valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruncatedRun`] when the outcome is anything but
+    /// [`RunEnd::Completed`].
+    pub fn ensure_completed(&self) -> Result<(), TruncatedRun> {
+        if self.completed() {
+            Ok(())
+        } else {
+            Err(TruncatedRun {
+                reason: self.outcome.reason,
+                end: self.outcome.end,
+                events: self.outcome.events,
+            })
+        }
+    }
 }
+
+/// A measurement run that did not reach completion (see
+/// [`RunResult::ensure_completed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncatedRun {
+    /// How the run actually ended.
+    pub reason: RunEnd,
+    /// Simulated time at truncation.
+    pub end: SimTime,
+    /// Kernel events processed before truncation.
+    pub events: u64,
+}
+
+impl std::fmt::Display for TruncatedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "run truncated ({}) at t={} after {} kernel events; \
+             its statistics do not describe a complete execution",
+            self.reason, self.end, self.events
+        )
+    }
+}
+
+impl std::error::Error for TruncatedRun {}
 
 /// Converts a machine's display signal log into ZM4 probe samples
 /// (channel = node index).

@@ -196,12 +196,12 @@ impl Process for Servant {
                 Action::Yield
             }
             (SState::SendYield, Resume::Yielded) => self.wait_for_job(),
-            (state, why) => {
-                panic!(
-                    "servant {} in state {state:?} cannot handle {why:?}",
-                    self.index
-                )
-            }
+            (state, why) => crate::diag::protocol_violation(
+                ctx,
+                &format!("servant {}", self.index),
+                &state,
+                &why,
+            ),
         }
     }
 

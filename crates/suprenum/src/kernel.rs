@@ -44,6 +44,7 @@ use crate::topology::{Route, Topology};
 const MAX_ZERO_COST_ACTIONS: u32 = 1_000_000;
 
 /// Kernel events.
+#[derive(Debug)]
 enum Ev {
     /// Try to start the next ready LWP on a node.
     Dispatch(NodeId),
@@ -91,6 +92,29 @@ pub enum RunEnd {
     EventBudget,
 }
 
+impl RunEnd {
+    /// Returns `true` if the run was cut short — any end other than
+    /// [`RunEnd::Completed`]. A truncated run's derived statistics
+    /// (utilization, job counts, phase durations) describe an
+    /// *interrupted* execution and must not be compared against
+    /// completed runs.
+    pub fn is_truncation(self) -> bool {
+        self != RunEnd::Completed
+    }
+}
+
+impl std::fmt::Display for RunEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RunEnd::Completed => "completed",
+            RunEnd::Deadlock => "deadlock",
+            RunEnd::Horizon => "horizon",
+            RunEnd::ResourcesReleased => "resources-released",
+            RunEnd::EventBudget => "event-budget",
+        })
+    }
+}
+
 /// Result of a completed run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOutcome {
@@ -98,6 +122,17 @@ pub struct RunOutcome {
     pub end: SimTime,
     /// Why the run ended.
     pub reason: RunEnd,
+    /// Kernel events the simulation loop processed during this run —
+    /// the measure a step budget is charged against.
+    pub events: u64,
+}
+
+impl RunOutcome {
+    /// Returns `true` if the run was cut short (see
+    /// [`RunEnd::is_truncation`]).
+    pub fn truncated(&self) -> bool {
+        self.reason.is_truncation()
+    }
 }
 
 /// Aggregate kernel counters.
@@ -339,6 +374,7 @@ impl Machine {
         RunOutcome {
             end: self.sim.now(),
             reason,
+            events: self.sim.steps_handled(),
         }
     }
 

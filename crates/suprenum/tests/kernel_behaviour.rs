@@ -326,6 +326,65 @@ fn deadlock_is_reported() {
     assert_eq!(out.reason, RunEnd::Deadlock);
 }
 
+/// A livelocked toy program — two processes computing and ping-ponging
+/// forever — trips the event budget instead of spinning until the
+/// horizon, and the outcome says so.
+#[test]
+fn event_budget_catches_livelock() {
+    let mut m = machine(1);
+    let spinner = ClosureProc::new("spinner", |_ctx, _why, _step| {
+        // Never exits, never blocks for long: classic livelock shape.
+        Action::Compute(SimDuration::from_nanos(10))
+    });
+    m.add_process(NodeId::new(0), spinner);
+    let out = m.run_budgeted(SimTime::from_secs(3_600), 5_000);
+    assert_eq!(out.reason, RunEnd::EventBudget);
+    assert!(out.reason.is_truncation());
+    assert!(out.truncated());
+    // The budget is charged against processed kernel events.
+    assert!(
+        out.events >= 5_000,
+        "only {} events processed before the budget",
+        out.events
+    );
+    assert!(out.end < SimTime::from_secs(3_600));
+}
+
+/// A run against a horizon shorter than the program reports `Horizon`,
+/// counts its events, and is flagged as truncated.
+#[test]
+fn horizon_truncation_is_reported() {
+    let mut m = machine(1);
+    let worker = ClosureProc::new("worker", |_ctx, _why, step| {
+        if step < 100 {
+            Action::Compute(SimDuration::from_millis(10))
+        } else {
+            Action::Exit
+        }
+    });
+    m.add_process(NodeId::new(0), worker);
+    // 100 * 10ms = 1s of work against a 50ms horizon.
+    let out = m.run(SimTime::from_millis(50));
+    assert_eq!(out.reason, RunEnd::Horizon);
+    assert!(out.truncated());
+    assert!(out.events > 0);
+
+    // The same program given room completes, and completion is not a
+    // truncation.
+    let mut m = machine(1);
+    let worker = ClosureProc::new("worker", |_ctx, _why, step| {
+        if step < 100 {
+            Action::Compute(SimDuration::from_millis(10))
+        } else {
+            Action::Exit
+        }
+    });
+    m.add_process(NodeId::new(0), worker);
+    let out = m.run(SimTime::from_secs(10));
+    assert_eq!(out.reason, RunEnd::Completed);
+    assert!(!out.truncated());
+}
+
 /// Hybrid monitoring: each Emit produces exactly the 32-pattern sequence
 /// on the emitting node's display, and the external decoder recovers the
 /// event.
