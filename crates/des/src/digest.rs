@@ -1,0 +1,103 @@
+//! Incremental FNV-1a digesting.
+//!
+//! The workspace's determinism checks compare 64-bit FNV-1a digests of
+//! event traces (golden files, sweep artifacts, CI drift checks). This
+//! module is the single implementation: an incremental hasher that can
+//! digest a stream record-by-record, so hot paths never need to retain
+//! a full trace just to fingerprint it.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a hasher.
+///
+/// # Examples
+///
+/// ```
+/// use des::digest::Fnv64;
+///
+/// let mut h = Fnv64::new();
+/// h.write_u64(42);
+/// h.write_bytes(b"trace");
+///
+/// // Incremental digesting is byte-equivalent to one-shot digesting.
+/// let mut g = Fnv64::new();
+/// g.write_bytes(&42u64.to_le_bytes());
+/// g.write_bytes(b"trace");
+/// assert_eq!(h.finish(), g.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    #[inline]
+    pub const fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorbs one byte.
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorbs a byte slice.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorbs a `u64` as its 8 little-endian bytes.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// The digest of everything absorbed so far. Non-consuming: more
+    /// data may be written afterwards.
+    #[inline]
+    pub const fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        let digest = |s: &str| {
+            let mut h = Fnv64::new();
+            h.write_bytes(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(digest(""), FNV_OFFSET);
+        assert_eq!(digest("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut one = Fnv64::new();
+        one.write_bytes(b"hello world");
+        let mut inc = Fnv64::new();
+        inc.write_bytes(b"hello");
+        inc.write_bytes(b" ");
+        inc.write_bytes(b"world");
+        assert_eq!(one.finish(), inc.finish());
+    }
+}

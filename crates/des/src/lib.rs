@@ -39,6 +39,7 @@
 //! ```
 
 pub mod clock;
+pub mod digest;
 pub mod engine;
 pub mod queue;
 pub mod rng;

@@ -3,41 +3,68 @@
 //! Events are ordered by timestamp; events with equal timestamps pop in the
 //! order they were pushed (FIFO tie-break by a monotonically increasing
 //! sequence number). This is what makes the whole simulation deterministic:
-//! `BinaryHeap` alone gives no guarantee for equal keys.
+//! a plain heap alone gives no guarantee for equal keys.
+//!
+//! # Implementation: a two-level calendar queue
+//!
+//! [`EventQueue`] is a *calendar queue* (Brown 1988) specialized for the
+//! kernel's scheduling pattern, where the overwhelming majority of events
+//! fire a short delay after the current time:
+//!
+//! * a **near-future window** of [`NUM_BUCKETS`] buckets, each covering a
+//!   power-of-two span of simulated time. Pushing into the window appends
+//!   to a bucket (amortized O(1)); popping takes from the current bucket,
+//!   which is sorted lazily the first time it is consumed;
+//! * a **far-future heap** for events beyond the window. When the window
+//!   empties, it is re-anchored at the heap's earliest event and the
+//!   bucket width is re-derived from the observed spread of the next
+//!   batch of far events, so the queue adapts to both microsecond-scale
+//!   kernel chatter and second-scale application timers.
+//!
+//! The pop order is **exactly** that of a binary heap ordered by
+//! `(time, seq)` — bit-for-bit, for any interleaving of pushes and pops —
+//! which [`reference::ReferenceQueue`] (the previous implementation) keeps
+//! checkable: the property tests below drive both queues with arbitrary
+//! workloads and require identical pop sequences.
+//!
+//! # Sequence numbers and [`EventQueue::clear`]
+//!
+//! `clear()` discards pending events but deliberately does **not** reset
+//! the internal sequence counter: FIFO tie-breaking only ever compares
+//! events that coexist in the queue, so a monotonically continuing counter
+//! yields the same pop order as a reset one, while making every event's
+//! sequence number unique across the whole run — replays that clear the
+//! queue mid-run (e.g. on application termination) stay deterministic and
+//! their event identities stay unambiguous. [`EventQueue::events_pushed`]
+//! exposes the counter so this persistence is testable.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// A timestamp-ordered queue of pending events with FIFO tie-breaking.
-///
-/// # Examples
-///
-/// ```
-/// use des::queue::EventQueue;
-/// use des::time::SimTime;
-///
-/// let mut q = EventQueue::new();
-/// q.push(SimTime::from_nanos(5), "late");
-/// q.push(SimTime::from_nanos(1), "early");
-/// q.push(SimTime::from_nanos(5), "late-second");
-/// assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "early")));
-/// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "late")));
-/// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "late-second")));
-/// assert_eq!(q.pop(), None);
-/// ```
-#[derive(Debug)]
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    next_seq: u64,
-}
+pub mod reference;
+
+/// Number of near-future buckets. A power of two so the bucket index is a
+/// shift and mask away from the timestamp.
+const NUM_BUCKETS: usize = 512;
+
+/// Default log2 bucket width in nanoseconds (1 µs buckets → a 512 µs
+/// window), matching the kernel's context-switch/display-write scale.
+const DEFAULT_SHIFT: u32 = 10;
 
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
     event: E,
+}
+
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -60,53 +87,286 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// One near-future bucket: entries in arbitrary order until first
+/// consumed, then kept sorted **descending** by `(time, seq)` so the
+/// minimum pops from the back in O(1).
+#[derive(Debug)]
+struct Bucket<E> {
+    items: Vec<Entry<E>>,
+    sorted: bool,
+}
+
+impl<E> Bucket<E> {
+    const fn new() -> Self {
+        Bucket {
+            items: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Appends without sorting; consumption sorts lazily.
+    #[inline]
+    fn push_lazy(&mut self, entry: Entry<E>) {
+        self.sorted = false;
+        self.items.push(entry);
+    }
+
+    /// Inserts keeping descending order, so the current bucket stays
+    /// consumable in O(1) between pops.
+    #[inline]
+    fn push_sorted(&mut self, entry: Entry<E>) {
+        if !self.sorted {
+            self.items.push(entry);
+            return;
+        }
+        // Descending order: the minimum lives at the back; a new
+        // minimum appends in O(1), anything else binary-searches its
+        // slot. Current-bucket occupancy is small (a handful of
+        // events within one bucket width), so the insert memmove is
+        // cheap.
+        let key = entry.key();
+        if self.items.last().is_none_or(|last| last.key() > key) {
+            self.items.push(entry);
+            return;
+        }
+        let pos = self.items.partition_point(|e| e.key() > key);
+        self.items.insert(pos, entry);
+    }
+
+    /// Sorts descending if needed, then pops the minimum entry.
+    #[inline]
+    fn pop_min(&mut self) -> Option<Entry<E>> {
+        if !self.sorted {
+            self.items
+                .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+            self.sorted = true;
+        }
+        self.items.pop()
+    }
+
+    /// The minimum `(time, seq)` key, without mutating.
+    #[inline]
+    fn min_key(&self) -> Option<(SimTime, u64)> {
+        if self.sorted {
+            self.items.last().map(Entry::key)
+        } else {
+            self.items.iter().map(Entry::key).min()
+        }
+    }
+}
+
+/// A timestamp-ordered queue of pending events with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use des::queue::EventQueue;
+/// use des::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(5), "late");
+/// q.push(SimTime::from_nanos(1), "early");
+/// q.push(SimTime::from_nanos(5), "late-second");
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "late")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "late-second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    /// Near-future window: bucket `i` covers
+    /// `[epoch + (i << shift), epoch + ((i + 1) << shift))`.
+    buckets: Vec<Bucket<E>>,
+    /// Index of the first possibly non-empty bucket.
+    cur: usize,
+    /// Start time (ns) of bucket 0's span.
+    epoch: u64,
+    /// log2 of the bucket width in nanoseconds.
+    shift: u32,
+    /// Far-future events (at or beyond the window end).
+    far: BinaryHeap<Reverse<Entry<E>>>,
+    /// Events currently queued (near + far).
+    len: usize,
+    next_seq: u64,
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..NUM_BUCKETS).map(|_| Bucket::new()).collect(),
+            cur: 0,
+            epoch: 0,
+            shift: DEFAULT_SHIFT,
+            far: BinaryHeap::new(),
+            len: 0,
             next_seq: 0,
         }
     }
 
-    /// Creates an empty queue with space for `capacity` events.
+    /// Creates an empty queue with far-future space for `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            next_seq: 0,
-        }
+        let mut q = EventQueue::new();
+        q.far = BinaryHeap::with_capacity(capacity);
+        q
+    }
+
+    /// End (exclusive) of the near-future window.
+    #[inline]
+    fn window_end(&self) -> u64 {
+        self.epoch
+            .saturating_add((NUM_BUCKETS as u64) << self.shift)
+    }
+
+    /// The bucket index for `t`, clamped into `[cur, NUM_BUCKETS)`.
+    ///
+    /// Times before the current bucket's span (legal: the queue API does
+    /// not forbid pushing "into the past") land in the current bucket,
+    /// where within-bucket ordering still pops them first.
+    #[inline]
+    fn bucket_index(&self, t: u64) -> usize {
+        let idx = ((t.saturating_sub(self.epoch)) >> self.shift) as usize;
+        idx.clamp(self.cur, NUM_BUCKETS - 1)
     }
 
     /// Enqueues `event` to fire at `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.len += 1;
+        let entry = Entry { time, seq, event };
+        let t = time.as_nanos();
+        // Beyond the window — or the window is fully consumed
+        // (`cur == NUM_BUCKETS`): park in the far heap; the next pop
+        // re-anchors the window around it.
+        if t >= self.window_end() || self.cur >= NUM_BUCKETS {
+            self.far.push(Reverse(entry));
+            return;
+        }
+        let idx = self.bucket_index(t);
+        if idx == self.cur {
+            // The current bucket is consumed between pushes; keeping it
+            // sorted preserves O(1) peek/pop for the dominant
+            // schedule-now / tiny-delay pattern.
+            self.buckets[idx].push_sorted(entry);
+        } else {
+            self.buckets[idx].push_lazy(entry);
+        }
+    }
+
+    /// Advances `cur` past empty buckets; returns the index of the first
+    /// non-empty bucket, or `None` if the window is exhausted.
+    #[inline]
+    fn advance_to_nonempty(&mut self) -> Option<usize> {
+        while self.cur < NUM_BUCKETS {
+            if !self.buckets[self.cur].items.is_empty() {
+                return Some(self.cur);
+            }
+            self.cur += 1;
+        }
+        None
+    }
+
+    /// Re-anchors the (empty) near window at the far heap's earliest
+    /// event and re-derives the bucket width from the spread of the next
+    /// batch, then drains every far event inside the new window into the
+    /// buckets. Caller guarantees `far` is non-empty and all buckets are
+    /// empty.
+    fn re_anchor(&mut self) {
+        debug_assert!(self.buckets.iter().all(|b| b.items.is_empty()));
+        // Pull up to one bucket's worth of events to size the window.
+        let mut batch: Vec<Entry<E>> = Vec::with_capacity(NUM_BUCKETS.min(self.far.len()));
+        while batch.len() < NUM_BUCKETS {
+            match self.far.pop() {
+                Some(Reverse(e)) => batch.push(e),
+                None => break,
+            }
+        }
+        let min_t = batch.first().expect("re_anchor on empty far heap").time;
+        let max_t = batch.last().expect("nonempty batch").time;
+        let span = max_t.as_nanos() - min_t.as_nanos();
+        // Aim for roughly one batch event per bucket: width ≥ span / N,
+        // clamped so degenerate spreads stay sane.
+        self.shift = if span == 0 {
+            DEFAULT_SHIFT
+        } else {
+            (64 - (span / NUM_BUCKETS as u64).leading_zeros()).clamp(1, 40)
+        };
+        self.epoch = min_t.as_nanos();
+        self.cur = 0;
+        for e in batch {
+            let idx = self.bucket_index(e.time.as_nanos());
+            self.buckets[idx].push_lazy(e);
+        }
+        // The window may now cover further far events; the invariant
+        // (every far event at/beyond the window end) must be restored.
+        let end = self.window_end();
+        while let Some(Reverse(e)) = self.far.peek() {
+            if e.time.as_nanos() >= end {
+                break;
+            }
+            let Reverse(e) = self.far.pop().expect("peeked nonempty heap");
+            let idx = self.bucket_index(e.time.as_nanos());
+            self.buckets[idx].push_lazy(e);
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+        loop {
+            if let Some(idx) = self.advance_to_nonempty() {
+                let e = self.buckets[idx].pop_min().expect("nonempty bucket");
+                self.len -= 1;
+                return Some((e.time, e.event));
+            }
+            if self.far.is_empty() {
+                return None;
+            }
+            self.re_anchor();
+        }
     }
 
     /// Returns the timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        for b in &self.buckets[self.cur..] {
+            if let Some((t, _)) = b.min_key() {
+                return Some(t);
+            }
+        }
+        self.far.peek().map(|Reverse(e)| e.time)
     }
 
     /// Returns the number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Removes all pending events.
+    ///
+    /// The sequence counter is **not** reset (see the module
+    /// documentation): events pushed after a `clear()` continue the
+    /// global FIFO numbering, which changes nothing about pop order but
+    /// keeps event identities unique across the whole run.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for b in &mut self.buckets {
+            b.items.clear();
+            b.sorted = true;
+        }
+        self.cur = 0;
+        self.far.clear();
+        self.len = 0;
+    }
+
+    /// Total events ever pushed onto this queue — the next event's FIFO
+    /// sequence number. Monotonic for the queue's whole lifetime,
+    /// *including across [`clear`](Self::clear)*.
+    pub fn events_pushed(&self) -> u64 {
+        self.next_seq
     }
 }
 
@@ -118,6 +378,7 @@ impl<E> Default for EventQueue<E> {
 
 #[cfg(test)]
 mod tests {
+    use super::reference::ReferenceQueue;
     use super::*;
     use proptest::prelude::*;
 
@@ -158,6 +419,90 @@ mod tests {
         assert_eq!(q.peek_time(), None);
     }
 
+    #[test]
+    fn far_future_events_cross_the_window() {
+        let mut q = EventQueue::new();
+        // Far beyond the initial window (1 µs × 512 buckets ≈ 0.5 ms).
+        q.push(SimTime::from_secs(10), "far");
+        q.push(SimTime::from_nanos(1), "near");
+        q.push(SimTime::from_secs(3), "mid");
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "near")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), "mid")));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(10)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(10), "far")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), 0);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(100), 0)));
+        // Push "into the past" relative to the consumed bucket: the queue
+        // API permits it and must still pop in (time, seq) order.
+        q.push(SimTime::from_nanos(50), 1);
+        q.push(SimTime::from_nanos(150), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(50), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(150), 2)));
+    }
+
+    #[test]
+    fn sequence_counter_persists_across_clear() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1), "a");
+        q.push(SimTime::from_nanos(2), "b");
+        assert_eq!(q.events_pushed(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        // The counter continues — clearing must not recycle sequence
+        // numbers (replays from a cleared queue stay deterministic and
+        // event identities stay unique).
+        assert_eq!(q.events_pushed(), 2);
+        q.push(SimTime::from_nanos(1), "c");
+        assert_eq!(q.events_pushed(), 3);
+        // FIFO ordering among post-clear events is unaffected.
+        q.push(SimTime::from_nanos(1), "d");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "c")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "d")));
+    }
+
+    #[test]
+    fn equal_time_burst_spanning_clear_stays_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(3);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        q.clear();
+        for i in 10..20 {
+            q.push(t, i);
+        }
+        for i in 10..20 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    /// One step of the differential workload driver.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(u64),
+        Pop,
+    }
+
+    /// Decodes a `(selector, value)` pair into an [`Op`], weighting the
+    /// mix the way a simulation behaves: mostly short-delay pushes, some
+    /// equal-timestamp bursts, some horizon-spanning far-future pushes,
+    /// and pops from every window state.
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0u8..10, 0u64..10_000_000_000).prop_map(|(sel, v)| match sel {
+            0..=3 => Op::Push(v % 5_000),
+            4 | 5 => Op::Push(1_000),
+            6 => Op::Push(1_000_000 + v % 9_999_000_000),
+            _ => Op::Pop,
+        })
+    }
+
     proptest! {
         /// Popping always yields a non-decreasing time sequence, and for
         /// equal times the original insertion order.
@@ -176,6 +521,82 @@ mod tests {
                     }
                 }
                 prev = Some((t, i));
+            }
+        }
+
+        /// Differential test against the reference binary-heap queue: for
+        /// arbitrary interleaved push/pop workloads — equal-timestamp
+        /// bursts, horizon-spanning delays, pops from every window state —
+        /// the calendar queue and the reference queue produce identical
+        /// pop sequences.
+        #[test]
+        fn matches_reference_queue(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+            let mut calendar = EventQueue::new();
+            let mut reference = ReferenceQueue::new();
+            // Drive pushes relative to the last popped time so the
+            // workload walks forward through many windows, as a
+            // simulation does.
+            let mut base = 0u64;
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    Op::Push(delay) => {
+                        let t = SimTime::from_nanos(base + delay);
+                        calendar.push(t, i);
+                        reference.push(t, i);
+                    }
+                    Op::Pop => {
+                        prop_assert_eq!(calendar.peek_time(), reference.peek_time());
+                        let a = calendar.pop();
+                        let b = reference.pop();
+                        prop_assert_eq!(a, b);
+                        if let Some((t, _)) = a {
+                            base = t.as_nanos();
+                        }
+                    }
+                }
+                prop_assert_eq!(calendar.len(), reference.len());
+            }
+            // Drain both completely.
+            loop {
+                prop_assert_eq!(calendar.peek_time(), reference.peek_time());
+                let a = calendar.pop();
+                let b = reference.pop();
+                prop_assert_eq!(&a, &b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+
+        /// Same differential check under a clear() injected mid-workload.
+        #[test]
+        fn matches_reference_across_clear(
+            before in proptest::collection::vec(0u64..100_000, 0..50),
+            after in proptest::collection::vec(0u64..100_000, 0..50),
+        ) {
+            let mut calendar = EventQueue::new();
+            let mut reference = ReferenceQueue::new();
+            for (i, &t) in before.iter().enumerate() {
+                calendar.push(SimTime::from_nanos(t), i);
+                reference.push(SimTime::from_nanos(t), i);
+            }
+            // Consume half, then clear.
+            for _ in 0..before.len() / 2 {
+                prop_assert_eq!(calendar.pop(), reference.pop());
+            }
+            calendar.clear();
+            reference.clear();
+            prop_assert_eq!(calendar.events_pushed(), reference.events_pushed());
+            for (i, &t) in after.iter().enumerate() {
+                calendar.push(SimTime::from_nanos(t), i);
+                reference.push(SimTime::from_nanos(t), i);
+            }
+            loop {
+                let a = calendar.pop();
+                prop_assert_eq!(&a, &reference.pop());
+                if a.is_none() {
+                    break;
+                }
             }
         }
     }

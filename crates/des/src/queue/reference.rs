@@ -1,0 +1,111 @@
+//! The original binary-heap event queue, kept as a reference model.
+//!
+//! [`ReferenceQueue`] is the pre-calendar implementation of
+//! [`EventQueue`](super::EventQueue): a `BinaryHeap<Reverse<Entry>>`
+//! ordered by `(time, seq)`. It is intentionally simple — its
+//! correctness is easy to see — which makes it the oracle for the
+//! differential property tests in [`super`] and the baseline for the
+//! `micro_queue` benchmark. It is **not** used by the simulator.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Binary-heap `(time, seq)`-ordered queue with the same API and
+/// semantics as [`EventQueue`](super::EventQueue).
+#[derive(Debug)]
+pub struct ReferenceQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+impl<E> ReferenceQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ReferenceQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with space for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ReferenceQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Enqueues `event` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Returns the timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events without resetting the sequence counter
+    /// (same semantics as [`EventQueue::clear`](super::EventQueue::clear)).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Total events ever pushed — see
+    /// [`EventQueue::events_pushed`](super::EventQueue::events_pushed).
+    pub fn events_pushed(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E> Default for ReferenceQueue<E> {
+    fn default() -> Self {
+        ReferenceQueue::new()
+    }
+}

@@ -32,6 +32,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use des::digest::Fnv64;
 use raysim::analysis::{servant_utilization, servant_utilization_steady, steady_phase, work_phase};
 use raysim::config::Version;
 use raysim::run::{run, RunConfig};
@@ -98,6 +99,10 @@ pub struct RunRecord {
     pub wall_ms: f64,
     /// Kernel events the simulation loop processed.
     pub events_processed: u64,
+    /// Event-loop throughput: `events_processed` per wall-clock second.
+    /// Host-dependent and informational only — never part of the
+    /// digest; the benchmark baseline compares this across commits.
+    pub events_per_sec: f64,
     /// Events in the merged monitoring trace.
     pub trace_events: usize,
     /// FNV-1a digest over the merged trace and the run outcome,
@@ -130,46 +135,21 @@ pub struct SweepReport {
     pub records: Vec<RunRecord>,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Incremental FNV-1a over byte chunks.
-#[derive(Debug, Clone, Copy)]
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(FNV_OFFSET)
-    }
-    fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-    fn u64(&mut self, v: u64) {
-        self.update(&v.to_le_bytes());
-    }
-    fn hex(self) -> String {
-        format!("{:016x}", self.0)
-    }
-}
-
 /// The digest of a run: every merged trace event plus the outcome.
 /// Wall-clock time and host-side derived floats are deliberately
 /// excluded — the digest must depend only on simulated behaviour.
 fn trace_digest(trace: &Trace, end_ns: u64, reason: RunEnd, events: u64) -> String {
-    let mut h = Fnv::new();
+    let mut h = Fnv64::new();
     for e in trace.events() {
-        h.u64(e.ts_ns);
-        h.u64(e.channel as u64);
-        h.u64(u64::from(e.token.value()));
-        h.u64(u64::from(e.param.value()));
+        h.write_u64(e.ts_ns);
+        h.write_u64(e.channel as u64);
+        h.write_u64(u64::from(e.token.value()));
+        h.write_u64(u64::from(e.param.value()));
     }
-    h.u64(end_ns);
-    h.u64(reason as u64);
-    h.u64(events);
-    h.hex()
+    h.write_u64(end_ns);
+    h.write_u64(reason as u64);
+    h.write_u64(events);
+    format!("{:016x}", h.finish())
 }
 
 /// Fingerprint of a configuration, for artifact provenance. The
@@ -177,13 +157,13 @@ fn trace_digest(trace: &Trace, end_ns: u64, reason: RunEnd, events: u64) -> Stri
 /// addresses vary between builds, and it does not change the measured
 /// behaviour under `Off`/`Warn`.
 fn config_fingerprint(cfg: &RunConfig) -> String {
-    let mut h = Fnv::new();
-    h.update(format!("{:?}", cfg.app).as_bytes());
-    h.update(format!("{:?}", cfg.machine).as_bytes());
-    h.update(format!("{:?}", cfg.zm4).as_bytes());
-    h.u64(cfg.seed);
-    h.u64(cfg.horizon.as_nanos());
-    h.hex()
+    let mut h = Fnv64::new();
+    h.write_bytes(format!("{:?}", cfg.app).as_bytes());
+    h.write_bytes(format!("{:?}", cfg.machine).as_bytes());
+    h.write_bytes(format!("{:?}", cfg.zm4).as_bytes());
+    h.write_u64(cfg.seed);
+    h.write_u64(cfg.horizon.as_nanos());
+    format!("{:016x}", h.finish())
 }
 
 /// Executes one spec on the calling thread and derives its record.
@@ -208,6 +188,11 @@ pub fn execute(spec: &RunSpec) -> RunRecord {
         sim_end_ns: result.outcome.end.as_nanos(),
         wall_ms,
         events_processed: result.outcome.events,
+        events_per_sec: if wall_ms > 0.0 {
+            result.outcome.events as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
         trace_events: result.trace.len(),
         trace_digest: trace_digest(
             &result.trace,
@@ -293,8 +278,29 @@ impl SweepReport {
         }
     }
 
-    /// Renders the whole report as a JSON artifact.
-    pub fn to_json(&self) -> String {
+    /// Total kernel events processed across all runs.
+    pub fn total_events(&self) -> u64 {
+        self.records.iter().map(|r| r.events_processed).sum()
+    }
+
+    /// Total wall-clock milliseconds across all runs (summed over runs,
+    /// so it is worker-count independent — unlike the sweep's elapsed
+    /// time).
+    pub fn total_wall_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.wall_ms).sum()
+    }
+
+    /// Aggregate event-loop throughput of the whole sweep: total events
+    /// over total per-run wall time. `None` when nothing was measured.
+    pub fn aggregate_events_per_sec(&self) -> Option<f64> {
+        let wall = self.total_wall_ms();
+        (wall > 0.0).then(|| self.total_events() as f64 / (wall / 1e3))
+    }
+
+    /// Renders this report as a JSON object at the given indentation
+    /// depth (the building block for both the sweep artifact and the
+    /// bench baseline).
+    fn json_at(&self, indent: usize) -> String {
         let runs: Vec<String> = self
             .records
             .iter()
@@ -308,6 +314,7 @@ impl SweepReport {
                     .u64("sim_end_ns", r.sim_end_ns)
                     .f64("wall_ms", r.wall_ms)
                     .u64("events_processed", r.events_processed)
+                    .f64("events_per_sec", r.events_per_sec)
                     .u64("trace_events", r.trace_events as u64)
                     .str("trace_digest", &r.trace_digest)
                     .u64("jobs_sent", r.jobs_sent)
@@ -319,17 +326,25 @@ impl SweepReport {
                     Some(v) => o.u64("version", v as u64 + 1),
                     None => o.raw("version", "null"),
                 };
-                o.render(2)
+                o.render(indent + 2)
             })
             .collect();
 
         let mut root = json::JsonObject::new();
-        root.u64("schema_version", 1)
+        root.u64("schema_version", 2)
             .str("sweep", &self.sweep)
             .u64("workers", self.workers as u64)
             .bool("all_completed", self.truncated_runs().is_empty())
-            .raw("runs", json::array(&runs, 1));
-        let mut out = root.render(0);
+            .u64("total_events", self.total_events())
+            .f64("total_wall_ms", self.total_wall_ms())
+            .opt_f64("aggregate_events_per_sec", self.aggregate_events_per_sec())
+            .raw("runs", json::array(&runs, indent + 1));
+        root.render(indent)
+    }
+
+    /// Renders the whole report as a JSON artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = self.json_at(0);
         out.push('\n');
         out
     }
@@ -363,6 +378,15 @@ impl SweepReport {
                 fmt_pct(r.utilization_percent),
                 fmt_pct(r.steady_percent),
                 r.trace_digest,
+            );
+        }
+        if let Some(throughput) = self.aggregate_events_per_sec() {
+            let _ = writeln!(
+                out,
+                "aggregate: {} events in {:.3}s wall — {:.0} events/s",
+                self.total_events(),
+                self.total_wall_ms() / 1e3,
+                throughput
             );
         }
         for r in self.truncated_runs() {
@@ -442,6 +466,106 @@ impl SweepReport {
         f.write_all(self.to_json().as_bytes())?;
         Ok(path.to_path_buf())
     }
+}
+
+/// A benchmark baseline: several sweeps measured together, written as
+/// one `BENCH_<date>.json` artifact so event-loop throughput can be
+/// compared across commits.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// UTC date of the measurement (`YYYY-MM-DD`), also the artifact
+    /// stem.
+    pub date: String,
+    /// One report per benched sweep, in execution order.
+    pub reports: Vec<SweepReport>,
+}
+
+impl BenchReport {
+    /// All records across all benched sweeps.
+    pub fn records(&self) -> impl Iterator<Item = &RunRecord> {
+        self.reports.iter().flat_map(|r| r.records.iter())
+    }
+
+    /// Process exit code: `0` all runs completed, `2` any truncated.
+    pub fn exit_code(&self) -> i32 {
+        self.reports
+            .iter()
+            .map(SweepReport::exit_code)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks every benched run's digest against golden `label digest`
+    /// lines (all sweeps pooled — labels are unique across sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns one message per mismatching, missing, or extra line.
+    pub fn check_digests(&self, golden: &str) -> Result<(), Vec<String>> {
+        let pooled = SweepReport {
+            sweep: "bench".to_owned(),
+            workers: 0,
+            records: self.records().cloned().collect(),
+        };
+        pooled.check_digests(golden)
+    }
+
+    /// Renders the baseline as a JSON artifact: per-sweep reports (same
+    /// schema as sweep artifacts) plus the date.
+    pub fn to_json(&self) -> String {
+        let sweeps: Vec<String> = self.reports.iter().map(|r| r.json_at(1)).collect();
+        let mut root = json::JsonObject::new();
+        root.u64("schema_version", 2)
+            .str("kind", "bench")
+            .str("date", &self.date)
+            .raw("sweeps", json::array(&sweeps, 1));
+        let mut out = root.render(0);
+        out.push('\n');
+        out
+    }
+
+    /// Writes the JSON artifact to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_artifact(&self, path: &Path) -> std::io::Result<PathBuf> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(path.to_path_buf())
+    }
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, derived from the system clock (no
+/// external dependencies — civil-from-days per Howard Hinnant's
+/// algorithm).
+pub fn utc_date_string() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Converts days since 1970-01-01 to a (year, month, day) civil date.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
 }
 
 #[cfg(test)]

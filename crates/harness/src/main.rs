@@ -5,7 +5,13 @@
 //! harness sweep <name> [--scale paper|quick] [--workers N] [--seed S]
 //!                      [--horizon-secs T] [--out PATH]
 //!                      [--check-digests FILE] [--write-digests FILE]
+//! harness bench [names…] [--scale paper|quick] [--workers N] [--seed S]
+//!                        [--out PATH] [--check-digests FILE]
 //! ```
+//!
+//! `bench` runs the named sweeps (default: `fig10 smoke`) and writes a
+//! single dated baseline artifact (`artifacts/BENCH_<date>.json`) with
+//! per-run events/sec and wall time, for cross-commit comparison.
 //!
 //! Exit codes: `0` all runs completed and digests (if checked) match;
 //! `2` at least one run was truncated; `3` digest mismatch; `64` usage
@@ -14,16 +20,21 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use harness::{default_workers, run_sweep, sweeps, Scale};
+use harness::{default_workers, run_sweep, sweeps, BenchReport, Scale};
 
 const USAGE: &str = "usage:
   harness list
   harness sweep <name> [--scale paper|quick] [--workers N] [--seed S]
                        [--horizon-secs T] [--out PATH]
                        [--check-digests FILE] [--write-digests FILE]
+  harness bench [names…] [--scale paper|quick] [--workers N] [--seed S]
+                         [--out PATH] [--check-digests FILE]
 
 --horizon-secs caps every run's simulated-time budget (a too-small cap
 truncates the runs; the sweep then exits 2 and marks each record).
+
+bench defaults to the fig10 and smoke sweeps and writes the combined
+baseline to artifacts/BENCH_<date>.json.
 
 sweeps: fig10, bundle, window, seeds, smoke";
 
@@ -89,6 +100,58 @@ fn parse_sweep_args(rest: &[String]) -> Result<Args, String> {
             "--write-digests" => args.write_digests = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    Ok(args)
+}
+
+struct BenchArgs {
+    names: Vec<String>,
+    scale: Scale,
+    workers: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+    check_digests: Option<PathBuf>,
+}
+
+fn parse_bench_args(rest: &[String]) -> Result<BenchArgs, String> {
+    let mut args = BenchArgs {
+        names: Vec::new(),
+        scale: Scale::Paper,
+        workers: default_workers(),
+        seed: 1992,
+        out: None,
+        check_digests: None,
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                let v = value()?;
+                args.scale = Scale::parse(v).ok_or_else(|| format!("unknown scale '{v}'"))?;
+            }
+            "--workers" => {
+                args.workers = value()?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&w| w > 0)
+                    .ok_or("--workers needs a positive integer")?;
+            }
+            "--seed" => {
+                args.seed = value()?.parse().map_err(|_| "--seed needs an integer")?;
+            }
+            "--out" => args.out = Some(PathBuf::from(value()?)),
+            "--check-digests" => args.check_digests = Some(PathBuf::from(value()?)),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            name => args.names.push(name.to_owned()),
+        }
+    }
+    if args.names.is_empty() {
+        args.names = vec!["fig10".to_owned(), "smoke".to_owned()];
     }
     Ok(args)
 }
@@ -174,6 +237,69 @@ fn main() -> ExitCode {
                      valid measurement",
                     report.truncated_runs().len()
                 );
+            }
+            ExitCode::from(u8::try_from(code).unwrap_or(1))
+        }
+        Some("bench") => {
+            let args = match parse_bench_args(&argv[1..]) {
+                Ok(a) => a,
+                Err(e) => return usage_error(&e),
+            };
+            let mut reports = Vec::with_capacity(args.names.len());
+            for name in &args.names {
+                let Some(sweep) = sweeps::by_name(name, args.scale, args.seed) else {
+                    return usage_error(&format!("unknown sweep '{name}'"));
+                };
+                eprintln!(
+                    "benching sweep '{}' ({} runs) on {} worker(s)…",
+                    sweep.name,
+                    sweep.runs.len(),
+                    args.workers
+                );
+                let report = run_sweep(&sweep, args.workers);
+                print!("{}", report.render_table());
+                reports.push(report);
+            }
+            let bench = BenchReport {
+                date: harness::utc_date_string(),
+                reports,
+            };
+
+            let out = args
+                .out
+                .unwrap_or_else(|| PathBuf::from(format!("artifacts/BENCH_{}.json", bench.date)));
+            match bench.write_artifact(&out) {
+                Ok(path) => eprintln!("baseline written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("harness: cannot write baseline {}: {e}", out.display());
+                    return ExitCode::from(64);
+                }
+            }
+
+            let mut code = bench.exit_code();
+            if let Some(path) = &args.check_digests {
+                let golden = match std::fs::read_to_string(path) {
+                    Ok(g) => g,
+                    Err(e) => {
+                        eprintln!("harness: cannot read goldens {}: {e}", path.display());
+                        return ExitCode::from(64);
+                    }
+                };
+                match bench.check_digests(&golden) {
+                    Ok(()) => eprintln!(
+                        "digests match the goldens in {} — deterministic",
+                        path.display()
+                    ),
+                    Err(errors) => {
+                        for e in errors {
+                            eprintln!("digest check: {e}");
+                        }
+                        code = 3;
+                    }
+                }
+            }
+            if code == 2 {
+                eprintln!("harness: truncated run(s) — the baseline is not a valid measurement");
             }
             ExitCode::from(u8::try_from(code).unwrap_or(1))
         }

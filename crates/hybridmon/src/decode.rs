@@ -34,7 +34,7 @@ pub struct DecodeStats {
     pub discarded_partials: u64,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     /// No pair in progress; `groups` holds the data groups collected so
     /// far for the current event (empty when idle).
@@ -62,10 +62,14 @@ enum State {
 /// assert_eq!(decoded, vec![ev]);
 /// assert_eq!(d.stats().stray_patterns, 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Decoder {
     state: State,
-    groups: Vec<u8>,
+    /// The data groups collected so far — a fixed inline array (an
+    /// event is at most [`PAIRS_PER_EVENT`] groups), so a decoder never
+    /// touches the heap and is freely `Copy`able.
+    groups: [u8; PAIRS_PER_EVENT],
+    group_len: usize,
     stats: DecodeStats,
 }
 
@@ -74,13 +78,15 @@ impl Decoder {
     pub fn new() -> Self {
         Decoder {
             state: State::BetweenPairs,
-            groups: Vec::with_capacity(PAIRS_PER_EVENT),
+            groups: [0; PAIRS_PER_EVENT],
+            group_len: 0,
             stats: DecodeStats::default(),
         }
     }
 
     /// Consumes one display pattern; returns a complete event if this
     /// pattern finished one.
+    #[inline]
     pub fn feed(&mut self, pattern: Pattern) -> Option<MonEvent> {
         match self.state {
             State::BetweenPairs => {
@@ -94,10 +100,11 @@ impl Decoder {
             State::AwaitData => match pattern.payload() {
                 Some(bits) => {
                     self.state = State::BetweenPairs;
-                    self.groups.push(bits);
-                    if self.groups.len() == PAIRS_PER_EVENT {
+                    self.groups[self.group_len] = bits;
+                    self.group_len += 1;
+                    if self.group_len == PAIRS_PER_EVENT {
                         let raw = assemble_groups(&self.groups);
-                        self.groups.clear();
+                        self.group_len = 0;
                         self.stats.events += 1;
                         Some(MonEvent::from_raw48(raw))
                     } else {
@@ -107,9 +114,9 @@ impl Decoder {
                 None => {
                     // Something intervened between T and its data pattern.
                     self.stats.atomicity_violations += 1;
-                    if !self.groups.is_empty() {
+                    if self.group_len > 0 {
                         self.stats.discarded_partials += 1;
-                        self.groups.clear();
+                        self.group_len = 0;
                     }
                     // A second triggerword may itself start a fresh pair;
                     // anything else drops us back between pairs.
@@ -139,7 +146,7 @@ impl Decoder {
 
     /// Returns `true` if an event is partially assembled.
     pub fn in_progress(&self) -> bool {
-        !self.groups.is_empty() || self.state == State::AwaitData
+        self.group_len > 0 || self.state == State::AwaitData
     }
 
     /// Abandons any partial assembly and returns to idle, as the hardware
@@ -148,7 +155,7 @@ impl Decoder {
         if self.in_progress() {
             self.stats.discarded_partials += 1;
         }
-        self.groups.clear();
+        self.group_len = 0;
         self.state = State::BetweenPairs;
     }
 }

@@ -29,11 +29,13 @@ pub const WRITES_PER_EVENT: usize = 2 * PAIRS_PER_EVENT;
 /// assert!(seq.iter().step_by(2).all(|p| p.is_trigger()));
 /// assert!(seq.iter().skip(1).step_by(2).all(|p| p.payload() == Some(0)));
 /// ```
+#[inline]
 pub fn encode(event: MonEvent) -> [Pattern; WRITES_PER_EVENT] {
     encode_raw(event.raw48())
 }
 
 /// Encodes a raw 48-bit value (bits above 47 are ignored).
+#[inline]
 pub fn encode_raw(raw: u64) -> [Pattern; WRITES_PER_EVENT] {
     let raw = raw & 0xFFFF_FFFF_FFFF;
     let mut out = [Pattern::TRIGGER; WRITES_PER_EVENT];
@@ -55,6 +57,7 @@ pub fn encode_raw(raw: u64) -> [Pattern; WRITES_PER_EVENT] {
 ///
 /// Panics if `groups` does not contain exactly [`PAIRS_PER_EVENT`] entries
 /// or any group exceeds 3 bits.
+#[inline]
 pub fn assemble_groups(groups: &[u8]) -> u64 {
     assert_eq!(groups.len(), PAIRS_PER_EVENT, "need exactly 16 data groups");
     let mut raw = 0u64;

@@ -34,6 +34,7 @@ impl Pattern {
 
     /// Creates a pattern from a display index, returning `None` if the
     /// index exceeds what the gate array can display.
+    #[inline]
     pub const fn new(index: u8) -> Option<Pattern> {
         if index < Self::COUNT {
             Some(Pattern(index))
@@ -46,21 +47,25 @@ impl Pattern {
     ///
     /// Data patterns occupy indices 0–7, so they can never collide with
     /// the triggerword.
+    #[inline]
     pub const fn data(bits: u8) -> Pattern {
         Pattern(bits & 0b111)
     }
 
     /// The display index (0–15).
+    #[inline]
     pub const fn index(self) -> u8 {
         self.0
     }
 
     /// Returns `true` if this is the reserved triggerword.
+    #[inline]
     pub const fn is_trigger(self) -> bool {
         self.0 == Self::TRIGGER.0
     }
 
     /// Returns the 3 payload bits if this is a data pattern (index 0–7).
+    #[inline]
     pub const fn payload(self) -> Option<u8> {
         if self.0 < 8 {
             Some(self.0)

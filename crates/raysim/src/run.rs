@@ -296,11 +296,24 @@ pub fn run(cfg: RunConfig) -> RunResult {
     machine.add_process(NodeId::new(0), master);
     let outcome = machine.run(cfg.horizon);
 
-    // Probe the displays and run the monitor.
-    let samples = probe_samples(&machine);
+    // Probe the displays and run the monitor. The signal log is already
+    // time-sorted (per channel, because globally), so the sample stream
+    // flows through the monitor in one pass — no materialized sample
+    // vector, no per-channel partition copies.
     let channels = machine.topology().total_nodes() as usize;
     let monitor = Zm4::new(cfg.zm4.clone(), channels, cfg.seed);
-    let measurement = monitor.observe(&samples);
+    let measurement =
+        monitor.observe_iter(
+            machine
+                .signals()
+                .display_writes()
+                .iter()
+                .map(|w| ProbeSample {
+                    time: w.time,
+                    channel: w.node.index() as usize,
+                    pattern: w.pattern,
+                }),
+        );
     let trace = to_simple_trace(&measurement);
 
     let image = Rc::try_unwrap(fb)

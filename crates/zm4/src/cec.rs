@@ -37,19 +37,18 @@ use crate::recorder::StoredRecord;
 /// assert_eq!(merged[0].event.token.value(), 2);
 /// ```
 pub fn merge_traces(local_traces: &[Vec<StoredRecord>]) -> Vec<TraceRecord> {
-    let mut all: Vec<TraceRecord> = local_traces
-        .iter()
-        .enumerate()
-        .flat_map(|(recorder, trace)| {
-            trace.iter().map(move |r| TraceRecord {
-                ts_ns: r.local_ts,
-                channel: r.channel,
-                recorder,
-                event: r.event,
-                true_time: r.true_time,
-            })
-        })
-        .collect();
+    let total: usize = local_traces.iter().map(Vec::len).sum();
+    let mut all: Vec<TraceRecord> = Vec::with_capacity(total);
+    for (recorder, trace) in local_traces.iter().enumerate() {
+        all.extend(trace.iter().map(|r| TraceRecord {
+            ts_ns: r.local_ts,
+            channel: r.channel,
+            recorder,
+            event: r.event,
+            true_time: r.true_time,
+        }));
+    }
+    // Stable: records tying on (ts, channel, token) keep recorder order.
     all.sort_by_key(|r| (r.ts_ns, r.channel, r.event.token.value()));
     all
 }

@@ -82,6 +82,7 @@ impl EventDetector {
     /// # Panics
     ///
     /// Panics (debug builds) if the sample belongs to another channel.
+    #[inline]
     pub fn feed(&mut self, sample: ProbeSample) -> Option<DetectedEvent> {
         debug_assert_eq!(sample.channel, self.channel, "sample fed to wrong detector");
         self.decoder

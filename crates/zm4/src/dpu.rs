@@ -56,6 +56,17 @@ impl Dpu {
         self.recorder.clock()
     }
 
+    /// Queues one detected event from one of this DPU's channels.
+    ///
+    /// Events from the same channel must arrive in detection order;
+    /// interleaving across channels is free — [`Dpu::record`] merges by
+    /// `(time, channel)` with a stable sort, so per-channel order is
+    /// what counts.
+    #[inline]
+    pub fn queue_event(&mut self, event: DetectedEvent) {
+        self.queued.push(event);
+    }
+
     /// Queues detected events from one of this DPU's channels.
     pub fn queue_events<I>(&mut self, events: I)
     where

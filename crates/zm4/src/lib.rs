@@ -59,10 +59,11 @@ pub use config::Zm4Config;
 pub use detector::{DetectedEvent, EventDetector, ProbeSample};
 pub use dpu::Dpu;
 pub use measurement::{Measurement, TraceRecord};
-pub use recorder::{EventRecorder, RecorderStats, StoredRecord};
+pub use recorder::{DigestSink, EventRecorder, RecordSink, RecorderStats, StoredRecord};
 pub use serial::{detect_serial, SerialProbe, SerialSample};
 
 use des::rng::DetRng;
+use des::time::SimTime;
 
 /// The assembled monitor system: one probe/detector per monitored
 /// channel, channels grouped onto event recorders, recorders onto
@@ -114,24 +115,39 @@ impl Zm4 {
     /// records events per recorder (FIFO + clock model), and merges the
     /// local traces on the CEC.
     ///
-    /// `samples` may be in any order; they are sorted by time per
-    /// channel internally.
+    /// `samples` may be in any order; when every channel's subsequence
+    /// is already time-sorted (the case for a simulation's signal log),
+    /// the stream is fed through [`Zm4::observe_iter`] in a single pass
+    /// with no partition copies; otherwise the samples are sorted by
+    /// time per channel first. Both paths produce identical
+    /// measurements.
     ///
     /// # Panics
     ///
     /// Panics if a sample references a channel the monitor was not built
     /// for.
     pub fn observe(&self, samples: &[ProbeSample]) -> Measurement {
-        let rng = DetRng::new(self.config.seed);
-        let n_rec = self.recorders();
-
-        // Build one DPU pipeline per recorder, serving its channels.
-        let mut dpus: Vec<Dpu> = (0..n_rec)
-            .map(|i| Dpu::new(i, &self.config, &rng))
-            .collect();
+        // O(n) sortedness probe: per-channel non-decreasing times are
+        // exactly what the partition-and-stable-sort path would produce,
+        // so streaming is bit-identical whenever the probe passes.
+        let mut last = vec![SimTime::ZERO; self.channels];
+        let sorted = samples.iter().all(|s| {
+            assert!(
+                s.channel < self.channels,
+                "sample for unwired channel {}",
+                s.channel
+            );
+            let ok = s.time >= last[s.channel];
+            last[s.channel] = s.time;
+            ok
+        });
+        if sorted {
+            return self.observe_iter(samples.iter().copied());
+        }
 
         // Sort samples per channel, preserving global time order within
-        // each channel.
+        // each channel, then stream the channels one after another
+        // (per-channel order is all that matters downstream).
         let mut per_channel: Vec<Vec<ProbeSample>> = vec![Vec::new(); self.channels];
         for s in samples {
             assert!(
@@ -144,22 +160,49 @@ impl Zm4 {
         for ch in &mut per_channel {
             ch.sort_by_key(|s| s.time);
         }
+        self.observe_iter(per_channel.into_iter().flatten())
+    }
 
-        // Detect events per channel, then feed each recorder its streams'
-        // detected events in global time order.
-        let mut detector_stats = Vec::with_capacity(self.channels);
-        let mut detected: Vec<Vec<DetectedEvent>> = Vec::with_capacity(self.channels);
-        for (ch, sample_stream) in per_channel.iter().enumerate() {
-            let mut det = EventDetector::new(ch, self.config.detector_latency);
-            let events = det.detect(sample_stream);
-            detector_stats.push(det.into_stats());
-            detected.push(events);
+    /// Runs the measurement over a streamed sample sequence in a single
+    /// pass: no sample is retained, partitioned, or copied. Detected
+    /// events flow straight from each channel's detector into its
+    /// recorder's DPU queue.
+    ///
+    /// Each channel's subsequence must be in non-decreasing time order
+    /// (channels may interleave arbitrarily); [`Zm4::observe`] falls
+    /// back to sorting when that precondition does not hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample references a channel the monitor was not built
+    /// for.
+    pub fn observe_iter<I>(&self, samples: I) -> Measurement
+    where
+        I: IntoIterator<Item = ProbeSample>,
+    {
+        let rng = DetRng::new(self.config.seed);
+        let n_rec = self.recorders();
+
+        // Build one DPU pipeline per recorder, serving its channels.
+        let mut dpus: Vec<Dpu> = (0..n_rec)
+            .map(|i| Dpu::new(i, &self.config, &rng))
+            .collect();
+        let mut detectors: Vec<EventDetector> = (0..self.channels)
+            .map(|ch| EventDetector::new(ch, self.config.detector_latency))
+            .collect();
+
+        for s in samples {
+            assert!(
+                s.channel < self.channels,
+                "sample for unwired channel {}",
+                s.channel
+            );
+            if let Some(event) = detectors[s.channel].feed(s) {
+                dpus[self.recorder_of(s.channel)].queue_event(event);
+            }
         }
 
-        for (ch, events) in detected.iter().enumerate() {
-            let rec = self.recorder_of(ch);
-            dpus[rec].queue_events(events.iter().copied());
-        }
+        let detector_stats = detectors.into_iter().map(|d| d.into_stats()).collect();
 
         let mut local_traces = Vec::with_capacity(n_rec);
         let mut recorder_stats = Vec::with_capacity(n_rec);
