@@ -1,16 +1,27 @@
 //! Pre-flight static analysis of the paper's measurement setups.
 //!
 //! ```text
-//! analyze [v1|v2|v3|v4 ...] [--strict]
+//! analyze [v1|v2|v3|v4 ...] [options]
+//!
+//! options:
+//!   --deep             close the model state spaces (full budget)
+//!                      instead of the cheap pre-flight bound
+//!   --fail-on LEVEL    exit nonzero when any diagnostic is at or
+//!                      above LEVEL (info|warning|error)
+//!   --strict           shorthand for --fail-on error
+//!   --json PATH        write all reports as JSON ("-" for stdout)
+//!   --sarif PATH       write all reports as SARIF 2.1.0 ("-" for
+//!                      stdout)
+//!   --preemptive       also model-check the preemptive-scheduler
+//!                      variant and print its counterexample
 //! ```
 //!
-//! With no version arguments, analyzes all four. `--strict` exits
-//! nonzero when any analyzed configuration has errors (for CI gates).
+//! With no version arguments, analyzes all four.
 
 use std::process::ExitCode;
 
-use analyzer::analyze_version;
-use raysim::config::Version;
+use analyzer::{check_preemptive_variant, reports_json, sarif, ModelBudget, Report, Severity};
+use raysim::config::{AppConfig, Version};
 
 fn parse_version(arg: &str) -> Option<Version> {
     match arg.to_ascii_lowercase().as_str() {
@@ -22,34 +33,121 @@ fn parse_version(arg: &str) -> Option<Version> {
     }
 }
 
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("{problem}");
+    eprintln!(
+        "usage: analyze [v1|v2|v3|v4 ...] [--deep] [--fail-on info|warning|error] \
+         [--strict] [--json PATH] [--sarif PATH] [--preemptive]"
+    );
+    ExitCode::from(2)
+}
+
+fn write_out(path: &str, contents: &str) -> std::io::Result<()> {
+    if path == "-" {
+        print!("{contents}");
+        Ok(())
+    } else {
+        std::fs::write(path, contents)
+    }
+}
+
 fn main() -> ExitCode {
     let mut versions: Vec<Version> = Vec::new();
-    let mut strict = false;
-    for arg in std::env::args().skip(1) {
-        if arg == "--strict" {
-            strict = true;
-        } else if let Some(v) = parse_version(&arg) {
-            versions.push(v);
-        } else {
-            eprintln!("unknown argument `{arg}`; expected v1..v4 or --strict");
-            return ExitCode::from(2);
+    let mut fail_on: Option<Severity> = None;
+    let mut deep = false;
+    let mut preemptive = false;
+    let mut json_path: Option<String> = None;
+    let mut sarif_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--strict" => fail_on = Some(Severity::Error),
+            "--deep" => deep = true,
+            "--preemptive" => preemptive = true,
+            "--fail-on" => match args.next().as_deref().map(Severity::parse) {
+                Some(Some(level)) => fail_on = Some(level),
+                _ => return usage("--fail-on needs a level: info|warning|error"),
+            },
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => return usage("--json needs a path (or `-`)"),
+            },
+            "--sarif" => match args.next() {
+                Some(path) => sarif_path = Some(path),
+                None => return usage("--sarif needs a path (or `-`)"),
+            },
+            other => match parse_version(other) {
+                Some(v) => versions.push(v),
+                None => return usage(&format!("unknown argument `{other}`")),
+            },
         }
     }
     if versions.is_empty() {
         versions = Version::ALL.to_vec();
     }
 
-    let mut errors = 0usize;
-    for version in versions {
-        let report = analyze_version(version);
+    let budget = if deep {
+        ModelBudget::full()
+    } else {
+        ModelBudget::preflight()
+    };
+
+    let mut reports: Vec<Report> = Vec::new();
+    let mut worst: Option<Severity> = None;
+    for &version in &versions {
+        let report = analyzer::preflight::analyze_version_with(version, &budget);
         println!("== {version} ==");
         print!("{}", report.render());
         println!();
-        errors += report.errors();
+        worst = worst.max(report.max_severity());
+        reports.push(report);
     }
-    if strict && errors > 0 {
-        eprintln!("analysis failed: {errors} error(s)");
-        return ExitCode::FAILURE;
+
+    if preemptive {
+        for &version in &versions {
+            let app = AppConfig::version(version);
+            let verdict = check_preemptive_variant(&app, &budget);
+            println!("== {version}, preemptive scheduler variant ==");
+            match verdict.sync2_violation.or(verdict.sync1_violation) {
+                Some(path) => {
+                    println!(
+                        "effective synchrony BREAKS under preemption; counterexample \
+                         interleaving:"
+                    );
+                    for (i, step) in path.iter().enumerate() {
+                        println!("  {:>3}. {step}", i + 1);
+                    }
+                }
+                None => println!(
+                    "no violation found ({} states explored{})",
+                    verdict.states,
+                    if verdict.bounded { ", bounded" } else { "" }
+                ),
+            }
+            println!();
+        }
+    }
+
+    if let Some(path) = &json_path {
+        if let Err(e) = write_out(path, &reports_json(&reports)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(3);
+        }
+    }
+    if let Some(path) = &sarif_path {
+        if let Err(e) = write_out(path, &sarif(&reports)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(3);
+        }
+    }
+
+    if let (Some(threshold), Some(worst)) = (fail_on, worst) {
+        if worst >= threshold {
+            let total: usize = reports.iter().map(|r| r.count_at_least(threshold)).sum();
+            eprintln!("analysis failed: {total} diagnostic(s) at or above {threshold}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

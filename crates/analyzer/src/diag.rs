@@ -1,12 +1,81 @@
 //! The diagnostic model: findings, severities and `rustc`-style reports.
 //!
-//! Every analysis pass produces [`Finding`]s collected into a
-//! [`Report`]. A finding carries a stable machine-readable code
-//! (`AN-TOKEN-001`, `AN-PROTO-002`, …) so tests, CI gates and the
-//! pre-flight hook can match on *what* was found rather than on message
-//! text, plus a span naming the offending configuration field or token.
+//! Every analysis pass produces [`Diagnostic`]s collected into a
+//! [`Report`]. A diagnostic carries a stable machine-readable code
+//! (`AN-TOKEN-001`, `AN-PROTO-002`, `AN-MODEL-004`, …) so tests, CI
+//! gates and the pre-flight hook can match on *what* was found rather
+//! than on message text, plus a structured [`Location`]: a
+//! configuration field, an instrumentation token, a simulated-time
+//! point on a monitoring channel, or a model-checker counterexample
+//! path. Reports render for humans (`rustc` style), as JSON (see
+//! [`crate::render::report_json`]) and as SARIF 2.1.0 (see
+//! [`crate::render::sarif`]).
 
 use std::fmt;
+
+/// What a diagnostic points at, machine-readably.
+///
+/// The human-facing rendering lives in [`Finding::span`]; this enum
+/// carries the same information in a form the JSON and SARIF renderers
+/// (and downstream tooling) can consume without parsing text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Location {
+    /// No structured location (legacy findings, whole-config verdicts).
+    #[default]
+    None,
+    /// A configuration field, e.g. `pixel_queue_capacity` = `768`.
+    Config {
+        /// Dotted field path, e.g. `app.pixel_queue_capacity`.
+        field: String,
+        /// The offending value, stringified.
+        value: String,
+    },
+    /// A declared instrumentation token.
+    Token {
+        /// The 16-bit token id.
+        token: u16,
+    },
+    /// A point in a recorded trace: simulated time on a channel.
+    Sim {
+        /// Monitor timestamp, nanoseconds.
+        time_ns: u64,
+        /// The monitoring channel (object node).
+        channel: usize,
+    },
+    /// A model-checker counterexample or witness: the transition labels
+    /// from the initial state to the offending state.
+    Model {
+        /// One label per transition, in execution order.
+        path: Vec<String>,
+    },
+}
+
+impl Location {
+    /// A short machine-readable kind tag (`config`, `token`, `sim`,
+    /// `model`, `none`) used by the JSON renderer.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Location::None => "none",
+            Location::Config { .. } => "config",
+            Location::Token { .. } => "token",
+            Location::Sim { .. } => "sim",
+            Location::Model { .. } => "model",
+        }
+    }
+
+    /// A fully-qualified logical name for SARIF's `logicalLocations`.
+    pub fn logical_name(&self) -> String {
+        match self {
+            Location::None => String::new(),
+            Location::Config { field, .. } => field.clone(),
+            Location::Token { token } => format!("token:{token:#06x}"),
+            Location::Sim { time_ns, channel } => {
+                format!("channel {channel} @ t={time_ns}ns")
+            }
+            Location::Model { path } => format!("model path ({} steps)", path.len()),
+        }
+    }
+}
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -18,6 +87,27 @@ pub enum Severity {
     Warning,
     /// The run will deadlock, corrupt its trace, or silently lose data.
     Error,
+}
+
+impl Severity {
+    /// Parses the CLI spelling (`info`, `warning`, `error`).
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" | "warn" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+
+    /// The SARIF `level` for this severity.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Info => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
 }
 
 impl fmt::Display for Severity {
@@ -40,13 +130,22 @@ pub struct Finding {
     /// One-line headline.
     pub message: String,
     /// What the finding points at (a config field, a token, a node),
-    /// e.g. `app.pixel_queue_capacity = 768`.
+    /// rendered for humans, e.g. `app.pixel_queue_capacity = 768`.
     pub span: String,
+    /// The same location, machine-readable.
+    pub location: Location,
     /// Additional `note:` lines explaining the arithmetic.
     pub notes: Vec<String>,
     /// Additional `help:` lines suggesting a fix.
     pub helps: Vec<String>,
 }
+
+/// The unified diagnostic type every analyzer subsystem emits — the
+/// token lints, the protocol graph, the rate predictor, the protocol
+/// model checker and the happens-before engine all produce this one
+/// struct, so CLI gates, JSON/SARIF artifacts and the pre-flight hook
+/// handle them uniformly.
+pub type Diagnostic = Finding;
 
 impl Finding {
     /// Creates a finding with the given severity.
@@ -56,6 +155,7 @@ impl Finding {
             severity,
             message: message.into(),
             span: String::new(),
+            location: Location::None,
             notes: Vec::new(),
             helps: Vec::new(),
         }
@@ -80,6 +180,38 @@ impl Finding {
     pub fn at(mut self, span: impl Into<String>) -> Self {
         self.span = span.into();
         self
+    }
+
+    /// Sets the machine-readable location.
+    pub fn locate(mut self, location: Location) -> Self {
+        self.location = location;
+        self
+    }
+
+    /// Points the finding at a configuration field, setting both the
+    /// human span and the structured location.
+    pub fn at_config(self, field: impl Into<String>, value: impl fmt::Display) -> Self {
+        let field = field.into();
+        let value = value.to_string();
+        let span = format!("{field} = {value}");
+        self.at(span).locate(Location::Config { field, value })
+    }
+
+    /// Points the finding at a trace position, setting both the human
+    /// span and the structured location.
+    pub fn at_sim(self, time_ns: u64, channel: usize) -> Self {
+        self.at(format!("channel {channel} @ t={time_ns}ns"))
+            .locate(Location::Sim { time_ns, channel })
+    }
+
+    /// Attaches a model-checker path (counterexample or witness) as the
+    /// location and as note lines, one per step.
+    pub fn with_path(mut self, heading: &str, path: Vec<String>) -> Self {
+        self.notes.push(format!("{heading}:"));
+        for (i, step) in path.iter().enumerate() {
+            self.notes.push(format!("  {:>3}. {step}", i + 1));
+        }
+        self.locate(Location::Model { path })
     }
 
     /// Appends a `note:` line.
@@ -165,6 +297,20 @@ impl Report {
     /// Returns `true` if there are no findings at all.
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
+    }
+
+    /// The most severe finding's severity, `None` on a clean report.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Number of findings at or above `severity` — what a CLI gate
+    /// configured with `--fail-on <severity>` counts.
+    pub fn count_at_least(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity >= severity)
+            .count()
     }
 
     /// Returns `true` if any finding carries `code`.
@@ -291,5 +437,55 @@ mod tests {
         assert!(Severity::Error > Severity::Warning);
         assert!(Severity::Warning > Severity::Info);
         assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn severity_parses_and_maps_to_sarif() {
+        assert_eq!(Severity::parse("info"), Some(Severity::Info));
+        assert_eq!(Severity::parse("warning"), Some(Severity::Warning));
+        assert_eq!(Severity::parse("warn"), Some(Severity::Warning));
+        assert_eq!(Severity::parse("error"), Some(Severity::Error));
+        assert_eq!(Severity::parse("fatal"), None);
+        assert_eq!(Severity::Info.sarif_level(), "note");
+        assert_eq!(Severity::Warning.sarif_level(), "warning");
+        assert_eq!(Severity::Error.sarif_level(), "error");
+    }
+
+    #[test]
+    fn structured_locations() {
+        let f = Finding::error("AN-TEST-001", "x").at_config("app.window", 0);
+        assert_eq!(f.span, "app.window = 0");
+        assert_eq!(
+            f.location,
+            Location::Config {
+                field: "app.window".into(),
+                value: "0".into()
+            }
+        );
+        assert_eq!(f.location.kind(), "config");
+        assert_eq!(f.location.logical_name(), "app.window");
+
+        let f = Finding::warning("AN-TEST-002", "y").at_sim(1_500, 3);
+        assert_eq!(f.location.kind(), "sim");
+        assert!(f.span.contains("t=1500ns"));
+
+        let f = Finding::error("AN-TEST-003", "z")
+            .with_path("counterexample", vec!["send job 0".into(), "stall".into()]);
+        assert_eq!(f.location.kind(), "model");
+        assert!(f.notes.iter().any(|n| n.contains("send job 0")));
+        assert!(f.location.logical_name().contains("2 steps"));
+    }
+
+    #[test]
+    fn threshold_counting() {
+        let mut r = Report::new("unit");
+        assert_eq!(r.max_severity(), None);
+        r.push(Finding::info("AN-A-001", "i"));
+        r.push(Finding::warning("AN-A-002", "w"));
+        r.push(Finding::error("AN-A-003", "e"));
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+        assert_eq!(r.count_at_least(Severity::Info), 3);
+        assert_eq!(r.count_at_least(Severity::Warning), 2);
+        assert_eq!(r.count_at_least(Severity::Error), 1);
     }
 }

@@ -1,0 +1,322 @@
+//! The happens-before engine: vector clocks over recorded traces,
+//! cross-validated against the model checker's proven orderings.
+//!
+//! A merged ZM4 trace (as SIMPLE events) is a set of totally ordered
+//! per-channel streams — one display channel per node — stitched
+//! together by communication. The model checker proves, per program
+//! version, which cross-channel orderings every legal execution must
+//! respect ([`crate::model::proven_orders`]): a job's "Send Jobs Begin"
+//! precedes its "Work Begin", the work precedes its "Receive Results
+//! Begin", and so on, instance-matched by the job id in the event
+//! parameter (the reason the parameter field carries the job sequence
+//! number in the first place).
+//!
+//! [`analyze_trace`] checks a recorded trace against those orderings:
+//!
+//! * **AN-HB-001** — an ordering violation: a proven-order edge whose
+//!   effect carries an *earlier* timestamp than its cause. On a healthy
+//!   measurement this cannot happen (mailbox latency is positive); it
+//!   appears when recorders drift, channels are mislabeled, or a trace
+//!   was corrupted — exactly the class of monitoring bug the paper's
+//!   global-time calibration exists to prevent.
+//! * **AN-HB-002** — a concurrency race: the same instrumentation
+//!   point with the same job id recorded on two channels whose vector
+//!   clocks are incomparable. Duplicated attribution with no
+//!   happens-before path between the copies means two nodes claim the
+//!   same work unsynchronized.
+//!
+//! Vector clocks are built one component per channel; each event ticks
+//! its own channel's component, and every matched proven-order edge
+//! joins the cause's clock into the effect's channel — so `clock A ≤
+//! clock B` exactly when the trace orders A before B through local
+//! order plus proven communication edges.
+
+use std::collections::HashMap;
+
+use simple::Trace;
+
+use crate::diag::{Diagnostic, Report};
+use crate::model::ProvenOrder;
+
+/// Statistics from one happens-before analysis.
+#[derive(Debug, Clone, Default)]
+pub struct HbStats {
+    /// Events scanned.
+    pub events: usize,
+    /// Proven-order edges matched and checked (cause and effect both
+    /// present, per job instance).
+    pub edges_checked: usize,
+    /// Effect events whose cause never appeared in the trace (event
+    /// loss upstream — counted, not diagnosed; the FIFO-overload lints
+    /// own that failure mode).
+    pub unmatched_effects: usize,
+}
+
+/// One occurrence of a tracked instrumentation point.
+#[derive(Debug, Clone)]
+struct Occurrence {
+    channel: usize,
+    ts_ns: u64,
+    /// Vector clock *after* this event (one component per channel).
+    clock: Vec<u64>,
+}
+
+/// Checks a recorded trace against the model checker's proven
+/// orderings, returning the diagnostics and the analysis statistics.
+pub fn analyze_trace(trace: &Trace, orders: &[ProvenOrder]) -> (Report, HbStats) {
+    let mut report = Report::new("happens-before analysis");
+    let mut stats = HbStats::default();
+
+    let events = trace.events();
+    stats.events = events.len();
+    if events.is_empty() || orders.is_empty() {
+        return (report, stats);
+    }
+
+    let channels = events.iter().map(|e| e.channel).max().unwrap_or(0) + 1;
+
+    // Pass 1: index every occurrence of a tracked token by (token, job
+    // id), building vector clocks as we go. The trace is globally
+    // time-sorted, so walking it in order and joining the cause's clock
+    // into the effect's channel yields the standard happens-before
+    // relation (local order + proven communication edges).
+    let tracked: Vec<u16> = {
+        let mut t: Vec<u16> = orders.iter().flat_map(|o| [o.cause, o.effect]).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
+    // (token, param) → occurrences in trace order.
+    let mut seen: HashMap<(u16, u32), Vec<Occurrence>> = HashMap::new();
+    // effect token → orders it participates in (as effect).
+    let mut effect_orders: HashMap<u16, Vec<&ProvenOrder>> = HashMap::new();
+    for o in orders {
+        effect_orders.entry(o.effect).or_default().push(o);
+    }
+
+    let mut clocks: Vec<Vec<u64>> = vec![vec![0; channels]; channels];
+    for e in events {
+        let c = e.channel;
+        clocks[c][c] += 1;
+        let token = e.token.value();
+        if tracked.binary_search(&token).is_err() {
+            continue;
+        }
+        let param = e.param.value();
+
+        // Join the cause clocks of every proven edge ending here.
+        if let Some(ending) = effect_orders.get(&token) {
+            for o in ending {
+                if let Some(causes) = seen.get(&(o.cause, param)) {
+                    // Earliest cause occurrence is the real sender; any
+                    // duplicates are diagnosed separately.
+                    let cause = &causes[0];
+                    let dst = &mut clocks[c];
+                    for (i, v) in cause.clock.iter().enumerate() {
+                        if *v > dst[i] {
+                            dst[i] = *v;
+                        }
+                    }
+                }
+            }
+        }
+
+        let occ = Occurrence {
+            channel: c,
+            ts_ns: e.ts_ns,
+            clock: clocks[c].clone(),
+        };
+
+        // AN-HB-002: same point, same job id, different channel, and no
+        // happens-before path from the first occurrence to this one.
+        if let Some(prior) = seen.get(&(token, param)) {
+            for p in prior {
+                if p.channel != c && !leq(&p.clock, &clocks[c]) {
+                    report.push(
+                        Diagnostic::error(
+                            "AN-HB-002",
+                            format!(
+                                "concurrent duplicate: token 0x{token:04x} with job id \
+                                 {param} recorded on channel {} and channel {c} with no \
+                                 happens-before path between them",
+                                p.channel
+                            ),
+                        )
+                        .at_sim(e.ts_ns, c)
+                        .note(format!(
+                            "first occurrence at t={}ns on channel {}",
+                            p.ts_ns, p.channel
+                        ))
+                        .help(
+                            "two nodes claim the same work unsynchronized — check job \
+                             assignment and channel attribution",
+                        ),
+                    );
+                }
+            }
+        }
+        seen.entry((token, param)).or_default().push(occ);
+    }
+
+    // Pass 2: check every proven edge instance by timestamp. The first
+    // pass can miss inverted edges (the effect scans before its cause
+    // exists), so the ordering check runs over the completed index.
+    for o in orders {
+        for (&(token, param), effects) in &seen {
+            if token != o.effect {
+                continue;
+            }
+            match seen.get(&(o.cause, param)) {
+                None => stats.unmatched_effects += 1,
+                Some(causes) => {
+                    let cause = &causes[0];
+                    for eff in effects {
+                        stats.edges_checked += 1;
+                        if cause.ts_ns > eff.ts_ns {
+                            report.push(
+                                Diagnostic::error(
+                                    "AN-HB-001",
+                                    format!(
+                                        "ordering violation: proven order \"{}\" broken \
+                                         for job id {param} — cause token 0x{:04x} at \
+                                         t={}ns is later than effect token 0x{:04x} at \
+                                         t={}ns",
+                                        o.name, o.cause, cause.ts_ns, o.effect, eff.ts_ns
+                                    ),
+                                )
+                                .at_sim(eff.ts_ns, eff.channel)
+                                .note(o.why)
+                                .help(
+                                    "a legal execution cannot produce this trace — check \
+                                     recorder clock calibration and channel attribution",
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    (report, stats)
+}
+
+/// Validates a trace against proven orders, folding the statistics into
+/// the report (an `info` diagnostic when clean).
+pub fn validate_orders(trace: &Trace, orders: &[ProvenOrder]) -> Report {
+    let (mut report, stats) = analyze_trace(trace, orders);
+    if report.is_clean() {
+        report.push(Diagnostic::info(
+            "AN-HB-001",
+            format!(
+                "all proven orderings hold: {} edge instance(s) checked across {} events \
+                 ({} unmatched by event loss)",
+                stats.edges_checked, stats.events, stats.unmatched_effects
+            ),
+        ));
+    }
+    report
+}
+
+/// Componentwise `a <= b`.
+fn leq(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::proven_orders;
+    use raysim::config::{AppConfig, Version};
+    use raysim::tokens;
+    use simple::Event;
+
+    fn ev(ts: u64, channel: usize, token: u16, param: u32) -> Event {
+        Event::new(ts, channel, token, param)
+    }
+
+    fn healthy_trace() -> Trace {
+        // Master on channel 0, servant on channel 1; two jobs.
+        Trace::from_unsorted(vec![
+            ev(100, 0, tokens::SEND_JOBS_BEGIN, 1),
+            ev(200, 1, tokens::WORK_BEGIN, 1),
+            ev(250, 0, tokens::SEND_JOBS_BEGIN, 2),
+            ev(300, 1, tokens::SEND_RESULTS_BEGIN, 1),
+            ev(400, 0, tokens::RECEIVE_RESULTS_BEGIN, 1),
+            ev(450, 1, tokens::WORK_BEGIN, 2),
+            ev(500, 1, tokens::SEND_RESULTS_BEGIN, 2),
+            ev(600, 0, tokens::RECEIVE_RESULTS_BEGIN, 2),
+        ])
+    }
+
+    #[test]
+    fn healthy_trace_validates_cleanly() {
+        let orders = proven_orders(&AppConfig::version(Version::V4));
+        let (report, stats) = analyze_trace(&healthy_trace(), &orders);
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(stats.edges_checked >= 8, "edges: {}", stats.edges_checked);
+        assert_eq!(stats.unmatched_effects, 0);
+        let validated = validate_orders(&healthy_trace(), &orders);
+        assert!(validated.contains("AN-HB-001"));
+        assert!(!validated.has_errors());
+    }
+
+    #[test]
+    fn inverted_edge_is_an_ordering_violation() {
+        // Work "begins" before the job was ever sent.
+        let trace = Trace::from_unsorted(vec![
+            ev(100, 1, tokens::WORK_BEGIN, 7),
+            ev(200, 0, tokens::SEND_JOBS_BEGIN, 7),
+            ev(300, 1, tokens::SEND_RESULTS_BEGIN, 7),
+            ev(400, 0, tokens::RECEIVE_RESULTS_BEGIN, 7),
+        ]);
+        let orders = proven_orders(&AppConfig::version(Version::V4));
+        let (report, _) = analyze_trace(&trace, &orders);
+        assert!(report.has_errors());
+        assert!(report.contains("AN-HB-001"));
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.code == "AN-HB-001")
+            .unwrap();
+        assert!(f.message.contains("job-sent-before-work"), "{}", f.message);
+    }
+
+    #[test]
+    fn concurrent_duplicate_is_a_race() {
+        // The same work, same job id, on two channels with no
+        // happens-before path between them.
+        let trace = Trace::from_unsorted(vec![
+            ev(100, 0, tokens::SEND_JOBS_BEGIN, 3),
+            ev(200, 1, tokens::WORK_BEGIN, 3),
+            ev(210, 2, tokens::WORK_BEGIN, 3),
+            ev(400, 0, tokens::RECEIVE_RESULTS_BEGIN, 3),
+        ]);
+        let orders = proven_orders(&AppConfig::version(Version::V1));
+        let (report, _) = analyze_trace(&trace, &orders);
+        assert!(report.contains("AN-HB-002"), "{}", report.render());
+    }
+
+    #[test]
+    fn event_loss_counts_unmatched_but_stays_clean() {
+        // The send was lost upstream (FIFO overload): not a violation.
+        let trace = Trace::from_unsorted(vec![ev(200, 1, tokens::WORK_BEGIN, 9)]);
+        let orders = proven_orders(&AppConfig::version(Version::V1));
+        let (report, stats) = analyze_trace(&trace, &orders);
+        assert!(report.is_clean());
+        assert_eq!(stats.unmatched_effects, 1);
+    }
+
+    #[test]
+    fn equal_timestamps_are_tolerated() {
+        // Quantized clocks can collapse cause and effect onto one tick;
+        // only a strictly earlier effect is a violation.
+        let trace = Trace::from_unsorted(vec![
+            ev(100, 0, tokens::SEND_JOBS_BEGIN, 4),
+            ev(100, 1, tokens::WORK_BEGIN, 4),
+        ]);
+        let orders = proven_orders(&AppConfig::version(Version::V1));
+        let (report, _) = analyze_trace(&trace, &orders);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+}

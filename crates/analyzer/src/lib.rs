@@ -18,9 +18,19 @@
 //! * [`rate`] — worst-case per-channel event rates aggregated per ZM4
 //!   event recorder against the 10 000 events/s drain and the 32 K
 //!   FIFO: predicted event loss before any event exists (`AN-RATE-*`).
+//! * [`model`] — the bounded protocol model checker: deadlock
+//!   reachability with counterexample paths, the V3 window collapse as
+//!   a reachability verdict, credit conservation over *all* reachable
+//!   states, and the effective-synchrony theorem with a counterexample
+//!   under a preemptive-scheduler toggle (`AN-MODEL-*`).
+//! * [`hb`] — the vector-clock happens-before engine over recorded
+//!   traces, cross-validated against the model checker's proven
+//!   orderings (`AN-HB-*`).
 //!
-//! Findings are [`diag::Finding`]s with stable machine-readable codes,
-//! collected into [`diag::Report`]s that render in `rustc` style.
+//! Findings are [`diag::Diagnostic`]s with stable machine-readable
+//! codes, severities, and structured locations, collected into
+//! [`diag::Report`]s that render in `rustc` style — or as JSON and
+//! SARIF via [`render`].
 //!
 //! # One-call API
 //!
@@ -39,16 +49,22 @@
 //! analysis hook without a dependency cycle.
 
 pub mod diag;
+pub mod hb;
+pub mod model;
 pub mod preflight;
 pub mod protocol;
 pub mod rate;
+pub mod render;
 pub mod token_lints;
 
-pub use diag::{Finding, Report, Severity};
+pub use diag::{Diagnostic, Finding, Location, Report, Severity};
+pub use hb::{analyze_trace, validate_orders, HbStats};
+pub use model::{check_app, check_preemptive_variant, proven_orders, ModelBudget, ProvenOrder};
 pub use preflight::{
-    analyze_all_versions, analyze_app, analyze_run, analyze_version, deny_policy, preflight_hook,
-    warn_policy,
+    analyze_all_versions, analyze_app, analyze_run, analyze_version, deny_policy, policy_from_env,
+    preflight_hook, warn_policy,
 };
 pub use protocol::{analyze_protocol, CreditLedger, ProtocolGraph};
 pub use rate::{analyze_rate, predict, RatePrediction};
+pub use render::{report_json, reports_json, sarif};
 pub use token_lints::{lint_pair, lint_stock_maps, TokenDecl, TokenMap};

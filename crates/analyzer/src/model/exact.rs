@@ -1,0 +1,349 @@
+//! The pixel-exact protocol model for small configurations.
+//!
+//! Where [`super::flow`] abstracts the pixel queue into bundle
+//! counters, this model tracks it exactly: the in-flight region is a
+//! sequence of segments (one per assigned job, in assignment order from
+//! the write head) with per-segment completion flags, plus the global
+//! credit count and the unassigned remainder. That is precisely the
+//! state [`raysim::pixels::PixelLedger`] projects onto once symmetric
+//! servant identities are folded into one credit counter, so for small
+//! images the exploration is *exact*: a state is reachable in the model
+//! iff some scheduling of the simulator reaches it.
+//!
+//! Exactness buys two verdicts the abstraction cannot give:
+//!
+//! * **deadlock possible** — some completion order wedges the run
+//!   (strict write-back can leave a short tail after an overshooting
+//!   write, because the master writes *all* contiguous pixels, not
+//!   chunk multiples);
+//! * **deadlock inevitable** — no completion order finishes. Every
+//!   transition strictly increases assigned + completed + written
+//!   pixels, so the state graph is a finite DAG and every maximal path
+//!   ends in a terminal; if no completed terminal is reachable, every
+//!   schedule deadlocks — in particular the simulator's.
+//!
+//! The two are genuinely different: with `total = 8`, `chunk = 4`,
+//! completion order 4,0,1,2,3 writes 5 pixels leaving a 3-pixel tail
+//! (< chunk → wedged), while order 0,1,2,3,… writes 4+4 and completes.
+//! The differential test against the simulator
+//! (`tests/model_vs_sim.rs`) checks exactly the three sound
+//! implications this split supports.
+
+use std::collections::HashMap;
+
+/// Exact model parameters, in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactModel {
+    /// Total pixels in the image.
+    pub total: u32,
+    /// Pixel-queue capacity (max in-flight pixels).
+    pub capacity: u32,
+    /// Pixels per job bundle (a trailing bundle may be shorter).
+    pub bundle: u32,
+    /// Write-back chunk in pixels.
+    pub chunk: u32,
+    /// Total window credits (servants × window).
+    pub credits: u32,
+    /// Eager write-back (the implemented master's fallback flush).
+    pub eager: bool,
+}
+
+/// One in-flight segment: `len` pixels, completed or not. Segments are
+/// ordered from the write head.
+type Seg = (u32, bool);
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    segs: Vec<Seg>,
+    /// Pixels assigned so far (monotone; `remaining = total - assigned`).
+    assigned: u32,
+}
+
+/// What exploring the exact model concluded.
+#[derive(Debug, Clone)]
+pub struct ExactVerdict {
+    /// Reachable states explored.
+    pub states: usize,
+    /// `true` when the state budget cut the exploration short; all
+    /// universal claims are then partial and `deadlock_inevitable` is
+    /// forced to `false`.
+    pub bounded: bool,
+    /// A counterexample path to a deadlocked terminal, if one is
+    /// reachable under *some* scheduling.
+    pub deadlock_possible: Option<Vec<String>>,
+    /// `true` when *no* completed terminal is reachable: every
+    /// scheduling — including the simulator's — wedges.
+    pub deadlock_inevitable: bool,
+    /// `true` when some scheduling completes the run.
+    pub completion_reachable: bool,
+    /// Most jobs concurrently outstanding over all explored states.
+    pub max_outstanding: u32,
+    /// `true` when outstanding jobs never exceeded the credit total and
+    /// in-flight pixels never exceeded the queue capacity.
+    pub invariants_ok: bool,
+}
+
+impl ExactModel {
+    fn in_flight(s: &State) -> u32 {
+        s.segs.iter().map(|&(len, _)| len).sum()
+    }
+
+    fn outstanding(s: &State) -> u32 {
+        s.segs.iter().filter(|&&(_, done)| !done).count() as u32
+    }
+
+    fn assignable(&self, s: &State) -> u32 {
+        (self.capacity.saturating_sub(Self::in_flight(s))).min(self.total - s.assigned)
+    }
+
+    fn contiguous(s: &State) -> u32 {
+        s.segs
+            .iter()
+            .take_while(|&&(_, done)| done)
+            .map(|&(len, _)| len)
+            .sum()
+    }
+
+    /// Mirrors `Master::write_ready` + `PixelLedger::take_writable`:
+    /// writes drain the *entire* contiguous prefix whenever the chunk
+    /// threshold (or the eager fallback condition) is met.
+    fn normalize(&self, s: &mut State) {
+        loop {
+            let contig = Self::contiguous(s);
+            let ready = contig >= self.chunk
+                || (self.eager
+                    && contig > 0
+                    && Self::outstanding(s) == 0
+                    && self.assignable(s) == 0);
+            if !ready {
+                return;
+            }
+            while s.segs.first().is_some_and(|&(_, done)| done) {
+                s.segs.remove(0);
+            }
+        }
+    }
+
+    fn is_complete(&self, s: &State) -> bool {
+        s.assigned == self.total && s.segs.is_empty()
+    }
+
+    /// All successors: one send (the master is deterministic about
+    /// sizes) and one completion per outstanding segment.
+    fn successors(&self, s: &State) -> Vec<(State, String)> {
+        let mut next = Vec::new();
+
+        let assignable = self.assignable(s);
+        if Self::outstanding(s) < self.credits && assignable > 0 {
+            let n = self.bundle.min(assignable);
+            let mut t = s.clone();
+            t.segs.push((n, false));
+            t.assigned += n;
+            self.normalize(&mut t);
+            next.push((t, format!("master sends a {n}-pixel job")));
+        }
+
+        for (i, &(len, done)) in s.segs.iter().enumerate() {
+            if done {
+                continue;
+            }
+            let mut t = s.clone();
+            t.segs[i].1 = true;
+            self.normalize(&mut t);
+            next.push((
+                t,
+                format!("servant completes the {len}-pixel job at queue position {i}"),
+            ));
+        }
+
+        next
+    }
+
+    /// Explores the reachable state space exhaustively (BFS), up to
+    /// `max_states` states.
+    pub fn explore(&self, max_states: usize) -> ExactVerdict {
+        let mut initial = State {
+            segs: Vec::new(),
+            assigned: 0,
+        };
+        self.normalize(&mut initial);
+
+        let mut seen: HashMap<State, usize> = HashMap::new();
+        seen.insert(initial.clone(), 0);
+        let mut nodes: Vec<(State, usize, String)> = vec![(initial, usize::MAX, String::new())];
+
+        let mut verdict = ExactVerdict {
+            states: 0,
+            bounded: false,
+            deadlock_possible: None,
+            deadlock_inevitable: false,
+            completion_reachable: false,
+            max_outstanding: 0,
+            invariants_ok: true,
+        };
+
+        let mut head = 0usize;
+        while head < nodes.len() {
+            let s = nodes[head].0.clone();
+
+            let out = Self::outstanding(&s);
+            if out > self.credits || Self::in_flight(&s) > self.capacity {
+                verdict.invariants_ok = false;
+            }
+            verdict.max_outstanding = verdict.max_outstanding.max(out);
+
+            if self.is_complete(&s) {
+                verdict.completion_reachable = true;
+                head += 1;
+                continue;
+            }
+
+            let succs = self.successors(&s);
+            if succs.is_empty() {
+                if verdict.deadlock_possible.is_none() {
+                    verdict.deadlock_possible = Some(path_to(&nodes, head));
+                }
+                head += 1;
+                continue;
+            }
+            for (t, label) in succs {
+                if seen.len() >= max_states {
+                    verdict.bounded = true;
+                    break;
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(t.clone()) {
+                    e.insert(nodes.len());
+                    nodes.push((t, head, label));
+                }
+            }
+            head += 1;
+        }
+
+        verdict.states = nodes.len();
+        // Sound only on full closure: the transition relation
+        // over-approximates the simulator's schedules and the graph is
+        // a DAG, so "no completed terminal anywhere" means every
+        // schedule wedges.
+        verdict.deadlock_inevitable = !verdict.bounded && !verdict.completion_reachable;
+        verdict
+    }
+}
+
+fn path_to(nodes: &[(State, usize, String)], target: usize) -> Vec<String> {
+    let mut labels = Vec::new();
+    let mut i = target;
+    while i != 0 {
+        let (_, parent, ref label) = nodes[i];
+        labels.push(label.clone());
+        i = parent;
+    }
+    labels.reverse();
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(total: u32, capacity: u32, bundle: u32, chunk: u32, credits: u32) -> ExactModel {
+        ExactModel {
+            total,
+            capacity,
+            bundle,
+            chunk,
+            credits,
+            eager: true,
+        }
+    }
+
+    #[test]
+    fn eager_small_configs_complete_without_deadlock() {
+        for m in [
+            model(16, 8, 2, 4, 3),
+            model(9, 4, 3, 2, 2),
+            model(25, 25, 5, 7, 4),
+        ] {
+            let v = m.explore(500_000);
+            assert!(!v.bounded);
+            assert!(
+                v.deadlock_possible.is_none(),
+                "{m:?}: {:?}",
+                v.deadlock_possible
+            );
+            assert!(v.completion_reachable);
+            assert!(!v.deadlock_inevitable);
+            assert!(v.invariants_ok);
+        }
+    }
+
+    #[test]
+    fn strict_tail_deadlock_is_possible_but_not_inevitable() {
+        // total 8, chunk 4, bundle 1: completing jobs 1..4 before job 0
+        // makes the first write drain 5 pixels, leaving a 3-pixel tail
+        // that can never reach the 4-pixel chunk. Completing in order
+        // writes 4 + 4 and finishes.
+        let m = ExactModel {
+            total: 8,
+            capacity: 8,
+            bundle: 1,
+            chunk: 4,
+            credits: 5,
+            eager: false,
+        };
+        let v = m.explore(500_000);
+        assert!(!v.bounded);
+        let path = v.deadlock_possible.expect("tail deadlock reachable");
+        assert!(!path.is_empty());
+        assert!(v.completion_reachable, "in-order completion finishes");
+        assert!(!v.deadlock_inevitable);
+    }
+
+    #[test]
+    fn strict_misaligned_tail_is_inevitable() {
+        // total 6, chunk 4, window 1: completion is forced in-order, so
+        // every schedule writes 4 pixels the moment they are contiguous
+        // and strands the 2-pixel tail below the chunk. (A wider window
+        // could rescue the run by holding back the prefix until all 6
+        // pixels are contiguous.)
+        let m = ExactModel {
+            total: 6,
+            capacity: 6,
+            bundle: 2,
+            chunk: 4,
+            credits: 1,
+            eager: false,
+        };
+        let v = m.explore(500_000);
+        assert!(!v.bounded);
+        assert!(v.deadlock_possible.is_some());
+        assert!(!v.completion_reachable);
+        assert!(v.deadlock_inevitable);
+    }
+
+    #[test]
+    fn eager_fallback_rescues_the_tail() {
+        // Same shape as the inevitable case but with the implemented
+        // master's eager flush: always completes.
+        let m = ExactModel {
+            total: 6,
+            capacity: 6,
+            bundle: 2,
+            chunk: 4,
+            credits: 3,
+            eager: true,
+        };
+        let v = m.explore(500_000);
+        assert!(!v.bounded);
+        assert!(v.deadlock_possible.is_none());
+        assert!(v.completion_reachable);
+    }
+
+    #[test]
+    fn window_collapse_shows_in_max_outstanding() {
+        // 6 credits but only room for 2 concurrent 2-pixel jobs.
+        let m = model(20, 4, 2, 2, 6);
+        let v = m.explore(500_000);
+        assert!(!v.bounded);
+        assert_eq!(v.max_outstanding, 2);
+    }
+}

@@ -1,0 +1,530 @@
+//! The credit/queue flow model: an exhaustively explored abstraction of
+//! the master↔servant window protocol at paper scale.
+//!
+//! The state tracks the protocol in **bundle units**: jobs outstanding
+//! at servants, completed-but-unwritten bundles, the contiguous prefix
+//! at the write head, and the unassigned remainder (saturated to
+//! `MANY` so the 16 384-pixel paper image stays finite). Servants are
+//! collapsed into one credit counter — they are symmetric, any servant
+//! with a credit can accept any job, and any outstanding job may
+//! complete next, so per-servant credit splits do not change
+//! reachability of this projection.
+//!
+//! The abstraction is an **over-approximation** of the simulator: which
+//! completed bundle bridges the contiguous prefix is chosen
+//! nondeterministically (any extension up to the completed total),
+//! which includes every real completion order. Two exact rules are kept
+//! because the verdicts depend on them:
+//!
+//! * writes are *urgent*: whenever the contiguous prefix reaches the
+//!   write chunk the master writes it in the same step, exactly like
+//!   [`raysim`]'s master checking `write_ready` after every receive;
+//! * with no job outstanding, everything in flight is contiguous (there
+//!   is no gap a missing bundle could leave), so the state is forced to
+//!   full bridge — this is what makes the eager write-back fallback
+//!   fire and is why the implemented protocol cannot wedge in eager
+//!   mode.
+//!
+//! Explored exhaustively (BFS with parent pointers), the model yields
+//! machine-checked verdicts: deadlock reachability with a counterexample
+//! path, the peak number of concurrently outstanding jobs (the V3
+//! window collapse, with a witness path), and credit conservation as an
+//! invariant over *all* reachable states. Transition labels are encoded
+//! as compact actions and rendered to prose only when a path is
+//! reconstructed — the exploration itself allocates nothing per edge
+//! beyond the hash insert.
+
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The flow model's parameters, all in bundle units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowModel {
+    /// Total window credits: servants × window.
+    pub credits: u32,
+    /// Pixel-queue capacity in bundles (`⌊capacity / bundle⌋`).
+    pub capacity_b: u32,
+    /// Write chunk in bundles (`⌈write_chunk / bundle⌉`).
+    pub chunk_b: u32,
+    /// Eager write-back: the master flushes a partial chunk when
+    /// nothing is outstanding and nothing is assignable (the
+    /// implemented master's fallback). `false` models strict chunked
+    /// write-back.
+    pub eager: bool,
+}
+
+/// Sentinel for "more bundles than the protocol can distinguish".
+const MANY: u16 = u16::MAX;
+
+/// One abstract state (bundle units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    /// Jobs outstanding at servants (each holds one credit).
+    out: u16,
+    /// Completed-but-unwritten bundles in the queue.
+    done: u16,
+    /// Contiguous completed bundles at the write head (`<= done`).
+    contig: u16,
+    /// Unassigned bundles, saturated to [`MANY`].
+    remaining: u16,
+}
+
+/// A transition, encoded compactly; rendered to prose only for
+/// counterexample paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Initial state marker (never rendered).
+    Init,
+    /// Master sends a job; the remainder stays saturated.
+    SendMany,
+    /// Master sends a job and the remainder collapses to the concrete
+    /// tail (this was one of the image's last bundles).
+    SendTail(u16),
+    /// Master sends a job with the given concrete bundle count left
+    /// after it.
+    SendCount(u16),
+    /// A servant completes a job that does not touch the write head.
+    CompleteAway,
+    /// A servant completes a job; the contiguous stretch extends to
+    /// the given length (bridging earlier completions); any full
+    /// chunks are written immediately.
+    CompleteBridge(u16),
+}
+
+impl Action {
+    fn render(self) -> String {
+        match self {
+            Action::Init => String::new(),
+            Action::SendMany => "master sends a job (plenty of pixels left)".to_owned(),
+            Action::SendTail(n) => {
+                format!("master sends a job ({n} bundle(s) of the image left)")
+            }
+            Action::SendCount(n) => format!("master sends a job ({n} bundle(s) left)"),
+            Action::CompleteAway => "a servant completes a job away from the write head".to_owned(),
+            Action::CompleteBridge(c) => format!(
+                "a servant completes a job; the contiguous stretch reaches {c} bundle(s) \
+                 and the master writes every full chunk"
+            ),
+        }
+    }
+}
+
+/// What exploring the flow model concluded.
+#[derive(Debug, Clone)]
+pub struct FlowVerdict {
+    /// Reachable states explored.
+    pub states: usize,
+    /// `true` when the exploration hit the state budget; universal
+    /// claims (deadlock freedom, peak concurrency) are then partial.
+    pub bounded: bool,
+    /// A transition path to a deadlocked state, if one is reachable.
+    pub deadlock: Option<Vec<String>>,
+    /// Most jobs ever concurrently outstanding, over all explored
+    /// states.
+    pub max_outstanding: u32,
+    /// A transition path witnessing `max_outstanding`.
+    pub peak_witness: Vec<String>,
+    /// `true` when no reachable state held more jobs than credits
+    /// (no credit is ever minted) — the credit-conservation invariant.
+    pub credits_conserved: bool,
+    /// `true` when `outstanding + completed <= capacity_b` held in
+    /// every explored state.
+    pub capacity_respected: bool,
+    /// `true` when a completed state (all work written) was reached.
+    pub completion_reachable: bool,
+}
+
+/// Membership set for explored states.
+///
+/// The state fields are tightly bounded (`out ≤ credits`, `done ≤
+/// capacity_b`, `contig < chunk_b` after normalization, `remaining ∈
+/// {MANY, 0..=tail}`), so for every realistic shape the whole space
+/// indexes into a dense bitset — no hashing on the hot path, which is
+/// traversed once per *edge* (~10⁸ at paper scale). Shapes whose
+/// product overflows the cap fall back to a hash set with a cheap
+/// multiplicative hasher.
+enum Seen {
+    Dense {
+        bits: Vec<u64>,
+        done_dim: usize,
+        contig_dim: usize,
+        rem_dim: usize,
+    },
+    Sparse(HashSet<u64, BuildHasherDefault<FxHasher>>),
+}
+
+/// Largest dense table allowed, in bits (16 MiB of memory).
+const DENSE_CAP: usize = 1 << 27;
+
+impl Seen {
+    fn new(m: &FlowModel) -> Seen {
+        let out_dim = m.credits.min(m.capacity_b) as usize + 1;
+        let done_dim = m.capacity_b as usize + 1;
+        let contig_dim = (m.chunk_b as usize).max(1);
+        let rem_dim = usize::from(m.tail()) + 2;
+        let size = out_dim
+            .checked_mul(done_dim)
+            .and_then(|s| s.checked_mul(contig_dim))
+            .and_then(|s| s.checked_mul(rem_dim));
+        match size {
+            Some(size) if size <= DENSE_CAP => Seen::Dense {
+                bits: vec![0; size.div_ceil(64)],
+                done_dim,
+                contig_dim,
+                rem_dim,
+            },
+            _ => Seen::Sparse(HashSet::default()),
+        }
+    }
+
+    /// Marks `s` as seen; returns `true` when it was new.
+    fn insert(&mut self, s: State) -> bool {
+        match self {
+            Seen::Dense {
+                bits,
+                done_dim,
+                contig_dim,
+                rem_dim,
+            } => {
+                let rem = if s.remaining == MANY {
+                    0
+                } else {
+                    usize::from(s.remaining) + 1
+                };
+                let idx = ((usize::from(s.out) * *done_dim + usize::from(s.done)) * *contig_dim
+                    + usize::from(s.contig))
+                    * *rem_dim
+                    + rem;
+                let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+                let new = bits[word] & bit == 0;
+                bits[word] |= bit;
+                new
+            }
+            Seen::Sparse(set) => {
+                let key = (u64::from(s.out) << 48)
+                    | (u64::from(s.done) << 32)
+                    | (u64::from(s.contig) << 16)
+                    | u64::from(s.remaining);
+                set.insert(key)
+            }
+        }
+    }
+}
+
+/// FxHash-style multiplicative hasher for the sparse fallback — the
+/// derived `SipHash` dominates exploration time on debug builds.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl FlowModel {
+    /// Builds the model from protocol constants in **pixel** units.
+    pub fn from_protocol(
+        servants: u32,
+        window: u32,
+        bundle: u32,
+        capacity: u32,
+        chunk: u32,
+        eager: bool,
+    ) -> FlowModel {
+        let bundle = bundle.max(1);
+        FlowModel {
+            credits: servants * window,
+            capacity_b: (capacity / bundle).max(1),
+            chunk_b: chunk.div_ceil(bundle).max(1),
+            eager,
+        }
+    }
+
+    /// Tail length (bundles) used when `MANY` collapses to a concrete
+    /// remainder: just enough to exercise the endgame write-back.
+    fn tail(&self) -> u16 {
+        (self.chunk_b + 1).min(u32::from(u16::MAX - 1)) as u16
+    }
+
+    fn in_flight(s: State) -> u32 {
+        u32::from(s.out) + u32::from(s.done)
+    }
+
+    /// Bundles assignable right now: free queue slots, remainder
+    /// permitting.
+    fn assignable(&self, s: State) -> u32 {
+        let free = self.capacity_b.saturating_sub(Self::in_flight(s));
+        if s.remaining == MANY {
+            free
+        } else {
+            free.min(u32::from(s.remaining))
+        }
+    }
+
+    /// Has every bundle been assigned, completed and written?
+    fn is_complete(s: State) -> bool {
+        s.remaining == 0 && s.out == 0 && s.done == 0
+    }
+
+    /// Applies the master's deterministic write-back to a state:
+    /// chunk-triggered writes always; the eager fallback flush when
+    /// nothing is outstanding and nothing is assignable.
+    fn normalize(&self, mut s: State) -> State {
+        loop {
+            // With no job outstanding there is no gap: everything
+            // completed is contiguous from the write head.
+            if s.out == 0 {
+                s.contig = s.done;
+            }
+            if u32::from(s.contig) >= self.chunk_b && s.contig > 0 {
+                s.done -= s.contig;
+                s.contig = 0;
+                continue;
+            }
+            if self.eager && s.out == 0 && s.done > 0 && self.assignable(s) == 0 {
+                // The implemented master's fallback: flush the partial
+                // stretch rather than stall.
+                s.done = 0;
+                s.contig = 0;
+                continue;
+            }
+            return s;
+        }
+    }
+
+    /// Writes all successor states with compact action codes into
+    /// `next`.
+    fn successors(&self, s: State, next: &mut Vec<(State, Action)>) {
+        next.clear();
+
+        // Send: a credit and a queue slot carry one bundle out.
+        if u32::from(s.out) < self.credits && self.assignable(s) > 0 {
+            if s.remaining == MANY {
+                let mut t = s;
+                t.out += 1;
+                next.push((self.normalize(t), Action::SendMany));
+                let mut t = s;
+                t.out += 1;
+                t.remaining = self.tail();
+                next.push((self.normalize(t), Action::SendTail(self.tail())));
+            } else {
+                let mut t = s;
+                t.out += 1;
+                t.remaining -= 1;
+                next.push((self.normalize(t), Action::SendCount(t.remaining)));
+            }
+        }
+
+        // Complete: any outstanding job finishes; the master receives
+        // the result and the credit returns. The completed bundle may
+        // extend the contiguous prefix by any amount (bridging
+        // previously completed bundles) or leave it untouched.
+        if s.out > 0 {
+            let out = s.out - 1;
+            let done = s.done + 1;
+            if out > 0 {
+                let mut t = s;
+                t.out = out;
+                t.done = done;
+                next.push((self.normalize(t), Action::CompleteAway));
+            }
+            for contig in (s.contig + 1)..=done {
+                let mut t = s;
+                t.out = out;
+                t.done = done;
+                t.contig = contig;
+                next.push((self.normalize(t), Action::CompleteBridge(contig)));
+            }
+        }
+    }
+
+    /// Explores the reachable state space exhaustively (BFS), up to
+    /// `max_states` states.
+    pub fn explore(&self, max_states: usize) -> FlowVerdict {
+        let initial = self.normalize(State {
+            out: 0,
+            done: 0,
+            contig: 0,
+            remaining: MANY,
+        });
+        let mut seen = Seen::new(self);
+        // (state, parent index, action from the parent)
+        let mut nodes: Vec<(State, usize, Action)> = vec![(initial, usize::MAX, Action::Init)];
+        seen.insert(initial);
+
+        let mut verdict = FlowVerdict {
+            states: 0,
+            bounded: false,
+            deadlock: None,
+            max_outstanding: 0,
+            peak_witness: Vec::new(),
+            credits_conserved: true,
+            capacity_respected: true,
+            completion_reachable: false,
+        };
+        let mut peak_at = 0usize;
+        let mut succs: Vec<(State, Action)> = Vec::new();
+
+        let mut head = 0usize;
+        while head < nodes.len() && !verdict.bounded {
+            let (s, _, _) = nodes[head];
+
+            // Mechanical invariants, checked in every reachable state:
+            // no credit is ever minted (outstanding jobs never exceed
+            // the window total) and the queue bound is never overrun.
+            if u32::from(s.out) > self.credits {
+                verdict.credits_conserved = false;
+            }
+            if Self::in_flight(s) > self.capacity_b {
+                verdict.capacity_respected = false;
+            }
+            if u32::from(s.out) > verdict.max_outstanding {
+                verdict.max_outstanding = u32::from(s.out);
+                peak_at = head;
+            }
+
+            if Self::is_complete(s) {
+                verdict.completion_reachable = true;
+                head += 1;
+                continue;
+            }
+
+            self.successors(s, &mut succs);
+            if succs.is_empty() {
+                if verdict.deadlock.is_none() {
+                    verdict.deadlock = Some(path_to(&nodes, head));
+                }
+                head += 1;
+                continue;
+            }
+            for &(t, action) in &succs {
+                if nodes.len() >= max_states {
+                    verdict.bounded = true;
+                    break;
+                }
+                if seen.insert(t) {
+                    nodes.push((t, head, action));
+                }
+            }
+            head += 1;
+        }
+
+        verdict.states = nodes.len();
+        verdict.peak_witness = path_to(&nodes, peak_at);
+        verdict
+    }
+}
+
+/// Reconstructs rendered transition labels from the initial state to
+/// `target` via parent pointers.
+fn path_to(nodes: &[(State, usize, Action)], target: usize) -> Vec<String> {
+    let mut labels = Vec::new();
+    let mut i = target;
+    while i != 0 {
+        let (_, parent, action) = nodes[i];
+        labels.push(action.render());
+        i = parent;
+    }
+    labels.reverse();
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(credits: u32, capacity_b: u32, chunk_b: u32, eager: bool) -> FlowModel {
+        FlowModel {
+            credits,
+            capacity_b,
+            chunk_b,
+            eager,
+        }
+    }
+
+    #[test]
+    fn eager_models_are_deadlock_free() {
+        for (credits, cap, chunk) in [(45, 15, 2), (45, 163, 2), (4, 16, 1), (2, 2, 3)] {
+            let v = model(credits, cap, chunk, true).explore(2_000_000);
+            assert!(!v.bounded, "{credits}/{cap}/{chunk} should close");
+            assert!(
+                v.deadlock.is_none(),
+                "eager {credits}/{cap}/{chunk}: {:?}",
+                v.deadlock
+            );
+            assert!(v.credits_conserved);
+            assert!(v.capacity_respected);
+            assert!(v.completion_reachable);
+        }
+    }
+
+    #[test]
+    fn v3_shape_collapses_the_window() {
+        // Paper V3 in bundle units: 45 credits but only ⌊768/50⌋ = 15
+        // queue slots.
+        let v = FlowModel::from_protocol(15, 3, 50, 768, 64, true).explore(2_000_000);
+        assert!(!v.bounded);
+        assert_eq!(v.max_outstanding, 15);
+        assert!(!v.peak_witness.is_empty());
+        assert!(v.deadlock.is_none());
+    }
+
+    #[test]
+    fn v4_shape_reaches_full_concurrency() {
+        // Paper V4: 45 credits, ⌊16384/100⌋ = 163 slots.
+        let v = FlowModel::from_protocol(15, 3, 100, 16_384, 128, true).explore(2_000_000);
+        assert!(!v.bounded);
+        assert_eq!(v.max_outstanding, 45);
+        assert!(v.deadlock.is_none());
+        assert!(v.credits_conserved);
+        assert!(v.completion_reachable);
+    }
+
+    #[test]
+    fn strict_chunk_larger_than_queue_deadlocks() {
+        // chunk_b > capacity_b: the contiguous stretch can never reach
+        // the chunk, so strict write-back wedges.
+        let v = model(2, 2, 3, false).explore(100_000);
+        assert!(!v.bounded);
+        let path = v.deadlock.expect("must deadlock");
+        assert!(!path.is_empty());
+        assert!(path.iter().any(|l| l.contains("sends a job")), "{path:?}");
+    }
+
+    #[test]
+    fn strict_aligned_config_can_still_wedge_on_the_tail() {
+        // Even with chunk_b <= capacity_b a write can overshoot the
+        // chunk boundary and leave a short tail: deadlock is reachable
+        // (though not inevitable) under strict write-back.
+        let v = model(2, 4, 2, false).explore(200_000);
+        assert!(!v.bounded);
+        assert!(v.completion_reachable);
+        assert!(v.deadlock.is_some());
+    }
+
+    #[test]
+    fn budget_bounds_the_exploration() {
+        let v = model(45, 512, 4, true).explore(1_000);
+        assert!(v.bounded);
+        assert!(v.states <= 1_001);
+    }
+
+    #[test]
+    fn v1_paper_scale_closes_within_the_full_budget() {
+        let v = FlowModel::from_protocol(15, 3, 1, 512, 4, true).explore(2_000_000);
+        assert!(!v.bounded, "V1 should close: {} states", v.states);
+        assert!(v.deadlock.is_none());
+        assert_eq!(v.max_outstanding, 45);
+    }
+}

@@ -1,0 +1,471 @@
+//! The protocol model checker: machine-checked verdicts about a
+//! [`raysim`] configuration, produced without executing the simulator.
+//!
+//! Three bounded models, each exhaustively explored:
+//!
+//! * [`flow`] — the window/credit/pixel-queue protocol in bundle units
+//!   at paper scale (deadlock reachability, peak concurrency / the V3
+//!   window collapse, credit conservation);
+//! * [`exact`] — a pixel-exact segment model for small configurations
+//!   (schedule-dependent *possible* vs schedule-independent
+//!   *inevitable* deadlock, differentially tested against the
+//!   simulator);
+//! * [`sched`] — a small-scope node-scheduler/mailbox model (the
+//!   effective-synchrony theorem, with a counterexample under a
+//!   preemptive toggle).
+//!
+//! [`check_app`] runs the layers appropriate for a configuration and
+//! folds the verdicts into [`Diagnostic`]s (the `AN-MODEL-*` codes);
+//! [`proven_orders`] exports the event orderings the models guarantee,
+//! which the happens-before engine ([`crate::hb`]) checks against every
+//! recorded trace.
+
+pub mod exact;
+pub mod flow;
+pub mod sched;
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use raysim::config::AppConfig;
+use raysim::tokens;
+
+use crate::diag::{Diagnostic, Location, Report};
+use exact::ExactModel;
+use flow::FlowModel;
+use sched::{SchedModel, SchedVerdict};
+
+/// State budgets for the three explorations.
+///
+/// The pre-flight budget keeps per-run analysis cheap (a bounded
+/// exploration reports `AN-MODEL-005` instead of a universal claim);
+/// the full budget is what the `analyze` CLI and the CI gate use, and
+/// closes every stock V1–V4 state space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelBudget {
+    /// Max states for the flow model.
+    pub flow_states: usize,
+    /// Max states for the exact model (`0` disables it).
+    pub exact_states: usize,
+    /// Max states for the scheduler model.
+    pub sched_states: usize,
+}
+
+impl ModelBudget {
+    /// The cheap per-run budget used by the pre-flight hook.
+    pub fn preflight() -> ModelBudget {
+        ModelBudget {
+            flow_states: 100_000,
+            exact_states: 0,
+            sched_states: 500_000,
+        }
+    }
+
+    /// The full budget used by the `analyze` CLI and the CI gate:
+    /// closes all four stock paper configurations.
+    pub fn full() -> ModelBudget {
+        ModelBudget {
+            flow_states: 2_000_000,
+            exact_states: 1_000_000,
+            sched_states: 2_000_000,
+        }
+    }
+}
+
+/// Largest image (pixels) the exact model is attempted on; beyond this
+/// the segment state space is left to the flow abstraction.
+const EXACT_MAX_PIXELS: u32 = 64;
+
+/// An event ordering the models prove holds in every legal execution,
+/// instance-matched by the job id carried in the event parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProvenOrder {
+    /// Stable name (used in diagnostics).
+    pub name: &'static str,
+    /// Token that must come first.
+    pub cause: u16,
+    /// Token that must come strictly later.
+    pub effect: u16,
+    /// Why the order is guaranteed.
+    pub why: &'static str,
+}
+
+/// The orderings guaranteed by message causality and the blocking
+/// mailbox protocol, as witnessed by the scheduler model: a message is
+/// accepted only after its send began, so each job's instrumentation
+/// points are totally ordered across nodes.
+pub fn proven_orders(app: &AppConfig) -> Vec<ProvenOrder> {
+    let mut orders = vec![
+        ProvenOrder {
+            name: "job-sent-before-work",
+            cause: tokens::SEND_JOBS_BEGIN,
+            effect: tokens::WORK_BEGIN,
+            why: "a servant can only start working on a job after the master began sending it",
+        },
+        ProvenOrder {
+            name: "work-before-result-received",
+            cause: tokens::WORK_BEGIN,
+            effect: tokens::RECEIVE_RESULTS_BEGIN,
+            why: "the master can only receive a result after the servant started the work",
+        },
+    ];
+    if app.instrument_send_results {
+        orders.push(ProvenOrder {
+            name: "work-before-result-sent",
+            cause: tokens::WORK_BEGIN,
+            effect: tokens::SEND_RESULTS_BEGIN,
+            why: "a servant sends a result only after starting its work",
+        });
+        orders.push(ProvenOrder {
+            name: "result-sent-before-received",
+            cause: tokens::SEND_RESULTS_BEGIN,
+            effect: tokens::RECEIVE_RESULTS_BEGIN,
+            why: "the master can only receive a result after the servant began sending it",
+        });
+    }
+    orders
+}
+
+/// Explores the scheduler model, memoizing by shape — sweeps pre-flight
+/// hundreds of runs that share the handful of version shapes, and the
+/// verdict depends only on `(master_agents, servant_agents, preemptive,
+/// budget)`.
+pub fn check_sched(model: SchedModel, max_states: usize) -> SchedVerdict {
+    type ShapeKey = (bool, bool, bool, usize);
+    static CACHE: OnceLock<Mutex<HashMap<ShapeKey, SchedVerdict>>> = OnceLock::new();
+    let key = (
+        model.master_agents,
+        model.servant_agents,
+        model.preemptive,
+        max_states,
+    );
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(v) = cache.lock().unwrap().get(&key) {
+        return v.clone();
+    }
+    let v = model.explore(max_states);
+    cache.lock().unwrap().insert(key, v.clone());
+    v
+}
+
+/// Model-checks an application configuration and folds the verdicts
+/// into diagnostics.
+///
+/// Emits `AN-MODEL-001` (deadlock reachability), `AN-MODEL-002` (window
+/// collapse), `AN-MODEL-003` (credit conservation), `AN-MODEL-004`
+/// (effective synchrony) and `AN-MODEL-005` (budget-bounded
+/// exploration). Proven properties are reported as `info` diagnostics
+/// so a report stays clean for healthy configurations; violated ones
+/// are errors carrying a counterexample path.
+pub fn check_app(app: &AppConfig, budget: &ModelBudget) -> Report {
+    let mut report = Report::new(format!("{} protocol model", app.version));
+    let mut bounded_layers: Vec<String> = Vec::new();
+
+    // --- Flow model: deadlock, window collapse, credit conservation.
+    let flow = FlowModel::from_protocol(
+        u32::from(app.servants),
+        app.window,
+        app.bundle_size,
+        app.pixel_queue_capacity,
+        app.write_chunk,
+        app.eager_writeback,
+    );
+    let fv = flow.explore(budget.flow_states);
+    if fv.bounded {
+        bounded_layers.push(format!(
+            "flow model stopped at {} states (budget {})",
+            fv.states, budget.flow_states
+        ));
+    }
+
+    if let Some(path) = &fv.deadlock {
+        report.push(
+            Diagnostic::error(
+                "AN-MODEL-001",
+                "a reachable protocol state deadlocks: the master can neither send, \
+                 receive, nor write",
+            )
+            .note(format!(
+                "found by exhaustive exploration of {} reachable states (bundle-granular \
+                 flow model)",
+                fv.states
+            ))
+            .with_path("counterexample (one transition per line)", path.clone()),
+        );
+    } else if !fv.bounded {
+        report.push(
+            Diagnostic::info(
+                "AN-MODEL-001",
+                format!(
+                    "deadlock-free: exhaustive exploration of {} reachable protocol states \
+                     found no state where the master is stuck",
+                    fv.states
+                ),
+            )
+            .locate(Location::Model { path: Vec::new() }),
+        );
+    }
+
+    // Window collapse: provable structurally (the queue bound caps
+    // concurrency below the window total); the exploration supplies the
+    // witness path to the observed peak.
+    let intended = u64::from(app.servants) * u64::from(app.window);
+    if u64::from(flow.capacity_b) < intended {
+        report.push(
+            Diagnostic::error(
+                "AN-MODEL-002",
+                format!(
+                    "window collapse: flow control intends {intended} concurrent jobs but \
+                     no reachable state holds more than {} — the pixel queue bound caps \
+                     concurrency",
+                    fv.max_outstanding
+                ),
+            )
+            .at_config("app.pixel_queue_capacity", app.pixel_queue_capacity)
+            .note(format!(
+                "peak of {} outstanding jobs over {} explored states{}",
+                fv.max_outstanding,
+                fv.states,
+                if fv.bounded { " (bounded)" } else { "" }
+            ))
+            .with_path(
+                "witness path to the concurrency ceiling",
+                fv.peak_witness.clone(),
+            ),
+        );
+    } else if !fv.bounded {
+        report.push(Diagnostic::info(
+            "AN-MODEL-002",
+            format!(
+                "full window concurrency is reachable: {} of {intended} intended jobs \
+                 outstanding in some state, over {} explored states",
+                fv.max_outstanding, fv.states
+            ),
+        ));
+    }
+
+    // Credit conservation, checked mechanically in every state.
+    if !fv.credits_conserved || !fv.capacity_respected {
+        report.push(
+            Diagnostic::error(
+                "AN-MODEL-003",
+                if fv.credits_conserved {
+                    "the pixel-queue bound is overrun in a reachable state"
+                } else {
+                    "credit conservation violated: a reachable state holds more \
+                     outstanding jobs than window credits"
+                },
+            )
+            .note(format!("over {} explored states", fv.states)),
+        );
+    } else if !fv.bounded {
+        report.push(Diagnostic::info(
+            "AN-MODEL-003",
+            format!(
+                "credit conservation proven: outstanding jobs never exceed {} credits and \
+                 in-flight pixels never exceed the queue bound, in all {} reachable states",
+                flow.credits, fv.states
+            ),
+        ));
+    }
+
+    // --- Exact model, for configurations small enough to close.
+    if budget.exact_states > 0 && app.total_pixels() <= EXACT_MAX_PIXELS {
+        let exact = ExactModel {
+            total: app.total_pixels(),
+            capacity: app.pixel_queue_capacity,
+            bundle: app.bundle_size,
+            chunk: app.write_chunk,
+            credits: u32::from(app.servants) * app.window,
+            eager: app.eager_writeback,
+        };
+        let ev = exact.explore(budget.exact_states);
+        if ev.bounded {
+            bounded_layers.push(format!(
+                "exact model stopped at {} states (budget {})",
+                ev.states, budget.exact_states
+            ));
+        } else if ev.deadlock_inevitable {
+            let path = ev.deadlock_possible.clone().unwrap_or_default();
+            report.push(
+                Diagnostic::error(
+                    "AN-MODEL-001",
+                    "every scheduling deadlocks: no completion order of the outstanding \
+                     jobs lets the master finish writing the image",
+                )
+                .note(format!(
+                    "pixel-exact exploration of {} states found no completed terminal",
+                    ev.states
+                ))
+                .with_path("one deadlocking schedule", path),
+            );
+        } else if let Some(path) = &ev.deadlock_possible {
+            report.push(
+                Diagnostic::warning(
+                    "AN-MODEL-001",
+                    "some schedulings deadlock: an unlucky completion order leaves a \
+                     contiguous tail shorter than the write chunk",
+                )
+                .note(format!(
+                    "pixel-exact exploration of {} states; completion is also reachable, \
+                     so the outcome depends on the schedule",
+                    ev.states
+                ))
+                .with_path("one deadlocking schedule", path.clone()),
+            );
+        } else {
+            report.push(Diagnostic::info(
+                "AN-MODEL-001",
+                format!(
+                    "pixel-exact check: no scheduling deadlocks ({} reachable states)",
+                    ev.states
+                ),
+            ));
+        }
+    }
+
+    // --- Scheduler model: the effective-synchrony theorem.
+    let sv = check_sched(
+        SchedModel {
+            master_agents: app.version.master_agents(),
+            servant_agents: app.version.servant_agents(),
+            preemptive: false,
+        },
+        budget.sched_states,
+    );
+    if sv.bounded {
+        bounded_layers.push(format!(
+            "scheduler model stopped at {} states (budget {})",
+            sv.states, budget.sched_states
+        ));
+    }
+    if let Some(path) = sv.sync1_violation.clone().or(sv.sync2_violation.clone()) {
+        report.push(
+            Diagnostic::error(
+                "AN-MODEL-004",
+                "effective synchrony violated: a mailbox send can complete while a user \
+                 process still holds its CPU",
+            )
+            .with_path("counterexample interleaving", path),
+        );
+    } else if !sv.bounded {
+        report.push(Diagnostic::info(
+            "AN-MODEL-004",
+            format!(
+                "effective synchrony proven for this version's communication shape: in \
+                 all {} reachable interleavings ({} mailbox accepts checked), the sender \
+                 is blocked at accept time and no user process on the accepting node is \
+                 mid-compute",
+                sv.states, sv.accepts_checked
+            ),
+        ));
+    }
+
+    if !bounded_layers.is_empty() {
+        let mut d = Diagnostic::info(
+            "AN-MODEL-005",
+            "exploration bounded by the state budget; universal claims above are partial",
+        );
+        for l in bounded_layers {
+            d = d.note(l);
+        }
+        report.push(d);
+    }
+
+    report
+}
+
+/// Model-checks the preemptive-scheduler variant of a configuration,
+/// returning the effective-synchrony verdict (with its counterexample
+/// path) directly.
+pub fn check_preemptive_variant(app: &AppConfig, budget: &ModelBudget) -> SchedVerdict {
+    check_sched(
+        SchedModel {
+            master_agents: app.version.master_agents(),
+            servant_agents: app.version.servant_agents(),
+            preemptive: true,
+        },
+        budget.sched_states,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raysim::config::Version;
+
+    #[test]
+    fn v3_is_flagged_statically_with_a_counterexample() {
+        let report = check_app(&AppConfig::version(Version::V3), &ModelBudget::full());
+        assert!(report.has_errors());
+        let collapse = report
+            .findings
+            .iter()
+            .find(|f| f.code == "AN-MODEL-002")
+            .expect("V3 must collapse");
+        assert!(collapse.notes.iter().any(|n| n.contains("15 outstanding")));
+        assert!(matches!(collapse.location, Location::Model { .. }));
+        // The witness path is a reproducible counterexample.
+        assert!(collapse
+            .notes
+            .iter()
+            .any(|n| n.contains("witness path to the concurrency ceiling:")));
+    }
+
+    #[test]
+    fn v4_is_proven_deadlock_free_and_credit_conserving() {
+        let report = check_app(&AppConfig::version(Version::V4), &ModelBudget::full());
+        assert!(!report.has_errors(), "{}", report.render());
+        assert_eq!(report.warnings(), 0);
+        let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.starts_with("deadlock-free")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("credit conservation proven")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("effective synchrony proven")));
+    }
+
+    #[test]
+    fn all_stock_versions_prove_effective_synchrony() {
+        for v in Version::ALL {
+            let report = check_app(&AppConfig::version(v), &ModelBudget::full());
+            assert!(
+                report.findings.iter().any(|f| f.code == "AN-MODEL-004"
+                    && f.message.contains("effective synchrony proven")),
+                "{v}: {}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn preemptive_variant_yields_a_counterexample() {
+        let verdict =
+            check_preemptive_variant(&AppConfig::version(Version::V4), &ModelBudget::full());
+        let path = verdict.sync2_violation.expect("preemption breaks SYNC-2");
+        assert!(path.last().unwrap().contains("SYNC-2"));
+    }
+
+    #[test]
+    fn stock_versions_add_no_warnings_under_the_preflight_budget() {
+        // The pre-flight hook folds these findings into existing
+        // warn/deny policies: they must stay info-only for V1/V2/V4 and
+        // error-only for V3.
+        for v in Version::ALL {
+            let report = check_app(&AppConfig::version(v), &ModelBudget::preflight());
+            assert_eq!(report.warnings(), 0, "{v}: {}", report.render());
+            assert_eq!(report.has_errors(), v == Version::V3, "{v}");
+        }
+    }
+
+    #[test]
+    fn proven_orders_follow_instrumentation() {
+        let v1 = proven_orders(&AppConfig::version(Version::V1));
+        assert_eq!(v1.len(), 2);
+        let v4 = proven_orders(&AppConfig::version(Version::V4));
+        assert_eq!(v4.len(), 4);
+        assert!(v4.iter().any(|o| o.name == "result-sent-before-received"));
+    }
+}

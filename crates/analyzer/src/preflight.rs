@@ -4,41 +4,76 @@
 //! [`raysim::run::PreflightPolicy`]: [`warn_policy`] prints findings and
 //! lets the run proceed (how the paper's experiments must run — version
 //! 3's queue bug has to execute to be measured), [`deny_policy`] refuses
-//! to start a run whose analysis reports errors.
+//! to start a run whose analysis reports errors, and
+//! [`policy_from_env`] lets `ANALYZER_POLICY=off|warn|deny` override a
+//! harness's default without recompiling.
+//!
+//! Analysis comes in two depths: the default entry points use
+//! [`ModelBudget::preflight`] (cheap enough to run before every sweep
+//! run; bounded explorations report `AN-MODEL-005` instead of universal
+//! claims), while the `*_with` variants accept an explicit budget —
+//! the `analyze` CLI and the CI gate pass [`ModelBudget::full`], which
+//! closes every stock V1–V4 state space.
 
 use raysim::config::{AppConfig, Version};
 use raysim::run::{PreflightPolicy, PreflightSummary, RunConfig};
 
 use crate::diag::Report;
+use crate::model::{check_app, ModelBudget};
 use crate::protocol::analyze_protocol;
 use crate::rate::analyze_rate;
 use crate::token_lints::lint_stock_maps;
 
 /// Analyzes everything knowable from the application configuration
-/// alone: the stock point maps and the version's protocol.
-pub fn analyze_app(app: &AppConfig) -> Report {
+/// alone — the stock point maps, the version's protocol, and the
+/// protocol model checker — under an explicit model-checking budget.
+pub fn analyze_app_with(app: &AppConfig, budget: &ModelBudget) -> Report {
     let mut report = Report::new(format!("{}", app.version));
     report.merge(lint_stock_maps());
     report.merge(analyze_protocol(app));
+    report.merge(check_app(app, budget));
     report
+}
+
+/// [`analyze_app_with`] under the cheap pre-flight budget.
+pub fn analyze_app(app: &AppConfig) -> Report {
+    analyze_app_with(app, &ModelBudget::preflight())
 }
 
 /// Analyzes a full run configuration: application checks plus the
 /// event-rate prediction against the configured machine and monitor.
-pub fn analyze_run(cfg: &RunConfig) -> Report {
-    let mut report = analyze_app(&cfg.app);
+pub fn analyze_run_with(cfg: &RunConfig, budget: &ModelBudget) -> Report {
+    let mut report = analyze_app_with(&cfg.app, budget);
     report.merge(analyze_rate(&cfg.app, &cfg.machine, &cfg.zm4));
     report
 }
 
+/// [`analyze_run_with`] under the cheap pre-flight budget.
+pub fn analyze_run(cfg: &RunConfig) -> Report {
+    analyze_run_with(cfg, &ModelBudget::preflight())
+}
+
 /// Analyzes a stock program version under its stock run configuration.
+pub fn analyze_version_with(version: Version, budget: &ModelBudget) -> Report {
+    analyze_run_with(&RunConfig::new(AppConfig::version(version)), budget)
+}
+
+/// [`analyze_version_with`] under the cheap pre-flight budget.
 pub fn analyze_version(version: Version) -> Report {
-    analyze_run(&RunConfig::new(AppConfig::version(version)))
+    analyze_version_with(version, &ModelBudget::preflight())
 }
 
 /// Analyzes all four stock versions, in evolution order.
 pub fn analyze_all_versions() -> Vec<Report> {
     Version::ALL.iter().map(|&v| analyze_version(v)).collect()
+}
+
+/// Analyzes all four stock versions under an explicit budget.
+pub fn analyze_all_versions_with(budget: &ModelBudget) -> Vec<Report> {
+    Version::ALL
+        .iter()
+        .map(|&v| analyze_version_with(v, budget))
+        .collect()
 }
 
 /// The hook [`raysim::run::preflight`] calls: full analysis, flattened
@@ -62,6 +97,29 @@ pub fn deny_policy() -> PreflightPolicy {
     PreflightPolicy::Deny(preflight_hook)
 }
 
+/// Resolves the pre-flight policy from the `ANALYZER_POLICY`
+/// environment variable (`off` | `warn` | `deny`, case-insensitive),
+/// falling back to `default` when unset. An unrecognized value is
+/// reported on stderr and treated as the fallback — a sweep should not
+/// silently lose its analysis because of a typo.
+pub fn policy_from_env(default: PreflightPolicy) -> PreflightPolicy {
+    match std::env::var("ANALYZER_POLICY") {
+        Err(_) => default,
+        Ok(value) => match value.to_ascii_lowercase().as_str() {
+            "off" => PreflightPolicy::Off,
+            "warn" => warn_policy(),
+            "deny" => deny_policy(),
+            other => {
+                eprintln!(
+                    "ANALYZER_POLICY={other:?} not recognized (expected off|warn|deny); \
+                     keeping the default policy"
+                );
+                default
+            }
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,9 +134,11 @@ mod tests {
         // V2: the result path still warns.
         assert!(!reports[1].has_errors());
         assert_eq!(reports[1].warnings(), 1);
-        // V3: the queue bug, found statically.
+        // V3: the queue bug, found statically — by the linear lint and
+        // by the model checker's reachability verdict.
         assert!(reports[2].has_errors());
         assert!(reports[2].contains("AN-PROTO-002"));
+        assert!(reports[2].contains("AN-MODEL-002"));
         // V4: no errors, no warnings.
         assert!(!reports[3].has_errors());
         assert_eq!(reports[3].warnings(), 0);
@@ -117,5 +177,24 @@ mod tests {
         cfg.preflight = deny_policy();
         let summary = raysim::run::preflight(&cfg).expect("policy is on");
         assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn env_override_selects_policies() {
+        // Set/unset ANALYZER_POLICY around each probe. Serialized by
+        // being a single test; the variable is restored at the end.
+        let probe = |value: Option<&str>| {
+            match value {
+                Some(v) => std::env::set_var("ANALYZER_POLICY", v),
+                None => std::env::remove_var("ANALYZER_POLICY"),
+            }
+            policy_from_env(PreflightPolicy::Off)
+        };
+        assert!(matches!(probe(Some("off")), PreflightPolicy::Off));
+        assert!(matches!(probe(Some("WARN")), PreflightPolicy::Warn(_)));
+        assert!(matches!(probe(Some("deny")), PreflightPolicy::Deny(_)));
+        // Unknown values keep the fallback.
+        assert!(matches!(probe(Some("strict")), PreflightPolicy::Off));
+        assert!(matches!(probe(None), PreflightPolicy::Off));
     }
 }

@@ -41,8 +41,10 @@ use suprenum::RunEnd;
 
 pub mod json;
 pub mod sweeps;
+pub mod verify;
 
 pub use sweeps::Scale;
+pub use verify::{verify_sweep, VerifyReport};
 
 /// One configured run inside a sweep.
 #[derive(Debug, Clone)]

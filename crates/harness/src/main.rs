@@ -7,15 +7,24 @@
 //!                      [--check-digests FILE] [--write-digests FILE]
 //! harness bench [names…] [--scale paper|quick] [--workers N] [--seed S]
 //!                        [--out PATH] [--check-digests FILE]
+//! harness verify [name] [--scale paper|quick] [--seed S]
+//!                       [--json PATH] [--sarif PATH]
 //! ```
 //!
 //! `bench` runs the named sweeps (default: `fig10 smoke`) and writes a
 //! single dated baseline artifact (`artifacts/BENCH_<date>.json`) with
 //! per-run events/sec and wall time, for cross-commit comparison.
 //!
+//! `verify` executes a sweep (default: `smoke`) and validates every
+//! recorded trace against the protocol model checker's proven orderings
+//! with the happens-before engine. `ANALYZER_POLICY=off|warn|deny`
+//! overrides each run's pre-flight policy; denied runs are all reported
+//! before the command fails.
+//!
 //! Exit codes: `0` all runs completed and digests (if checked) match;
-//! `2` at least one run was truncated; `3` digest mismatch; `64` usage
-//! error.
+//! `1` a proven ordering was violated (`verify`); `2` at least one run
+//! was truncated; `3` digest mismatch; `4` pre-flight policy denied a
+//! run (`verify`); `64` usage error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,12 +38,18 @@ const USAGE: &str = "usage:
                        [--check-digests FILE] [--write-digests FILE]
   harness bench [names…] [--scale paper|quick] [--workers N] [--seed S]
                          [--out PATH] [--check-digests FILE]
+  harness verify [name] [--scale paper|quick] [--seed S]
+                        [--json PATH] [--sarif PATH]
 
 --horizon-secs caps every run's simulated-time budget (a too-small cap
 truncates the runs; the sweep then exits 2 and marks each record).
 
 bench defaults to the fig10 and smoke sweeps and writes the combined
 baseline to artifacts/BENCH_<date>.json.
+
+verify executes a sweep (default smoke) and checks every trace against
+the model checker's proven orderings (ANALYZER_POLICY=off|warn|deny
+overrides the per-run pre-flight policy).
 
 sweeps: fig10, bundle, window, seeds, smoke";
 
@@ -152,6 +167,46 @@ fn parse_bench_args(rest: &[String]) -> Result<BenchArgs, String> {
     }
     if args.names.is_empty() {
         args.names = vec!["fig10".to_owned(), "smoke".to_owned()];
+    }
+    Ok(args)
+}
+
+struct VerifyArgs {
+    name: String,
+    scale: Scale,
+    seed: u64,
+    json: Option<PathBuf>,
+    sarif: Option<PathBuf>,
+}
+
+fn parse_verify_args(rest: &[String]) -> Result<VerifyArgs, String> {
+    let mut args = VerifyArgs {
+        name: "smoke".to_owned(),
+        scale: Scale::Quick,
+        seed: 1992,
+        json: None,
+        sarif: None,
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                let v = value()?;
+                args.scale = Scale::parse(v).ok_or_else(|| format!("unknown scale '{v}'"))?;
+            }
+            "--seed" => {
+                args.seed = value()?.parse().map_err(|_| "--seed needs an integer")?;
+            }
+            "--json" => args.json = Some(PathBuf::from(value()?)),
+            "--sarif" => args.sarif = Some(PathBuf::from(value()?)),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            name => args.name = name.to_owned(),
+        }
     }
     Ok(args)
 }
@@ -302,6 +357,67 @@ fn main() -> ExitCode {
                 eprintln!("harness: truncated run(s) — the baseline is not a valid measurement");
             }
             ExitCode::from(u8::try_from(code).unwrap_or(1))
+        }
+        Some("verify") => {
+            let args = match parse_verify_args(&argv[1..]) {
+                Ok(a) => a,
+                Err(e) => return usage_error(&e),
+            };
+            let Some(sweep) = sweeps::by_name(&args.name, args.scale, args.seed) else {
+                return usage_error(&format!("unknown sweep '{}'", args.name));
+            };
+            eprintln!(
+                "verifying sweep '{}' ({} runs) against the protocol models…",
+                sweep.name,
+                sweep.runs.len()
+            );
+            let report = harness::verify_sweep(&sweep);
+            for r in &report.run_reports {
+                print!("{}", r.render());
+                println!();
+            }
+            for label in &report.truncated {
+                eprintln!(
+                    "note: run '{label}' did not complete; its (partial) trace was \
+                     still validated"
+                );
+            }
+            for label in &report.denied {
+                eprintln!("DENIED: pre-flight policy refused run '{label}'");
+            }
+
+            if let Some(path) = &args.json {
+                if let Err(e) = std::fs::write(path, analyzer::reports_json(&report.run_reports)) {
+                    eprintln!("harness: cannot write {}: {e}", path.display());
+                    return ExitCode::from(64);
+                }
+                eprintln!("JSON written to {}", path.display());
+            }
+            if let Some(path) = &args.sarif {
+                if let Err(e) = std::fs::write(path, analyzer::sarif(&report.run_reports)) {
+                    eprintln!("harness: cannot write {}: {e}", path.display());
+                    return ExitCode::from(64);
+                }
+                eprintln!("SARIF written to {}", path.display());
+            }
+
+            match report.exit_code() {
+                0 => eprintln!(
+                    "verified: every proven ordering holds in all {} trace(s)",
+                    report.run_reports.len()
+                ),
+                1 => eprintln!(
+                    "harness: {} happens-before violation(s) — the traces contradict \
+                     the protocol model",
+                    report.violations()
+                ),
+                4 => eprintln!(
+                    "harness: pre-flight policy denied {} run(s)",
+                    report.denied.len()
+                ),
+                _ => {}
+            }
+            ExitCode::from(report.exit_code())
         }
         Some(other) => usage_error(&format!("unknown command '{other}'")),
         None => usage_error("missing command"),

@@ -1,0 +1,166 @@
+//! `harness verify` — dynamic cross-validation of the static models.
+//!
+//! The model checker proves orderings; this module checks that every
+//! recorded trace actually respects them. Each run of a sweep is
+//! executed (after its pre-flight analysis, whose policy the
+//! `ANALYZER_POLICY` environment variable may override) and its merged
+//! monitoring trace is validated with the happens-before engine against
+//! [`analyzer::proven_orders`] for that run's configuration. A healthy
+//! simulator yields zero violations — any `AN-HB-*` error means either
+//! the simulator broke a proven protocol ordering or the monitoring
+//! pipeline corrupted the trace, both of which must fail CI.
+//!
+//! A run whose pre-flight analysis *denies* execution (policy `deny`)
+//! is recorded and skipped, but verification continues so the final
+//! output lists every denial — not just the first.
+
+use analyzer::{policy_from_env, proven_orders, validate_orders, warn_policy, Report};
+use raysim::run::{run, try_preflight};
+
+use crate::Sweep;
+
+/// The outcome of verifying one sweep.
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// One happens-before report per executed run, in sweep order.
+    pub run_reports: Vec<Report>,
+    /// Labels of runs whose pre-flight analysis refused execution.
+    pub denied: Vec<String>,
+    /// Labels of runs that did not complete (their traces are still
+    /// validated — a truncated execution must not break proven orders).
+    pub truncated: Vec<String>,
+}
+
+impl VerifyReport {
+    /// Total happens-before violations across all executed runs.
+    pub fn violations(&self) -> usize {
+        self.run_reports.iter().map(Report::errors).sum()
+    }
+
+    /// Process exit code: `4` when any run was denied by pre-flight
+    /// policy, `1` when any proven ordering was violated, `0` otherwise.
+    /// Truncation alone does not fail verification — the sweep gate owns
+    /// completion; this gate owns ordering.
+    pub fn exit_code(&self) -> u8 {
+        if !self.denied.is_empty() {
+            4
+        } else if self.violations() > 0 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// Executes every run of `sweep` (serially — verification sweeps are
+/// small) and validates each trace against the orderings proven for its
+/// configuration.
+pub fn verify_sweep(sweep: &Sweep) -> VerifyReport {
+    let mut out = VerifyReport {
+        run_reports: Vec::new(),
+        denied: Vec::new(),
+        truncated: Vec::new(),
+    };
+
+    for spec in &sweep.runs {
+        let mut cfg = spec.cfg.clone();
+        cfg.preflight = policy_from_env(warn_policy());
+        if try_preflight(&cfg).is_err() {
+            // The summary was already printed by try_preflight; record
+            // the denial and keep going so every denial is reported.
+            out.denied.push(spec.label.clone());
+            continue;
+        }
+        // The analysis already ran above; don't run it again inside run().
+        cfg.preflight = raysim::run::PreflightPolicy::Off;
+        let app = cfg.app.clone();
+        let result = run(cfg);
+        if result.truncated() {
+            out.truncated.push(spec.label.clone());
+        }
+        let mut report = validate_orders(&result.trace, &proven_orders(&app));
+        report.subject = format!("{} happens-before", spec.label);
+        out.run_reports.push(report);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweeps;
+
+    #[test]
+    fn deny_policy_reports_every_denied_run_and_exits_4() {
+        // Two copies of the stock V3 protocol shape (whose window
+        // collapse is a static error) plus one healthy V4 run: under
+        // `deny`, BOTH V3 runs must be reported — not just the first —
+        // and the healthy run still executes and validates.
+        use raysim::config::{AppConfig, SceneKind, Version};
+        let mut specs = Vec::new();
+        for (label, version) in [("bad-a", Version::V3), ("bad-b", Version::V3)] {
+            let mut app = AppConfig::version(version);
+            app.scene = SceneKind::Quickstart;
+            app.width = 8;
+            app.height = 8;
+            let servants = u32::from(app.servants);
+            specs.push(crate::RunSpec {
+                label: label.to_owned(),
+                cfg: raysim::run::RunConfig::new(app),
+                servants,
+                version: Some(version),
+                paper_percent: None,
+            });
+        }
+        {
+            let mut app = AppConfig::version(Version::V4);
+            app.servants = 2;
+            app.scene = SceneKind::Quickstart;
+            app.width = 8;
+            app.height = 8;
+            let servants = u32::from(app.servants);
+            specs.push(crate::RunSpec {
+                label: "good".to_owned(),
+                cfg: raysim::run::RunConfig::new(app),
+                servants,
+                version: Some(Version::V4),
+                paper_percent: None,
+            });
+        }
+        let sweep = Sweep {
+            name: "deny-test".into(),
+            runs: specs,
+        };
+        // Safe against the sibling test: the smoke configs analyze
+        // without errors, so a leaked `deny` cannot refuse them.
+        std::env::set_var("ANALYZER_POLICY", "deny");
+        let report = verify_sweep(&sweep);
+        std::env::remove_var("ANALYZER_POLICY");
+        assert_eq!(report.denied, vec!["bad-a".to_owned(), "bad-b".to_owned()]);
+        assert_eq!(report.run_reports.len(), 1);
+        assert_eq!(report.violations(), 0);
+        assert_eq!(report.exit_code(), 4);
+    }
+
+    #[test]
+    fn smoke_sweep_traces_respect_every_proven_order() {
+        let sweep = sweeps::by_name("smoke", crate::Scale::Quick, 1992).unwrap();
+        let report = verify_sweep(&sweep);
+        assert_eq!(report.denied, Vec::<String>::new());
+        assert_eq!(report.violations(), 0, "{:#?}", report.run_reports);
+        assert_eq!(report.exit_code(), 0);
+        assert_eq!(report.run_reports.len(), sweep.runs.len());
+        // Every executed run produced a positive edge count (the info
+        // line records it).
+        for r in &report.run_reports {
+            assert!(
+                r.findings
+                    .iter()
+                    .any(|f| f.message.contains("all proven orderings hold")),
+                "{}",
+                r.render()
+            );
+        }
+    }
+}

@@ -118,6 +118,13 @@ pub struct AppConfig {
     /// Whether the servants' "Send Results Begin" point is instrumented
     /// (the paper added it only for the Figure 9 measurements).
     pub instrument_send_results: bool,
+    /// Eager write-back: when the master can neither send nor expect
+    /// results, it flushes a partial contiguous stretch instead of
+    /// waiting for a full `write_chunk`. `true` is the implemented
+    /// master's behavior (and keeps the protocol deadlock-free);
+    /// `false` models a strict chunked write-back, whose tail deadlock
+    /// the model checker predicts and the simulator then reproduces.
+    pub eager_writeback: bool,
 
     /// Master initialization time.
     pub master_init: SimDuration,
@@ -170,6 +177,7 @@ impl AppConfig {
             trace: TraceConfig::default(),
             cost: CostModel::mc68020(),
             instrument_send_results: version != Version::V1,
+            eager_writeback: true,
             master_init: SimDuration::from_millis(40),
             servant_init: SimDuration::from_millis(80),
             distribute_base: SimDuration::from_micros(300),

@@ -144,7 +144,10 @@ impl Master {
     fn write_ready(&self) -> bool {
         let contiguous = self.ledger.contiguous_ready();
         contiguous >= self.cfg.write_chunk
-            || (contiguous > 0 && self.results_outstanding == 0 && self.ledger.assignable() == 0)
+            || (self.cfg.eager_writeback
+                && contiguous > 0
+                && self.results_outstanding == 0
+                && self.ledger.assignable() == 0)
     }
 
     /// The send-or-wait decision after Distribute Jobs (and after each
@@ -156,8 +159,16 @@ impl Master {
             self.state = MState::SendEmit;
             return self.emit(tokens::SEND_JOBS_BEGIN, param);
         }
+        // Under eager write-back this state is unreachable: the
+        // fallback flush in `write_ready` drains the queue before the
+        // master can run out of both jobs and expected results. Under
+        // strict write-back a residual tail shorter than the chunk
+        // leaves exactly this state, and the master waits for a result
+        // that will never come — the deadlock the model checker
+        // predicts (AN-MODEL-001), reproduced rather than asserted
+        // away.
         assert!(
-            self.results_outstanding > 0,
+            !self.cfg.eager_writeback || self.results_outstanding > 0,
             "master has nothing to send and nothing to wait for — pixel bookkeeping bug"
         );
         self.state = MState::WaitEmit;

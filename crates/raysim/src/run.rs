@@ -221,29 +221,66 @@ pub fn to_simple_trace(measurement: &Measurement) -> Trace {
         .collect()
 }
 
-/// Runs the configured pre-flight analysis, printing findings to
-/// stderr.
+/// A pre-flight analysis that refused the run (see [`try_preflight`]).
 ///
-/// # Panics
+/// Carries the complete summary — every finding, not just the first —
+/// so a caller batching many configurations can surface all of them
+/// before failing.
+#[derive(Debug, Clone)]
+pub struct PreflightDenied {
+    /// The full analysis summary, findings included.
+    pub summary: PreflightSummary,
+}
+
+impl std::fmt::Display for PreflightDenied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pre-flight analysis found {} error(s); refusing to run:\n{}",
+            self.summary.errors, self.summary.rendered
+        )
+    }
+}
+
+impl std::error::Error for PreflightDenied {}
+
+/// Runs the configured pre-flight analysis without panicking.
 ///
-/// Panics under [`PreflightPolicy::Deny`] when the analysis reports
-/// errors.
-pub fn preflight(cfg: &RunConfig) -> Option<PreflightSummary> {
+/// All findings are printed to stderr *before* the verdict is taken, so
+/// a denied run still reports everything the analysis found — not just
+/// the first failure.
+///
+/// # Errors
+///
+/// Returns [`PreflightDenied`] (carrying the complete summary) under
+/// [`PreflightPolicy::Deny`] when the analysis reports errors.
+pub fn try_preflight(cfg: &RunConfig) -> Result<Option<PreflightSummary>, PreflightDenied> {
     let (summary, deny) = match cfg.preflight {
-        PreflightPolicy::Off => return None,
+        PreflightPolicy::Off => return Ok(None),
         PreflightPolicy::Warn(hook) => (hook(cfg), false),
         PreflightPolicy::Deny(hook) => (hook(cfg), true),
     };
     if summary.errors + summary.warnings > 0 {
         eprintln!("{}", summary.rendered.trim_end());
     }
-    assert!(
-        !(deny && summary.errors > 0),
-        "pre-flight analysis found {} error(s); refusing to run:\n{}",
-        summary.errors,
-        summary.rendered
-    );
-    Some(summary)
+    if deny && summary.errors > 0 {
+        return Err(PreflightDenied { summary });
+    }
+    Ok(Some(summary))
+}
+
+/// Runs the configured pre-flight analysis, printing findings to
+/// stderr.
+///
+/// # Panics
+///
+/// Panics under [`PreflightPolicy::Deny`] when the analysis reports
+/// errors — after every finding has been printed.
+pub fn preflight(cfg: &RunConfig) -> Option<PreflightSummary> {
+    match try_preflight(cfg) {
+        Ok(summary) => summary,
+        Err(denied) => panic!("{denied}"),
+    }
 }
 
 /// Runs one full measurement.
