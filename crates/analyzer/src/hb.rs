@@ -25,6 +25,13 @@
 //!   happens-before path between the copies means two nodes claim the
 //!   same work unsynchronized.
 //!
+//! Each edge carries an [`OrderScope`]: globally matched edges (the
+//! master/servant shape — one job id exists once in the whole system)
+//! behave as above, while per-channel edges (the SPMD shape, where
+//! every worker legitimately passes the same point with the same
+//! iteration number — see `pipeline::jacobi`) match cause and effect
+//! within each channel and never diagnose cross-channel duplicates.
+//!
 //! Vector clocks are built one component per channel; each event ticks
 //! its own channel's component, and every matched proven-order edge
 //! joins the cause's clock into the effect's channel — so `clock A ≤
@@ -36,7 +43,7 @@ use std::collections::HashMap;
 use simple::Trace;
 
 use crate::diag::{Diagnostic, Report};
-use crate::model::ProvenOrder;
+use crate::model::{OrderScope, ProvenOrder};
 
 /// Statistics from one happens-before analysis.
 #[derive(Debug, Clone, Default)]
@@ -86,6 +93,19 @@ pub fn analyze_trace(trace: &Trace, orders: &[ProvenOrder]) -> (Report, HbStats)
         t.dedup();
         t
     };
+    // Tokens that participate in at least one globally matched order:
+    // only these can race (AN-HB-002). A token appearing solely in
+    // per-channel orders legitimately repeats across channels.
+    let globally_matched: Vec<u16> = {
+        let mut t: Vec<u16> = orders
+            .iter()
+            .filter(|o| o.scope == OrderScope::Global)
+            .flat_map(|o| [o.cause, o.effect])
+            .collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
     // (token, param) → occurrences in trace order.
     let mut seen: HashMap<(u16, u32), Vec<Occurrence>> = HashMap::new();
     // effect token → orders it participates in (as effect).
@@ -105,8 +125,13 @@ pub fn analyze_trace(trace: &Trace, orders: &[ProvenOrder]) -> (Report, HbStats)
         let param = e.param.value();
 
         // Join the cause clocks of every proven edge ending here.
+        // Per-channel edges need no join: their cause lives on the
+        // effect's own channel, so local order already covers it.
         if let Some(ending) = effect_orders.get(&token) {
             for o in ending {
+                if o.scope != OrderScope::Global {
+                    continue;
+                }
                 if let Some(causes) = seen.get(&(o.cause, param)) {
                     // Earliest cause occurrence is the real sender; any
                     // duplicates are diagnosed separately.
@@ -129,6 +154,12 @@ pub fn analyze_trace(trace: &Trace, orders: &[ProvenOrder]) -> (Report, HbStats)
 
         // AN-HB-002: same point, same job id, different channel, and no
         // happens-before path from the first occurrence to this one.
+        // Only for globally matched tokens — per-channel points repeat
+        // across workers by design.
+        if globally_matched.binary_search(&token).is_err() {
+            seen.entry((token, param)).or_default().push(occ);
+            continue;
+        }
         if let Some(prior) = seen.get(&(token, param)) {
             for p in prior {
                 if p.channel != c && !leq(&p.clock, &clocks[c]) {
@@ -169,8 +200,20 @@ pub fn analyze_trace(trace: &Trace, orders: &[ProvenOrder]) -> (Report, HbStats)
             match seen.get(&(o.cause, param)) {
                 None => stats.unmatched_effects += 1,
                 Some(causes) => {
-                    let cause = &causes[0];
                     for eff in effects {
+                        // Global: the earliest occurrence system-wide is
+                        // the real sender. Per-channel: the cause must
+                        // have fired on the effect's own channel.
+                        let cause = match o.scope {
+                            OrderScope::Global => Some(&causes[0]),
+                            OrderScope::PerChannel => {
+                                causes.iter().find(|c| c.channel == eff.channel)
+                            }
+                        };
+                        let Some(cause) = cause else {
+                            stats.unmatched_effects += 1;
+                            continue;
+                        };
                         stats.edges_checked += 1;
                         if cause.ts_ns > eff.ts_ns {
                             report.push(
@@ -304,6 +347,65 @@ mod tests {
         let orders = proven_orders(&AppConfig::version(Version::V1));
         let (report, stats) = analyze_trace(&trace, &orders);
         assert!(report.is_clean());
+        assert_eq!(stats.unmatched_effects, 1);
+    }
+
+    const EXCHANGE: u16 = 0x0401;
+    const COMPUTE: u16 = 0x0402;
+
+    fn spmd_order() -> Vec<ProvenOrder> {
+        vec![ProvenOrder::per_channel(
+            "exchange-before-compute",
+            EXCHANGE,
+            COMPUTE,
+            "a worker relaxes its strip only after exchanging boundaries",
+        )]
+    }
+
+    #[test]
+    fn per_channel_spmd_duplicates_are_not_races() {
+        // Every worker hits the same (token, iteration) pair — the SPMD
+        // shape. Per-channel scope matches within each worker's channel
+        // and never diagnoses the cross-channel repetition.
+        let trace = Trace::from_unsorted(vec![
+            ev(100, 1, EXCHANGE, 0),
+            ev(110, 2, EXCHANGE, 0),
+            ev(200, 1, COMPUTE, 0),
+            ev(210, 2, COMPUTE, 0),
+        ]);
+        let (report, stats) = analyze_trace(&trace, &spmd_order());
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(stats.edges_checked, 2);
+        assert_eq!(stats.unmatched_effects, 0);
+    }
+
+    #[test]
+    fn per_channel_inversion_is_still_a_violation() {
+        // Worker 2's compute precedes its own exchange — a violation
+        // within the channel even though worker 1 is healthy.
+        let trace = Trace::from_unsorted(vec![
+            ev(100, 1, EXCHANGE, 0),
+            ev(150, 2, COMPUTE, 0),
+            ev(200, 1, COMPUTE, 0),
+            ev(300, 2, EXCHANGE, 0),
+        ]);
+        let (report, _) = analyze_trace(&trace, &spmd_order());
+        assert!(report.has_errors());
+        assert!(report.contains("AN-HB-001"));
+    }
+
+    #[test]
+    fn per_channel_effect_without_local_cause_is_unmatched() {
+        // Worker 3 computed without ever exchanging on its own channel
+        // (its exchange event was lost): counted, not diagnosed.
+        let trace = Trace::from_unsorted(vec![
+            ev(100, 1, EXCHANGE, 0),
+            ev(200, 1, COMPUTE, 0),
+            ev(250, 3, COMPUTE, 0),
+        ]);
+        let (report, stats) = analyze_trace(&trace, &spmd_order());
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(stats.edges_checked, 1);
         assert_eq!(stats.unmatched_effects, 1);
     }
 

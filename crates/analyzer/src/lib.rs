@@ -59,10 +59,13 @@ pub mod token_lints;
 
 pub use diag::{Diagnostic, Finding, Location, Report, Severity};
 pub use hb::{analyze_trace, validate_orders, HbStats};
-pub use model::{check_app, check_preemptive_variant, proven_orders, ModelBudget, ProvenOrder};
+pub use model::{
+    check_app, check_preemptive_variant, proven_orders, ModelBudget, OrderScope, ProvenOrder,
+};
 pub use preflight::{
-    analyze_all_versions, analyze_app, analyze_run, analyze_version, deny_policy, policy_from_env,
-    preflight_hook, warn_policy,
+    analyze_all_versions, analyze_app, analyze_run, analyze_version, deny_policy, pipeline_deny,
+    pipeline_hook, pipeline_warn, policy_from_env, preflight_hook, warn_policy, workload_deny,
+    workload_hook, workload_warn,
 };
 pub use protocol::{analyze_protocol, CreditLedger, ProtocolGraph};
 pub use rate::{analyze_rate, predict, RatePrediction};

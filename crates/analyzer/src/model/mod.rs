@@ -28,7 +28,6 @@ use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
 use raysim::config::AppConfig;
-use raysim::tokens;
 
 use crate::diag::{Diagnostic, Location, Report};
 use exact::ExactModel;
@@ -76,54 +75,22 @@ impl ModelBudget {
 /// the segment state space is left to the flow abstraction.
 const EXACT_MAX_PIXELS: u32 = 64;
 
-/// An event ordering the models prove holds in every legal execution,
-/// instance-matched by the job id carried in the event parameter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ProvenOrder {
-    /// Stable name (used in diagnostics).
-    pub name: &'static str,
-    /// Token that must come first.
-    pub cause: u16,
-    /// Token that must come strictly later.
-    pub effect: u16,
-    /// Why the order is guaranteed.
-    pub why: &'static str,
-}
+/// An event ordering the models prove holds in every legal execution.
+///
+/// This is the pipeline's [`pipeline::OrderEdge`], re-exported under
+/// its historical analyzer name: workloads declare the edges (see
+/// [`pipeline::Workload::proven_orders`]), the models here witness the
+/// ray tracer's, and the happens-before engine checks any of them.
+pub use pipeline::{OrderEdge as ProvenOrder, OrderScope};
 
 /// The orderings guaranteed by message causality and the blocking
 /// mailbox protocol, as witnessed by the scheduler model: a message is
 /// accepted only after its send began, so each job's instrumentation
-/// points are totally ordered across nodes.
+/// points are totally ordered across nodes. Delegates to the ray-tracer
+/// workload's own declaration ([`raysim::workload::proven_orders`]),
+/// which this module's scheduler model is the witness for.
 pub fn proven_orders(app: &AppConfig) -> Vec<ProvenOrder> {
-    let mut orders = vec![
-        ProvenOrder {
-            name: "job-sent-before-work",
-            cause: tokens::SEND_JOBS_BEGIN,
-            effect: tokens::WORK_BEGIN,
-            why: "a servant can only start working on a job after the master began sending it",
-        },
-        ProvenOrder {
-            name: "work-before-result-received",
-            cause: tokens::WORK_BEGIN,
-            effect: tokens::RECEIVE_RESULTS_BEGIN,
-            why: "the master can only receive a result after the servant started the work",
-        },
-    ];
-    if app.instrument_send_results {
-        orders.push(ProvenOrder {
-            name: "work-before-result-sent",
-            cause: tokens::WORK_BEGIN,
-            effect: tokens::SEND_RESULTS_BEGIN,
-            why: "a servant sends a result only after starting its work",
-        });
-        orders.push(ProvenOrder {
-            name: "result-sent-before-received",
-            cause: tokens::SEND_RESULTS_BEGIN,
-            effect: tokens::RECEIVE_RESULTS_BEGIN,
-            why: "the master can only receive a result after the servant began sending it",
-        });
-    }
-    orders
+    raysim::workload::proven_orders(app)
 }
 
 /// Explores the scheduler model, memoizing by shape — sweeps pre-flight

@@ -1,4 +1,4 @@
-//! One-call entry points and the [`raysim::run`] pre-flight hook.
+//! One-call entry points and the [`raysim::run()`] pre-flight hook.
 //!
 //! The analyzer plugs into the simulator through the fn-pointer seam
 //! [`raysim::run::PreflightPolicy`]: [`warn_policy`] prints findings and
@@ -15,6 +15,7 @@
 //! the `analyze` CLI and the CI gate pass [`ModelBudget::full`], which
 //! closes every stock V1–V4 state space.
 
+use pipeline::{PipelineConfig, Preflight, Workload};
 use raysim::config::{AppConfig, Version};
 use raysim::run::{PreflightPolicy, PreflightSummary, RunConfig};
 
@@ -22,7 +23,7 @@ use crate::diag::Report;
 use crate::model::{check_app, ModelBudget};
 use crate::protocol::analyze_protocol;
 use crate::rate::analyze_rate;
-use crate::token_lints::lint_stock_maps;
+use crate::token_lints::{lint_pair, lint_stock_maps, TokenMap};
 
 /// Analyzes everything knowable from the application configuration
 /// alone — the stock point maps, the version's protocol, and the
@@ -76,15 +77,68 @@ pub fn analyze_all_versions_with(budget: &ModelBudget) -> Vec<Report> {
         .collect()
 }
 
-/// The hook [`raysim::run::preflight`] calls: full analysis, flattened
-/// into counts plus rendered text.
-pub fn preflight_hook(cfg: &RunConfig) -> PreflightSummary {
-    let report = analyze_run(cfg);
+/// Flattens a report into the pipeline's summary shape.
+fn summarize(report: &Report) -> PreflightSummary {
     PreflightSummary {
         errors: report.errors(),
         warnings: report.warnings(),
         rendered: report.render(),
     }
+}
+
+/// The hook [`raysim::run::preflight`] calls: full analysis, flattened
+/// into counts plus rendered text.
+pub fn preflight_hook(cfg: &RunConfig) -> PreflightSummary {
+    summarize(&analyze_run(cfg))
+}
+
+/// The pipeline-shaped twin of [`preflight_hook`], for ray-tracer runs
+/// configured as [`PipelineConfig`]s: the full ray-tracer analysis
+/// (point maps, protocol, models, event rate) under the cheap
+/// pre-flight budget.
+pub fn pipeline_hook(cfg: &PipelineConfig<AppConfig>) -> PreflightSummary {
+    let mut report = analyze_app(&cfg.workload);
+    report.merge(analyze_rate(&cfg.workload, &cfg.machine, &cfg.zm4));
+    summarize(&report)
+}
+
+/// A pipeline pre-flight that analyzes the ray tracer, reports, and
+/// runs anyway.
+pub fn pipeline_warn() -> Preflight<AppConfig> {
+    Preflight::warn(pipeline_hook)
+}
+
+/// A pipeline pre-flight that refuses to run ray-tracer configurations
+/// with errors.
+pub fn pipeline_deny() -> Preflight<AppConfig> {
+    Preflight::deny(pipeline_hook)
+}
+
+/// The workload-agnostic hook: lints any workload's declared token map
+/// (`AN-TOKEN-*`) — against itself and against the kernel map it will
+/// share every node's display channel with. Protocol and rate analyses
+/// are ray-tracer-shaped and do not run here; a workload wanting them
+/// supplies its own hook.
+pub fn workload_hook<W: Workload>(cfg: &PipelineConfig<W>) -> PreflightSummary {
+    let app = TokenMap::from_workload(&cfg.workload);
+    let kernel = TokenMap::suprenum_kernel();
+    let mut report = Report::new(format!("{} instrumentation", cfg.workload.id()));
+    report.merge(app.lint());
+    report.merge(kernel.lint());
+    report.merge(lint_pair(&app, &kernel));
+    summarize(&report)
+}
+
+/// A pre-flight for any workload that runs the token-map lints, warns,
+/// and proceeds.
+pub fn workload_warn<W: Workload>() -> Preflight<W> {
+    Preflight::warn(workload_hook::<W>)
+}
+
+/// A pre-flight for any workload that refuses to run on token-map
+/// errors.
+pub fn workload_deny<W: Workload>() -> Preflight<W> {
+    Preflight::deny(workload_hook::<W>)
 }
 
 /// A policy that analyzes, reports, and runs anyway.
@@ -177,6 +231,35 @@ mod tests {
         cfg.preflight = deny_policy();
         let summary = raysim::run::preflight(&cfg).expect("policy is on");
         assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn pipeline_deny_stops_v3_without_running_it() {
+        let mut cfg = PipelineConfig::new(AppConfig::version(Version::V3));
+        cfg.preflight = pipeline_deny();
+        let denied = pipeline::try_preflight(&cfg).unwrap_err();
+        assert!(denied.summary.errors >= 1);
+        assert!(denied.summary.rendered.contains("AN-PROTO-002"));
+    }
+
+    #[test]
+    fn pipeline_warn_matches_legacy_hook_on_v3() {
+        let legacy = preflight_hook(&RunConfig::new(AppConfig::version(Version::V3)));
+        let piped = pipeline_hook(&PipelineConfig::new(AppConfig::version(Version::V3)));
+        assert_eq!(legacy.errors, piped.errors);
+        assert_eq!(legacy.warnings, piped.warnings);
+    }
+
+    #[test]
+    fn generic_workload_hook_lints_jacobi_cleanly() {
+        let cfg = PipelineConfig::new(pipeline::jacobi::JacobiConfig::default());
+        let summary = workload_hook(&cfg);
+        assert_eq!(summary.errors, 0, "{}", summary.rendered);
+        assert_eq!(summary.warnings, 0, "{}", summary.rendered);
+        // And the deny pre-flight lets a clean map through.
+        let mut cfg = cfg;
+        cfg.preflight = workload_deny();
+        assert!(pipeline::try_preflight(&cfg).is_ok());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! | `AN-RATE-004` | warning | instantaneous burst exceeds the recorder's 10 M events/s limit |
 //!
 //! "Worst case" means the *fastest* admissible job: rays that hit
-//! nothing (the [`raytracer::CostModel::per_ray`] floor), base costs
+//! nothing (the `raytracer::cost::CostModel::per_ray` floor), base costs
 //! only, every channel of a recorder busy simultaneously. A clean bill
 //! here is a guarantee; a finding is a possibility, not a certainty.
 

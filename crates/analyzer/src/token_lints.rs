@@ -97,6 +97,21 @@ impl TokenMap {
         }
     }
 
+    /// Builds a map from any workload's declared instrumentation
+    /// points — the bridge that makes the `AN-TOKEN-*` lints
+    /// workload-agnostic (see [`crate::preflight::workload_hook`]).
+    pub fn from_workload<W: pipeline::Workload>(workload: &W) -> Self {
+        TokenMap {
+            label: format!("{}::tokens", workload.id()),
+            kind: MapKind::Application,
+            decls: workload
+                .token_map()
+                .iter()
+                .map(|d| TokenDecl::new(d.token, d.name, d.group))
+                .collect(),
+        }
+    }
+
     /// The ray tracer's declared application point map.
     pub fn raysim_application() -> Self {
         TokenMap::from_points(

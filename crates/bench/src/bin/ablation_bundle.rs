@@ -20,7 +20,7 @@ fn main() -> ExitCode {
         println!(
             "{:>12} {:>8} {:>11}% {:>13.1}s",
             r.label,
-            r.jobs_sent,
+            r.work_units,
             r.utilization_percent
                 .map_or_else(|| "-".to_owned(), |u| format!("{u:.1}")),
             r.sim_end_ns as f64 / 1e9,

@@ -1,476 +1,10 @@
-//! A second instrumented application: SPMD Jacobi relaxation.
+//! SPMD Jacobi relaxation — now a stock [`pipeline`] workload.
 //!
-//! The paper's machine hosted more than ray tracers — its reference
-//! \[2\] solves the neutron diffusion equation with parallel conjugate
-//! gradients on SUPRENUM. This module implements the archetype of that
-//! workload class: a one-dimensional Jacobi relaxation over a chain of
-//! workers, each owning a strip of cells and exchanging boundary values
-//! with its neighbours every iteration.
-//!
-//! The point is to show that the monitoring toolkit is
-//! application-agnostic: the same `hybrid_mon` instrumentation, ZM4
-//! observation and SIMPLE evaluation reveal this program's
-//! compute/exchange alternation (the classic BSP stripe pattern) exactly
-//! as they revealed the ray tracer's master/servant cycles. The numerics
-//! are real — the distributed result is checked against a sequential
-//! reference.
+//! The implementation lives in [`pipeline::jacobi`], where the solver
+//! is the second workload of the workload-agnostic measurement
+//! pipeline (the ray tracer being the first). This module re-exports
+//! it so existing `suprenum_monitor::apps::jacobi` callers — the
+//! `jacobi_spmd` example, the figure benchmarks — keep compiling
+//! unchanged.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use des::time::{SimDuration, SimTime};
-use simple::{ActivityModel, Trace};
-use suprenum::{
-    Action, Machine, MachineConfig, Message, NodeId, ProcCtx, Process, ProcessId, Resume, RunEnd,
-};
-
-/// Worker: "Exchange" phase begins.
-pub const EXCHANGE_BEGIN: u16 = 0x0401;
-/// Worker: "Compute" phase begins.
-pub const COMPUTE_BEGIN: u16 = 0x0402;
-/// Worker: waiting to report results.
-pub const REPORT_BEGIN: u16 = 0x0403;
-
-/// Problem configuration.
-#[derive(Debug, Clone)]
-pub struct JacobiConfig {
-    /// Number of worker processes (nodes `1..=workers`).
-    pub workers: u16,
-    /// Cells per worker strip.
-    pub cells_per_worker: u32,
-    /// Jacobi iterations.
-    pub iterations: u32,
-    /// Simulated compute time per cell update.
-    pub per_cell: SimDuration,
-    /// Fixed boundary values of the global domain.
-    pub boundary: (f64, f64),
-}
-
-impl Default for JacobiConfig {
-    fn default() -> Self {
-        JacobiConfig {
-            workers: 4,
-            cells_per_worker: 64,
-            iterations: 30,
-            per_cell: SimDuration::from_micros(40),
-            boundary: (1.0, 0.0),
-        }
-    }
-}
-
-/// Result of a monitored Jacobi run.
-#[derive(Debug)]
-pub struct JacobiResult {
-    /// The assembled solution (workers' strips in order).
-    pub solution: Vec<f64>,
-    /// The merged monitoring trace.
-    pub trace: Trace,
-    /// The machine (ground truth, signals).
-    pub machine: Machine,
-    /// Maximum absolute error versus the sequential reference.
-    pub max_error: f64,
-}
-
-/// The sequential reference: plain Jacobi on the whole domain.
-pub fn sequential_reference(cfg: &JacobiConfig) -> Vec<f64> {
-    let n = (cfg.workers as usize) * cfg.cells_per_worker as usize;
-    let mut u = vec![0.0f64; n];
-    let mut next = u.clone();
-    for _ in 0..cfg.iterations {
-        for i in 0..n {
-            let left = if i == 0 { cfg.boundary.0 } else { u[i - 1] };
-            let right = if i == n - 1 { cfg.boundary.1 } else { u[i + 1] };
-            next[i] = 0.5 * (left + right);
-        }
-        std::mem::swap(&mut u, &mut next);
-    }
-    u
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Boundary {
-    iter: u32,
-    from_left: bool,
-    value: f64,
-}
-
-#[derive(Debug, Clone)]
-struct StripReport {
-    index: u16,
-    cells: Vec<f64>,
-}
-
-enum WState {
-    Boot,
-    ExchangeEmit,
-    Sending,
-    Receiving,
-    ComputeEmit,
-    Computing,
-    ReportEmit,
-    Reporting,
-}
-
-struct Worker {
-    index: u16,
-    cfg: Rc<JacobiConfig>,
-    coordinator: ProcessId,
-    peers: Rc<RefCell<Vec<ProcessId>>>,
-    cells: Vec<f64>,
-    iter: u32,
-    state: WState,
-    sends_left: Vec<(bool, f64)>,
-    awaiting: u8,
-    left_ghost: f64,
-    right_ghost: f64,
-}
-
-impl Worker {
-    fn new(
-        index: u16,
-        cfg: Rc<JacobiConfig>,
-        coordinator: ProcessId,
-        peers: Rc<RefCell<Vec<ProcessId>>>,
-    ) -> Box<Worker> {
-        let cells = vec![0.0; cfg.cells_per_worker as usize];
-        Box::new(Worker {
-            index,
-            cfg,
-            coordinator,
-            peers,
-            cells,
-            iter: 0,
-            state: WState::Boot,
-            sends_left: Vec::new(),
-            awaiting: 0,
-            left_ghost: 0.0,
-            right_ghost: 0.0,
-        })
-    }
-
-    fn has_left(&self) -> bool {
-        self.index > 0
-    }
-
-    fn has_right(&self) -> bool {
-        (self.index as usize) + 1 < self.peers.borrow().len()
-    }
-
-    fn begin_iteration(&mut self) -> Action {
-        self.state = WState::ExchangeEmit;
-        // Queue up this iteration's boundary sends.
-        self.sends_left.clear();
-        if self.has_left() {
-            self.sends_left.push((true, self.cells[0]));
-        }
-        if self.has_right() {
-            self.sends_left
-                .push((false, *self.cells.last().expect("nonempty strip")));
-        }
-        self.awaiting = self.sends_left.len() as u8;
-        Action::Emit {
-            token: EXCHANGE_BEGIN,
-            param: self.iter,
-        }
-    }
-
-    fn next_send_or_receive(&mut self, ctx: &ProcCtx) -> Action {
-        if let Some((to_left, value)) = self.sends_left.pop() {
-            let peers = self.peers.borrow();
-            let dst = if to_left {
-                peers[self.index as usize - 1]
-            } else {
-                peers[self.index as usize + 1]
-            };
-            self.state = WState::Sending;
-            // The *receiver* sees this as coming from its right if we
-            // sent it to our left.
-            let boundary = Boundary {
-                iter: self.iter,
-                from_left: !to_left,
-                value,
-            };
-            return Action::MailboxSend {
-                to: dst,
-                msg: Message::new(ctx.pid, 32, boundary),
-            };
-        }
-        if self.awaiting > 0 {
-            self.state = WState::Receiving;
-            return Action::MailboxRecv;
-        }
-        self.state = WState::ComputeEmit;
-        Action::Emit {
-            token: COMPUTE_BEGIN,
-            param: self.iter,
-        }
-    }
-
-    fn relax(&mut self) {
-        let n = self.cells.len();
-        let left_edge = if self.has_left() {
-            self.left_ghost
-        } else {
-            self.cfg.boundary.0
-        };
-        let right_edge = if self.has_right() {
-            self.right_ghost
-        } else {
-            self.cfg.boundary.1
-        };
-        let mut next = self.cells.clone();
-        for (i, slot) in next.iter_mut().enumerate() {
-            let left = if i == 0 { left_edge } else { self.cells[i - 1] };
-            let right = if i == n - 1 {
-                right_edge
-            } else {
-                self.cells[i + 1]
-            };
-            *slot = 0.5 * (left + right);
-        }
-        self.cells = next;
-    }
-}
-
-impl Process for Worker {
-    fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action {
-        match self.state {
-            WState::Boot => self.begin_iteration(),
-            WState::ExchangeEmit => self.next_send_or_receive(ctx),
-            WState::Sending => {
-                debug_assert!(matches!(why, Resume::Sent));
-                self.next_send_or_receive(ctx)
-            }
-            WState::Receiving => {
-                let Resume::MailboxMsg(msg) = why else {
-                    panic!("worker expected boundary")
-                };
-                let b = *msg.payload::<Boundary>().expect("boundary message");
-                debug_assert_eq!(b.iter, self.iter, "boundary from a different iteration");
-                if b.from_left {
-                    self.left_ghost = b.value;
-                } else {
-                    self.right_ghost = b.value;
-                }
-                self.awaiting -= 1;
-                self.next_send_or_receive(ctx)
-            }
-            WState::ComputeEmit => {
-                self.relax();
-                self.state = WState::Computing;
-                Action::Compute(self.cfg.per_cell * self.cfg.cells_per_worker as u64)
-            }
-            WState::Computing => {
-                self.iter += 1;
-                if self.iter < self.cfg.iterations {
-                    self.begin_iteration()
-                } else {
-                    self.state = WState::ReportEmit;
-                    Action::Emit {
-                        token: REPORT_BEGIN,
-                        param: self.iter,
-                    }
-                }
-            }
-            WState::ReportEmit => {
-                self.state = WState::Reporting;
-                let report = StripReport {
-                    index: self.index,
-                    cells: self.cells.clone(),
-                };
-                let bytes = 16 + 8 * report.cells.len() as u32;
-                Action::MailboxSend {
-                    to: self.coordinator,
-                    msg: Message::new(ctx.pid, bytes, report),
-                }
-            }
-            WState::Reporting => Action::Exit,
-        }
-    }
-
-    fn label(&self) -> String {
-        format!("jacobi-{}", self.index)
-    }
-}
-
-struct Coordinator {
-    cfg: Rc<JacobiConfig>,
-    peers: Rc<RefCell<Vec<ProcessId>>>,
-    solution: Rc<RefCell<Vec<f64>>>,
-    spawned: u16,
-    reports: u16,
-    started: bool,
-}
-
-impl Process for Coordinator {
-    fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action {
-        if let Resume::Spawned(pid) = &why {
-            self.peers.borrow_mut().push(*pid);
-        }
-        if self.spawned < self.cfg.workers {
-            let index = self.spawned;
-            self.spawned += 1;
-            let body = Worker::new(index, self.cfg.clone(), ctx.pid, self.peers.clone());
-            return Action::Spawn {
-                node: NodeId::new(index + 1),
-                body,
-            };
-        }
-        if !self.started {
-            // Workers resolve their neighbours lazily from the shared
-            // peer table, which is complete before any of them runs its
-            // first exchange (remote spawns take 2 ms; we are still
-            // inside the coordinator's first scheduling run).
-            self.started = true;
-        }
-        match why {
-            Resume::MailboxMsg(msg) => {
-                let report = msg.payload::<StripReport>().expect("strip report").clone();
-                let base = report.index as usize * self.cfg.cells_per_worker as usize;
-                let mut solution = self.solution.borrow_mut();
-                solution[base..base + report.cells.len()].copy_from_slice(&report.cells);
-                self.reports += 1;
-            }
-            Resume::Spawned(_) => {}
-            other => panic!("coordinator cannot handle {other:?}"),
-        }
-        if self.reports < self.cfg.workers {
-            Action::MailboxRecv
-        } else {
-            Action::Exit
-        }
-    }
-
-    fn label(&self) -> String {
-        "jacobi-coordinator".into()
-    }
-}
-
-/// Runs the monitored distributed Jacobi solver and validates it against
-/// the sequential reference.
-///
-/// # Panics
-///
-/// Panics if the machine cannot be built or the run does not complete.
-pub fn run_jacobi(cfg: JacobiConfig, seed: u64) -> JacobiResult {
-    let workers = cfg.workers;
-    assert!(
-        (1..=15).contains(&workers),
-        "1..=15 workers fit one cluster"
-    );
-    let n = workers as usize * cfg.cells_per_worker as usize;
-    let machine_cfg = MachineConfig::single_cluster(workers as u8 + 1);
-    let mut machine = Machine::new(machine_cfg, seed).expect("valid machine");
-
-    let cfg = Rc::new(cfg);
-    let peers = Rc::new(RefCell::new(Vec::new()));
-    let solution = Rc::new(RefCell::new(vec![0.0f64; n]));
-    machine.add_process(
-        NodeId::new(0),
-        Box::new(Coordinator {
-            cfg: cfg.clone(),
-            peers,
-            solution: solution.clone(),
-            spawned: 0,
-            reports: 0,
-            started: false,
-        }),
-    );
-    let outcome = machine.run(SimTime::from_secs(3_600));
-    assert_eq!(
-        outcome.reason,
-        RunEnd::Completed,
-        "jacobi run must complete"
-    );
-
-    let samples = raysim::run::probe_samples(&machine);
-    let channels = machine.topology().total_nodes() as usize;
-    let measurement = zm4::Zm4::new(zm4::Zm4Config::default(), channels, seed).observe(&samples);
-    let trace = raysim::run::to_simple_trace(&measurement);
-
-    let solution = solution.borrow().clone();
-    let reference = sequential_reference(&cfg);
-    let max_error = solution
-        .iter()
-        .zip(&reference)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
-    JacobiResult {
-        solution,
-        trace,
-        machine,
-        max_error,
-    }
-}
-
-/// Activity model for the worker instrumentation.
-pub fn worker_activity_model() -> ActivityModel {
-    let mut m = ActivityModel::new();
-    m.state(EXCHANGE_BEGIN, "Exchange")
-        .state(COMPUTE_BEGIN, "Compute")
-        .state(REPORT_BEGIN, "Report");
-    m
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn distributed_matches_sequential_exactly() {
-        let r = run_jacobi(JacobiConfig::default(), 11);
-        assert!(
-            r.max_error == 0.0,
-            "distributed Jacobi diverged from the reference by {}",
-            r.max_error
-        );
-        // The solution actually relaxed toward the boundary profile.
-        assert!(
-            r.solution[0] > 0.3,
-            "left end should approach the hot boundary"
-        );
-        assert!(*r.solution.last().unwrap() < 0.2);
-    }
-
-    #[test]
-    fn trace_shows_bsp_alternation() {
-        let cfg = JacobiConfig {
-            workers: 3,
-            iterations: 10,
-            ..JacobiConfig::default()
-        };
-        let r = run_jacobi(cfg, 5);
-        let model = worker_activity_model();
-        for worker in 1..=3usize {
-            let track = model.derive_track(
-                format!("worker {worker}"),
-                r.trace.channel(worker).events().iter(),
-                r.trace.span().1,
-            );
-            // 10 Exchange and 10 Compute visits, strictly alternating.
-            let states: Vec<&str> = track
-                .intervals()
-                .iter()
-                .map(|iv| iv.state.as_str())
-                .collect();
-            let exchanges = states.iter().filter(|s| **s == "Exchange").count();
-            let computes = states.iter().filter(|s| **s == "Compute").count();
-            assert_eq!(exchanges, 10);
-            assert_eq!(computes, 10);
-            for pair in states.windows(2) {
-                assert_ne!(pair[0], pair[1], "phases must alternate: {states:?}");
-            }
-        }
-    }
-
-    #[test]
-    fn single_worker_degenerates_to_sequential() {
-        let cfg = JacobiConfig {
-            workers: 1,
-            iterations: 25,
-            ..JacobiConfig::default()
-        };
-        let r = run_jacobi(cfg, 2);
-        assert_eq!(r.max_error, 0.0);
-    }
-}
+pub use pipeline::jacobi::*;

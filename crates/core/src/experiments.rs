@@ -214,7 +214,7 @@ pub fn fig10_versions(seed: u64, scale: Scale) -> Vec<UtilizationResult> {
                     .steady_percent
                     .expect("a completed run has a steady phase"),
                 paper_percent: rec.paper_percent.expect("fig10 rows carry the paper value"),
-                jobs: rec.jobs_sent,
+                jobs: rec.work_units,
                 end: SimTime::from_nanos(rec.sim_end_ns),
             }
         })

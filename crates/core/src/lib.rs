@@ -32,6 +32,7 @@ pub use analyzer;
 pub use des;
 pub use harness;
 pub use hybridmon;
+pub use pipeline;
 pub use raysim;
 pub use raytracer;
 pub use simple;

@@ -11,7 +11,7 @@
 //! kernel's scheduling pattern, where the overwhelming majority of events
 //! fire a short delay after the current time:
 //!
-//! * a **near-future window** of [`NUM_BUCKETS`] buckets, each covering a
+//! * a **near-future window** of `NUM_BUCKETS` (512) buckets, each covering a
 //!   power-of-two span of simulated time. Pushing into the window appends
 //!   to a bucket (amortized O(1)); popping takes from the current bucket,
 //!   which is sorted lazily the first time it is consumed;

@@ -11,8 +11,11 @@
 //!   single-threaded and seed-deterministic, so results are **bit-identical
 //!   regardless of worker count** — guaranteed by the per-run
 //!   [`RunRecord::trace_digest`] and checked by this crate's tests;
-//! * every run yields a [`RunRecord`]: config fingerprint, seed,
-//!   [`RunEnd`], simulated and wall time, events processed,
+//! * a spec wraps a type-erased [`pipeline::Job`], so one sweep can mix
+//!   ray-tracer and Jacobi runs (and any future [`pipeline::Workload`])
+//!   in the same queue — the harness never mentions a workload type;
+//! * every run yields a [`RunRecord`]: workload id, config fingerprint,
+//!   seed, [`RunEnd`], simulated and wall time, events processed,
 //!   utilization/intrusion statistics, and the trace digest. A truncated
 //!   run (horizon, event budget, operator release, deadlock) is recorded
 //!   as such and poisons the sweep's exit code — it can never masquerade
@@ -33,9 +36,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use des::digest::Fnv64;
-use raysim::analysis::{servant_utilization, servant_utilization_steady, steady_phase, work_phase};
+use pipeline::Job;
 use raysim::config::Version;
-use raysim::run::{run, RunConfig};
 use simple::Trace;
 use suprenum::RunEnd;
 
@@ -49,13 +51,11 @@ pub use verify::{verify_sweep, VerifyReport};
 /// One configured run inside a sweep.
 #[derive(Debug, Clone)]
 pub struct RunSpec {
-    /// Short row label (e.g. `"V3"`, `"bundle-50"`, `"seed-7"`).
+    /// Short row label (e.g. `"V3"`, `"bundle-50"`, `"jacobi-w4"`).
     pub label: String,
-    /// The full run configuration (application, machine, monitor, seed,
-    /// horizon, pre-flight policy).
-    pub cfg: RunConfig,
-    /// Servant count, for utilization derivation.
-    pub servants: u32,
+    /// The frozen measurement job (workload, machine, monitor, seed,
+    /// horizon, pre-flight policy) with its workload type erased.
+    pub job: Job,
     /// The program version, where the row corresponds to one.
     pub version: Option<Version>,
     /// The paper's utilization number for this row, where it has one.
@@ -83,7 +83,10 @@ pub struct Sweep {
 pub struct RunRecord {
     /// The spec's label.
     pub label: String,
-    /// FNV-1a fingerprint of the configuration (application + machine +
+    /// The workload's stable identifier (e.g. `"raytracer"`,
+    /// `"jacobi"`).
+    pub workload: String,
+    /// FNV-1a fingerprint of the configuration (workload + machine +
     /// monitor + seed + horizon), hex-encoded. Two records with equal
     /// fingerprints measured the same configuration.
     pub fingerprint: String,
@@ -111,12 +114,15 @@ pub struct RunRecord {
     /// hex-encoded. Bit-identical across worker counts and across runs
     /// of the same configuration.
     pub trace_digest: String,
-    /// Jobs the master sent.
-    pub jobs_sent: u64,
-    /// Mean servant utilization over the ray-tracing phase, percent.
-    /// `None` when the run truncated or produced no work phase.
+    /// Work units the application completed (ray jobs sent, Jacobi
+    /// strips relaxed, …) — the workload defines the unit.
+    pub work_units: u64,
+    /// Mean worker utilization over the productive phase, percent.
+    /// `None` when the run truncated or the workload has no notion of
+    /// utilization.
     pub utilization_percent: Option<f64>,
-    /// Mean servant utilization over the steady (pipeline-full) phase.
+    /// Mean worker utilization over the steady (pipeline-full) phase,
+    /// where the workload distinguishes one.
     pub steady_percent: Option<f64>,
     /// The paper's number for this row, where it has one.
     pub paper_percent: Option<f64>,
@@ -140,7 +146,11 @@ pub struct SweepReport {
 /// The digest of a run: every merged trace event plus the outcome.
 /// Wall-clock time and host-side derived floats are deliberately
 /// excluded — the digest must depend only on simulated behaviour.
-fn trace_digest(trace: &Trace, end_ns: u64, reason: RunEnd, events: u64) -> String {
+///
+/// Public so differential tests can digest traces produced outside the
+/// harness (e.g. straight from `pipeline::run_workload`) and compare
+/// them against committed goldens.
+pub fn trace_digest(trace: &Trace, end_ns: u64, reason: RunEnd, events: u64) -> String {
     let mut h = Fnv64::new();
     for e in trace.events() {
         h.write_u64(e.ts_ns);
@@ -154,59 +164,41 @@ fn trace_digest(trace: &Trace, end_ns: u64, reason: RunEnd, events: u64) -> Stri
     format!("{:016x}", h.finish())
 }
 
-/// Fingerprint of a configuration, for artifact provenance. The
-/// pre-flight policy is excluded: it carries function pointers whose
-/// addresses vary between builds, and it does not change the measured
-/// behaviour under `Off`/`Warn`.
-fn config_fingerprint(cfg: &RunConfig) -> String {
-    let mut h = Fnv64::new();
-    h.write_bytes(format!("{:?}", cfg.app).as_bytes());
-    h.write_bytes(format!("{:?}", cfg.machine).as_bytes());
-    h.write_bytes(format!("{:?}", cfg.zm4).as_bytes());
-    h.write_u64(cfg.seed);
-    h.write_u64(cfg.horizon.as_nanos());
-    format!("{:016x}", h.finish())
-}
-
 /// Executes one spec on the calling thread and derives its record.
+/// The workload folds its own metrics (work units, utilization) inside
+/// the job — the harness records them without knowing the workload.
 pub fn execute(spec: &RunSpec) -> RunRecord {
     let started = Instant::now();
-    let result = run(spec.cfg.clone());
+    let run = spec.job.run();
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-
-    let truncated = result.truncated();
-    let has_phase = work_phase(&result.trace).is_some();
-    let utilization_percent = (!truncated && has_phase && spec.servants > 0)
-        .then(|| servant_utilization(&result.trace, spec.servants).mean_percent());
-    let steady_percent = (!truncated && spec.servants > 0 && steady_phase(&result.trace).is_some())
-        .then(|| servant_utilization_steady(&result.trace, spec.servants).mean_percent());
 
     RunRecord {
         label: spec.label.clone(),
-        fingerprint: config_fingerprint(&spec.cfg),
-        seed: spec.cfg.seed,
-        run_end: result.outcome.reason,
-        truncated,
-        sim_end_ns: result.outcome.end.as_nanos(),
+        workload: spec.job.workload_id().to_owned(),
+        fingerprint: spec.job.fingerprint(),
+        seed: spec.job.seed(),
+        run_end: run.outcome.reason,
+        truncated: run.outcome.truncated(),
+        sim_end_ns: run.outcome.end.as_nanos(),
         wall_ms,
-        events_processed: result.outcome.events,
+        events_processed: run.outcome.events,
         events_per_sec: if wall_ms > 0.0 {
-            result.outcome.events as f64 / (wall_ms / 1e3)
+            run.outcome.events as f64 / (wall_ms / 1e3)
         } else {
             0.0
         },
-        trace_events: result.trace.len(),
+        trace_events: run.trace.len(),
         trace_digest: trace_digest(
-            &result.trace,
-            result.outcome.end.as_nanos(),
-            result.outcome.reason,
-            result.outcome.events,
+            &run.trace,
+            run.outcome.end.as_nanos(),
+            run.outcome.reason,
+            run.outcome.events,
         ),
-        jobs_sent: result.app_stats.jobs_sent,
-        utilization_percent,
-        steady_percent,
+        work_units: run.metrics.work_units,
+        utilization_percent: run.metrics.utilization_percent,
+        steady_percent: run.metrics.steady_percent,
         paper_percent: spec.paper_percent,
-        intrusion_ratio: result.intrusion.intrusion_ratio(),
+        intrusion_ratio: run.intrusion_ratio,
         version: spec.version,
     }
 }
@@ -309,6 +301,7 @@ impl SweepReport {
             .map(|r| {
                 let mut o = json::JsonObject::new();
                 o.str("label", &r.label)
+                    .str("workload", &r.workload)
                     .str("fingerprint", &r.fingerprint)
                     .u64("seed", r.seed)
                     .str("run_end", &r.run_end.to_string())
@@ -319,7 +312,7 @@ impl SweepReport {
                     .f64("events_per_sec", r.events_per_sec)
                     .u64("trace_events", r.trace_events as u64)
                     .str("trace_digest", &r.trace_digest)
-                    .u64("jobs_sent", r.jobs_sent)
+                    .u64("work_units", r.work_units)
                     .opt_f64("utilization_percent", r.utilization_percent)
                     .opt_f64("steady_percent", r.steady_percent)
                     .opt_f64("paper_percent", r.paper_percent)
@@ -332,8 +325,10 @@ impl SweepReport {
             })
             .collect();
 
+        // Schema 3: run objects gained "workload" and renamed
+        // "jobs_sent" to the workload-agnostic "work_units".
         let mut root = json::JsonObject::new();
-        root.u64("schema_version", 2)
+        root.u64("schema_version", 3)
             .str("sweep", &self.sweep)
             .u64("workers", self.workers as u64)
             .bool("all_completed", self.truncated_runs().is_empty())
@@ -364,19 +359,20 @@ impl SweepReport {
         );
         let _ = writeln!(
             out,
-            "{:<14} {:>9} {:>12} {:>10} {:>8} {:>7} {:>7}  {:<16}",
-            "run", "end", "sim end", "events", "jobs", "util%", "steady%", "digest"
+            "{:<14} {:>9} {:>9} {:>12} {:>10} {:>8} {:>7} {:>7}  {:<16}",
+            "run", "workload", "end", "sim end", "events", "work", "util%", "steady%", "digest"
         );
         for r in &self.records {
             let fmt_pct = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |p| format!("{p:.1}"));
             let _ = writeln!(
                 out,
-                "{:<14} {:>9} {:>11.3}s {:>10} {:>8} {:>7} {:>7}  {:<16}",
+                "{:<14} {:>9} {:>9} {:>11.3}s {:>10} {:>8} {:>7} {:>7}  {:<16}",
                 r.label,
+                r.workload,
                 r.run_end.to_string(),
                 r.sim_end_ns as f64 / 1e9,
                 r.events_processed,
-                r.jobs_sent,
+                r.work_units,
                 fmt_pct(r.utilization_percent),
                 fmt_pct(r.steady_percent),
                 r.trace_digest,
@@ -517,7 +513,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let sweeps: Vec<String> = self.reports.iter().map(|r| r.json_at(1)).collect();
         let mut root = json::JsonObject::new();
-        root.u64("schema_version", 2)
+        root.u64("schema_version", 3)
             .str("kind", "bench")
             .str("date", &self.date)
             .raw("sweeps", json::array(&sweeps, 1));
@@ -574,6 +570,8 @@ fn civil_from_days(z: i64) -> (i64, u32, u32) {
 mod tests {
     use super::*;
     use des::time::SimTime;
+    use pipeline::jacobi::JacobiConfig;
+    use pipeline::PipelineConfig;
     use raysim::config::{AppConfig, SceneKind};
 
     fn tiny_spec(label: &str, seed: u64, horizon_ms: u64) -> RunSpec {
@@ -585,14 +583,12 @@ mod tests {
         app.bundle_size = 8;
         app.pixel_queue_capacity = 64;
         app.write_chunk = 8;
-        let servants = app.servants as u32;
-        let mut cfg = RunConfig::new(app);
+        let mut cfg = PipelineConfig::new(app);
         cfg.seed = seed;
         cfg.horizon = SimTime::from_millis(horizon_ms);
         RunSpec {
             label: label.to_owned(),
-            cfg,
-            servants,
+            job: Job::new(cfg),
             version: Some(Version::V4),
             paper_percent: None,
         }
@@ -601,12 +597,48 @@ mod tests {
     #[test]
     fn completed_run_yields_full_record() {
         let rec = execute(&tiny_spec("ok", 7, 600_000));
+        assert_eq!(rec.workload, "raytracer");
         assert_eq!(rec.run_end, RunEnd::Completed);
         assert!(!rec.truncated);
         assert!(rec.events_processed > 0);
         assert!(rec.trace_events > 0);
+        assert!(rec.work_units > 0);
         assert!(rec.utilization_percent.is_some());
         assert_eq!(rec.trace_digest.len(), 16);
+    }
+
+    #[test]
+    fn one_sweep_mixes_workloads() {
+        // The whole point of the type-erased job queue: ray-tracer and
+        // Jacobi specs side by side in one sweep, each folding its own
+        // metrics.
+        let mut jacobi = PipelineConfig::new(JacobiConfig {
+            workers: 2,
+            cells_per_worker: 8,
+            iterations: 5,
+            ..JacobiConfig::default()
+        });
+        jacobi.seed = 7;
+        let sweep = Sweep {
+            name: "mixed".into(),
+            runs: vec![
+                tiny_spec("rays", 7, 600_000),
+                RunSpec {
+                    label: "strips".into(),
+                    job: Job::new(jacobi),
+                    version: None,
+                    paper_percent: None,
+                },
+            ],
+        };
+        let report = run_sweep(&sweep, 2);
+        assert_eq!(report.exit_code(), 0);
+        assert_eq!(report.records[0].workload, "raytracer");
+        assert_eq!(report.records[1].workload, "jacobi");
+        assert!(report.records.iter().all(|r| r.work_units > 0));
+        let json = report.to_json();
+        assert!(json.contains("\"workload\": \"jacobi\""));
+        assert!(json.contains("\"work_units\""));
     }
 
     #[test]

@@ -51,7 +51,7 @@ verify executes a sweep (default smoke) and checks every trace against
 the model checker's proven orderings (ANALYZER_POLICY=off|warn|deny
 overrides the per-run pre-flight policy).
 
-sweeps: fig10, bundle, window, seeds, smoke";
+sweeps: fig10, bundle, window, seeds, smoke, jacobi";
 
 struct Args {
     name: String,
@@ -221,6 +221,7 @@ fn main() -> ExitCode {
             println!("  window  window-credit ablation on version 3");
             println!("  seeds   version 4 across five seeds (stability)");
             println!("  smoke   tiny CI sweep; digests are the determinism golden");
+            println!("  jacobi  SPMD Jacobi worker ladder (second stock workload)");
             ExitCode::SUCCESS
         }
         Some("sweep") => {
@@ -233,7 +234,8 @@ fn main() -> ExitCode {
             };
             if let Some(secs) = args.horizon_secs {
                 for spec in &mut sweep.runs {
-                    spec.cfg.horizon = des::time::SimTime::from_secs(secs);
+                    spec.job
+                        .override_horizon(des::time::SimTime::from_secs(secs));
                 }
             }
             eprintln!(

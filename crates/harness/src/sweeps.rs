@@ -2,12 +2,14 @@
 //!
 //! Each builder returns a [`Sweep`] reproducing one of the paper's
 //! evaluation campaigns: the Figure 10 version ladder, the bundle-size
-//! and window-credit ablations, a multi-seed stability check, and a
-//! small smoke sweep for CI.
+//! and window-credit ablations, a multi-seed stability check, a small
+//! smoke sweep for CI — plus the SPMD Jacobi sweep, the second stock
+//! workload through the same measurement pipeline.
 
 use des::time::SimTime;
+use pipeline::jacobi::JacobiConfig;
+use pipeline::{Job, PipelineConfig};
 use raysim::config::{AppConfig, SceneKind, Version};
-use raysim::run::RunConfig;
 
 use crate::{RunSpec, Sweep};
 
@@ -43,12 +45,29 @@ impl Scale {
 /// The standard experiment run configuration: generous simulated-time
 /// budget, warn-but-run pre-flight analysis (version 3's bug must
 /// execute to be measured).
-fn experiment_config(app: AppConfig, seed: u64) -> RunConfig {
-    let mut cfg = RunConfig::new(app);
+fn experiment_config(app: AppConfig, seed: u64) -> PipelineConfig<AppConfig> {
+    let mut cfg = PipelineConfig::new(app);
     cfg.seed = seed;
     cfg.horizon = SimTime::from_secs(36_000);
-    cfg.preflight = analyzer::warn_policy();
+    cfg.preflight = analyzer::pipeline_warn();
     cfg
+}
+
+/// A ray-tracer spec: the app under the standard experiment
+/// configuration, frozen into a type-erased job.
+fn ray_spec(
+    label: String,
+    app: AppConfig,
+    seed: u64,
+    version: Option<Version>,
+    paper_percent: Option<f64>,
+) -> RunSpec {
+    RunSpec {
+        label,
+        job: Job::new(experiment_config(app, seed)),
+        version,
+        paper_percent,
+    }
 }
 
 /// The application of `version` at `scale`, exactly as
@@ -85,15 +104,13 @@ pub fn fig10(scale: Scale, seed: u64) -> Sweep {
     let runs = Version::ALL
         .iter()
         .map(|&v| {
-            let app = fig10_app(v, scale);
-            let servants = app.servants as u32;
-            RunSpec {
-                label: format!("V{}", v as u8 + 1),
-                cfg: experiment_config(app, seed),
-                servants,
-                version: Some(v),
-                paper_percent: Some(v.paper_utilization_percent()),
-            }
+            ray_spec(
+                format!("V{}", v as u8 + 1),
+                fig10_app(v, scale),
+                seed,
+                Some(v),
+                Some(v.paper_utilization_percent()),
+            )
         })
         .collect();
     Sweep {
@@ -118,14 +135,13 @@ pub fn bundle(scale: Scale, seed: u64) -> Sweep {
             app.bundle_size = bundle;
             app.pixel_queue_capacity = 16_384;
             app.write_chunk = bundle.max(4);
-            let servants = app.servants as u32;
-            RunSpec {
-                label: format!("bundle-{bundle}"),
-                cfg: experiment_config(app, seed),
-                servants,
-                version: Some(Version::V4),
-                paper_percent: None,
-            }
+            ray_spec(
+                format!("bundle-{bundle}"),
+                app,
+                seed,
+                Some(Version::V4),
+                None,
+            )
         })
         .collect();
     Sweep {
@@ -154,14 +170,7 @@ pub fn window(scale: Scale, seed: u64) -> Sweep {
                 app.pixel_queue_capacity = 128;
                 app.write_chunk = 8;
             }
-            let servants = app.servants as u32;
-            RunSpec {
-                label: format!("window-{w}"),
-                cfg: experiment_config(app, seed),
-                servants,
-                version: Some(Version::V3),
-                paper_percent: None,
-            }
+            ray_spec(format!("window-{w}"), app, seed, Some(Version::V3), None)
         })
         .collect();
     Sweep {
@@ -178,15 +187,13 @@ pub fn seeds(scale: Scale, base_seed: u64) -> Sweep {
     let runs = (0..5)
         .map(|i| {
             let seed = base_seed + i;
-            let app = fig10_app(Version::V4, scale);
-            let servants = app.servants as u32;
-            RunSpec {
-                label: format!("seed-{seed}"),
-                cfg: experiment_config(app, seed),
-                servants,
-                version: Some(Version::V4),
-                paper_percent: Some(Version::V4.paper_utilization_percent()),
-            }
+            ray_spec(
+                format!("seed-{seed}"),
+                fig10_app(Version::V4, scale),
+                seed,
+                Some(Version::V4),
+                Some(Version::V4.paper_utilization_percent()),
+            )
         })
         .collect();
     Sweep {
@@ -207,14 +214,7 @@ pub fn smoke(seed: u64) -> Sweep {
             app.scene = SceneKind::Quickstart;
             app.width = 16;
             app.height = 16;
-            let servants = app.servants as u32;
-            RunSpec {
-                label: format!("smoke-V{}", v as u8 + 1),
-                cfg: experiment_config(app, seed),
-                servants,
-                version: Some(v),
-                paper_percent: None,
-            }
+            ray_spec(format!("smoke-V{}", v as u8 + 1), app, seed, Some(v), None)
         })
         .collect();
     for s in [seed + 100, seed + 101] {
@@ -223,14 +223,13 @@ pub fn smoke(seed: u64) -> Sweep {
         app.scene = SceneKind::Quickstart;
         app.width = 16;
         app.height = 16;
-        let servants = app.servants as u32;
-        runs.push(RunSpec {
-            label: format!("smoke-seed-{s}"),
-            cfg: experiment_config(app, s),
-            servants,
-            version: Some(Version::V4),
-            paper_percent: None,
-        });
+        runs.push(ray_spec(
+            format!("smoke-seed-{s}"),
+            app,
+            s,
+            Some(Version::V4),
+            None,
+        ));
     }
     Sweep {
         name: "smoke".into(),
@@ -238,9 +237,45 @@ pub fn smoke(seed: u64) -> Sweep {
     }
 }
 
+/// The SPMD Jacobi sweep — the second stock workload through the same
+/// pipeline: a worker-count ladder at fixed per-worker strip size, so
+/// the BSP exchange/compute alternation is measured exactly like the
+/// ray tracer's master/servant cycles. Its digests are the Jacobi
+/// determinism golden (`tests/golden/jacobi_digests.txt`).
+pub fn jacobi(scale: Scale, seed: u64) -> Sweep {
+    let (cells_per_worker, iterations) = match scale {
+        Scale::Paper => (64, 30),
+        Scale::Quick => (16, 10),
+    };
+    let runs = [2u16, 4, 8]
+        .iter()
+        .map(|&workers| {
+            let mut cfg = PipelineConfig::new(JacobiConfig {
+                workers,
+                cells_per_worker,
+                iterations,
+                ..JacobiConfig::default()
+            });
+            cfg.seed = seed;
+            cfg.horizon = SimTime::from_secs(36_000);
+            cfg.preflight = analyzer::workload_warn();
+            RunSpec {
+                label: format!("jacobi-w{workers}"),
+                job: Job::new(cfg),
+                version: None,
+                paper_percent: None,
+            }
+        })
+        .collect();
+    Sweep {
+        name: "jacobi".into(),
+        runs,
+    }
+}
+
 /// The names [`by_name`] understands, for `harness list` and usage
 /// messages.
-pub const NAMES: [&str; 5] = ["fig10", "bundle", "window", "seeds", "smoke"];
+pub const NAMES: [&str; 6] = ["fig10", "bundle", "window", "seeds", "smoke", "jacobi"];
 
 /// Resolves a sweep by CLI name.
 pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<Sweep> {
@@ -250,6 +285,7 @@ pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<Sweep> {
         "window" => Some(window(scale, seed)),
         "seeds" => Some(seeds(scale, seed)),
         "smoke" => Some(smoke(seed)),
+        "jacobi" => Some(jacobi(scale, seed)),
         _ => None,
     }
 }
@@ -276,7 +312,19 @@ mod tests {
         assert!(sweep
             .runs
             .iter()
-            .all(|r| r.paper_percent.is_some() && r.servants == 15));
+            .all(|r| r.paper_percent.is_some() && r.job.workload_id() == "raytracer"));
+    }
+
+    #[test]
+    fn jacobi_sweep_walks_the_worker_ladder() {
+        let sweep = jacobi(Scale::Quick, 1992);
+        let labels: Vec<&str> = sweep.runs.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["jacobi-w2", "jacobi-w4", "jacobi-w8"]);
+        assert!(sweep.runs.iter().all(|r| r.job.workload_id() == "jacobi"));
+        // Each rung is a distinct configuration.
+        let mut prints: Vec<String> = sweep.runs.iter().map(|r| r.job.fingerprint()).collect();
+        prints.dedup();
+        assert_eq!(prints.len(), 3);
     }
 
     #[test]

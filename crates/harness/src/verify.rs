@@ -1,21 +1,21 @@
 //! `harness verify` — dynamic cross-validation of the static models.
 //!
 //! The model checker proves orderings; this module checks that every
-//! recorded trace actually respects them. Each run of a sweep is
-//! executed (after its pre-flight analysis, whose policy the
+//! recorded trace actually respects them. Each job of a sweep is
+//! executed (after its configured pre-flight analysis, whose *mode* the
 //! `ANALYZER_POLICY` environment variable may override) and its merged
 //! monitoring trace is validated with the happens-before engine against
-//! [`analyzer::proven_orders`] for that run's configuration. A healthy
-//! simulator yields zero violations — any `AN-HB-*` error means either
-//! the simulator broke a proven protocol ordering or the monitoring
-//! pipeline corrupted the trace, both of which must fail CI.
+//! the orderings the job's workload declares ([`pipeline::JobRun::orders`]).
+//! A healthy simulator yields zero violations — any `AN-HB-*` error
+//! means either the simulator broke a proven protocol ordering or the
+//! monitoring pipeline corrupted the trace, both of which must fail CI.
 //!
 //! A run whose pre-flight analysis *denies* execution (policy `deny`)
 //! is recorded and skipped, but verification continues so the final
 //! output lists every denial — not just the first.
 
-use analyzer::{policy_from_env, proven_orders, validate_orders, warn_policy, Report};
-use raysim::run::{run, try_preflight};
+use analyzer::{validate_orders, Report};
+use pipeline::PolicyMode;
 
 use crate::Sweep;
 
@@ -52,9 +52,11 @@ impl VerifyReport {
     }
 }
 
-/// Executes every run of `sweep` (serially — verification sweeps are
-/// small) and validates each trace against the orderings proven for its
-/// configuration.
+/// Executes every job of `sweep` (serially — verification sweeps are
+/// small) and validates each trace against the orderings its workload
+/// declares. The pre-flight *mode* defaults to warn-but-run so the
+/// analysis findings are always printed; `ANALYZER_POLICY` overrides
+/// it; the analysis *hook* stays whatever the spec configured.
 pub fn verify_sweep(sweep: &Sweep) -> VerifyReport {
     let mut out = VerifyReport {
         run_reports: Vec::new(),
@@ -62,23 +64,22 @@ pub fn verify_sweep(sweep: &Sweep) -> VerifyReport {
         truncated: Vec::new(),
     };
 
+    let mode = PolicyMode::from_env().unwrap_or(PolicyMode::Warn);
     for spec in &sweep.runs {
-        let mut cfg = spec.cfg.clone();
-        cfg.preflight = policy_from_env(warn_policy());
-        if try_preflight(&cfg).is_err() {
-            // The summary was already printed by try_preflight; record
-            // the denial and keep going so every denial is reported.
-            out.denied.push(spec.label.clone());
-            continue;
-        }
-        // The analysis already ran above; don't run it again inside run().
-        cfg.preflight = raysim::run::PreflightPolicy::Off;
-        let app = cfg.app.clone();
-        let result = run(cfg);
-        if result.truncated() {
+        let run = match spec.job.run_with_policy(Some(mode)) {
+            Ok(run) => run,
+            Err(_denied) => {
+                // The summary was already printed by the pre-flight;
+                // record the denial and keep going so every denial is
+                // reported.
+                out.denied.push(spec.label.clone());
+                continue;
+            }
+        };
+        if run.outcome.truncated() {
             out.truncated.push(spec.label.clone());
         }
-        let mut report = validate_orders(&result.trace, &proven_orders(&app));
+        let mut report = validate_orders(&run.trace, &run.orders);
         report.subject = format!("{} happens-before", spec.label);
         out.run_reports.push(report);
     }
@@ -90,6 +91,24 @@ pub fn verify_sweep(sweep: &Sweep) -> VerifyReport {
 mod tests {
     use super::*;
     use crate::sweeps;
+    use pipeline::{Job, PipelineConfig};
+    use raysim::config::{AppConfig, SceneKind, Version};
+
+    fn ray_spec(label: &str, version: Version, servants: u16) -> crate::RunSpec {
+        let mut app = AppConfig::version(version);
+        app.servants = servants;
+        app.scene = SceneKind::Quickstart;
+        app.width = 8;
+        app.height = 8;
+        let mut cfg = PipelineConfig::new(app);
+        cfg.preflight = analyzer::pipeline_warn();
+        crate::RunSpec {
+            label: label.to_owned(),
+            job: Job::new(cfg),
+            version: Some(version),
+            paper_percent: None,
+        }
+    }
 
     #[test]
     fn deny_policy_reports_every_denied_run_and_exits_4() {
@@ -97,43 +116,16 @@ mod tests {
         // collapse is a static error) plus one healthy V4 run: under
         // `deny`, BOTH V3 runs must be reported — not just the first —
         // and the healthy run still executes and validates.
-        use raysim::config::{AppConfig, SceneKind, Version};
-        let mut specs = Vec::new();
-        for (label, version) in [("bad-a", Version::V3), ("bad-b", Version::V3)] {
-            let mut app = AppConfig::version(version);
-            app.scene = SceneKind::Quickstart;
-            app.width = 8;
-            app.height = 8;
-            let servants = u32::from(app.servants);
-            specs.push(crate::RunSpec {
-                label: label.to_owned(),
-                cfg: raysim::run::RunConfig::new(app),
-                servants,
-                version: Some(version),
-                paper_percent: None,
-            });
-        }
-        {
-            let mut app = AppConfig::version(Version::V4);
-            app.servants = 2;
-            app.scene = SceneKind::Quickstart;
-            app.width = 8;
-            app.height = 8;
-            let servants = u32::from(app.servants);
-            specs.push(crate::RunSpec {
-                label: "good".to_owned(),
-                cfg: raysim::run::RunConfig::new(app),
-                servants,
-                version: Some(Version::V4),
-                paper_percent: None,
-            });
-        }
         let sweep = Sweep {
             name: "deny-test".into(),
-            runs: specs,
+            runs: vec![
+                ray_spec("bad-a", Version::V3, 15),
+                ray_spec("bad-b", Version::V3, 15),
+                ray_spec("good", Version::V4, 2),
+            ],
         };
-        // Safe against the sibling test: the smoke configs analyze
-        // without errors, so a leaked `deny` cannot refuse them.
+        // Safe against the sibling tests: the smoke and jacobi configs
+        // analyze without errors, so a leaked `deny` cannot refuse them.
         std::env::set_var("ANALYZER_POLICY", "deny");
         let report = verify_sweep(&sweep);
         std::env::remove_var("ANALYZER_POLICY");
@@ -153,6 +145,28 @@ mod tests {
         assert_eq!(report.run_reports.len(), sweep.runs.len());
         // Every executed run produced a positive edge count (the info
         // line records it).
+        for r in &report.run_reports {
+            assert!(
+                r.findings
+                    .iter()
+                    .any(|f| f.message.contains("all proven orderings hold")),
+                "{}",
+                r.render()
+            );
+        }
+    }
+
+    #[test]
+    fn jacobi_sweep_traces_respect_the_spmd_orders() {
+        // The second workload through the same verification gate: every
+        // worker's exchange-before-compute ordering must hold in every
+        // recorded trace, channel by channel.
+        let sweep = sweeps::by_name("jacobi", crate::Scale::Quick, 1992).unwrap();
+        let report = verify_sweep(&sweep);
+        assert_eq!(report.denied, Vec::<String>::new());
+        assert_eq!(report.violations(), 0, "{:#?}", report.run_reports);
+        assert_eq!(report.exit_code(), 0);
+        assert_eq!(report.run_reports.len(), sweep.runs.len());
         for r in &report.run_reports {
             assert!(
                 r.findings

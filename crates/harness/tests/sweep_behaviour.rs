@@ -3,9 +3,9 @@
 
 use des::time::SimTime;
 use harness::{execute, run_sweep, sweeps, RunSpec, Sweep};
+use pipeline::{Job, PipelineConfig};
 use proptest::prelude::*;
 use raysim::config::{AppConfig, SceneKind, Version};
-use raysim::run::RunConfig;
 use suprenum::RunEnd;
 
 fn tiny_spec(label: &str, seed: u64, horizon: SimTime) -> RunSpec {
@@ -17,14 +17,12 @@ fn tiny_spec(label: &str, seed: u64, horizon: SimTime) -> RunSpec {
     app.bundle_size = 6;
     app.pixel_queue_capacity = 128;
     app.write_chunk = 6;
-    let servants = app.servants as u32;
-    let mut cfg = RunConfig::new(app);
+    let mut cfg = PipelineConfig::new(app);
     cfg.seed = seed;
     cfg.horizon = horizon;
     RunSpec {
         label: label.to_owned(),
-        cfg,
-        servants,
+        job: Job::new(cfg),
         version: Some(Version::V4),
         paper_percent: None,
     }

@@ -49,7 +49,9 @@ pub mod run;
 pub mod servant;
 pub mod static_partition;
 pub mod tokens;
+pub mod workload;
 
 pub use config::{AppConfig, SceneKind, Version};
 pub use context::{AppStats, RenderContext};
 pub use run::{run, RunConfig, RunResult, TruncatedRun};
+pub use workload::RenderOutput;

@@ -1,47 +1,38 @@
 //! End-to-end experiment runner: machine + application + monitor.
 //!
-//! [`run`] wires everything together the way the real measurement was
-//! set up: the instrumented parallel ray tracer executes on the
-//! simulated SUPRENUM; every seven-segment display write is probed by a
-//! simulated ZM4 whose event recorders produce the merged global trace;
-//! the trace is handed back for SIMPLE-style evaluation.
+//! Historically this module *was* the measurement pipeline; today the
+//! workload-agnostic parts (machine sizing, ZM4 probing, SIMPLE trace
+//! conversion, intrusion accounting) live in the [`pipeline`] crate and
+//! the ray tracer is just its first [`pipeline::Workload`] (see
+//! [`crate::workload`]). [`run`] and [`RunConfig`] remain as the
+//! stable, ray-tracer-shaped facade: every figure binary, experiment,
+//! and test that predates the extraction keeps working unchanged, and a
+//! differential test pins the facade's traces bit-identical to the
+//! generic path's.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::fmt;
 
 use des::time::SimTime;
 use hybridmon::IntrusionReport;
+use pipeline::{PipelineConfig, Preflight};
 use raytracer::Framebuffer;
 use simple::Trace;
-use suprenum::{Machine, MachineConfig, NodeId, RunEnd, RunOutcome};
-use zm4::{Measurement, ProbeSample, Zm4, Zm4Config};
+use suprenum::{Machine, MachineConfig, RunEnd, RunOutcome};
+use zm4::{Measurement, ProbeSample, Zm4Config};
 
 use crate::config::AppConfig;
-use crate::context::{AppStats, RenderContext};
-use crate::master::Master;
+use crate::context::AppStats;
 
-/// What a pre-flight analysis of a run configuration concluded.
-///
-/// Produced by an externally supplied hook (see [`PreflightPolicy`]);
-/// kept deliberately flat — counts plus pre-rendered text — so this
-/// crate needs no knowledge of the analyzer's diagnostic model.
-#[derive(Debug, Clone, Default)]
-pub struct PreflightSummary {
-    /// Findings that predict a broken measurement (deadlock, event loss,
-    /// corrupted attribution).
-    pub errors: usize,
-    /// Findings that predict a distorted measurement.
-    pub warnings: usize,
-    /// The findings, rendered for a terminal.
-    pub rendered: String,
-}
+pub use pipeline::{PreflightDenied, PreflightSummary};
 
 /// Whether (and how strictly) [`run`] analyzes its configuration before
 /// executing it.
 ///
 /// The hook is a plain `fn` pointer so the analyzer crate can supply it
 /// without a dependency cycle: `raysim` defines the seam, the analyzer
-/// fills it, and callers pick the policy.
+/// fills it, and callers pick the policy. This is the legacy,
+/// `RunConfig`-shaped twin of [`pipeline::Preflight`]; new code should
+/// configure the pipeline's seam directly.
 #[derive(Debug, Clone, Copy, Default)]
 pub enum PreflightPolicy {
     /// Run without any pre-flight analysis.
@@ -82,17 +73,7 @@ impl RunConfig {
     /// Panics if the application configuration is invalid.
     pub fn new(app: AppConfig) -> Self {
         app.validate().expect("invalid application configuration");
-        let nodes = app.servants as u32 + 1;
-        let machine = if nodes <= 16 {
-            MachineConfig::single_cluster(nodes as u8)
-        } else {
-            let clusters = nodes.div_ceil(16) as u8;
-            MachineConfig {
-                clusters,
-                torus_cols: 1,
-                ..MachineConfig::single_cluster(16)
-            }
-        };
+        let machine = pipeline::machine_for(app.servants as u32 + 1);
         RunConfig {
             app,
             machine,
@@ -100,6 +81,21 @@ impl RunConfig {
             seed: 1992,
             horizon: SimTime::from_secs(3_600),
             preflight: PreflightPolicy::default(),
+        }
+    }
+
+    /// Converts this legacy configuration into the generic pipeline's,
+    /// dropping the legacy pre-flight policy (its hook is shaped around
+    /// `RunConfig` and cannot cross; run it first via [`preflight`], or
+    /// configure [`pipeline::Preflight`] on the result).
+    pub fn into_pipeline(self) -> PipelineConfig<AppConfig> {
+        PipelineConfig {
+            workload: self.app,
+            machine: self.machine,
+            zm4: self.zm4,
+            seed: self.seed,
+            horizon: self.horizon,
+            preflight: Preflight::off(),
         }
     }
 }
@@ -177,8 +173,8 @@ pub struct TruncatedRun {
     pub events: u64,
 }
 
-impl std::fmt::Display for TruncatedRun {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Display for TruncatedRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "run truncated ({}) at t={} after {} kernel events; \
@@ -193,56 +189,13 @@ impl std::error::Error for TruncatedRun {}
 /// Converts a machine's display signal log into ZM4 probe samples
 /// (channel = node index).
 pub fn probe_samples(machine: &Machine) -> Vec<ProbeSample> {
-    machine
-        .signals()
-        .display_writes()
-        .iter()
-        .map(|w| ProbeSample {
-            time: w.time,
-            channel: w.node.index() as usize,
-            pattern: w.pattern,
-        })
-        .collect()
+    pipeline::probe_samples(machine)
 }
 
 /// Converts a ZM4 measurement's merged trace into SIMPLE events.
 pub fn to_simple_trace(measurement: &Measurement) -> Trace {
-    measurement
-        .trace
-        .iter()
-        .map(|r| {
-            simple::Event::new(
-                r.ts_ns,
-                r.channel,
-                r.event.token.value(),
-                r.event.param.value(),
-            )
-        })
-        .collect()
+    pipeline::to_simple_trace(measurement)
 }
-
-/// A pre-flight analysis that refused the run (see [`try_preflight`]).
-///
-/// Carries the complete summary — every finding, not just the first —
-/// so a caller batching many configurations can surface all of them
-/// before failing.
-#[derive(Debug, Clone)]
-pub struct PreflightDenied {
-    /// The full analysis summary, findings included.
-    pub summary: PreflightSummary,
-}
-
-impl std::fmt::Display for PreflightDenied {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "pre-flight analysis found {} error(s); refusing to run:\n{}",
-            self.summary.errors, self.summary.rendered
-        )
-    }
-}
-
-impl std::error::Error for PreflightDenied {}
 
 /// Runs the configured pre-flight analysis without panicking.
 ///
@@ -285,6 +238,10 @@ pub fn preflight(cfg: &RunConfig) -> Option<PreflightSummary> {
 
 /// Runs one full measurement.
 ///
+/// This is a thin facade over [`pipeline::run_workload`] with the ray
+/// tracer as the workload: the legacy pre-flight policy runs first,
+/// then the generic pipeline executes the measurement.
+///
 /// # Panics
 ///
 /// Panics if the machine configuration cannot host the application
@@ -311,61 +268,65 @@ pub fn preflight(cfg: &RunConfig) -> Option<PreflightSummary> {
 /// ```
 pub fn run(cfg: RunConfig) -> RunResult {
     preflight(&cfg);
-    cfg.app
-        .validate()
-        .expect("invalid application configuration");
-    assert!(
-        cfg.machine.total_nodes() as u32 > cfg.app.servants as u32,
-        "machine has {} nodes but the application needs {}",
-        cfg.machine.total_nodes(),
-        cfg.app.servants + 1
-    );
-
-    let mut machine =
-        Machine::new(cfg.machine.clone(), cfg.seed).expect("invalid machine configuration");
-
-    let app = Rc::new(cfg.app.clone());
-    let ctx = RenderContext::new(&app);
-    let stats = Rc::new(RefCell::new(AppStats::default()));
-    let fb = Rc::new(RefCell::new(Framebuffer::new(app.width, app.height)));
-
-    let master = Master::new(app.clone(), ctx, stats.clone(), fb.clone());
-    machine.add_process(NodeId::new(0), master);
-    let outcome = machine.run(cfg.horizon);
-
-    // Probe the displays and run the monitor. The signal log is already
-    // time-sorted (per channel, because globally), so the sample stream
-    // flows through the monitor in one pass — no materialized sample
-    // vector, no per-channel partition copies.
-    let channels = machine.topology().total_nodes() as usize;
-    let monitor = Zm4::new(cfg.zm4.clone(), channels, cfg.seed);
-    let measurement =
-        monitor.observe_iter(
-            machine
-                .signals()
-                .display_writes()
-                .iter()
-                .map(|w| ProbeSample {
-                    time: w.time,
-                    channel: w.node.index() as usize,
-                    pattern: w.pattern,
-                }),
-        );
-    let trace = to_simple_trace(&measurement);
-
-    let image = Rc::try_unwrap(fb)
-        .map(RefCell::into_inner)
-        .unwrap_or_else(|rc| rc.borrow().clone());
-    let app_stats = *stats.borrow();
-    let intrusion = *machine.intrusion();
-
+    let result = pipeline::run_workload(cfg.into_pipeline());
     RunResult {
-        outcome,
-        measurement,
-        trace,
-        image,
-        app_stats,
-        machine,
-        intrusion,
+        outcome: result.outcome,
+        measurement: result.measurement,
+        trace: result.trace,
+        image: result.output.image,
+        app_stats: result.output.stats,
+        machine: result.machine,
+        intrusion: result.intrusion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SceneKind, Version};
+
+    fn tiny_cfg() -> RunConfig {
+        let mut app = AppConfig::version(Version::V4);
+        app.servants = 2;
+        app.scene = SceneKind::Quickstart;
+        app.width = 8;
+        app.height = 8;
+        RunConfig::new(app)
+    }
+
+    // The facade and the generic pipeline must be the same measurement:
+    // identical outcome and an event-for-event identical trace.
+    #[test]
+    fn facade_matches_generic_pipeline_bit_for_bit() {
+        let legacy = run(tiny_cfg());
+        let generic = pipeline::run_workload(tiny_cfg().into_pipeline());
+        assert_eq!(legacy.outcome.end, generic.outcome.end);
+        assert_eq!(legacy.outcome.reason, generic.outcome.reason);
+        assert_eq!(legacy.outcome.events, generic.outcome.events);
+        assert_eq!(legacy.trace.len(), generic.trace.len());
+        for (a, b) in legacy.trace.events().iter().zip(generic.trace.events()) {
+            assert_eq!(
+                (a.ts_ns, a.channel, a.token, a.param),
+                (b.ts_ns, b.channel, b.token, b.param)
+            );
+        }
+        assert_eq!(legacy.app_stats.jobs_sent, generic.output.stats.jobs_sent);
+        assert_eq!(
+            legacy.image.mean_luminance(),
+            generic.output.image.mean_luminance()
+        );
+    }
+
+    // A truncated run leaves the master alive holding its framebuffer
+    // handle; the harvest must still hand the image back (by take, not
+    // by clone) without panicking.
+    #[test]
+    fn truncated_run_still_yields_the_image() {
+        let mut cfg = tiny_cfg();
+        cfg.horizon = SimTime::from_millis(1);
+        let result = run(cfg);
+        assert!(result.truncated());
+        // 8×8 was allocated; the take preserves the real buffer.
+        assert_eq!(result.image.pixel_count(), 64);
     }
 }

@@ -24,6 +24,20 @@ pub struct Framebuffer {
     pixels: Vec<Color>,
 }
 
+/// The empty 0×0 image — the placeholder left behind when a finished
+/// run's framebuffer is moved out of a still-shared handle. It holds no
+/// pixels, so every accessor except [`Framebuffer::set`]/
+/// [`Framebuffer::get`] (which panic out of bounds) is well-defined.
+impl Default for Framebuffer {
+    fn default() -> Self {
+        Framebuffer {
+            width: 0,
+            height: 0,
+            pixels: Vec::new(),
+        }
+    }
+}
+
 impl Framebuffer {
     /// Creates a black framebuffer.
     ///

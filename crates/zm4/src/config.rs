@@ -81,6 +81,17 @@ impl Zm4Config {
         SimDuration::from_nanos(1_000_000_000 / self.disk_drain_rate)
     }
 
+    /// Builds the monitor this configuration describes, observing
+    /// `channels` event streams with determinism seed `seed` (the
+    /// configured seed field is overwritten — see [`crate::Zm4::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn build(&self, channels: usize, seed: u64) -> crate::Zm4 {
+        crate::Zm4::new(self.clone(), channels, seed)
+    }
+
     /// How long a recorder sustains an arrival rate of `arrival_hz`
     /// events/s before its FIFO overflows and events are lost, assuming
     /// the FIFO starts empty. `None` when the disk drain keeps up
