@@ -14,6 +14,12 @@
 //!                      stdout)
 //!   --preemptive       also model-check the preemptive-scheduler
 //!                      variant and print its counterexample
+//!   --races            run the DPOR message-race explorer and append
+//!                      a race report per version (uses the scheduler
+//!                      selected by --preemptive; round-robin by
+//!                      default). Race warnings stay warnings unless
+//!                      --strict, which denies them (escalates
+//!                      AN-RACE-* warnings to errors)
 //! ```
 //!
 //! With no version arguments, analyzes all four.
@@ -37,7 +43,7 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("{problem}");
     eprintln!(
         "usage: analyze [v1|v2|v3|v4 ...] [--deep] [--fail-on info|warning|error] \
-         [--strict] [--json PATH] [--sarif PATH] [--preemptive]"
+         [--strict] [--json PATH] [--sarif PATH] [--preemptive] [--races]"
     );
     ExitCode::from(2)
 }
@@ -55,16 +61,22 @@ fn main() -> ExitCode {
     let mut versions: Vec<Version> = Vec::new();
     let mut fail_on: Option<Severity> = None;
     let mut deep = false;
+    let mut strict = false;
     let mut preemptive = false;
+    let mut races = false;
     let mut json_path: Option<String> = None;
     let mut sarif_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--strict" => fail_on = Some(Severity::Error),
+            "--strict" => {
+                strict = true;
+                fail_on = Some(Severity::Error);
+            }
             "--deep" => deep = true,
             "--preemptive" => preemptive = true,
+            "--races" => races = true,
             "--fail-on" => match args.next().as_deref().map(Severity::parse) {
                 Some(Some(level)) => fail_on = Some(level),
                 _ => return usage("--fail-on needs a level: info|warning|error"),
@@ -126,6 +138,24 @@ fn main() -> ExitCode {
                 ),
             }
             println!();
+        }
+    }
+
+    if races {
+        for &version in &versions {
+            let app = AppConfig::version(version);
+            let mut report = analyzer::check_races(&app, &budget, preemptive);
+            if strict {
+                let raised = report.escalate_warnings("AN-RACE-");
+                if raised > 0 {
+                    eprintln!("strict mode: {raised} race warning(s) denied for {version}");
+                }
+            }
+            println!("== {} ==", report.subject);
+            print!("{}", report.render());
+            println!();
+            worst = worst.max(report.max_severity());
+            reports.push(report);
         }
     }
 

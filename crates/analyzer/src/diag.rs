@@ -271,6 +271,21 @@ impl Report {
         self.findings.extend(other.findings);
     }
 
+    /// Escalates to errors every *warning* whose code starts with
+    /// `prefix` — the `--strict` ("deny") treatment of findings that
+    /// are survivable by default. Info findings (proofs of absence)
+    /// are left alone. Returns how many findings were raised.
+    pub fn escalate_warnings(&mut self, prefix: &str) -> usize {
+        let mut raised = 0;
+        for f in &mut self.findings {
+            if f.severity == Severity::Warning && f.code.starts_with(prefix) {
+                f.severity = Severity::Error;
+                raised += 1;
+            }
+        }
+        raised
+    }
+
     /// Number of findings at exactly `severity`.
     pub fn count(&self, severity: Severity) -> usize {
         self.findings
@@ -474,6 +489,29 @@ mod tests {
         assert_eq!(f.location.kind(), "model");
         assert!(f.notes.iter().any(|n| n.contains("send job 0")));
         assert!(f.location.logical_name().contains("2 steps"));
+    }
+
+    #[test]
+    fn escalation_raises_matching_warnings_only() {
+        let mut r = Report::new("unit");
+        r.push(Finding::warning("AN-RACE-001", "race"));
+        r.push(Finding::info("AN-RACE-002", "proven absent"));
+        r.push(Finding::warning("AN-MODEL-001", "other subsystem"));
+        assert_eq!(r.escalate_warnings("AN-RACE-"), 1);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(
+            r.with_code("AN-RACE-001").next().unwrap().severity,
+            Severity::Error
+        );
+        assert_eq!(
+            r.with_code("AN-RACE-002").next().unwrap().severity,
+            Severity::Info
+        );
+        assert_eq!(
+            r.with_code("AN-MODEL-001").next().unwrap().severity,
+            Severity::Warning
+        );
+        assert_eq!(r.escalate_warnings("AN-RACE-"), 0);
     }
 
     #[test]

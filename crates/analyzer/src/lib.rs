@@ -26,6 +26,11 @@
 //! * [`hb`] — the vector-clock happens-before engine over recorded
 //!   traces, cross-validated against the model checker's proven
 //!   orderings (`AN-HB-*`).
+//! * [`race`] — the DPOR message-race explorer (sleep sets over a
+//!   persistent-set reduction): mailbox receive-races, lost wakeups,
+//!   lost signals and nondeterministic monitoring interleavings, each
+//!   with a replayable witness interleaving cross-checked against the
+//!   happens-before engine (`AN-RACE-*`).
 //!
 //! Findings are [`diag::Diagnostic`]s with stable machine-readable
 //! codes, severities, and structured locations, collected into
@@ -53,6 +58,7 @@ pub mod hb;
 pub mod model;
 pub mod preflight;
 pub mod protocol;
+pub mod race;
 pub mod rate;
 pub mod render;
 pub mod token_lints;
@@ -68,6 +74,10 @@ pub use preflight::{
     workload_hook, workload_warn,
 };
 pub use protocol::{analyze_protocol, CreditLedger, ProtocolGraph};
+pub use race::{
+    check_race_model, check_races, hb_crosscheck, scope_of_orders, witness_is_concurrent,
+    RaceModel, RaceVerdict, RaceWitness,
+};
 pub use rate::{analyze_rate, predict, RatePrediction};
 pub use render::{report_json, reports_json, sarif};
 pub use token_lints::{lint_pair, lint_stock_maps, TokenDecl, TokenMap};

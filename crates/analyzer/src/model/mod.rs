@@ -25,7 +25,7 @@ pub mod flow;
 pub mod sched;
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use raysim::config::AppConfig;
 
@@ -48,6 +48,8 @@ pub struct ModelBudget {
     pub exact_states: usize,
     /// Max states for the scheduler model.
     pub sched_states: usize,
+    /// Max states for the race explorer ([`crate::race`]).
+    pub race_states: usize,
 }
 
 impl ModelBudget {
@@ -57,6 +59,7 @@ impl ModelBudget {
             flow_states: 100_000,
             exact_states: 0,
             sched_states: 500_000,
+            race_states: 200_000,
         }
     }
 
@@ -67,8 +70,19 @@ impl ModelBudget {
             flow_states: 2_000_000,
             exact_states: 1_000_000,
             sched_states: 2_000_000,
+            race_states: 2_000_000,
         }
     }
+}
+
+/// Locks `m`, recovering from poisoning: a panic in one thread (say, a
+/// failed assertion in a test sharing the process-wide verdict caches)
+/// must not cascade `PoisonError` panics into every later analysis.
+/// The cached values are read-only once inserted and each insert is a
+/// single `HashMap::insert`, so a poisoned guard's data is still
+/// consistent.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Largest image (pixels) the exact model is attempted on; beyond this
@@ -107,11 +121,11 @@ pub fn check_sched(model: SchedModel, max_states: usize) -> SchedVerdict {
         max_states,
     );
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(v) = cache.lock().unwrap().get(&key) {
+    if let Some(v) = lock_unpoisoned(cache).get(&key) {
         return v.clone();
     }
     let v = model.explore(max_states);
-    cache.lock().unwrap().insert(key, v.clone());
+    lock_unpoisoned(cache).insert(key, v.clone());
     v
 }
 
@@ -328,6 +342,13 @@ pub fn check_app(app: &AppConfig, budget: &ModelBudget) -> Report {
         ));
     }
 
+    // --- Race explorer: schedule-dependent message orderings. Under
+    // the machine's non-preemptive round-robin the stock shapes are
+    // proven race-free (info findings); the preemptive variant is the
+    // `analyze --races --preemptive` section and stays out of the
+    // default report.
+    report.merge(crate::race::check_races(app, budget, false));
+
     if !bounded_layers.is_empty() {
         let mut d = Diagnostic::info(
             "AN-MODEL-005",
@@ -354,6 +375,39 @@ pub fn check_preemptive_variant(app: &AppConfig, budget: &ModelBudget) -> SchedV
         },
         budget.sched_states,
     )
+}
+
+/// Shared assertions over model-checker witness paths, used by the
+/// scheduler-model and module-level tests alike.
+#[cfg(test)]
+pub(crate) mod testutil {
+    /// Asserts a witness/counterexample path is well-formed: non-empty,
+    /// no blank steps, and every step readable on one line.
+    pub(crate) fn assert_witness_well_formed(path: &[String]) {
+        assert!(!path.is_empty(), "witness path must not be empty");
+        for (i, step) in path.iter().enumerate() {
+            assert!(!step.trim().is_empty(), "blank witness step at index {i}");
+            assert!(
+                !step.contains('\n'),
+                "multi-line witness step at index {i}: {step:?}"
+            );
+        }
+    }
+
+    /// Asserts a SYNC-2 counterexample is well-formed *and* tells the
+    /// SYNC-2 story: a preemption occurs along the way and the final
+    /// transition names the violated property.
+    pub(crate) fn assert_sync2_witness(path: &[String]) {
+        assert_witness_well_formed(path);
+        assert!(
+            path.iter().any(|l| l.contains("preempts")),
+            "a SYNC-2 witness must contain a preemption: {path:?}"
+        );
+        assert!(
+            path.last().unwrap().contains("SYNC-2"),
+            "the final step must name the violation: {path:?}"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -412,7 +466,23 @@ mod tests {
         let verdict =
             check_preemptive_variant(&AppConfig::version(Version::V4), &ModelBudget::full());
         let path = verdict.sync2_violation.expect("preemption breaks SYNC-2");
-        assert!(path.last().unwrap().contains("SYNC-2"));
+        testutil::assert_sync2_witness(&path);
+    }
+
+    #[test]
+    fn verdict_cache_survives_mutex_poisoning() {
+        // A panic while holding the lock must not cascade into every
+        // later analysis sharing the process-wide cache.
+        let m = std::sync::Mutex::new(vec![1, 2, 3]);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(caught.is_err());
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), vec![1, 2, 3]);
+        lock_unpoisoned(&m).push(4);
+        assert_eq!(lock_unpoisoned(&m).len(), 4);
     }
 
     #[test]

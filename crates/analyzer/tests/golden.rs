@@ -12,8 +12,8 @@
 
 use std::path::PathBuf;
 
-use analyzer::{analyze_version, report_json, sarif};
-use raysim::config::Version;
+use analyzer::{analyze_version, check_races, report_json, sarif, ModelBudget};
+use raysim::config::{AppConfig, Version};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -44,6 +44,23 @@ fn stock_version_reports_match_their_goldens() {
         check(&format!("v{}.json", i + 1), &report_json(&report));
         check(
             &format!("v{}.sarif", i + 1),
+            &sarif(std::slice::from_ref(&report)),
+        );
+    }
+}
+
+#[test]
+fn preemptive_race_reports_match_their_goldens() {
+    // The `analyze --races --preemptive` section: the DPOR explorer's
+    // witnesses are produced by a DFS over a fixed successor order, so
+    // the whole report — including every witness interleaving — is
+    // deterministic and snapshot-worthy.
+    let budget = ModelBudget::full();
+    for (i, version) in Version::ALL.iter().enumerate() {
+        let report = check_races(&AppConfig::version(*version), &budget, true);
+        check(&format!("v{}_races.json", i + 1), &report_json(&report));
+        check(
+            &format!("v{}_races.sarif", i + 1),
             &sarif(std::slice::from_ref(&report)),
         );
     }

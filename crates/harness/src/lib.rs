@@ -46,7 +46,7 @@ pub mod sweeps;
 pub mod verify;
 
 pub use sweeps::Scale;
-pub use verify::{verify_sweep, VerifyReport};
+pub use verify::{verify_sweep, verify_sweep_with, VerifyReport};
 
 /// One configured run inside a sweep.
 #[derive(Debug, Clone)]

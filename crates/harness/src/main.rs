@@ -8,7 +8,7 @@
 //! harness bench [names…] [--scale paper|quick] [--workers N] [--seed S]
 //!                        [--out PATH] [--check-digests FILE]
 //! harness verify [name] [--scale paper|quick] [--seed S]
-//!                       [--json PATH] [--sarif PATH]
+//!                       [--json PATH] [--sarif PATH] [--races]
 //! ```
 //!
 //! `bench` runs the named sweeps (default: `fig10 smoke`) and writes a
@@ -19,7 +19,10 @@
 //! recorded trace against the protocol model checker's proven orderings
 //! with the happens-before engine. `ANALYZER_POLICY=off|warn|deny`
 //! overrides each run's pre-flight policy; denied runs are all reported
-//! before the command fails.
+//! before the command fails. `--races` adds the DPOR race cross-check:
+//! every `AN-RACE-*` witness must replay against the model and be
+//! confirmed concurrent by the vector-clock engine, and a dynamic race
+//! in a statically race-free shape fails verification.
 //!
 //! Exit codes: `0` all runs completed and digests (if checked) match;
 //! `1` a proven ordering was violated (`verify`); `2` at least one run
@@ -39,7 +42,7 @@ const USAGE: &str = "usage:
   harness bench [names…] [--scale paper|quick] [--workers N] [--seed S]
                          [--out PATH] [--check-digests FILE]
   harness verify [name] [--scale paper|quick] [--seed S]
-                        [--json PATH] [--sarif PATH]
+                        [--json PATH] [--sarif PATH] [--races]
 
 --horizon-secs caps every run's simulated-time budget (a too-small cap
 truncates the runs; the sweep then exits 2 and marks each record).
@@ -49,7 +52,8 @@ baseline to artifacts/BENCH_<date>.json.
 
 verify executes a sweep (default smoke) and checks every trace against
 the model checker's proven orderings (ANALYZER_POLICY=off|warn|deny
-overrides the per-run pre-flight policy).
+overrides the per-run pre-flight policy); --races adds the DPOR race
+cross-check with witness replay and vector-clock confirmation.
 
 sweeps: fig10, bundle, window, seeds, smoke, jacobi";
 
@@ -177,6 +181,7 @@ struct VerifyArgs {
     seed: u64,
     json: Option<PathBuf>,
     sarif: Option<PathBuf>,
+    races: bool,
 }
 
 fn parse_verify_args(rest: &[String]) -> Result<VerifyArgs, String> {
@@ -186,6 +191,7 @@ fn parse_verify_args(rest: &[String]) -> Result<VerifyArgs, String> {
         seed: 1992,
         json: None,
         sarif: None,
+        races: false,
     };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -204,6 +210,7 @@ fn parse_verify_args(rest: &[String]) -> Result<VerifyArgs, String> {
             }
             "--json" => args.json = Some(PathBuf::from(value()?)),
             "--sarif" => args.sarif = Some(PathBuf::from(value()?)),
+            "--races" => args.races = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             name => args.name = name.to_owned(),
         }
@@ -373,8 +380,8 @@ fn main() -> ExitCode {
                 sweep.name,
                 sweep.runs.len()
             );
-            let report = harness::verify_sweep(&sweep);
-            for r in &report.run_reports {
+            let report = harness::verify_sweep_with(&sweep, args.races);
+            for r in report.run_reports.iter().chain(&report.race_reports) {
                 print!("{}", r.render());
                 println!();
             }
@@ -388,15 +395,21 @@ fn main() -> ExitCode {
                 eprintln!("DENIED: pre-flight policy refused run '{label}'");
             }
 
+            let all_reports: Vec<analyzer::Report> = report
+                .run_reports
+                .iter()
+                .chain(&report.race_reports)
+                .cloned()
+                .collect();
             if let Some(path) = &args.json {
-                if let Err(e) = std::fs::write(path, analyzer::reports_json(&report.run_reports)) {
+                if let Err(e) = std::fs::write(path, analyzer::reports_json(&all_reports)) {
                     eprintln!("harness: cannot write {}: {e}", path.display());
                     return ExitCode::from(64);
                 }
                 eprintln!("JSON written to {}", path.display());
             }
             if let Some(path) = &args.sarif {
-                if let Err(e) = std::fs::write(path, analyzer::sarif(&report.run_reports)) {
+                if let Err(e) = std::fs::write(path, analyzer::sarif(&all_reports)) {
                     eprintln!("harness: cannot write {}: {e}", path.display());
                     return ExitCode::from(64);
                 }
@@ -405,13 +418,19 @@ fn main() -> ExitCode {
 
             match report.exit_code() {
                 0 => eprintln!(
-                    "verified: every proven ordering holds in all {} trace(s)",
-                    report.run_reports.len()
+                    "verified: every proven ordering holds in all {} trace(s){}",
+                    report.run_reports.len(),
+                    if args.races {
+                        " and every race witness cross-checks"
+                    } else {
+                        ""
+                    }
                 ),
                 1 => eprintln!(
-                    "harness: {} happens-before violation(s) — the traces contradict \
-                     the protocol model",
-                    report.violations()
+                    "harness: {} happens-before violation(s), {} race inconsistenc(ies) — \
+                     the traces contradict the protocol model",
+                    report.violations(),
+                    report.race_inconsistencies()
                 ),
                 4 => eprintln!(
                     "harness: pre-flight policy denied {} run(s)",

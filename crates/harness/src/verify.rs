@@ -13,9 +13,20 @@
 //! A run whose pre-flight analysis *denies* execution (policy `deny`)
 //! is recorded and skipped, but verification continues so the final
 //! output lists every denial — not just the first.
+//!
+//! With races enabled ([`verify_sweep_with`], `harness verify
+//! --races`), each executed run additionally gets a race cross-check:
+//! the DPOR explorer runs over the run's communication shape, every
+//! `AN-RACE-*` witness interleaving is replayed against the model and
+//! confirmed concurrent by the vector-clock engine, and the dynamic
+//! trace is reconciled with the static verdict — a recorded
+//! `AN-HB-002` race in a shape the round-robin model proves race-free
+//! is an inconsistency and fails verification.
 
-use analyzer::{validate_orders, Report};
+use analyzer::race::{check_race_model, RaceModel};
+use analyzer::{check_races, validate_orders, Diagnostic, ModelBudget, Report};
 use pipeline::PolicyMode;
+use raysim::config::AppConfig;
 
 use crate::Sweep;
 
@@ -24,6 +35,9 @@ use crate::Sweep;
 pub struct VerifyReport {
     /// One happens-before report per executed run, in sweep order.
     pub run_reports: Vec<Report>,
+    /// One race cross-check report per executed run (empty unless the
+    /// sweep was verified with races enabled).
+    pub race_reports: Vec<Report>,
     /// Labels of runs whose pre-flight analysis refused execution.
     pub denied: Vec<String>,
     /// Labels of runs that did not complete (their traces are still
@@ -37,14 +51,22 @@ impl VerifyReport {
         self.run_reports.iter().map(Report::errors).sum()
     }
 
+    /// Race cross-check failures: a witness that does not replay, a
+    /// witness the vector-clock engine can order, or a dynamic race in
+    /// a statically race-free shape.
+    pub fn race_inconsistencies(&self) -> usize {
+        self.race_reports.iter().map(Report::errors).sum()
+    }
+
     /// Process exit code: `4` when any run was denied by pre-flight
-    /// policy, `1` when any proven ordering was violated, `0` otherwise.
-    /// Truncation alone does not fail verification — the sweep gate owns
-    /// completion; this gate owns ordering.
+    /// policy, `1` when any proven ordering was violated or any race
+    /// cross-check failed, `0` otherwise. Truncation alone does not
+    /// fail verification — the sweep gate owns completion; this gate
+    /// owns ordering.
     pub fn exit_code(&self) -> u8 {
         if !self.denied.is_empty() {
             4
-        } else if self.violations() > 0 {
+        } else if self.violations() + self.race_inconsistencies() > 0 {
             1
         } else {
             0
@@ -58,8 +80,17 @@ impl VerifyReport {
 /// analysis findings are always printed; `ANALYZER_POLICY` overrides
 /// it; the analysis *hook* stays whatever the spec configured.
 pub fn verify_sweep(sweep: &Sweep) -> VerifyReport {
+    verify_sweep_with(sweep, false)
+}
+
+/// [`verify_sweep`] with the race cross-check toggle: when `races` is
+/// set, every executed run's communication shape is explored by the
+/// DPOR race detector and its witnesses reconciled with the run's
+/// recorded trace.
+pub fn verify_sweep_with(sweep: &Sweep, races: bool) -> VerifyReport {
     let mut out = VerifyReport {
         run_reports: Vec::new(),
+        race_reports: Vec::new(),
         denied: Vec::new(),
         truncated: Vec::new(),
     };
@@ -81,10 +112,78 @@ pub fn verify_sweep(sweep: &Sweep) -> VerifyReport {
         }
         let mut report = validate_orders(&run.trace, &run.orders);
         report.subject = format!("{} happens-before", spec.label);
+        if races {
+            out.race_reports
+                .push(race_crosscheck(spec, &report, &run.orders));
+        }
         out.run_reports.push(report);
     }
 
     out
+}
+
+/// The race cross-check for one executed run: explore the run's
+/// communication shape, validate every witness (replay + vector-clock
+/// concurrency — [`check_race_model`] emits an error for a witness
+/// failing either), and reconcile the static verdict with the races
+/// the happens-before engine actually observed in the recorded trace.
+fn race_crosscheck(
+    spec: &crate::RunSpec,
+    hb_report: &Report,
+    orders: &[analyzer::ProvenOrder],
+) -> Report {
+    let budget = ModelBudget::full();
+    let mut report = match spec.version {
+        // The ray tracer's master/servant shape: the preemptive
+        // exploration produces the witnesses worth cross-checking (the
+        // round-robin shape is proven race-free by the pre-flight).
+        Some(version) => {
+            let mut r = check_races(&AppConfig::version(version), &budget, true);
+            r.subject = format!("{} race cross-check (preemptive shape)", spec.label);
+            r
+        }
+        // SPMD workloads (Jacobi): two workers feeding a collector
+        // mailbox under the scope the workload's own orders declare —
+        // per-channel orders suppress the benign cross-worker
+        // interleaving.
+        None => {
+            let scope = pipeline::dominant_scope(orders);
+            let model = RaceModel::spmd_shape(false, scope);
+            let mut r = check_race_model(
+                &model,
+                budget.race_states,
+                &format!("{} race cross-check (SPMD shape)", spec.label),
+            );
+            r.subject = format!("{} race cross-check (SPMD shape)", spec.label);
+            r
+        }
+    };
+
+    // Reconcile static and dynamic: the machine's scheduler is the
+    // non-preemptive round-robin the models prove race-free for every
+    // stock shape — so a concurrent duplicate in the *recorded* trace
+    // contradicts the model and must fail verification.
+    let dynamic_races = hb_report.with_code("AN-HB-002").count();
+    if dynamic_races > 0 {
+        report.push(
+            Diagnostic::error(
+                "AN-RACE-001",
+                format!(
+                    "recorded trace contradicts the race model: {dynamic_races} concurrent \
+                     duplicate(s) (AN-HB-002) observed dynamically in a shape the \
+                     round-robin explorer proves race-free"
+                ),
+            )
+            .help("either the scheduler is not round-robin or the trace is corrupt"),
+        );
+    } else {
+        report.push(Diagnostic::info(
+            "AN-RACE-001",
+            "recorded trace agrees with the race model: no concurrent duplicates observed \
+             dynamically",
+        ));
+    }
+    report
 }
 
 #[cfg(test)]
@@ -150,6 +249,65 @@ mod tests {
                 r.findings
                     .iter()
                     .any(|f| f.message.contains("all proven orderings hold")),
+                "{}",
+                r.render()
+            );
+        }
+    }
+
+    #[test]
+    fn race_crosscheck_confirms_every_witness_on_the_smoke_sweep() {
+        let sweep = sweeps::by_name("smoke", crate::Scale::Quick, 1992).unwrap();
+        let report = verify_sweep_with(&sweep, true);
+        assert_eq!(report.race_reports.len(), report.run_reports.len());
+        assert_eq!(
+            report.race_inconsistencies(),
+            0,
+            "{:#?}",
+            report.race_reports
+        );
+        assert_eq!(report.exit_code(), 0);
+        for r in &report.race_reports {
+            // The preemptive shape always yields at least one witness,
+            // and every witness carries its consistency note.
+            assert!(r.warnings() >= 1, "{}", r.render());
+            assert!(
+                r.findings.iter().any(|f| f
+                    .notes
+                    .iter()
+                    .any(|n| n.contains("confirmed concurrent by the vector-clock"))),
+                "{}",
+                r.render()
+            );
+            // And the recorded trace agreed with the static verdict.
+            assert!(
+                r.findings
+                    .iter()
+                    .any(|f| f.message.contains("recorded trace agrees")),
+                "{}",
+                r.render()
+            );
+        }
+    }
+
+    #[test]
+    fn race_crosscheck_suppresses_the_benign_spmd_interleaving() {
+        let sweep = sweeps::by_name("jacobi", crate::Scale::Quick, 1992).unwrap();
+        let report = verify_sweep_with(&sweep, true);
+        assert_eq!(report.race_reports.len(), report.run_reports.len());
+        assert_eq!(
+            report.race_inconsistencies(),
+            0,
+            "{:#?}",
+            report.race_reports
+        );
+        for r in &report.race_reports {
+            // Jacobi declares per-channel orders: the cross-worker
+            // receive-race at the collector mailbox is observed but
+            // suppressed, so no warning survives.
+            assert_eq!(r.warnings(), 0, "{}", r.render());
+            assert!(
+                r.findings.iter().any(|f| f.message.contains("suppressed")),
                 "{}",
                 r.render()
             );

@@ -55,7 +55,7 @@ pub mod preflight;
 pub mod trace;
 
 pub use job::{ExecOverrides, Job, JobRun};
-pub use order::{OrderEdge, OrderScope};
+pub use order::{dominant_scope, OrderEdge, OrderScope};
 pub use preflight::{
     try_preflight, PolicyMode, Preflight, PreflightDenied, PreflightHook, PreflightSummary,
 };

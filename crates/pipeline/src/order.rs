@@ -41,6 +41,21 @@ pub struct OrderEdge {
     pub scope: OrderScope,
 }
 
+/// The matching scope a set of declared orders implies for race
+/// analysis: [`OrderScope::Global`] as soon as any edge matches
+/// globally (one job id exists once in the whole system, so unordered
+/// sends to one mailbox are a real race), [`OrderScope::PerChannel`]
+/// when every edge — or no edge at all — is per-channel (the SPMD
+/// shape, where cross-sender interleaving at a shared mailbox is the
+/// declared-benign norm).
+pub fn dominant_scope(orders: &[OrderEdge]) -> OrderScope {
+    if orders.iter().any(|o| o.scope == OrderScope::Global) {
+        OrderScope::Global
+    } else {
+        OrderScope::PerChannel
+    }
+}
+
 impl OrderEdge {
     /// A globally matched edge (one job id across the whole system).
     pub const fn global(
