@@ -43,10 +43,12 @@ pub mod digest;
 pub mod engine;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
 pub use engine::EventLoop;
 pub use queue::EventQueue;
 pub use rng::DetRng;
+pub use shard::{ShardStream, ShardedEventLoop};
 pub use time::{SimDuration, SimTime};

@@ -211,22 +211,34 @@ impl<E> EventQueue<E> {
         q
     }
 
-    /// End (exclusive) of the near-future window.
+    /// The raw (unclamped) bucket index for `t`: how many bucket widths
+    /// past the epoch it lies. `NUM_BUCKETS` or more means "beyond the
+    /// near window".
+    ///
+    /// This is deliberately **checked**, not clamped: the previous
+    /// implementation computed a saturating window end and clamped
+    /// beyond-window indices into the last bucket, which is only sound
+    /// while every far-heap event is later than every bucketed event.
+    /// Re-anchoring around a batch wider than the largest representable
+    /// window (events near `u64::MAX` mixed with near-future ones)
+    /// broke that invariant: the clamped far-horizon event popped from
+    /// bucket 511 ahead of earlier events parked in the far heap.
     #[inline]
-    fn window_end(&self) -> u64 {
-        self.epoch
-            .saturating_add((NUM_BUCKETS as u64) << self.shift)
+    fn raw_index(&self, t: u64) -> u64 {
+        (t.saturating_sub(self.epoch)) >> self.shift
     }
 
-    /// The bucket index for `t`, clamped into `[cur, NUM_BUCKETS)`.
+    /// The in-window bucket index for `t`, clamped below to `cur`.
     ///
     /// Times before the current bucket's span (legal: the queue API does
     /// not forbid pushing "into the past") land in the current bucket,
-    /// where within-bucket ordering still pops them first.
+    /// where within-bucket ordering still pops them first. The caller
+    /// guarantees `raw_index(t) < NUM_BUCKETS`.
     #[inline]
     fn bucket_index(&self, t: u64) -> usize {
-        let idx = ((t.saturating_sub(self.epoch)) >> self.shift) as usize;
-        idx.clamp(self.cur, NUM_BUCKETS - 1)
+        let idx = self.raw_index(t) as usize;
+        debug_assert!(idx < NUM_BUCKETS, "beyond-window time routed to a bucket");
+        idx.max(self.cur)
     }
 
     /// Enqueues `event` to fire at `time`.
@@ -239,7 +251,7 @@ impl<E> EventQueue<E> {
         // Beyond the window — or the window is fully consumed
         // (`cur == NUM_BUCKETS`): park in the far heap; the next pop
         // re-anchors the window around it.
-        if t >= self.window_end() || self.cur >= NUM_BUCKETS {
+        if self.cur >= NUM_BUCKETS || self.raw_index(t) >= NUM_BUCKETS as u64 {
             self.far.push(Reverse(entry));
             return;
         }
@@ -295,14 +307,22 @@ impl<E> EventQueue<E> {
         self.epoch = min_t.as_nanos();
         self.cur = 0;
         for e in batch {
-            let idx = self.bucket_index(e.time.as_nanos());
-            self.buckets[idx].push_lazy(e);
+            // A clamped bucket width (shift caps at 40) can leave part
+            // of the batch beyond the widest representable window; those
+            // events go back to the far heap — clamping them into the
+            // last bucket would let them pop ahead of earlier far-heap
+            // events (the far-horizon overflow bug).
+            if self.raw_index(e.time.as_nanos()) >= NUM_BUCKETS as u64 {
+                self.far.push(Reverse(e));
+            } else {
+                let idx = self.bucket_index(e.time.as_nanos());
+                self.buckets[idx].push_lazy(e);
+            }
         }
         // The window may now cover further far events; the invariant
         // (every far event at/beyond the window end) must be restored.
-        let end = self.window_end();
         while let Some(Reverse(e)) = self.far.peek() {
-            if e.time.as_nanos() >= end {
+            if self.raw_index(e.time.as_nanos()) >= NUM_BUCKETS as u64 {
                 break;
             }
             let Reverse(e) = self.far.pop().expect("peeked nonempty heap");
@@ -483,22 +503,64 @@ mod tests {
         }
     }
 
+    /// A far-horizon sentinel (e.g. an "unreachable" timeout near
+    /// `u64::MAX`) must never overtake a much earlier event, even when a
+    /// re-anchor pulls the sentinel into the near window. Before the
+    /// checked-index fix, re-anchoring around a batch wider than the
+    /// largest representable window clamped the sentinel into bucket 511,
+    /// and a later push landing in the far heap popped *after* it.
+    #[test]
+    fn far_horizon_sentinel_does_not_overtake_earlier_events() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::MAX, "sentinel");
+        // Re-anchors around [1s, u64::MAX]: the span exceeds the widest
+        // window (512 buckets × 2^40 ns), so the sentinel must go back to
+        // the far heap, not into the last bucket.
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        // Lands between the window end and the sentinel.
+        q.push(SimTime::from_nanos(1 << 50), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1 << 50), "b")));
+        assert_eq!(q.pop(), Some((SimTime::MAX, "sentinel")));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// FIFO must also survive the boundary itself: equal-timestamp events
+    /// at `u64::MAX` interleaved with near events.
+    #[test]
+    fn equal_time_fifo_at_the_u64_boundary() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::MAX, 0);
+        q.push(SimTime::from_nanos(5), 1);
+        q.push(SimTime::MAX, 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(5), 1)));
+        q.push(SimTime::MAX, 3);
+        assert_eq!(q.pop(), Some((SimTime::MAX, 0)));
+        assert_eq!(q.pop(), Some((SimTime::MAX, 2)));
+        assert_eq!(q.pop(), Some((SimTime::MAX, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
     /// One step of the differential workload driver.
     #[derive(Debug, Clone)]
     enum Op {
         Push(u64),
+        /// Push at an absolute time near the `u64::MAX` horizon.
+        PushFar(u64),
         Pop,
     }
 
     /// Decodes a `(selector, value)` pair into an [`Op`], weighting the
     /// mix the way a simulation behaves: mostly short-delay pushes, some
     /// equal-timestamp bursts, some horizon-spanning far-future pushes,
-    /// and pops from every window state.
+    /// a few far-horizon sentinels near `u64::MAX`, and pops from every
+    /// window state.
     fn op_strategy() -> impl Strategy<Value = Op> {
         (0u8..10, 0u64..10_000_000_000).prop_map(|(sel, v)| match sel {
             0..=3 => Op::Push(v % 5_000),
             4 | 5 => Op::Push(1_000),
             6 => Op::Push(1_000_000 + v % 9_999_000_000),
+            7 => Op::PushFar(u64::MAX - v % 50_000),
             _ => Op::Pop,
         })
     }
@@ -540,7 +602,14 @@ mod tests {
             for (i, op) in ops.iter().enumerate() {
                 match op {
                     Op::Push(delay) => {
-                        let t = SimTime::from_nanos(base + delay);
+                        // Saturating: a popped far-horizon sentinel can
+                        // leave `base` near the u64 ceiling.
+                        let t = SimTime::from_nanos(base.saturating_add(*delay));
+                        calendar.push(t, i);
+                        reference.push(t, i);
+                    }
+                    Op::PushFar(t) => {
+                        let t = SimTime::from_nanos(*t);
                         calendar.push(t, i);
                         reference.push(t, i);
                     }

@@ -1,0 +1,1036 @@
+//! Conservative-lookahead sharded event execution.
+//!
+//! [`ShardedEventLoop`] splits a simulation into `K` shards, each owning
+//! its own calendar [`EventQueue`] and local clock. Shards advance
+//! independently inside a **lookahead window**: every epoch the engine
+//! computes the global minimum next-event time `W` and lets each shard
+//! execute all events in `[W, W + L)` in parallel, where `L` is the
+//! uniform lookahead (for SUPRENUM, the inter-cluster bus latency floor).
+//! Cross-shard sends become timestamped messages buffered in a per-shard
+//! outbox and **released at the barrier** that ends the epoch; because a
+//! send may not arrive earlier than the window end, no message can affect
+//! an event inside the window that produced it — the classic conservative
+//! (YAWNS-style) synchronization argument.
+//!
+//! Determinism is preserved by construction:
+//!
+//! * within a shard, events pop in `(time, seq)` order exactly as in the
+//!   sequential [`EventLoop`](crate::engine::EventLoop);
+//! * at each barrier, buffered messages are merged in `(arrival time,
+//!   source shard, send order)` order before being pushed to their
+//!   destination queues, so the FIFO sequence numbers a destination
+//!   assigns never depend on thread timing.
+//!
+//! Two drive modes are provided:
+//!
+//! * **closed world** ([`ShardedEventLoop::run_bounded`]): the handler
+//!   schedules everything, as with the sequential engine. Used by the
+//!   differential tests that prove the synchronization protocol sound.
+//! * **streaming** ([`ShardStream`]): an external producer (the SUPRENUM
+//!   kernel) generates timestamped events and releases watermarks; each
+//!   shard consumes its queue up to the watermark on its own thread while
+//!   the producer runs ahead. The watermark plays the role of the null
+//!   message: the producer promises never to push an event earlier than
+//!   the last released watermark.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use crate::engine::StopReason;
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A cross-shard message waiting for the end-of-epoch barrier.
+#[derive(Debug)]
+struct Outgoing<E> {
+    time: SimTime,
+    dst: usize,
+    event: E,
+}
+
+/// Per-shard engine state: the shard's calendar queue and local clock.
+#[derive(Debug)]
+struct ShardState<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    steps: u64,
+}
+
+impl<E> ShardState<E> {
+    fn new() -> Self {
+        ShardState {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            steps: 0,
+        }
+    }
+}
+
+/// Handler-side view of one shard during a window.
+///
+/// Mirrors the sequential engine's scheduling API, split into **local**
+/// scheduling (any time at or after `now`) and **cross-shard sends**,
+/// which must respect the lookahead window: a message may not arrive
+/// before [`ShardCtx::window_end`].
+#[derive(Debug)]
+pub struct ShardCtx<'a, E> {
+    shard: usize,
+    num_shards: usize,
+    now: SimTime,
+    window_end: SimTime,
+    lookahead: SimDuration,
+    queue: &'a mut EventQueue<E>,
+    outbox: &'a mut Vec<Outgoing<E>>,
+}
+
+impl<E> ShardCtx<'_, E> {
+    /// The index of the shard this handler invocation runs on.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Total number of shards in the engine.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard-local simulated time of the event being handled.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// End (exclusive) of the current lookahead window. Cross-shard
+    /// messages may not arrive before this instant.
+    pub fn window_end(&self) -> SimTime {
+        self.window_end
+    }
+
+    /// The engine's uniform lookahead.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Schedules `event` on this shard at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the shard's simulated past.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past ({at} < {})",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` on this shard `delay` after the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now + delay` overflows simulated time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E)
+    where
+        E: std::fmt::Debug,
+    {
+        let at = self.now.checked_add(delay).unwrap_or_else(|| {
+            panic!(
+                "scheduling {event:?} at now={} + delay={delay} overflows simulated time",
+                self.now
+            )
+        });
+        self.queue.push(at, event);
+    }
+
+    /// Sends `event` to shard `dst`, arriving at absolute time `at`.
+    ///
+    /// The message is buffered and released at the end-of-epoch barrier;
+    /// all barriers merge messages in `(arrival, source shard, send
+    /// order)` order, so delivery is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or if `at` is earlier than
+    /// [`ShardCtx::window_end`] — a conservative engine cannot accept a
+    /// message into the window that produced it.
+    pub fn send(&mut self, dst: usize, at: SimTime, event: E) {
+        assert!(dst < self.num_shards, "shard {dst} out of range");
+        assert!(
+            at >= self.window_end,
+            "cross-shard send arriving at {at} violates the lookahead window \
+             (window ends at {})",
+            self.window_end
+        );
+        self.outbox.push(Outgoing {
+            time: at,
+            dst,
+            event,
+        });
+    }
+
+    /// Sends `event` to shard `dst`, arriving `delay` after the current
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is shorter than the engine lookahead (the
+    /// conservative contract every cross-shard link must satisfy), or on
+    /// simulated-time overflow.
+    pub fn send_in(&mut self, dst: usize, delay: SimDuration, event: E)
+    where
+        E: std::fmt::Debug,
+    {
+        assert!(
+            delay >= self.lookahead,
+            "cross-shard send with delay {delay} below the lookahead {}",
+            self.lookahead
+        );
+        let at = self.now.checked_add(delay).unwrap_or_else(|| {
+            panic!(
+                "sending {event:?} at now={} + delay={delay} overflows simulated time",
+                self.now
+            )
+        });
+        self.send(dst, at, event);
+    }
+}
+
+/// A conservative-lookahead parallel event loop over `K` shards.
+///
+/// # Examples
+///
+/// ```
+/// use des::shard::ShardedEventLoop;
+/// use des::time::{SimDuration, SimTime};
+///
+/// // Two shards ping-ponging across a 10 µs link.
+/// let lookahead = SimDuration::from_micros(10);
+/// let mut sim: ShardedEventLoop<u32> = ShardedEventLoop::new(2, lookahead);
+/// sim.schedule(0, SimTime::ZERO, 0);
+/// let mut counts = vec![0u32; 2];
+/// sim.run(&mut counts, |count, ctx, _now, hop| {
+///     *count += 1;
+///     if hop < 4 {
+///         ctx.send_in(1 - ctx.shard(), ctx.lookahead(), hop + 1);
+///     }
+/// });
+/// assert_eq!(counts, vec![3, 2]);
+/// ```
+#[derive(Debug)]
+pub struct ShardedEventLoop<E> {
+    shards: Vec<ShardState<E>>,
+    lookahead: SimDuration,
+    epochs: u64,
+    scheduled: u64,
+}
+
+impl<E: Send> ShardedEventLoop<E> {
+    /// Creates an engine with `num_shards` empty shards and the given
+    /// uniform lookahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero or `lookahead` is zero — a
+    /// conservative engine with zero lookahead cannot make progress.
+    pub fn new(num_shards: usize, lookahead: SimDuration) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        assert!(
+            !lookahead.is_zero(),
+            "conservative lookahead must be nonzero"
+        );
+        ShardedEventLoop {
+            shards: (0..num_shards).map(|_| ShardState::new()).collect(),
+            lookahead,
+            epochs: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The engine's uniform lookahead.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Local clock of shard `shard`.
+    pub fn shard_now(&self, shard: usize) -> SimTime {
+        self.shards[shard].now
+    }
+
+    /// Total pending events across all shards.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Total events handled across all shards and all `run*` calls.
+    pub fn steps_handled(&self) -> u64 {
+        self.shards.iter().map(|s| s.steps).sum()
+    }
+
+    /// Total events ever scheduled (including delivered messages).
+    pub fn events_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Number of lookahead windows executed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Schedules `event` on `shard` at absolute time `at` (initial
+    /// population; handlers use [`ShardCtx`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or `at` lies in that shard's
+    /// simulated past.
+    pub fn schedule(&mut self, shard: usize, at: SimTime, event: E) {
+        let s = &mut self.shards[shard];
+        assert!(
+            at >= s.now,
+            "cannot schedule event in the past ({at} < {})",
+            s.now
+        );
+        self.scheduled += 1;
+        s.queue.push(at, event);
+    }
+
+    /// Runs until every shard drains, invoking `handler` for each event.
+    ///
+    /// `states` provides one mutable per-shard state slot (logs,
+    /// accumulators, model state); each shard's handler invocations see
+    /// only that shard's slot, so no locking is needed.
+    pub fn run<S, F>(&mut self, states: &mut [S], handler: F) -> StopReason
+    where
+        S: Send,
+        F: Fn(&mut S, &mut ShardCtx<'_, E>, SimTime, E) + Sync,
+    {
+        self.run_bounded(states, SimTime::MAX, u64::MAX, handler)
+    }
+
+    /// Runs until every shard drains, `horizon` is passed, or the global
+    /// step budget is exhausted.
+    ///
+    /// Semantics match the sequential engine with two caveats inherent to
+    /// windowed execution: the horizon and budget are checked at epoch
+    /// granularity (a shard may finish its window before stopping), and
+    /// the budget is therefore approximate — the engine stops at the
+    /// first epoch boundary at or after `max_steps` total events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` does not provide exactly one slot per shard.
+    pub fn run_bounded<S, F>(
+        &mut self,
+        states: &mut [S],
+        horizon: SimTime,
+        max_steps: u64,
+        handler: F,
+    ) -> StopReason
+    where
+        S: Send,
+        F: Fn(&mut S, &mut ShardCtx<'_, E>, SimTime, E) + Sync,
+    {
+        assert_eq!(
+            states.len(),
+            self.shards.len(),
+            "need exactly one state slot per shard"
+        );
+        let num_shards = self.shards.len();
+        let lookahead = self.lookahead;
+        let mut handled = 0u64;
+        loop {
+            // Barrier-time global view: the earliest pending event
+            // anywhere defines the next window.
+            let window_start = match self.shards.iter().filter_map(|s| s.queue.peek_time()).min() {
+                None => return StopReason::Drained,
+                Some(w) => w,
+            };
+            if window_start > horizon {
+                return StopReason::Horizon;
+            }
+            if handled >= max_steps {
+                return StopReason::StepBudget;
+            }
+            let budget = max_steps - handled;
+            let window_end = window_start.saturating_add(lookahead);
+            // Saturation corner: once every remaining event sits at the
+            // u64 ceiling, `[W, W + L)` is empty and the window must
+            // become inclusive or the engine would spin forever. No send
+            // can target an earlier time, so inclusivity is safe.
+            let inclusive = window_start == SimTime::MAX;
+            self.epochs += 1;
+
+            let active = self
+                .shards
+                .iter()
+                .filter(|s| {
+                    s.queue
+                        .peek_time()
+                        .is_some_and(|t| t <= horizon && (t < window_end || inclusive))
+                })
+                .count();
+
+            // One window: every shard executes `[W, W + L)` against its
+            // own queue; cross-shard sends collect in per-shard outboxes.
+            let results: Vec<(Vec<Outgoing<E>>, u64, bool)> = if active <= 1 {
+                // Nothing to parallelize — run the (at most one) active
+                // shard inline and skip the thread round-trip.
+                self.shards
+                    .iter_mut()
+                    .zip(states.iter_mut())
+                    .enumerate()
+                    .map(|(i, (shard, state))| {
+                        run_window(
+                            shard, state, i, num_shards, window_end, inclusive, horizon, budget,
+                            lookahead, &handler,
+                        )
+                    })
+                    .collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .zip(states.iter_mut())
+                        .enumerate()
+                        .map(|(i, (shard, state))| {
+                            let handler = &handler;
+                            scope.spawn(move || {
+                                run_window(
+                                    shard, state, i, num_shards, window_end, inclusive, horizon,
+                                    budget, lookahead, handler,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard worker panicked"))
+                        .collect()
+                })
+            };
+
+            // Barrier: merge outboxes in (arrival, source shard, send
+            // order) order, so destination FIFO sequence numbers are
+            // independent of thread timing.
+            let mut budget_hit = false;
+            let mut messages: Vec<(SimTime, usize, Outgoing<E>)> = Vec::new();
+            for (src, (outbox, steps, hit)) in results.into_iter().enumerate() {
+                handled += steps;
+                budget_hit |= hit;
+                for msg in outbox {
+                    messages.push((msg.time, src, msg));
+                }
+            }
+            // Stable sort keeps each source's send order for equal keys.
+            messages.sort_by_key(|&(t, src, _)| (t, src));
+            for (_, _, msg) in messages {
+                self.scheduled += 1;
+                self.shards[msg.dst].queue.push(msg.time, msg.event);
+            }
+            if budget_hit {
+                return StopReason::StepBudget;
+            }
+        }
+    }
+}
+
+/// Executes one shard's share of a lookahead window. Returns the shard's
+/// outbox, the number of events it handled, and whether the step budget
+/// was exhausted mid-window.
+#[allow(clippy::too_many_arguments)]
+fn run_window<E, S, F>(
+    shard: &mut ShardState<E>,
+    state: &mut S,
+    index: usize,
+    num_shards: usize,
+    window_end: SimTime,
+    inclusive: bool,
+    horizon: SimTime,
+    budget: u64,
+    lookahead: SimDuration,
+    handler: &F,
+) -> (Vec<Outgoing<E>>, u64, bool)
+where
+    F: Fn(&mut S, &mut ShardCtx<'_, E>, SimTime, E),
+{
+    let mut outbox = Vec::new();
+    let mut steps = 0u64;
+    while let Some(t) = shard.queue.peek_time() {
+        if t > horizon || !(t < window_end || inclusive) {
+            break;
+        }
+        if steps >= budget {
+            return (outbox, steps, true);
+        }
+        let (t, event) = shard.queue.pop().expect("peeked nonempty queue");
+        debug_assert!(t >= shard.now, "shard queue went backwards in time");
+        shard.now = t;
+        shard.steps += 1;
+        steps += 1;
+        let mut ctx = ShardCtx {
+            shard: index,
+            num_shards,
+            now: t,
+            window_end,
+            lookahead,
+            queue: &mut shard.queue,
+            outbox: &mut outbox,
+        };
+        handler(state, &mut ctx, t, event);
+    }
+    (outbox, steps, false)
+}
+
+/// Producer-side message to a streaming shard worker.
+enum StreamMsg<E> {
+    /// A batch of `(time, event)` pairs for the worker's queue.
+    Batch(Vec<(SimTime, E)>),
+    /// Permission to execute every queued event strictly before the
+    /// watermark: the producer promises never to push an earlier event.
+    Release(SimTime),
+}
+
+/// Events buffered per shard before they are flushed to the worker.
+const STREAM_BATCH: usize = 8 * 1024;
+
+/// A streaming sharded executor: long-lived worker threads consume
+/// per-shard event streams up to producer-released watermarks.
+///
+/// This is the engine mode the measurement pipeline uses: the SUPRENUM
+/// kernel (the producer) stays sequential and authoritative over
+/// simulated time, while the monitoring plane's expansion/detection work
+/// executes on the shard workers, overlapped with the kernel via
+/// watermark epochs. The watermark is the conservative lookahead bound:
+/// [`ShardStream::push`] rejects events earlier than the last released
+/// watermark, exactly as a conservative engine rejects a message into a
+/// closed window.
+///
+/// # Examples
+///
+/// ```
+/// use des::shard::ShardStream;
+/// use des::time::SimTime;
+///
+/// let mut stream: ShardStream<u64, Vec<u64>> =
+///     ShardStream::spawn(vec![Vec::new(), Vec::new()], |log, _shard, _t, v| log.push(v));
+/// stream.push(0, SimTime::from_nanos(5), 50);
+/// stream.push(1, SimTime::from_nanos(3), 30);
+/// stream.release(SimTime::from_nanos(10));
+/// let logs = stream.finish();
+/// assert_eq!(logs, vec![vec![50], vec![30]]);
+/// ```
+pub struct ShardStream<E, S> {
+    senders: Vec<mpsc::Sender<StreamMsg<E>>>,
+    workers: Vec<JoinHandle<S>>,
+    pending: Vec<Vec<(SimTime, E)>>,
+    watermark: SimTime,
+    pushed: u64,
+}
+
+impl<E, S> std::fmt::Debug for ShardStream<E, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardStream")
+            .field("num_shards", &self.senders.len())
+            .field("watermark", &self.watermark)
+            .field("pushed", &self.pushed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E, S> ShardStream<E, S>
+where
+    E: Send + 'static,
+    S: Send + 'static,
+{
+    /// Spawns one worker thread per state slot. Each worker owns its
+    /// state and its calendar [`EventQueue`]; `handler` runs on the
+    /// worker thread for every released event, in `(time, push order)`
+    /// order within the shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty.
+    pub fn spawn<F>(states: Vec<S>, handler: F) -> Self
+    where
+        F: Fn(&mut S, usize, SimTime, E) + Send + Sync + 'static,
+    {
+        assert!(!states.is_empty(), "need at least one shard");
+        let handler = std::sync::Arc::new(handler);
+        let mut senders = Vec::with_capacity(states.len());
+        let mut workers = Vec::with_capacity(states.len());
+        let num_shards = states.len();
+        for (index, mut state) in states.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<StreamMsg<E>>();
+            let handler = handler.clone();
+            let builder = std::thread::Builder::new().name(format!("shard-{index}/{num_shards}"));
+            let handle = builder
+                .spawn(move || {
+                    let mut queue: EventQueue<E> = EventQueue::new();
+                    let run_to = |queue: &mut EventQueue<E>,
+                                  state: &mut S,
+                                  watermark: SimTime,
+                                  inclusive: bool| {
+                        while let Some(t) = queue.peek_time() {
+                            if !(t < watermark || inclusive) {
+                                break;
+                            }
+                            let (t, event) = queue.pop().expect("peeked nonempty queue");
+                            handler(state, index, t, event);
+                        }
+                    };
+                    for msg in rx {
+                        match msg {
+                            StreamMsg::Batch(batch) => {
+                                for (t, event) in batch {
+                                    queue.push(t, event);
+                                }
+                            }
+                            StreamMsg::Release(w) => {
+                                run_to(&mut queue, &mut state, w, w == SimTime::MAX);
+                            }
+                        }
+                    }
+                    // Producer hung up: everything still queued is final.
+                    run_to(&mut queue, &mut state, SimTime::MAX, true);
+                    state
+                })
+                .expect("spawn shard worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        ShardStream {
+            senders,
+            workers,
+            pending: (0..num_shards).map(|_| Vec::new()).collect(),
+            watermark: SimTime::ZERO,
+            pushed: 0,
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The last released watermark.
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Total events pushed so far.
+    pub fn events_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Queues `event` for `shard` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range, or if `at` is earlier than the
+    /// current watermark — the producer contract (a conservative
+    /// lookahead bound) forbids pushing into a released window.
+    pub fn push(&mut self, shard: usize, at: SimTime, event: E) {
+        assert!(
+            at >= self.watermark,
+            "push at {at} violates the released watermark {}",
+            self.watermark
+        );
+        self.pushed += 1;
+        let buf = &mut self.pending[shard];
+        buf.push((at, event));
+        if buf.len() >= STREAM_BATCH {
+            let batch = std::mem::take(buf);
+            self.send(shard, StreamMsg::Batch(batch));
+        }
+    }
+
+    /// Flushes buffered events and releases `watermark`: every shard may
+    /// now execute all queued events strictly before it. Watermarks must
+    /// be non-decreasing.
+    pub fn release(&mut self, watermark: SimTime) {
+        assert!(
+            watermark >= self.watermark,
+            "watermark went backwards ({watermark} < {})",
+            self.watermark
+        );
+        self.watermark = watermark;
+        for shard in 0..self.senders.len() {
+            if !self.pending[shard].is_empty() {
+                let batch = std::mem::take(&mut self.pending[shard]);
+                self.send(shard, StreamMsg::Batch(batch));
+            }
+            self.send(shard, StreamMsg::Release(watermark));
+        }
+    }
+
+    /// Flushes remaining events, waits for every worker to drain, and
+    /// returns the per-shard states.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic that occurred on a worker thread.
+    pub fn finish(mut self) -> Vec<S> {
+        for shard in 0..self.senders.len() {
+            if !self.pending[shard].is_empty() {
+                let batch = std::mem::take(&mut self.pending[shard]);
+                self.send(shard, StreamMsg::Batch(batch));
+            }
+        }
+        drop(std::mem::take(&mut self.senders));
+        self.workers
+            .drain(..)
+            .map(|h| match h.join() {
+                Ok(state) => state,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    }
+
+    /// Sends to a worker, surfacing the worker's own panic if it died.
+    fn send(&mut self, shard: usize, msg: StreamMsg<E>) {
+        if self.senders[shard].send(msg).is_err() {
+            // The worker can only have exited by panicking (it never
+            // returns while its receiver is alive); join to re-raise the
+            // real panic instead of a bare SendError.
+            let handle = self.workers.remove(shard);
+            match handle.join() {
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(_) => unreachable!("shard worker exited with its channel open"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EventLoop;
+    use proptest::prelude::*;
+
+    /// A deterministic toy protocol shared by the sequential oracle and
+    /// the sharded engine: each event carries a unique id; the handler
+    /// derives follow-up work purely from `(id, shard)`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Ev {
+        id: u64,
+        hops: u8,
+    }
+
+    /// Pure derivation of the follow-up actions for an event. Times are
+    /// id-salted so every event in a run has a distinct timestamp, which
+    /// makes the sequential/sharded comparison exact (no cross-engine
+    /// tie-break ambiguity; FIFO ties are covered by the directed tests).
+    fn follow_ups(ev: Ev, shard: usize, num_shards: usize) -> Vec<(usize, SimDuration, Ev)> {
+        if ev.hops == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let next = Ev {
+            id: ev.id * 7 + 1,
+            hops: ev.hops - 1,
+        };
+        // A local follow-up with an id-salted short delay.
+        out.push((shard, SimDuration::from_nanos(1 + (ev.id % 977)), next));
+        if num_shards > 1 && ev.id.is_multiple_of(3) {
+            let dst = (shard + 1 + (ev.id as usize % (num_shards - 1))) % num_shards;
+            let remote = Ev {
+                id: ev.id * 7 + 2,
+                hops: ev.hops - 1,
+            };
+            out.push((
+                dst,
+                LOOKAHEAD + SimDuration::from_nanos(ev.id % 977),
+                remote,
+            ));
+        }
+        out
+    }
+
+    const LOOKAHEAD: SimDuration = SimDuration::from_micros(10);
+
+    /// Runs the toy protocol on the sequential engine, tagging events
+    /// with their logical shard. Returns the per-shard execution logs.
+    fn run_sequential(num_shards: usize, seeds: &[(usize, u64, Ev)]) -> Vec<Vec<(u64, Ev)>> {
+        let mut sim: EventLoop<(usize, Ev)> = EventLoop::new();
+        for &(shard, at, ev) in seeds {
+            sim.schedule(SimTime::from_nanos(at), (shard, ev));
+        }
+        let mut logs = vec![Vec::new(); num_shards];
+        sim.run(|sim, now, (shard, ev)| {
+            logs[shard].push((now.as_nanos(), ev));
+            for (dst, delay, next) in follow_ups(ev, shard, num_shards) {
+                sim.schedule(now + delay, (dst, next));
+            }
+        });
+        logs
+    }
+
+    /// Runs the same protocol on the sharded engine.
+    fn run_sharded(num_shards: usize, seeds: &[(usize, u64, Ev)]) -> Vec<Vec<(u64, Ev)>> {
+        let mut sim: ShardedEventLoop<Ev> = ShardedEventLoop::new(num_shards, LOOKAHEAD);
+        for &(shard, at, ev) in seeds {
+            sim.schedule(shard, SimTime::from_nanos(at), ev);
+        }
+        let mut logs: Vec<Vec<(u64, Ev)>> = vec![Vec::new(); num_shards];
+        let reason = sim.run(&mut logs, |log, ctx, now, ev| {
+            log.push((now.as_nanos(), ev));
+            for (dst, delay, next) in follow_ups(ev, ctx.shard(), ctx.num_shards()) {
+                if dst == ctx.shard() {
+                    ctx.schedule_in(delay, next);
+                } else {
+                    ctx.send_in(dst, delay, next);
+                }
+            }
+        });
+        assert_eq!(reason, StopReason::Drained);
+        logs
+    }
+
+    #[test]
+    fn single_shard_matches_sequential_engine_exactly() {
+        let seeds = [
+            (0, 0, Ev { id: 1, hops: 6 }),
+            (0, 500, Ev { id: 2, hops: 5 }),
+        ];
+        assert_eq!(run_sequential(1, &seeds), run_sharded(1, &seeds));
+    }
+
+    #[test]
+    fn ping_pong_respects_lookahead() {
+        let mut sim: ShardedEventLoop<u32> = ShardedEventLoop::new(2, LOOKAHEAD);
+        sim.schedule(0, SimTime::ZERO, 0);
+        let mut logs: Vec<Vec<(u64, u32)>> = vec![Vec::new(); 2];
+        sim.run(&mut logs, |log, ctx, now, hop| {
+            log.push((now.as_nanos(), hop));
+            if hop < 5 {
+                ctx.send_in(1 - ctx.shard(), ctx.lookahead(), hop + 1);
+            }
+        });
+        let l = LOOKAHEAD.as_nanos();
+        assert_eq!(logs[0], vec![(0, 0), (2 * l, 2), (4 * l, 4)]);
+        assert_eq!(logs[1], vec![(l, 1), (3 * l, 3), (5 * l, 5)]);
+        // Each hop needs its own window: 6 events, 6 epochs.
+        assert_eq!(sim.epochs(), 6);
+        assert_eq!(sim.steps_handled(), 6);
+    }
+
+    /// The directed boundary case from the issue: a cross-shard message
+    /// arriving **exactly at the lookahead-window end** must not execute
+    /// in the window that produced it, and must merge FIFO-after local
+    /// events already queued at the same instant.
+    #[test]
+    fn message_on_window_boundary_lands_in_next_epoch() {
+        let l = LOOKAHEAD.as_nanos();
+        let mut sim: ShardedEventLoop<&'static str> = ShardedEventLoop::new(2, LOOKAHEAD);
+        sim.schedule(0, SimTime::ZERO, "sender");
+        // Shard 1 has a local event just inside the first window and one
+        // exactly at its end, queued before the message arrives.
+        sim.schedule(1, SimTime::from_nanos(l - 1), "local-inside");
+        sim.schedule(1, SimTime::from_nanos(l), "local-at-boundary");
+        let mut logs: Vec<Vec<(u64, &'static str)>> = vec![Vec::new(); 2];
+        sim.run(&mut logs, |log, ctx, now, ev| {
+            log.push((now.as_nanos(), ev));
+            if ev == "sender" {
+                // Arrival == window_end: legal, and released at the
+                // barrier into the *next* window.
+                let boundary = ctx.window_end();
+                assert_eq!(boundary.as_nanos(), l);
+                ctx.send(1, boundary, "message-at-boundary");
+            }
+        });
+        assert_eq!(logs[0], vec![(0, "sender")]);
+        // The message ties with "local-at-boundary" at t = L; barrier
+        // merge assigns its FIFO sequence after the already-queued local
+        // event, deterministically.
+        assert_eq!(
+            logs[1],
+            vec![
+                (l - 1, "local-inside"),
+                (l, "local-at-boundary"),
+                (l, "message-at-boundary"),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "violates the lookahead window")]
+    fn send_inside_window_panics() {
+        let mut sim: ShardedEventLoop<u8> = ShardedEventLoop::new(2, LOOKAHEAD);
+        sim.schedule(0, SimTime::ZERO, 0);
+        sim.run(&mut [(), ()], |_, ctx, now, _| {
+            ctx.send(1, now, 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "below the lookahead")]
+    fn send_in_below_lookahead_panics() {
+        let mut sim: ShardedEventLoop<u8> = ShardedEventLoop::new(2, LOOKAHEAD);
+        sim.schedule(0, SimTime::ZERO, 0);
+        sim.run(&mut [(), ()], |_, ctx, _, _| {
+            ctx.send_in(1, SimDuration::from_nanos(1), 1);
+        });
+    }
+
+    #[test]
+    fn horizon_stops_at_epoch_boundary() {
+        let mut sim: ShardedEventLoop<u32> = ShardedEventLoop::new(2, LOOKAHEAD);
+        sim.schedule(0, SimTime::from_nanos(1), 1);
+        sim.schedule(1, SimTime::from_secs(5), 2);
+        let mut logs: Vec<Vec<u32>> = vec![Vec::new(); 2];
+        let reason = sim.run_bounded(
+            &mut logs,
+            SimTime::from_secs(1),
+            u64::MAX,
+            |log, _, _, v| log.push(v),
+        );
+        assert_eq!(reason, StopReason::Horizon);
+        assert_eq!(logs, vec![vec![1], Vec::new()]);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn step_budget_detects_livelock() {
+        let mut sim: ShardedEventLoop<()> = ShardedEventLoop::new(2, LOOKAHEAD);
+        sim.schedule(0, SimTime::ZERO, ());
+        let reason = sim.run_bounded(&mut [(), ()], SimTime::MAX, 1000, |_, ctx, now, ()| {
+            ctx.schedule(now, ());
+        });
+        assert_eq!(reason, StopReason::StepBudget);
+    }
+
+    #[test]
+    fn saturated_window_still_drains() {
+        // All events at the u64 ceiling: [W, W + L) saturates empty; the
+        // inclusive corner must still execute them.
+        let mut sim: ShardedEventLoop<u8> = ShardedEventLoop::new(2, LOOKAHEAD);
+        sim.schedule(0, SimTime::MAX, 1);
+        sim.schedule(1, SimTime::MAX, 2);
+        let mut logs: Vec<Vec<u8>> = vec![Vec::new(); 2];
+        let reason = sim.run(&mut logs, |log, _, _, v| log.push(v));
+        assert_eq!(reason, StopReason::Drained);
+        assert_eq!(logs, vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn stream_processes_in_time_order_within_shard() {
+        let mut stream: ShardStream<u32, Vec<(u64, u32)>> =
+            ShardStream::spawn(vec![Vec::new()], |log, _, t, v| log.push((t.as_nanos(), v)));
+        stream.push(0, SimTime::from_nanos(30), 3);
+        stream.push(0, SimTime::from_nanos(10), 1);
+        stream.push(0, SimTime::from_nanos(20), 2);
+        // Only events strictly before the watermark run.
+        stream.release(SimTime::from_nanos(25));
+        stream.push(0, SimTime::from_nanos(40), 4);
+        let logs = stream.finish();
+        assert_eq!(logs[0], vec![(10, 1), (20, 2), (30, 3), (40, 4)]);
+    }
+
+    #[test]
+    fn stream_fifo_for_equal_times() {
+        let mut stream: ShardStream<u32, Vec<u32>> =
+            ShardStream::spawn(vec![Vec::new()], |log, _, _, v| log.push(v));
+        for v in 0..100 {
+            stream.push(0, SimTime::from_nanos(5), v);
+        }
+        let logs = stream.finish();
+        assert_eq!(logs[0], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "violates the released watermark")]
+    fn stream_push_below_watermark_panics() {
+        let mut stream: ShardStream<u32, ()> = ShardStream::spawn(vec![()], |_, _, _, _| {});
+        stream.release(SimTime::from_nanos(100));
+        stream.push(0, SimTime::from_nanos(50), 1);
+    }
+
+    #[test]
+    fn stream_worker_panic_surfaces_at_finish() {
+        let mut stream: ShardStream<u32, ()> = ShardStream::spawn(vec![()], |_, _, _, v| {
+            assert!(v != 7, "poison event");
+        });
+        stream.push(0, SimTime::from_nanos(1), 7);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| stream.finish()));
+        assert!(result.is_err());
+    }
+
+    proptest! {
+        /// For arbitrary seed workloads, every shard's execution log on
+        /// the sharded engine is identical to the same logical process's
+        /// log under the sequential oracle.
+        #[test]
+        fn sharded_matches_sequential_oracle(
+            num_shards in 1usize..5,
+            seeds in proptest::collection::vec((0usize..5, 0u64..1_000_000, 1u64..1000, 0u8..5), 1..12),
+        ) {
+            let seeds: Vec<(usize, u64, Ev)> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, &(shard, at, id, hops))| {
+                    // Unique ids and id-salted times keep timestamps
+                    // distinct across the whole cascade.
+                    (shard % num_shards, at, Ev { id: id * 1000 + i as u64, hops })
+                })
+                .collect();
+            let seq = run_sequential(num_shards, &seeds);
+            let sharded = run_sharded(num_shards, &seeds);
+            prop_assert_eq!(seq, sharded);
+        }
+
+        /// The sharded engine is deterministic: two runs of the same
+        /// workload produce identical logs, regardless of thread timing.
+        #[test]
+        fn sharded_runs_are_reproducible(
+            num_shards in 2usize..5,
+            seeds in proptest::collection::vec((0usize..5, 0u64..1_000_000, 1u64..1000, 0u8..5), 1..12),
+        ) {
+            let seeds: Vec<(usize, u64, Ev)> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, &(shard, at, id, hops))| {
+                    (shard % num_shards, at, Ev { id: id * 1000 + i as u64, hops })
+                })
+                .collect();
+            prop_assert_eq!(run_sharded(num_shards, &seeds), run_sharded(num_shards, &seeds));
+        }
+
+        /// Streaming mode: per-shard logs equal a per-shard (time, push
+        /// order) sort of the pushed events, for arbitrary push/release
+        /// interleavings.
+        #[test]
+        fn stream_matches_sorted_reference(
+            num_shards in 1usize..4,
+            ops in proptest::collection::vec((0usize..4, 0u64..10_000, 0u8..4), 0..200),
+        ) {
+            let mut stream: ShardStream<usize, Vec<(u64, usize)>> = ShardStream::spawn(
+                (0..num_shards).map(|_| Vec::new()).collect(),
+                |log, _, t, v| log.push((t.as_nanos(), v)),
+            );
+            let mut reference: Vec<Vec<(u64, usize)>> = vec![Vec::new(); num_shards];
+            let mut watermark = 0u64;
+            for (i, &(shard, t, sel)) in ops.iter().enumerate() {
+                let shard = shard % num_shards;
+                let t = watermark + t; // respect the producer contract
+                stream.push(shard, SimTime::from_nanos(t), i);
+                reference[shard].push((t, i));
+                if sel == 0 {
+                    watermark = t;
+                    stream.release(SimTime::from_nanos(watermark));
+                }
+            }
+            let logs = stream.finish();
+            for shard in 0..num_shards {
+                // Stable sort by time = (time, push order).
+                reference[shard].sort_by_key(|&(t, _)| t);
+                prop_assert_eq!(&logs[shard], &reference[shard]);
+            }
+        }
+    }
+}

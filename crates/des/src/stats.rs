@@ -272,7 +272,11 @@ impl TimeWeighted {
 
     /// Returns the time-weighted mean over `[start, end]`.
     ///
-    /// Returns 0.0 for an empty window.
+    /// A zero-length window (`end <= start`) has integrated nothing and
+    /// reports 0.0 — the division by
+    /// `end.saturating_since(self.start)` is guarded so an empty or
+    /// instantaneous window can never surface as `0.0 / 0.0 = NaN` in
+    /// derived statistics (run-record utilization fields in particular).
     pub fn mean(&self, end: SimTime) -> f64 {
         let window = end.saturating_since(self.start).as_secs_f64();
         if window <= 0.0 {
@@ -381,5 +385,20 @@ mod tests {
     fn time_weighted_empty_window() {
         let u = TimeWeighted::new(SimTime::from_secs(5), 1.0);
         assert_eq!(u.mean(SimTime::from_secs(5)), 0.0);
+    }
+
+    /// Empty and instantaneous windows must yield finite statistics —
+    /// 0.0, never `0/0 = NaN` — including after value changes landed
+    /// exactly on the window boundary, and for a window queried in the
+    /// (saturating) past.
+    #[test]
+    fn time_weighted_instantaneous_window_is_finite() {
+        let mut u = TimeWeighted::new(SimTime::from_secs(5), 1.0);
+        u.set(SimTime::from_secs(5), 3.0); // change at the boundary itself
+        let m = u.mean(SimTime::from_secs(5));
+        assert!(m.is_finite());
+        assert_eq!(m, 0.0);
+        assert_eq!(u.mean(SimTime::from_secs(1)), 0.0); // end before start
+        assert_eq!(u.integral(SimTime::from_secs(5)), 0.0);
     }
 }

@@ -48,6 +48,55 @@ pub mod verify;
 pub use sweeps::Scale;
 pub use verify::{verify_sweep, verify_sweep_with, VerifyReport};
 
+/// Version of the JSON artifact schema this harness writes (sweep
+/// artifacts and bench baselines alike). Bumped whenever a field is
+/// added, removed, or changes meaning; artifacts from different schema
+/// versions must never be compared — see [`artifact_schema_version`].
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// Extracts the `schema_version` field from an artifact's JSON text.
+///
+/// # Errors
+///
+/// Returns a message when the field is absent or malformed — such a
+/// file is not a harness artifact at all.
+pub fn artifact_schema_version(json_text: &str) -> Result<u64, String> {
+    let key = "\"schema_version\":";
+    let at = json_text
+        .find(key)
+        .ok_or_else(|| "artifact has no schema_version field".to_owned())?;
+    let rest = json_text[at + key.len()..].trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits
+        .parse()
+        .map_err(|_| "artifact schema_version is not a number".to_owned())
+}
+
+/// Refuses a comparison between this harness and an artifact written at
+/// a different schema version.
+///
+/// Fields change meaning across schemas (schema 4 made `wall_ms`
+/// engine-only, for instance), so comparing across versions silently
+/// produces nonsense; a hard error with a regeneration hint is better.
+///
+/// # Errors
+///
+/// Returns a clear, actionable message when `json_text` was written at
+/// a schema other than [`SCHEMA_VERSION`] (or is not an artifact).
+pub fn check_artifact_schema(json_text: &str, what: &str) -> Result<(), String> {
+    let found = artifact_schema_version(json_text).map_err(|e| format!("{what}: {e}"))?;
+    if found == SCHEMA_VERSION {
+        Ok(())
+    } else {
+        Err(format!(
+            "{what} was written at schema_version {found}, but this harness writes \
+             schema_version {SCHEMA_VERSION} — comparing across schemas is meaningless \
+             (fields were added or changed meaning); regenerate the artifact with the \
+             current binary"
+        ))
+    }
+}
+
 /// One configured run inside a sweep.
 #[derive(Debug, Clone)]
 pub struct RunSpec {
@@ -99,15 +148,26 @@ pub struct RunRecord {
     pub truncated: bool,
     /// Final simulated time, nanoseconds.
     pub sim_end_ns: u64,
-    /// Host wall-clock time of this run, milliseconds. Informational
-    /// only: never part of the digest.
+    /// Host wall-clock time of the simulation engine (and monitor
+    /// plane), milliseconds — pre-flight analysis excluded, see
+    /// [`analysis_ms`](Self::analysis_ms). Informational only: never
+    /// part of the digest.
     pub wall_ms: f64,
+    /// Host wall-clock time the pre-flight analysis took, milliseconds.
+    /// Reported separately so engine throughput is not diluted by a
+    /// run-independent static-analysis cost. Informational only.
+    pub analysis_ms: f64,
     /// Kernel events the simulation loop processed.
     pub events_processed: u64,
-    /// Event-loop throughput: `events_processed` per wall-clock second.
-    /// Host-dependent and informational only — never part of the
-    /// digest; the benchmark baseline compares this across commits.
+    /// Event-loop throughput: `events_processed` per engine wall-clock
+    /// second (`wall_ms`). Host-dependent and informational only — never
+    /// part of the digest; the benchmark baseline compares this across
+    /// commits.
     pub events_per_sec: f64,
+    /// Monitor-shard count the run executed with. Sharding is
+    /// behaviourally invisible — digests are bit-identical for any
+    /// count — so this only contextualizes the wall-clock numbers.
+    pub shards: usize,
     /// Events in the merged monitoring trace.
     pub trace_events: usize,
     /// FNV-1a digest over the merged trace and the run outcome,
@@ -143,6 +203,125 @@ pub struct SweepReport {
     pub records: Vec<RunRecord>,
 }
 
+/// One run's comparison-relevant fields, read back from a written
+/// artifact (sweep or bench — bench baselines embed sweep reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactRun {
+    /// The run's row label (unique within an artifact).
+    pub label: String,
+    /// The run's trace digest — must match across artifacts of the same
+    /// configuration, or the comparison is meaningless.
+    pub trace_digest: String,
+    /// Engine throughput, events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Engine wall time, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Reads the per-run rows back out of an artifact's JSON text.
+///
+/// The artifact writer emits exactly one field per line and every run
+/// object opens with its `label` field, so a line-oriented scan
+/// suffices — no general JSON parser is vendored for this.
+pub fn parse_artifact_runs(json_text: &str) -> Vec<ArtifactRun> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let rest = line.trim_start().strip_prefix(&format!("\"{key}\": "))?;
+        Some(rest.trim_end_matches(','))
+    }
+    fn str_value(raw: &str) -> String {
+        raw.trim_matches('"').to_owned()
+    }
+
+    let mut runs: Vec<ArtifactRun> = Vec::new();
+    for line in json_text.lines() {
+        if let Some(raw) = field(line, "label") {
+            runs.push(ArtifactRun {
+                label: str_value(raw),
+                trace_digest: String::new(),
+                events_per_sec: 0.0,
+                wall_ms: 0.0,
+            });
+        } else if let Some(run) = runs.last_mut() {
+            if let Some(raw) = field(line, "trace_digest") {
+                run.trace_digest = str_value(raw);
+            } else if let Some(raw) = field(line, "events_per_sec") {
+                run.events_per_sec = raw.parse().unwrap_or(0.0);
+            } else if let Some(raw) = field(line, "wall_ms") {
+                run.wall_ms = raw.parse().unwrap_or(0.0);
+            }
+        }
+    }
+    runs
+}
+
+/// Compares two artifacts run by run: digests must match (same
+/// simulated behaviour), then throughput is contrasted.
+///
+/// Both artifacts must carry the current [`SCHEMA_VERSION`] — fields
+/// changed meaning across schemas, so cross-schema comparison is
+/// refused outright rather than producing silently wrong deltas.
+///
+/// # Errors
+///
+/// One message per problem: schema mismatch, run present in only one
+/// artifact, or digest divergence.
+pub fn compare_artifacts(baseline: &str, candidate: &str) -> Result<String, Vec<String>> {
+    let mut errors = Vec::new();
+    if let Err(e) = check_artifact_schema(baseline, "baseline") {
+        errors.push(e);
+    }
+    if let Err(e) = check_artifact_schema(candidate, "candidate") {
+        errors.push(e);
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+
+    let base_runs = parse_artifact_runs(baseline);
+    let cand_runs = parse_artifact_runs(candidate);
+    let mut rows = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        rows,
+        "{:<14} {:>14} {:>14} {:>8}",
+        "run", "base ev/s", "cand ev/s", "speedup"
+    );
+    for b in &base_runs {
+        let Some(c) = cand_runs.iter().find(|c| c.label == b.label) else {
+            errors.push(format!("run '{}' is missing from the candidate", b.label));
+            continue;
+        };
+        if b.trace_digest != c.trace_digest {
+            errors.push(format!(
+                "run '{}' digest {} != baseline {} — different simulated behaviour, \
+                 throughput comparison is invalid",
+                b.label, c.trace_digest, b.trace_digest
+            ));
+            continue;
+        }
+        let speedup = if b.events_per_sec > 0.0 {
+            c.events_per_sec / b.events_per_sec
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            rows,
+            "{:<14} {:>14.0} {:>14.0} {:>7.2}x",
+            b.label, b.events_per_sec, c.events_per_sec, speedup
+        );
+    }
+    for c in &cand_runs {
+        if !base_runs.iter().any(|b| b.label == c.label) {
+            errors.push(format!("run '{}' is missing from the baseline", c.label));
+        }
+    }
+    if errors.is_empty() {
+        Ok(rows)
+    } else {
+        Err(errors)
+    }
+}
+
 /// The digest of a run: every merged trace event plus the outcome.
 /// Wall-clock time and host-side derived floats are deliberately
 /// excluded — the digest must depend only on simulated behaviour.
@@ -170,7 +349,12 @@ pub fn trace_digest(trace: &Trace, end_ns: u64, reason: RunEnd, events: u64) -> 
 pub fn execute(spec: &RunSpec) -> RunRecord {
     let started = Instant::now();
     let run = spec.job.run();
-    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let analysis_ms = run.analysis.as_secs_f64() * 1e3;
+    // Engine time: the pre-flight analyzer runs once per configuration
+    // regardless of scene scale, so folding it into throughput would
+    // punish short runs and mask engine regressions.
+    let wall_ms = (total_ms - analysis_ms).max(0.0);
 
     RunRecord {
         label: spec.label.clone(),
@@ -181,12 +365,14 @@ pub fn execute(spec: &RunSpec) -> RunRecord {
         truncated: run.outcome.truncated(),
         sim_end_ns: run.outcome.end.as_nanos(),
         wall_ms,
+        analysis_ms,
         events_processed: run.outcome.events,
         events_per_sec: if wall_ms > 0.0 {
             run.outcome.events as f64 / (wall_ms / 1e3)
         } else {
             0.0
         },
+        shards: run.shards,
         trace_events: run.trace.len(),
         trace_digest: trace_digest(
             &run.trace,
@@ -308,8 +494,10 @@ impl SweepReport {
                     .bool("truncated", r.truncated)
                     .u64("sim_end_ns", r.sim_end_ns)
                     .f64("wall_ms", r.wall_ms)
+                    .f64("analysis_ms", r.analysis_ms)
                     .u64("events_processed", r.events_processed)
                     .f64("events_per_sec", r.events_per_sec)
+                    .u64("shards", r.shards as u64)
                     .u64("trace_events", r.trace_events as u64)
                     .str("trace_digest", &r.trace_digest)
                     .u64("work_units", r.work_units)
@@ -325,10 +513,13 @@ impl SweepReport {
             })
             .collect();
 
-        // Schema 3: run objects gained "workload" and renamed
-        // "jobs_sent" to the workload-agnostic "work_units".
+        // Schema 4: run objects gained "shards" and "analysis_ms", and
+        // "wall_ms"/"events_per_sec" became engine-only (pre-flight
+        // analysis time excluded). Schema 3: run objects gained
+        // "workload" and renamed "jobs_sent" to the workload-agnostic
+        // "work_units".
         let mut root = json::JsonObject::new();
-        root.u64("schema_version", 3)
+        root.u64("schema_version", SCHEMA_VERSION)
             .str("sweep", &self.sweep)
             .u64("workers", self.workers as u64)
             .bool("all_completed", self.truncated_runs().is_empty())
@@ -513,7 +704,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let sweeps: Vec<String> = self.reports.iter().map(|r| r.json_at(1)).collect();
         let mut root = json::JsonObject::new();
-        root.u64("schema_version", 3)
+        root.u64("schema_version", SCHEMA_VERSION)
             .str("kind", "bench")
             .str("date", &self.date)
             .raw("sweeps", json::array(&sweeps, 1));
@@ -693,6 +884,97 @@ mod tests {
         assert_eq!(errs.len(), 2);
         assert!(errs[0].contains("digest"));
         assert!(errs[1].contains("ghost"));
+    }
+
+    #[test]
+    fn record_separates_engine_and_analysis_time() {
+        let rec = execute(&tiny_spec("t", 7, 600_000));
+        assert_eq!(rec.shards, 1);
+        assert!(rec.analysis_ms >= 0.0);
+        assert!(rec.wall_ms >= 0.0);
+        assert!(rec.events_per_sec > 0.0);
+        let report = run_sweep(
+            &Sweep {
+                name: "t".into(),
+                runs: vec![tiny_spec("t", 7, 600_000)],
+            },
+            1,
+        );
+        let json = report.to_json();
+        assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(json.contains("\"analysis_ms\""));
+        assert!(json.contains("\"shards\": 1"));
+    }
+
+    #[test]
+    fn artifact_roundtrip_and_self_compare() {
+        let report = run_sweep(
+            &Sweep {
+                name: "rt".into(),
+                runs: vec![tiny_spec("a", 1, 600_000), tiny_spec("b", 2, 600_000)],
+            },
+            1,
+        );
+        let json = report.to_json();
+        let runs = parse_artifact_runs(&json);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].label, "a");
+        assert_eq!(runs[0].trace_digest, report.records[0].trace_digest);
+        assert!(runs[0].events_per_sec > 0.0);
+        let table = compare_artifacts(&json, &json).unwrap();
+        assert!(table.contains("1.00x"), "{table}");
+    }
+
+    #[test]
+    fn cross_schema_compare_is_refused() {
+        let report = run_sweep(
+            &Sweep {
+                name: "old".into(),
+                runs: vec![tiny_spec("a", 1, 600_000)],
+            },
+            1,
+        );
+        let current = report.to_json();
+        assert_eq!(artifact_schema_version(&current).unwrap(), SCHEMA_VERSION);
+        let stale = current.replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 3",
+        );
+        let errs = compare_artifacts(&stale, &current).unwrap_err();
+        assert!(errs[0].contains("schema_version 3"), "{errs:?}");
+        assert!(errs[0].contains("regenerate"), "{errs:?}");
+        let errs = check_artifact_schema("{}", "thing").unwrap_err();
+        assert!(errs.contains("no schema_version"), "{errs}");
+    }
+
+    #[test]
+    fn compare_catches_digest_divergence_and_missing_runs() {
+        let a = run_sweep(
+            &Sweep {
+                name: "x".into(),
+                runs: vec![tiny_spec("a", 1, 600_000), tiny_spec("b", 2, 600_000)],
+            },
+            1,
+        );
+        let b = run_sweep(
+            &Sweep {
+                name: "x".into(),
+                // A 1 ms horizon truncates 'a' → different digest;
+                // 'b' absent, 'c' extra.
+                runs: vec![tiny_spec("a", 1, 1), tiny_spec("c", 3, 600_000)],
+            },
+            1,
+        );
+        let errs = compare_artifacts(&a.to_json(), &b.to_json()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("digest")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("'b' is missing")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.contains("'c' is missing")),
+            "{errs:?}"
+        );
     }
 
     #[test]

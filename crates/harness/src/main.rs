@@ -3,17 +3,28 @@
 //! ```text
 //! harness list
 //! harness sweep <name> [--scale paper|quick] [--workers N] [--seed S]
-//!                      [--horizon-secs T] [--out PATH]
+//!                      [--shards K] [--horizon-secs T] [--out PATH]
 //!                      [--check-digests FILE] [--write-digests FILE]
 //! harness bench [names…] [--scale paper|quick] [--workers N] [--seed S]
-//!                        [--out PATH] [--check-digests FILE]
+//!                        [--shards K] [--out PATH] [--check-digests FILE]
+//! harness compare <BASELINE.json> <CANDIDATE.json>
 //! harness verify [name] [--scale paper|quick] [--seed S]
 //!                       [--json PATH] [--sarif PATH] [--races]
 //! ```
 //!
+//! `--shards K` runs every job's monitor plane on `K` observer shards
+//! overlapped with the kernel. Sharding is behaviourally invisible —
+//! trace digests stay bit-identical to the sequential oracle for any
+//! `K` — so the flag only changes wall-clock numbers.
+//!
 //! `bench` runs the named sweeps (default: `fig10 smoke`) and writes a
 //! single dated baseline artifact (`artifacts/BENCH_<date>.json`) with
 //! per-run events/sec and wall time, for cross-commit comparison.
+//!
+//! `compare` contrasts two artifacts run by run (digests must match;
+//! throughput deltas are printed). Artifacts written at a different
+//! schema version are refused — regenerate them instead of comparing
+//! fields whose meaning changed.
 //!
 //! `verify` executes a sweep (default: `smoke`) and validates every
 //! recorded trace against the protocol model checker's proven orderings
@@ -37,18 +48,25 @@ use harness::{default_workers, run_sweep, sweeps, BenchReport, Scale};
 const USAGE: &str = "usage:
   harness list
   harness sweep <name> [--scale paper|quick] [--workers N] [--seed S]
-                       [--horizon-secs T] [--out PATH]
+                       [--shards K] [--horizon-secs T] [--out PATH]
                        [--check-digests FILE] [--write-digests FILE]
   harness bench [names…] [--scale paper|quick] [--workers N] [--seed S]
-                         [--out PATH] [--check-digests FILE]
+                         [--shards K] [--out PATH] [--check-digests FILE]
+  harness compare <BASELINE.json> <CANDIDATE.json>
   harness verify [name] [--scale paper|quick] [--seed S]
                         [--json PATH] [--sarif PATH] [--races]
 
 --horizon-secs caps every run's simulated-time budget (a too-small cap
 truncates the runs; the sweep then exits 2 and marks each record).
 
+--shards runs each job's monitor plane on K observer shards overlapped
+with the kernel; digests stay bit-identical to the sequential oracle.
+
 bench defaults to the fig10 and smoke sweeps and writes the combined
 baseline to artifacts/BENCH_<date>.json.
+
+compare contrasts two artifacts run by run; artifacts from another
+schema version are refused.
 
 verify executes a sweep (default smoke) and checks every trace against
 the model checker's proven orderings (ANALYZER_POLICY=off|warn|deny
@@ -62,6 +80,7 @@ struct Args {
     scale: Scale,
     workers: usize,
     seed: u64,
+    shards: Option<usize>,
     horizon_secs: Option<u64>,
     out: Option<PathBuf>,
     check_digests: Option<PathBuf>,
@@ -81,6 +100,7 @@ fn parse_sweep_args(rest: &[String]) -> Result<Args, String> {
         scale: Scale::Paper,
         workers: default_workers(),
         seed: 1992,
+        shards: None,
         horizon_secs: None,
         out: None,
         check_digests: None,
@@ -107,6 +127,15 @@ fn parse_sweep_args(rest: &[String]) -> Result<Args, String> {
             "--seed" => {
                 args.seed = value()?.parse().map_err(|_| "--seed needs an integer")?;
             }
+            "--shards" => {
+                args.shards = Some(
+                    value()?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&s| s > 0)
+                        .ok_or("--shards needs a positive integer")?,
+                );
+            }
             "--horizon-secs" => {
                 args.horizon_secs = Some(
                     value()?
@@ -128,6 +157,7 @@ struct BenchArgs {
     scale: Scale,
     workers: usize,
     seed: u64,
+    shards: Option<usize>,
     out: Option<PathBuf>,
     check_digests: Option<PathBuf>,
 }
@@ -138,6 +168,7 @@ fn parse_bench_args(rest: &[String]) -> Result<BenchArgs, String> {
         scale: Scale::Paper,
         workers: default_workers(),
         seed: 1992,
+        shards: None,
         out: None,
         check_digests: None,
     };
@@ -162,6 +193,15 @@ fn parse_bench_args(rest: &[String]) -> Result<BenchArgs, String> {
             }
             "--seed" => {
                 args.seed = value()?.parse().map_err(|_| "--seed needs an integer")?;
+            }
+            "--shards" => {
+                args.shards = Some(
+                    value()?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&s| s > 0)
+                        .ok_or("--shards needs a positive integer")?,
+                );
             }
             "--out" => args.out = Some(PathBuf::from(value()?)),
             "--check-digests" => args.check_digests = Some(PathBuf::from(value()?)),
@@ -245,11 +285,17 @@ fn main() -> ExitCode {
                         .override_horizon(des::time::SimTime::from_secs(secs));
                 }
             }
+            if let Some(shards) = args.shards {
+                for spec in &mut sweep.runs {
+                    spec.job.override_shards(shards);
+                }
+            }
             eprintln!(
-                "running sweep '{}' ({} runs) on {} worker(s)…",
+                "running sweep '{}' ({} runs) on {} worker(s), {} shard(s)…",
                 sweep.name,
                 sweep.runs.len(),
-                args.workers
+                args.workers,
+                args.shards.unwrap_or(1)
             );
             let report = run_sweep(&sweep, args.workers);
             print!("{}", report.render_table());
@@ -311,9 +357,14 @@ fn main() -> ExitCode {
             };
             let mut reports = Vec::with_capacity(args.names.len());
             for name in &args.names {
-                let Some(sweep) = sweeps::by_name(name, args.scale, args.seed) else {
+                let Some(mut sweep) = sweeps::by_name(name, args.scale, args.seed) else {
                     return usage_error(&format!("unknown sweep '{name}'"));
                 };
+                if let Some(shards) = args.shards {
+                    for spec in &mut sweep.runs {
+                        spec.job.override_shards(shards);
+                    }
+                }
                 eprintln!(
                     "benching sweep '{}' ({} runs) on {} worker(s)…",
                     sweep.name,
@@ -366,6 +417,31 @@ fn main() -> ExitCode {
                 eprintln!("harness: truncated run(s) — the baseline is not a valid measurement");
             }
             ExitCode::from(u8::try_from(code).unwrap_or(1))
+        }
+        Some("compare") => {
+            let [baseline, candidate] = &argv[1..] else {
+                return usage_error("compare needs exactly a baseline and a candidate artifact");
+            };
+            let read = |p: &str| {
+                std::fs::read_to_string(p).map_err(|e| format!("cannot read artifact {p}: {e}"))
+            };
+            let (base, cand) = match (read(baseline), read(candidate)) {
+                (Ok(b), Ok(c)) => (b, c),
+                (Err(e), _) | (_, Err(e)) => return usage_error(&e),
+            };
+            match harness::compare_artifacts(&base, &cand) {
+                Ok(table) => {
+                    println!("comparing {baseline} (baseline) vs {candidate} (candidate)");
+                    print!("{table}");
+                    ExitCode::SUCCESS
+                }
+                Err(errors) => {
+                    for e in errors {
+                        eprintln!("compare: {e}");
+                    }
+                    ExitCode::from(3)
+                }
+            }
         }
         Some("verify") => {
             let args = match parse_verify_args(&argv[1..]) {

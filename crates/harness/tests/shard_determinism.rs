@@ -1,0 +1,125 @@
+//! Satellite: monitor-plane sharding is behaviourally invisible.
+//!
+//! For every stock workload shape — the four ray-tracer versions and
+//! the SPMD Jacobi solver — the per-run trace digest must be
+//! bit-identical whether the ZM4 observers run inline with the kernel
+//! (one shard, the sequential oracle) or split across N shards
+//! overlapped with it, and regardless of how many harness worker
+//! threads host the runs. A digest divergence here means the sharded
+//! monitor plane changed simulated behaviour — exactly what the
+//! conservative-lookahead windows exist to prevent.
+
+use harness::{execute, run_sweep, RunSpec, Sweep};
+use pipeline::jacobi::JacobiConfig;
+use pipeline::{Job, PipelineConfig};
+use proptest::prelude::*;
+use raysim::config::{AppConfig, SceneKind, Version};
+
+/// A small but complete run of one ray-tracer version: quickstart
+/// scene, three servants, per-version queue/bundle shape kept valid.
+fn ray_spec(version: Version, shards: usize) -> RunSpec {
+    let mut app = AppConfig::version(version);
+    app.servants = 3;
+    app.scene = SceneKind::Quickstart;
+    app.width = 12;
+    app.height = 12;
+    match version {
+        Version::V1 | Version::V2 => {
+            app.pixel_queue_capacity = 256;
+            app.write_chunk = 4;
+        }
+        Version::V3 => {
+            app.bundle_size = 8;
+            app.pixel_queue_capacity = 128;
+            app.write_chunk = 8;
+        }
+        Version::V4 => {
+            app.bundle_size = 16;
+            app.pixel_queue_capacity = 2_048;
+            app.write_chunk = 16;
+        }
+    }
+    let mut cfg = PipelineConfig::new(app);
+    cfg.seed = 1992;
+    cfg.shards = shards;
+    RunSpec {
+        label: format!("V{}-s{shards}", version as u8 + 1),
+        job: Job::new(cfg),
+        version: Some(version),
+        paper_percent: None,
+    }
+}
+
+/// A small but complete Jacobi run.
+fn jacobi_spec(shards: usize) -> RunSpec {
+    let mut cfg = PipelineConfig::new(JacobiConfig {
+        workers: 4,
+        cells_per_worker: 8,
+        iterations: 6,
+        ..JacobiConfig::default()
+    });
+    cfg.seed = 1992;
+    cfg.shards = shards;
+    RunSpec {
+        label: format!("jacobi-s{shards}"),
+        job: Job::new(cfg),
+        version: None,
+        paper_percent: None,
+    }
+}
+
+/// The five stock workload shapes at a given shard count.
+fn spec(workload: usize, shards: usize) -> RunSpec {
+    match workload {
+        0..=3 => ray_spec(Version::ALL[workload], shards),
+        _ => jacobi_spec(shards),
+    }
+}
+
+/// Directed sweep of the whole matrix: every stock shape, shards 1..=4,
+/// every digest identical to the one-shard oracle's.
+#[test]
+fn all_stock_shapes_digest_identically_across_shard_counts() {
+    for workload in 0..5 {
+        let oracle = execute(&spec(workload, 1));
+        assert!(!oracle.truncated, "{} truncated", oracle.label);
+        for shards in 2..=4 {
+            let sharded = execute(&spec(workload, shards));
+            assert_eq!(sharded.shards, shards);
+            assert_eq!(
+                oracle.trace_digest, sharded.trace_digest,
+                "workload {} diverged at {shards} shards",
+                oracle.label
+            );
+            assert_eq!(oracle.sim_end_ns, sharded.sim_end_ns);
+            assert_eq!(oracle.events_processed, sharded.events_processed);
+            assert_eq!(oracle.trace_events, sharded.trace_events);
+            assert_eq!(oracle.work_units, sharded.work_units);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any (workload, shard count, worker count) triple digests the
+    /// same as the serially-executed one-shard oracle.
+    #[test]
+    fn shards_and_workers_never_change_digests(
+        workload in 0usize..5,
+        shards in 1usize..=5,
+        workers in 1usize..4,
+    ) {
+        let oracle = execute(&spec(workload, 1));
+        let sweep = Sweep {
+            name: "shard-prop".into(),
+            runs: vec![spec(workload, shards)],
+        };
+        let report = run_sweep(&sweep, workers);
+        let run = &report.records[0];
+        prop_assert_eq!(&oracle.trace_digest, &run.trace_digest);
+        prop_assert_eq!(oracle.sim_end_ns, run.sim_end_ns);
+        prop_assert_eq!(oracle.events_processed, run.events_processed);
+        prop_assert_eq!(oracle.run_end, run.run_end);
+    }
+}

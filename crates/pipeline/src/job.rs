@@ -26,6 +26,10 @@ pub struct ExecOverrides {
     pub policy: Option<PolicyMode>,
     /// Replaces the configured simulated-time budget.
     pub horizon: Option<SimTime>,
+    /// Replaces the configured monitor-shard count (the CLI's
+    /// `--shards` flag). Sharding is behaviourally invisible, so this
+    /// does not perturb the configuration fingerprint.
+    pub shards: Option<usize>,
 }
 
 /// Everything a harness records about one executed job, with the
@@ -43,6 +47,11 @@ pub struct JobRun {
     /// The workload's proven orderings, for happens-before
     /// verification of `trace`.
     pub orders: Vec<OrderEdge>,
+    /// Wall time the pre-flight analysis took, so a harness can report
+    /// engine throughput net of the (run-independent) analysis cost.
+    pub analysis: std::time::Duration,
+    /// Monitor-shard count the run actually executed with.
+    pub shards: usize,
 }
 
 type Exec = dyn Fn(ExecOverrides) -> Result<JobRun, PreflightDenied> + Send + Sync;
@@ -58,6 +67,7 @@ pub struct Job {
     seed: u64,
     fingerprint: u64,
     horizon: Option<SimTime>,
+    shards: Option<usize>,
     exec: Arc<Exec>,
 }
 
@@ -86,6 +96,10 @@ impl Job {
             if let Some(horizon) = ov.horizon {
                 cfg.horizon = horizon;
             }
+            if let Some(shards) = ov.shards {
+                cfg.shards = shards;
+            }
+            let shards = cfg.shards;
             let workload = cfg.workload.clone();
             let result = match try_run_workload(cfg) {
                 Ok(result) => result,
@@ -102,6 +116,8 @@ impl Job {
                 metrics,
                 intrusion_ratio: result.intrusion.intrusion_ratio(),
                 orders: workload.proven_orders(),
+                analysis: result.analysis,
+                shards,
             })
         });
         Job {
@@ -109,6 +125,7 @@ impl Job {
             seed,
             fingerprint,
             horizon: None,
+            shards: None,
             exec,
         }
     }
@@ -135,6 +152,13 @@ impl Job {
         self.horizon = Some(horizon);
     }
 
+    /// Sets the monitor-shard count for every subsequent execution (the
+    /// CLI's `--shards`). Sharding is behaviourally invisible: traces,
+    /// outcomes and digests stay bit-identical to the sequential oracle.
+    pub fn override_shards(&mut self, shards: usize) {
+        self.shards = Some(shards);
+    }
+
     /// Executes the job with an optional pre-flight mode override.
     ///
     /// # Errors
@@ -145,6 +169,7 @@ impl Job {
         (self.exec)(ExecOverrides {
             policy,
             horizon: self.horizon,
+            shards: self.shards,
         })
     }
 
@@ -183,6 +208,25 @@ mod tests {
         assert_eq!(a.outcome.end, b.outcome.end);
         assert_eq!(a.trace.len(), b.trace.len());
         assert!(a.metrics.work_units > 0);
+    }
+
+    #[test]
+    fn shards_override_is_behaviourally_invisible() {
+        let cfg = PipelineConfig::new(JacobiConfig {
+            workers: 4,
+            iterations: 4,
+            cells_per_worker: 8,
+            ..JacobiConfig::default()
+        });
+        let job = Job::new(cfg);
+        let reference = job.run();
+        assert_eq!(reference.shards, 1);
+        let mut sharded = job.clone();
+        sharded.override_shards(2);
+        let run = sharded.run();
+        assert_eq!(run.shards, 2);
+        assert_eq!(reference.outcome, run.outcome);
+        assert_eq!(reference.trace, run.trace);
     }
 
     #[test]

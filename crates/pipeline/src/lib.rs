@@ -179,6 +179,14 @@ pub struct PipelineConfig<W: Workload> {
     pub horizon: SimTime,
     /// Pre-flight static analysis policy.
     pub preflight: Preflight<W>,
+    /// Monitor-plane shards. `1` (the default) runs the fully inline
+    /// sequential pipeline — the differential oracle. `2..` defers
+    /// display materialization in the kernel and fans the emission
+    /// stream out to that many observer shards on worker threads,
+    /// overlapped with the simulation via watermarked release windows.
+    /// The measurement is bit-identical for every shard count (the
+    /// shard count is capped at the monitor's recorder count).
+    pub shards: usize,
 }
 
 impl<W: Workload> std::fmt::Debug for PipelineConfig<W> {
@@ -190,6 +198,7 @@ impl<W: Workload> std::fmt::Debug for PipelineConfig<W> {
             .field("seed", &self.seed)
             .field("horizon", &self.horizon)
             .field("preflight", &self.preflight)
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -228,6 +237,7 @@ impl<W: Workload> PipelineConfig<W> {
             seed: 1992,
             horizon: SimTime::from_secs(3_600),
             preflight: Preflight::off(),
+            shards: 1,
         }
     }
 
@@ -235,7 +245,9 @@ impl<W: Workload> PipelineConfig<W> {
     /// monitor + seed + horizon), for artifact provenance. The
     /// pre-flight policy is excluded: it carries function pointers
     /// whose addresses vary between builds, and it does not change the
-    /// measured behaviour under `Off`/`Warn`.
+    /// measured behaviour under `Off`/`Warn`. The shard count is also
+    /// excluded: shard counts produce bit-identical measurements, so
+    /// runs at different counts are comparable by construction.
     pub fn fingerprint(&self) -> u64 {
         let mut h = des::digest::Fnv64::new();
         h.write_bytes(self.workload.id().as_bytes());
@@ -251,6 +263,10 @@ impl<W: Workload> PipelineConfig<W> {
 /// Everything a measurement run of workload `W` produced.
 #[derive(Debug)]
 pub struct PipelineResult<W: Workload> {
+    /// Real time spent in pre-flight static analysis, before the
+    /// simulation started. Reported separately so wall-clock throughput
+    /// comparisons measure the engine, not the analyzer.
+    pub analysis: std::time::Duration,
     /// How the application run ended.
     pub outcome: RunOutcome,
     /// The ZM4 measurement (merged trace + recorder/detector stats).
@@ -323,7 +339,14 @@ impl From<PreflightDenied> for PipelineError {
 pub fn try_run_workload<W: Workload>(
     cfg: PipelineConfig<W>,
 ) -> Result<PipelineResult<W>, PipelineError> {
+    if cfg.shards == 0 {
+        return Err(PipelineError::Invalid(
+            "pipeline needs at least one monitor shard".into(),
+        ));
+    }
+    let analysis_start = std::time::Instant::now();
     try_preflight(&cfg)?;
+    let analysis = analysis_start.elapsed();
     cfg.workload
         .validate()
         .map_err(|e| PipelineError::Invalid(format!("invalid workload configuration: {e}")))?;
@@ -335,25 +358,38 @@ pub fn try_run_workload<W: Workload>(
         )));
     }
 
-    let mut machine = Machine::new(cfg.machine.clone(), cfg.seed)
+    let mut machine_cfg = cfg.machine.clone();
+    let sharded = cfg.shards > 1;
+    if sharded {
+        // The kernel records compact emissions; the observer shards
+        // expand them off the critical path. Bit-identical either way.
+        machine_cfg.deferred_display = true;
+    }
+    let mut machine = Machine::new(machine_cfg, cfg.seed)
         .map_err(|e| PipelineError::Invalid(format!("invalid machine configuration: {e:?}")))?;
 
     let harvest = cfg.workload.launch(&mut machine);
-    let outcome = machine.run(cfg.horizon);
-
-    // Probe the displays and run the monitor. The signal log is already
-    // time-sorted (per channel, because globally), so the sample stream
-    // flows through the monitor in one pass — no materialized sample
-    // vector, no per-channel partition copies.
     let channels = cfg.workload.channels(&machine);
     let monitor = cfg.zm4.build(channels, cfg.seed);
-    let measurement = monitor.observe_iter(trace::probe_sample_iter(&machine));
+
+    let (outcome, measurement) = if sharded {
+        run_sharded(&mut machine, &monitor, cfg.shards, cfg.horizon)
+    } else {
+        // The sequential oracle: run to completion, then probe the
+        // displays in one pass. The signal log is already time-sorted
+        // (per channel, because globally), so the sample stream flows
+        // through the monitor without a materialized sample vector.
+        let outcome = machine.run(cfg.horizon);
+        let measurement = monitor.observe_iter(trace::probe_sample_iter(&machine));
+        (outcome, measurement)
+    };
     let trace = to_simple_trace(&measurement);
 
     let output = harvest(&machine);
     let intrusion = *machine.intrusion();
 
     Ok(PipelineResult {
+        analysis,
         outcome,
         measurement,
         trace,
@@ -361,6 +397,61 @@ pub fn try_run_workload<W: Workload>(
         machine,
         intrusion,
     })
+}
+
+/// Kernel events handled between monitor-plane release windows. Large
+/// enough that the per-window synchronization (a channel send per
+/// shard) is noise; small enough that shards stay busy while the
+/// kernel runs.
+const OBSERVE_WINDOW_EVENTS: u64 = 8_192;
+
+/// The sharded monitor plane: the kernel defers display materialization
+/// into compact emission records; observer shards expand each record
+/// into its probe samples and run detection + recording concurrently
+/// with the simulation. Watermarked releases (every
+/// [`OBSERVE_WINDOW_EVENTS`] kernel events) let shards process the
+/// stream in time order while the kernel keeps running.
+fn run_sharded(
+    machine: &mut Machine,
+    monitor: &zm4::Zm4,
+    shards: usize,
+    horizon: SimTime,
+) -> (RunOutcome, Measurement) {
+    let observers = monitor.shard_observers(shards);
+    // Channel (= node index) → stream shard routing.
+    let mut shard_of = vec![0usize; monitor.channels()];
+    for (i, obs) in observers.iter().enumerate() {
+        for ch in obs.channels() {
+            shard_of[ch] = i;
+        }
+    }
+    let mut stream = des::shard::ShardStream::spawn(
+        observers,
+        |obs: &mut zm4::ObserverShard, _shard, _at, rec: suprenum::EmissionRecord| {
+            for w in rec.writes() {
+                obs.feed(zm4::ProbeSample {
+                    time: w.time,
+                    channel: w.node.index() as usize,
+                    pattern: w.pattern,
+                });
+            }
+        },
+    );
+    let outcome = machine.run_observed(horizon, OBSERVE_WINDOW_EVENTS, |now, emissions| {
+        for rec in emissions.drain(..) {
+            // Safe by the kernel's watermark guarantee: every emission
+            // recorded after the previous window's release lies strictly
+            // after that watermark.
+            stream.push(
+                shard_of[rec.node.index() as usize],
+                rec.first_write_at(),
+                rec,
+            );
+        }
+        stream.release(now);
+    });
+    let measurement = monitor.assemble(stream.finish());
+    (outcome, measurement)
 }
 
 /// Runs one full measurement.
@@ -409,5 +500,66 @@ mod tests {
         let err = try_run_workload(cfg).unwrap_err();
         assert!(matches!(err, PipelineError::Invalid(_)));
         assert!(err.to_string().contains("needs"));
+    }
+
+    #[test]
+    fn zero_shards_is_refused() {
+        let mut cfg = PipelineConfig::new(jacobi::JacobiConfig::default());
+        cfg.shards = 0;
+        let err = try_run_workload(cfg).unwrap_err();
+        assert!(err.to_string().contains("shard"));
+    }
+
+    #[test]
+    fn sharded_runs_match_the_sequential_oracle_bit_for_bit() {
+        let base = PipelineConfig::new(jacobi::JacobiConfig {
+            workers: 5,
+            iterations: 6,
+            ..jacobi::JacobiConfig::default()
+        });
+        let reference = run_workload(base.clone());
+        assert!(reference.completed());
+        assert!(!reference.measurement.trace.is_empty());
+
+        for shards in 2..=4 {
+            let mut cfg = base.clone();
+            cfg.shards = shards;
+            let sharded = run_workload(cfg);
+            assert_eq!(sharded.outcome, reference.outcome, "{shards} shards");
+            assert_eq!(
+                sharded.measurement.trace, reference.measurement.trace,
+                "{shards} shards"
+            );
+            assert_eq!(
+                sharded.measurement.recorder_stats, reference.measurement.recorder_stats,
+                "{shards} shards"
+            );
+            assert_eq!(
+                sharded.measurement.detector_stats, reference.measurement.detector_stats,
+                "{shards} shards"
+            );
+            assert_eq!(sharded.trace, reference.trace, "{shards} shards");
+            assert_eq!(
+                sharded.output.max_error, reference.output.max_error,
+                "{shards} shards"
+            );
+            assert_eq!(sharded.intrusion, reference.intrusion, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn shard_counts_beyond_recorders_still_work() {
+        let base = PipelineConfig::new(jacobi::JacobiConfig {
+            workers: 3,
+            iterations: 4,
+            ..jacobi::JacobiConfig::default()
+        });
+        let reference = run_workload(base.clone());
+        // 4 nodes → 1 recorder → the shard count clips to 1 observer.
+        let mut cfg = base;
+        cfg.shards = 16;
+        let sharded = run_workload(cfg);
+        assert_eq!(sharded.measurement.trace, reference.measurement.trace);
+        assert_eq!(sharded.outcome, reference.outcome);
     }
 }

@@ -26,7 +26,9 @@ use crate::stats::state_durations;
 /// assert!(text.contains("60.0%"));
 /// ```
 pub fn activity_report(tracks: &[ActivityTrack], from_ns: u64, to_ns: u64) -> String {
-    assert!(from_ns < to_ns, "report window must be nonempty");
+    assert!(from_ns <= to_ns, "report window must not be inverted");
+    // A zero-width window reports 0% occupancy everywhere rather than
+    // dividing by zero (see `stats::utilization`).
     let window = (to_ns - from_ns) as f64;
     let mut out = String::new();
     let _ = writeln!(
@@ -37,7 +39,11 @@ pub fn activity_report(tracks: &[ActivityTrack], from_ns: u64, to_ns: u64) -> St
     for track in tracks {
         for state in track.states() {
             let acc = state_durations(track, state);
-            let share = track.time_in_state_within(state, from_ns, to_ns) as f64 / window;
+            let share = if window > 0.0 {
+                track.time_in_state_within(state, from_ns, to_ns) as f64 / window
+            } else {
+                0.0
+            };
             let _ = writeln!(
                 out,
                 "{:<16} {:<20} {:>7} {:>8.1}% {:>12} {:>12} {:>12}",
@@ -131,8 +137,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nonempty")]
-    fn empty_window_panics() {
-        activity_report(&[], 10, 10);
+    fn zero_width_window_reports_zero_shares() {
+        let text = activity_report(&[demo_track()], 10, 10);
+        // Every share is a finite 0.0%, never NaN.
+        assert!(text.contains("0.0%"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_window_panics() {
+        activity_report(&[], 20, 10);
     }
 }

@@ -11,9 +11,15 @@ use crate::activity::ActivityTrack;
 
 /// The fraction of `[from_ns, to_ns)` a track spends in `state`.
 ///
+/// A zero-width window (`from_ns == to_ns`) has spent no time in any
+/// state and reports 0.0 — the finite answer, not `0.0 / 0.0 = NaN`.
+/// Instantaneous windows arise naturally from degenerate runs (a single
+/// trace event, or a phase that begins and ends on the same timestamp)
+/// and must not poison downstream run records.
+///
 /// # Panics
 ///
-/// Panics if the window is empty.
+/// Panics if the window is inverted (`from_ns > to_ns`).
 ///
 /// # Examples
 ///
@@ -25,9 +31,13 @@ use crate::activity::ActivityTrack;
 ///     vec![Interval { start_ns: 0, end_ns: 300, state: "Work".into() }],
 /// );
 /// assert_eq!(utilization(&t, "Work", 0, 1_000), 0.3);
+/// assert_eq!(utilization(&t, "Work", 100, 100), 0.0);
 /// ```
 pub fn utilization(track: &ActivityTrack, state: &str, from_ns: u64, to_ns: u64) -> f64 {
-    assert!(from_ns < to_ns, "utilization window must be nonempty");
+    assert!(from_ns <= to_ns, "utilization window must not be inverted");
+    if from_ns == to_ns {
+        return 0.0;
+    }
     track.time_in_state_within(state, from_ns, to_ns) as f64 / (to_ns - from_ns) as f64
 }
 
@@ -57,9 +67,11 @@ pub struct UtilizationReport {
 impl UtilizationReport {
     /// Measures `state` across `tracks` over `[from_ns, to_ns)`.
     ///
+    /// A zero-width window reports 0.0 everywhere (see [`utilization`]).
+    ///
     /// # Panics
     ///
-    /// Panics if `tracks` is empty or the window is empty.
+    /// Panics if `tracks` is empty or the window is inverted.
     pub fn measure(
         tracks: &[ActivityTrack],
         state: &str,
@@ -153,10 +165,29 @@ mod tests {
         assert_eq!(acc.max(), Some(300e-9));
     }
 
+    /// The zero-width-window regression: empty and instantaneous windows
+    /// must yield finite (zero) statistics, never `0/0 = NaN` — a NaN
+    /// here used to propagate into run-record utilization fields.
     #[test]
-    #[should_panic(expected = "nonempty")]
-    fn empty_window_panics() {
-        utilization(&work_track("s", &[]), "Work", 10, 10);
+    fn zero_width_window_is_finite() {
+        let t = work_track("s", &[(0, 500)]);
+        let u = utilization(&t, "Work", 100, 100);
+        assert!(u.is_finite());
+        assert_eq!(u, 0.0);
+        // Same through the report aggregation path.
+        let r = UtilizationReport::measure(&[t], "Work", 100, 100);
+        assert!(r.mean.is_finite());
+        assert_eq!(r.mean, 0.0);
+        assert_eq!(r.mean_percent(), 0.0);
+        // And for a track with no intervals at all.
+        let empty = utilization(&work_track("e", &[]), "Work", 10, 10);
+        assert_eq!(empty, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_window_panics() {
+        utilization(&work_track("s", &[]), "Work", 20, 10);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use hybridmon::{encode::encode, IntrusionReport, MonEvent, MonitoringMode};
 
 use crate::bus::{Interconnect, InterconnectStats};
 use crate::config::MachineConfig;
+use crate::emission::EmissionRecord;
 use crate::ground_truth::{BlockReason, GroundTruth, ProcState};
 use crate::ids::{CondId, LwpId, NodeId, ProcessId, TeamId};
 use crate::message::Message;
@@ -237,6 +238,11 @@ pub struct Machine {
     /// Per-node earliest time the display is free for a kernel event
     /// (serializes kernel emissions so pattern pairs never interleave).
     kernel_display_free: Vec<SimTime>,
+    /// Hybrid emissions awaiting expansion when
+    /// [`MachineConfig::deferred_display`] is set; drained by the
+    /// monitor plane during [`Machine::run_observed`] or expanded into
+    /// the signal log when the run ends.
+    deferred: Vec<EmissionRecord>,
     next_team: u32,
     initial: Option<ProcessId>,
     halted: bool,
@@ -293,6 +299,7 @@ impl Machine {
             software,
             stats: KernelStats::default(),
             kernel_display_free: vec![SimTime::ZERO; nodes_len],
+            deferred: Vec::new(),
             next_team: 0,
             initial: None,
             halted: false,
@@ -336,6 +343,54 @@ impl Machine {
 
     /// Like [`run`](Self::run) but also bounded by an event budget.
     pub fn run_budgeted(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
+        let (horizon, limited) = self.start_run(horizon);
+        let stop = self.run_chunk(horizon, max_events);
+        self.finish_run(stop, limited)
+    }
+
+    /// Runs the application like [`run`](Self::run), but pauses every
+    /// `window_events` kernel events to let a monitor-plane consumer
+    /// observe the run in flight: `on_window(now, emissions)` receives
+    /// the current simulated time and the deferred-emission buffer (see
+    /// [`MachineConfig::deferred_display`]), which it may drain — e.g.
+    /// into monitor shards, releasing their streams up to `now`.
+    ///
+    /// The watermark guarantee: every emission recorded *after* a
+    /// callback at time `now` has all its display writes strictly later
+    /// than `now`, so a consumer that drains the buffer may safely
+    /// process everything up to (excluding) `now`. The callback runs one
+    /// final time after the last event, with `now` at the end time.
+    ///
+    /// Emissions still buffered when the run ends expand into the
+    /// signal log as usual, so [`Machine::signals`] stays complete no
+    /// matter how much the callback drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process was added or `window_events` is zero.
+    pub fn run_observed<F>(
+        &mut self,
+        horizon: SimTime,
+        window_events: u64,
+        mut on_window: F,
+    ) -> RunOutcome
+    where
+        F: FnMut(SimTime, &mut Vec<EmissionRecord>),
+    {
+        assert!(window_events > 0, "observation window must be nonzero");
+        let (horizon, limited) = self.start_run(horizon);
+        let stop = loop {
+            let stop = self.run_chunk(horizon, window_events);
+            on_window(self.sim.now(), &mut self.deferred);
+            if self.halted || stop != StopReason::StepBudget {
+                break stop;
+            }
+        };
+        self.finish_run(stop, limited)
+    }
+
+    /// Applies the job time limit and kicks every node with ready work.
+    fn start_run(&mut self, horizon: SimTime) -> (SimTime, bool) {
         assert!(self.initial.is_some(), "machine has no processes");
         // The operator's job time limit releases the partition even if
         // the application has not finished.
@@ -344,12 +399,16 @@ impl Machine {
             Some(r) if r < horizon => (r, true),
             _ => (horizon, false),
         };
-        // Kick every node that has ready work.
         for n in self.topo.nodes() {
             if !self.nodes[n.index() as usize].ready.is_empty() {
                 self.sim.schedule(SimTime::ZERO, Ev::Dispatch(n));
             }
         }
+        (horizon, limited)
+    }
+
+    /// Handles up to `max_events` events (resumable).
+    fn run_chunk(&mut self, horizon: SimTime, max_events: u64) -> StopReason {
         // The borrow checker will not let the handler borrow `self` while
         // `self.sim` runs, so the event loop is temporarily moved out.
         let mut sim = std::mem::take(&mut self.sim);
@@ -360,6 +419,13 @@ impl Machine {
             std::mem::swap(&mut self.sim, sim);
         });
         self.sim = sim;
+        stop
+    }
+
+    /// Expands leftover deferred emissions, sorts the signal log, and
+    /// folds the stop reason into the outcome.
+    fn finish_run(&mut self, stop: StopReason, limited: bool) -> RunOutcome {
+        self.materialize_deferred();
         self.signals.sort();
         let reason = if self.halted {
             RunEnd::Completed
@@ -375,6 +441,16 @@ impl Machine {
             end: self.sim.now(),
             reason,
             events: self.sim.steps_handled(),
+        }
+    }
+
+    /// Expands every still-buffered deferred emission into the signal
+    /// log (in emission order, matching the inline path's push order).
+    fn materialize_deferred(&mut self) {
+        for rec in std::mem::take(&mut self.deferred) {
+            for w in rec.writes() {
+                self.signals.push_display(w);
+            }
         }
     }
 
@@ -918,24 +994,43 @@ impl Machine {
     /// sequence never interleaves with an application event.
     fn kernel_emit(&mut self, node: NodeId, token: u16, param: u32) {
         self.stats.kernel_events += 1;
-        // Serialize per node: two kernel events fired at the same instant
+        let spacing = (self.cfg.kernel_event_cost / EmissionRecord::write_count() as u64)
+            .max(SimDuration::from_nanos(100));
+        self.display_emit(node, spacing, token, param);
+    }
+
+    /// Writes one event's pattern sequence to `node`'s display —
+    /// inline into the signal log, or as a compact [`EmissionRecord`]
+    /// when display materialization is deferred. Both paths run the
+    /// same serialization arithmetic, so the eventual writes are
+    /// bit-identical.
+    fn display_emit(&mut self, node: NodeId, spacing: SimDuration, token: u16, param: u32) {
+        // Serialize per node: two events fired at the same instant
         // (e.g. a block immediately followed by the next dispatch) must
         // not interleave their pattern pairs on the display.
         let start = self
             .sim
             .now()
             .max(self.kernel_display_free[node.index() as usize]);
-        let seq = encode(MonEvent::new(token, param));
-        let spacing =
-            (self.cfg.kernel_event_cost / seq.len() as u64).max(SimDuration::from_nanos(100));
-        for (i, pattern) in seq.into_iter().enumerate() {
-            self.signals.push_display(DisplayWrite {
-                time: start + spacing * (i as u64 + 1),
+        if self.cfg.deferred_display {
+            self.deferred.push(EmissionRecord {
+                start,
+                spacing,
                 node,
-                pattern,
+                token,
+                param,
             });
+        } else {
+            for (i, pattern) in encode(MonEvent::new(token, param)).into_iter().enumerate() {
+                self.signals.push_display(DisplayWrite {
+                    time: start + spacing * (i as u64 + 1),
+                    node,
+                    pattern,
+                });
+            }
         }
-        self.kernel_display_free[node.index() as usize] = start + spacing * 33;
+        self.kernel_display_free[node.index() as usize] =
+            start + spacing * (EmissionRecord::write_count() as u64 + 1);
     }
 
     /// Performs the configured monitoring technique's output for one
@@ -955,19 +1050,11 @@ impl Machine {
             MonitoringMode::Off => None,
             MonitoringMode::Hybrid => {
                 let cost = self.cfg.monitor_costs.hybrid_call;
-                let spacing = self.cfg.monitor_costs.hybrid_write_spacing();
-                // Respect the per-node display serializer so application
-                // pattern pairs never interleave with kernel-event pairs
+                // The per-node display serializer keeps application
+                // pattern pairs from interleaving with kernel-event pairs
                 // emitted during the preceding context switch.
-                let start = now.max(self.kernel_display_free[node.index() as usize]);
-                for (i, pattern) in encode(event).into_iter().enumerate() {
-                    self.signals.push_display(DisplayWrite {
-                        time: start + spacing * (i as u64 + 1),
-                        node,
-                        pattern,
-                    });
-                }
-                self.kernel_display_free[node.index() as usize] = start + spacing * 33;
+                let spacing = self.cfg.monitor_costs.hybrid_write_spacing();
+                self.display_emit(node, spacing, token, param);
                 self.intrusion.record_event(cost);
                 Some(cost)
             }

@@ -74,6 +74,7 @@
 
 pub mod bus;
 pub mod config;
+pub mod emission;
 pub mod ground_truth;
 pub mod ids;
 pub mod kernel;
@@ -84,6 +85,7 @@ pub mod signals;
 pub mod topology;
 
 pub use config::{ConfigError, MachineConfig};
+pub use emission::EmissionRecord;
 pub use ground_truth::{BlockReason, GroundTruth, ProcState};
 pub use ids::{ClusterId, CondId, LwpId, NodeId, ProcessId};
 pub use kernel::{KernelStats, Machine, RunEnd, RunOutcome};

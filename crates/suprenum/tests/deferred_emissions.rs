@@ -1,0 +1,170 @@
+//! Differential tests of deferred display materialization: the
+//! `deferred_display` mode must be behaviourally invisible — identical
+//! signal logs, outcomes, and kernel counters — whether the emissions
+//! expand lazily at run end or are drained mid-run by an observer.
+
+use des::time::{SimDuration, SimTime};
+use suprenum::{
+    Action, EmissionRecord, Machine, MachineConfig, Message, NodeId, ProcCtx, Process, ProcessId,
+    Resume, RunEnd, RunOutcome,
+};
+
+struct Root {
+    nodes: u16,
+    workers: Vec<ProcessId>,
+    received: u16,
+}
+
+impl Process for Root {
+    fn resume(&mut self, _ctx: &ProcCtx, why: Resume) -> Action {
+        if let Resume::Spawned(pid) = why {
+            self.workers.push(pid);
+        }
+        let spawned = self.workers.len() as u16;
+        if spawned < self.nodes - 1 {
+            return Action::Spawn {
+                node: NodeId::new(spawned + 1),
+                body: Box::new(Worker { rounds: 0 }),
+            };
+        }
+        if matches!(why, Resume::MailboxMsg(_)) {
+            self.received += 1;
+        }
+        if self.received < self.nodes - 1 {
+            Action::MailboxRecv
+        } else {
+            Action::Exit
+        }
+    }
+}
+
+struct Worker {
+    rounds: u32,
+}
+
+impl Process for Worker {
+    fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action {
+        match why {
+            Resume::Start | Resume::EmitDone if self.rounds < 6 => {
+                self.rounds += 1;
+                Action::Emit {
+                    token: 0x10 + ctx.node.index(),
+                    param: self.rounds,
+                }
+            }
+            Resume::EmitDone => Action::Compute(SimDuration::from_micros(150)),
+            Resume::ComputeDone => Action::MailboxSend {
+                to: ProcessId::new(0),
+                msg: Message::new(ctx.pid, 64, "done"),
+            },
+            _ => Action::Exit,
+        }
+    }
+}
+
+fn config(deferred: bool) -> MachineConfig {
+    MachineConfig {
+        kernel_instrumentation: true,
+        deferred_display: deferred,
+        ..MachineConfig::single_cluster(4)
+    }
+}
+
+fn build(deferred: bool) -> Machine {
+    let mut m = Machine::new(config(deferred), 11).unwrap();
+    m.add_process(
+        NodeId::new(0),
+        Box::new(Root {
+            nodes: 4,
+            workers: Vec::new(),
+            received: 0,
+        }),
+    );
+    m
+}
+
+fn reference_run() -> (Machine, RunOutcome) {
+    let mut m = build(false);
+    let out = m.run(SimTime::from_secs(10));
+    assert_eq!(out.reason, RunEnd::Completed);
+    (m, out)
+}
+
+#[test]
+fn deferred_signals_match_inline_bit_for_bit() {
+    let (inline, inline_out) = reference_run();
+    assert!(
+        !inline.signals().display_writes().is_empty(),
+        "workload must emit"
+    );
+
+    let mut deferred = build(true);
+    let deferred_out = deferred.run(SimTime::from_secs(10));
+
+    assert_eq!(inline_out, deferred_out);
+    assert_eq!(
+        inline.signals().display_writes(),
+        deferred.signals().display_writes()
+    );
+    assert_eq!(
+        inline.signals().terminal_writes(),
+        deferred.signals().terminal_writes()
+    );
+    assert_eq!(inline.stats(), deferred.stats());
+    assert_eq!(inline.intrusion(), deferred.intrusion());
+}
+
+#[test]
+fn run_observed_drains_watermarked_windows() {
+    let (inline, inline_out) = reference_run();
+
+    let mut m = build(true);
+    let mut windows: Vec<(SimTime, Vec<EmissionRecord>)> = Vec::new();
+    let out = m.run_observed(SimTime::from_secs(10), 10, |now, emissions| {
+        windows.push((now, std::mem::take(emissions)));
+    });
+
+    assert_eq!(out, inline_out);
+    assert!(windows.len() > 2, "window budget must split the run");
+
+    // The watermark guarantee: everything drained at a later callback
+    // lies strictly after every earlier callback time.
+    for (i, (watermark, _)) in windows.iter().enumerate() {
+        for (_, later) in &windows[i + 1..] {
+            for rec in later {
+                assert!(
+                    rec.first_write_at() > *watermark,
+                    "emission at {:?} violates watermark {watermark:?}",
+                    rec.first_write_at()
+                );
+            }
+        }
+    }
+
+    // The drained records expand to exactly the inline display log.
+    let mut expanded: Vec<_> = windows
+        .iter()
+        .flat_map(|(_, recs)| recs.iter().flat_map(EmissionRecord::writes))
+        .collect();
+    expanded.sort_by_key(|w| w.time);
+    assert_eq!(expanded, inline.signals().display_writes());
+    // Nothing was left to materialize at run end.
+    assert!(m.signals().display_writes().is_empty());
+}
+
+#[test]
+fn run_observed_undrained_buffer_still_materializes() {
+    let (inline, inline_out) = reference_run();
+
+    // A callback that ignores the buffer: the signal log must still be
+    // complete (and identical) when the run ends.
+    let mut m = build(true);
+    let mut calls = 0u32;
+    let out = m.run_observed(SimTime::from_secs(10), 25, |_, _| calls += 1);
+    assert_eq!(out, inline_out);
+    assert!(calls > 1);
+    assert_eq!(
+        inline.signals().display_writes(),
+        m.signals().display_writes()
+    );
+}

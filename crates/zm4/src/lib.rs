@@ -53,6 +53,7 @@ pub mod dpu;
 pub mod measurement;
 pub mod recorder;
 pub mod serial;
+pub mod sharded;
 
 pub use cec::merge_traces;
 pub use config::Zm4Config;
@@ -61,6 +62,7 @@ pub use dpu::Dpu;
 pub use measurement::{Measurement, TraceRecord};
 pub use recorder::{DigestSink, EventRecorder, RecordSink, RecorderStats, StoredRecord};
 pub use serial::{detect_serial, SerialProbe, SerialSample};
+pub use sharded::ObserverShard;
 
 use des::rng::DetRng;
 use des::time::SimTime;
@@ -93,6 +95,11 @@ impl Zm4 {
     /// Number of monitored channels.
     pub fn channels(&self) -> usize {
         self.channels
+    }
+
+    /// The monitor configuration (with the seed applied).
+    pub fn config(&self) -> &Zm4Config {
+        &self.config
     }
 
     /// Number of event recorders required
