@@ -631,7 +631,7 @@ pub fn mailbox_anatomy(seed: u64) -> MailboxAnatomy {
         peer: Option<ProcessId>,
         work: SimDuration,
         step: u8,
-        block_busy: std::rc::Rc<std::cell::Cell<(u64, u64)>>,
+        block_busy: std::sync::Arc<std::sync::Mutex<(u64, u64)>>,
         t0: u64,
     }
     impl Process for Sender {
@@ -659,7 +659,7 @@ pub fn mailbox_anatomy(seed: u64) -> MailboxAnatomy {
                 }
                 4 => {
                     let busy = ctx.now.as_nanos() - self.t0;
-                    self.block_busy.set((busy, 0));
+                    *self.block_busy.lock().unwrap() = (busy, 0);
                     // Now the receiver is blocked in MailboxRecv: an
                     // idle-receiver send for comparison.
                     Action::Sleep(SimDuration::from_millis(5))
@@ -672,8 +672,8 @@ pub fn mailbox_anatomy(seed: u64) -> MailboxAnatomy {
                     }
                 }
                 6 => {
-                    let (busy, _) = self.block_busy.get();
-                    self.block_busy.set((busy, ctx.now.as_nanos() - self.t0));
+                    let busy = self.block_busy.lock().unwrap().0;
+                    *self.block_busy.lock().unwrap() = (busy, ctx.now.as_nanos() - self.t0);
                     Action::Sleep(SimDuration::from_millis(5))
                 }
                 _ => Action::Exit,
@@ -685,7 +685,7 @@ pub fn mailbox_anatomy(seed: u64) -> MailboxAnatomy {
     }
 
     let work = SimDuration::from_millis(80);
-    let cell = std::rc::Rc::new(std::cell::Cell::new((0u64, 0u64)));
+    let cell = std::sync::Arc::new(std::sync::Mutex::new((0u64, 0u64)));
     let mut machine = Machine::new(MachineConfig::single_cluster(2), seed).unwrap();
     machine.add_process(
         NodeId::new(0),
@@ -703,7 +703,7 @@ pub fn mailbox_anatomy(seed: u64) -> MailboxAnatomy {
         RunEnd::Completed,
         "microbenchmark must complete"
     );
-    let (busy, idle) = cell.get();
+    let (busy, idle) = *cell.lock().unwrap();
     MailboxAnatomy {
         busy_receiver_block: SimDuration::from_nanos(busy),
         idle_receiver_block: SimDuration::from_nanos(idle),

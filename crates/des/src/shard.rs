@@ -17,9 +17,11 @@
 //! * within a shard, events pop in `(time, seq)` order exactly as in the
 //!   sequential [`EventLoop`](crate::engine::EventLoop);
 //! * at each barrier, buffered messages are merged in `(arrival time,
-//!   source shard, send order)` order before being pushed to their
-//!   destination queues, so the FIFO sequence numbers a destination
-//!   assigns never depend on thread timing.
+//!   send time, source shard, send order)` order before being pushed to
+//!   their destination queues, so the FIFO sequence numbers a
+//!   destination assigns never depend on thread timing — nor on how
+//!   many worker threads the logical shards are packed onto
+//!   ([`ShardedEventLoop::run_threaded`]).
 //!
 //! Two drive modes are provided:
 //!
@@ -44,6 +46,11 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Debug)]
 struct Outgoing<E> {
     time: SimTime,
+    /// Shard-local time of the event that issued the send. Part of the
+    /// barrier merge key so that messages with equal arrival times are
+    /// delivered in causal send order, independent of shard layout.
+    sent_at: SimTime,
+    src: usize,
     dst: usize,
     event: E,
 }
@@ -145,8 +152,9 @@ impl<E> ShardCtx<'_, E> {
     /// Sends `event` to shard `dst`, arriving at absolute time `at`.
     ///
     /// The message is buffered and released at the end-of-epoch barrier;
-    /// all barriers merge messages in `(arrival, source shard, send
-    /// order)` order, so delivery is deterministic.
+    /// all barriers merge messages in `(arrival, send time, source
+    /// shard, send order)` order, so delivery is deterministic and does
+    /// not depend on how logical shards are packed onto worker threads.
     ///
     /// # Panics
     ///
@@ -163,9 +171,20 @@ impl<E> ShardCtx<'_, E> {
         );
         self.outbox.push(Outgoing {
             time: at,
+            sent_at: self.now,
+            src: self.shard,
             dst,
             event,
         });
+    }
+
+    /// Discards every event still pending on this shard's local queue.
+    ///
+    /// Used to halt a shard immediately (e.g. when the simulated
+    /// application terminates): later-arriving cross-shard messages are
+    /// still delivered and popped, but a halted handler can ignore them.
+    pub fn clear_local(&mut self) {
+        self.queue.clear();
     }
 
     /// Sends `event` to shard `dst`, arriving `delay` after the current
@@ -271,6 +290,13 @@ impl<E: Send> ShardedEventLoop<E> {
         self.shards.iter().map(|s| s.steps).sum()
     }
 
+    /// Events handled per shard, in shard order — the engine's load
+    /// profile. `total / max` bounds the speedup any thread packing
+    /// could extract from this run's event distribution.
+    pub fn shard_steps(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.steps).collect()
+    }
+
     /// Total events ever scheduled (including delivered messages).
     pub fn events_scheduled(&self) -> u64 {
         self.scheduled
@@ -335,6 +361,62 @@ impl<E: Send> ShardedEventLoop<E> {
         S: Send,
         F: Fn(&mut S, &mut ShardCtx<'_, E>, SimTime, E) + Sync,
     {
+        let threads = self.shards.len();
+        self.run_threaded(
+            states,
+            horizon,
+            max_steps,
+            threads,
+            handler,
+            |_| (),
+            |_, _: Vec<()>| {},
+        )
+    }
+
+    /// Like [`run_bounded`](Self::run_bounded), but with the worker
+    /// thread count decoupled from the logical shard count, plus a
+    /// per-epoch collection hook.
+    ///
+    /// Logical shards are packed onto `threads` **persistent** worker
+    /// threads in contiguous ranges (with `threads <= 1` everything runs
+    /// inline on the caller's thread). The execution — pop order, FIFO
+    /// sequence assignment, barrier merge order — is *identical for
+    /// every thread count*: windows are computed globally and cross-shard
+    /// messages always pass through the barrier in `(arrival, send time,
+    /// source shard, send order)` order, even between shards sharing a
+    /// worker. The thread count is purely a parallelism knob.
+    ///
+    /// After every epoch's barrier, `collect` runs against each state
+    /// that participated in the epoch (on its worker thread) and the
+    /// results are passed — in shard order — to `epoch_hook` on the
+    /// caller's thread, together with a watermark: the next window's
+    /// start time (no event executes before it after this call), or
+    /// [`SimTime::MAX`] once the engine has drained. This is the seam a
+    /// producer uses to stream per-shard output (e.g. monitoring
+    /// emissions) to a consumer with a conservative lower bound on all
+    /// future event times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` does not provide exactly one slot per shard.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_threaded<S, T, F, C, H>(
+        &mut self,
+        states: &mut [S],
+        horizon: SimTime,
+        max_steps: u64,
+        threads: usize,
+        handler: F,
+        collect: C,
+        mut epoch_hook: H,
+    ) -> StopReason
+    where
+        S: Send,
+        T: Send,
+        F: Fn(&mut S, &mut ShardCtx<'_, E>, SimTime, E) + Sync,
+        C: Fn(&mut S) -> T + Sync,
+        H: FnMut(SimTime, Vec<T>),
+    {
         assert_eq!(
             states.len(),
             self.shards.len(),
@@ -342,17 +424,196 @@ impl<E: Send> ShardedEventLoop<E> {
         );
         let num_shards = self.shards.len();
         let lookahead = self.lookahead;
+        if threads <= 1 || num_shards == 1 {
+            return self.run_inline(
+                states,
+                horizon,
+                max_steps,
+                &handler,
+                &collect,
+                &mut epoch_hook,
+            );
+        }
+
+        let chunk = num_shards.div_ceil(threads.min(num_shards));
+        let mut epochs = 0u64;
+        let mut scheduled = 0u64;
+        let mut peeks: Vec<Option<SimTime>> =
+            self.shards.iter().map(|s| s.queue.peek_time()).collect();
+        // Messages merged at a barrier but not yet flushed to their
+        // worker, per destination shard, in global merge order.
+        let mut pending: Vec<Vec<(SimTime, E)>> = (0..num_shards).map(|_| Vec::new()).collect();
+
+        let stop = std::thread::scope(|scope| {
+            let mut cmd_txs: Vec<mpsc::Sender<EpochCmd<E>>> = Vec::new();
+            let mut res_rxs: Vec<mpsc::Receiver<EpochOut<E, T>>> = Vec::new();
+            let mut handles = Vec::new();
+            for (w, (shard_chunk, state_chunk)) in self
+                .shards
+                .chunks_mut(chunk)
+                .zip(states.chunks_mut(chunk))
+                .enumerate()
+            {
+                let (tx, rx) = mpsc::channel::<EpochCmd<E>>();
+                let (res_tx, res_rx) = mpsc::channel::<EpochOut<E, T>>();
+                cmd_txs.push(tx);
+                res_rxs.push(res_rx);
+                let handler = &handler;
+                let collect = &collect;
+                let base = w * chunk;
+                let handle = std::thread::Builder::new()
+                    .name(format!("engine-shard-{w}"))
+                    .spawn_scoped(scope, move || {
+                        worker_loop(
+                            base,
+                            shard_chunk,
+                            state_chunk,
+                            num_shards,
+                            lookahead,
+                            horizon,
+                            &rx,
+                            &res_tx,
+                            handler,
+                            collect,
+                        );
+                    })
+                    .expect("spawn engine shard worker");
+                handles.push(Some(handle));
+            }
+            let mut handled = 0u64;
+
+            // Earliest relevant time for a shard: its queue head or its
+            // oldest undelivered barrier message, whichever is first.
+            // (`pending` entries are merge-ordered with arrival time as
+            // the primary key, so the first entry is the earliest.)
+            let next_time = |peeks: &[Option<SimTime>], pending: &[Vec<(SimTime, E)>], i: usize| {
+                let queued = peeks[i];
+                let buffered = pending[i].first().map(|&(t, _)| t);
+                match (queued, buffered) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
+            };
+
+            loop {
+                let window_start = (0..num_shards)
+                    .filter_map(|i| next_time(&peeks, &pending, i))
+                    .min();
+                let window_start = match window_start {
+                    None => break StopReason::Drained,
+                    Some(w) if w > horizon => break StopReason::Horizon,
+                    Some(w) => w,
+                };
+                if handled >= max_steps {
+                    break StopReason::StepBudget;
+                }
+                let budget = max_steps - handled;
+                let window_end = window_start.saturating_add(lookahead);
+                let inclusive = window_start == SimTime::MAX;
+                epochs += 1;
+
+                // Dispatch only workers that have something to do this
+                // window; the rest stay parked with no round-trip.
+                let mut dispatched = Vec::new();
+                for (w, tx) in cmd_txs.iter().enumerate() {
+                    let range = (w * chunk)..(((w + 1) * chunk).min(num_shards));
+                    let active = range.clone().any(|i| {
+                        next_time(&peeks, &pending, i)
+                            .is_some_and(|t| t <= horizon && (t < window_end || inclusive))
+                    });
+                    if !active {
+                        continue;
+                    }
+                    let mut deliveries = Vec::new();
+                    for i in range {
+                        for (t, ev) in pending[i].drain(..) {
+                            deliveries.push((i, t, ev));
+                        }
+                    }
+                    tx.send(EpochCmd {
+                        window_end,
+                        inclusive,
+                        budget,
+                        deliveries,
+                    })
+                    .expect("engine shard worker hung up");
+                    dispatched.push(w);
+                }
+
+                let mut budget_hit = false;
+                let mut messages: Vec<Outgoing<E>> = Vec::new();
+                let mut collected: Vec<T> = Vec::new();
+                // Awaiting in worker order keeps `collected` in shard
+                // order without an explicit sort.
+                for &w in &dispatched {
+                    let out = match recv_spin(&res_rxs[w]) {
+                        Ok(out) => out,
+                        // The worker died mid-window: join it to recover
+                        // the original panic payload so the caller sees
+                        // the handler's message, not a channel error.
+                        Err(_) => {
+                            let handle = handles[w].take().expect("worker result channel reused");
+                            match handle.join() {
+                                Err(payload) => std::panic::resume_unwind(payload),
+                                Ok(()) => unreachable!("worker exited while coordinator live"),
+                            }
+                        }
+                    };
+                    handled += out.steps;
+                    budget_hit |= out.budget_hit;
+                    messages.extend(out.outbox);
+                    for (i, p) in out.peeks {
+                        peeks[i] = p;
+                    }
+                    collected.extend(out.collected);
+                }
+                // Barrier: merge in (arrival, send time, source shard,
+                // send order) order — identical for every thread count.
+                messages.sort_by_key(|m| (m.time, m.sent_at, m.src));
+                for m in messages {
+                    scheduled += 1;
+                    pending[m.dst].push((m.time, m.event));
+                }
+                let watermark = (0..num_shards)
+                    .filter_map(|i| next_time(&peeks, &pending, i))
+                    .min()
+                    .unwrap_or(SimTime::MAX);
+                epoch_hook(watermark, collected);
+                if budget_hit {
+                    break StopReason::StepBudget;
+                }
+            }
+        });
+        self.epochs += epochs;
+        self.scheduled += scheduled;
+        stop
+    }
+
+    /// The single-threaded twin of the worker protocol: same windows,
+    /// same merge order, no threads.
+    fn run_inline<S, T, F, C, H>(
+        &mut self,
+        states: &mut [S],
+        horizon: SimTime,
+        max_steps: u64,
+        handler: &F,
+        collect: &C,
+        epoch_hook: &mut H,
+    ) -> StopReason
+    where
+        F: Fn(&mut S, &mut ShardCtx<'_, E>, SimTime, E),
+        C: Fn(&mut S) -> T,
+        H: FnMut(SimTime, Vec<T>),
+    {
+        let num_shards = self.shards.len();
+        let lookahead = self.lookahead;
         let mut handled = 0u64;
         loop {
-            // Barrier-time global view: the earliest pending event
-            // anywhere defines the next window.
             let window_start = match self.shards.iter().filter_map(|s| s.queue.peek_time()).min() {
                 None => return StopReason::Drained,
+                Some(w) if w > horizon => return StopReason::Horizon,
                 Some(w) => w,
             };
-            if window_start > horizon {
-                return StopReason::Horizon;
-            }
             if handled >= max_steps {
                 return StopReason::StepBudget;
             }
@@ -365,77 +626,133 @@ impl<E: Send> ShardedEventLoop<E> {
             let inclusive = window_start == SimTime::MAX;
             self.epochs += 1;
 
-            let active = self
-                .shards
-                .iter()
-                .filter(|s| {
-                    s.queue
-                        .peek_time()
-                        .is_some_and(|t| t <= horizon && (t < window_end || inclusive))
-                })
-                .count();
-
-            // One window: every shard executes `[W, W + L)` against its
-            // own queue; cross-shard sends collect in per-shard outboxes.
-            let results: Vec<(Vec<Outgoing<E>>, u64, bool)> = if active <= 1 {
-                // Nothing to parallelize — run the (at most one) active
-                // shard inline and skip the thread round-trip.
-                self.shards
-                    .iter_mut()
-                    .zip(states.iter_mut())
-                    .enumerate()
-                    .map(|(i, (shard, state))| {
-                        run_window(
-                            shard, state, i, num_shards, window_end, inclusive, horizon, budget,
-                            lookahead, &handler,
-                        )
-                    })
-                    .collect()
-            } else {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = self
-                        .shards
-                        .iter_mut()
-                        .zip(states.iter_mut())
-                        .enumerate()
-                        .map(|(i, (shard, state))| {
-                            let handler = &handler;
-                            scope.spawn(move || {
-                                run_window(
-                                    shard, state, i, num_shards, window_end, inclusive, horizon,
-                                    budget, lookahead, handler,
-                                )
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("shard worker panicked"))
-                        .collect()
-                })
-            };
-
-            // Barrier: merge outboxes in (arrival, source shard, send
-            // order) order, so destination FIFO sequence numbers are
-            // independent of thread timing.
             let mut budget_hit = false;
-            let mut messages: Vec<(SimTime, usize, Outgoing<E>)> = Vec::new();
-            for (src, (outbox, steps, hit)) in results.into_iter().enumerate() {
+            let mut messages: Vec<Outgoing<E>> = Vec::new();
+            let mut collected = Vec::with_capacity(num_shards);
+            for (i, (shard, state)) in self.shards.iter_mut().zip(states.iter_mut()).enumerate() {
+                let (outbox, steps, hit) = run_window(
+                    shard, state, i, num_shards, window_end, inclusive, horizon, budget, lookahead,
+                    handler,
+                );
                 handled += steps;
                 budget_hit |= hit;
-                for msg in outbox {
-                    messages.push((msg.time, src, msg));
-                }
+                messages.extend(outbox);
+                collected.push(collect(state));
             }
             // Stable sort keeps each source's send order for equal keys.
-            messages.sort_by_key(|&(t, src, _)| (t, src));
-            for (_, _, msg) in messages {
+            messages.sort_by_key(|m| (m.time, m.sent_at, m.src));
+            for m in messages {
                 self.scheduled += 1;
-                self.shards[msg.dst].queue.push(msg.time, msg.event);
+                self.shards[m.dst].queue.push(m.time, m.event);
             }
+            let watermark = self
+                .shards
+                .iter()
+                .filter_map(|s| s.queue.peek_time())
+                .min()
+                .unwrap_or(SimTime::MAX);
+            epoch_hook(watermark, collected);
             if budget_hit {
                 return StopReason::StepBudget;
             }
+        }
+    }
+}
+
+/// One epoch's marching orders for a worker.
+struct EpochCmd<E> {
+    window_end: SimTime,
+    inclusive: bool,
+    budget: u64,
+    /// Barrier messages for this worker's shards, in global merge order:
+    /// `(global destination shard, arrival time, event)`.
+    deliveries: Vec<(usize, SimTime, E)>,
+}
+
+/// One epoch's results from a worker.
+struct EpochOut<E, T> {
+    outbox: Vec<Outgoing<E>>,
+    steps: u64,
+    budget_hit: bool,
+    /// Refreshed queue-head times for every shard this worker owns.
+    peeks: Vec<(usize, Option<SimTime>)>,
+    /// Per-owned-shard collection results, in shard order.
+    collected: Vec<T>,
+}
+
+/// Spin briefly before parking on the channel: epochs are short enough
+/// that a blocking receive's wake-up latency would dominate.
+fn recv_spin<T>(rx: &mpsc::Receiver<T>) -> Result<T, mpsc::RecvError> {
+    for _ in 0..10_000 {
+        match rx.try_recv() {
+            Ok(v) => return Ok(v),
+            Err(mpsc::TryRecvError::Empty) => std::hint::spin_loop(),
+            Err(mpsc::TryRecvError::Disconnected) => return Err(mpsc::RecvError),
+        }
+    }
+    rx.recv()
+}
+
+/// A persistent worker: owns a contiguous range of logical shards for
+/// the whole run and executes one lookahead window per command.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<E, S, T, F, C>(
+    base: usize,
+    shards: &mut [ShardState<E>],
+    states: &mut [S],
+    num_shards: usize,
+    lookahead: SimDuration,
+    horizon: SimTime,
+    rx: &mpsc::Receiver<EpochCmd<E>>,
+    tx: &mpsc::Sender<EpochOut<E, T>>,
+    handler: &F,
+    collect: &C,
+) where
+    F: Fn(&mut S, &mut ShardCtx<'_, E>, SimTime, E),
+    C: Fn(&mut S) -> T,
+{
+    while let Ok(cmd) = recv_spin(rx) {
+        for (dst, t, ev) in cmd.deliveries {
+            shards[dst - base].queue.push(t, ev);
+        }
+        let mut outbox: Vec<Outgoing<E>> = Vec::new();
+        let mut steps = 0u64;
+        let mut budget_hit = false;
+        let mut collected = Vec::with_capacity(states.len());
+        for (i, (shard, state)) in shards.iter_mut().zip(states.iter_mut()).enumerate() {
+            let (out, s, hit) = run_window(
+                shard,
+                state,
+                base + i,
+                num_shards,
+                cmd.window_end,
+                cmd.inclusive,
+                horizon,
+                cmd.budget,
+                lookahead,
+                handler,
+            );
+            steps += s;
+            budget_hit |= hit;
+            outbox.extend(out);
+            collected.push(collect(state));
+        }
+        let peeks = shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (base + i, s.queue.peek_time()))
+            .collect();
+        if tx
+            .send(EpochOut {
+                outbox,
+                steps,
+                budget_hit,
+                peeks,
+                collected,
+            })
+            .is_err()
+        {
+            break;
         }
     }
 }
@@ -858,6 +1175,33 @@ mod tests {
         );
     }
 
+    /// A `send_in` at exactly the lookahead delay lands exactly on the
+    /// window edge — the earliest legal arrival — and is delivered in
+    /// the next epoch, never the producing one.
+    #[test]
+    fn send_in_at_exact_lookahead_delivers_at_window_edge() {
+        let l = LOOKAHEAD.as_nanos();
+        let mut sim: ShardedEventLoop<&'static str> = ShardedEventLoop::new(2, LOOKAHEAD);
+        sim.schedule(0, SimTime::ZERO, "sender");
+        let mut logs: Vec<Vec<(u64, &'static str)>> = vec![Vec::new(); 2];
+        sim.run(&mut logs, |log, ctx, _now, ev| {
+            log.push((ctx.now().as_nanos(), ev));
+            if ev == "sender" {
+                ctx.send_in(1, ctx.lookahead(), "edge");
+            }
+        });
+        assert_eq!(logs[0], vec![(0, "sender")]);
+        assert_eq!(logs[1], vec![(l, "edge")]);
+        // The edge arrival needed its own epoch.
+        assert_eq!(sim.epochs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead must be nonzero")]
+    fn zero_lookahead_is_rejected() {
+        let _: ShardedEventLoop<u8> = ShardedEventLoop::new(2, SimDuration::ZERO);
+    }
+
     #[test]
     #[should_panic(expected = "violates the lookahead window")]
     fn send_inside_window_panics() {
@@ -876,6 +1220,65 @@ mod tests {
         sim.run(&mut [(), ()], |_, ctx, _, _| {
             ctx.send_in(1, SimDuration::from_nanos(1), 1);
         });
+    }
+
+    /// Two messages arriving at the same instant from different shards
+    /// merge in *send time* order first, then source shard — the key
+    /// that keeps delivery independent of shard-to-thread packing.
+    #[test]
+    fn equal_arrival_ties_merge_in_send_time_order() {
+        let mut sim: ShardedEventLoop<&'static str> = ShardedEventLoop::new(3, LOOKAHEAD);
+        sim.schedule(0, SimTime::from_nanos(5), "a");
+        sim.schedule(1, SimTime::ZERO, "b");
+        let target = SimTime::ZERO + LOOKAHEAD + LOOKAHEAD;
+        let mut logs: Vec<Vec<&'static str>> = vec![Vec::new(); 3];
+        sim.run(&mut logs, |log, ctx, _, ev| {
+            log.push(ev);
+            match ev {
+                "a" => ctx.send(2, target, "from-a"),
+                "b" => ctx.send(2, target, "from-b"),
+                _ => {}
+            }
+        });
+        // Shard 1 sent at t=0, shard 0 at t=5: the earlier send wins the
+        // equal-arrival tie even though its source index is higher.
+        assert_eq!(logs[2], vec!["from-b", "from-a"]);
+    }
+
+    /// The per-epoch collect/hook seam: everything collected at a
+    /// barrier lies strictly below the reported watermark, and nothing
+    /// is lost or duplicated.
+    #[test]
+    fn epoch_hook_sees_collected_output_below_the_watermark() {
+        let mut sim: ShardedEventLoop<u32> = ShardedEventLoop::new(2, LOOKAHEAD);
+        sim.schedule(0, SimTime::ZERO, 0);
+        let mut states: Vec<Vec<u64>> = vec![Vec::new(); 2];
+        let mut all = Vec::new();
+        let reason = sim.run_threaded(
+            &mut states,
+            SimTime::MAX,
+            u64::MAX,
+            2,
+            |seen: &mut Vec<u64>, ctx, now, hop| {
+                seen.push(now.as_nanos());
+                if hop < 5 {
+                    ctx.send_in(1 - ctx.shard(), ctx.lookahead(), hop + 1);
+                }
+            },
+            std::mem::take,
+            |watermark, collected: Vec<Vec<u64>>| {
+                for t in collected.into_iter().flatten() {
+                    assert!(
+                        SimTime::from_nanos(t) < watermark,
+                        "collected event at {t} not below watermark {watermark}"
+                    );
+                    all.push(t);
+                }
+            },
+        );
+        assert_eq!(reason, StopReason::Drained);
+        let l = LOOKAHEAD.as_nanos();
+        assert_eq!(all, vec![0, l, 2 * l, 3 * l, 4 * l, 5 * l]);
     }
 
     #[test]
@@ -961,7 +1364,76 @@ mod tests {
         assert!(result.is_err());
     }
 
+    /// Runs the toy protocol through `run_threaded` with an explicit
+    /// worker-thread count.
+    fn run_threaded_case(
+        num_shards: usize,
+        threads: usize,
+        seeds: &[(usize, u64, Ev)],
+    ) -> Vec<Vec<(u64, Ev)>> {
+        let mut sim: ShardedEventLoop<Ev> = ShardedEventLoop::new(num_shards, LOOKAHEAD);
+        for &(shard, at, ev) in seeds {
+            sim.schedule(shard, SimTime::from_nanos(at), ev);
+        }
+        let mut logs: Vec<Vec<(u64, Ev)>> = vec![Vec::new(); num_shards];
+        let reason = sim.run_threaded(
+            &mut logs,
+            SimTime::MAX,
+            u64::MAX,
+            threads,
+            |log: &mut Vec<(u64, Ev)>, ctx, now, ev| {
+                log.push((now.as_nanos(), ev));
+                for (dst, delay, next) in follow_ups(ev, ctx.shard(), ctx.num_shards()) {
+                    if dst == ctx.shard() {
+                        ctx.schedule_in(delay, next);
+                    } else {
+                        ctx.send_in(dst, delay, next);
+                    }
+                }
+            },
+            |_| (),
+            |_, _: Vec<()>| {},
+        );
+        assert_eq!(reason, StopReason::Drained);
+        logs
+    }
+
+    /// FNV digest of per-shard execution logs.
+    fn log_digest(logs: &[Vec<(u64, Ev)>]) -> u64 {
+        let mut h = crate::digest::Fnv64::new();
+        for (i, log) in logs.iter().enumerate() {
+            h.write_u64(i as u64);
+            for &(t, ev) in log {
+                h.write_u64(t);
+                h.write_u64(ev.id);
+                h.write_u64(u64::from(ev.hops));
+            }
+        }
+        h.finish()
+    }
+
     proptest! {
+        /// Digest invariance across both the shard count and the worker
+        /// thread count: for every `(num_shards, threads)` pair the
+        /// execution digest equals the sequential oracle's.
+        #[test]
+        fn digests_invariant_across_shards_and_threads(
+            num_shards in 1usize..6,
+            threads in 1usize..5,
+            seeds in proptest::collection::vec((0usize..6, 0u64..1_000_000, 1u64..1000, 0u8..5), 1..10),
+        ) {
+            let seeds: Vec<(usize, u64, Ev)> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, &(shard, at, id, hops))| {
+                    (shard % num_shards, at, Ev { id: id * 1000 + i as u64, hops })
+                })
+                .collect();
+            let oracle = log_digest(&run_sequential(num_shards, &seeds));
+            let threaded = log_digest(&run_threaded_case(num_shards, threads, &seeds));
+            prop_assert_eq!(oracle, threaded);
+        }
+
         /// For arbitrary seed workloads, every shard's execution log on
         /// the sharded engine is identical to the same logical process's
         /// log under the sequential oracle.

@@ -50,8 +50,11 @@ pub use verify::{verify_sweep, verify_sweep_with, VerifyReport};
 
 /// Version of the JSON artifact schema this harness writes (sweep
 /// artifacts and bench baselines alike). Bumped whenever a field is
-/// added, removed, or changes meaning; artifacts from different schema
-/// versions must never be compared — see [`artifact_schema_version`].
+/// removed or changes meaning; artifacts from different schema versions
+/// must never be compared — see [`artifact_schema_version`]. Purely
+/// additive fields (readers treat absence as the documented default,
+/// e.g. `engine_shards` absent = 1) do not bump the schema, so newer
+/// binaries stay comparable against committed baselines.
 pub const SCHEMA_VERSION: u64 = 4;
 
 /// Extracts the `schema_version` field from an artifact's JSON text.
@@ -168,6 +171,12 @@ pub struct RunRecord {
     /// behaviourally invisible — digests are bit-identical for any
     /// count — so this only contextualizes the wall-clock numbers.
     pub shards: usize,
+    /// Engine worker-thread count the run executed with. Like monitor
+    /// sharding, behaviourally invisible: a multi-cluster machine
+    /// always partitions per cluster, this only packs the shards onto
+    /// threads. Additive schema-4 field — absent in older artifacts,
+    /// which all ran with 1.
+    pub engine_shards: usize,
     /// Events in the merged monitoring trace.
     pub trace_events: usize,
     /// FNV-1a digest over the merged trace and the run outcome,
@@ -286,6 +295,14 @@ pub fn compare_artifacts(baseline: &str, candidate: &str) -> Result<String, Vec<
         "{:<14} {:>14} {:>14} {:>8}",
         "run", "base ev/s", "cand ev/s", "speedup"
     );
+    // Aggregates over the digest-matched pairs: total throughput is
+    // events over wall time on each side (events reconstructed as
+    // ev/s × wall), the summary speedup is the geometric mean of the
+    // per-run ratios so no single long run dominates.
+    let mut log_speedup_sum = 0.0f64;
+    let mut matched = 0u32;
+    let (mut base_events, mut base_wall_ms) = (0.0f64, 0.0f64);
+    let (mut cand_events, mut cand_wall_ms) = (0.0f64, 0.0f64);
     for b in &base_runs {
         let Some(c) = cand_runs.iter().find(|c| c.label == b.label) else {
             errors.push(format!("run '{}' is missing from the candidate", b.label));
@@ -304,10 +321,36 @@ pub fn compare_artifacts(baseline: &str, candidate: &str) -> Result<String, Vec<
         } else {
             0.0
         };
+        if speedup > 0.0 {
+            log_speedup_sum += speedup.ln();
+            matched += 1;
+        }
+        base_events += b.events_per_sec * (b.wall_ms / 1e3);
+        base_wall_ms += b.wall_ms;
+        cand_events += c.events_per_sec * (c.wall_ms / 1e3);
+        cand_wall_ms += c.wall_ms;
         let _ = writeln!(
             rows,
             "{:<14} {:>14.0} {:>14.0} {:>7.2}x",
             b.label, b.events_per_sec, c.events_per_sec, speedup
+        );
+    }
+    if matched > 0 {
+        let geo_mean = (log_speedup_sum / f64::from(matched)).exp();
+        let total = |events: f64, wall_ms: f64| {
+            if wall_ms > 0.0 {
+                events / (wall_ms / 1e3)
+            } else {
+                0.0
+            }
+        };
+        let _ = writeln!(
+            rows,
+            "{:<14} {:>14.0} {:>14.0} {:>7.2}x  (geometric mean; totals are events/s)",
+            "aggregate",
+            total(base_events, base_wall_ms),
+            total(cand_events, cand_wall_ms),
+            geo_mean
         );
     }
     for c in &cand_runs {
@@ -373,6 +416,7 @@ pub fn execute(spec: &RunSpec) -> RunRecord {
             0.0
         },
         shards: run.shards,
+        engine_shards: run.engine_shards,
         trace_events: run.trace.len(),
         trace_digest: trace_digest(
             &run.trace,
@@ -498,6 +542,7 @@ impl SweepReport {
                     .u64("events_processed", r.events_processed)
                     .f64("events_per_sec", r.events_per_sec)
                     .u64("shards", r.shards as u64)
+                    .u64("engine_shards", r.engine_shards as u64)
                     .u64("trace_events", r.trace_events as u64)
                     .str("trace_digest", &r.trace_digest)
                     .u64("work_units", r.work_units)
@@ -904,6 +949,7 @@ mod tests {
         assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
         assert!(json.contains("\"analysis_ms\""));
         assert!(json.contains("\"shards\": 1"));
+        assert!(json.contains("\"engine_shards\": 1"));
     }
 
     #[test]
@@ -923,6 +969,41 @@ mod tests {
         assert!(runs[0].events_per_sec > 0.0);
         let table = compare_artifacts(&json, &json).unwrap();
         assert!(table.contains("1.00x"), "{table}");
+    }
+
+    #[test]
+    fn compare_aggregate_row_summarizes_matched_runs() {
+        // Hand-written schema-4 fixtures with round numbers so the
+        // aggregate arithmetic is checkable by eye: both sides carry
+        // 2 000 events per run (ev/s × wall agrees), run 'a' speeds up
+        // 2×, run 'b' not at all.
+        let artifact = |a_evs: f64, a_wall: f64, b_evs: f64, b_wall: f64| {
+            format!(
+                "{{\n\"schema_version\": {SCHEMA_VERSION},\n\
+                 \"label\": \"a\",\n\
+                 \"trace_digest\": \"aaaaaaaaaaaaaaaa\",\n\
+                 \"events_per_sec\": {a_evs},\n\
+                 \"wall_ms\": {a_wall},\n\
+                 \"label\": \"b\",\n\
+                 \"trace_digest\": \"bbbbbbbbbbbbbbbb\",\n\
+                 \"events_per_sec\": {b_evs},\n\
+                 \"wall_ms\": {b_wall}\n}}\n"
+            )
+        };
+        let baseline = artifact(1000.0, 2000.0, 4000.0, 500.0);
+        let candidate = artifact(2000.0, 1000.0, 4000.0, 500.0);
+        let table = compare_artifacts(&baseline, &candidate).unwrap();
+        let aggregate = table
+            .lines()
+            .find(|l| l.starts_with("aggregate"))
+            .expect("aggregate row");
+        // Totals: 4 000 events over 2.5 s vs over 1.5 s; the summary
+        // speedup is the geometric mean √(2.0 × 1.0) ≈ 1.41, not the
+        // arithmetic mean 1.5.
+        assert!(aggregate.contains("1600"), "{aggregate}");
+        assert!(aggregate.contains("2667"), "{aggregate}");
+        assert!(aggregate.contains("1.41x"), "{aggregate}");
+        assert!(aggregate.contains("geometric mean"), "{aggregate}");
     }
 
     #[test]

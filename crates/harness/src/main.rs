@@ -3,19 +3,23 @@
 //! ```text
 //! harness list
 //! harness sweep <name> [--scale paper|quick] [--workers N] [--seed S]
-//!                      [--shards K] [--horizon-secs T] [--out PATH]
-//!                      [--check-digests FILE] [--write-digests FILE]
+//!                      [--shards K] [--engine-shards K] [--horizon-secs T]
+//!                      [--out PATH] [--check-digests FILE]
+//!                      [--write-digests FILE]
 //! harness bench [names…] [--scale paper|quick] [--workers N] [--seed S]
-//!                        [--shards K] [--out PATH] [--check-digests FILE]
+//!                        [--shards K] [--engine-shards K] [--out PATH]
+//!                        [--check-digests FILE]
 //! harness compare <BASELINE.json> <CANDIDATE.json>
 //! harness verify [name] [--scale paper|quick] [--seed S]
 //!                       [--json PATH] [--sarif PATH] [--races]
 //! ```
 //!
 //! `--shards K` runs every job's monitor plane on `K` observer shards
-//! overlapped with the kernel. Sharding is behaviourally invisible —
+//! overlapped with the kernel. `--engine-shards K` packs a multi-cluster
+//! machine's per-cluster engine shards onto `K` worker threads
+//! (single-cluster shapes ignore it). Both are behaviourally invisible —
 //! trace digests stay bit-identical to the sequential oracle for any
-//! `K` — so the flag only changes wall-clock numbers.
+//! `K` — so the flags only change wall-clock numbers.
 //!
 //! `bench` runs the named sweeps (default: `fig10 smoke`) and writes a
 //! single dated baseline artifact (`artifacts/BENCH_<date>.json`) with
@@ -48,10 +52,12 @@ use harness::{default_workers, run_sweep, sweeps, BenchReport, Scale};
 const USAGE: &str = "usage:
   harness list
   harness sweep <name> [--scale paper|quick] [--workers N] [--seed S]
-                       [--shards K] [--horizon-secs T] [--out PATH]
-                       [--check-digests FILE] [--write-digests FILE]
+                       [--shards K] [--engine-shards K] [--horizon-secs T]
+                       [--out PATH] [--check-digests FILE]
+                       [--write-digests FILE]
   harness bench [names…] [--scale paper|quick] [--workers N] [--seed S]
-                         [--shards K] [--out PATH] [--check-digests FILE]
+                         [--shards K] [--engine-shards K] [--out PATH]
+                         [--check-digests FILE]
   harness compare <BASELINE.json> <CANDIDATE.json>
   harness verify [name] [--scale paper|quick] [--seed S]
                         [--json PATH] [--sarif PATH] [--races]
@@ -60,7 +66,9 @@ const USAGE: &str = "usage:
 truncates the runs; the sweep then exits 2 and marks each record).
 
 --shards runs each job's monitor plane on K observer shards overlapped
-with the kernel; digests stay bit-identical to the sequential oracle.
+with the kernel; --engine-shards packs a multi-cluster machine's
+per-cluster engine shards onto K worker threads. Both keep digests
+bit-identical to the sequential oracle.
 
 bench defaults to the fig10 and smoke sweeps and writes the combined
 baseline to artifacts/BENCH_<date>.json.
@@ -73,7 +81,7 @@ the model checker's proven orderings (ANALYZER_POLICY=off|warn|deny
 overrides the per-run pre-flight policy); --races adds the DPOR race
 cross-check with witness replay and vector-clock confirmation.
 
-sweeps: fig10, bundle, window, seeds, smoke, jacobi";
+sweeps: fig10, bundle, window, seeds, smoke, jacobi, scaling";
 
 struct Args {
     name: String,
@@ -81,6 +89,7 @@ struct Args {
     workers: usize,
     seed: u64,
     shards: Option<usize>,
+    engine_shards: Option<usize>,
     horizon_secs: Option<u64>,
     out: Option<PathBuf>,
     check_digests: Option<PathBuf>,
@@ -101,6 +110,7 @@ fn parse_sweep_args(rest: &[String]) -> Result<Args, String> {
         workers: default_workers(),
         seed: 1992,
         shards: None,
+        engine_shards: None,
         horizon_secs: None,
         out: None,
         check_digests: None,
@@ -136,6 +146,15 @@ fn parse_sweep_args(rest: &[String]) -> Result<Args, String> {
                         .ok_or("--shards needs a positive integer")?,
                 );
             }
+            "--engine-shards" => {
+                args.engine_shards = Some(
+                    value()?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&s| s > 0)
+                        .ok_or("--engine-shards needs a positive integer")?,
+                );
+            }
             "--horizon-secs" => {
                 args.horizon_secs = Some(
                     value()?
@@ -158,6 +177,7 @@ struct BenchArgs {
     workers: usize,
     seed: u64,
     shards: Option<usize>,
+    engine_shards: Option<usize>,
     out: Option<PathBuf>,
     check_digests: Option<PathBuf>,
 }
@@ -169,6 +189,7 @@ fn parse_bench_args(rest: &[String]) -> Result<BenchArgs, String> {
         workers: default_workers(),
         seed: 1992,
         shards: None,
+        engine_shards: None,
         out: None,
         check_digests: None,
     };
@@ -201,6 +222,15 @@ fn parse_bench_args(rest: &[String]) -> Result<BenchArgs, String> {
                         .ok()
                         .filter(|&s| s > 0)
                         .ok_or("--shards needs a positive integer")?,
+                );
+            }
+            "--engine-shards" => {
+                args.engine_shards = Some(
+                    value()?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&s| s > 0)
+                        .ok_or("--engine-shards needs a positive integer")?,
                 );
             }
             "--out" => args.out = Some(PathBuf::from(value()?)),
@@ -269,6 +299,7 @@ fn main() -> ExitCode {
             println!("  seeds   version 4 across five seeds (stability)");
             println!("  smoke   tiny CI sweep; digests are the determinism golden");
             println!("  jacobi  SPMD Jacobi worker ladder (second stock workload)");
+            println!("  scaling 16/32/64-node ladders (ray + jacobi) over 1-4 clusters");
             ExitCode::SUCCESS
         }
         Some("sweep") => {
@@ -290,12 +321,19 @@ fn main() -> ExitCode {
                     spec.job.override_shards(shards);
                 }
             }
+            if let Some(engine_shards) = args.engine_shards {
+                for spec in &mut sweep.runs {
+                    spec.job.override_engine_shards(engine_shards);
+                }
+            }
             eprintln!(
-                "running sweep '{}' ({} runs) on {} worker(s), {} shard(s)…",
+                "running sweep '{}' ({} runs) on {} worker(s), {} monitor shard(s), \
+                 {} engine shard(s)…",
                 sweep.name,
                 sweep.runs.len(),
                 args.workers,
-                args.shards.unwrap_or(1)
+                args.shards.unwrap_or(1),
+                args.engine_shards.unwrap_or(1)
             );
             let report = run_sweep(&sweep, args.workers);
             print!("{}", report.render_table());
@@ -363,6 +401,11 @@ fn main() -> ExitCode {
                 if let Some(shards) = args.shards {
                     for spec in &mut sweep.runs {
                         spec.job.override_shards(shards);
+                    }
+                }
+                if let Some(engine_shards) = args.engine_shards {
+                    for spec in &mut sweep.runs {
+                        spec.job.override_engine_shards(engine_shards);
                     }
                 }
                 eprintln!(

@@ -273,9 +273,78 @@ pub fn jacobi(scale: Scale, seed: u64) -> Sweep {
     }
 }
 
+/// Processor-count scaling over the torus — the former bespoke
+/// `ablation_scaling` binary migrated onto the sweep/digest
+/// infrastructure, so multi-cluster shapes get the same truncation and
+/// determinism gates as fig10/jacobi. Two ladders at 16, 32, and 64
+/// nodes (1, 2, and 4 clusters):
+///
+/// * the centralized V4 ray tracer, whose master is the paper's
+///   "hot-spot for communication" — utilization collapses as the ladder
+///   climbs;
+/// * the SPMD Jacobi solver, whose BSP exchange keeps every cluster
+///   busy — the shape where the per-cluster parallel engine pays.
+pub fn scaling(scale: Scale, seed: u64) -> Sweep {
+    let mut runs: Vec<RunSpec> = Vec::new();
+    for &servants in &[1u16, 3, 7, 15, 31, 63] {
+        let mut app = AppConfig::version(Version::V4);
+        app.servants = servants;
+        app.width = scale.image(96, 32);
+        app.height = app.width;
+        match scale {
+            Scale::Paper => {
+                app.bundle_size = 32;
+                app.write_chunk = 64;
+            }
+            Scale::Quick => {
+                app.bundle_size = 8;
+                app.pixel_queue_capacity = 2_048;
+                app.write_chunk = 8;
+            }
+        }
+        let mut cfg = experiment_config(app, seed);
+        // The 64-node rung needs more simulated time than the standard
+        // experiment budget: the master administers every ray.
+        cfg.horizon = SimTime::from_secs(360_000);
+        runs.push(RunSpec {
+            label: format!("ray-n{}", servants + 1),
+            job: Job::new(cfg),
+            version: Some(Version::V4),
+            paper_percent: None,
+        });
+    }
+    let (cells_per_worker, iterations) = match scale {
+        Scale::Paper => (48, 40),
+        Scale::Quick => (8, 6),
+    };
+    for &workers in &[15u16, 31, 63] {
+        let mut cfg = PipelineConfig::new(JacobiConfig {
+            workers,
+            cells_per_worker,
+            iterations,
+            ..JacobiConfig::default()
+        });
+        cfg.seed = seed;
+        cfg.horizon = SimTime::from_secs(360_000);
+        cfg.preflight = analyzer::workload_warn();
+        runs.push(RunSpec {
+            label: format!("jacobi-n{}", workers + 1),
+            job: Job::new(cfg),
+            version: None,
+            paper_percent: None,
+        });
+    }
+    Sweep {
+        name: "scaling".into(),
+        runs,
+    }
+}
+
 /// The names [`by_name`] understands, for `harness list` and usage
 /// messages.
-pub const NAMES: [&str; 6] = ["fig10", "bundle", "window", "seeds", "smoke", "jacobi"];
+pub const NAMES: [&str; 7] = [
+    "fig10", "bundle", "window", "seeds", "smoke", "jacobi", "scaling",
+];
 
 /// Resolves a sweep by CLI name.
 pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<Sweep> {
@@ -286,6 +355,7 @@ pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<Sweep> {
         "seeds" => Some(seeds(scale, seed)),
         "smoke" => Some(smoke(seed)),
         "jacobi" => Some(jacobi(scale, seed)),
+        "scaling" => Some(scaling(scale, seed)),
         _ => None,
     }
 }
@@ -325,6 +395,31 @@ mod tests {
         let mut prints: Vec<String> = sweep.runs.iter().map(|r| r.job.fingerprint()).collect();
         prints.dedup();
         assert_eq!(prints.len(), 3);
+    }
+
+    #[test]
+    fn scaling_sweep_spans_single_and_multi_cluster_shapes() {
+        let sweep = scaling(Scale::Quick, 1992);
+        let labels: Vec<&str> = sweep.runs.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "ray-n2",
+                "ray-n4",
+                "ray-n8",
+                "ray-n16",
+                "ray-n32",
+                "ray-n64",
+                "jacobi-n16",
+                "jacobi-n32",
+                "jacobi-n64"
+            ]
+        );
+        // Each rung is a distinct configuration.
+        let mut prints: Vec<String> = sweep.runs.iter().map(|r| r.job.fingerprint()).collect();
+        prints.sort();
+        prints.dedup();
+        assert_eq!(prints.len(), 9);
     }
 
     #[test]

@@ -20,8 +20,7 @@
 //! sweep records — applies unchanged; [`run_jacobi`] remains as the
 //! one-call convenience wrapper.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use des::time::SimDuration;
 use simple::{ActivityModel, Trace};
@@ -82,9 +81,9 @@ impl Workload for JacobiConfig {
     }
 
     fn validate(&self) -> Result<(), String> {
-        if !(1..=15).contains(&self.workers) {
+        if !(1..=255).contains(&self.workers) {
             return Err(format!(
-                "workers must be 1..=15 (one worker per servant node of a cluster), got {}",
+                "workers must be 1..=255 (one worker per node, spanning clusters as needed), got {}",
                 self.workers
             ));
         }
@@ -120,21 +119,21 @@ impl Workload for JacobiConfig {
 
     fn launch(&self, machine: &mut Machine) -> Harvest<JacobiOutput> {
         let n = self.workers as usize * self.cells_per_worker as usize;
-        let cfg = Rc::new(self.clone());
-        let solution = Rc::new(RefCell::new(vec![0.0f64; n]));
+        let cfg = Arc::new(self.clone());
+        let solution = Arc::new(Mutex::new(vec![0.0f64; n]));
         machine.add_process(
             NodeId::new(0),
             Box::new(Coordinator {
                 cfg: cfg.clone(),
-                peers: Rc::new(RefCell::new(Vec::new())),
+                peers: Vec::new(),
                 solution: solution.clone(),
                 spawned: 0,
+                started: 0,
                 reports: 0,
-                started: false,
             }),
         );
         Box::new(move |_machine| {
-            let solution = solution.borrow().clone();
+            let solution = solution.lock().unwrap().clone();
             let reference = sequential_reference(&cfg);
             let max_error = solution
                 .iter()
@@ -204,6 +203,17 @@ struct Boundary {
     value: f64,
 }
 
+/// The coordinator's kick-off message: a worker's neighbours in the
+/// strip chain. Delivering the topology by message (instead of through
+/// shared memory) keeps the workload honest — exactly what a real
+/// SUPRENUM program would do — and gives every worker a
+/// happens-before edge from the complete spawn phase.
+#[derive(Debug, Clone, Copy)]
+struct Start {
+    left: Option<ProcessId>,
+    right: Option<ProcessId>,
+}
+
 #[derive(Debug, Clone)]
 struct StripReport {
     index: u16,
@@ -212,6 +222,7 @@ struct StripReport {
 
 enum WState {
     Boot,
+    AwaitStart,
     ExchangeEmit,
     Sending,
     Receiving,
@@ -223,9 +234,10 @@ enum WState {
 
 struct Worker {
     index: u16,
-    cfg: Rc<JacobiConfig>,
+    cfg: Arc<JacobiConfig>,
     coordinator: ProcessId,
-    peers: Rc<RefCell<Vec<ProcessId>>>,
+    left: Option<ProcessId>,
+    right: Option<ProcessId>,
     cells: Vec<f64>,
     iter: u32,
     state: WState,
@@ -233,21 +245,20 @@ struct Worker {
     awaiting: u8,
     left_ghost: f64,
     right_ghost: f64,
+    /// Boundary values that arrived ahead of the iteration that needs
+    /// them (a fast neighbour can run one exchange ahead).
+    stash: Vec<Boundary>,
 }
 
 impl Worker {
-    fn new(
-        index: u16,
-        cfg: Rc<JacobiConfig>,
-        coordinator: ProcessId,
-        peers: Rc<RefCell<Vec<ProcessId>>>,
-    ) -> Box<Worker> {
+    fn new(index: u16, cfg: Arc<JacobiConfig>, coordinator: ProcessId) -> Box<Worker> {
         let cells = vec![0.0; cfg.cells_per_worker as usize];
         Box::new(Worker {
             index,
             cfg,
             coordinator,
-            peers,
+            left: None,
+            right: None,
             cells,
             iter: 0,
             state: WState::Boot,
@@ -255,15 +266,48 @@ impl Worker {
             awaiting: 0,
             left_ghost: 0.0,
             right_ghost: 0.0,
+            stash: Vec::new(),
         })
     }
 
     fn has_left(&self) -> bool {
-        self.index > 0
+        self.left.is_some()
     }
 
     fn has_right(&self) -> bool {
-        (self.index as usize) + 1 < self.peers.borrow().len()
+        self.right.is_some()
+    }
+
+    /// Applies a boundary for the current iteration, or stashes one
+    /// that ran ahead. Returns `true` if the current iteration's wait
+    /// count dropped.
+    fn take_boundary(&mut self, b: Boundary) -> bool {
+        if b.iter == self.iter {
+            if b.from_left {
+                self.left_ghost = b.value;
+            } else {
+                self.right_ghost = b.value;
+            }
+            self.awaiting -= 1;
+            true
+        } else {
+            debug_assert!(b.iter > self.iter, "boundary from a finished iteration");
+            self.stash.push(b);
+            false
+        }
+    }
+
+    /// Drains stashed boundaries that belong to the current iteration.
+    fn drain_stash(&mut self) {
+        let mut i = 0;
+        while i < self.stash.len() {
+            if self.stash[i].iter == self.iter {
+                let b = self.stash.swap_remove(i);
+                self.take_boundary(b);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     fn begin_iteration(&mut self) -> Action {
@@ -286,11 +330,10 @@ impl Worker {
 
     fn next_send_or_receive(&mut self, ctx: &ProcCtx) -> Action {
         if let Some((to_left, value)) = self.sends_left.pop() {
-            let peers = self.peers.borrow();
             let dst = if to_left {
-                peers[self.index as usize - 1]
+                self.left.expect("send to missing left neighbour")
             } else {
-                peers[self.index as usize + 1]
+                self.right.expect("send to missing right neighbour")
             };
             self.state = WState::Sending;
             // The *receiver* sees this as coming from its right if we
@@ -305,6 +348,7 @@ impl Worker {
                 msg: Message::new(ctx.pid, 32, boundary),
             };
         }
+        self.drain_stash();
         if self.awaiting > 0 {
             self.state = WState::Receiving;
             return Action::MailboxRecv;
@@ -345,7 +389,25 @@ impl Worker {
 impl Process for Worker {
     fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action {
         match self.state {
-            WState::Boot => self.begin_iteration(),
+            WState::Boot => {
+                self.state = WState::AwaitStart;
+                Action::MailboxRecv
+            }
+            WState::AwaitStart => {
+                let Resume::MailboxMsg(msg) = why else {
+                    panic!("worker expected start message")
+                };
+                if let Some(b) = msg.payload::<Boundary>() {
+                    // A neighbour got its start first and is already
+                    // exchanging; keep waiting for ours.
+                    self.stash.push(*b);
+                    return Action::MailboxRecv;
+                }
+                let start = msg.payload::<Start>().expect("start message");
+                self.left = start.left;
+                self.right = start.right;
+                self.begin_iteration()
+            }
             WState::ExchangeEmit => self.next_send_or_receive(ctx),
             WState::Sending => {
                 debug_assert!(matches!(why, Resume::Sent));
@@ -356,13 +418,9 @@ impl Process for Worker {
                     panic!("worker expected boundary")
                 };
                 let b = *msg.payload::<Boundary>().expect("boundary message");
-                debug_assert_eq!(b.iter, self.iter, "boundary from a different iteration");
-                if b.from_left {
-                    self.left_ghost = b.value;
-                } else {
-                    self.right_ghost = b.value;
+                if !self.take_boundary(b) {
+                    return Action::MailboxRecv;
                 }
-                self.awaiting -= 1;
                 self.next_send_or_receive(ctx)
             }
             WState::ComputeEmit => {
@@ -404,44 +462,53 @@ impl Process for Worker {
 }
 
 struct Coordinator {
-    cfg: Rc<JacobiConfig>,
-    peers: Rc<RefCell<Vec<ProcessId>>>,
-    solution: Rc<RefCell<Vec<f64>>>,
+    cfg: Arc<JacobiConfig>,
+    peers: Vec<ProcessId>,
+    solution: Arc<Mutex<Vec<f64>>>,
     spawned: u16,
+    started: u16,
     reports: u16,
-    started: bool,
 }
 
 impl Process for Coordinator {
     fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action {
         if let Resume::Spawned(pid) = &why {
-            self.peers.borrow_mut().push(*pid);
+            self.peers.push(*pid);
         }
         if self.spawned < self.cfg.workers {
             let index = self.spawned;
             self.spawned += 1;
-            let body = Worker::new(index, self.cfg.clone(), ctx.pid, self.peers.clone());
+            let body = Worker::new(index, self.cfg.clone(), ctx.pid);
             return Action::Spawn {
                 node: NodeId::new(index + 1),
                 body,
             };
         }
-        if !self.started {
-            // Workers resolve their neighbours lazily from the shared
-            // peer table, which is complete before any of them runs its
-            // first exchange (remote spawns take 2 ms; we are still
-            // inside the coordinator's first scheduling run).
-            self.started = true;
+        if self.started < self.cfg.workers {
+            // Every worker is spawned; hand each its neighbours. A
+            // worker only starts exchanging once its start message
+            // arrives, so the chain is fully wired before any boundary
+            // traffic that concerns it.
+            let i = self.started as usize;
+            self.started += 1;
+            let start = Start {
+                left: (i > 0).then(|| self.peers[i - 1]),
+                right: (i + 1 < self.cfg.workers as usize).then(|| self.peers[i + 1]),
+            };
+            return Action::MailboxSend {
+                to: self.peers[i],
+                msg: Message::new(ctx.pid, 16, start),
+            };
         }
         match why {
             Resume::MailboxMsg(msg) => {
                 let report = msg.payload::<StripReport>().expect("strip report").clone();
                 let base = report.index as usize * self.cfg.cells_per_worker as usize;
-                let mut solution = self.solution.borrow_mut();
+                let mut solution = self.solution.lock().unwrap();
                 solution[base..base + report.cells.len()].copy_from_slice(&report.cells);
                 self.reports += 1;
             }
-            Resume::Spawned(_) => {}
+            Resume::Sent => {}
             other => panic!("coordinator cannot handle {other:?}"),
         }
         if self.reports < self.cfg.workers {
@@ -589,7 +656,7 @@ mod tests {
         .validate()
         .is_err());
         assert!(JacobiConfig {
-            workers: 16,
+            workers: 256,
             ..JacobiConfig::default()
         }
         .validate()

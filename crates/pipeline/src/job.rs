@@ -30,6 +30,11 @@ pub struct ExecOverrides {
     /// `--shards` flag). Sharding is behaviourally invisible, so this
     /// does not perturb the configuration fingerprint.
     pub shards: Option<usize>,
+    /// Replaces the configured engine worker-thread count (the CLI's
+    /// `--engine-shards` flag). Like monitor sharding, behaviourally
+    /// invisible: multi-cluster machines always partition per cluster,
+    /// and this only packs the shards onto threads.
+    pub engine_shards: Option<usize>,
 }
 
 /// Everything a harness records about one executed job, with the
@@ -52,6 +57,8 @@ pub struct JobRun {
     pub analysis: std::time::Duration,
     /// Monitor-shard count the run actually executed with.
     pub shards: usize,
+    /// Engine worker-thread count the run actually executed with.
+    pub engine_shards: usize,
 }
 
 type Exec = dyn Fn(ExecOverrides) -> Result<JobRun, PreflightDenied> + Send + Sync;
@@ -68,6 +75,7 @@ pub struct Job {
     fingerprint: u64,
     horizon: Option<SimTime>,
     shards: Option<usize>,
+    engine_shards: Option<usize>,
     exec: Arc<Exec>,
 }
 
@@ -99,7 +107,11 @@ impl Job {
             if let Some(shards) = ov.shards {
                 cfg.shards = shards;
             }
+            if let Some(engine_shards) = ov.engine_shards {
+                cfg.engine_shards = engine_shards;
+            }
             let shards = cfg.shards;
+            let engine_shards = cfg.engine_shards;
             let workload = cfg.workload.clone();
             let result = match try_run_workload(cfg) {
                 Ok(result) => result,
@@ -118,6 +130,7 @@ impl Job {
                 orders: workload.proven_orders(),
                 analysis: result.analysis,
                 shards,
+                engine_shards,
             })
         });
         Job {
@@ -126,6 +139,7 @@ impl Job {
             fingerprint,
             horizon: None,
             shards: None,
+            engine_shards: None,
             exec,
         }
     }
@@ -159,6 +173,14 @@ impl Job {
         self.shards = Some(shards);
     }
 
+    /// Sets the engine worker-thread count for every subsequent
+    /// execution (the CLI's `--engine-shards`). Behaviourally
+    /// invisible: a multi-cluster machine always runs one logical
+    /// shard per cluster, and this only packs them onto threads.
+    pub fn override_engine_shards(&mut self, engine_shards: usize) {
+        self.engine_shards = Some(engine_shards);
+    }
+
     /// Executes the job with an optional pre-flight mode override.
     ///
     /// # Errors
@@ -170,6 +192,7 @@ impl Job {
             policy,
             horizon: self.horizon,
             shards: self.shards,
+            engine_shards: self.engine_shards,
         })
     }
 
@@ -225,6 +248,27 @@ mod tests {
         sharded.override_shards(2);
         let run = sharded.run();
         assert_eq!(run.shards, 2);
+        assert_eq!(reference.outcome, run.outcome);
+        assert_eq!(reference.trace, run.trace);
+    }
+
+    #[test]
+    fn engine_shards_override_is_behaviourally_invisible() {
+        // 18 workers + coordinator → 19 nodes → two clusters, so the
+        // parallel engine actually engages.
+        let cfg = PipelineConfig::new(JacobiConfig {
+            workers: 18,
+            iterations: 3,
+            cells_per_worker: 8,
+            ..JacobiConfig::default()
+        });
+        let job = Job::new(cfg);
+        let reference = job.run();
+        assert_eq!(reference.engine_shards, 1);
+        let mut threaded = job.clone();
+        threaded.override_engine_shards(2);
+        let run = threaded.run();
+        assert_eq!(run.engine_shards, 2);
         assert_eq!(reference.outcome, run.outcome);
         assert_eq!(reference.trace, run.trace);
     }

@@ -187,6 +187,16 @@ pub struct PipelineConfig<W: Workload> {
     /// The measurement is bit-identical for every shard count (the
     /// shard count is capped at the monitor's recorder count).
     pub shards: usize,
+    /// Engine worker threads for multi-cluster machines. A
+    /// multi-cluster kernel always partitions its state per cluster and
+    /// runs conservative parallel discrete-event simulation over the
+    /// torus ring; this knob only controls how many worker threads the
+    /// cluster shards are packed onto. `1` (the default) executes the
+    /// shards on the calling thread. Trace digests are bit-identical
+    /// for every value — the schedule is deterministic by construction.
+    /// Single-cluster machines ignore it and stay on the sequential
+    /// event loop.
+    pub engine_shards: usize,
 }
 
 impl<W: Workload> std::fmt::Debug for PipelineConfig<W> {
@@ -199,6 +209,7 @@ impl<W: Workload> std::fmt::Debug for PipelineConfig<W> {
             .field("horizon", &self.horizon)
             .field("preflight", &self.preflight)
             .field("shards", &self.shards)
+            .field("engine_shards", &self.engine_shards)
             .finish()
     }
 }
@@ -238,6 +249,7 @@ impl<W: Workload> PipelineConfig<W> {
             horizon: SimTime::from_secs(3_600),
             preflight: Preflight::off(),
             shards: 1,
+            engine_shards: 1,
         }
     }
 
@@ -245,9 +257,10 @@ impl<W: Workload> PipelineConfig<W> {
     /// monitor + seed + horizon), for artifact provenance. The
     /// pre-flight policy is excluded: it carries function pointers
     /// whose addresses vary between builds, and it does not change the
-    /// measured behaviour under `Off`/`Warn`. The shard count is also
-    /// excluded: shard counts produce bit-identical measurements, so
-    /// runs at different counts are comparable by construction.
+    /// measured behaviour under `Off`/`Warn`. The monitor and engine
+    /// shard counts are also excluded: every shard count produces a
+    /// bit-identical measurement, so runs at different counts are
+    /// comparable by construction.
     pub fn fingerprint(&self) -> u64 {
         let mut h = des::digest::Fnv64::new();
         h.write_bytes(self.workload.id().as_bytes());
@@ -344,6 +357,11 @@ pub fn try_run_workload<W: Workload>(
             "pipeline needs at least one monitor shard".into(),
         ));
     }
+    if cfg.engine_shards == 0 {
+        return Err(PipelineError::Invalid(
+            "pipeline needs at least one engine shard".into(),
+        ));
+    }
     let analysis_start = std::time::Instant::now();
     try_preflight(&cfg)?;
     let analysis = analysis_start.elapsed();
@@ -367,6 +385,7 @@ pub fn try_run_workload<W: Workload>(
     }
     let mut machine = Machine::new(machine_cfg, cfg.seed)
         .map_err(|e| PipelineError::Invalid(format!("invalid machine configuration: {e:?}")))?;
+    machine.set_engine_shards(cfg.engine_shards);
 
     let harvest = cfg.workload.launch(&mut machine);
     let channels = cfg.workload.channels(&machine);
@@ -508,6 +527,126 @@ mod tests {
         cfg.shards = 0;
         let err = try_run_workload(cfg).unwrap_err();
         assert!(err.to_string().contains("shard"));
+    }
+
+    #[test]
+    fn zero_engine_shards_is_refused() {
+        let mut cfg = PipelineConfig::new(jacobi::JacobiConfig::default());
+        cfg.engine_shards = 0;
+        let err = try_run_workload(cfg).unwrap_err();
+        assert!(err.to_string().contains("engine shard"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_shard_counts() {
+        let a = PipelineConfig::new(jacobi::JacobiConfig::default());
+        let mut b = a.clone();
+        b.shards = 4;
+        b.engine_shards = 8;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn multi_cluster_runs_are_identical_for_every_engine_shard_count() {
+        // 20 workers + coordinator → 21 nodes → two 16-node clusters:
+        // the kernel partitions per cluster and exchanges boundaries
+        // over the simulated token ring. `engine_shards` only packs the
+        // cluster shards onto worker threads, so every count must
+        // reproduce the same run bit for bit.
+        let base = PipelineConfig::new(jacobi::JacobiConfig {
+            workers: 20,
+            iterations: 4,
+            ..jacobi::JacobiConfig::default()
+        });
+        let reference = run_workload(base.clone());
+        assert!(reference.completed());
+        assert!(!reference.measurement.trace.is_empty());
+
+        for engine_shards in [2, 3, 8] {
+            let mut cfg = base.clone();
+            cfg.engine_shards = engine_shards;
+            let run = run_workload(cfg);
+            assert_eq!(run.outcome, reference.outcome, "{engine_shards} shards");
+            assert_eq!(
+                run.measurement.trace, reference.measurement.trace,
+                "{engine_shards} shards"
+            );
+            assert_eq!(run.trace, reference.trace, "{engine_shards} shards");
+            assert_eq!(
+                run.output.max_error, reference.output.max_error,
+                "{engine_shards} shards"
+            );
+            assert_eq!(run.intrusion, reference.intrusion, "{engine_shards} shards");
+        }
+    }
+
+    #[test]
+    fn engine_and_monitor_shards_compose() {
+        let base = PipelineConfig::new(jacobi::JacobiConfig {
+            workers: 18,
+            iterations: 3,
+            ..jacobi::JacobiConfig::default()
+        });
+        let reference = run_workload(base.clone());
+        assert!(reference.completed());
+        let mut cfg = base;
+        cfg.shards = 2;
+        cfg.engine_shards = 2;
+        let run = run_workload(cfg);
+        assert_eq!(run.outcome, reference.outcome);
+        assert_eq!(run.measurement.trace, reference.measurement.trace);
+        assert_eq!(run.trace, reference.trace);
+        assert_eq!(run.intrusion, reference.intrusion);
+    }
+
+    #[test]
+    fn engine_profile_reports_cross_cluster_balance() {
+        // The scaling sweep's jacobi-n64 shape: 63 workers + coordinator
+        // over four clusters. The profile is deterministic, so this is a
+        // regression gate on the engine's load distribution — the events
+        // must actually spread across clusters, or the parallel engine
+        // has nothing to win.
+        let cfg = PipelineConfig::new(jacobi::JacobiConfig {
+            workers: 63,
+            cells_per_worker: 48,
+            iterations: 40,
+            ..jacobi::JacobiConfig::default()
+        });
+        let run = run_workload(cfg);
+        assert!(run.completed());
+        let profile = run.machine.engine_profile().expect("multi-cluster engine");
+        assert_eq!(profile.shard_events.len(), 4);
+        assert_eq!(
+            profile.shard_events.iter().sum::<u64>(),
+            run.outcome.events,
+            "profile must account for every kernel event"
+        );
+        assert!(profile.shard_events.iter().all(|&e| e > 0));
+        assert!(
+            profile.balance_bound() > 1.2,
+            "engine parallelism bound {:.2} — the multi-cluster shape \
+             concentrated on one cluster",
+            profile.balance_bound()
+        );
+        assert!(profile.epochs > 0);
+        println!(
+            "jacobi-n64 profile: {} events over {} windows ({:.2} ev/window), \
+             shards {:?}, balance bound {:.2}x",
+            run.outcome.events,
+            profile.epochs,
+            profile.events_per_window(),
+            profile.shard_events,
+            profile.balance_bound()
+        );
+
+        // A single-cluster machine runs the sequential loop and has no
+        // engine profile.
+        let small = PipelineConfig::new(jacobi::JacobiConfig {
+            workers: 4,
+            iterations: 3,
+            ..jacobi::JacobiConfig::default()
+        });
+        assert!(run_workload(small).machine.engine_profile().is_none());
     }
 
     #[test]

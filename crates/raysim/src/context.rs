@@ -6,9 +6,8 @@
 //! the *time* tracing would take, while the host computes the actual
 //! colours once.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use des::time::SimDuration;
 use raytracer::{scenes, Camera, Color, CostModel, Scene, TraceConfig, Tracer, WorkCounters};
@@ -31,7 +30,7 @@ pub struct RenderContext {
 
 impl RenderContext {
     /// Builds the context for an application configuration.
-    pub fn new(cfg: &AppConfig) -> Rc<Self> {
+    pub fn new(cfg: &AppConfig) -> Arc<Self> {
         let (scene, camera) = match &cfg.scene {
             SceneKind::Quickstart => scenes::quickstart_scene(),
             SceneKind::Moderate => scenes::moderate_scene(),
@@ -42,7 +41,7 @@ impl RenderContext {
                 (desc.scene, desc.camera)
             }
         };
-        Rc::new(RenderContext {
+        Arc::new(RenderContext {
             scene,
             camera,
             trace: cfg.trace,
@@ -107,8 +106,50 @@ pub struct AppStats {
     pub servant_pool_peak: u32,
 }
 
-/// Shared mutable application state (single-threaded simulation).
-pub type Shared<T> = Rc<RefCell<T>>;
+/// Shared mutable application state.
+///
+/// Backed by a mutex so process bodies stay `Send` when the engine runs
+/// cluster shards on worker threads. Within one shard the simulation is
+/// still sequential, so the lock is uncontended; the `borrow` /
+/// `borrow_mut` names are kept because the access discipline is the
+/// same one `RefCell` enforced. Guards must not overlap — a nested
+/// borrow deadlocks where `RefCell` would have panicked.
+#[derive(Debug)]
+pub struct Shared<T>(Arc<Mutex<T>>);
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Shared<T> {
+    /// Wraps `value` for shared ownership.
+    pub fn new(value: T) -> Self {
+        Shared(Arc::new(Mutex::new(value)))
+    }
+
+    /// Locks the value for reading.
+    pub fn borrow(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Locks the value for writing.
+    pub fn borrow_mut(&self) -> MutexGuard<'_, T> {
+        self.borrow()
+    }
+
+    /// Extracts the value, cloning only if other owners remain.
+    pub fn unwrap_or_clone(self) -> T
+    where
+        T: Clone,
+    {
+        match Arc::try_unwrap(self.0) {
+            Ok(m) => m.into_inner().unwrap_or_else(|e| e.into_inner()),
+            Err(arc) => arc.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+        }
+    }
+}
 
 /// One communication-agent pool: the shared variables between an owner
 /// process (master or servant) and its agents — the "pool of
@@ -136,13 +177,13 @@ impl AgentPool {
     /// Creates an empty pool. `base_cond` must leave room for one
     /// condition id per agent the pool may ever grow to.
     pub fn new(base_cond: u64) -> Shared<AgentPool> {
-        Rc::new(RefCell::new(AgentPool {
+        Shared::new(AgentPool {
             base_cond,
             queue: VecDeque::new(),
             free: Vec::new(),
             busy_agents: 0,
             total_agents: 0,
-        }))
+        })
     }
 
     /// The private condition agent `index` sleeps on.

@@ -13,7 +13,7 @@
 //! *Distribute Jobs*. When the last pixel is written the master exits —
 //! and termination of the initial process terminates the application.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use raytracer::Framebuffer;
 use suprenum::{Action, Message, NodeId, ProcCtx, Process, ProcessId, Resume};
@@ -52,8 +52,8 @@ enum MState {
 
 /// The master process.
 pub struct Master {
-    cfg: Rc<AppConfig>,
-    ctx: Rc<RenderContext>,
+    cfg: Arc<AppConfig>,
+    ctx: Arc<RenderContext>,
     stats: Shared<AppStats>,
     fb: Shared<Framebuffer>,
     pool: Shared<AgentPool>,
@@ -77,8 +77,8 @@ impl Master {
     /// Creates the master. `fb` receives the assembled image; `stats`
     /// collects application counters.
     pub fn new(
-        cfg: Rc<AppConfig>,
-        ctx: Rc<RenderContext>,
+        cfg: Arc<AppConfig>,
+        ctx: Arc<RenderContext>,
         stats: Shared<AppStats>,
         fb: Shared<Framebuffer>,
     ) -> Box<Master> {
@@ -428,7 +428,6 @@ mod tests {
     use super::*;
     use crate::config::{SceneKind, Version};
     use des::time::SimTime;
-    use std::cell::RefCell;
 
     fn setup(version: Version) -> (Box<Master>, ProcCtx) {
         let mut cfg = AppConfig::version(version);
@@ -436,10 +435,10 @@ mod tests {
         cfg.width = 8;
         cfg.height = 8;
         cfg.servants = 2;
-        let cfg = Rc::new(cfg);
+        let cfg = Arc::new(cfg);
         let ctx = RenderContext::new(&cfg);
-        let stats = Rc::new(RefCell::new(AppStats::default()));
-        let fb = Rc::new(RefCell::new(Framebuffer::new(cfg.width, cfg.height)));
+        let stats = Shared::new(AppStats::default());
+        let fb = Shared::new(Framebuffer::new(cfg.width, cfg.height));
         let master = Master::new(cfg, ctx, stats, fb);
         let pctx = ProcCtx {
             pid: ProcessId::new(0),

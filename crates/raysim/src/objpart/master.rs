@@ -1,8 +1,7 @@
 //! The object-partition master: broadcasts wavefront rounds, reduces
 //! the partitions' answers, shades, and assembles the image.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use raytracer::Framebuffer;
 use suprenum::{Action, Message, NodeId, ProcCtx, Process, ProcessId, Resume};
@@ -37,16 +36,16 @@ enum State {
 
 /// The object-partitioning master process.
 pub struct ObjMaster {
-    cfg: Rc<ObjPartConfig>,
-    ctx: Rc<RenderContext>,
+    cfg: Arc<ObjPartConfig>,
+    ctx: Arc<RenderContext>,
     stats: Shared<AppStats>,
     fb: Shared<Framebuffer>,
-    rounds_out: Rc<RefCell<u32>>,
+    rounds_out: Shared<u32>,
     state: State,
     servants: Vec<ProcessId>,
     ready: u32,
     engine: Option<WavefrontEngine>,
-    tasks: Rc<Vec<super::wavefront::RayTask>>,
+    tasks: Arc<Vec<super::wavefront::RayTask>>,
     answers: RoundAnswers,
     round: u32,
     results_pending: u32,
@@ -58,11 +57,11 @@ impl ObjMaster {
     /// Creates the master. `rounds_out` receives the executed round
     /// count.
     pub fn new(
-        cfg: Rc<ObjPartConfig>,
-        ctx: Rc<RenderContext>,
+        cfg: Arc<ObjPartConfig>,
+        ctx: Arc<RenderContext>,
         stats: Shared<AppStats>,
         fb: Shared<Framebuffer>,
-        rounds_out: Rc<RefCell<u32>>,
+        rounds_out: Shared<u32>,
     ) -> Box<ObjMaster> {
         Box::new(ObjMaster {
             cfg,
@@ -74,7 +73,7 @@ impl ObjMaster {
             servants: Vec::new(),
             ready: 0,
             engine: None,
-            tasks: Rc::new(Vec::new()),
+            tasks: Arc::new(Vec::new()),
             answers: RoundAnswers::default(),
             round: 0,
             results_pending: 0,
@@ -93,7 +92,7 @@ impl ObjMaster {
             let (px, py) = (idx % w, idx / w);
             (idx, camera.ray_for(px, py, w, h, (0.5, 0.5)))
         });
-        self.tasks = Rc::new(engine.primary_tasks(primaries));
+        self.tasks = Arc::new(engine.primary_tasks(primaries));
         self.engine = Some(engine);
     }
 
@@ -131,7 +130,7 @@ impl ObjMaster {
     fn after_shade(&mut self) -> Action {
         let engine = self.engine.as_mut().expect("engine");
         let next = engine.shade_round(&self.tasks, &self.answers);
-        self.tasks = Rc::new(next);
+        self.tasks = Arc::new(next);
         if self.tasks.is_empty() {
             // Assemble the picture and write it once.
             let (w, _) = self.ctx.dimensions();

@@ -22,15 +22,14 @@ pub mod partition;
 pub mod servant;
 pub mod wavefront;
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use des::time::{SimDuration, SimTime};
 use raytracer::Framebuffer;
 use suprenum::NodeId;
 
 use crate::config::AppConfig;
-use crate::context::{AppStats, RenderContext};
+use crate::context::{AppStats, RenderContext, Shared};
 
 /// Configuration of an object-partitioned run.
 #[derive(Debug, Clone)]
@@ -128,14 +127,11 @@ pub fn run_object_partitioned(cfg: ObjPartConfig, seed: u64, horizon: SimTime) -
     };
     let mut machine = suprenum::Machine::new(machine_cfg, seed).expect("valid machine");
 
-    let cfg = Rc::new(cfg);
+    let cfg = Arc::new(cfg);
     let ctx = RenderContext::new(&cfg.app);
-    let stats = Rc::new(RefCell::new(AppStats::default()));
-    let fb = Rc::new(RefCell::new(Framebuffer::new(
-        cfg.app.width,
-        cfg.app.height,
-    )));
-    let rounds = Rc::new(RefCell::new(0u32));
+    let stats = Shared::new(AppStats::default());
+    let fb = Shared::new(Framebuffer::new(cfg.app.width, cfg.app.height));
+    let rounds = Shared::new(0u32);
     let max_objects = ctx
         .scene()
         .primitive_count()
@@ -150,9 +146,7 @@ pub fn run_object_partitioned(cfg: ObjPartConfig, seed: u64, horizon: SimTime) -
     let measurement = zm4::Zm4::new(zm4::Zm4Config::default(), channels, seed).observe(&samples);
     let trace = crate::run::to_simple_trace(&measurement);
 
-    let image = Rc::try_unwrap(fb)
-        .map(RefCell::into_inner)
-        .unwrap_or_else(|rc| rc.borrow().clone());
+    let image = fb.unwrap_or_clone();
     let rounds = *rounds.borrow();
     ObjRunResult {
         outcome,

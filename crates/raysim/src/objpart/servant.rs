@@ -1,7 +1,7 @@
 //! The object-partition servant: answers broadcast ray rounds against
 //! its fraction of the scene.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use raytracer::WorkCounters;
 use suprenum::{Action, Message, ProcCtx, Process, ProcessId, Resume};
@@ -20,7 +20,7 @@ pub struct ObjJob {
     /// Round number.
     pub round: u32,
     /// The wavefront tasks.
-    pub tasks: Rc<Vec<RayTask>>,
+    pub tasks: Arc<Vec<RayTask>>,
 }
 
 /// A partition's answers for one round.
@@ -50,8 +50,8 @@ enum State {
 /// One object-partition servant.
 pub struct ObjServant {
     index: u32,
-    cfg: Rc<ObjPartConfig>,
-    ctx: Rc<RenderContext>,
+    cfg: Arc<ObjPartConfig>,
+    ctx: Arc<RenderContext>,
     master: ProcessId,
     partition: Option<PartitionIndex>,
     state: State,
@@ -64,8 +64,8 @@ impl ObjServant {
     /// `index - 1` of `servants`).
     pub fn new(
         index: u32,
-        cfg: Rc<ObjPartConfig>,
-        ctx: Rc<RenderContext>,
+        cfg: Arc<ObjPartConfig>,
+        ctx: Arc<RenderContext>,
         master: ProcessId,
     ) -> Box<ObjServant> {
         Box::new(ObjServant {

@@ -102,6 +102,7 @@ impl RunConfig {
             horizon: self.horizon,
             preflight: Preflight::off(),
             shards: self.shards,
+            engine_shards: 1,
         }
     }
 }

@@ -7,7 +7,7 @@
 //! communication agent on its own node and immediately waits for the
 //! next job.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use suprenum::{Action, Message, ProcCtx, Process, ProcessId, Resume};
 
@@ -36,8 +36,8 @@ enum SState {
 /// One servant process.
 pub struct Servant {
     index: u32,
-    cfg: Rc<AppConfig>,
-    ctx: Rc<RenderContext>,
+    cfg: Arc<AppConfig>,
+    ctx: Arc<RenderContext>,
     render_stats: Shared<AppStats>,
     master: ProcessId,
     pool: Shared<AgentPool>,
@@ -50,8 +50,8 @@ impl Servant {
     /// Creates servant number `index` (1-based, matching its node).
     pub fn new(
         index: u32,
-        cfg: Rc<AppConfig>,
-        ctx: Rc<RenderContext>,
+        cfg: Arc<AppConfig>,
+        ctx: Arc<RenderContext>,
         render_stats: Shared<AppStats>,
         master: ProcessId,
     ) -> Box<Servant> {
@@ -222,9 +222,9 @@ mod tests {
         cfg.scene = SceneKind::Quickstart;
         cfg.width = 8;
         cfg.height = 8;
-        let cfg = Rc::new(cfg);
+        let cfg = Arc::new(cfg);
         let ctx = RenderContext::new(&cfg);
-        let stats = Rc::new(std::cell::RefCell::new(AppStats::default()));
+        let stats = Shared::new(AppStats::default());
         let servant = Servant::new(1, cfg, ctx, stats, ProcessId::new(0));
         let pctx = ProcCtx {
             pid: ProcessId::new(5),

@@ -15,8 +15,7 @@
 //! send each servant its entire partition as one job up front — there is
 //! no flow control and no load balancing, which is the point.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use raytracer::Framebuffer;
 use suprenum::{Action, Message, NodeId, ProcCtx, Process, ProcessId, Resume};
@@ -96,8 +95,8 @@ enum SmState {
 /// partitions, waits for every servant's single result, writes the
 /// image once, and exits.
 pub struct StaticMaster {
-    cfg: Rc<AppConfig>,
-    ctx: Rc<RenderContext>,
+    cfg: Arc<AppConfig>,
+    ctx: Arc<RenderContext>,
     stats: Shared<AppStats>,
     fb: Shared<Framebuffer>,
     scheme: StaticScheme,
@@ -114,8 +113,8 @@ pub struct StaticMaster {
 impl StaticMaster {
     /// Creates the static master for `scheme`.
     pub fn new(
-        cfg: Rc<AppConfig>,
-        ctx: Rc<RenderContext>,
+        cfg: Arc<AppConfig>,
+        ctx: Arc<RenderContext>,
         stats: Shared<AppStats>,
         fb: Shared<Framebuffer>,
         scheme: StaticScheme,
@@ -310,10 +309,10 @@ pub fn run_static(
     let machine_cfg = suprenum::MachineConfig::single_cluster((app.servants + 1) as u8);
     let mut machine = suprenum::Machine::new(machine_cfg, seed).expect("valid machine");
 
-    let app = Rc::new(app);
+    let app = Arc::new(app);
     let ctx = RenderContext::new(&app);
-    let stats = Rc::new(RefCell::new(AppStats::default()));
-    let fb = Rc::new(RefCell::new(Framebuffer::new(app.width, app.height)));
+    let stats = Shared::new(AppStats::default());
+    let fb = Shared::new(Framebuffer::new(app.width, app.height));
     let master = StaticMaster::new(app.clone(), ctx, stats.clone(), fb.clone(), scheme);
     machine.add_process(NodeId::new(0), master);
     let outcome = machine.run(horizon);
@@ -323,9 +322,7 @@ pub fn run_static(
     let measurement = zm4::Zm4::new(zm4::Zm4Config::default(), channels, seed).observe(&samples);
     let trace = crate::run::to_simple_trace(&measurement);
 
-    let image = Rc::try_unwrap(fb)
-        .map(RefCell::into_inner)
-        .unwrap_or_else(|rc| rc.borrow().clone());
+    let image = fb.unwrap_or_clone();
     let app_stats = *stats.borrow();
     let intrusion = *machine.intrusion();
     crate::run::RunResult {

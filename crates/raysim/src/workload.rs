@@ -6,8 +6,7 @@
 //! and folds the rendered image plus the application counters back out
 //! of the finished machine.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pipeline::{Harvest, OrderEdge, RunMetrics, TokenDecl, Workload};
 use raytracer::Framebuffer;
@@ -16,7 +15,7 @@ use suprenum::{Machine, NodeId};
 
 use crate::analysis::{servant_utilization, servant_utilization_steady, steady_phase, work_phase};
 use crate::config::AppConfig;
-use crate::context::{AppStats, RenderContext};
+use crate::context::{AppStats, RenderContext, Shared};
 use crate::master::Master;
 use crate::tokens;
 
@@ -95,24 +94,20 @@ impl Workload for AppConfig {
     }
 
     fn launch(&self, machine: &mut Machine) -> Harvest<RenderOutput> {
-        let app = Rc::new(self.clone());
+        let app = Arc::new(self.clone());
         let ctx = RenderContext::new(&app);
-        let stats = Rc::new(RefCell::new(AppStats::default()));
-        let fb = Rc::new(RefCell::new(Framebuffer::new(app.width, app.height)));
+        let stats = Shared::new(AppStats::default());
+        let fb = Shared::new(Framebuffer::new(app.width, app.height));
 
         let master = Master::new(app, ctx, stats.clone(), fb.clone());
         machine.add_process(NodeId::new(0), master);
 
         Box::new(move |_machine| {
-            // The kernel drops process bodies on exit, so after a
-            // completed run this handle is unique and the image moves
-            // out for free. A truncated run leaves the master alive
-            // holding its clone — then the image is *taken* out of the
-            // shared cell (leaving the empty default behind) instead of
-            // being deep-copied.
-            let image = Rc::try_unwrap(fb)
-                .map(RefCell::into_inner)
-                .unwrap_or_else(|rc| rc.take());
+            // The image is *taken* out of the shared cell (leaving the
+            // empty default behind) instead of being deep-copied — a
+            // truncated run leaves the master alive holding its clone,
+            // so the handle is not necessarily unique.
+            let image = std::mem::take(&mut *fb.borrow_mut());
             let stats = *stats.borrow();
             RenderOutput { image, stats }
         })

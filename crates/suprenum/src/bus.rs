@@ -13,13 +13,27 @@
 //! * each cluster's **dual cluster-bus rails** (a transfer picks whichever
 //!   rail frees first — the paper's fault-tolerant parallel buses double
 //!   usable bandwidth);
-//! * the **SUPRENUM-bus token ring** (shared, dual counter-rotating rings
-//!   modelled as two rails; token acquisition and per-hop latencies added).
+//! * each cluster's **ring-egress port** onto the SUPRENUM-bus token ring
+//!   (dual counter-rotating rings modelled as two rails per communication
+//!   node; token acquisition and per-hop latencies added). Modelling the
+//!   ring as per-cluster injection ports instead of one global resource
+//!   keeps every resource owned by exactly one cluster, so partitioned
+//!   (per-cluster engine shard) execution prices ring traffic without
+//!   shared state — contention at the *sender's* communication node is
+//!   what the token protocol serializes anyway.
+//!
+//! Inter-cluster transfers split into two phases at the ring boundary:
+//! [`Interconnect::inter_cluster_egress`] (source cluster: CU → source
+//! bus → ring, returning the arrival time at the destination cluster's
+//! communication node, always ≥ token + hop latency in the future) and
+//! [`Interconnect::ring_ingress`] (destination cluster: communication
+//! node → destination bus). [`Interconnect::transfer`] composes both for
+//! callers holding the whole machine.
 
 use des::time::{SimDuration, SimTime};
 
 use crate::config::MachineConfig;
-use crate::ids::NodeId;
+use crate::ids::{ClusterId, NodeId};
 use crate::topology::{Route, Topology};
 
 /// A resource that can carry one transfer at a time.
@@ -64,12 +78,17 @@ impl RailSet {
 }
 
 /// The complete interconnect state of a machine.
-#[derive(Debug)]
+///
+/// In a partitioned (multi-cluster sharded) run each partition holds its
+/// own full-size instance but only ever touches the resources of its own
+/// cluster's nodes; [`merge_stats`](Self::merge_stats) recombines the
+/// counters afterwards.
+#[derive(Debug, Clone)]
 pub struct Interconnect {
     cfg: InterconnectParams,
     cu: Vec<Channel>,          // one per node
     cluster_bus: Vec<RailSet>, // one per cluster
-    ring: RailSet,
+    ring_egress: Vec<RailSet>, // one per cluster: its port onto the ring
     stats: InterconnectStats,
 }
 
@@ -116,7 +135,8 @@ impl Interconnect {
             cluster_bus: (0..topo.clusters())
                 .map(|_| RailSet::new(cfg.cluster_bus_rails as usize))
                 .collect(),
-            ring: RailSet::new(2), // dual counter-rotating rings
+            // Dual counter-rotating rings at every cluster's port.
+            ring_egress: (0..topo.clusters()).map(|_| RailSet::new(2)).collect(),
             stats: InterconnectStats::default(),
         }
     }
@@ -146,30 +166,78 @@ impl Interconnect {
                 dst_cluster,
                 ring_hops,
             } => {
-                self.stats.inter_cluster_transfers += 1;
-                // Leg 1: node -> communication node over the source
-                // cluster bus.
-                let (_, cu_done) = self.cu[src.index() as usize].reserve(now, self.cfg.cu_setup);
-                let leg = SimDuration::for_transfer(bytes as u64, self.cfg.cluster_bus_bandwidth)
-                    + self.cfg.cluster_bus_overhead;
-                let (_, l1_end) =
-                    self.cluster_bus[src_cluster.index() as usize].reserve(cu_done, leg);
-                // Leg 2: token ring, store-and-forward across hops.
-                let ring_dur = self.cfg.ring_token_latency
-                    + SimDuration::for_transfer(bytes as u64, self.cfg.ring_bandwidth)
-                    + self.cfg.ring_hop_latency * ring_hops as u64;
-                let (_, l2_end) = self.ring.reserve(l1_end, ring_dur);
-                // Leg 3: communication node -> destination node.
-                let (_, l3_end) =
-                    self.cluster_bus[dst_cluster.index() as usize].reserve(l2_end, leg);
-                l3_end
+                // Undo the blanket byte count: egress charges it so the
+                // two-phase path counts bytes exactly once, at the source.
+                self.stats.bytes_moved -= bytes as u64;
+                let l2_end = self.inter_cluster_egress(now, src, src_cluster, ring_hops, bytes);
+                self.ring_ingress(l2_end, dst_cluster, bytes)
             }
         }
+    }
+
+    /// Source-cluster half of an inter-cluster transfer: CU DMA setup,
+    /// source cluster bus, then the cluster's ring-egress port (token
+    /// acquisition + serial transfer + `ring_hops` store-and-forward
+    /// hops). Returns the arrival time at the *destination* cluster's
+    /// communication node.
+    ///
+    /// Only source-cluster resources are touched, and with `ring_hops ≥ 1`
+    /// the result is always at least `ring_token_latency +
+    /// ring_hop_latency` after `now` — the conservative lookahead bound a
+    /// partitioned engine relies on.
+    pub fn inter_cluster_egress(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        src_cluster: ClusterId,
+        ring_hops: u32,
+        bytes: u32,
+    ) -> SimTime {
+        self.stats.inter_cluster_transfers += 1;
+        self.stats.bytes_moved += bytes as u64;
+        let (_, cu_done) = self.cu[src.index() as usize].reserve(now, self.cfg.cu_setup);
+        let leg = SimDuration::for_transfer(bytes as u64, self.cfg.cluster_bus_bandwidth)
+            + self.cfg.cluster_bus_overhead;
+        let (_, l1_end) = self.cluster_bus[src_cluster.index() as usize].reserve(cu_done, leg);
+        let ring_dur = self.cfg.ring_token_latency
+            + SimDuration::for_transfer(bytes as u64, self.cfg.ring_bandwidth)
+            + self.cfg.ring_hop_latency * ring_hops as u64;
+        let (_, l2_end) = self.ring_egress[src_cluster.index() as usize].reserve(l1_end, ring_dur);
+        l2_end
+    }
+
+    /// Destination-cluster half of an inter-cluster transfer: the final
+    /// communication-node → destination-node leg over the destination
+    /// cluster bus, starting when the message reaches the communication
+    /// node (`at`, from [`inter_cluster_egress`](Self::inter_cluster_egress)).
+    /// Returns the arrival time at the destination node. Only
+    /// destination-cluster resources are touched; the transfer's bytes
+    /// were already counted at egress.
+    pub fn ring_ingress(&mut self, at: SimTime, dst_cluster: ClusterId, bytes: u32) -> SimTime {
+        let leg = SimDuration::for_transfer(bytes as u64, self.cfg.cluster_bus_bandwidth)
+            + self.cfg.cluster_bus_overhead;
+        let (_, l3_end) = self.cluster_bus[dst_cluster.index() as usize].reserve(at, leg);
+        l3_end
     }
 
     /// Transfer counters so far.
     pub fn stats(&self) -> InterconnectStats {
         self.stats
+    }
+
+    /// Returns the counters and resets them to zero, so a partition
+    /// merge can move them without double-counting on a repeat merge.
+    pub fn take_stats(&mut self) -> InterconnectStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Adds `other`'s counters to this instance's. Used to recombine
+    /// per-partition interconnects after a sharded run.
+    pub fn merge_stats(&mut self, other: InterconnectStats) {
+        self.stats.local_transfers += other.local_transfers;
+        self.stats.intra_cluster_transfers += other.intra_cluster_transfers;
+        self.stats.inter_cluster_transfers += other.inter_cluster_transfers;
+        self.stats.bytes_moved += other.bytes_moved;
     }
 }
 

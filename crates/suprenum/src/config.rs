@@ -222,6 +222,23 @@ impl MachineConfig {
         if self.software_buffer_capacity == 0 {
             return Err(ConfigError::new("software monitor buffer must be nonzero"));
         }
+        if self.clusters > 1 {
+            // Multi-cluster machines execute one engine shard per cluster
+            // under a conservative-lookahead window of `ring_token_latency
+            // + ring_hop_latency`: every cross-cluster effect must lie at
+            // least that far in the future.
+            let lookahead = self.ring_token_latency + self.ring_hop_latency;
+            if lookahead.is_zero() {
+                return Err(ConfigError::new(
+                    "multi-cluster machines need nonzero ring token + hop latency",
+                ));
+            }
+            if self.remote_spawn_latency < lookahead {
+                return Err(ConfigError::new(
+                    "remote spawn latency must cover the ring token + hop latency",
+                ));
+            }
+        }
         Ok(())
     }
 }

@@ -162,6 +162,20 @@ impl GroundTruth {
         hist.transitions.push(Transition { time: now, state });
     }
 
+    /// Moves every process history of `other` into this recorder. Used
+    /// when merging per-cluster partitions after a sharded run; the
+    /// partitions own disjoint pid namespaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pid is present in both recorders.
+    pub fn absorb(&mut self, other: &mut GroundTruth) {
+        for (pid, hist) in std::mem::take(&mut other.procs) {
+            let prev = self.procs.insert(pid, hist);
+            assert!(prev.is_none(), "process {pid} recorded in two partitions");
+        }
+    }
+
     /// History of one process.
     pub fn history(&self, pid: ProcessId) -> Option<&ProcHistory> {
         self.procs.get(&pid)

@@ -20,12 +20,34 @@
 //! the [`SignalLog`]), terminal monitoring serializes the event over the
 //! V.24 interface, software monitoring appends to a node-local buffer
 //! stamped with the node's skewed local clock.
+//!
+//! # Parallel event execution
+//!
+//! Kernel state is split into one [`Partition`] per cluster. Each
+//! partition owns its nodes' LWPs, mailboxes, cluster-bus rails and the
+//! cluster's token-ring egress port, so *every* event of a single-cluster
+//! machine — and every intra-cluster event of a larger one — touches only
+//! one partition. The only cross-partition traffic is the token ring,
+//! whose token rotation plus per-hop latency gives a hard lower bound on
+//! inter-cluster delivery. That bound is exactly the conservative
+//! lookahead a [`des::shard::ShardedEventLoop`] needs: multi-cluster
+//! machines run one engine shard per cluster, synchronizing only at
+//! lookahead-wide window boundaries.
+//!
+//! Single-cluster machines keep the plain sequential [`EventLoop`], so
+//! their traces are bit-for-bit what they always were. For multi-cluster
+//! machines the *logical* schedule is fixed by the cluster decomposition;
+//! [`Machine::set_engine_shards`] only chooses how many worker threads
+//! the per-cluster shards are packed onto, which cannot change any
+//! digest.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, RwLock};
 
 use des::clock::ClockModel;
 use des::engine::{EventLoop, StopReason};
 use des::rng::DetRng;
+use des::shard::{ShardCtx, ShardedEventLoop};
 use des::time::{SimDuration, SimTime};
 use hybridmon::software::SoftwareMonitor;
 use hybridmon::{encode::encode, IntrusionReport, MonEvent, MonitoringMode};
@@ -34,7 +56,7 @@ use crate::bus::{Interconnect, InterconnectStats};
 use crate::config::MachineConfig;
 use crate::emission::EmissionRecord;
 use crate::ground_truth::{BlockReason, GroundTruth, ProcState};
-use crate::ids::{CondId, LwpId, NodeId, ProcessId, TeamId};
+use crate::ids::{ClusterId, CondId, LwpId, NodeId, ProcessId, TeamId};
 use crate::message::Message;
 use crate::process::{Action, ProcCtx, Process, Resume};
 use crate::signals::{DisplayWrite, SignalLog, TerminalWrite};
@@ -43,6 +65,10 @@ use crate::topology::{Route, Topology};
 /// Safety valve against processes that loop through zero-cost actions
 /// without ever blocking or computing.
 const MAX_ZERO_COST_ACTIONS: u32 = 1_000_000;
+
+/// Per-epoch observer callback of the sharded engine: receives the
+/// window watermark and the machine-level emission drain.
+type WindowHook<'a> = &'a mut dyn FnMut(SimTime, &mut Vec<EmissionRecord>);
 
 /// Kernel events.
 #[derive(Debug)]
@@ -73,6 +99,31 @@ enum Ev {
     SpawnReady { pid: ProcessId },
     /// The mailbox LWP of `owner` finished accepting `count` messages.
     MailboxServiced { owner: ProcessId, count: usize },
+    /// A message comes off the token ring at the destination cluster's
+    /// communication node; the destination partition still has to carry
+    /// it over its own cluster bus.
+    RingDeliver {
+        dst: ProcessId,
+        src: ProcessId,
+        msg: Message,
+        mailbox: bool,
+    },
+    /// A cross-cluster spawn request arrives at the target cluster. The
+    /// request travels at ring latency, ahead of any message addressed to
+    /// the child, so the target partition always creates the process
+    /// before traffic for it can arrive.
+    RemoteSpawn {
+        pid: ProcessId,
+        node: NodeId,
+        team: TeamId,
+        ready_at: SimTime,
+        body: Box<dyn Process>,
+    },
+    /// A condition variable was signalled on another cluster.
+    CondSignal { cond: CondId },
+    /// The initial process exited on another cluster; this partition
+    /// stops processing.
+    HaltCluster,
 }
 
 /// Why [`Machine::run`] returned.
@@ -136,6 +187,42 @@ impl RunOutcome {
     }
 }
 
+/// Execution profile of the sharded (multi-cluster) engine — see
+/// [`Machine::engine_profile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Lookahead windows (epochs) the engine executed.
+    pub epochs: u64,
+    /// Kernel events handled by each cluster shard, in cluster order.
+    pub shard_events: Vec<u64>,
+}
+
+impl EngineProfile {
+    /// Total events / busiest shard's events — the upper bound on the
+    /// speedup any worker-thread packing could extract from this run's
+    /// event distribution (ignores windowing granularity, so the real
+    /// bound is tighter).
+    pub fn balance_bound(&self) -> f64 {
+        let total: u64 = self.shard_events.iter().sum();
+        let max = self.shard_events.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        total as f64 / max as f64
+    }
+
+    /// Mean events executed per lookahead window across all shards —
+    /// the grain the epoch barrier must amortize. Sync-bound shapes sit
+    /// near (or below) one event per window.
+    pub fn events_per_window(&self) -> f64 {
+        if self.epochs == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.shard_events.iter().sum();
+        total as f64 / self.epochs as f64
+    }
+}
+
 /// Aggregate kernel counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
@@ -155,6 +242,20 @@ pub struct KernelStats {
     pub processes_spawned: u64,
     /// Kernel (OS) instrumentation events emitted.
     pub kernel_events: u64,
+}
+
+impl KernelStats {
+    /// Adds `other`'s counters to this instance's (partition merge).
+    fn merge(&mut self, other: KernelStats) {
+        self.ctx_switches += other.ctx_switches;
+        self.inter_team_switches += other.inter_team_switches;
+        self.mailbox_services += other.mailbox_services;
+        self.mailbox_messages += other.mailbox_messages;
+        self.sync_messages += other.sync_messages;
+        self.events_emitted += other.events_emitted;
+        self.processes_spawned += other.processes_spawned;
+        self.kernel_events += other.kernel_events;
+    }
 }
 
 struct Proc {
@@ -196,251 +297,249 @@ impl Node {
     }
 }
 
-/// A simulated SUPRENUM machine.
-///
-/// # Examples
-///
-/// ```
-/// use des::time::{SimDuration, SimTime};
-/// use suprenum::{Action, Machine, MachineConfig, NodeId, ProcCtx, Process, Resume, RunEnd};
-///
-/// struct Busy(u8);
-/// impl Process for Busy {
-///     fn resume(&mut self, _ctx: &ProcCtx, _why: Resume) -> Action {
-///         self.0 += 1;
-///         if self.0 == 1 {
-///             Action::Compute(SimDuration::from_millis(3))
-///         } else {
-///             Action::Exit
-///         }
-///     }
-/// }
-///
-/// let mut machine = Machine::new(MachineConfig::single_cluster(2), 42).unwrap();
-/// machine.add_process(NodeId::new(0), Box::new(Busy(0)));
-/// let outcome = machine.run(SimTime::from_secs(1));
-/// assert_eq!(outcome.reason, RunEnd::Completed);
-/// assert!(outcome.end >= SimTime::from_millis(3));
-/// ```
-pub struct Machine {
+/// Scheduling interface a partition's event handlers run against. The
+/// sequential engine and the sharded engine expose the same operations;
+/// the handlers are written once against this trait.
+trait Sched {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// Schedules an event on this partition at absolute time `at`.
+    fn schedule(&mut self, at: SimTime, ev: Ev);
+    /// Schedules an event on this partition `delay` from now.
+    fn schedule_in(&mut self, delay: SimDuration, ev: Ev);
+    /// Delivers an event to another cluster's partition at `at`, which
+    /// must respect the ring lookahead.
+    fn send_cluster(&mut self, dst: ClusterId, at: SimTime, ev: Ev);
+    /// Drops every event still queued for this partition.
+    fn halt_local(&mut self);
+}
+
+/// [`Sched`] over the plain sequential event loop. Single-cluster
+/// machines never route cross-cluster events, so `send_cluster` is
+/// unreachable.
+struct SeqSched<'a> {
+    sim: &'a mut EventLoop<Ev>,
+}
+
+impl Sched for SeqSched<'_> {
+    fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Ev) {
+        self.sim.schedule(at, ev);
+    }
+
+    fn schedule_in(&mut self, delay: SimDuration, ev: Ev) {
+        self.sim.schedule_in(delay, ev);
+    }
+
+    fn send_cluster(&mut self, _dst: ClusterId, _at: SimTime, _ev: Ev) {
+        unreachable!("sequential machine routed a cross-cluster event");
+    }
+
+    fn halt_local(&mut self) {
+        self.sim.clear();
+    }
+}
+
+/// [`Sched`] over one shard of the conservative parallel engine.
+struct ShardSched<'a, 'b> {
+    ctx: &'a mut ShardCtx<'b, Ev>,
+}
+
+impl Sched for ShardSched<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Ev) {
+        self.ctx.schedule(at, ev);
+    }
+
+    fn schedule_in(&mut self, delay: SimDuration, ev: Ev) {
+        self.ctx.schedule_in(delay, ev);
+    }
+
+    fn send_cluster(&mut self, dst: ClusterId, at: SimTime, ev: Ev) {
+        self.ctx.send(dst.index() as usize, at, ev);
+    }
+
+    fn halt_local(&mut self) {
+        self.ctx.clear_local();
+    }
+}
+
+/// The event engine a machine runs on: the plain sequential loop for
+/// single-cluster configurations, one conservative engine shard per
+/// cluster otherwise.
+enum Engine {
+    Seq(EventLoop<Ev>),
+    Sharded(ShardedEventLoop<Ev>),
+}
+
+/// Kernel state of one cluster. Every field is owned by exactly one
+/// partition; the only way state crosses partitions during a run is a
+/// [`Sched::send_cluster`] event, which models the token ring and
+/// therefore always respects the ring lookahead. A single-cluster
+/// machine is one partition holding everything.
+struct Partition {
+    cluster: ClusterId,
+    /// Lowest global node id of this cluster (local index offset).
+    first_node: u16,
+    /// Total clusters in the machine (pid/team allocation stride).
+    clusters: u32,
     cfg: MachineConfig,
     topo: Topology,
+    /// This cluster's bus rails and ring-egress port. Built full-size
+    /// for index alignment; each partition only ever reserves its own
+    /// cluster's resources.
     interconnect: Interconnect,
-    sim: EventLoop<Ev>,
-    procs: Vec<Proc>,
+    /// Indexed by raw pid. Clusters allocate pids strided by the cluster
+    /// count, so multi-cluster tables are sparse; single-cluster tables
+    /// are dense.
+    procs: Vec<Option<Proc>>,
+    /// Local nodes, indexed by `node.index() - first_node`.
     nodes: Vec<Node>,
     conds: HashMap<CondId, Vec<ProcessId>>,
     signals: SignalLog,
     ground_truth: GroundTruth,
     intrusion: IntrusionReport,
+    /// Local nodes' software monitors, same indexing as `nodes`.
     software: Vec<SoftwareMonitor>,
     stats: KernelStats,
-    /// Per-node earliest time the display is free for a kernel event
-    /// (serializes kernel emissions so pattern pairs never interleave).
+    /// Per local node: earliest time the display is free for a kernel
+    /// event (serializes kernel emissions so pattern pairs never
+    /// interleave).
     kernel_display_free: Vec<SimTime>,
     /// Hybrid emissions awaiting expansion when
     /// [`MachineConfig::deferred_display`] is set; drained by the
     /// monitor plane during [`Machine::run_observed`] or expanded into
     /// the signal log when the run ends.
     deferred: Vec<EmissionRecord>,
+    /// Per-cluster allocation counters; raw id = cluster + clusters * k,
+    /// so partitions mint ids independently without collisions.
+    next_pid: u32,
     next_team: u32,
     initial: Option<ProcessId>,
     halted: bool,
+    /// Events this partition handled (the sharded engine's step count).
+    events_handled: u64,
+    /// Local clock of the partition's shard, tracked for the merged
+    /// outcome's end time.
+    now_local: SimTime,
+    /// pid → node map shared by all partitions of a multi-cluster
+    /// machine. Writes happen at process creation in the creating
+    /// partition; any other partition can only learn a pid through a
+    /// message, which arrives at least one ring latency later — after
+    /// the epoch barrier — so reads always see the write.
+    directory: Option<Arc<RwLock<HashMap<u32, NodeId>>>>,
 }
 
-impl std::fmt::Debug for Machine {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Machine")
-            .field("nodes", &self.nodes.len())
-            .field("processes", &self.procs.len())
-            .field("now", &self.sim.now())
-            .field("halted", &self.halted)
-            .finish()
-    }
-}
-
-impl Machine {
-    /// Builds a machine from a configuration and a determinism seed.
-    ///
-    /// # Errors
-    ///
-    /// Returns the configuration's validation error if it is inconsistent.
-    pub fn new(cfg: MachineConfig, seed: u64) -> Result<Self, crate::config::ConfigError> {
-        cfg.validate()?;
-        let topo = Topology::new(&cfg);
-        let interconnect = Interconnect::new(&cfg, &topo);
-        let rng = DetRng::new(seed);
-        let software = topo
-            .nodes()
-            .map(|n| {
-                let mut node_rng = rng.derive_indexed("node-clock", n.index() as u64);
-                let clock = ClockModel::random_skew(
-                    &mut node_rng,
-                    cfg.node_clock_max_offset,
-                    cfg.node_clock_max_drift_ppm,
-                    cfg.node_clock_resolution,
-                );
-                SoftwareMonitor::new(clock, cfg.software_buffer_capacity)
-            })
-            .collect();
-        let nodes: Vec<Node> = (0..topo.total_nodes()).map(|_| Node::new()).collect();
-        let nodes_len = nodes.len();
-        Ok(Machine {
-            cfg,
-            topo,
-            interconnect,
-            sim: EventLoop::new(),
-            procs: Vec::new(),
-            nodes,
-            conds: HashMap::new(),
-            signals: SignalLog::new(),
-            ground_truth: GroundTruth::new(),
-            intrusion: IntrusionReport::default(),
-            software,
-            stats: KernelStats::default(),
-            kernel_display_free: vec![SimTime::ZERO; nodes_len],
-            deferred: Vec::new(),
-            next_team: 0,
-            initial: None,
-            halted: false,
-        })
-    }
-
-    /// Adds a root process on `node` before the run starts. The first
-    /// process added is the application's *initial process*: its exit
-    /// terminates the whole application (paper §2.2).
-    ///
-    /// # Panics
-    ///
-    /// Panics if called after [`run`](Self::run) or if `node` is out of
-    /// range.
-    pub fn add_process(&mut self, node: NodeId, body: Box<dyn Process>) -> ProcessId {
-        assert!(
-            self.sim.now() == SimTime::ZERO && !self.halted,
-            "add_process before run"
+impl Partition {
+    fn local_idx(&self, node: NodeId) -> usize {
+        debug_assert_eq!(
+            self.topo.cluster_of(node),
+            self.cluster,
+            "node {node} handled by the wrong partition"
         );
-        let team = TeamId::new(self.next_team);
+        (node.index() - self.first_node) as usize
+    }
+
+    fn local_node(&self, node: NodeId) -> &Node {
+        &self.nodes[self.local_idx(node)]
+    }
+
+    fn local_node_mut(&mut self, node: NodeId) -> &mut Node {
+        let idx = self.local_idx(node);
+        &mut self.nodes[idx]
+    }
+
+    fn proc(&self, pid: ProcessId) -> &Proc {
+        self.procs
+            .get(pid.raw() as usize)
+            .and_then(Option::as_ref)
+            .unwrap_or_else(|| panic!("process {pid} is not in this partition"))
+    }
+
+    fn proc_mut(&mut self, pid: ProcessId) -> &mut Proc {
+        self.procs
+            .get_mut(pid.raw() as usize)
+            .and_then(Option::as_mut)
+            .unwrap_or_else(|| panic!("process {pid} is not in this partition"))
+    }
+
+    /// The node a message to `pid` must be routed to: local process
+    /// table first, shared directory for remote pids.
+    fn target_node(&self, pid: ProcessId) -> NodeId {
+        if let Some(Some(p)) = self.procs.get(pid.raw() as usize) {
+            return p.node;
+        }
+        let dir = self
+            .directory
+            .as_ref()
+            .unwrap_or_else(|| panic!("message routed to unknown process {pid}"));
+        let map = dir
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *map.get(&pid.raw())
+            .unwrap_or_else(|| panic!("message routed to unknown process {pid}"))
+    }
+
+    /// Mints the next process id of this cluster's namespace.
+    fn alloc_pid(&mut self) -> ProcessId {
+        let raw = self.cluster.index() as u32 + self.clusters * self.next_pid;
+        self.next_pid += 1;
+        ProcessId::new(raw)
+    }
+
+    /// Mints the next team id of this cluster's namespace.
+    fn alloc_team(&mut self) -> TeamId {
+        let raw = self.cluster.index() as u32 + self.clusters * self.next_team;
         self.next_team += 1;
-        let pid = self.create_proc(node, team, body, SimTime::ZERO);
-        if self.initial.is_none() {
-            self.initial = Some(pid);
-        }
-        self.nodes[node.index() as usize]
-            .ready
-            .push_back(LwpId::User(pid));
-        pid
+        TeamId::new(raw)
     }
 
-    /// Runs the application until it terminates, deadlocks, or reaches
-    /// `horizon`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no process was added.
-    pub fn run(&mut self, horizon: SimTime) -> RunOutcome {
-        self.run_budgeted(horizon, u64::MAX)
+    /// Ring token + hop delay from this cluster to `dst` — the minimum
+    /// a cross-cluster event must trail the current time by, and never
+    /// below the engine lookahead.
+    fn ring_delay(&self, dst: ClusterId) -> SimDuration {
+        let hops = self.topo.ring_hops(self.cluster, dst);
+        self.cfg.ring_token_latency + self.cfg.ring_hop_latency * hops as u64
     }
 
-    /// Like [`run`](Self::run) but also bounded by an event budget.
-    pub fn run_budgeted(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
-        let (horizon, limited) = self.start_run(horizon);
-        let stop = self.run_chunk(horizon, max_events);
-        self.finish_run(stop, limited)
-    }
-
-    /// Runs the application like [`run`](Self::run), but pauses every
-    /// `window_events` kernel events to let a monitor-plane consumer
-    /// observe the run in flight: `on_window(now, emissions)` receives
-    /// the current simulated time and the deferred-emission buffer (see
-    /// [`MachineConfig::deferred_display`]), which it may drain — e.g.
-    /// into monitor shards, releasing their streams up to `now`.
-    ///
-    /// The watermark guarantee: every emission recorded *after* a
-    /// callback at time `now` has all its display writes strictly later
-    /// than `now`, so a consumer that drains the buffer may safely
-    /// process everything up to (excluding) `now`. The callback runs one
-    /// final time after the last event, with `now` at the end time.
-    ///
-    /// Emissions still buffered when the run ends expand into the
-    /// signal log as usual, so [`Machine::signals`] stays complete no
-    /// matter how much the callback drained.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no process was added or `window_events` is zero.
-    pub fn run_observed<F>(
+    fn create_proc(
         &mut self,
-        horizon: SimTime,
-        window_events: u64,
-        mut on_window: F,
-    ) -> RunOutcome
-    where
-        F: FnMut(SimTime, &mut Vec<EmissionRecord>),
-    {
-        assert!(window_events > 0, "observation window must be nonzero");
-        let (horizon, limited) = self.start_run(horizon);
-        let stop = loop {
-            let stop = self.run_chunk(horizon, window_events);
-            on_window(self.sim.now(), &mut self.deferred);
-            if self.halted || stop != StopReason::StepBudget {
-                break stop;
-            }
-        };
-        self.finish_run(stop, limited)
-    }
-
-    /// Applies the job time limit and kicks every node with ready work.
-    fn start_run(&mut self, horizon: SimTime) -> (SimTime, bool) {
-        assert!(self.initial.is_some(), "machine has no processes");
-        // The operator's job time limit releases the partition even if
-        // the application has not finished.
-        let release_at = self.cfg.job_time_limit.map(|l| SimTime::ZERO + l);
-        let (horizon, limited) = match release_at {
-            Some(r) if r < horizon => (r, true),
-            _ => (horizon, false),
-        };
-        for n in self.topo.nodes() {
-            if !self.nodes[n.index() as usize].ready.is_empty() {
-                self.sim.schedule(SimTime::ZERO, Ev::Dispatch(n));
-            }
+        pid: ProcessId,
+        node: NodeId,
+        team: TeamId,
+        body: Box<dyn Process>,
+        now: SimTime,
+    ) {
+        assert!(
+            node.index() < self.topo.total_nodes(),
+            "process placed on nonexistent node {node}"
+        );
+        let idx = pid.raw() as usize;
+        if self.procs.len() <= idx {
+            self.procs.resize_with(idx + 1, || None);
         }
-        (horizon, limited)
-    }
-
-    /// Handles up to `max_events` events (resumable).
-    fn run_chunk(&mut self, horizon: SimTime, max_events: u64) -> StopReason {
-        // The borrow checker will not let the handler borrow `self` while
-        // `self.sim` runs, so the event loop is temporarily moved out.
-        let mut sim = std::mem::take(&mut self.sim);
-        let stop = sim.run_bounded(horizon, max_events, |sim, _now, ev| {
-            // Reinstall the loop so kernel methods can schedule.
-            std::mem::swap(&mut self.sim, sim);
-            self.handle(ev);
-            std::mem::swap(&mut self.sim, sim);
+        let label = body.label();
+        let prev = self.procs[idx].replace(Proc {
+            node,
+            team,
+            body: Some(body),
+            state: ProcState::Ready,
+            mbox: VecDeque::new(),
+            pending_resume: Some(Resume::Start),
         });
-        self.sim = sim;
-        stop
-    }
-
-    /// Expands leftover deferred emissions, sorts the signal log, and
-    /// folds the stop reason into the outcome.
-    fn finish_run(&mut self, stop: StopReason, limited: bool) -> RunOutcome {
-        self.materialize_deferred();
-        self.signals.sort();
-        let reason = if self.halted {
-            RunEnd::Completed
-        } else {
-            match stop {
-                StopReason::Drained => RunEnd::Deadlock,
-                StopReason::Horizon if limited => RunEnd::ResourcesReleased,
-                StopReason::Horizon => RunEnd::Horizon,
-                StopReason::StepBudget => RunEnd::EventBudget,
-            }
-        };
-        RunOutcome {
-            end: self.sim.now(),
-            reason,
-            events: self.sim.steps_handled(),
+        assert!(prev.is_none(), "process {pid} created twice");
+        self.ground_truth.register(pid, node, label, now);
+        self.stats.processes_spawned += 1;
+        if let Some(dir) = &self.directory {
+            dir.write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(pid.raw(), node);
         }
     }
 
@@ -455,117 +554,76 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
-    // Accessors
-    // ------------------------------------------------------------------
-
-    /// The configuration the machine was built with.
-    pub fn config(&self) -> &MachineConfig {
-        &self.cfg
-    }
-
-    /// The machine topology.
-    pub fn topology(&self) -> &Topology {
-        &self.topo
-    }
-
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.sim.now()
-    }
-
-    /// Externally observable hardware signals (display, terminal).
-    pub fn signals(&self) -> &SignalLog {
-        &self.signals
-    }
-
-    /// True process-state history (the validation oracle).
-    pub fn ground_truth(&self) -> &GroundTruth {
-        &self.ground_truth
-    }
-
-    /// Monitoring intrusion accounting.
-    pub fn intrusion(&self) -> &IntrusionReport {
-        &self.intrusion
-    }
-
-    /// Per-node software-monitoring logs (populated when
-    /// [`MonitoringMode::Software`] is configured).
-    pub fn software_monitors(&self) -> &[SoftwareMonitor] {
-        &self.software
-    }
-
-    /// Kernel counters.
-    pub fn stats(&self) -> KernelStats {
-        self.stats
-    }
-
-    /// Interconnect counters.
-    pub fn interconnect_stats(&self) -> InterconnectStats {
-        self.interconnect.stats()
-    }
-
-    /// The label a process registered with.
-    pub fn process_label(&self, pid: ProcessId) -> Option<&str> {
-        self.ground_truth.history(pid).map(|h| h.label.as_str())
-    }
-
-    // ------------------------------------------------------------------
     // Event handling
     // ------------------------------------------------------------------
 
-    fn handle(&mut self, ev: Ev) {
+    fn handle<S: Sched>(&mut self, sched: &mut S, ev: Ev) {
+        self.events_handled += 1;
+        self.now_local = sched.now();
         if self.halted {
             return;
         }
         match ev {
-            Ev::Dispatch(node) => self.try_dispatch(node),
-            Ev::Started { node, lwp } => self.start_lwp(node, lwp),
+            Ev::Dispatch(node) => self.try_dispatch(sched, node),
+            Ev::Started { node, lwp } => self.start_lwp(sched, node, lwp),
             Ev::ResumeRunning { pid, resume } => {
-                debug_assert_eq!(self.procs[pid.raw() as usize].state, ProcState::Running);
-                self.step_process(pid, resume);
+                debug_assert_eq!(self.proc(pid).state, ProcState::Running);
+                self.step_process(sched, pid, resume);
             }
-            Ev::Unblock { pid, resume } => self.unblock(pid, resume),
-            Ev::SyncArrive { dst, src, msg } => self.sync_arrive(dst, src, msg),
-            Ev::MailboxArrive { dst, src, msg } => self.mailbox_arrive(dst, src, msg),
+            Ev::Unblock { pid, resume } => self.unblock(sched, pid, resume),
+            Ev::SyncArrive { dst, src, msg } => self.sync_arrive(sched, dst, src, msg),
+            Ev::MailboxArrive { dst, src, msg } => self.mailbox_arrive(sched, dst, src, msg),
             Ev::SpawnReady { pid } => {
-                let node = self.procs[pid.raw() as usize].node;
-                self.nodes[node.index() as usize]
-                    .ready
-                    .push_back(LwpId::User(pid));
-                self.try_dispatch(node);
+                let node = self.proc(pid).node;
+                self.local_node_mut(node).ready.push_back(LwpId::User(pid));
+                self.try_dispatch(sched, node);
             }
-            Ev::MailboxServiced { owner, count } => self.mailbox_serviced(owner, count),
+            Ev::MailboxServiced { owner, count } => self.mailbox_serviced(sched, owner, count),
+            Ev::RingDeliver {
+                dst,
+                src,
+                msg,
+                mailbox,
+            } => {
+                // The message came off the ring at this cluster's
+                // communication node; carry it over the local bus.
+                let arrival =
+                    self.interconnect
+                        .ring_ingress(sched.now(), self.cluster, msg.bytes());
+                let ev = if mailbox {
+                    Ev::MailboxArrive { dst, src, msg }
+                } else {
+                    Ev::SyncArrive { dst, src, msg }
+                };
+                sched.schedule(arrival, ev);
+            }
+            Ev::RemoteSpawn {
+                pid,
+                node,
+                team,
+                ready_at,
+                body,
+            } => {
+                let now = sched.now();
+                self.create_proc(pid, node, team, body, now);
+                sched.schedule(ready_at.max(now), Ev::SpawnReady { pid });
+            }
+            Ev::CondSignal { cond } => {
+                if let Some(waiters) = self.conds.remove(&cond) {
+                    for w in waiters {
+                        self.unblock(sched, w, Resume::Signalled);
+                    }
+                }
+            }
+            Ev::HaltCluster => {
+                self.halted = true;
+                sched.halt_local();
+            }
         }
     }
 
-    fn create_proc(
-        &mut self,
-        node: NodeId,
-        team: TeamId,
-        body: Box<dyn Process>,
-        now: SimTime,
-    ) -> ProcessId {
-        assert!(
-            node.index() < self.topo.total_nodes(),
-            "process placed on nonexistent node {node}"
-        );
-        let pid = ProcessId::new(self.procs.len() as u32);
-        let label = body.label();
-        self.procs.push(Proc {
-            node,
-            team,
-            body: Some(body),
-            state: ProcState::Ready,
-            mbox: VecDeque::new(),
-            pending_resume: Some(Resume::Start),
-        });
-        self.ground_truth.register(pid, node, label, now);
-        self.stats.processes_spawned += 1;
-        pid
-    }
-
-    fn try_dispatch(&mut self, node: NodeId) {
-        let n = &mut self.nodes[node.index() as usize];
+    fn try_dispatch<S: Sched>(&mut self, sched: &mut S, node: NodeId) {
+        let n = self.local_node_mut(node);
         if n.running.is_some() || n.dispatching {
             return;
         }
@@ -576,8 +634,8 @@ impl Machine {
         self.stats.ctx_switches += 1;
         // Switch pricing (paper §2.2): cheap within a team, a full
         // address-space switch across teams.
-        let next_team = self.procs[lwp.owner().raw() as usize].team;
-        let n = &mut self.nodes[node.index() as usize];
+        let next_team = self.proc(lwp.owner()).team;
+        let n = self.local_node_mut(node);
         let same_team = n.last_team.is_none_or(|t| t == next_team);
         n.last_team = Some(next_team);
         let mut delay = if same_team {
@@ -590,37 +648,41 @@ impl Machine {
             delay += self.cfg.kernel_event_cost;
             let code = u8::from(lwp.is_mailbox());
             self.kernel_emit(
+                sched.now(),
                 node,
                 crate::os_tokens::KERNEL_DISPATCH,
                 crate::os_tokens::param(lwp.owner().raw(), code),
             );
         }
-        self.sim.schedule_in(delay, Ev::Started { node, lwp });
+        sched.schedule_in(delay, Ev::Started { node, lwp });
     }
 
-    fn start_lwp(&mut self, node: NodeId, lwp: LwpId) {
-        let n = &mut self.nodes[node.index() as usize];
+    fn start_lwp<S: Sched>(&mut self, sched: &mut S, node: NodeId, lwp: LwpId) {
+        let n = self.local_node_mut(node);
         n.dispatching = false;
         n.running = Some(lwp);
         match lwp {
             LwpId::User(pid) => {
-                let now = self.sim.now();
+                let now = sched.now();
                 self.set_state(pid, ProcState::Running, now);
-                let resume = self.procs[pid.raw() as usize]
+                let resume = self
+                    .proc_mut(pid)
                     .pending_resume
                     .take()
                     .expect("dispatched process has no pending resume");
-                self.step_process(pid, resume);
+                self.step_process(sched, pid, resume);
             }
             LwpId::Mailbox(owner) => {
                 // The mailbox process accepts every message waiting right
                 // now; later arrivals wait for its next scheduling.
-                let count = self.nodes[node.index() as usize]
+                let count = self
+                    .local_node(node)
                     .mailbox_arrivals
                     .get(&owner)
                     .map_or(0, VecDeque::len);
                 if self.kernel_instrumented() {
                     self.kernel_emit(
+                        sched.now(),
                         node,
                         crate::os_tokens::KERNEL_MAILBOX_SERVICE,
                         crate::os_tokens::param(owner.raw(), count.min(255) as u8),
@@ -628,42 +690,52 @@ impl Machine {
                 }
                 self.stats.mailbox_services += 1;
                 let busy = self.cfg.mailbox_accept_cost * count.max(1) as u64;
-                self.sim
-                    .schedule_in(busy, Ev::MailboxServiced { owner, count });
+                sched.schedule_in(busy, Ev::MailboxServiced { owner, count });
             }
         }
     }
 
-    fn mailbox_serviced(&mut self, owner: ProcessId, count: usize) {
-        let node = self.procs[owner.raw() as usize].node;
-        let now = self.sim.now();
+    /// Releases a blocked sender once its message was accepted. Senders
+    /// on another cluster get their ack over the ring.
+    fn send_ack<S: Sched>(&mut self, sched: &mut S, src: ProcessId) {
+        let now = sched.now();
+        let ev = Ev::Unblock {
+            pid: src,
+            resume: Resume::Sent,
+        };
+        let src_cluster = self.topo.cluster_of(self.target_node(src));
+        if src_cluster == self.cluster {
+            sched.schedule(now + self.cfg.ack_latency, ev);
+        } else {
+            let at = now + self.cfg.ack_latency + self.ring_delay(src_cluster);
+            sched.send_cluster(src_cluster, at, ev);
+        }
+    }
+
+    fn mailbox_serviced<S: Sched>(&mut self, sched: &mut S, owner: ProcessId, count: usize) {
+        let node = self.proc(owner).node;
         for _ in 0..count {
-            let (src, msg) = self.nodes[node.index() as usize]
+            let (src, msg) = self
+                .local_node_mut(node)
                 .mailbox_arrivals
                 .get_mut(&owner)
                 .and_then(VecDeque::pop_front)
                 .expect("mailbox service count exceeds arrivals");
             self.stats.mailbox_messages += 1;
             // Accepting the message releases the (still blocked) sender.
-            self.sim.schedule(
-                now + self.cfg.ack_latency,
-                Ev::Unblock {
-                    pid: src,
-                    resume: Resume::Sent,
-                },
-            );
+            self.send_ack(sched, src);
             // Hand to the owner: directly if it is waiting, else queue.
-            let owner_proc = &mut self.procs[owner.raw() as usize];
+            let owner_proc = self.proc_mut(owner);
             let waiting = owner_proc.state == ProcState::Blocked(BlockReason::MailboxRecv)
                 && owner_proc.pending_resume.is_none();
             if waiting {
-                self.unblock(owner, Resume::MailboxMsg(msg));
+                self.unblock(sched, owner, Resume::MailboxMsg(msg));
             } else {
                 owner_proc.mbox.push_back(msg);
             }
         }
         // Mailbox LWP blocks again (it is "always in a receive state").
-        let n = &mut self.nodes[node.index() as usize];
+        let n = self.local_node_mut(node);
         n.running = None;
         n.mailbox_active.remove(&owner);
         // Messages that arrived during servicing require another round.
@@ -674,11 +746,17 @@ impl Machine {
             n.ready.push_back(LwpId::Mailbox(owner));
             n.mailbox_active.insert(owner);
         }
-        self.try_dispatch(node);
+        self.try_dispatch(sched, node);
     }
 
-    fn sync_arrive(&mut self, dst: ProcessId, src: ProcessId, msg: Message) {
-        let dst_proc = &self.procs[dst.raw() as usize];
+    fn sync_arrive<S: Sched>(
+        &mut self,
+        sched: &mut S,
+        dst: ProcessId,
+        src: ProcessId,
+        msg: Message,
+    ) {
+        let dst_proc = self.proc(dst);
         assert!(
             dst_proc.state != ProcState::Exited,
             "synchronous message to exited process {dst}"
@@ -687,9 +765,9 @@ impl Machine {
         let waiting = dst_proc.state == ProcState::Blocked(BlockReason::Recv)
             && dst_proc.pending_resume.is_none();
         if waiting {
-            self.complete_rendezvous(dst, src, msg);
+            self.complete_rendezvous(sched, dst, src, msg);
         } else {
-            self.nodes[node.index() as usize]
+            self.local_node_mut(node)
                 .pending_sync
                 .entry(dst)
                 .or_default()
@@ -697,27 +775,32 @@ impl Machine {
         }
     }
 
-    fn complete_rendezvous(&mut self, dst: ProcessId, src: ProcessId, msg: Message) {
+    fn complete_rendezvous<S: Sched>(
+        &mut self,
+        sched: &mut S,
+        dst: ProcessId,
+        src: ProcessId,
+        msg: Message,
+    ) {
         self.stats.sync_messages += 1;
-        let now = self.sim.now();
-        self.sim.schedule(
-            now + self.cfg.ack_latency,
-            Ev::Unblock {
-                pid: src,
-                resume: Resume::Sent,
-            },
-        );
-        self.unblock(dst, Resume::Msg(msg));
+        self.send_ack(sched, src);
+        self.unblock(sched, dst, Resume::Msg(msg));
     }
 
-    fn mailbox_arrive(&mut self, dst: ProcessId, src: ProcessId, msg: Message) {
-        let dst_proc = &self.procs[dst.raw() as usize];
+    fn mailbox_arrive<S: Sched>(
+        &mut self,
+        sched: &mut S,
+        dst: ProcessId,
+        src: ProcessId,
+        msg: Message,
+    ) {
+        let dst_proc = self.proc(dst);
         assert!(
             dst_proc.state != ProcState::Exited,
             "mailbox message to exited process {dst}"
         );
         let node = dst_proc.node;
-        let n = &mut self.nodes[node.index() as usize];
+        let n = self.local_node_mut(node);
         n.mailbox_arrivals
             .entry(dst)
             .or_default()
@@ -727,12 +810,12 @@ impl Machine {
         if n.mailbox_active.insert(dst) {
             n.ready.push_back(LwpId::Mailbox(dst));
         }
-        self.try_dispatch(node);
+        self.try_dispatch(sched, node);
     }
 
-    fn unblock(&mut self, pid: ProcessId, resume: Resume) {
-        let now = self.sim.now();
-        let proc = &mut self.procs[pid.raw() as usize];
+    fn unblock<S: Sched>(&mut self, sched: &mut S, pid: ProcessId, resume: Resume) {
+        let now = sched.now();
+        let proc = self.proc_mut(pid);
         debug_assert!(
             matches!(proc.state, ProcState::Blocked(_)),
             "unblock of non-blocked process {pid} in state {:?}",
@@ -742,20 +825,18 @@ impl Machine {
         proc.pending_resume = Some(resume);
         let node = proc.node;
         self.set_state(pid, ProcState::Ready, now);
-        self.nodes[node.index() as usize]
-            .ready
-            .push_back(LwpId::User(pid));
-        self.try_dispatch(node);
+        self.local_node_mut(node).ready.push_back(LwpId::User(pid));
+        self.try_dispatch(sched, node);
     }
 
     fn set_state(&mut self, pid: ProcessId, state: ProcState, now: SimTime) {
-        self.procs[pid.raw() as usize].state = state;
+        self.proc_mut(pid).state = state;
         self.ground_truth.record(pid, now, state);
     }
 
     /// Runs one process forward until it issues an action that takes
     /// simulated time or blocks.
-    fn step_process(&mut self, pid: ProcessId, mut resume: Resume) {
+    fn step_process<S: Sched>(&mut self, sched: &mut S, pid: ProcessId, mut resume: Resume) {
         let mut guard = 0u32;
         loop {
             guard += 1;
@@ -763,11 +844,12 @@ impl Machine {
                 guard < MAX_ZERO_COST_ACTIONS,
                 "process {pid} loops through zero-cost actions without blocking"
             );
-            let now = self.sim.now();
-            let node = self.procs[pid.raw() as usize].node;
+            let now = sched.now();
+            let node = self.proc(pid).node;
             let ctx = ProcCtx { pid, node, now };
             let action = {
-                let body = self.procs[pid.raw() as usize]
+                let body = self
+                    .proc_mut(pid)
                     .body
                     .as_mut()
                     .expect("resuming an exited process");
@@ -776,7 +858,7 @@ impl Machine {
             match action {
                 Action::Compute(d) => {
                     self.intrusion.record_application(d);
-                    self.sim.schedule_in(
+                    sched.schedule_in(
                         d,
                         Ev::ResumeRunning {
                             pid,
@@ -786,8 +868,8 @@ impl Machine {
                     return;
                 }
                 Action::Emit { token, param } => {
-                    if let Some(cost) = self.emit(pid, node, token, param) {
-                        self.sim.schedule_in(
+                    if let Some(cost) = self.emit(now, node, token, param) {
+                        sched.schedule_in(
                             cost,
                             Ev::ResumeRunning {
                                 pid,
@@ -799,76 +881,53 @@ impl Machine {
                     resume = Resume::EmitDone;
                 }
                 Action::SendSync { to, msg } => {
-                    self.block(pid, BlockReason::SendSync);
-                    let route = self.topo.route(node, self.procs[to.raw() as usize].node);
-                    let arrival = self.interconnect.transfer(now, node, route, msg.bytes());
-                    self.sim.schedule(
-                        arrival,
-                        Ev::SyncArrive {
-                            dst: to,
-                            src: pid,
-                            msg,
-                        },
-                    );
+                    self.block(sched, pid, BlockReason::SendSync);
+                    self.route_message(sched, now, node, pid, to, msg, false);
                     return;
                 }
                 Action::Recv => {
-                    let pending = self.nodes[node.index() as usize]
+                    let pending = self
+                        .local_node_mut(node)
                         .pending_sync
                         .get_mut(&pid)
                         .and_then(VecDeque::pop_front);
                     match pending {
                         Some((src, msg)) => {
                             self.stats.sync_messages += 1;
-                            self.sim.schedule(
-                                now + self.cfg.ack_latency,
-                                Ev::Unblock {
-                                    pid: src,
-                                    resume: Resume::Sent,
-                                },
-                            );
+                            self.send_ack(sched, src);
                             resume = Resume::Msg(msg);
                         }
                         None => {
-                            self.block(pid, BlockReason::Recv);
+                            self.block(sched, pid, BlockReason::Recv);
                             return;
                         }
                     }
                 }
                 Action::MailboxSend { to, msg } => {
-                    self.block(pid, BlockReason::MailboxSend);
-                    let route = self.topo.route(node, self.procs[to.raw() as usize].node);
-                    let arrival = self.interconnect.transfer(now, node, route, msg.bytes());
-                    self.sim.schedule(
-                        arrival,
-                        Ev::MailboxArrive {
-                            dst: to,
-                            src: pid,
-                            msg,
-                        },
-                    );
+                    self.block(sched, pid, BlockReason::MailboxSend);
+                    self.route_message(sched, now, node, pid, to, msg, true);
                     return;
                 }
-                Action::MailboxRecv => match self.procs[pid.raw() as usize].mbox.pop_front() {
+                Action::MailboxRecv => match self.proc_mut(pid).mbox.pop_front() {
                     Some(msg) => resume = Resume::MailboxMsg(msg),
                     None => {
-                        self.block(pid, BlockReason::MailboxRecv);
+                        self.block(sched, pid, BlockReason::MailboxRecv);
                         return;
                     }
                 },
                 Action::Yield => {
-                    let now = self.sim.now();
+                    let now = sched.now();
                     self.set_state(pid, ProcState::Ready, now);
-                    self.procs[pid.raw() as usize].pending_resume = Some(Resume::Yielded);
-                    let n = &mut self.nodes[node.index() as usize];
+                    self.proc_mut(pid).pending_resume = Some(Resume::Yielded);
+                    let n = self.local_node_mut(node);
                     n.running = None;
                     n.ready.push_back(LwpId::User(pid));
-                    self.try_dispatch(node);
+                    self.try_dispatch(sched, node);
                     return;
                 }
                 Action::Sleep(d) => {
-                    self.block(pid, BlockReason::Sleep);
-                    self.sim.schedule_in(
+                    self.block(sched, pid, BlockReason::Sleep);
+                    sched.schedule_in(
                         d,
                         Ev::Unblock {
                             pid,
@@ -878,28 +937,61 @@ impl Machine {
                     return;
                 }
                 Action::Spawn { node: target, body } => {
-                    // Processes spawned on the spawner's node join its
-                    // team (light-weight); remote spawns start new teams.
-                    let team = if target == node {
-                        self.procs[pid.raw() as usize].team
+                    assert!(
+                        target.index() < self.topo.total_nodes(),
+                        "process placed on nonexistent node {target}"
+                    );
+                    let target_cluster = self.topo.cluster_of(target);
+                    let child = if target_cluster == self.cluster {
+                        // Processes spawned on the spawner's node join its
+                        // team (light-weight); remote spawns start new teams.
+                        let team = if target == node {
+                            self.proc(pid).team
+                        } else {
+                            self.alloc_team()
+                        };
+                        let child = self.alloc_pid();
+                        self.create_proc(child, target, team, body, now);
+                        if target == node {
+                            self.local_node_mut(target)
+                                .ready
+                                .push_back(LwpId::User(child));
+                        } else {
+                            sched.schedule_in(
+                                self.cfg.remote_spawn_latency,
+                                Ev::SpawnReady { pid: child },
+                            );
+                        }
+                        child
                     } else {
-                        let t = TeamId::new(self.next_team);
-                        self.next_team += 1;
-                        t
-                    };
-                    let child = self.create_proc(target, team, body, now);
-                    if target == node {
-                        self.nodes[target.index() as usize]
-                            .ready
-                            .push_back(LwpId::User(child));
-                    } else {
-                        self.sim.schedule_in(
-                            self.cfg.remote_spawn_latency,
-                            Ev::SpawnReady { pid: child },
+                        // Cross-cluster spawn: the request rides the ring
+                        // to the target partition, which creates the
+                        // process on arrival. The pid is minted here, from
+                        // this cluster's namespace, so the spawner can
+                        // address the child immediately.
+                        let team = self.alloc_team();
+                        let child = self.alloc_pid();
+                        if let Some(dir) = &self.directory {
+                            dir.write()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .insert(child.raw(), target);
+                        }
+                        let at = now + self.ring_delay(target_cluster);
+                        sched.send_cluster(
+                            target_cluster,
+                            at,
+                            Ev::RemoteSpawn {
+                                pid: child,
+                                node: target,
+                                team,
+                                ready_at: now + self.cfg.remote_spawn_latency,
+                                body,
+                            },
                         );
-                    }
+                        child
+                    };
                     self.intrusion.record_application(self.cfg.spawn_cost);
-                    self.sim.schedule_in(
+                    sched.schedule_in(
                         self.cfg.spawn_cost,
                         Ev::ResumeRunning {
                             pid,
@@ -909,7 +1001,7 @@ impl Machine {
                     return;
                 }
                 Action::DiskWrite { bytes } => {
-                    self.block(pid, BlockReason::Disk);
+                    self.block(sched, pid, BlockReason::Disk);
                     // The write travels over the cluster bus to the disk
                     // node, then streams to disk.
                     let cluster = self.topo.cluster_of(node);
@@ -921,7 +1013,7 @@ impl Machine {
                     );
                     let write = self.cfg.disk_latency
                         + SimDuration::for_transfer(bytes as u64, self.cfg.disk_bandwidth);
-                    self.sim.schedule(
+                    sched.schedule(
                         arrival + write,
                         Ev::Unblock {
                             pid,
@@ -932,56 +1024,132 @@ impl Machine {
                 }
                 Action::WaitCond(cond) => {
                     self.conds.entry(cond).or_default().push(pid);
-                    self.block(pid, BlockReason::Cond);
+                    self.block(sched, pid, BlockReason::Cond);
                     return;
                 }
                 Action::SignalCond(cond) => {
                     if let Some(waiters) = self.conds.remove(&cond) {
                         for w in waiters {
-                            self.unblock(w, Resume::Signalled);
+                            self.unblock(sched, w, Resume::Signalled);
+                        }
+                    }
+                    // Condition variables are machine-global: waiters on
+                    // other clusters learn of the signal one ring
+                    // rotation later.
+                    if self.clusters > 1 {
+                        for c in 0..self.clusters as u8 {
+                            let c = ClusterId::new(c);
+                            if c == self.cluster {
+                                continue;
+                            }
+                            let at = now + self.ring_delay(c);
+                            sched.send_cluster(c, at, Ev::CondSignal { cond });
                         }
                     }
                     resume = Resume::SignalSent;
                 }
                 Action::Exit => {
-                    let now = self.sim.now();
+                    let now = sched.now();
                     if self.kernel_instrumented() {
                         self.kernel_emit(
+                            now,
                             node,
                             crate::os_tokens::KERNEL_EXIT,
                             crate::os_tokens::param(pid.raw(), 0),
                         );
                     }
                     self.set_state(pid, ProcState::Exited, now);
-                    self.procs[pid.raw() as usize].body = None;
-                    self.nodes[node.index() as usize].running = None;
+                    self.proc_mut(pid).body = None;
+                    self.local_node_mut(node).running = None;
                     if Some(pid) == self.initial {
                         // Termination of the initial process terminates
                         // the whole application (paper §2.2).
                         self.halted = true;
-                        self.sim.clear();
+                        sched.halt_local();
+                        if self.clusters > 1 {
+                            for c in 0..self.clusters as u8 {
+                                let c = ClusterId::new(c);
+                                if c == self.cluster {
+                                    continue;
+                                }
+                                sched.send_cluster(c, now + self.ring_delay(c), Ev::HaltCluster);
+                            }
+                        }
                         return;
                     }
-                    self.try_dispatch(node);
+                    self.try_dispatch(sched, node);
                     return;
                 }
             }
         }
     }
 
-    fn block(&mut self, pid: ProcessId, reason: BlockReason) {
-        let now = self.sim.now();
+    /// Delivers a blocking send: over the local interconnect for
+    /// intra-cluster destinations, over the token ring (a cross-shard
+    /// event) otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn route_message<S: Sched>(
+        &mut self,
+        sched: &mut S,
+        now: SimTime,
+        node: NodeId,
+        src: ProcessId,
+        dst: ProcessId,
+        msg: Message,
+        mailbox: bool,
+    ) {
+        let dst_node = self.target_node(dst);
+        match self.topo.route(node, dst_node) {
+            Route::InterCluster {
+                src_cluster,
+                dst_cluster,
+                ring_hops,
+            } => {
+                debug_assert_eq!(src_cluster, self.cluster);
+                let handoff = self.interconnect.inter_cluster_egress(
+                    now,
+                    node,
+                    src_cluster,
+                    ring_hops,
+                    msg.bytes(),
+                );
+                sched.send_cluster(
+                    dst_cluster,
+                    handoff,
+                    Ev::RingDeliver {
+                        dst,
+                        src,
+                        msg,
+                        mailbox,
+                    },
+                );
+            }
+            route => {
+                let arrival = self.interconnect.transfer(now, node, route, msg.bytes());
+                let ev = if mailbox {
+                    Ev::MailboxArrive { dst, src, msg }
+                } else {
+                    Ev::SyncArrive { dst, src, msg }
+                };
+                sched.schedule(arrival, ev);
+            }
+        }
+    }
+
+    fn block<S: Sched>(&mut self, sched: &mut S, pid: ProcessId, reason: BlockReason) {
+        let now = sched.now();
         self.set_state(pid, ProcState::Blocked(reason), now);
-        let node = self.procs[pid.raw() as usize].node;
+        let node = self.proc(pid).node;
         if self.kernel_instrumented() {
             self.kernel_emit(
+                now,
                 node,
                 crate::os_tokens::KERNEL_BLOCK,
                 crate::os_tokens::param(pid.raw(), crate::os_tokens::reason_code(reason)),
             );
         }
-        self.nodes[node.index() as usize].running = None;
-        self.try_dispatch(node);
+        self.local_node_mut(node).running = None;
+        self.try_dispatch(sched, node);
     }
 
     fn kernel_instrumented(&self) -> bool {
@@ -992,11 +1160,11 @@ impl Machine {
     /// only from contexts where the kernel owns the CPU (dispatch,
     /// mailbox service, the tail of a running process), so the pattern
     /// sequence never interleaves with an application event.
-    fn kernel_emit(&mut self, node: NodeId, token: u16, param: u32) {
+    fn kernel_emit(&mut self, now: SimTime, node: NodeId, token: u16, param: u32) {
         self.stats.kernel_events += 1;
         let spacing = (self.cfg.kernel_event_cost / EmissionRecord::write_count() as u64)
             .max(SimDuration::from_nanos(100));
-        self.display_emit(node, spacing, token, param);
+        self.display_emit(now, node, spacing, token, param);
     }
 
     /// Writes one event's pattern sequence to `node`'s display —
@@ -1004,14 +1172,19 @@ impl Machine {
     /// when display materialization is deferred. Both paths run the
     /// same serialization arithmetic, so the eventual writes are
     /// bit-identical.
-    fn display_emit(&mut self, node: NodeId, spacing: SimDuration, token: u16, param: u32) {
+    fn display_emit(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        spacing: SimDuration,
+        token: u16,
+        param: u32,
+    ) {
         // Serialize per node: two events fired at the same instant
         // (e.g. a block immediately followed by the next dispatch) must
         // not interleave their pattern pairs on the display.
-        let start = self
-            .sim
-            .now()
-            .max(self.kernel_display_free[node.index() as usize]);
+        let idx = self.local_idx(node);
+        let start = now.max(self.kernel_display_free[idx]);
         if self.cfg.deferred_display {
             self.deferred.push(EmissionRecord {
                 start,
@@ -1029,22 +1202,15 @@ impl Machine {
                 });
             }
         }
-        self.kernel_display_free[node.index() as usize] =
+        self.kernel_display_free[idx] =
             start + spacing * (EmissionRecord::write_count() as u64 + 1);
     }
 
     /// Performs the configured monitoring technique's output for one
     /// instrumentation call. Returns the CPU cost, or `None` when the
     /// call is free (monitoring off).
-    fn emit(
-        &mut self,
-        _pid: ProcessId,
-        node: NodeId,
-        token: u16,
-        param: u32,
-    ) -> Option<SimDuration> {
+    fn emit(&mut self, now: SimTime, node: NodeId, token: u16, param: u32) -> Option<SimDuration> {
         self.stats.events_emitted += 1;
-        let now = self.sim.now();
         let event = MonEvent::new(token, param);
         match self.cfg.monitoring {
             MonitoringMode::Off => None,
@@ -1054,7 +1220,7 @@ impl Machine {
                 // pattern pairs from interleaving with kernel-event pairs
                 // emitted during the preceding context switch.
                 let spacing = self.cfg.monitor_costs.hybrid_write_spacing();
-                self.display_emit(node, spacing, token, param);
+                self.display_emit(now, node, spacing, token, param);
                 self.intrusion.record_event(cost);
                 Some(cost)
             }
@@ -1084,7 +1250,8 @@ impl Machine {
             }
             MonitoringMode::Software => {
                 let cost = self.cfg.monitor_costs.software_call;
-                self.software[node.index() as usize].record(now, event);
+                let idx = self.local_idx(node);
+                self.software[idx].record(now, event);
                 self.intrusion.record_event(cost);
                 if cost.is_zero() {
                     None
@@ -1093,5 +1260,518 @@ impl Machine {
                 }
             }
         }
+    }
+}
+
+/// A simulated SUPRENUM machine.
+///
+/// # Examples
+///
+/// ```
+/// use des::time::{SimDuration, SimTime};
+/// use suprenum::{Action, Machine, MachineConfig, NodeId, ProcCtx, Process, Resume, RunEnd};
+///
+/// struct Busy(u8);
+/// impl Process for Busy {
+///     fn resume(&mut self, _ctx: &ProcCtx, _why: Resume) -> Action {
+///         self.0 += 1;
+///         if self.0 == 1 {
+///             Action::Compute(SimDuration::from_millis(3))
+///         } else {
+///             Action::Exit
+///         }
+///     }
+/// }
+///
+/// let mut machine = Machine::new(MachineConfig::single_cluster(2), 42).unwrap();
+/// machine.add_process(NodeId::new(0), Box::new(Busy(0)));
+/// let outcome = machine.run(SimTime::from_secs(1));
+/// assert_eq!(outcome.reason, RunEnd::Completed);
+/// assert!(outcome.end >= SimTime::from_millis(3));
+/// ```
+pub struct Machine {
+    cfg: MachineConfig,
+    topo: Topology,
+    parts: Vec<Partition>,
+    engine: Engine,
+    /// Worker threads the per-cluster engine shards are packed onto
+    /// (presentation only — never affects the logical schedule).
+    engine_shards: usize,
+    /// Emissions collected from all partitions at epoch barriers,
+    /// in cluster-major epoch order (the multi-cluster analogue of a
+    /// partition's `deferred` buffer).
+    drain: Vec<EmissionRecord>,
+    /// End time of the latest sharded run chunk.
+    last_end: SimTime,
+    initial: Option<ProcessId>,
+    initial_cluster: usize,
+    /// Set once a sharded run's partitions were merged for reporting;
+    /// a merged machine cannot be run again.
+    merged: bool,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let processes: usize = self
+            .parts
+            .iter()
+            .map(|p| p.procs.iter().filter(|s| s.is_some()).count())
+            .sum();
+        f.debug_struct("Machine")
+            .field("nodes", &self.topo.total_nodes())
+            .field("processes", &processes)
+            .field("now", &self.now())
+            .field("halted", &self.parts[self.initial_cluster].halted)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine from a configuration and a determinism seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error if it is inconsistent.
+    pub fn new(cfg: MachineConfig, seed: u64) -> Result<Self, crate::config::ConfigError> {
+        cfg.validate()?;
+        let topo = Topology::new(&cfg);
+        let rng = DetRng::new(seed);
+        let mut software: VecDeque<SoftwareMonitor> = topo
+            .nodes()
+            .map(|n| {
+                let mut node_rng = rng.derive_indexed("node-clock", n.index() as u64);
+                let clock = ClockModel::random_skew(
+                    &mut node_rng,
+                    cfg.node_clock_max_offset,
+                    cfg.node_clock_max_drift_ppm,
+                    cfg.node_clock_resolution,
+                );
+                SoftwareMonitor::new(clock, cfg.software_buffer_capacity)
+            })
+            .collect();
+        let multi = topo.clusters() > 1;
+        let directory = multi.then(|| Arc::new(RwLock::new(HashMap::new())));
+        let npc = topo.nodes_per_cluster() as usize;
+        let parts: Vec<Partition> = (0..topo.clusters())
+            .map(|c| {
+                let cluster = ClusterId::new(c);
+                Partition {
+                    cluster,
+                    first_node: topo.first_node(cluster).index(),
+                    clusters: topo.clusters() as u32,
+                    cfg: cfg.clone(),
+                    topo: topo.clone(),
+                    interconnect: Interconnect::new(&cfg, &topo),
+                    procs: Vec::new(),
+                    nodes: (0..npc).map(|_| Node::new()).collect(),
+                    conds: HashMap::new(),
+                    signals: SignalLog::new(),
+                    ground_truth: GroundTruth::new(),
+                    intrusion: IntrusionReport::default(),
+                    software: software.drain(..npc).collect(),
+                    stats: KernelStats::default(),
+                    kernel_display_free: vec![SimTime::ZERO; npc],
+                    deferred: Vec::new(),
+                    next_pid: 0,
+                    next_team: 0,
+                    initial: None,
+                    halted: false,
+                    events_handled: 0,
+                    now_local: SimTime::ZERO,
+                    directory: directory.clone(),
+                }
+            })
+            .collect();
+        let engine = if multi {
+            let lookahead = cfg.ring_token_latency + cfg.ring_hop_latency;
+            Engine::Sharded(ShardedEventLoop::new(topo.clusters() as usize, lookahead))
+        } else {
+            Engine::Seq(EventLoop::new())
+        };
+        Ok(Machine {
+            cfg,
+            topo,
+            parts,
+            engine,
+            engine_shards: 1,
+            drain: Vec::new(),
+            last_end: SimTime::ZERO,
+            initial: None,
+            initial_cluster: 0,
+            merged: false,
+        })
+    }
+
+    /// Adds a root process on `node` before the run starts. The first
+    /// process added is the application's *initial process*: its exit
+    /// terminates the whole application (paper §2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`run`](Self::run) or if `node` is out of
+    /// range.
+    pub fn add_process(&mut self, node: NodeId, body: Box<dyn Process>) -> ProcessId {
+        assert!(
+            node.index() < self.topo.total_nodes(),
+            "process placed on nonexistent node {node}"
+        );
+        assert!(
+            self.now() == SimTime::ZERO && !self.parts.iter().any(|p| p.halted),
+            "add_process before run"
+        );
+        let c = self.topo.cluster_of(node).index() as usize;
+        let part = &mut self.parts[c];
+        let team = part.alloc_team();
+        let pid = part.alloc_pid();
+        part.create_proc(pid, node, team, body, SimTime::ZERO);
+        if self.initial.is_none() {
+            self.initial = Some(pid);
+            self.initial_cluster = c;
+            for p in &mut self.parts {
+                p.initial = Some(pid);
+            }
+        }
+        self.parts[c]
+            .local_node_mut(node)
+            .ready
+            .push_back(LwpId::User(pid));
+        pid
+    }
+
+    /// Sets how many worker threads a multi-cluster machine's engine
+    /// shards are packed onto. The logical shards are always the
+    /// clusters; this only controls physical parallelism, so traces are
+    /// bit-identical for every value. One thread (the default) runs the
+    /// windowed algorithm inline; single-cluster machines ignore this
+    /// and stay on the plain sequential loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn set_engine_shards(&mut self, shards: usize) {
+        assert!(shards >= 1, "engine shards must be nonzero");
+        self.engine_shards = shards;
+    }
+
+    /// The sharded engine's execution profile — `None` on a
+    /// single-cluster machine, which runs the plain sequential loop.
+    /// Available after (or during) a run; all counters are
+    /// deterministic, so the profile is part of the reproducible
+    /// record of a shape, not a wall-clock measurement.
+    pub fn engine_profile(&self) -> Option<EngineProfile> {
+        match &self.engine {
+            Engine::Seq(_) => None,
+            Engine::Sharded(eng) => Some(EngineProfile {
+                epochs: eng.epochs(),
+                shard_events: eng.shard_steps(),
+            }),
+        }
+    }
+
+    /// Runs the application until it terminates, deadlocks, or reaches
+    /// `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process was added.
+    pub fn run(&mut self, horizon: SimTime) -> RunOutcome {
+        self.run_budgeted(horizon, u64::MAX)
+    }
+
+    /// Like [`run`](Self::run) but also bounded by an event budget. On
+    /// a multi-cluster machine the budget is enforced at epoch
+    /// granularity, so slightly more events than `max_events` may run.
+    pub fn run_budgeted(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
+        let (horizon, limited) = self.start_run(horizon);
+        match self.engine {
+            Engine::Seq(_) => {
+                let stop = self.run_chunk_seq(horizon, max_events);
+                self.finish_seq(stop, limited)
+            }
+            Engine::Sharded(_) => {
+                let stop = self.run_multi(horizon, max_events, None);
+                self.finish_multi(stop, limited)
+            }
+        }
+    }
+
+    /// Runs the application like [`run`](Self::run), but pauses every
+    /// `window_events` kernel events to let a monitor-plane consumer
+    /// observe the run in flight: `on_window(now, emissions)` receives
+    /// the current simulated time and the deferred-emission buffer (see
+    /// [`MachineConfig::deferred_display`]), which it may drain — e.g.
+    /// into monitor shards, releasing their streams up to `now`.
+    ///
+    /// The watermark guarantee: every emission recorded *after* a
+    /// callback at time `now` has all its display writes strictly later
+    /// than `now`, so a consumer that drains the buffer may safely
+    /// process everything up to (excluding) `now`. The callback runs one
+    /// final time after the last event, with `now` at the end time.
+    ///
+    /// On a multi-cluster machine the engine observes at epoch
+    /// boundaries instead — the callback fires once per lookahead
+    /// window with the epoch watermark, and `window_events` is not
+    /// used. The watermark guarantee is identical.
+    ///
+    /// Emissions still buffered when the run ends expand into the
+    /// signal log as usual, so [`Machine::signals`] stays complete no
+    /// matter how much the callback drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process was added or `window_events` is zero.
+    pub fn run_observed<F>(
+        &mut self,
+        horizon: SimTime,
+        window_events: u64,
+        mut on_window: F,
+    ) -> RunOutcome
+    where
+        F: FnMut(SimTime, &mut Vec<EmissionRecord>),
+    {
+        assert!(window_events > 0, "observation window must be nonzero");
+        let (horizon, limited) = self.start_run(horizon);
+        match self.engine {
+            Engine::Seq(_) => {
+                let stop = loop {
+                    let stop = self.run_chunk_seq(horizon, window_events);
+                    let now = self.now();
+                    let part = &mut self.parts[0];
+                    on_window(now, &mut part.deferred);
+                    if part.halted || stop != StopReason::StepBudget {
+                        break stop;
+                    }
+                };
+                self.finish_seq(stop, limited)
+            }
+            Engine::Sharded(_) => {
+                let stop = self.run_multi(horizon, u64::MAX, Some(&mut on_window));
+                self.finish_multi(stop, limited)
+            }
+        }
+    }
+
+    /// Applies the job time limit and kicks every node with ready work.
+    fn start_run(&mut self, horizon: SimTime) -> (SimTime, bool) {
+        assert!(self.initial.is_some(), "machine has no processes");
+        // The operator's job time limit releases the partition even if
+        // the application has not finished.
+        let release_at = self.cfg.job_time_limit.map(|l| SimTime::ZERO + l);
+        let (horizon, limited) = match release_at {
+            Some(r) if r < horizon => (r, true),
+            _ => (horizon, false),
+        };
+        for n in self.topo.nodes() {
+            let c = self.topo.cluster_of(n).index() as usize;
+            if self.parts[c].local_node(n).ready.is_empty() {
+                continue;
+            }
+            match &mut self.engine {
+                Engine::Seq(sim) => sim.schedule(SimTime::ZERO, Ev::Dispatch(n)),
+                Engine::Sharded(eng) => eng.schedule(c, SimTime::ZERO, Ev::Dispatch(n)),
+            }
+        }
+        (horizon, limited)
+    }
+
+    /// Handles up to `max_events` events on the sequential engine
+    /// (resumable).
+    fn run_chunk_seq(&mut self, horizon: SimTime, max_events: u64) -> StopReason {
+        let Engine::Seq(sim) = &mut self.engine else {
+            unreachable!("run_chunk_seq on a sharded engine");
+        };
+        let part = &mut self.parts[0];
+        sim.run_bounded(horizon, max_events, |sim, _now, ev| {
+            part.handle(&mut SeqSched { sim }, ev);
+        })
+    }
+
+    /// Runs the sharded engine: every partition advances in lockstep
+    /// lookahead windows, `engine_shards` worker threads wide. Each
+    /// epoch barrier collects the partitions' deferred emissions into
+    /// the machine-level drain (cluster order) and, when observing,
+    /// fires the window callback with the epoch watermark.
+    fn run_multi(
+        &mut self,
+        horizon: SimTime,
+        max_events: u64,
+        mut on_window: Option<WindowHook<'_>>,
+    ) -> StopReason {
+        assert!(
+            !self.merged,
+            "a multi-cluster machine cannot run again after it finished"
+        );
+        let threads = self.engine_shards;
+        let Engine::Sharded(eng) = &mut self.engine else {
+            unreachable!("run_multi on a sequential engine");
+        };
+        let parts = &mut self.parts;
+        let drain = &mut self.drain;
+        let mut last_wm = self.last_end;
+        let stop = eng.run_threaded(
+            parts,
+            horizon,
+            max_events,
+            threads,
+            |part: &mut Partition, ctx, _now, ev| part.handle(&mut ShardSched { ctx }, ev),
+            |part: &mut Partition| std::mem::take(&mut part.deferred),
+            |watermark, collected: Vec<Vec<EmissionRecord>>| {
+                for mut c in collected {
+                    drain.append(&mut c);
+                }
+                // Clamp to non-decreasing: the final epoch reports
+                // SimTime::MAX when drained, and a horizon stop can
+                // leave the last window start behind an earlier one.
+                last_wm = watermark.max(last_wm);
+                if let Some(cb) = on_window.as_deref_mut() {
+                    cb(last_wm, drain);
+                }
+            },
+        );
+        // Anything deferred after the last collected epoch.
+        for part in parts.iter_mut() {
+            drain.append(&mut part.deferred);
+        }
+        let end = parts
+            .iter()
+            .map(|p| p.now_local)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.last_end = self.last_end.max(end);
+        if let Some(cb) = on_window {
+            cb(last_wm.max(self.last_end), drain);
+        }
+        stop
+    }
+
+    /// Expands leftover deferred emissions, sorts the signal log, and
+    /// folds the stop reason into the outcome (sequential engine).
+    fn finish_seq(&mut self, stop: StopReason, limited: bool) -> RunOutcome {
+        let part = &mut self.parts[0];
+        part.materialize_deferred();
+        part.signals.sort();
+        let reason = if part.halted {
+            RunEnd::Completed
+        } else {
+            Self::stop_reason(stop, limited)
+        };
+        let Engine::Seq(sim) = &self.engine else {
+            unreachable!("finish_seq on a sharded engine");
+        };
+        RunOutcome {
+            end: sim.now(),
+            reason,
+            events: sim.steps_handled(),
+        }
+    }
+
+    /// Merges every partition's state into partition 0 for reporting and
+    /// folds the stop reason into the outcome (sharded engine).
+    fn finish_multi(&mut self, stop: StopReason, limited: bool) -> RunOutcome {
+        if !self.merged {
+            self.merged = true;
+            let (first, rest) = self.parts.split_at_mut(1);
+            let p0 = &mut first[0];
+            for p in rest {
+                p0.signals.absorb(&mut p.signals);
+                p0.ground_truth.absorb(&mut p.ground_truth);
+                let intr = std::mem::take(&mut p.intrusion);
+                p0.intrusion.events += intr.events;
+                p0.intrusion.total_intrusion += intr.total_intrusion;
+                p0.intrusion.total_application += intr.total_application;
+                p0.stats.merge(std::mem::take(&mut p.stats));
+                p0.interconnect.merge_stats(p.interconnect.take_stats());
+                p0.software.append(&mut p.software);
+                p0.events_handled += std::mem::take(&mut p.events_handled);
+            }
+        }
+        let completed = self.parts[self.initial_cluster].halted;
+        let part = &mut self.parts[0];
+        for rec in std::mem::take(&mut self.drain) {
+            for w in rec.writes() {
+                part.signals.push_display(w);
+            }
+        }
+        part.signals.sort();
+        let reason = if completed {
+            RunEnd::Completed
+        } else {
+            Self::stop_reason(stop, limited)
+        };
+        RunOutcome {
+            end: self.last_end,
+            reason,
+            events: self.parts[0].events_handled,
+        }
+    }
+
+    fn stop_reason(stop: StopReason, limited: bool) -> RunEnd {
+        match stop {
+            StopReason::Drained => RunEnd::Deadlock,
+            StopReason::Horizon if limited => RunEnd::ResourcesReleased,
+            StopReason::Horizon => RunEnd::Horizon,
+            StopReason::StepBudget => RunEnd::EventBudget,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The configuration the machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        match &self.engine {
+            Engine::Seq(sim) => sim.now(),
+            Engine::Sharded(_) => self.last_end,
+        }
+    }
+
+    /// Externally observable hardware signals (display, terminal).
+    pub fn signals(&self) -> &SignalLog {
+        &self.parts[0].signals
+    }
+
+    /// True process-state history (the validation oracle).
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.parts[0].ground_truth
+    }
+
+    /// Monitoring intrusion accounting.
+    pub fn intrusion(&self) -> &IntrusionReport {
+        &self.parts[0].intrusion
+    }
+
+    /// Per-node software-monitoring logs (populated when
+    /// [`MonitoringMode::Software`] is configured).
+    pub fn software_monitors(&self) -> &[SoftwareMonitor] {
+        &self.parts[0].software
+    }
+
+    /// Kernel counters.
+    pub fn stats(&self) -> KernelStats {
+        self.parts[0].stats
+    }
+
+    /// Interconnect counters.
+    pub fn interconnect_stats(&self) -> InterconnectStats {
+        self.parts[0].interconnect.stats()
+    }
+
+    /// The label a process registered with.
+    pub fn process_label(&self, pid: ProcessId) -> Option<&str> {
+        self.parts
+            .iter()
+            .find_map(|p| p.ground_truth.history(pid))
+            .map(|h| h.label.as_str())
     }
 }

@@ -88,7 +88,7 @@ pub use config::{ConfigError, MachineConfig};
 pub use emission::EmissionRecord;
 pub use ground_truth::{BlockReason, GroundTruth, ProcState};
 pub use ids::{ClusterId, CondId, LwpId, NodeId, ProcessId};
-pub use kernel::{KernelStats, Machine, RunEnd, RunOutcome};
+pub use kernel::{EngineProfile, KernelStats, Machine, RunEnd, RunOutcome};
 pub use message::Message;
 pub use process::{Action, ProcCtx, Process, Resume};
 pub use signals::{DisplayWrite, SignalLog, TerminalWrite};

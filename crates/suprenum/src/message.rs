@@ -6,14 +6,16 @@
 
 use std::any::Any;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ids::ProcessId;
 
 /// A message in flight between two processes.
 ///
 /// The payload is reference-counted so the simulator can hold it in
-/// transit queues without cloning application data.
+/// transit queues without cloning application data. It is atomically
+/// counted (and `Send + Sync`) so messages can cross engine-shard
+/// boundaries when clusters execute on separate worker threads.
 ///
 /// # Examples
 ///
@@ -29,17 +31,17 @@ use crate::ids::ProcessId;
 pub struct Message {
     src: ProcessId,
     bytes: u32,
-    payload: Rc<dyn Any>,
+    payload: Arc<dyn Any + Send + Sync>,
 }
 
 impl Message {
     /// Creates a message from `src` of `bytes` wire size carrying
     /// `payload`.
-    pub fn new<T: Any>(src: ProcessId, bytes: u32, payload: T) -> Self {
+    pub fn new<T: Any + Send + Sync>(src: ProcessId, bytes: u32, payload: T) -> Self {
         Message {
             src,
             bytes,
-            payload: Rc::new(payload),
+            payload: Arc::new(payload),
         }
     }
 

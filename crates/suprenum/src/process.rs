@@ -162,7 +162,13 @@ pub enum Action {
 /// guarantees that between two `resume` calls of the *same* process no
 /// other process runs on that node unless the action blocks — matching
 /// SUPRENUM's non-preemptive scheduling.
-pub trait Process {
+///
+/// Bodies must be `Send`: when a machine spans multiple clusters, each
+/// cluster's processes execute on an engine-shard worker thread, and
+/// remote spawns carry the boxed body across the shard boundary. Within
+/// one cluster execution remains strictly sequential, so `Sync` is not
+/// required and per-process interior mutability needs no locking.
+pub trait Process: Send {
     /// Advances the process and returns its next action.
     fn resume(&mut self, ctx: &ProcCtx, why: Resume) -> Action;
 

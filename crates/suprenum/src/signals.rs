@@ -78,6 +78,14 @@ impl SignalLog {
         v
     }
 
+    /// Moves every record of `other` into this log. Used when merging
+    /// per-cluster partitions after a sharded run; callers re-establish
+    /// global time order with [`sort`](Self::sort) afterwards.
+    pub fn absorb(&mut self, other: &mut SignalLog) {
+        self.display.append(&mut other.display);
+        self.terminal.append(&mut other.terminal);
+    }
+
     /// Sorts both logs by time. The kernel emits display writes of one
     /// `hybrid_mon` call with increasing future timestamps, so logs from
     /// concurrent nodes interleave; sorting restores global time order.

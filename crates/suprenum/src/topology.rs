@@ -93,6 +93,30 @@ impl Topology {
         ClusterId::new((node.index() / self.nodes_per_cluster as u16) as u8)
     }
 
+    /// Nodes in each cluster.
+    pub fn nodes_per_cluster(&self) -> u8 {
+        self.nodes_per_cluster
+    }
+
+    /// The lowest node id of a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn first_node(&self, cluster: ClusterId) -> NodeId {
+        assert!(
+            cluster.index() < self.clusters,
+            "cluster {cluster} out of range"
+        );
+        NodeId::new(cluster.index() as u16 * self.nodes_per_cluster as u16)
+    }
+
+    /// Iterates over the nodes of one cluster in id order.
+    pub fn cluster_nodes(&self, cluster: ClusterId) -> impl Iterator<Item = NodeId> {
+        let first = self.first_node(cluster).index();
+        (first..first + self.nodes_per_cluster as u16).map(NodeId::new)
+    }
+
     /// Torus coordinates (row, col) of a cluster.
     pub fn torus_coords(&self, cluster: ClusterId) -> (u8, u8) {
         assert!(

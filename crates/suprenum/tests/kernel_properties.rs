@@ -16,7 +16,7 @@ struct RingMember {
     rounds: u32,
     compute_us: u64,
     mailbox: bool,
-    peers: std::rc::Rc<std::cell::RefCell<Vec<ProcessId>>>,
+    peers: std::sync::Arc<std::sync::Mutex<Vec<ProcessId>>>,
     round: u32,
     phase: u8,
     spawned: u16,
@@ -30,7 +30,7 @@ impl RingMember {
         rounds: u32,
         compute_us: u64,
         mailbox: bool,
-        peers: std::rc::Rc<std::cell::RefCell<Vec<ProcessId>>>,
+        peers: std::sync::Arc<std::sync::Mutex<Vec<ProcessId>>>,
     ) -> Box<RingMember> {
         Box::new(RingMember {
             index,
@@ -51,7 +51,7 @@ impl Process for RingMember {
         if self.index == 0 && self.spawned < self.ring {
             // Member 0 spawns members 1..ring, one per resume.
             if let Resume::Spawned(pid) = &why {
-                self.peers.borrow_mut().push(*pid);
+                self.peers.lock().unwrap().push(*pid);
             }
             if self.spawned < self.ring {
                 let next = self.spawned;
@@ -71,11 +71,14 @@ impl Process for RingMember {
             }
         }
         if let Resume::Spawned(pid) = &why {
-            self.peers.borrow_mut().push(*pid);
+            self.peers.lock().unwrap().push(*pid);
         }
-        if self.index == 0 && self.phase == 0 && self.peers.borrow().len() < self.ring as usize {
+        if self.index == 0
+            && self.phase == 0
+            && self.peers.lock().unwrap().len() < self.ring as usize
+        {
             // Registration happens via spawn loop above; peers[0] is us.
-            self.peers.borrow_mut().insert(0, ctx.pid);
+            self.peers.lock().unwrap().insert(0, ctx.pid);
         }
         loop {
             match self.phase {
@@ -85,7 +88,7 @@ impl Process for RingMember {
                 }
                 1 => {
                     self.phase = 2;
-                    let peers = self.peers.borrow();
+                    let peers = self.peers.lock().unwrap();
                     let next = peers[(self.index as usize + 1) % peers.len()];
                     let msg = Message::new(ctx.pid, 64, self.round);
                     return if self.mailbox {
@@ -119,11 +122,11 @@ impl Process for RingMember {
 }
 
 fn run_ring(ring: u16, rounds: u32, compute_us: u64, mailbox: bool, seed: u64) -> Machine {
-    let peers = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let peers = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     let mut machine = Machine::new(MachineConfig::single_cluster(4), seed).unwrap();
     let root = RingMember::new(0, ring, rounds, compute_us, mailbox, peers.clone());
     let pid0 = machine.add_process(NodeId::new(0), root);
-    peers.borrow_mut().push(pid0);
+    peers.lock().unwrap().push(pid0);
     machine.run(SimTime::from_secs(3_600));
     machine
 }
@@ -197,11 +200,11 @@ proptest! {
 /// receiver relinquishes the CPU.
 #[test]
 fn sync_ring_deadlocks_where_mailbox_ring_completes() {
-    let peers = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let peers = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     let mut machine = Machine::new(MachineConfig::single_cluster(4), 3).unwrap();
     let root = RingMember::new(0, 3, 2, 200, false, peers.clone());
     let pid0 = machine.add_process(NodeId::new(0), root);
-    peers.borrow_mut().push(pid0);
+    peers.lock().unwrap().push(pid0);
     let outcome = machine.run(SimTime::from_secs(600));
     assert_eq!(outcome.reason, RunEnd::Deadlock, "sync ring must deadlock");
 
