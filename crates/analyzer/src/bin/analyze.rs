@@ -20,13 +20,28 @@
 //!                      default). Race warnings stay warnings unless
 //!                      --strict, which denies them (escalates
 //!                      AN-RACE-* warnings to errors)
+//!   --structural       run the place/transition-net layer on its own
+//!                      and append a structural report per version:
+//!                      P-invariant certificates, siphon/trap deadlock
+//!                      analysis, and the synthesized minimal safe
+//!                      pixel-queue capacity (AN-STRUCT-*). These
+//!                      proofs are polynomial-time and hold for any
+//!                      shape size — no state budget involved
 //! ```
+//!
+//! `--json` reports also carry a `timings` array with per-layer wall
+//! time (token/protocol/rate/structural/model/race, milliseconds) for
+//! each analyzed version, so regressions in analysis cost are visible
+//! in CI artifacts.
 //!
 //! With no version arguments, analyzes all four.
 
 use std::process::ExitCode;
 
-use analyzer::{check_preemptive_variant, reports_json, sarif, ModelBudget, Report, Severity};
+use analyzer::{
+    check_preemptive_variant, reports_json_with_timings, sarif, ModelBudget, Report, Severity,
+    SubjectTimings,
+};
 use raysim::config::{AppConfig, Version};
 
 fn parse_version(arg: &str) -> Option<Version> {
@@ -43,7 +58,7 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("{problem}");
     eprintln!(
         "usage: analyze [v1|v2|v3|v4 ...] [--deep] [--fail-on info|warning|error] \
-         [--strict] [--json PATH] [--sarif PATH] [--preemptive] [--races]"
+         [--strict] [--json PATH] [--sarif PATH] [--preemptive] [--races] [--structural]"
     );
     ExitCode::from(2)
 }
@@ -64,6 +79,7 @@ fn main() -> ExitCode {
     let mut strict = false;
     let mut preemptive = false;
     let mut races = false;
+    let mut structural = false;
     let mut json_path: Option<String> = None;
     let mut sarif_path: Option<String> = None;
 
@@ -77,6 +93,7 @@ fn main() -> ExitCode {
             "--deep" => deep = true,
             "--preemptive" => preemptive = true,
             "--races" => races = true,
+            "--structural" => structural = true,
             "--fail-on" => match args.next().as_deref().map(Severity::parse) {
                 Some(Some(level)) => fail_on = Some(level),
                 _ => return usage("--fail-on needs a level: info|warning|error"),
@@ -106,13 +123,26 @@ fn main() -> ExitCode {
     };
 
     let mut reports: Vec<Report> = Vec::new();
+    let mut timings: Vec<SubjectTimings> = Vec::new();
     let mut worst: Option<Severity> = None;
     for &version in &versions {
-        let report = analyzer::preflight::analyze_version_with(version, &budget);
+        let (report, layers) = analyzer::analyze_version_timed(version, &budget);
         println!("== {version} ==");
         print!("{}", report.render());
         println!();
         worst = worst.max(report.max_severity());
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        timings.push((
+            report.subject.clone(),
+            vec![
+                ("token_ms", ms(layers.token)),
+                ("protocol_ms", ms(layers.protocol)),
+                ("rate_ms", ms(layers.rate)),
+                ("structural_ms", ms(layers.structural)),
+                ("model_ms", ms(layers.model)),
+                ("race_ms", ms(layers.race)),
+            ],
+        ));
         reports.push(report);
     }
 
@@ -159,8 +189,19 @@ fn main() -> ExitCode {
         }
     }
 
+    if structural {
+        for &version in &versions {
+            let report = analyzer::check_structural(&AppConfig::version(version));
+            println!("== {} ==", report.subject);
+            print!("{}", report.render());
+            println!();
+            worst = worst.max(report.max_severity());
+            reports.push(report);
+        }
+    }
+
     if let Some(path) = &json_path {
-        if let Err(e) = write_out(path, &reports_json(&reports)) {
+        if let Err(e) = write_out(path, &reports_json_with_timings(&reports, &timings)) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::from(3);
         }

@@ -31,6 +31,13 @@
 //!   lost signals and nondeterministic monitoring interleavings, each
 //!   with a replayable witness interleaving cross-checked against the
 //!   happens-before engine (`AN-RACE-*`).
+//! * [`structural`] — the place/transition-net layer: P-invariants by
+//!   Gaussian elimination over the incidence matrix (credit
+//!   conservation as a machine-checkable certificate), siphon/trap
+//!   deadlock analysis, and capacity synthesis — polynomial-time
+//!   proofs that hold for any shape size, closing the claims the
+//!   exhaustive layers leave partial at their state budgets
+//!   (`AN-STRUCT-*`).
 //!
 //! Findings are [`diag::Diagnostic`]s with stable machine-readable
 //! codes, severities, and structured locations, collected into
@@ -61,17 +68,19 @@ pub mod protocol;
 pub mod race;
 pub mod rate;
 pub mod render;
+pub mod structural;
 pub mod token_lints;
 
 pub use diag::{Diagnostic, Finding, Location, Report, Severity};
 pub use hb::{analyze_trace, validate_orders, HbStats};
 pub use model::{
-    check_app, check_preemptive_variant, proven_orders, ModelBudget, OrderScope, ProvenOrder,
+    check_app, check_app_timed, check_preemptive_variant, proven_orders, ModelBudget, ModelTimings,
+    OrderScope, ProvenOrder,
 };
 pub use preflight::{
-    analyze_all_versions, analyze_app, analyze_run, analyze_version, deny_policy, pipeline_deny,
-    pipeline_hook, pipeline_warn, policy_from_env, preflight_hook, warn_policy, workload_deny,
-    workload_hook, workload_warn,
+    analyze_all_versions, analyze_app, analyze_run, analyze_version, analyze_version_timed,
+    deny_policy, pipeline_deny, pipeline_hook, pipeline_warn, policy_from_env, preflight_hook,
+    warn_policy, workload_deny, workload_hook, workload_warn, LayerTimings,
 };
 pub use protocol::{analyze_protocol, CreditLedger, ProtocolGraph};
 pub use race::{
@@ -79,5 +88,9 @@ pub use race::{
     RaceModel, RaceVerdict, RaceWitness,
 };
 pub use rate::{analyze_rate, predict, RatePrediction};
-pub use render::{report_json, reports_json, sarif};
+pub use render::{report_json, reports_json, reports_json_with_timings, sarif, SubjectTimings};
+pub use structural::{
+    analyze_structural, check_structural, DeadlockVerdict, PInvariant, PetriNet, ProtocolNet,
+    StructuralVerdict,
+};
 pub use token_lints::{lint_pair, lint_stock_maps, TokenDecl, TokenMap};

@@ -26,10 +26,12 @@ pub mod sched;
 
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
 
 use raysim::config::AppConfig;
 
 use crate::diag::{Diagnostic, Location, Report};
+use crate::structural::DeadlockVerdict;
 use exact::ExactModel;
 use flow::FlowModel;
 use sched::{SchedModel, SchedVerdict};
@@ -129,19 +131,61 @@ pub fn check_sched(model: SchedModel, max_states: usize) -> SchedVerdict {
     v
 }
 
+/// Wall time spent in each model-checking phase of [`check_app_timed`],
+/// for the per-layer cost breakdown `analyze --json` publishes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelTimings {
+    /// The structural (place/transition-net) layer.
+    pub structural: Duration,
+    /// The exhaustive flow/exact/sched explorations.
+    pub model: Duration,
+    /// The DPOR race explorer.
+    pub race: Duration,
+}
+
+/// One exhaustive layer that hit its state budget: which universal
+/// claims stay partial, and which the structural layer closed anyway.
+struct BoundedLayer {
+    summary: String,
+    partial: Vec<String>,
+    closed: Vec<String>,
+}
+
 /// Model-checks an application configuration and folds the verdicts
 /// into diagnostics.
 ///
-/// Emits `AN-MODEL-001` (deadlock reachability), `AN-MODEL-002` (window
-/// collapse), `AN-MODEL-003` (credit conservation), `AN-MODEL-004`
-/// (effective synchrony) and `AN-MODEL-005` (budget-bounded
-/// exploration). Proven properties are reported as `info` diagnostics
-/// so a report stays clean for healthy configurations; violated ones
-/// are errors carrying a counterexample path.
+/// The **structural layer runs first** (`AN-STRUCT-*`): its
+/// P-invariant and siphon proofs hold for any shape size, so when an
+/// exhaustive exploration below stops at its state budget, the
+/// properties the structural layer already proved are reported closed
+/// instead of partial. Then emits `AN-MODEL-001` (deadlock
+/// reachability), `AN-MODEL-002` (window collapse), `AN-MODEL-003`
+/// (credit conservation), `AN-MODEL-004` (effective synchrony) and
+/// `AN-MODEL-005` (budget-bounded exploration, naming the specific
+/// properties left partial). Proven properties are reported as `info`
+/// diagnostics so a report stays clean for healthy configurations;
+/// violated ones are errors carrying a counterexample path.
 pub fn check_app(app: &AppConfig, budget: &ModelBudget) -> Report {
-    let mut report = Report::new(format!("{} protocol model", app.version));
-    let mut bounded_layers: Vec<String> = Vec::new();
+    check_app_timed(app, budget).0
+}
 
+/// [`check_app`] plus the per-phase wall-time breakdown.
+pub fn check_app_timed(app: &AppConfig, budget: &ModelBudget) -> (Report, ModelTimings) {
+    let mut report = Report::new(format!("{} protocol model", app.version));
+    let mut timings = ModelTimings::default();
+    let mut bounded_layers: Vec<BoundedLayer> = Vec::new();
+
+    // --- Structural layer: certificates that do not depend on any
+    // state budget. Runs first so the bounded layers below can skip
+    // (report as closed) the properties it already proved.
+    let phase = Instant::now();
+    let st = crate::structural::analyze_structural(app);
+    report.merge(crate::structural::structural_findings(app, &st));
+    timings.structural = phase.elapsed();
+    let structurally_deadlock_free = st.deadlock == DeadlockVerdict::Free;
+    let has_certificates = st.conservation.is_some() && st.queue_bound.is_some();
+
+    let phase = Instant::now();
     // --- Flow model: deadlock, window collapse, credit conservation.
     let flow = FlowModel::from_protocol(
         u32::from(app.servants),
@@ -153,10 +197,28 @@ pub fn check_app(app: &AppConfig, budget: &ModelBudget) -> Report {
     );
     let fv = flow.explore(budget.flow_states);
     if fv.bounded {
-        bounded_layers.push(format!(
-            "flow model stopped at {} states (budget {})",
-            fv.states, budget.flow_states
-        ));
+        let mut partial = vec!["completion reachability".to_owned()];
+        let mut closed = Vec::new();
+        if structurally_deadlock_free {
+            closed.push("deadlock freedom (AN-STRUCT-002)".to_owned());
+        } else {
+            partial.insert(0, "deadlock freedom".to_owned());
+        }
+        if has_certificates {
+            closed.push("credit conservation and the queue bound (AN-STRUCT-001)".to_owned());
+            closed.push("peak concurrency / window collapse (AN-STRUCT-004)".to_owned());
+        } else {
+            partial.push("credit conservation".to_owned());
+            partial.push("peak concurrency".to_owned());
+        }
+        bounded_layers.push(BoundedLayer {
+            summary: format!(
+                "flow model stopped at {} states (budget {})",
+                fv.states, budget.flow_states
+            ),
+            partial,
+            closed,
+        });
     }
 
     if let Some(path) = &fv.deadlock {
@@ -180,6 +242,19 @@ pub fn check_app(app: &AppConfig, budget: &ModelBudget) -> Report {
                 format!(
                     "deadlock-free: exhaustive exploration of {} reachable protocol states \
                      found no state where the master is stuck",
+                    fv.states
+                ),
+            )
+            .locate(Location::Model { path: Vec::new() }),
+        );
+    } else if structurally_deadlock_free {
+        report.push(
+            Diagnostic::info(
+                "AN-MODEL-001",
+                format!(
+                    "deadlock-free: proven structurally for any shape size (siphon/trap \
+                     analysis, AN-STRUCT-002); the bounded exploration of {} states found \
+                     no counterexample either",
                     fv.states
                 ),
             )
@@ -223,6 +298,17 @@ pub fn check_app(app: &AppConfig, budget: &ModelBudget) -> Report {
                 fv.max_outstanding, fv.states
             ),
         ));
+    } else if has_certificates {
+        report.push(Diagnostic::info(
+            "AN-MODEL-002",
+            format!(
+                "full window concurrency is reachable: proven structurally — the queue \
+                 invariant bounds concurrency at min(credits, capacity) = {intended} and \
+                 the monotone send sequence attains it (AN-STRUCT-004); the bounded \
+                 exploration reached {} of {intended}",
+                fv.max_outstanding
+            ),
+        ));
     }
 
     // Credit conservation, checked mechanically in every state.
@@ -248,6 +334,16 @@ pub fn check_app(app: &AppConfig, budget: &ModelBudget) -> Report {
                 flow.credits, fv.states
             ),
         ));
+    } else if has_certificates {
+        report.push(Diagnostic::info(
+            "AN-MODEL-003",
+            format!(
+                "credit conservation proven: the P-invariant certificate (AN-STRUCT-001) \
+                 bounds outstanding jobs at {} credits in every reachable state, for any \
+                 budget; the bounded exploration of {} states agreed",
+                flow.credits, fv.states
+            ),
+        ));
     }
 
     // --- Exact model, for configurations small enough to close.
@@ -262,10 +358,21 @@ pub fn check_app(app: &AppConfig, budget: &ModelBudget) -> Report {
         };
         let ev = exact.explore(budget.exact_states);
         if ev.bounded {
-            bounded_layers.push(format!(
-                "exact model stopped at {} states (budget {})",
-                ev.states, budget.exact_states
-            ));
+            let mut partial = vec!["the possible-vs-inevitable deadlock classification".to_owned()];
+            let mut closed = Vec::new();
+            if structurally_deadlock_free {
+                closed.push("deadlock freedom (AN-STRUCT-002)".to_owned());
+            } else {
+                partial.insert(0, "deadlock freedom".to_owned());
+            }
+            bounded_layers.push(BoundedLayer {
+                summary: format!(
+                    "exact model stopped at {} states (budget {})",
+                    ev.states, budget.exact_states
+                ),
+                partial,
+                closed,
+            });
         } else if ev.deadlock_inevitable {
             let path = ev.deadlock_possible.clone().unwrap_or_default();
             report.push(
@@ -315,10 +422,14 @@ pub fn check_app(app: &AppConfig, budget: &ModelBudget) -> Report {
         budget.sched_states,
     );
     if sv.bounded {
-        bounded_layers.push(format!(
-            "scheduler model stopped at {} states (budget {})",
-            sv.states, budget.sched_states
-        ));
+        bounded_layers.push(BoundedLayer {
+            summary: format!(
+                "scheduler model stopped at {} states (budget {})",
+                sv.states, budget.sched_states
+            ),
+            partial: vec!["effective synchrony (SYNC-1/SYNC-2)".to_owned()],
+            closed: Vec::new(),
+        });
     }
     if let Some(path) = sv.sync1_violation.clone().or(sv.sync2_violation.clone()) {
         report.push(
@@ -342,25 +453,37 @@ pub fn check_app(app: &AppConfig, budget: &ModelBudget) -> Report {
         ));
     }
 
+    timings.model = phase.elapsed();
+
     // --- Race explorer: schedule-dependent message orderings. Under
     // the machine's non-preemptive round-robin the stock shapes are
     // proven race-free (info findings); the preemptive variant is the
     // `analyze --races --preemptive` section and stays out of the
     // default report.
+    let phase = Instant::now();
     report.merge(crate::race::check_races(app, budget, false));
+    timings.race = phase.elapsed();
 
     if !bounded_layers.is_empty() {
         let mut d = Diagnostic::info(
             "AN-MODEL-005",
-            "exploration bounded by the state budget; universal claims above are partial",
+            "exploration bounded by the state budget; universal claims that no other \
+             layer closes are partial",
         );
         for l in bounded_layers {
-            d = d.note(l);
+            d = d.note(format!(
+                "{} — still partial: {}",
+                l.summary,
+                l.partial.join(", ")
+            ));
+            if !l.closed.is_empty() {
+                d = d.note(format!("  closed structurally: {}", l.closed.join("; ")));
+            }
         }
         report.push(d);
     }
 
-    report
+    (report, timings)
 }
 
 /// Model-checks the preemptive-scheduler variant of a configuration,

@@ -15,25 +15,60 @@
 //! the `analyze` CLI and the CI gate pass [`ModelBudget::full`], which
 //! closes every stock V1–V4 state space.
 
+use std::time::{Duration, Instant};
+
 use pipeline::{PipelineConfig, Preflight, Workload};
 use raysim::config::{AppConfig, Version};
 use raysim::run::{PreflightPolicy, PreflightSummary, RunConfig};
 
-use crate::diag::Report;
-use crate::model::{check_app, ModelBudget};
+use crate::diag::{Report, Severity};
+use crate::model::{check_app_timed, ModelBudget};
 use crate::protocol::analyze_protocol;
 use crate::rate::analyze_rate;
 use crate::token_lints::{lint_pair, lint_stock_maps, TokenMap};
 
+/// Wall time spent in each analysis layer, published by `analyze
+/// --json` so analyzer cost regressions show up in CI artifacts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayerTimings {
+    /// Token-map lints (`AN-TOKEN-*`).
+    pub token: Duration,
+    /// Protocol graph analysis (`AN-PROTO-*`).
+    pub protocol: Duration,
+    /// Event-rate prediction (`AN-RATE-*`).
+    pub rate: Duration,
+    /// Structural place/transition-net layer (`AN-STRUCT-*`).
+    pub structural: Duration,
+    /// Exhaustive flow/exact/sched explorations (`AN-MODEL-*`).
+    pub model: Duration,
+    /// DPOR race explorer (`AN-RACE-*`).
+    pub race: Duration,
+}
+
 /// Analyzes everything knowable from the application configuration
 /// alone — the stock point maps, the version's protocol, and the
-/// protocol model checker — under an explicit model-checking budget.
-pub fn analyze_app_with(app: &AppConfig, budget: &ModelBudget) -> Report {
+/// protocol model checker — under an explicit model-checking budget,
+/// returning the per-layer wall-time breakdown alongside the report.
+pub fn analyze_app_timed(app: &AppConfig, budget: &ModelBudget) -> (Report, LayerTimings) {
+    let mut timings = LayerTimings::default();
     let mut report = Report::new(format!("{}", app.version));
+    let phase = Instant::now();
     report.merge(lint_stock_maps());
+    timings.token = phase.elapsed();
+    let phase = Instant::now();
     report.merge(analyze_protocol(app));
-    report.merge(check_app(app, budget));
-    report
+    timings.protocol = phase.elapsed();
+    let (model_report, model_timings) = check_app_timed(app, budget);
+    report.merge(model_report);
+    timings.structural = model_timings.structural;
+    timings.model = model_timings.model;
+    timings.race = model_timings.race;
+    (report, timings)
+}
+
+/// [`analyze_app_timed`] without the cost breakdown.
+pub fn analyze_app_with(app: &AppConfig, budget: &ModelBudget) -> Report {
+    analyze_app_timed(app, budget).0
 }
 
 /// [`analyze_app_with`] under the cheap pre-flight budget.
@@ -42,11 +77,20 @@ pub fn analyze_app(app: &AppConfig) -> Report {
 }
 
 /// Analyzes a full run configuration: application checks plus the
+/// event-rate prediction against the configured machine and monitor,
+/// with the per-layer cost breakdown.
+pub fn analyze_run_timed(cfg: &RunConfig, budget: &ModelBudget) -> (Report, LayerTimings) {
+    let (mut report, mut timings) = analyze_app_timed(&cfg.app, budget);
+    let phase = Instant::now();
+    report.merge(analyze_rate(&cfg.app, &cfg.machine, &cfg.zm4));
+    timings.rate = phase.elapsed();
+    (report, timings)
+}
+
+/// Analyzes a full run configuration: application checks plus the
 /// event-rate prediction against the configured machine and monitor.
 pub fn analyze_run_with(cfg: &RunConfig, budget: &ModelBudget) -> Report {
-    let mut report = analyze_app_with(&cfg.app, budget);
-    report.merge(analyze_rate(&cfg.app, &cfg.machine, &cfg.zm4));
-    report
+    analyze_run_timed(cfg, budget).0
 }
 
 /// [`analyze_run_with`] under the cheap pre-flight budget.
@@ -54,9 +98,15 @@ pub fn analyze_run(cfg: &RunConfig) -> Report {
     analyze_run_with(cfg, &ModelBudget::preflight())
 }
 
+/// Analyzes a stock program version under its stock run configuration,
+/// with the per-layer cost breakdown.
+pub fn analyze_version_timed(version: Version, budget: &ModelBudget) -> (Report, LayerTimings) {
+    analyze_run_timed(&RunConfig::new(AppConfig::version(version)), budget)
+}
+
 /// Analyzes a stock program version under its stock run configuration.
 pub fn analyze_version_with(version: Version, budget: &ModelBudget) -> Report {
-    analyze_run_with(&RunConfig::new(AppConfig::version(version)), budget)
+    analyze_version_timed(version, budget).0
 }
 
 /// [`analyze_version_with`] under the cheap pre-flight budget.
@@ -82,6 +132,7 @@ fn summarize(report: &Report) -> PreflightSummary {
     PreflightSummary {
         errors: report.errors(),
         warnings: report.warnings(),
+        infos: report.count(Severity::Info),
         rendered: report.render(),
     }
 }

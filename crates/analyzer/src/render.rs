@@ -142,11 +142,46 @@ pub fn report_json(report: &Report) -> String {
 /// Renders several reports as one JSON document: an object with a
 /// `reports` array (the `analyze --json` artifact).
 pub fn reports_json(reports: &[Report]) -> String {
+    reports_json_with_timings(reports, &[])
+}
+
+/// Per-subject analysis cost entry for the `analyze --json` artifact:
+/// the subject string plus `(layer key, milliseconds)` pairs, rendered
+/// as a top-level `timings` array. Wall times vary run to run, so the
+/// golden snapshots use [`reports_json`] (no `timings` key) and the CLI
+/// adds this block only to its written artifacts.
+pub type SubjectTimings = (String, Vec<(&'static str, f64)>);
+
+/// [`reports_json`] plus a `timings` array reporting per-layer analysis
+/// wall time for each subject. An empty `timings` slice renders the
+/// exact [`reports_json`] document.
+pub fn reports_json_with_timings(reports: &[Report], timings: &[SubjectTimings]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema_version\": 1,\n  \"reports\": [\n");
     let items: Vec<String> = reports.iter().map(|r| report_json_at(r, 2)).collect();
     out.push_str(&items.join(",\n"));
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ]");
+    if !timings.is_empty() {
+        out.push_str(",\n  \"timings\": [\n");
+        let items: Vec<String> = timings
+            .iter()
+            .map(|(subject, layers)| {
+                let mut o = String::new();
+                let _ = writeln!(o, "    {{");
+                let _ = writeln!(o, "      \"subject\": \"{}\",", escape(subject));
+                let fields: Vec<String> = layers
+                    .iter()
+                    .map(|(key, ms)| format!("      \"{key}\": {ms:.3}"))
+                    .collect();
+                let _ = writeln!(o, "{}", fields.join(",\n"));
+                let _ = write!(o, "    }}");
+                o
+            })
+            .collect();
+        out.push_str(&items.join(",\n"));
+        out.push_str("\n  ]");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -301,6 +336,25 @@ mod tests {
         }
         assert_eq!(depth, 0);
         assert!(!in_str);
+    }
+
+    #[test]
+    fn timings_block_is_additive() {
+        let reports = [sample()];
+        let bare = reports_json(&reports);
+        assert_eq!(bare, reports_json_with_timings(&reports, &[]));
+        let timed = reports_json_with_timings(
+            &reports,
+            &[(
+                "version 3".to_owned(),
+                vec![("token_ms", 0.25), ("model_ms", 12.5)],
+            )],
+        );
+        assert!(timed.contains("\"timings\": ["));
+        assert!(timed.contains("\"token_ms\": 0.250"));
+        assert!(timed.contains("\"model_ms\": 12.500"));
+        // The reports array itself is unchanged by the timings block.
+        assert!(timed.starts_with(bare.trim_end_matches("\n}\n")));
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::time::Instant;
 
 use des::digest::Fnv64;
 use pipeline::Job;
-use raysim::config::Version;
+use raysim::config::{AppConfig, Version};
 use simple::Trace;
 use suprenum::RunEnd;
 
@@ -110,6 +110,13 @@ pub struct RunSpec {
     pub job: Job,
     /// The program version, where the row corresponds to one.
     pub version: Option<Version>,
+    /// The actual application shape the job was built from, where the
+    /// row is a ray-tracer run. The job freezes its configuration
+    /// behind a closure, so this is the only place the true servant
+    /// count / window / queue capacity survive for `harness verify` to
+    /// cross-check the structural invariant certificates against the
+    /// recorded trace. `None` for non-ray workloads.
+    pub app: Option<AppConfig>,
     /// The paper's utilization number for this row, where it has one.
     pub paper_percent: Option<f64>,
 }
@@ -160,6 +167,16 @@ pub struct RunRecord {
     /// Reported separately so engine throughput is not diluted by a
     /// run-independent static-analysis cost. Informational only.
     pub analysis_ms: f64,
+    /// Error findings the pre-flight analysis reported (0 when the
+    /// policy was `Off`). Additive schema-4 fields — absent in older
+    /// artifacts, read back as 0 — so `harness compare` can surface
+    /// analysis drift (a proof or defect appearing between commits)
+    /// alongside throughput drift.
+    pub analysis_errors: u64,
+    /// Warning findings the pre-flight analysis reported.
+    pub analysis_warnings: u64,
+    /// Informational findings (proofs of absence, certificates).
+    pub analysis_infos: u64,
     /// Kernel events the simulation loop processed.
     pub events_processed: u64,
     /// Event-loop throughput: `events_processed` per engine wall-clock
@@ -225,6 +242,11 @@ pub struct ArtifactRun {
     pub events_per_sec: f64,
     /// Engine wall time, milliseconds.
     pub wall_ms: f64,
+    /// Pre-flight finding counts (errors, warnings, infos). Additive
+    /// schema-4 fields — zero when the artifact predates them — used
+    /// to flag analysis drift between artifacts of the same
+    /// configuration.
+    pub analysis_counts: (u64, u64, u64),
 }
 
 /// Reads the per-run rows back out of an artifact's JSON text.
@@ -249,6 +271,7 @@ pub fn parse_artifact_runs(json_text: &str) -> Vec<ArtifactRun> {
                 trace_digest: String::new(),
                 events_per_sec: 0.0,
                 wall_ms: 0.0,
+                analysis_counts: (0, 0, 0),
             });
         } else if let Some(run) = runs.last_mut() {
             if let Some(raw) = field(line, "trace_digest") {
@@ -257,6 +280,12 @@ pub fn parse_artifact_runs(json_text: &str) -> Vec<ArtifactRun> {
                 run.events_per_sec = raw.parse().unwrap_or(0.0);
             } else if let Some(raw) = field(line, "wall_ms") {
                 run.wall_ms = raw.parse().unwrap_or(0.0);
+            } else if let Some(raw) = field(line, "analysis_errors") {
+                run.analysis_counts.0 = raw.parse().unwrap_or(0);
+            } else if let Some(raw) = field(line, "analysis_warnings") {
+                run.analysis_counts.1 = raw.parse().unwrap_or(0);
+            } else if let Some(raw) = field(line, "analysis_infos") {
+                run.analysis_counts.2 = raw.parse().unwrap_or(0);
             }
         }
     }
@@ -301,6 +330,11 @@ pub fn compare_artifacts(baseline: &str, candidate: &str) -> Result<String, Vec<
     // per-run ratios so no single long run dominates.
     let mut log_speedup_sum = 0.0f64;
     let mut matched = 0u32;
+    // Analysis drift is advisory, not an error: the digests already
+    // prove the simulated behaviour matched, so a changed finding count
+    // means the *analyzer* changed between artifacts (a proof appeared,
+    // a lint was added) — worth a line, not a refusal.
+    let mut analysis_drift: Vec<String> = Vec::new();
     let (mut base_events, mut base_wall_ms) = (0.0f64, 0.0f64);
     let (mut cand_events, mut cand_wall_ms) = (0.0f64, 0.0f64);
     for b in &base_runs {
@@ -315,6 +349,15 @@ pub fn compare_artifacts(baseline: &str, candidate: &str) -> Result<String, Vec<
                 b.label, c.trace_digest, b.trace_digest
             ));
             continue;
+        }
+        if b.analysis_counts != c.analysis_counts {
+            let fmt = |(e, w, i): (u64, u64, u64)| format!("{e} error(s)/{w} warning(s)/{i} info");
+            analysis_drift.push(format!(
+                "run '{}': analysis findings drifted, {} -> {}",
+                b.label,
+                fmt(b.analysis_counts),
+                fmt(c.analysis_counts)
+            ));
         }
         let speedup = if b.events_per_sec > 0.0 {
             c.events_per_sec / b.events_per_sec
@@ -356,6 +399,12 @@ pub fn compare_artifacts(baseline: &str, candidate: &str) -> Result<String, Vec<
     for c in &cand_runs {
         if !base_runs.iter().any(|b| b.label == c.label) {
             errors.push(format!("run '{}' is missing from the baseline", c.label));
+        }
+    }
+    if !analysis_drift.is_empty() {
+        rows.push('\n');
+        for note in &analysis_drift {
+            let _ = writeln!(rows, "note: {note}");
         }
     }
     if errors.is_empty() {
@@ -409,6 +458,9 @@ pub fn execute(spec: &RunSpec) -> RunRecord {
         sim_end_ns: run.outcome.end.as_nanos(),
         wall_ms,
         analysis_ms,
+        analysis_errors: run.preflight.as_ref().map_or(0, |p| p.errors as u64),
+        analysis_warnings: run.preflight.as_ref().map_or(0, |p| p.warnings as u64),
+        analysis_infos: run.preflight.as_ref().map_or(0, |p| p.infos as u64),
         events_processed: run.outcome.events,
         events_per_sec: if wall_ms > 0.0 {
             run.outcome.events as f64 / (wall_ms / 1e3)
@@ -539,6 +591,9 @@ impl SweepReport {
                     .u64("sim_end_ns", r.sim_end_ns)
                     .f64("wall_ms", r.wall_ms)
                     .f64("analysis_ms", r.analysis_ms)
+                    .u64("analysis_errors", r.analysis_errors)
+                    .u64("analysis_warnings", r.analysis_warnings)
+                    .u64("analysis_infos", r.analysis_infos)
                     .u64("events_processed", r.events_processed)
                     .f64("events_per_sec", r.events_per_sec)
                     .u64("shards", r.shards as u64)
@@ -560,7 +615,10 @@ impl SweepReport {
 
         // Schema 4: run objects gained "shards" and "analysis_ms", and
         // "wall_ms"/"events_per_sec" became engine-only (pre-flight
-        // analysis time excluded). Schema 3: run objects gained
+        // analysis time excluded). "engine_shards" and the
+        // "analysis_errors"/"analysis_warnings"/"analysis_infos"
+        // per-severity finding counts are additive schema-4 fields
+        // (absent reads as 1 / 0 / 0 / 0). Schema 3: run objects gained
         // "workload" and renamed "jobs_sent" to the workload-agnostic
         // "work_units".
         let mut root = json::JsonObject::new();
@@ -819,13 +877,14 @@ mod tests {
         app.bundle_size = 8;
         app.pixel_queue_capacity = 64;
         app.write_chunk = 8;
-        let mut cfg = PipelineConfig::new(app);
+        let mut cfg = PipelineConfig::new(app.clone());
         cfg.seed = seed;
         cfg.horizon = SimTime::from_millis(horizon_ms);
         RunSpec {
             label: label.to_owned(),
             job: Job::new(cfg),
             version: Some(Version::V4),
+            app: Some(app),
             paper_percent: None,
         }
     }
@@ -863,6 +922,7 @@ mod tests {
                     label: "strips".into(),
                     job: Job::new(jacobi),
                     version: None,
+                    app: None,
                     paper_percent: None,
                 },
             ],

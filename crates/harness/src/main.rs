@@ -37,7 +37,11 @@
 //! before the command fails. `--races` adds the DPOR race cross-check:
 //! every `AN-RACE-*` witness must replay against the model and be
 //! confirmed concurrent by the vector-clock engine, and a dynamic race
-//! in a statically race-free shape fails verification.
+//! in a statically race-free shape fails verification. Every ray run
+//! additionally has its recorded credit accounting checked against the
+//! structural layer's P-invariant certificate (`AN-STRUCT-001`) — a
+//! trace with more jobs outstanding than window credits exist
+//! contradicts the algebra and fails verification.
 //!
 //! Exit codes: `0` all runs completed and digests (if checked) match;
 //! `1` a proven ordering was violated (`verify`); `2` at least one run
@@ -77,7 +81,8 @@ compare contrasts two artifacts run by run; artifacts from another
 schema version are refused.
 
 verify executes a sweep (default smoke) and checks every trace against
-the model checker's proven orderings (ANALYZER_POLICY=off|warn|deny
+the model checker's proven orderings and the structural layer's
+P-invariant credit certificates (ANALYZER_POLICY=off|warn|deny
 overrides the per-run pre-flight policy); --races adds the DPOR race
 cross-check with witness replay and vector-clock confirmation.
 
@@ -500,7 +505,12 @@ fn main() -> ExitCode {
                 sweep.runs.len()
             );
             let report = harness::verify_sweep_with(&sweep, args.races);
-            for r in report.run_reports.iter().chain(&report.race_reports) {
+            for r in report
+                .run_reports
+                .iter()
+                .chain(&report.race_reports)
+                .chain(&report.structural_reports)
+            {
                 print!("{}", r.render());
                 println!();
             }
@@ -518,6 +528,7 @@ fn main() -> ExitCode {
                 .run_reports
                 .iter()
                 .chain(&report.race_reports)
+                .chain(&report.structural_reports)
                 .cloned()
                 .collect();
             if let Some(path) = &args.json {
@@ -537,7 +548,8 @@ fn main() -> ExitCode {
 
             match report.exit_code() {
                 0 => eprintln!(
-                    "verified: every proven ordering holds in all {} trace(s){}",
+                    "verified: every proven ordering and structural certificate holds in \
+                     all {} trace(s){}",
                     report.run_reports.len(),
                     if args.races {
                         " and every race witness cross-checks"
@@ -546,10 +558,11 @@ fn main() -> ExitCode {
                     }
                 ),
                 1 => eprintln!(
-                    "harness: {} happens-before violation(s), {} race inconsistenc(ies) — \
-                     the traces contradict the protocol model",
+                    "harness: {} happens-before violation(s), {} race inconsistenc(ies), \
+                     {} certificate violation(s) — the traces contradict the protocol model",
                     report.violations(),
-                    report.race_inconsistencies()
+                    report.race_inconsistencies(),
+                    report.certificate_violations()
                 ),
                 4 => eprintln!(
                     "harness: pre-flight policy denied {} run(s)",

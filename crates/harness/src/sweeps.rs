@@ -64,8 +64,9 @@ fn ray_spec(
 ) -> RunSpec {
     RunSpec {
         label,
-        job: Job::new(experiment_config(app, seed)),
+        job: Job::new(experiment_config(app.clone(), seed)),
         version,
+        app: Some(app),
         paper_percent,
     }
 }
@@ -263,6 +264,7 @@ pub fn jacobi(scale: Scale, seed: u64) -> Sweep {
                 label: format!("jacobi-w{workers}"),
                 job: Job::new(cfg),
                 version: None,
+                app: None,
                 paper_percent: None,
             }
         })
@@ -302,7 +304,7 @@ pub fn scaling(scale: Scale, seed: u64) -> Sweep {
                 app.write_chunk = 8;
             }
         }
-        let mut cfg = experiment_config(app, seed);
+        let mut cfg = experiment_config(app.clone(), seed);
         // The 64-node rung needs more simulated time than the standard
         // experiment budget: the master administers every ray.
         cfg.horizon = SimTime::from_secs(360_000);
@@ -310,6 +312,7 @@ pub fn scaling(scale: Scale, seed: u64) -> Sweep {
             label: format!("ray-n{}", servants + 1),
             job: Job::new(cfg),
             version: Some(Version::V4),
+            app: Some(app),
             paper_percent: None,
         });
     }
@@ -331,6 +334,7 @@ pub fn scaling(scale: Scale, seed: u64) -> Sweep {
             label: format!("jacobi-n{}", workers + 1),
             job: Job::new(cfg),
             version: None,
+            app: None,
             paper_percent: None,
         });
     }

@@ -22,6 +22,14 @@
 //! trace is reconciled with the static verdict — a recorded
 //! `AN-HB-002` race in a shape the round-robin model proves race-free
 //! is an inconsistency and fails verification.
+//!
+//! Every executed ray-tracer run also gets a *structural certificate*
+//! cross-check: the P-invariant the structural layer proves over the
+//! run's actual protocol net (credit conservation — outstanding jobs
+//! never exceed servants × window credits) is re-checked against the
+//! recorded trace's send/receive accounting. An algebraic certificate
+//! the dynamics contradict would mean the net is mis-modelled, and
+//! fails verification.
 
 use analyzer::race::{check_race_model, RaceModel};
 use analyzer::{check_races, validate_orders, Diagnostic, ModelBudget, Report};
@@ -38,6 +46,11 @@ pub struct VerifyReport {
     /// One race cross-check report per executed run (empty unless the
     /// sweep was verified with races enabled).
     pub race_reports: Vec<Report>,
+    /// One structural-certificate cross-check per executed run that
+    /// carries its application shape ([`crate::RunSpec::app`]) — the
+    /// recorded trace's credit accounting checked against the
+    /// P-invariant bound the structural layer certifies.
+    pub structural_reports: Vec<Report>,
     /// Labels of runs whose pre-flight analysis refused execution.
     pub denied: Vec<String>,
     /// Labels of runs that did not complete (their traces are still
@@ -58,15 +71,26 @@ impl VerifyReport {
         self.race_reports.iter().map(Report::errors).sum()
     }
 
+    /// Structural-certificate failures: a recorded trace whose credit
+    /// accounting contradicts the P-invariant bound (more jobs
+    /// outstanding than window credits exist, or a receipt with
+    /// nothing outstanding).
+    pub fn certificate_violations(&self) -> usize {
+        self.structural_reports.iter().map(Report::errors).sum()
+    }
+
     /// Process exit code: `4` when any run was denied by pre-flight
-    /// policy, `1` when any proven ordering was violated or any race
-    /// cross-check failed, `0` otherwise. Truncation alone does not
-    /// fail verification — the sweep gate owns completion; this gate
-    /// owns ordering.
+    /// policy, `1` when any proven ordering was violated, any race
+    /// cross-check failed, or any recorded trace contradicted a
+    /// structural certificate, `0` otherwise. Truncation alone does
+    /// not fail verification — the sweep gate owns completion; this
+    /// gate owns ordering.
     pub fn exit_code(&self) -> u8 {
         if !self.denied.is_empty() {
             4
-        } else if self.violations() + self.race_inconsistencies() > 0 {
+        } else if self.violations() + self.race_inconsistencies() + self.certificate_violations()
+            > 0
+        {
             1
         } else {
             0
@@ -91,6 +115,7 @@ pub fn verify_sweep_with(sweep: &Sweep, races: bool) -> VerifyReport {
     let mut out = VerifyReport {
         run_reports: Vec::new(),
         race_reports: Vec::new(),
+        structural_reports: Vec::new(),
         denied: Vec::new(),
         truncated: Vec::new(),
     };
@@ -115,6 +140,9 @@ pub fn verify_sweep_with(sweep: &Sweep, races: bool) -> VerifyReport {
         if races {
             out.race_reports
                 .push(race_crosscheck(spec, &report, &run.orders));
+        }
+        if let Some(structural) = structural_crosscheck(spec, &run.trace) {
+            out.structural_reports.push(structural);
         }
         out.run_reports.push(report);
     }
@@ -186,6 +214,94 @@ fn race_crosscheck(
     report
 }
 
+/// The structural-certificate cross-check for one executed run: the
+/// P-invariant the structural layer certifies for the run's *actual*
+/// application shape (not the stock version — a scaling rung runs 63
+/// servants) bounds outstanding jobs at servants × window credits in
+/// every reachable state. The recorded trace must agree: replaying its
+/// send/receive accounting, the peak number of outstanding job sends
+/// can never exceed the certified bound, and no receipt can arrive
+/// with nothing outstanding.
+///
+/// Receipts are counted at `RECEIVE_RESULTS_BEGIN`, which *under*-
+/// counts outstanding work (the credit is only returned once the
+/// result is consumed) — so the check is conservative: it can miss a
+/// marginal violation but never fabricate one.
+///
+/// `None` for runs without an application shape (Jacobi — its
+/// protocol has no credit window to certify).
+fn structural_crosscheck(spec: &crate::RunSpec, trace: &simple::Trace) -> Option<Report> {
+    use raysim::tokens::{RECEIVE_RESULTS_BEGIN, SEND_JOBS_BEGIN};
+
+    let app = spec.app.as_ref()?;
+    let verdict = analyzer::analyze_structural(app);
+    let credits = verdict.intended_concurrency;
+    let mut report = Report::new(format!("{} structural certificate", spec.label));
+
+    let (mut outstanding, mut peak) = (0u64, 0u64);
+    let (mut sends, mut receives) = (0u64, 0u64);
+    let mut underflow = false;
+    for e in trace.events() {
+        match e.token.value() {
+            SEND_JOBS_BEGIN => {
+                sends += 1;
+                outstanding += 1;
+                peak = peak.max(outstanding);
+            }
+            RECEIVE_RESULTS_BEGIN => {
+                receives += 1;
+                match outstanding.checked_sub(1) {
+                    Some(rest) => outstanding = rest,
+                    None => underflow = true,
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let certificate = verdict
+        .conservation
+        .as_ref()
+        .map(|inv| inv.render(&verdict.net.net));
+    if underflow {
+        report.push(
+            Diagnostic::error(
+                "AN-STRUCT-001",
+                format!(
+                    "recorded trace contradicts the credit-conservation certificate: a result \
+                     receipt arrived with no job outstanding ({sends} sends, {receives} receipts)"
+                ),
+            )
+            .help("either the trace is corrupt or the protocol net mis-models the run"),
+        );
+    } else if peak > credits {
+        report.push(
+            Diagnostic::error(
+                "AN-STRUCT-001",
+                format!(
+                    "recorded trace contradicts the credit-conservation certificate: {peak} \
+                     jobs outstanding at the dynamic peak, but the P-invariant caps the window \
+                     at {credits} credits"
+                ),
+            )
+            .help("either the trace is corrupt or the protocol net mis-models the run"),
+        );
+    } else {
+        let mut d = Diagnostic::info(
+            "AN-STRUCT-001",
+            format!(
+                "invariant certificate holds on the recorded trace: peak {peak} of {credits} \
+                 window credits outstanding ({sends} sends, {receives} receipts)"
+            ),
+        );
+        if let Some(certificate) = certificate {
+            d = d.note(format!("certified bound: {certificate}"));
+        }
+        report.push(d);
+    }
+    Some(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,12 +315,13 @@ mod tests {
         app.scene = SceneKind::Quickstart;
         app.width = 8;
         app.height = 8;
-        let mut cfg = PipelineConfig::new(app);
+        let mut cfg = PipelineConfig::new(app.clone());
         cfg.preflight = analyzer::pipeline_warn();
         crate::RunSpec {
             label: label.to_owned(),
             job: Job::new(cfg),
             version: Some(version),
+            app: Some(app),
             paper_percent: None,
         }
     }
@@ -253,6 +370,60 @@ mod tests {
                 r.render()
             );
         }
+    }
+
+    #[test]
+    fn structural_certificates_hold_on_every_smoke_trace() {
+        // Every ray run of the smoke sweep carries its application
+        // shape, so each gets a certificate cross-check — and a healthy
+        // simulator can never have more jobs outstanding than the
+        // P-invariant's credit bound.
+        let sweep = sweeps::by_name("smoke", crate::Scale::Quick, 1992).unwrap();
+        let ray_runs = sweep.runs.iter().filter(|s| s.app.is_some()).count();
+        assert!(ray_runs > 0, "smoke sweep lost its ray runs");
+        let report = verify_sweep(&sweep);
+        assert_eq!(report.structural_reports.len(), ray_runs);
+        assert_eq!(
+            report.certificate_violations(),
+            0,
+            "{:#?}",
+            report.structural_reports
+        );
+        assert_eq!(report.exit_code(), 0);
+        for r in &report.structural_reports {
+            assert!(
+                r.findings
+                    .iter()
+                    .any(|f| f.message.contains("invariant certificate holds")
+                        && f.notes.iter().any(|n| n.contains("certified bound"))),
+                "{}",
+                r.render()
+            );
+        }
+    }
+
+    #[test]
+    fn certificate_crosscheck_uses_the_actual_shape_not_the_stock_version() {
+        // A 5-servant V4 run (stock V4 has 15 servants): the bound must
+        // come from the spec's recorded app — 5 × window credits — and
+        // still hold on the trace.
+        let spec = ray_spec("scaled", Version::V4, 5);
+        let app = spec.app.clone().unwrap();
+        let expected = analyzer::analyze_structural(&app).intended_concurrency;
+        let sweep = Sweep {
+            name: "scaled".into(),
+            runs: vec![spec],
+        };
+        let report = verify_sweep(&sweep);
+        assert_eq!(report.certificate_violations(), 0);
+        let r = &report.structural_reports[0];
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.message.contains(&format!("of {expected} window credits"))),
+            "expected the {expected}-credit bound in: {}",
+            r.render()
+        );
     }
 
     #[test]

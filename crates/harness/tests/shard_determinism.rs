@@ -43,13 +43,14 @@ fn ray_spec(version: Version, shards: usize) -> RunSpec {
             app.write_chunk = 16;
         }
     }
-    let mut cfg = PipelineConfig::new(app);
+    let mut cfg = PipelineConfig::new(app.clone());
     cfg.seed = 1992;
     cfg.shards = shards;
     RunSpec {
         label: format!("V{}-s{shards}", version as u8 + 1),
         job: Job::new(cfg),
         version: Some(version),
+        app: Some(app),
         paper_percent: None,
     }
 }
@@ -69,6 +70,7 @@ fn jacobi_spec(workers: u16, shards: usize) -> RunSpec {
         label: format!("jacobi-w{workers}-s{shards}"),
         job: Job::new(cfg),
         version: None,
+        app: None,
         paper_percent: None,
     }
 }

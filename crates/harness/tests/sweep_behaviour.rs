@@ -17,13 +17,14 @@ fn tiny_spec(label: &str, seed: u64, horizon: SimTime) -> RunSpec {
     app.bundle_size = 6;
     app.pixel_queue_capacity = 128;
     app.write_chunk = 6;
-    let mut cfg = PipelineConfig::new(app);
+    let mut cfg = PipelineConfig::new(app.clone());
     cfg.seed = seed;
     cfg.horizon = horizon;
     RunSpec {
         label: label.to_owned(),
         job: Job::new(cfg),
         version: Some(Version::V4),
+        app: Some(app),
         paper_percent: None,
     }
 }

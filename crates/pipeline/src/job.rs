@@ -13,7 +13,7 @@ use des::time::SimTime;
 use simple::Trace;
 use suprenum::RunOutcome;
 
-use crate::preflight::{PolicyMode, PreflightDenied};
+use crate::preflight::{PolicyMode, PreflightDenied, PreflightSummary};
 use crate::{try_run_workload, OrderEdge, PipelineConfig, PipelineError, RunMetrics, Workload};
 
 /// Per-execution overrides a harness may apply without re-building the
@@ -55,6 +55,10 @@ pub struct JobRun {
     /// Wall time the pre-flight analysis took, so a harness can report
     /// engine throughput net of the (run-independent) analysis cost.
     pub analysis: std::time::Duration,
+    /// What the pre-flight analysis concluded (`None` when the
+    /// effective policy was `Off`), so harnesses can record finding
+    /// counts per severity next to the measurement.
+    pub preflight: Option<PreflightSummary>,
     /// Monitor-shard count the run actually executed with.
     pub shards: usize,
     /// Engine worker-thread count the run actually executed with.
@@ -129,6 +133,7 @@ impl Job {
                 intrusion_ratio: result.intrusion.intrusion_ratio(),
                 orders: workload.proven_orders(),
                 analysis: result.analysis,
+                preflight: result.preflight,
                 shards,
                 engine_shards,
             })

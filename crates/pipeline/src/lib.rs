@@ -280,6 +280,10 @@ pub struct PipelineResult<W: Workload> {
     /// simulation started. Reported separately so wall-clock throughput
     /// comparisons measure the engine, not the analyzer.
     pub analysis: std::time::Duration,
+    /// What the pre-flight analysis concluded (`None` when the policy
+    /// is `Off` or no hook is configured), so harnesses can record
+    /// per-severity finding counts next to the measurement.
+    pub preflight: Option<PreflightSummary>,
     /// How the application run ended.
     pub outcome: RunOutcome,
     /// The ZM4 measurement (merged trace + recorder/detector stats).
@@ -363,7 +367,7 @@ pub fn try_run_workload<W: Workload>(
         ));
     }
     let analysis_start = std::time::Instant::now();
-    try_preflight(&cfg)?;
+    let preflight = try_preflight(&cfg)?;
     let analysis = analysis_start.elapsed();
     cfg.workload
         .validate()
@@ -409,6 +413,7 @@ pub fn try_run_workload<W: Workload>(
 
     Ok(PipelineResult {
         analysis,
+        preflight,
         outcome,
         measurement,
         trace,

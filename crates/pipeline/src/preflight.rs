@@ -21,6 +21,10 @@ pub struct PreflightSummary {
     pub errors: usize,
     /// Findings that predict a distorted measurement.
     pub warnings: usize,
+    /// Informational findings — proofs of absence, certificates,
+    /// provenance notes. Tracked so analysis drift (a proof appearing
+    /// or disappearing) is visible run-to-run, not just defects.
+    pub infos: usize,
     /// The findings, rendered for a terminal.
     pub rendered: String,
 }
