@@ -177,6 +177,22 @@ pub fn workload_hook<W: Workload>(cfg: &PipelineConfig<W>) -> PreflightSummary {
     report.merge(app.lint());
     report.merge(kernel.lint());
     report.merge(lint_pair(&app, &kernel));
+    if cfg.workload.wants_kernel_events()
+        && cfg.machine.monitoring != hybridmon::MonitoringMode::Hybrid
+    {
+        report.push(
+            crate::diag::Finding::warning(
+                "AN-TOKEN-006",
+                format!(
+                    "workload '{}' requests kernel instrumentation, but monitoring mode {:?} \
+                     drops kernel events silently — switch the machine to hybrid monitoring",
+                    cfg.workload.id(),
+                    cfg.machine.monitoring
+                ),
+            )
+            .at("machine.monitoring"),
+        );
+    }
     summarize(&report)
 }
 
@@ -311,6 +327,33 @@ mod tests {
         let mut cfg = cfg;
         cfg.preflight = workload_deny();
         assert!(pipeline::try_preflight(&cfg).is_ok());
+    }
+
+    #[test]
+    fn workload_hook_warns_when_kernel_events_would_be_dropped() {
+        // A ray-tracer app that wants kernel events under software-only
+        // monitoring: the pipeline would silently drop every kernel
+        // token, so the hook must say so (AN-TOKEN-006).
+        let mut app = AppConfig::version(Version::V1);
+        app.kernel_events = true;
+        let mut cfg = PipelineConfig::new(app);
+        cfg.machine.monitoring = hybridmon::MonitoringMode::Software;
+        let summary = workload_hook(&cfg);
+        assert_eq!(summary.errors, 0, "{}", summary.rendered);
+        assert!(summary.warnings >= 1, "{}", summary.rendered);
+        assert!(
+            summary.rendered.contains("AN-TOKEN-006"),
+            "{}",
+            summary.rendered
+        );
+        // Under hybrid monitoring the same request is fine.
+        cfg.machine.monitoring = hybridmon::MonitoringMode::Hybrid;
+        let summary = workload_hook(&cfg);
+        assert!(
+            !summary.rendered.contains("AN-TOKEN-006"),
+            "{}",
+            summary.rendered
+        );
     }
 
     #[test]

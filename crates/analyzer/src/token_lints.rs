@@ -14,6 +14,7 @@
 //! | `AN-TOKEN-003` | error/warning | reserved-range violation (kernel base `0xF000`, zero token) |
 //! | `AN-TOKEN-004` | error/info | application/kernel id collision; shared-display interleaving |
 //! | `AN-TOKEN-005` | warning | duplicate activity name within one group |
+//! | `AN-TOKEN-006` | warning | kernel events requested under a monitoring mode that drops them (emitted by the pre-flight workload hook) |
 
 use std::collections::BTreeMap;
 

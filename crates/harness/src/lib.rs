@@ -46,7 +46,7 @@ pub mod sweeps;
 pub mod verify;
 
 pub use sweeps::Scale;
-pub use verify::{verify_sweep, verify_sweep_with, VerifyReport};
+pub use verify::{verify_sweep, verify_sweep_opts, verify_sweep_with, VerifyOptions, VerifyReport};
 
 /// Version of the JSON artifact schema this harness writes (sweep
 /// artifacts and bench baselines alike). Bumped whenever a field is
@@ -119,6 +119,12 @@ pub struct RunSpec {
     pub app: Option<AppConfig>,
     /// The paper's utilization number for this row, where it has one.
     pub paper_percent: Option<f64>,
+    /// The probe-plane fault injection this row runs with, where it is
+    /// a fault-study row. `harness verify` skips the measurement-plane
+    /// cross-checks for such rows — injected drops, corruptions, and
+    /// clock drift are the *subject* of the measurement, so a
+    /// happens-before anomaly there is data, not a defect.
+    pub faults: Option<pipeline::FaultConfig>,
 }
 
 // Run specifications cross worker-thread boundaries; keep that fact
@@ -194,6 +200,13 @@ pub struct RunRecord {
     /// threads. Additive schema-4 field — absent in older artifacts,
     /// which all ran with 1.
     pub engine_shards: usize,
+    /// Canonical name of the kernel scheduling policy the run executed
+    /// under (see [`suprenum::SchedulerKind::name`]). Unlike sharding
+    /// this *does* change simulated behaviour, so `harness compare`
+    /// refuses to diff records across policies. Additive schema-4
+    /// field — absent in older artifacts, which all ran round-robin
+    /// (`"rr"`).
+    pub scheduler: String,
     /// Events in the merged monitoring trace.
     pub trace_events: usize,
     /// FNV-1a digest over the merged trace and the run outcome,
@@ -247,6 +260,10 @@ pub struct ArtifactRun {
     /// to flag analysis drift between artifacts of the same
     /// configuration.
     pub analysis_counts: (u64, u64, u64),
+    /// Kernel scheduling policy the run executed under. Additive
+    /// schema-4 field — artifacts written before it exist all ran
+    /// round-robin, so absence reads back as `"rr"`.
+    pub scheduler: String,
 }
 
 /// Reads the per-run rows back out of an artifact's JSON text.
@@ -272,6 +289,7 @@ pub fn parse_artifact_runs(json_text: &str) -> Vec<ArtifactRun> {
                 events_per_sec: 0.0,
                 wall_ms: 0.0,
                 analysis_counts: (0, 0, 0),
+                scheduler: "rr".to_owned(),
             });
         } else if let Some(run) = runs.last_mut() {
             if let Some(raw) = field(line, "trace_digest") {
@@ -286,6 +304,8 @@ pub fn parse_artifact_runs(json_text: &str) -> Vec<ArtifactRun> {
                 run.analysis_counts.1 = raw.parse().unwrap_or(0);
             } else if let Some(raw) = field(line, "analysis_infos") {
                 run.analysis_counts.2 = raw.parse().unwrap_or(0);
+            } else if let Some(raw) = field(line, "scheduler") {
+                run.scheduler = str_value(raw);
             }
         }
     }
@@ -342,6 +362,18 @@ pub fn compare_artifacts(baseline: &str, candidate: &str) -> Result<String, Vec<
             errors.push(format!("run '{}' is missing from the candidate", b.label));
             continue;
         };
+        if b.scheduler != c.scheduler {
+            // Like cross-schema comparisons: different scheduling
+            // policies simulate different behaviour by construction, so
+            // a throughput delta between them is meaningless.
+            errors.push(format!(
+                "run '{}' executed under scheduler '{}' but the baseline ran '{}' — \
+                 cross-scheduler comparison is meaningless; re-run both sides under \
+                 the same --scheduler",
+                b.label, c.scheduler, b.scheduler
+            ));
+            continue;
+        }
         if b.trace_digest != c.trace_digest {
             errors.push(format!(
                 "run '{}' digest {} != baseline {} — different simulated behaviour, \
@@ -469,6 +501,7 @@ pub fn execute(spec: &RunSpec) -> RunRecord {
         },
         shards: run.shards,
         engine_shards: run.engine_shards,
+        scheduler: run.scheduler.name(),
         trace_events: run.trace.len(),
         trace_digest: trace_digest(
             &run.trace,
@@ -598,6 +631,7 @@ impl SweepReport {
                     .f64("events_per_sec", r.events_per_sec)
                     .u64("shards", r.shards as u64)
                     .u64("engine_shards", r.engine_shards as u64)
+                    .str("scheduler", &r.scheduler)
                     .u64("trace_events", r.trace_events as u64)
                     .str("trace_digest", &r.trace_digest)
                     .u64("work_units", r.work_units)
@@ -886,6 +920,7 @@ mod tests {
             version: Some(Version::V4),
             app: Some(app),
             paper_percent: None,
+            faults: None,
         }
     }
 
@@ -924,6 +959,7 @@ mod tests {
                     version: None,
                     app: None,
                     paper_percent: None,
+                    faults: None,
                 },
             ],
         };
@@ -1116,6 +1152,46 @@ mod tests {
             errs.iter().any(|e| e.contains("'c' is missing")),
             "{errs:?}"
         );
+    }
+
+    #[test]
+    fn cross_scheduler_compare_is_refused() {
+        let mut spec = tiny_spec("a", 1, 600_000);
+        let baseline = run_sweep(
+            &Sweep {
+                name: "sch".into(),
+                runs: vec![spec.clone()],
+            },
+            1,
+        );
+        assert!(baseline.to_json().contains("\"scheduler\": \"rr\""));
+        spec.job
+            .override_scheduler(suprenum::SchedulerKind::Preemptive {
+                quantum: des::time::SimDuration::from_millis(5),
+            });
+        let candidate = run_sweep(
+            &Sweep {
+                name: "sch".into(),
+                runs: vec![spec],
+            },
+            1,
+        );
+        assert_eq!(candidate.records[0].scheduler, "preempt:5000");
+        let errs = compare_artifacts(&baseline.to_json(), &candidate.to_json()).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("cross-scheduler")),
+            "{errs:?}"
+        );
+        // Legacy artifacts (no scheduler field) read back as round-robin
+        // and stay comparable against fresh rr artifacts.
+        let legacy: String = baseline
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("\"scheduler\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(parse_artifact_runs(&legacy)[0].scheduler, "rr");
+        assert!(compare_artifacts(&legacy, &baseline.to_json()).is_ok());
     }
 
     #[test]

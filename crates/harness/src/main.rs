@@ -4,14 +4,16 @@
 //! harness list
 //! harness sweep <name> [--scale paper|quick] [--workers N] [--seed S]
 //!                      [--shards K] [--engine-shards K] [--horizon-secs T]
-//!                      [--out PATH] [--check-digests FILE]
-//!                      [--write-digests FILE]
+//!                      [--scheduler SPEC] [--out PATH]
+//!                      [--check-digests FILE] [--write-digests FILE]
 //! harness bench [names…] [--scale paper|quick] [--workers N] [--seed S]
-//!                        [--shards K] [--engine-shards K] [--out PATH]
+//!                        [--shards K] [--engine-shards K]
+//!                        [--scheduler SPEC] [--out PATH]
 //!                        [--check-digests FILE]
 //! harness compare <BASELINE.json> <CANDIDATE.json>
 //! harness verify [name] [--scale paper|quick] [--seed S]
-//!                       [--json PATH] [--sarif PATH] [--races]
+//!                       [--scheduler SPEC] [--json PATH] [--sarif PATH]
+//!                       [--races]
 //! ```
 //!
 //! `--shards K` runs every job's monitor plane on `K` observer shards
@@ -20,6 +22,14 @@
 //! (single-cluster shapes ignore it). Both are behaviourally invisible —
 //! trace digests stay bit-identical to the sequential oracle for any
 //! `K` — so the flags only change wall-clock numbers.
+//!
+//! `--scheduler SPEC` overrides the kernel scheduling policy on every
+//! run: `rr` (cooperative round-robin, the default), `preempt[:us]`
+//! (fixed-priority with a quantum), `cfs[:us]` (vruntime fair), or
+//! `fuzz[:base[:seed]]` (seeded perturbation of a base policy).
+//! Scheduling — unlike sharding — is behaviourally *visible*: digests
+//! only match goldens recorded under the same policy, and artifacts
+//! record the policy so `compare` can refuse cross-scheduler diffs.
 //!
 //! `bench` runs the named sweeps (default: `fig10 smoke`) and writes a
 //! single dated baseline artifact (`artifacts/BENCH_<date>.json`) with
@@ -37,7 +47,14 @@
 //! before the command fails. `--races` adds the DPOR race cross-check:
 //! every `AN-RACE-*` witness must replay against the model and be
 //! confirmed concurrent by the vector-clock engine, and a dynamic race
-//! in a statically race-free shape fails verification. Every ray run
+//! in a statically race-free shape fails verification. Each run also
+//! gets a scheduler cross-check (`AN-RACE-004`): preemption tokens
+//! recorded under round-robin, or a preemptive/CFS policy that never
+//! preempts an instrumented workload, contradict the static scheduling
+//! verdict and fail verification. The `sched` sweep exercises exactly
+//! this reconciliation across all shipped policies (plus two
+//! fault-injection rows whose measurement-plane checks are
+//! informational only). Every ray run
 //! additionally has its recorded credit accounting checked against the
 //! structural layer's P-invariant certificate (`AN-STRUCT-001`) — a
 //! trace with more jobs outstanding than window credits exist
@@ -51,20 +68,23 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use harness::{default_workers, run_sweep, sweeps, BenchReport, Scale};
+use harness::{default_workers, run_sweep, sweeps, BenchReport, Scale, VerifyOptions};
+use suprenum::SchedulerKind;
 
 const USAGE: &str = "usage:
   harness list
   harness sweep <name> [--scale paper|quick] [--workers N] [--seed S]
                        [--shards K] [--engine-shards K] [--horizon-secs T]
-                       [--out PATH] [--check-digests FILE]
-                       [--write-digests FILE]
+                       [--scheduler SPEC] [--out PATH]
+                       [--check-digests FILE] [--write-digests FILE]
   harness bench [names…] [--scale paper|quick] [--workers N] [--seed S]
-                         [--shards K] [--engine-shards K] [--out PATH]
+                         [--shards K] [--engine-shards K]
+                         [--scheduler SPEC] [--out PATH]
                          [--check-digests FILE]
   harness compare <BASELINE.json> <CANDIDATE.json>
   harness verify [name] [--scale paper|quick] [--seed S]
-                        [--json PATH] [--sarif PATH] [--races]
+                        [--scheduler SPEC] [--json PATH] [--sarif PATH]
+                        [--races]
 
 --horizon-secs caps every run's simulated-time budget (a too-small cap
 truncates the runs; the sweep then exits 2 and marks each record).
@@ -73,6 +93,11 @@ truncates the runs; the sweep then exits 2 and marks each record).
 with the kernel; --engine-shards packs a multi-cluster machine's
 per-cluster engine shards onto K worker threads. Both keep digests
 bit-identical to the sequential oracle.
+
+--scheduler overrides the kernel scheduling policy on every run:
+rr | preempt[:quantum_us] | cfs[:quantum_us] | fuzz[:base[:seed]].
+Unlike sharding this is behaviourally visible — only compare digests
+recorded under the same policy. Artifacts record the policy.
 
 bench defaults to the fig10 and smoke sweeps and writes the combined
 baseline to artifacts/BENCH_<date>.json.
@@ -86,7 +111,7 @@ P-invariant credit certificates (ANALYZER_POLICY=off|warn|deny
 overrides the per-run pre-flight policy); --races adds the DPOR race
 cross-check with witness replay and vector-clock confirmation.
 
-sweeps: fig10, bundle, window, seeds, smoke, jacobi, scaling";
+sweeps: fig10, bundle, window, seeds, smoke, jacobi, scaling, sched";
 
 struct Args {
     name: String,
@@ -96,9 +121,14 @@ struct Args {
     shards: Option<usize>,
     engine_shards: Option<usize>,
     horizon_secs: Option<u64>,
+    scheduler: Option<SchedulerKind>,
     out: Option<PathBuf>,
     check_digests: Option<PathBuf>,
     write_digests: Option<PathBuf>,
+}
+
+fn parse_scheduler(spec: &str) -> Result<SchedulerKind, String> {
+    SchedulerKind::parse(spec).map_err(|e| format!("--scheduler: {e}"))
 }
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -117,6 +147,7 @@ fn parse_sweep_args(rest: &[String]) -> Result<Args, String> {
         shards: None,
         engine_shards: None,
         horizon_secs: None,
+        scheduler: None,
         out: None,
         check_digests: None,
         write_digests: None,
@@ -167,6 +198,7 @@ fn parse_sweep_args(rest: &[String]) -> Result<Args, String> {
                         .map_err(|_| "--horizon-secs needs an integer")?,
                 );
             }
+            "--scheduler" => args.scheduler = Some(parse_scheduler(value()?)?),
             "--out" => args.out = Some(PathBuf::from(value()?)),
             "--check-digests" => args.check_digests = Some(PathBuf::from(value()?)),
             "--write-digests" => args.write_digests = Some(PathBuf::from(value()?)),
@@ -183,6 +215,7 @@ struct BenchArgs {
     seed: u64,
     shards: Option<usize>,
     engine_shards: Option<usize>,
+    scheduler: Option<SchedulerKind>,
     out: Option<PathBuf>,
     check_digests: Option<PathBuf>,
 }
@@ -195,6 +228,7 @@ fn parse_bench_args(rest: &[String]) -> Result<BenchArgs, String> {
         seed: 1992,
         shards: None,
         engine_shards: None,
+        scheduler: None,
         out: None,
         check_digests: None,
     };
@@ -238,6 +272,7 @@ fn parse_bench_args(rest: &[String]) -> Result<BenchArgs, String> {
                         .ok_or("--engine-shards needs a positive integer")?,
                 );
             }
+            "--scheduler" => args.scheduler = Some(parse_scheduler(value()?)?),
             "--out" => args.out = Some(PathBuf::from(value()?)),
             "--check-digests" => args.check_digests = Some(PathBuf::from(value()?)),
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
@@ -257,6 +292,7 @@ struct VerifyArgs {
     json: Option<PathBuf>,
     sarif: Option<PathBuf>,
     races: bool,
+    scheduler: Option<SchedulerKind>,
 }
 
 fn parse_verify_args(rest: &[String]) -> Result<VerifyArgs, String> {
@@ -267,6 +303,7 @@ fn parse_verify_args(rest: &[String]) -> Result<VerifyArgs, String> {
         json: None,
         sarif: None,
         races: false,
+        scheduler: None,
     };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -286,6 +323,7 @@ fn parse_verify_args(rest: &[String]) -> Result<VerifyArgs, String> {
             "--json" => args.json = Some(PathBuf::from(value()?)),
             "--sarif" => args.sarif = Some(PathBuf::from(value()?)),
             "--races" => args.races = true,
+            "--scheduler" => args.scheduler = Some(parse_scheduler(value()?)?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             name => args.name = name.to_owned(),
         }
@@ -305,6 +343,10 @@ fn main() -> ExitCode {
             println!("  smoke   tiny CI sweep; digests are the determinism golden");
             println!("  jacobi  SPMD Jacobi worker ladder (second stock workload)");
             println!("  scaling 16/32/64-node ladders (ray + jacobi) over 1-4 clusters");
+            println!(
+                "  sched   fig10 ladder + mailbox synchrony under every scheduler \
+                 policy (rr/preempt/cfs/fuzz) plus probe-fault rows"
+            );
             ExitCode::SUCCESS
         }
         Some("sweep") => {
@@ -331,14 +373,23 @@ fn main() -> ExitCode {
                     spec.job.override_engine_shards(engine_shards);
                 }
             }
+            if let Some(scheduler) = &args.scheduler {
+                for spec in &mut sweep.runs {
+                    spec.job.override_scheduler(scheduler.clone());
+                }
+            }
             eprintln!(
                 "running sweep '{}' ({} runs) on {} worker(s), {} monitor shard(s), \
-                 {} engine shard(s)…",
+                 {} engine shard(s){}…",
                 sweep.name,
                 sweep.runs.len(),
                 args.workers,
                 args.shards.unwrap_or(1),
-                args.engine_shards.unwrap_or(1)
+                args.engine_shards.unwrap_or(1),
+                match &args.scheduler {
+                    Some(s) => format!(", scheduler {s}"),
+                    None => String::new(),
+                }
             );
             let report = run_sweep(&sweep, args.workers);
             print!("{}", report.render_table());
@@ -411,6 +462,11 @@ fn main() -> ExitCode {
                 if let Some(engine_shards) = args.engine_shards {
                     for spec in &mut sweep.runs {
                         spec.job.override_engine_shards(engine_shards);
+                    }
+                }
+                if let Some(scheduler) = &args.scheduler {
+                    for spec in &mut sweep.runs {
+                        spec.job.override_scheduler(scheduler.clone());
                     }
                 }
                 eprintln!(
@@ -500,16 +556,25 @@ fn main() -> ExitCode {
                 return usage_error(&format!("unknown sweep '{}'", args.name));
             };
             eprintln!(
-                "verifying sweep '{}' ({} runs) against the protocol models…",
+                "verifying sweep '{}' ({} runs) against the protocol models{}…",
                 sweep.name,
-                sweep.runs.len()
+                sweep.runs.len(),
+                match &args.scheduler {
+                    Some(s) => format!(" under scheduler {s}"),
+                    None => String::new(),
+                }
             );
-            let report = harness::verify_sweep_with(&sweep, args.races);
+            let opts = VerifyOptions {
+                races: args.races,
+                scheduler: args.scheduler.clone(),
+            };
+            let report = harness::verify_sweep_opts(&sweep, &opts);
             for r in report
                 .run_reports
                 .iter()
                 .chain(&report.race_reports)
                 .chain(&report.structural_reports)
+                .chain(&report.sched_reports)
             {
                 print!("{}", r.render());
                 println!();
@@ -529,6 +594,7 @@ fn main() -> ExitCode {
                 .iter()
                 .chain(&report.race_reports)
                 .chain(&report.structural_reports)
+                .chain(&report.sched_reports)
                 .cloned()
                 .collect();
             if let Some(path) = &args.json {
@@ -559,10 +625,12 @@ fn main() -> ExitCode {
                 ),
                 1 => eprintln!(
                     "harness: {} happens-before violation(s), {} race inconsistenc(ies), \
-                     {} certificate violation(s) — the traces contradict the protocol model",
+                     {} certificate violation(s), {} scheduler inconsistenc(ies) — the \
+                     traces contradict the protocol model",
                     report.violations(),
                     report.race_inconsistencies(),
-                    report.certificate_violations()
+                    report.certificate_violations(),
+                    report.sched_inconsistencies()
                 ),
                 4 => eprintln!(
                     "harness: pre-flight policy denied {} run(s)",

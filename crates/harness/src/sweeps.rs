@@ -68,6 +68,7 @@ fn ray_spec(
         version,
         app: Some(app),
         paper_percent,
+        faults: None,
     }
 }
 
@@ -266,6 +267,7 @@ pub fn jacobi(scale: Scale, seed: u64) -> Sweep {
                 version: None,
                 app: None,
                 paper_percent: None,
+                faults: None,
             }
         })
         .collect();
@@ -314,6 +316,7 @@ pub fn scaling(scale: Scale, seed: u64) -> Sweep {
             version: Some(Version::V4),
             app: Some(app),
             paper_percent: None,
+            faults: None,
         });
     }
     let (cells_per_worker, iterations) = match scale {
@@ -336,6 +339,7 @@ pub fn scaling(scale: Scale, seed: u64) -> Sweep {
             version: None,
             app: None,
             paper_percent: None,
+            faults: None,
         });
     }
     Sweep {
@@ -344,10 +348,143 @@ pub fn scaling(scale: Scale, seed: u64) -> Sweep {
     }
 }
 
+/// The application of `version` for the scheduling study: the fig10
+/// ladder with kernel instrumentation enabled, shrunk to the smoke
+/// shape in quick mode (the study contrasts *policies*, not scene
+/// sizes, so quick rows only need enough scheduling activity to
+/// exercise each policy).
+fn sched_app(version: Version, scale: Scale) -> AppConfig {
+    let mut app = fig10_app(version, scale);
+    if scale == Scale::Quick {
+        app.servants = 4;
+        app.scene = SceneKind::Quickstart;
+        app.width = 16;
+        app.height = 16;
+    }
+    app.kernel_events = true;
+    app
+}
+
+/// The scheduling study: the fig10 version ladder and the Figure 7
+/// two-processor mailbox-synchrony measurement, re-run under every
+/// kernel scheduling policy — non-preemptive round-robin (the paper's
+/// machine), preemptive fixed-priority, CFS-style fair queuing, and the
+/// seeded fuzz wrapper — plus a fault-injection dimension perturbing
+/// the probe plane itself. Every row records kernel events, so
+/// `harness verify` can reconcile the analyzer's static
+/// preemptive-divergence verdict against what each trace actually
+/// shows: preemption tokens must appear under the preemptive policies
+/// and must *not* under round-robin.
+pub fn sched(scale: Scale, seed: u64) -> Sweep {
+    use suprenum::sched::DEFAULT_QUANTUM;
+    use suprenum::SchedulerKind;
+
+    let policies: [(&str, SchedulerKind); 4] = [
+        ("rr", SchedulerKind::RoundRobin),
+        (
+            "preempt",
+            SchedulerKind::Preemptive {
+                quantum: DEFAULT_QUANTUM,
+            },
+        ),
+        (
+            "cfs",
+            SchedulerKind::Cfs {
+                quantum: DEFAULT_QUANTUM,
+            },
+        ),
+        (
+            "fuzz",
+            SchedulerKind::Fuzz {
+                base: Box::new(SchedulerKind::RoundRobin),
+                seed,
+            },
+        ),
+    ];
+
+    let mut runs: Vec<RunSpec> = Vec::new();
+    for (tag, kind) in &policies {
+        for &v in Version::ALL.iter() {
+            let app = sched_app(v, scale);
+            let mut cfg = experiment_config(app.clone(), seed);
+            cfg.machine.scheduler = kind.clone();
+            runs.push(RunSpec {
+                label: format!("{tag}-V{}", v as u8 + 1),
+                job: Job::new(cfg),
+                version: Some(v),
+                app: Some(app),
+                paper_percent: None,
+                faults: None,
+            });
+        }
+        // The mailbox-synchrony measurement (Figure 7's two-processor
+        // shape): the smallest configuration where mailbox LWPs contend
+        // with user computation for the CPU — the scheduling decision
+        // the paper's kernel resolves by strict mailbox priority.
+        let mut app = AppConfig::two_processor();
+        if scale == Scale::Quick {
+            app.scene = SceneKind::Quickstart;
+            app.width = 16;
+            app.height = 16;
+        }
+        app.kernel_events = true;
+        let mut cfg = experiment_config(app.clone(), seed);
+        cfg.machine.scheduler = kind.clone();
+        runs.push(RunSpec {
+            label: format!("{tag}-mailbox"),
+            job: Job::new(cfg),
+            version: Some(Version::V1),
+            app: Some(app),
+            paper_percent: None,
+            faults: None,
+        });
+    }
+
+    // The fault-injection dimension: the V4 rung re-measured with a
+    // perturbed probe plane (dropped writes, corrupted patterns,
+    // drifting recorder clocks) under round-robin and under the fuzz
+    // scheduler. Deterministic per seed — two sweeps at equal seeds
+    // produce bit-identical faulted digests at any worker count.
+    let faults = pipeline::FaultConfig {
+        probe_drop_permille: 40,
+        probe_corrupt_permille: 20,
+        clock_drift_ppm: 1_500,
+        seed,
+    };
+    for (tag, kind) in [
+        ("faults", SchedulerKind::RoundRobin),
+        (
+            "fuzz-faults",
+            SchedulerKind::Fuzz {
+                base: Box::new(SchedulerKind::RoundRobin),
+                seed,
+            },
+        ),
+    ] {
+        let app = sched_app(Version::V4, scale);
+        let mut cfg = experiment_config(app.clone(), seed);
+        cfg.machine.scheduler = kind;
+        cfg.faults = faults;
+        runs.push(RunSpec {
+            label: format!("{tag}-V4"),
+            job: Job::new(cfg),
+            version: Some(Version::V4),
+            app: Some(app),
+            paper_percent: None,
+            faults: Some(faults),
+        });
+    }
+
+    Sweep {
+        name: "sched".into(),
+        runs,
+    }
+}
+
 /// The names [`by_name`] understands, for `harness list` and usage
 /// messages.
-pub const NAMES: [&str; 7] = [
-    "fig10", "bundle", "window", "seeds", "smoke", "jacobi", "scaling",
+pub const NAMES: [&str; 8] = [
+    "fig10", "bundle", "window", "seeds", "smoke", "jacobi", "scaling", "sched",
 ];
 
 /// Resolves a sweep by CLI name.
@@ -360,6 +497,7 @@ pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<Sweep> {
         "smoke" => Some(smoke(seed)),
         "jacobi" => Some(jacobi(scale, seed)),
         "scaling" => Some(scaling(scale, seed)),
+        "sched" => Some(sched(scale, seed)),
         _ => None,
     }
 }
@@ -424,6 +562,38 @@ mod tests {
         prints.sort();
         prints.dedup();
         assert_eq!(prints.len(), 9);
+    }
+
+    #[test]
+    fn sched_sweep_covers_every_policy_and_the_fault_dimension() {
+        let sweep = sched(Scale::Quick, 1992);
+        let labels: Vec<&str> = sweep.runs.iter().map(|r| r.label.as_str()).collect();
+        // 4 policies × (4 versions + mailbox) + 2 fault rows.
+        assert_eq!(sweep.runs.len(), 22);
+        for tag in ["rr", "preempt", "cfs", "fuzz"] {
+            for row in ["V1", "V2", "V3", "V4", "mailbox"] {
+                assert!(
+                    labels.contains(&format!("{tag}-{row}").as_str()),
+                    "missing {tag}-{row} in {labels:?}"
+                );
+            }
+        }
+        assert!(labels.contains(&"faults-V4"));
+        assert!(labels.contains(&"fuzz-faults-V4"));
+        // Fault rows carry their injection for `harness verify` to see;
+        // policy rows do not.
+        assert_eq!(sweep.runs.iter().filter(|r| r.faults.is_some()).count(), 2);
+        // Every row keeps its application shape (all are ray runs) and
+        // every configuration is distinct.
+        assert!(sweep.runs.iter().all(|r| r.app.is_some()));
+        assert!(sweep
+            .runs
+            .iter()
+            .all(|r| r.app.as_ref().is_some_and(|a| a.kernel_events)));
+        let mut prints: Vec<String> = sweep.runs.iter().map(|r| r.job.fingerprint()).collect();
+        prints.sort();
+        prints.dedup();
+        assert_eq!(prints.len(), 22, "fingerprints must distinguish rows");
     }
 
     #[test]

@@ -35,8 +35,21 @@ use analyzer::race::{check_race_model, RaceModel};
 use analyzer::{check_races, validate_orders, Diagnostic, ModelBudget, Report};
 use pipeline::PolicyMode;
 use raysim::config::AppConfig;
+use suprenum::SchedulerKind;
 
 use crate::Sweep;
+
+/// Knobs for a verification pass.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyOptions {
+    /// Run the DPOR race cross-check on every executed run.
+    pub races: bool,
+    /// Re-run every job under this scheduling policy instead of the one
+    /// its sweep baked in (the CLI's `verify --scheduler`). The
+    /// scheduler cross-check always reads the policy each run *actually*
+    /// executed under, so the verdict gates stay correct either way.
+    pub scheduler: Option<SchedulerKind>,
+}
 
 /// The outcome of verifying one sweep.
 #[derive(Debug)]
@@ -51,6 +64,13 @@ pub struct VerifyReport {
     /// recorded trace's credit accounting checked against the
     /// P-invariant bound the structural layer certifies.
     pub structural_reports: Vec<Report>,
+    /// One scheduler cross-check per executed run: the policy the run
+    /// executed under, reconciled against the preemption tokens its
+    /// recorded trace contains. Round-robin must show none; a
+    /// deterministic preemptive policy with kernel instrumentation must
+    /// show at least one — the dynamically observed counterpart of the
+    /// analyzer's static preemptive-divergence verdict.
+    pub sched_reports: Vec<Report>,
     /// Labels of runs whose pre-flight analysis refused execution.
     pub denied: Vec<String>,
     /// Labels of runs that did not complete (their traces are still
@@ -79,16 +99,26 @@ impl VerifyReport {
         self.structural_reports.iter().map(Report::errors).sum()
     }
 
+    /// Scheduler cross-check failures: preemption tokens recorded under
+    /// round-robin, or a deterministic preemptive policy whose
+    /// kernel-instrumented trace shows no preemption at all.
+    pub fn sched_inconsistencies(&self) -> usize {
+        self.sched_reports.iter().map(Report::errors).sum()
+    }
+
     /// Process exit code: `4` when any run was denied by pre-flight
-    /// policy, `1` when any proven ordering was violated, any race
-    /// cross-check failed, or any recorded trace contradicted a
-    /// structural certificate, `0` otherwise. Truncation alone does
+    /// policy, `1` when any proven ordering was violated, any race or
+    /// scheduler cross-check failed, or any recorded trace contradicted
+    /// a structural certificate, `0` otherwise. Truncation alone does
     /// not fail verification — the sweep gate owns completion; this
     /// gate owns ordering.
     pub fn exit_code(&self) -> u8 {
         if !self.denied.is_empty() {
             4
-        } else if self.violations() + self.race_inconsistencies() + self.certificate_violations()
+        } else if self.violations()
+            + self.race_inconsistencies()
+            + self.certificate_violations()
+            + self.sched_inconsistencies()
             > 0
         {
             1
@@ -112,17 +142,34 @@ pub fn verify_sweep(sweep: &Sweep) -> VerifyReport {
 /// DPOR race detector and its witnesses reconciled with the run's
 /// recorded trace.
 pub fn verify_sweep_with(sweep: &Sweep, races: bool) -> VerifyReport {
+    verify_sweep_opts(
+        sweep,
+        &VerifyOptions {
+            races,
+            scheduler: None,
+        },
+    )
+}
+
+/// [`verify_sweep`] with the full option set — race cross-checks and a
+/// scheduling-policy override (see [`VerifyOptions`]).
+pub fn verify_sweep_opts(sweep: &Sweep, opts: &VerifyOptions) -> VerifyReport {
     let mut out = VerifyReport {
         run_reports: Vec::new(),
         race_reports: Vec::new(),
         structural_reports: Vec::new(),
+        sched_reports: Vec::new(),
         denied: Vec::new(),
         truncated: Vec::new(),
     };
 
     let mode = PolicyMode::from_env().unwrap_or(PolicyMode::Warn);
     for spec in &sweep.runs {
-        let run = match spec.job.run_with_policy(Some(mode)) {
+        let mut job = spec.job.clone();
+        if let Some(kind) = &opts.scheduler {
+            job.override_scheduler(kind.clone());
+        }
+        let run = match job.run_with_policy(Some(mode)) {
             Ok(run) => run,
             Err(_denied) => {
                 // The summary was already printed by the pre-flight;
@@ -135,19 +182,155 @@ pub fn verify_sweep_with(sweep: &Sweep, races: bool) -> VerifyReport {
         if run.outcome.truncated() {
             out.truncated.push(spec.label.clone());
         }
+        if spec.faults.is_some() {
+            // A fault-study row: the probe plane was deliberately
+            // perturbed, so ordering anomalies in the recorded trace
+            // are the measurement itself — report, don't gate.
+            let mut report = Report::new(format!("{} happens-before", spec.label));
+            report.push(Diagnostic::info(
+                "AN-HB-000",
+                "fault injection active on this row — measurement-plane cross-checks \
+                 (happens-before, race, structural certificate) are informational only \
+                 and skipped; injected drops, corruptions, and clock drift are the \
+                 subject of the measurement",
+            ));
+            out.run_reports.push(report);
+            continue;
+        }
         let mut report = validate_orders(&run.trace, &run.orders);
         report.subject = format!("{} happens-before", spec.label);
-        if races {
-            out.race_reports
-                .push(race_crosscheck(spec, &report, &run.orders));
+        if opts.races {
+            out.race_reports.push(race_crosscheck(
+                spec,
+                &report,
+                &run.orders,
+                run.scheduler.is_preemptive(),
+            ));
         }
         if let Some(structural) = structural_crosscheck(spec, &run.trace) {
             out.structural_reports.push(structural);
         }
+        out.sched_reports
+            .push(sched_crosscheck(&spec.label, &run.scheduler, &run.trace));
         out.run_reports.push(report);
     }
 
     out
+}
+
+/// The scheduler cross-check for one executed run: reconcile the policy
+/// the run executed under with the preemption evidence in its recorded
+/// trace. This is the dynamic counterpart of the analyzer's static
+/// preemptive-divergence verdict:
+///
+/// * round-robin is non-preemptive by construction — a
+///   [`suprenum::os_tokens::KERNEL_PREEMPT`] token in its trace means
+///   the scheduler abstraction leaked (`AN-RACE-004` error);
+/// * a deterministic preemptive policy (fixed-priority, CFS) whose
+///   kernel-instrumented trace shows *no* preemption never exercised
+///   the predicted race class — the study measured nothing
+///   (`AN-RACE-004` error);
+/// * the fuzz wrapper perturbs probabilistically per seed, so its
+///   counts are reported without gating;
+/// * without kernel instrumentation the trace cannot witness either
+///   way, and the static verdict stands unreconciled (info).
+fn sched_crosscheck(label: &str, scheduler: &SchedulerKind, trace: &simple::Trace) -> Report {
+    use suprenum::os_tokens::{self, KERNEL_PREEMPT, KERNEL_TOKEN_BASE};
+
+    let mut report = Report::new(format!("{label} scheduler cross-check ({scheduler})"));
+    let kernel_tokens = trace
+        .events()
+        .iter()
+        .filter(|e| e.token.value() >= KERNEL_TOKEN_BASE)
+        .count();
+    let preempts: Vec<u8> = trace
+        .events()
+        .iter()
+        .filter(|e| e.token.value() == KERNEL_PREEMPT)
+        .map(|e| os_tokens::split_param(e.param.value()).1)
+        .collect();
+    // Code 1 is a mailbox LWP seizing the CPU from user computation —
+    // the paper's mailbox-synchrony scheduling decision made visible.
+    let mailbox_seizes = preempts.iter().filter(|&&c| c == 1).count();
+
+    if kernel_tokens == 0 {
+        report.push(Diagnostic::info(
+            "AN-RACE-004",
+            format!(
+                "no kernel instrumentation recorded under '{scheduler}' — the static \
+                 scheduling verdict stands unreconciled (enable kernel events to observe \
+                 preemption dynamically)"
+            ),
+        ));
+        return report;
+    }
+
+    match scheduler {
+        SchedulerKind::RoundRobin => {
+            if preempts.is_empty() {
+                report.push(Diagnostic::info(
+                    "AN-RACE-004",
+                    format!(
+                        "dynamically confirmed: {kernel_tokens} kernel event(s) recorded and \
+                         no preemption under round-robin — the non-preemptive model the race \
+                         explorer proves race-free matches the machine"
+                    ),
+                ));
+            } else {
+                report.push(
+                    Diagnostic::error(
+                        "AN-RACE-004",
+                        format!(
+                            "{} preemption token(s) recorded under round-robin — a \
+                             non-preemptive policy must never preempt",
+                            preempts.len()
+                        ),
+                    )
+                    .help("the scheduler abstraction leaked or the trace is corrupt"),
+                );
+            }
+        }
+        SchedulerKind::Preemptive { .. } | SchedulerKind::Cfs { .. } => {
+            if preempts.is_empty() {
+                report.push(
+                    Diagnostic::error(
+                        "AN-RACE-004",
+                        format!(
+                            "predicted preemptive race class not observed: '{scheduler}' \
+                             recorded {kernel_tokens} kernel event(s) but zero preemptions"
+                        ),
+                    )
+                    .help(
+                        "shrink the quantum or grow the workload until the policy actually \
+                         preempts — an unexercised policy verifies nothing",
+                    ),
+                );
+            } else {
+                report.push(Diagnostic::info(
+                    "AN-RACE-004",
+                    format!(
+                        "dynamically confirmed: {} preemption(s) under '{scheduler}', {} by \
+                         mailbox seizure — the preemptive divergence the analyzer predicts \
+                         statically is observed in the recorded trace",
+                        preempts.len(),
+                        mailbox_seizes
+                    ),
+                ));
+            }
+        }
+        SchedulerKind::Fuzz { .. } => {
+            report.push(Diagnostic::info(
+                "AN-RACE-004",
+                format!(
+                    "fuzz policy '{scheduler}': {} preemption(s) recorded ({} mailbox) — \
+                     seeded perturbation reported without gating",
+                    preempts.len(),
+                    mailbox_seizes
+                ),
+            ));
+        }
+    }
+    report
 }
 
 /// The race cross-check for one executed run: explore the run's
@@ -159,6 +342,7 @@ fn race_crosscheck(
     spec: &crate::RunSpec,
     hb_report: &Report,
     orders: &[analyzer::ProvenOrder],
+    preemptive: bool,
 ) -> Report {
     let budget = ModelBudget::full();
     let mut report = match spec.version {
@@ -187,13 +371,15 @@ fn race_crosscheck(
         }
     };
 
-    // Reconcile static and dynamic: the machine's scheduler is the
-    // non-preemptive round-robin the models prove race-free for every
-    // stock shape — so a concurrent duplicate in the *recorded* trace
-    // contradicts the model and must fail verification.
+    // Reconcile static and dynamic. Under the non-preemptive
+    // round-robin policy the models prove every stock shape race-free —
+    // so a concurrent duplicate in the *recorded* trace contradicts the
+    // model and must fail verification. Under a preemptive policy the
+    // static explorer *predicts* such interleavings: observing one is
+    // agreement, not contradiction.
     let dynamic_races = hb_report.with_code("AN-HB-002").count();
-    if dynamic_races > 0 {
-        report.push(
+    match (dynamic_races > 0, preemptive) {
+        (true, false) => report.push(
             Diagnostic::error(
                 "AN-RACE-001",
                 format!(
@@ -203,13 +389,20 @@ fn race_crosscheck(
                 ),
             )
             .help("either the scheduler is not round-robin or the trace is corrupt"),
-        );
-    } else {
-        report.push(Diagnostic::info(
+        ),
+        (true, true) => report.push(Diagnostic::info(
+            "AN-RACE-001",
+            format!(
+                "recorded trace agrees with the preemptive exploration: {dynamic_races} \
+                 concurrent duplicate(s) (AN-HB-002) observed dynamically, as the witness \
+                 interleavings predict"
+            ),
+        )),
+        (false, _) => report.push(Diagnostic::info(
             "AN-RACE-001",
             "recorded trace agrees with the race model: no concurrent duplicates observed \
              dynamically",
-        ));
+        )),
     }
     report
 }
@@ -323,6 +516,7 @@ mod tests {
             version: Some(version),
             app: Some(app),
             paper_percent: None,
+            faults: None,
         }
     }
 
@@ -483,6 +677,93 @@ mod tests {
                 r.render()
             );
         }
+    }
+
+    #[test]
+    fn sched_sweep_reconciles_static_and_dynamic_scheduling_verdicts() {
+        // The inverted gate of the scheduling study: round-robin rows
+        // must record kernel events and zero preemptions; the
+        // deterministic preemptive policies must record at least one —
+        // both directions verified on the same sweep, exit code 0.
+        let sweep = sweeps::by_name("sched", crate::Scale::Quick, 1992).unwrap();
+        let report = verify_sweep(&sweep);
+        assert_eq!(report.denied, Vec::<String>::new());
+        assert_eq!(report.violations(), 0, "{:#?}", report.run_reports);
+        assert_eq!(
+            report.sched_inconsistencies(),
+            0,
+            "{:#?}",
+            report.sched_reports
+        );
+        assert_eq!(report.exit_code(), 0);
+        // Fault rows skip the measurement-plane gates entirely.
+        let fault_rows = sweep.runs.iter().filter(|s| s.faults.is_some()).count();
+        assert_eq!(report.sched_reports.len(), sweep.runs.len() - fault_rows);
+        let confirmed = |tag: &str, needle: &str| {
+            report
+                .sched_reports
+                .iter()
+                .filter(|r| r.subject.starts_with(tag))
+                .all(|r| r.findings.iter().any(|f| f.message.contains(needle)))
+        };
+        assert!(
+            confirmed("rr-", "no preemption under round-robin"),
+            "{:#?}",
+            report.sched_reports
+        );
+        assert!(
+            confirmed("preempt-", "dynamically confirmed"),
+            "{:#?}",
+            report.sched_reports
+        );
+        assert!(
+            confirmed("cfs-", "dynamically confirmed"),
+            "{:#?}",
+            report.sched_reports
+        );
+        // The mailbox-synchrony rows must witness mailbox seizures
+        // specifically under the preemptive policy.
+        let mailbox = report
+            .sched_reports
+            .iter()
+            .find(|r| r.subject.starts_with("preempt-mailbox"))
+            .expect("preempt-mailbox report");
+        assert!(
+            mailbox
+                .findings
+                .iter()
+                .any(|f| f.message.contains("mailbox seizure")),
+            "{}",
+            mailbox.render()
+        );
+    }
+
+    #[test]
+    fn scheduler_override_without_kernel_events_leaves_verdict_unreconciled() {
+        // `harness verify smoke --scheduler preempt`: the smoke apps do
+        // not request kernel instrumentation, so the trace cannot
+        // witness preemption either way — the cross-check must say so
+        // and must NOT fail.
+        let sweep = Sweep {
+            name: "override".into(),
+            runs: vec![ray_spec("plain", Version::V4, 2)],
+        };
+        let opts = VerifyOptions {
+            races: false,
+            scheduler: Some(suprenum::SchedulerKind::Preemptive {
+                quantum: des::time::SimDuration::from_millis(5),
+            }),
+        };
+        let report = verify_sweep_opts(&sweep, &opts);
+        assert_eq!(report.exit_code(), 0, "{:#?}", report.sched_reports);
+        assert!(
+            report.sched_reports[0]
+                .findings
+                .iter()
+                .any(|f| f.message.contains("stands unreconciled")),
+            "{}",
+            report.sched_reports[0].render()
+        );
     }
 
     #[test]

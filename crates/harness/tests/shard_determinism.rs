@@ -52,6 +52,7 @@ fn ray_spec(version: Version, shards: usize) -> RunSpec {
         version: Some(version),
         app: Some(app),
         paper_percent: None,
+        faults: None,
     }
 }
 
@@ -72,6 +73,7 @@ fn jacobi_spec(workers: u16, shards: usize) -> RunSpec {
         version: None,
         app: None,
         paper_percent: None,
+        faults: None,
     }
 }
 

@@ -26,6 +26,7 @@ fn tiny_spec(label: &str, seed: u64, horizon: SimTime) -> RunSpec {
         version: Some(Version::V4),
         app: Some(app),
         paper_percent: None,
+        faults: None,
     }
 }
 

@@ -13,13 +13,17 @@ use des::time::SimTime;
 use simple::Trace;
 use suprenum::RunOutcome;
 
+use suprenum::SchedulerKind;
+
 use crate::preflight::{PolicyMode, PreflightDenied, PreflightSummary};
-use crate::{try_run_workload, OrderEdge, PipelineConfig, PipelineError, RunMetrics, Workload};
+use crate::{
+    try_run_workload, FaultConfig, OrderEdge, PipelineConfig, PipelineError, RunMetrics, Workload,
+};
 
 /// Per-execution overrides a harness may apply without re-building the
 /// job (the CLI's `--horizon-secs` flag, `harness verify`'s
 /// `ANALYZER_POLICY` environment override).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecOverrides {
     /// Replaces the configured pre-flight mode (the configured hook is
     /// kept — a mode without a hook analyzes nothing).
@@ -35,6 +39,14 @@ pub struct ExecOverrides {
     /// invisible: multi-cluster machines always partition per cluster,
     /// and this only packs the shards onto threads.
     pub engine_shards: Option<usize>,
+    /// Replaces the configured kernel scheduling policy (the CLI's
+    /// `--scheduler` flag). Unlike sharding this *does* change
+    /// behaviour; the effective policy is recorded in
+    /// [`JobRun::scheduler`] so artifacts stay honest.
+    pub scheduler: Option<SchedulerKind>,
+    /// Replaces the configured probe-plane fault injection (the sweep
+    /// harness's fuzz dimensions).
+    pub faults: Option<FaultConfig>,
 }
 
 /// Everything a harness records about one executed job, with the
@@ -63,6 +75,8 @@ pub struct JobRun {
     pub shards: usize,
     /// Engine worker-thread count the run actually executed with.
     pub engine_shards: usize,
+    /// Kernel scheduling policy the run actually executed under.
+    pub scheduler: SchedulerKind,
 }
 
 type Exec = dyn Fn(ExecOverrides) -> Result<JobRun, PreflightDenied> + Send + Sync;
@@ -80,6 +94,8 @@ pub struct Job {
     horizon: Option<SimTime>,
     shards: Option<usize>,
     engine_shards: Option<usize>,
+    scheduler: Option<SchedulerKind>,
+    faults: Option<FaultConfig>,
     exec: Arc<Exec>,
 }
 
@@ -114,8 +130,15 @@ impl Job {
             if let Some(engine_shards) = ov.engine_shards {
                 cfg.engine_shards = engine_shards;
             }
+            if let Some(scheduler) = ov.scheduler {
+                cfg.machine.scheduler = scheduler;
+            }
+            if let Some(faults) = ov.faults {
+                cfg.faults = faults;
+            }
             let shards = cfg.shards;
             let engine_shards = cfg.engine_shards;
+            let scheduler = cfg.machine.scheduler.clone();
             let workload = cfg.workload.clone();
             let result = match try_run_workload(cfg) {
                 Ok(result) => result,
@@ -136,6 +159,7 @@ impl Job {
                 preflight: result.preflight,
                 shards,
                 engine_shards,
+                scheduler,
             })
         });
         Job {
@@ -145,6 +169,8 @@ impl Job {
             horizon: None,
             shards: None,
             engine_shards: None,
+            scheduler: None,
+            faults: None,
             exec,
         }
     }
@@ -186,6 +212,22 @@ impl Job {
         self.engine_shards = Some(engine_shards);
     }
 
+    /// Replaces the kernel scheduling policy for every subsequent
+    /// execution (the CLI's `--scheduler`). This changes scheduling
+    /// behaviour, not just packaging — the effective policy is recorded
+    /// in [`JobRun::scheduler`] and in schema-4 artifacts, and
+    /// `harness compare` refuses to diff across policies.
+    pub fn override_scheduler(&mut self, scheduler: SchedulerKind) {
+        self.scheduler = Some(scheduler);
+    }
+
+    /// Replaces the probe-plane fault injection for every subsequent
+    /// execution (the sweep harness's fuzz dimensions). Faults perturb
+    /// only the measurement, never the simulated machine.
+    pub fn override_faults(&mut self, faults: FaultConfig) {
+        self.faults = Some(faults);
+    }
+
     /// Executes the job with an optional pre-flight mode override.
     ///
     /// # Errors
@@ -198,6 +240,8 @@ impl Job {
             horizon: self.horizon,
             shards: self.shards,
             engine_shards: self.engine_shards,
+            scheduler: self.scheduler.clone(),
+            faults: self.faults,
         })
     }
 
@@ -276,6 +320,53 @@ mod tests {
         assert_eq!(run.engine_shards, 2);
         assert_eq!(reference.outcome, run.outcome);
         assert_eq!(reference.trace, run.trace);
+    }
+
+    #[test]
+    fn scheduler_override_is_recorded_and_changes_behaviour() {
+        let cfg = PipelineConfig::new(JacobiConfig {
+            workers: 3,
+            iterations: 4,
+            cells_per_worker: 8,
+            ..JacobiConfig::default()
+        });
+        let job = Job::new(cfg);
+        let reference = job.run();
+        assert_eq!(reference.scheduler, SchedulerKind::RoundRobin);
+        let mut preemptive = job.clone();
+        preemptive.override_scheduler(SchedulerKind::Preemptive {
+            quantum: des::time::SimDuration::from_micros(50),
+        });
+        let run = preemptive.run();
+        assert_eq!(run.scheduler.name(), "preempt:50");
+        // Same workload, same outcome class; the policy only reorders
+        // node-local CPU multiplexing.
+        assert_eq!(reference.outcome.end, run.outcome.end);
+    }
+
+    #[test]
+    fn faults_override_perturbs_only_the_measurement() {
+        let cfg = PipelineConfig::new(JacobiConfig {
+            workers: 3,
+            iterations: 4,
+            cells_per_worker: 8,
+            ..JacobiConfig::default()
+        });
+        let job = Job::new(cfg);
+        let clean = job.run();
+        let mut faulty = job.clone();
+        faulty.override_faults(FaultConfig {
+            probe_drop_permille: 200,
+            probe_corrupt_permille: 0,
+            clock_drift_ppm: 0,
+            seed: 11,
+        });
+        let run = faulty.run();
+        assert_eq!(
+            clean.outcome, run.outcome,
+            "faults must not touch the machine"
+        );
+        assert!(run.trace.len() < clean.trace.len(), "drops thin the trace");
     }
 
     #[test]

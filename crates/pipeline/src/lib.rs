@@ -48,12 +48,14 @@ use simple::Trace;
 use suprenum::{Machine, MachineConfig, RunEnd, RunOutcome};
 use zm4::{Measurement, Zm4Config};
 
+pub mod fault;
 pub mod jacobi;
 pub mod job;
 pub mod order;
 pub mod preflight;
 pub mod trace;
 
+pub use fault::FaultConfig;
 pub use job::{ExecOverrides, Job, JobRun};
 pub use order::{dominant_scope, OrderEdge, OrderScope};
 pub use preflight::{
@@ -151,6 +153,19 @@ pub trait Workload: std::fmt::Debug + Clone + Send + Sync + 'static {
         Vec::new()
     }
 
+    /// Whether the run should switch on the kernel's own
+    /// instrumentation (dispatch/block/preempt events through the same
+    /// display path as the application) — the paper's stated future
+    /// work, and the signal `harness verify` reconciles scheduler
+    /// verdicts against. Defaults to `false`; a workload that opts in
+    /// gets `kernel_instrumentation` forced on regardless of the
+    /// machine configuration (kernel events still require hybrid
+    /// monitoring to actually reach the displays — the analyzer's
+    /// workload hook warns when the two disagree).
+    fn wants_kernel_events(&self) -> bool {
+        false
+    }
+
     /// Installs the workload's root process(es) on the machine and
     /// returns the harvest that folds the shared state into
     /// [`Workload::Output`] once the machine has halted.
@@ -179,6 +194,11 @@ pub struct PipelineConfig<W: Workload> {
     pub horizon: SimTime,
     /// Pre-flight static analysis policy.
     pub preflight: Preflight<W>,
+    /// Probe-plane fault injection (drop/corrupt/clock-drift). The
+    /// default injects nothing; a non-trivial configuration perturbs
+    /// only the monitor's view of the run, never the machine itself,
+    /// and is deterministic per fault seed.
+    pub faults: FaultConfig,
     /// Monitor-plane shards. `1` (the default) runs the fully inline
     /// sequential pipeline — the differential oracle. `2..` defers
     /// display materialization in the kernel and fans the emission
@@ -208,6 +228,7 @@ impl<W: Workload> std::fmt::Debug for PipelineConfig<W> {
             .field("seed", &self.seed)
             .field("horizon", &self.horizon)
             .field("preflight", &self.preflight)
+            .field("faults", &self.faults)
             .field("shards", &self.shards)
             .field("engine_shards", &self.engine_shards)
             .finish()
@@ -248,19 +269,23 @@ impl<W: Workload> PipelineConfig<W> {
             seed: 1992,
             horizon: SimTime::from_secs(3_600),
             preflight: Preflight::off(),
+            faults: FaultConfig::default(),
             shards: 1,
             engine_shards: 1,
         }
     }
 
     /// FNV-1a fingerprint of the configuration (workload + machine +
-    /// monitor + seed + horizon), for artifact provenance. The
-    /// pre-flight policy is excluded: it carries function pointers
-    /// whose addresses vary between builds, and it does not change the
-    /// measured behaviour under `Off`/`Warn`. The monitor and engine
-    /// shard counts are also excluded: every shard count produces a
-    /// bit-identical measurement, so runs at different counts are
-    /// comparable by construction.
+    /// monitor + seed + horizon + any active fault injection), for
+    /// artifact provenance. The pre-flight policy is excluded: it
+    /// carries function pointers whose addresses vary between builds,
+    /// and it does not change the measured behaviour under
+    /// `Off`/`Warn`. The monitor and engine shard counts are also
+    /// excluded: every shard count produces a bit-identical
+    /// measurement, so runs at different counts are comparable by
+    /// construction. A no-op fault configuration is excluded too, so
+    /// fingerprints of un-faulted runs are stable across versions that
+    /// predate the fault layer.
     pub fn fingerprint(&self) -> u64 {
         let mut h = des::digest::Fnv64::new();
         h.write_bytes(self.workload.id().as_bytes());
@@ -269,6 +294,9 @@ impl<W: Workload> PipelineConfig<W> {
         h.write_bytes(format!("{:?}", self.zm4).as_bytes());
         h.write_u64(self.seed);
         h.write_u64(self.horizon.as_nanos());
+        if !self.faults.is_noop() {
+            h.write_bytes(format!("{:?}", self.faults).as_bytes());
+        }
         h.finish()
     }
 }
@@ -366,6 +394,11 @@ pub fn try_run_workload<W: Workload>(
             "pipeline needs at least one engine shard".into(),
         ));
     }
+    if let Err(e) = cfg.faults.validate() {
+        return Err(PipelineError::Invalid(format!(
+            "invalid fault configuration: {e}"
+        )));
+    }
     let analysis_start = std::time::Instant::now();
     let preflight = try_preflight(&cfg)?;
     let analysis = analysis_start.elapsed();
@@ -381,6 +414,12 @@ pub fn try_run_workload<W: Workload>(
     }
 
     let mut machine_cfg = cfg.machine.clone();
+    if cfg.workload.wants_kernel_events() {
+        // The workload asked for the kernel's own instrumentation —
+        // promote the per-machine toggle so sweeps don't have to plumb
+        // machine configuration per run.
+        machine_cfg.kernel_instrumentation = true;
+    }
     let sharded = cfg.shards > 1;
     if sharded {
         // The kernel records compact emissions; the observer shards
@@ -395,15 +434,19 @@ pub fn try_run_workload<W: Workload>(
     let channels = cfg.workload.channels(&machine);
     let monitor = cfg.zm4.build(channels, cfg.seed);
 
+    let faults = cfg.faults;
     let (outcome, measurement) = if sharded {
-        run_sharded(&mut machine, &monitor, cfg.shards, cfg.horizon)
+        run_sharded(&mut machine, &monitor, cfg.shards, cfg.horizon, faults)
     } else {
         // The sequential oracle: run to completion, then probe the
         // displays in one pass. The signal log is already time-sorted
         // (per channel, because globally), so the sample stream flows
         // through the monitor without a materialized sample vector.
+        // Fault injection is per-sample and per-channel monotone, so
+        // the faulted stream keeps the same feed-order precondition.
         let outcome = machine.run(cfg.horizon);
-        let measurement = monitor.observe_iter(trace::probe_sample_iter(&machine));
+        let measurement = monitor
+            .observe_iter(trace::probe_sample_iter(&machine).filter_map(move |s| faults.apply(s)));
         (outcome, measurement)
     };
     let trace = to_simple_trace(&measurement);
@@ -440,6 +483,7 @@ fn run_sharded(
     monitor: &zm4::Zm4,
     shards: usize,
     horizon: SimTime,
+    faults: FaultConfig,
 ) -> (RunOutcome, Measurement) {
     let observers = monitor.shard_observers(shards);
     // Channel (= node index) → stream shard routing.
@@ -451,13 +495,18 @@ fn run_sharded(
     }
     let mut stream = des::shard::ShardStream::spawn(
         observers,
-        |obs: &mut zm4::ObserverShard, _shard, _at, rec: suprenum::EmissionRecord| {
+        move |obs: &mut zm4::ObserverShard, _shard, _at, rec: suprenum::EmissionRecord| {
             for w in rec.writes() {
-                obs.feed(zm4::ProbeSample {
+                // The same pure per-sample fault verdicts as the
+                // sequential oracle — shard routing can't move a fault.
+                let sample = zm4::ProbeSample {
                     time: w.time,
                     channel: w.node.index() as usize,
                     pattern: w.pattern,
-                });
+                };
+                if let Some(sample) = faults.apply(sample) {
+                    obs.feed(sample);
+                }
             }
         },
     );
@@ -689,6 +738,65 @@ mod tests {
             );
             assert_eq!(sharded.intrusion, reference.intrusion, "{shards} shards");
         }
+    }
+
+    #[test]
+    fn fault_injection_perturbs_only_the_measurement_and_is_shard_invariant() {
+        let mut base = PipelineConfig::new(jacobi::JacobiConfig {
+            workers: 5,
+            iterations: 6,
+            ..jacobi::JacobiConfig::default()
+        });
+        base.faults = FaultConfig {
+            probe_drop_permille: 100,
+            probe_corrupt_permille: 50,
+            clock_drift_ppm: 2_000,
+            seed: 7,
+        };
+        let clean = {
+            let mut cfg = base.clone();
+            cfg.faults = FaultConfig::default();
+            run_workload(cfg)
+        };
+        let faulted = run_workload(base.clone());
+        // The machine itself is untouched — same outcome, same
+        // application output — only the monitor's view degrades.
+        assert_eq!(faulted.outcome, clean.outcome);
+        assert_eq!(faulted.output.max_error, clean.output.max_error);
+        assert_ne!(
+            faulted.measurement.trace, clean.measurement.trace,
+            "faults must perturb the measurement"
+        );
+        // Deterministic per seed and identical across shard counts.
+        for (shards, engine_shards) in [(1, 1), (2, 1), (3, 1)] {
+            let mut cfg = base.clone();
+            cfg.shards = shards;
+            cfg.engine_shards = engine_shards;
+            let run = run_workload(cfg);
+            assert_eq!(
+                run.measurement.trace, faulted.measurement.trace,
+                "{shards} monitor shards"
+            );
+        }
+        // A different fault seed moves the fault sites.
+        let mut reseeded = base.clone();
+        reseeded.faults.seed = 8;
+        assert_ne!(
+            run_workload(reseeded).measurement.trace,
+            faulted.measurement.trace
+        );
+        // Active faults enter the fingerprint; a no-op layer does not.
+        assert_ne!(base.fingerprint(), clean_fingerprint(&base));
+        let mut out_of_range = base;
+        out_of_range.faults.probe_drop_permille = 2_000;
+        let err = try_run_workload(out_of_range).unwrap_err();
+        assert!(err.to_string().contains("fault"));
+    }
+
+    fn clean_fingerprint(cfg: &PipelineConfig<jacobi::JacobiConfig>) -> u64 {
+        let mut clean = cfg.clone();
+        clean.faults = FaultConfig::default();
+        clean.fingerprint()
     }
 
     #[test]

@@ -125,7 +125,8 @@ pub fn kernel_activity_model() -> simple::ActivityModel {
     m.state(os::KERNEL_DISPATCH, "Running")
         .state(os::KERNEL_BLOCK, "Idle/Scheduling")
         .state(os::KERNEL_MAILBOX_SERVICE, "Mailbox Service")
-        .state(os::KERNEL_EXIT, "Idle/Scheduling");
+        .state(os::KERNEL_EXIT, "Idle/Scheduling")
+        .state(os::KERNEL_PREEMPT, "Idle/Scheduling");
     m
 }
 

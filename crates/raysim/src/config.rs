@@ -148,6 +148,12 @@ pub struct AppConfig {
     pub write_bytes_per_pixel: u32,
     /// Servant fixed overhead per job.
     pub work_base: SimDuration,
+    /// Ask the pipeline to enable kernel instrumentation (dispatch,
+    /// block, mailbox-service, preempt probes) alongside the
+    /// application's own tokens. Requires hybrid monitoring to actually
+    /// reach the trace; the analyzer's workload hook warns when the
+    /// monitoring mode would silently drop them.
+    pub kernel_events: bool,
 }
 
 impl AppConfig {
@@ -188,6 +194,7 @@ impl AppConfig {
             receive_per_pixel: SimDuration::from_micros(3_000),
             write_bytes_per_pixel: 16,
             work_base: SimDuration::from_micros(500),
+            kernel_events: false,
         }
     }
 

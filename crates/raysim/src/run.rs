@@ -103,6 +103,7 @@ impl RunConfig {
             preflight: Preflight::off(),
             shards: self.shards,
             engine_shards: 1,
+            faults: pipeline::FaultConfig::default(),
         }
     }
 }

@@ -82,6 +82,10 @@ impl Workload for AppConfig {
         u32::from(self.servants) + 1
     }
 
+    fn wants_kernel_events(&self) -> bool {
+        self.kernel_events
+    }
+
     fn token_map(&self) -> Vec<TokenDecl> {
         tokens::point_map()
             .into_iter()

@@ -9,6 +9,8 @@
 use des::time::SimDuration;
 use hybridmon::{MonitorCosts, MonitoringMode};
 
+use crate::sched::SchedulerKind;
+
 /// Full configuration of a simulated SUPRENUM machine.
 ///
 /// Use [`MachineConfig::single_cluster`] or the [`Default`] impl as a
@@ -89,6 +91,12 @@ pub struct MachineConfig {
     pub job_time_limit: Option<SimDuration>,
     /// Which monitoring technique instruments the run.
     pub monitoring: MonitoringMode,
+    /// The per-node LWP scheduling policy. *anchor*: the real machine's
+    /// kernel was non-preemptive round-robin
+    /// ([`SchedulerKind::RoundRobin`], the default); the other policies
+    /// explore the design space the paper's effective-synchrony finding
+    /// depends on. See [`crate::sched`].
+    pub scheduler: SchedulerKind,
     /// Whether the node kernel itself emits monitoring events at
     /// scheduler transitions (dispatch, block, mailbox service, exit) —
     /// the paper's stated future work ("instrumenting SUPRENUM's
@@ -177,6 +185,7 @@ impl MachineConfig {
             disk_bandwidth: 1_000_000,
             job_time_limit: None,
             monitoring: MonitoringMode::Hybrid,
+            scheduler: SchedulerKind::RoundRobin,
             kernel_instrumentation: false,
             kernel_event_cost: SimDuration::from_micros(110),
             monitor_costs: MonitorCosts::paper_defaults(),
@@ -221,6 +230,11 @@ impl MachineConfig {
         }
         if self.software_buffer_capacity == 0 {
             return Err(ConfigError::new("software monitor buffer must be nonzero"));
+        }
+        if self.scheduler.validate().is_err() {
+            return Err(ConfigError::new(
+                "invalid scheduler selection (zero quantum or nested fuzz wrapper)",
+            ));
         }
         if self.clusters > 1 {
             // Multi-cluster machines execute one engine shard per cluster
@@ -305,6 +319,18 @@ mod tests {
         };
         let err = cfg.validate().unwrap_err();
         assert!(err.to_string().contains("torus"));
+    }
+
+    #[test]
+    fn validation_catches_bad_scheduler() {
+        let cfg = MachineConfig {
+            scheduler: SchedulerKind::Cfs {
+                quantum: SimDuration::ZERO,
+            },
+            ..MachineConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("scheduler"));
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! The machine kernel: node schedulers, messaging, mailboxes and
 //! monitoring hooks.
 //!
-//! [`Machine`] owns every simulated node, process and bus. Its scheduling
-//! policy is the one the paper reverse-engineered from SUPRENUM's node
-//! operating system:
+//! [`Machine`] owns every simulated node, process and bus. Its default
+//! scheduling policy is the one the paper reverse-engineered from
+//! SUPRENUM's node operating system:
 //!
 //! * light-weight processes are scheduled **round-robin without time
 //!   slicing** — a running process keeps the CPU until it blocks or
-//!   deliberately relinquishes it;
+//!   deliberately relinquishes it. The policy is pluggable through
+//!   [`crate::sched::Scheduler`] (selected by
+//!   [`MachineConfig::scheduler`]); preemptive policies may take the
+//!   CPU away inside timed compute sections, which the kernel records
+//!   as [`crate::os_tokens::KERNEL_PREEMPT`] events;
 //! * each process's **mailbox is itself a light-weight process** that must
 //!   be scheduled to accept an incoming message; the *sender stays
 //!   blocked* until that happens. This is the mechanism that makes
@@ -23,7 +27,7 @@
 //!
 //! # Parallel event execution
 //!
-//! Kernel state is split into one [`Partition`] per cluster. Each
+//! Kernel state is split into one `Partition` (private) per cluster. Each
 //! partition owns its nodes' LWPs, mailboxes, cluster-bus rails and the
 //! cluster's token-ring egress port, so *every* event of a single-cluster
 //! machine — and every intra-cluster event of a larger one — touches only
@@ -59,12 +63,23 @@ use crate::ground_truth::{BlockReason, GroundTruth, ProcState};
 use crate::ids::{ClusterId, CondId, LwpId, NodeId, ProcessId, TeamId};
 use crate::message::Message;
 use crate::process::{Action, ProcCtx, Process, Resume};
+use crate::sched::{KernelCtx, Scheduler};
 use crate::signals::{DisplayWrite, SignalLog, TerminalWrite};
 use crate::topology::{Route, Topology};
 
 /// Safety valve against processes that loop through zero-cost actions
 /// without ever blocking or computing.
 const MAX_ZERO_COST_ACTIONS: u32 = 1_000_000;
+
+/// [`crate::os_tokens::KERNEL_PREEMPT`] parameter code: a mailbox LWP
+/// seized the CPU from a computing user process.
+const PREEMPT_MAILBOX: u8 = 1;
+/// [`crate::os_tokens::KERNEL_PREEMPT`] parameter code: the running
+/// process's time slice expired with other work ready.
+const PREEMPT_QUANTUM: u8 = 2;
+/// [`crate::os_tokens::KERNEL_PREEMPT`] parameter code: an injected
+/// (fuzz) preemption point fired on a user wakeup.
+const PREEMPT_WAKE: u8 = 3;
 
 /// Per-epoch observer callback of the sharded engine: receives the
 /// window watermark and the machine-level emission drain.
@@ -77,9 +92,18 @@ enum Ev {
     Dispatch(NodeId),
     /// Context switch finished; `lwp` starts running.
     Started { node: NodeId, lwp: LwpId },
-    /// A running process's timed action (compute, emit, spawn bookkeeping)
+    /// A running process's timed action (emit, spawn bookkeeping)
     /// completed; it continues without a scheduling decision.
     ResumeRunning { pid: ProcessId, resume: Resume },
+    /// A running process's timed compute section completed. Separate
+    /// from [`Ev::ResumeRunning`] because computes are the only
+    /// preemptible sections: the epoch stamp lets a preemption abandon
+    /// the in-flight completion (a stale epoch is ignored).
+    ComputeDone { pid: ProcessId, epoch: u32 },
+    /// The running process's time slice expired (preemptive policies
+    /// only). Stale epochs — the process blocked or was preempted since
+    /// the slice was granted — are ignored.
+    QuantumExpiry { pid: ProcessId, epoch: u32 },
     /// A blocked process becomes ready again with this resume value.
     Unblock { pid: ProcessId, resume: Resume },
     /// A synchronous message arrives at the destination node.
@@ -242,6 +266,10 @@ pub struct KernelStats {
     pub processes_spawned: u64,
     /// Kernel (OS) instrumentation events emitted.
     pub kernel_events: u64,
+    /// Times a running user process lost the CPU involuntarily
+    /// (mailbox seizure, quantum expiry, or injected fuzz preemption).
+    /// Always zero under the stock non-preemptive round-robin policy.
+    pub preemptions: u64,
 }
 
 impl KernelStats {
@@ -255,6 +283,7 @@ impl KernelStats {
         self.events_emitted += other.events_emitted;
         self.processes_spawned += other.processes_spawned;
         self.kernel_events += other.kernel_events;
+        self.preemptions += other.preemptions;
     }
 }
 
@@ -265,10 +294,20 @@ struct Proc {
     state: ProcState,
     mbox: VecDeque<Message>,
     pending_resume: Option<Resume>,
+    /// While inside a timed compute section: when it completes. The
+    /// only window a preemptive policy may take the CPU in.
+    compute_until: Option<SimTime>,
+    /// Bumped at every dispatch and preemption; a [`Ev::ComputeDone`]
+    /// or [`Ev::QuantumExpiry`] whose stamp does not match is stale.
+    run_epoch: u32,
+    /// Compute time left over from a preemption, resumed at the next
+    /// dispatch instead of calling back into the process body.
+    preempted_compute: Option<SimDuration>,
 }
 
 struct Node {
-    ready: VecDeque<LwpId>,
+    /// The pluggable scheduling policy owning this node's ready set.
+    sched: Box<dyn Scheduler>,
     running: Option<LwpId>,
     dispatching: bool,
     /// Team of the last LWP that held the CPU (for switch pricing).
@@ -284,9 +323,9 @@ struct Node {
 }
 
 impl Node {
-    fn new() -> Self {
+    fn new(sched: Box<dyn Scheduler>) -> Self {
         Node {
-            ready: VecDeque::new(),
+            sched,
             running: None,
             dispatching: false,
             last_team: None,
@@ -532,6 +571,9 @@ impl Partition {
             state: ProcState::Ready,
             mbox: VecDeque::new(),
             pending_resume: Some(Resume::Start),
+            compute_until: None,
+            run_epoch: 0,
+            preempted_compute: None,
         });
         assert!(prev.is_none(), "process {pid} created twice");
         self.ground_truth.register(pid, node, label, now);
@@ -570,13 +612,22 @@ impl Partition {
                 debug_assert_eq!(self.proc(pid).state, ProcState::Running);
                 self.step_process(sched, pid, resume);
             }
+            Ev::ComputeDone { pid, epoch } => {
+                // A stale epoch means the compute was preempted and will
+                // complete under a later (rescheduled) event.
+                if self.proc(pid).run_epoch == epoch {
+                    debug_assert_eq!(self.proc(pid).state, ProcState::Running);
+                    self.proc_mut(pid).compute_until = None;
+                    self.step_process(sched, pid, Resume::ComputeDone);
+                }
+            }
+            Ev::QuantumExpiry { pid, epoch } => self.quantum_expiry(sched, pid, epoch),
             Ev::Unblock { pid, resume } => self.unblock(sched, pid, resume),
             Ev::SyncArrive { dst, src, msg } => self.sync_arrive(sched, dst, src, msg),
             Ev::MailboxArrive { dst, src, msg } => self.mailbox_arrive(sched, dst, src, msg),
             Ev::SpawnReady { pid } => {
                 let node = self.proc(pid).node;
-                self.local_node_mut(node).ready.push_back(LwpId::User(pid));
-                self.try_dispatch(sched, node);
+                self.wake(sched, node, LwpId::User(pid));
             }
             Ev::MailboxServiced { owner, count } => self.mailbox_serviced(sched, owner, count),
             Ev::RingDeliver {
@@ -622,12 +673,116 @@ impl Partition {
         }
     }
 
+    /// The policy's view of one node's kernel state right now.
+    fn node_ctx(&self, now: SimTime, node: NodeId) -> KernelCtx {
+        KernelCtx {
+            node,
+            now,
+            running: self.local_node(node).running,
+        }
+    }
+
+    /// Marks `lwp` ready with the node's policy, lets preemptive
+    /// policies seize the CPU for it, and dispatches if the CPU is
+    /// free.
+    fn wake<S: Sched>(&mut self, sched: &mut S, node: NodeId, lwp: LwpId) {
+        let ctx = self.node_ctx(sched.now(), node);
+        self.local_node_mut(node).sched.on_ready(lwp, &ctx);
+        // Preemption is only honoured inside a timed compute section —
+        // kernel sections and display emissions are atomic — and never
+        // while a dispatch is already in flight (the `dispatching`
+        // guard also protects the context-switch window).
+        if let Some(running @ LwpId::User(owner)) = ctx.running {
+            let computing = self.proc(owner).compute_until.is_some();
+            let dispatching = self.local_node(node).dispatching;
+            if computing
+                && !dispatching
+                && self.local_node_mut(node).sched.preempts(running, lwp, &ctx)
+            {
+                let code = if lwp.is_mailbox() {
+                    PREEMPT_MAILBOX
+                } else {
+                    PREEMPT_WAKE
+                };
+                self.preempt(sched, owner, code);
+                return;
+            }
+        }
+        self.try_dispatch(sched, node);
+    }
+
+    /// Takes the CPU away from `pid` mid-compute: the remaining compute
+    /// time is stashed and resumed at its next dispatch, and the victim
+    /// re-enters the ready set through the policy.
+    fn preempt<S: Sched>(&mut self, sched: &mut S, pid: ProcessId, code: u8) {
+        let now = sched.now();
+        let node = self.proc(pid).node;
+        debug_assert_eq!(self.local_node(node).running, Some(LwpId::User(pid)));
+        debug_assert!(!self.local_node(node).dispatching);
+        let until = self
+            .proc_mut(pid)
+            .compute_until
+            .take()
+            .expect("preempting a process that is not computing");
+        self.stats.preemptions += 1;
+        if self.kernel_instrumented() {
+            self.kernel_emit(
+                now,
+                node,
+                crate::os_tokens::KERNEL_PREEMPT,
+                crate::os_tokens::param(pid.raw(), code),
+            );
+        }
+        {
+            let p = self.proc_mut(pid);
+            p.preempted_compute = Some(until.saturating_since(now));
+            p.run_epoch = p.run_epoch.wrapping_add(1);
+        }
+        self.set_state(pid, ProcState::Ready, now);
+        let ctx = self.node_ctx(now, node);
+        self.local_node_mut(node)
+            .sched
+            .on_block(LwpId::User(pid), &ctx);
+        self.local_node_mut(node).running = None;
+        let ctx = self.node_ctx(now, node);
+        self.local_node_mut(node)
+            .sched
+            .on_ready(LwpId::User(pid), &ctx);
+        self.try_dispatch(sched, node);
+    }
+
+    /// A granted time slice ran out. Preempts only when the process is
+    /// inside a compute section *and* someone else wants the CPU;
+    /// otherwise the slice silently renews.
+    fn quantum_expiry<S: Sched>(&mut self, sched: &mut S, pid: ProcessId, epoch: u32) {
+        if self.proc(pid).run_epoch != epoch {
+            return;
+        }
+        let node = self.proc(pid).node;
+        if self.local_node(node).running != Some(LwpId::User(pid)) {
+            return;
+        }
+        if self.proc(pid).compute_until.is_some() && self.local_node(node).sched.has_ready() {
+            self.preempt(sched, pid, PREEMPT_QUANTUM);
+            return;
+        }
+        let ctx = self.node_ctx(sched.now(), node);
+        if let Some(q) = self
+            .local_node_mut(node)
+            .sched
+            .time_slice(LwpId::User(pid), &ctx)
+        {
+            sched.schedule_in(q, Ev::QuantumExpiry { pid, epoch });
+        }
+    }
+
     fn try_dispatch<S: Sched>(&mut self, sched: &mut S, node: NodeId) {
+        let ctx = self.node_ctx(sched.now(), node);
         let n = self.local_node_mut(node);
         if n.running.is_some() || n.dispatching {
             return;
         }
-        let Some(lwp) = n.ready.pop_front() else {
+        let Some(lwp) = n.sched.pick_next(&ctx) else {
             return;
         };
         n.dispatching = true;
@@ -665,14 +820,33 @@ impl Partition {
             LwpId::User(pid) => {
                 let now = sched.now();
                 self.set_state(pid, ProcState::Running, now);
-                let resume = self
-                    .proc_mut(pid)
-                    .pending_resume
-                    .take()
-                    .expect("dispatched process has no pending resume");
-                self.step_process(sched, pid, resume);
+                let epoch = {
+                    let p = self.proc_mut(pid);
+                    p.run_epoch = p.run_epoch.wrapping_add(1);
+                    p.run_epoch
+                };
+                let ctx = self.node_ctx(now, node);
+                self.local_node_mut(node).sched.on_run(lwp, &ctx);
+                if let Some(q) = self.local_node_mut(node).sched.time_slice(lwp, &ctx) {
+                    sched.schedule_in(q, Ev::QuantumExpiry { pid, epoch });
+                }
+                if let Some(remaining) = self.proc_mut(pid).preempted_compute.take() {
+                    // Resume the interrupted compute section without
+                    // calling back into the process body.
+                    self.proc_mut(pid).compute_until = Some(now + remaining);
+                    sched.schedule_in(remaining, Ev::ComputeDone { pid, epoch });
+                } else {
+                    let resume = self
+                        .proc_mut(pid)
+                        .pending_resume
+                        .take()
+                        .expect("dispatched process has no pending resume");
+                    self.step_process(sched, pid, resume);
+                }
             }
             LwpId::Mailbox(owner) => {
+                let ctx = self.node_ctx(sched.now(), node);
+                self.local_node_mut(node).sched.on_run(lwp, &ctx);
                 // The mailbox process accepts every message waiting right
                 // now; later arrivals wait for its next scheduling.
                 let count = self
@@ -735,15 +909,24 @@ impl Partition {
             }
         }
         // Mailbox LWP blocks again (it is "always in a receive state").
-        let n = self.local_node_mut(node);
-        n.running = None;
-        n.mailbox_active.remove(&owner);
-        // Messages that arrived during servicing require another round.
-        if n.mailbox_arrivals
-            .get(&owner)
-            .is_some_and(|q| !q.is_empty())
+        let now = sched.now();
+        let ctx = self.node_ctx(now, node);
         {
-            n.ready.push_back(LwpId::Mailbox(owner));
+            let n = self.local_node_mut(node);
+            n.sched.on_block(LwpId::Mailbox(owner), &ctx);
+            n.running = None;
+            n.mailbox_active.remove(&owner);
+        }
+        // Messages that arrived during servicing require another round.
+        let more = self
+            .local_node(node)
+            .mailbox_arrivals
+            .get(&owner)
+            .is_some_and(|q| !q.is_empty());
+        if more {
+            let ctx = self.node_ctx(now, node);
+            let n = self.local_node_mut(node);
+            n.sched.on_ready(LwpId::Mailbox(owner), &ctx);
             n.mailbox_active.insert(owner);
         }
         self.try_dispatch(sched, node);
@@ -805,12 +988,16 @@ impl Partition {
             .entry(dst)
             .or_default()
             .push_back((src, msg));
-        // Wake the mailbox LWP; it still has to *win the CPU* before the
-        // sender is released — the crux of the paper's observation.
+        // Wake the mailbox LWP; under the stock policy it still has to
+        // *win the CPU* before the sender is released — the crux of the
+        // paper's observation. A preemptive policy may seize the CPU
+        // for it here instead, which is exactly the transition that
+        // breaks the effective-synchrony property.
         if n.mailbox_active.insert(dst) {
-            n.ready.push_back(LwpId::Mailbox(dst));
+            self.wake(sched, node, LwpId::Mailbox(dst));
+        } else {
+            self.try_dispatch(sched, node);
         }
-        self.try_dispatch(sched, node);
     }
 
     fn unblock<S: Sched>(&mut self, sched: &mut S, pid: ProcessId, resume: Resume) {
@@ -825,8 +1012,7 @@ impl Partition {
         proc.pending_resume = Some(resume);
         let node = proc.node;
         self.set_state(pid, ProcState::Ready, now);
-        self.local_node_mut(node).ready.push_back(LwpId::User(pid));
-        self.try_dispatch(sched, node);
+        self.wake(sched, node, LwpId::User(pid));
     }
 
     fn set_state(&mut self, pid: ProcessId, state: ProcState, now: SimTime) {
@@ -858,13 +1044,9 @@ impl Partition {
             match action {
                 Action::Compute(d) => {
                     self.intrusion.record_application(d);
-                    sched.schedule_in(
-                        d,
-                        Ev::ResumeRunning {
-                            pid,
-                            resume: Resume::ComputeDone,
-                        },
-                    );
+                    let epoch = self.proc(pid).run_epoch;
+                    self.proc_mut(pid).compute_until = Some(now + d);
+                    sched.schedule_in(d, Ev::ComputeDone { pid, epoch });
                     return;
                 }
                 Action::Emit { token, param } => {
@@ -919,9 +1101,16 @@ impl Partition {
                     let now = sched.now();
                     self.set_state(pid, ProcState::Ready, now);
                     self.proc_mut(pid).pending_resume = Some(Resume::Yielded);
-                    let n = self.local_node_mut(node);
-                    n.running = None;
-                    n.ready.push_back(LwpId::User(pid));
+                    let ctx = self.node_ctx(now, node);
+                    {
+                        let n = self.local_node_mut(node);
+                        n.sched.on_block(LwpId::User(pid), &ctx);
+                        n.running = None;
+                    }
+                    let ctx = self.node_ctx(now, node);
+                    self.local_node_mut(node)
+                        .sched
+                        .on_ready(LwpId::User(pid), &ctx);
                     self.try_dispatch(sched, node);
                     return;
                 }
@@ -953,9 +1142,13 @@ impl Partition {
                         let child = self.alloc_pid();
                         self.create_proc(child, target, team, body, now);
                         if target == node {
+                            // The spawner keeps the CPU (it is mid-spawn,
+                            // not computing), so the child just joins the
+                            // ready set.
+                            let ctx = self.node_ctx(now, target);
                             self.local_node_mut(target)
-                                .ready
-                                .push_back(LwpId::User(child));
+                                .sched
+                                .on_ready(LwpId::User(child), &ctx);
                         } else {
                             sched.schedule_in(
                                 self.cfg.remote_spawn_latency,
@@ -1060,7 +1253,12 @@ impl Partition {
                     }
                     self.set_state(pid, ProcState::Exited, now);
                     self.proc_mut(pid).body = None;
-                    self.local_node_mut(node).running = None;
+                    let ctx = self.node_ctx(now, node);
+                    {
+                        let n = self.local_node_mut(node);
+                        n.sched.on_block(LwpId::User(pid), &ctx);
+                        n.running = None;
+                    }
                     if Some(pid) == self.initial {
                         // Termination of the initial process terminates
                         // the whole application (paper §2.2).
@@ -1148,7 +1346,12 @@ impl Partition {
                 crate::os_tokens::param(pid.raw(), crate::os_tokens::reason_code(reason)),
             );
         }
-        self.local_node_mut(node).running = None;
+        let ctx = self.node_ctx(now, node);
+        {
+            let n = self.local_node_mut(node);
+            n.sched.on_block(LwpId::User(pid), &ctx);
+            n.running = None;
+        }
         self.try_dispatch(sched, node);
     }
 
@@ -1355,15 +1558,25 @@ impl Machine {
         let parts: Vec<Partition> = (0..topo.clusters())
             .map(|c| {
                 let cluster = ClusterId::new(c);
+                let first_node = topo.first_node(cluster).index();
                 Partition {
                     cluster,
-                    first_node: topo.first_node(cluster).index(),
+                    first_node,
                     clusters: topo.clusters() as u32,
                     cfg: cfg.clone(),
                     topo: topo.clone(),
                     interconnect: Interconnect::new(&cfg, &topo),
                     procs: Vec::new(),
-                    nodes: (0..npc).map(|_| Node::new()).collect(),
+                    // Each node owns one policy instance; fuzz policies
+                    // draw from a stream derived from the machine seed
+                    // and the *global* node index, so perturbations are
+                    // independent of the cluster decomposition.
+                    nodes: (0..npc)
+                        .map(|i| {
+                            let global = first_node as u64 + i as u64;
+                            Node::new(cfg.scheduler.build(rng.derive_indexed("sched", global)))
+                        })
+                        .collect(),
                     conds: HashMap::new(),
                     signals: SignalLog::new(),
                     ground_truth: GroundTruth::new(),
@@ -1431,10 +1644,11 @@ impl Machine {
                 p.initial = Some(pid);
             }
         }
+        let ctx = self.parts[c].node_ctx(SimTime::ZERO, node);
         self.parts[c]
             .local_node_mut(node)
-            .ready
-            .push_back(LwpId::User(pid));
+            .sched
+            .on_ready(LwpId::User(pid), &ctx);
         pid
     }
 
@@ -1563,7 +1777,7 @@ impl Machine {
         };
         for n in self.topo.nodes() {
             let c = self.topo.cluster_of(n).index() as usize;
-            if self.parts[c].local_node(n).ready.is_empty() {
+            if !self.parts[c].local_node(n).sched.has_ready() {
                 continue;
             }
             match &mut self.engine {

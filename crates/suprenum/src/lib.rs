@@ -81,6 +81,7 @@ pub mod kernel;
 pub mod message;
 pub mod os_tokens;
 pub mod process;
+pub mod sched;
 pub mod signals;
 pub mod topology;
 
@@ -91,5 +92,6 @@ pub use ids::{ClusterId, CondId, LwpId, NodeId, ProcessId};
 pub use kernel::{EngineProfile, KernelStats, Machine, RunEnd, RunOutcome};
 pub use message::Message;
 pub use process::{Action, ProcCtx, Process, Resume};
+pub use sched::{KernelCtx, Scheduler, SchedulerKind};
 pub use signals::{DisplayWrite, SignalLog, TerminalWrite};
 pub use topology::{Route, Topology};

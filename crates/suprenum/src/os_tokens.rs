@@ -27,6 +27,15 @@ pub const KERNEL_MAILBOX_SERVICE: u16 = 0xF003;
 /// A process exited.
 pub const KERNEL_EXIT: u16 = 0xF004;
 
+/// The running user process was preempted mid-compute. Parameter code:
+/// 1 = a mailbox LWP seized the CPU (the transition the static `sched`
+/// model adds under its preemptive toggle), 2 = its time slice expired,
+/// 3 = an injected fuzz preemption point fired on a user wakeup. Never
+/// emitted under the stock non-preemptive round-robin policy — `harness
+/// verify` leans on that to reconcile the model's scheduler verdicts
+/// against recorded traces.
+pub const KERNEL_PREEMPT: u16 = 0xF005;
+
 /// First token id of the range reserved for kernel instrumentation.
 ///
 /// Application point maps must stay below this; the event decoder has no
@@ -43,6 +52,7 @@ pub fn point_map() -> Vec<(u16, &'static str, &'static str)> {
         (KERNEL_BLOCK, "Block", "Kernel"),
         (KERNEL_MAILBOX_SERVICE, "Mailbox Service", "Kernel"),
         (KERNEL_EXIT, "Exit", "Kernel"),
+        (KERNEL_PREEMPT, "Preempt", "Kernel"),
     ]
 }
 
@@ -80,7 +90,7 @@ mod tests {
             assert!(token >= KERNEL_TOKEN_BASE);
             assert_eq!(group, "Kernel");
         }
-        assert_eq!(point_map().len(), 4);
+        assert_eq!(point_map().len(), 5);
     }
 
     #[test]

@@ -660,7 +660,8 @@ fn kernel_instrumentation_emits_scheduler_events() {
                     os_tokens::KERNEL_DISPATCH
                     | os_tokens::KERNEL_BLOCK
                     | os_tokens::KERNEL_MAILBOX_SERVICE
-                    | os_tokens::KERNEL_EXIT => kernel_seen += 1,
+                    | os_tokens::KERNEL_EXIT
+                    | os_tokens::KERNEL_PREEMPT => kernel_seen += 1,
                     0x42 => {
                         assert_eq!(ev.param.value(), 7);
                         app_seen += 1;
@@ -681,6 +682,92 @@ fn kernel_instrumentation_emits_scheduler_events() {
     // Dispatch/block parameters carry the affected pid.
     let (pid, code) = os_tokens::split_param(os_tokens::param(3, 2));
     assert_eq!((pid, code), (3, 2));
+}
+
+/// Regression: `try_dispatch` must not re-enter while a context switch
+/// is in flight. Between picking an LWP and `Started`, the node sits in
+/// `running: None, dispatching: true` for a full context-switch delay
+/// (250 µs); under a preemptive policy, quantum expiries and sleep
+/// wake-ups land inside that window and — without the `dispatching`
+/// guard — would either double-dispatch the CPU or preempt a process
+/// that is not actually running. Hammer the window and assert the CPU
+/// stays single-owner throughout, deterministically.
+#[test]
+fn preemptive_dispatch_is_not_reentrant() {
+    use suprenum::SchedulerKind;
+
+    fn run_once() -> (Vec<(u64, u64, String)>, u64, u64) {
+        let mut cfg = MachineConfig::single_cluster(1);
+        // Quantum of the same order as the 250 µs context-switch cost,
+        // so expiries routinely fire while a dispatch is in flight.
+        cfg.scheduler = SchedulerKind::Preemptive {
+            quantum: SimDuration::from_micros(300),
+        };
+        let mut m = Machine::new(cfg, 23).unwrap();
+
+        // Three separately-rooted workers (distinct teams: every switch
+        // pays the full inter-team delay, widening the window) cycling
+        // compute / sleep / yield at mutually prime periods.
+        for i in 0..3u64 {
+            let body = ClosureProc::new(&format!("w{i}"), move |_ctx, _why, step| {
+                if step >= 30 {
+                    return Action::Exit;
+                }
+                match step % 3 {
+                    0 => Action::Compute(SimDuration::from_micros(900 + 101 * i)),
+                    1 => Action::Sleep(SimDuration::from_micros(110 + 83 * i)),
+                    _ => Action::Yield,
+                }
+            });
+            m.add_process(NodeId::new(0), body);
+        }
+        let out = m.run(SimTime::from_secs(10));
+        assert_eq!(out.reason, RunEnd::Completed);
+
+        // Reconstruct every Running interval from the ground truth.
+        let gt = m.ground_truth();
+        let mut intervals: Vec<(u64, u64, String)> = Vec::new();
+        for (_, hist) in gt.iter() {
+            for w in hist.transitions.windows(2) {
+                if w[0].state == ProcState::Running {
+                    intervals.push((
+                        w[0].time.as_nanos(),
+                        w[1].time.as_nanos(),
+                        hist.label.clone(),
+                    ));
+                }
+            }
+            assert_ne!(
+                hist.transitions.last().map(|t| t.state),
+                Some(ProcState::Running),
+                "a worker ended the run still marked Running"
+            );
+        }
+        intervals.sort();
+        (intervals, out.end.as_nanos(), m.stats().preemptions)
+    }
+
+    let (intervals, end, preemptions) = run_once();
+    // The scenario must actually exercise preemption mid-traffic…
+    assert!(preemptions > 0, "no preemptions — the window was never hit");
+    // …and the single CPU must never be double-owned: with a reentrant
+    // dispatch two `Started` events would overlap two Running intervals.
+    for pair in intervals.windows(2) {
+        assert!(
+            pair[0].1 <= pair[1].0,
+            "CPU double-owned: '{}' ran [{}, {}) overlapping '{}' from {}",
+            pair[0].2,
+            pair[0].0,
+            pair[0].1,
+            pair[1].2,
+            pair[1].0
+        );
+    }
+    // And the whole schedule must be reproducible bit-for-bit.
+    let (again, end2, preemptions2) = run_once();
+    assert_eq!(intervals, again);
+    assert_eq!(end, end2);
+    assert_eq!(preemptions, preemptions2);
 }
 
 /// The operator's job time limit (paper §2.2): resources are released
